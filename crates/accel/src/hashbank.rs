@@ -1,0 +1,166 @@
+//! The banked, set-associative hash table of the match engine.
+//!
+//! Each set stores the last `ways` positions whose 3-byte prefix hashed to
+//! it (FIFO replacement — hardware uses a shift-in). Sets are distributed
+//! over `banks` independently-ported SRAM banks; the matcher counts
+//! same-cycle lookups into one bank as stall cycles, the structural hazard
+//! the paper's multi-lane design has to provision against.
+
+/// Sentinel for an empty way.
+const NIL: u32 = u32::MAX;
+
+/// The hash table model.
+#[derive(Debug, Clone)]
+pub struct HashBank {
+    /// `sets × ways` positions, row-major.
+    slots: Vec<u32>,
+    /// Per-set FIFO insert cursor.
+    cursor: Vec<u8>,
+    sets: usize,
+    ways: usize,
+    banks: usize,
+}
+
+impl HashBank {
+    /// Creates an empty table with `2^hash_bits` sets of `ways` entries
+    /// spread over `banks` banks.
+    pub fn new(hash_bits: u32, ways: usize, banks: usize) -> Self {
+        let sets = 1usize << hash_bits;
+        Self { slots: vec![NIL; sets * ways], cursor: vec![0; sets], sets, ways, banks }
+    }
+
+    /// Multiplicative hash of a 3-byte prefix to a set index.
+    #[inline]
+    pub fn hash(&self, data: &[u8], pos: usize) -> usize {
+        debug_assert!(pos + 3 <= data.len());
+        let v = u32::from(data[pos])
+            | (u32::from(data[pos + 1]) << 8)
+            | (u32::from(data[pos + 2]) << 16);
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - self.sets.trailing_zeros())) as usize % self.sets
+    }
+
+    /// The bank a set lives in.
+    #[inline]
+    pub fn bank_of(&self, set: usize) -> usize {
+        set % self.banks
+    }
+
+    /// Returns the valid candidate positions in `set`, newest first.
+    pub fn lookup(&self, set: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = set * self.ways;
+        let cur = usize::from(self.cursor[set]);
+        let ways = self.ways;
+        (0..ways).filter_map(move |i| {
+            // Newest first: walk backwards from the cursor.
+            let idx = base + (cur + ways - 1 - i) % ways;
+            let v = self.slots[idx];
+            (v != NIL).then_some(v as usize)
+        })
+    }
+
+    /// Inserts `pos` into `set`, evicting FIFO.
+    pub fn insert(&mut self, set: usize, pos: usize) {
+        let base = set * self.ways;
+        let cur = usize::from(self.cursor[set]);
+        self.slots[base + cur] = pos as u32;
+        self.cursor[set] = ((cur + 1) % self.ways) as u8;
+    }
+
+    /// Clears all entries (between independent requests — the hardware
+    /// zeroes the table per job so no state leaks across users).
+    pub fn reset(&mut self) {
+        self.slots.fill(NIL);
+        self.cursor.fill(0);
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Counts the stall cycles implied by a set of same-cycle accesses:
+    /// each bank serves `read_ports` accesses per cycle, so a cycle's
+    /// total stalls are `max_over_banks(ceil(accesses / read_ports)) - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_ports == 0`.
+    pub fn conflict_stalls(&self, sets_accessed: &[usize], read_ports: u32) -> u64 {
+        assert!(read_ports > 0, "banks need at least one read port");
+        let mut counts = vec![0u32; self.banks];
+        for &s in sets_accessed {
+            counts[self.bank_of(s)] += 1;
+        }
+        let worst = counts.iter().copied().max().unwrap_or(0).div_ceil(read_ports);
+        u64::from(worst.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup_newest_first() {
+        let mut hb = HashBank::new(8, 4, 4);
+        hb.insert(3, 100);
+        hb.insert(3, 200);
+        hb.insert(3, 300);
+        let got: Vec<usize> = hb.lookup(3).collect();
+        assert_eq!(got, vec![300, 200, 100]);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut hb = HashBank::new(8, 2, 4);
+        hb.insert(5, 1);
+        hb.insert(5, 2);
+        hb.insert(5, 3); // evicts 1
+        let got: Vec<usize> = hb.lookup(5).collect();
+        assert_eq!(got, vec![3, 2]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut hb = HashBank::new(6, 2, 2);
+        hb.insert(0, 7);
+        hb.reset();
+        assert_eq!(hb.lookup(0).count(), 0);
+    }
+
+    #[test]
+    fn hash_is_in_range_and_stable() {
+        let hb = HashBank::new(10, 4, 8);
+        let data = b"abcdefgh";
+        for pos in 0..data.len() - 3 {
+            let h = hb.hash(data, pos);
+            assert!(h < hb.sets());
+            assert_eq!(h, hb.hash(data, pos));
+        }
+    }
+
+    #[test]
+    fn same_prefix_same_set() {
+        let hb = HashBank::new(12, 4, 16);
+        let data = b"xyz123xyz456";
+        assert_eq!(hb.hash(data, 0), hb.hash(data, 6));
+    }
+
+    #[test]
+    fn conflict_stall_accounting() {
+        let hb = HashBank::new(8, 4, 4);
+        // Sets 0 and 4 share bank 0; 1 is bank 1. Single-ported:
+        assert_eq!(hb.conflict_stalls(&[0, 4, 1], 1), 1);
+        assert_eq!(hb.conflict_stalls(&[0, 1, 2, 3], 1), 0);
+        assert_eq!(hb.conflict_stalls(&[0, 4, 8, 12], 1), 3);
+        assert_eq!(hb.conflict_stalls(&[], 1), 0);
+        // Dual-ported: two same-bank accesses are free, four cost one.
+        assert_eq!(hb.conflict_stalls(&[0, 4, 1], 2), 0);
+        assert_eq!(hb.conflict_stalls(&[0, 4, 8, 12], 2), 1);
+    }
+}

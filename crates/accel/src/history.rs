@@ -1,0 +1,163 @@
+//! The circular history buffer.
+//!
+//! The compressor's comparators and the decompressor's copy engine both
+//! read recent output from an on-chip SRAM ring rather than from memory.
+//! The model keeps an actual ring so that window-expiry behaviour (a match
+//! candidate whose bytes have been overwritten) is structural, not just a
+//! distance check — the matcher verifies candidate bytes *through this
+//! ring*, exactly as the hardware's comparators do.
+
+/// A power-of-two circular byte buffer.
+#[derive(Debug, Clone)]
+pub struct HistoryBuffer {
+    buf: Vec<u8>,
+    mask: usize,
+    /// Total bytes ever written (the stream position).
+    written: u64,
+}
+
+impl HistoryBuffer {
+    /// Creates a ring of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is a power of two.
+    pub fn new(size: usize) -> Self {
+        assert!(size.is_power_of_two(), "history size must be a power of two");
+        Self { buf: vec![0; size], mask: size - 1, written: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total bytes pushed over the buffer's lifetime.
+    pub fn position(&self) -> u64 {
+        self.written
+    }
+
+    /// Appends a byte.
+    #[inline]
+    pub fn push(&mut self, b: u8) {
+        self.buf[(self.written as usize) & self.mask] = b;
+        self.written += 1;
+    }
+
+    /// Appends a slice.
+    pub fn push_slice(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.push(b);
+        }
+    }
+
+    /// Reads the byte at absolute stream position `pos`, if it is still
+    /// resident (within the last `capacity` bytes).
+    #[inline]
+    pub fn get(&self, pos: u64) -> Option<u8> {
+        if pos >= self.written || self.written - pos > self.buf.len() as u64 {
+            return None;
+        }
+        Some(self.buf[(pos as usize) & self.mask])
+    }
+
+    /// Length of the common prefix between the resident bytes at `a` and
+    /// the bytes of `fresh` (the incoming, not-yet-pushed data), capped at
+    /// `max`. Returns 0 if `a` has expired from the ring.
+    ///
+    /// Matching against *incoming* data allows overlapping matches
+    /// (`dist < len`), the RLE idiom, because each compared source byte at
+    /// `a + i` either resides in the ring or is one of the earlier `fresh`
+    /// bytes being compared this very call — mirroring the hardware's
+    /// compare-bypass path.
+    pub fn match_length(&self, a: u64, fresh: &[u8], max: usize) -> usize {
+        let mut n = 0usize;
+        while n < max && n < fresh.len() {
+            let src = a + n as u64;
+            let byte = if src < self.written {
+                match self.get(src) {
+                    Some(b) => b,
+                    None => return 0, // expired candidate: hardware drops it
+                }
+            } else {
+                // Overlap into the incoming bytes.
+                fresh[(src - self.written) as usize]
+            };
+            if byte != fresh[n] {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Clears the ring between requests.
+    pub fn reset(&mut self) {
+        self.buf.fill(0);
+        self.written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut h = HistoryBuffer::new(8);
+        h.push_slice(b"abcdef");
+        assert_eq!(h.get(0), Some(b'a'));
+        assert_eq!(h.get(5), Some(b'f'));
+        assert_eq!(h.get(6), None); // not yet written
+    }
+
+    #[test]
+    fn wraparound_expires_old_bytes() {
+        let mut h = HistoryBuffer::new(8);
+        h.push_slice(b"0123456789"); // 10 bytes through an 8-byte ring
+        assert_eq!(h.get(0), None); // expired
+        assert_eq!(h.get(1), None); // expired
+        assert_eq!(h.get(2), Some(b'2'));
+        assert_eq!(h.get(9), Some(b'9'));
+        assert_eq!(h.position(), 10);
+    }
+
+    #[test]
+    fn match_length_within_ring() {
+        let mut h = HistoryBuffer::new(16);
+        h.push_slice(b"abcdabcd");
+        // Incoming "abcdx" matches position 0 for 4 bytes.
+        assert_eq!(h.match_length(0, b"abcdx", 258), 4);
+    }
+
+    #[test]
+    fn match_length_overlapping_rle() {
+        let mut h = HistoryBuffer::new(16);
+        h.push_slice(b"ab");
+        // Incoming "ababab" vs candidate 0 (dist 2): overlap extends fully.
+        assert_eq!(h.match_length(0, b"ababab", 258), 6);
+    }
+
+    #[test]
+    fn expired_candidate_rejected() {
+        let mut h = HistoryBuffer::new(8);
+        h.push_slice(b"abcdefghij"); // positions 0,1 expired
+        assert_eq!(h.match_length(0, b"abc", 258), 0);
+    }
+
+    #[test]
+    fn match_capped_at_max() {
+        let mut h = HistoryBuffer::new(16);
+        h.push_slice(b"aaaa");
+        assert_eq!(h.match_length(0, &[b'a'; 100], 7), 7);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut h = HistoryBuffer::new(8);
+        h.push_slice(b"abc");
+        h.reset();
+        assert_eq!(h.position(), 0);
+        assert_eq!(h.get(0), None);
+    }
+}

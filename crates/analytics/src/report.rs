@@ -1,0 +1,80 @@
+//! Run reports for the analytics experiments.
+
+use nx_sim::SimTime;
+
+/// Aggregate outcome of running a job mix under one codec.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Codec label.
+    pub codec: &'static str,
+    /// Executors used.
+    pub executors: usize,
+    /// Total wall-clock (simulated) time for the whole mix.
+    pub makespan: SimTime,
+    /// Core-seconds executors were occupied.
+    pub core_seconds: f64,
+    /// Core-seconds spent inside the codec (compress + decompress).
+    pub codec_core_seconds: f64,
+    /// Core-seconds of pure query compute.
+    pub compute_core_seconds: f64,
+    /// Task I/O wall-seconds (reads + writes, after compression).
+    pub io_seconds: f64,
+    /// Shuffle bytes before compression.
+    pub shuffle_uncompressed: u64,
+    /// Shuffle bytes actually moved.
+    pub shuffle_on_wire: u64,
+    /// Accelerator busy time accumulated (offload codec only).
+    pub accel_busy_seconds: f64,
+}
+
+impl RunReport {
+    /// Fraction of core time spent in the codec.
+    pub fn codec_cpu_fraction(&self) -> f64 {
+        if self.core_seconds == 0.0 {
+            return 0.0;
+        }
+        self.codec_core_seconds / self.core_seconds
+    }
+
+    /// Effective shuffle compression ratio.
+    pub fn shuffle_ratio(&self) -> f64 {
+        if self.shuffle_on_wire == 0 {
+            return 1.0;
+        }
+        self.shuffle_uncompressed as f64 / self.shuffle_on_wire as f64
+    }
+
+    /// Speedup of `self` over `baseline` in end-to-end makespan.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.makespan.as_secs_f64() / self.makespan.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan_ms: u64) -> RunReport {
+        RunReport {
+            codec: "t",
+            executors: 4,
+            makespan: SimTime::from_ms(makespan_ms),
+            core_seconds: 10.0,
+            codec_core_seconds: 2.5,
+            compute_core_seconds: 7.0,
+            io_seconds: 1.0,
+            shuffle_uncompressed: 1000,
+            shuffle_on_wire: 250,
+            accel_busy_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report(1000);
+        assert!((r.codec_cpu_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.shuffle_ratio() - 4.0).abs() < 1e-12);
+        let faster = report(800);
+        assert!((faster.speedup_over(&r) - 1.25).abs() < 1e-12);
+    }
+}

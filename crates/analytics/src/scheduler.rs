@@ -1,0 +1,247 @@
+//! The work-conserving stage scheduler.
+//!
+//! Stages execute in order with a barrier between them. Within a stage,
+//! tasks go to the earliest-free executor (what Spark's scheduler
+//! converges to for equal-priority tasks). The shared accelerator is a
+//! finite resource: per stage, the offload demand inflates each codec
+//! wait by an M/D/1-style utilization factor `1 / (1 - ρ)` so that an
+//! under-provisioned accelerator visibly queues.
+
+use crate::codec::Codec;
+use crate::report::RunReport;
+use crate::stage::{Job, Stage};
+use nx_sim::{FifoStation, SimTime};
+
+/// Per-task effective I/O bandwidth (local SSD / NIC share).
+const IO_BPS: f64 = 1.2e9;
+
+/// An executor pool with `accel_units` shared accelerators.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    executors: usize,
+    accel_units: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `executors` cores and `accel_units` on-chip
+    /// accelerators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(executors: usize, accel_units: usize) -> Self {
+        assert!(executors > 0 && accel_units > 0);
+        Self { executors, accel_units }
+    }
+
+    /// Number of executor cores.
+    pub fn executors(&self) -> usize {
+        self.executors
+    }
+
+    /// Runs `jobs` sequentially under `codec`, returning the aggregate
+    /// report.
+    pub fn run(&self, jobs: &[Job], codec: &Codec) -> RunReport {
+        let mut makespan = SimTime::ZERO;
+        let mut core_seconds = 0.0;
+        let mut codec_core_seconds = 0.0;
+        let mut compute_core_seconds = 0.0;
+        let mut io_seconds = 0.0;
+        let mut shuffle_uncompressed = 0u64;
+        let mut shuffle_on_wire = 0u64;
+        let mut accel_busy_seconds = 0.0;
+
+        for job in jobs {
+            for stage in &job.stages {
+                let s = self.run_stage(stage, codec);
+                makespan += s.makespan;
+                core_seconds += s.core_seconds;
+                codec_core_seconds += s.codec_core_seconds;
+                compute_core_seconds += s.compute_core_seconds;
+                io_seconds += s.io_seconds;
+                shuffle_uncompressed += s.shuffle_uncompressed;
+                shuffle_on_wire += s.shuffle_on_wire;
+                accel_busy_seconds += s.accel_busy_seconds;
+            }
+        }
+
+        RunReport {
+            codec: codec.name(),
+            executors: self.executors,
+            makespan,
+            core_seconds,
+            codec_core_seconds,
+            compute_core_seconds,
+            io_seconds,
+            shuffle_uncompressed,
+            shuffle_on_wire,
+            accel_busy_seconds,
+        }
+    }
+
+    fn run_stage(&self, stage: &Stage, codec: &Codec) -> StageOutcome {
+        // First pass: raw accelerator demand to compute the stage's
+        // offered load ρ against the accelerator pool.
+        let mut total_accel_demand = 0.0;
+        let mut total_core_estimate = 0.0;
+        for t in &stage.tasks {
+            if stage.input_compressed {
+                total_accel_demand += codec.read_cost(t.corpus, t.input_bytes).accel_demand.as_secs_f64();
+            }
+            if stage.output_compressed {
+                total_accel_demand +=
+                    codec.write_cost(t.corpus, t.output_bytes).accel_demand.as_secs_f64();
+            }
+            total_core_estimate += t.compute.as_secs_f64();
+        }
+        // Stage duration lower bound (compute spread over executors)
+        // approximates the interval the accel demand arrives in.
+        let interval = (total_core_estimate / self.executors as f64).max(1e-9);
+        let rho = (total_accel_demand / self.accel_units as f64 / interval).min(0.95);
+        let queue_factor = 1.0 / (1.0 - rho);
+
+        let mut station = FifoStation::new(self.executors);
+        let mut out = StageOutcome::default();
+        let mut last_finish = SimTime::ZERO;
+
+        for t in &stage.tasks {
+            let mut core_time = t.compute;
+            let mut codec_time = SimTime::ZERO;
+            let mut io_bytes_read = t.input_bytes;
+            let mut io_bytes_write = t.output_bytes;
+
+            if stage.input_compressed {
+                let r = codec.read_cost(t.corpus, t.input_bytes);
+                let wait =
+                    SimTime::from_secs_f64(r.core_time.as_secs_f64() * queue_factor_for(r, queue_factor));
+                codec_time += wait;
+                io_bytes_read = codec.compressed_size(t.corpus, t.input_bytes);
+                out.accel_busy_seconds += r.accel_demand.as_secs_f64();
+            }
+            if stage.output_compressed {
+                let w = codec.write_cost(t.corpus, t.output_bytes);
+                let wait =
+                    SimTime::from_secs_f64(w.core_time.as_secs_f64() * queue_factor_for(w, queue_factor));
+                codec_time += wait;
+                io_bytes_write = w.bytes_out;
+                out.accel_busy_seconds += w.accel_demand.as_secs_f64();
+                out.shuffle_uncompressed += t.output_bytes;
+                out.shuffle_on_wire += w.bytes_out;
+            } else {
+                out.shuffle_uncompressed += t.output_bytes;
+                out.shuffle_on_wire += t.output_bytes;
+            }
+
+            let io = SimTime::from_secs_f64((io_bytes_read + io_bytes_write) as f64 / IO_BPS);
+            core_time += codec_time + io;
+            let (_, fin) = station.submit(SimTime::ZERO, core_time);
+            last_finish = last_finish.max(fin);
+
+            out.core_seconds += core_time.as_secs_f64();
+            out.codec_core_seconds += codec_time.as_secs_f64();
+            out.compute_core_seconds += t.compute.as_secs_f64();
+            out.io_seconds += io.as_secs_f64();
+        }
+        out.makespan = last_finish;
+        out
+    }
+}
+
+/// Applies the utilization correction only to offloaded codec calls
+/// (software codecs do not queue on the accelerator).
+fn queue_factor_for(cost: crate::codec::CodecCost, queue_factor: f64) -> f64 {
+    if cost.accel_demand == SimTime::ZERO {
+        1.0
+    } else {
+        queue_factor
+    }
+}
+
+#[derive(Debug, Default)]
+struct StageOutcome {
+    makespan: SimTime,
+    core_seconds: f64,
+    codec_core_seconds: f64,
+    compute_core_seconds: f64,
+    io_seconds: f64,
+    shuffle_uncompressed: u64,
+    shuffle_on_wire: u64,
+    accel_busy_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Task;
+    use nx_corpus::CorpusKind;
+
+    fn simple_job(tasks: usize, compute_ms: u64, out_mb: u64) -> Job {
+        Job {
+            name: "test".into(),
+            stages: vec![Stage {
+                name: "map".into(),
+                tasks: (0..tasks)
+                    .map(|_| Task {
+                        compute: SimTime::from_ms(compute_ms),
+                        input_bytes: out_mb << 20,
+                        output_bytes: out_mb << 20,
+                        corpus: CorpusKind::Json,
+                    })
+                    .collect(),
+                input_compressed: false,
+                output_compressed: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn makespan_scales_inverse_with_executors() {
+        let jobs = vec![simple_job(64, 100, 4)];
+        let small = Cluster::new(4, 1).run(&jobs, &Codec::none());
+        let large = Cluster::new(16, 1).run(&jobs, &Codec::none());
+        let r = small.makespan.as_secs_f64() / large.makespan.as_secs_f64();
+        assert!((3.5..=4.5).contains(&r), "scaling {r}");
+    }
+
+    #[test]
+    fn software_codec_inflates_core_seconds() {
+        let jobs = vec![simple_job(32, 200, 8)];
+        let cluster = Cluster::new(8, 1);
+        let none = cluster.run(&jobs, &Codec::none());
+        let sw = cluster.run(&jobs, &Codec::software_default());
+        assert!(sw.core_seconds > none.core_seconds * 1.3);
+        assert!(sw.shuffle_ratio() > 2.0);
+    }
+
+    #[test]
+    fn offload_recovers_most_codec_time() {
+        let jobs = vec![simple_job(32, 200, 8)];
+        let cluster = Cluster::new(8, 1);
+        let sw = cluster.run(&jobs, &Codec::software_default());
+        let nx = cluster.run(&jobs, &Codec::nx_offload_default());
+        assert!(nx.makespan < sw.makespan);
+        assert!(nx.codec_core_seconds < sw.codec_core_seconds / 10.0);
+        // Compressed bytes on the wire stay comparable.
+        let gap = (nx.shuffle_ratio() / sw.shuffle_ratio() - 1.0).abs();
+        assert!(gap < 0.15, "ratio gap {gap}");
+    }
+
+    #[test]
+    fn under_provisioned_accelerator_queues() {
+        // Huge offload demand against one accelerator vs four.
+        let jobs = vec![simple_job(64, 10, 64)];
+        let one = Cluster::new(32, 1).run(&jobs, &Codec::nx_offload_default());
+        let four = Cluster::new(32, 4).run(&jobs, &Codec::nx_offload_default());
+        assert!(one.makespan >= four.makespan);
+    }
+
+    #[test]
+    fn compressed_input_costs_decompression() {
+        let mut job = simple_job(8, 100, 4);
+        job.stages[0].input_compressed = true;
+        let cluster = Cluster::new(8, 1);
+        let with = cluster.run(&[job], &Codec::software_default());
+        let without = cluster.run(&[simple_job(8, 100, 4)], &Codec::software_default());
+        assert!(with.codec_core_seconds > without.codec_core_seconds);
+    }
+}

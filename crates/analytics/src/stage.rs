@@ -1,0 +1,102 @@
+//! Jobs, stages and tasks — the dataflow structure.
+
+use nx_corpus::CorpusKind;
+use nx_sim::SimTime;
+
+/// One task: the unit of scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Pure compute time on one core (scan/join/aggregate work),
+    /// excluding any codec or I/O cost.
+    pub compute: SimTime,
+    /// Input partition size in bytes (uncompressed terms).
+    pub input_bytes: u64,
+    /// Output (shuffle/spill) size in bytes before compression.
+    pub output_bytes: u64,
+    /// Data class of this task's partitions (drives compression ratio).
+    pub corpus: CorpusKind,
+}
+
+/// A stage: tasks with no mutual dependencies, barrier-separated from the
+/// next stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Human-readable label ("scan store_sales", "join", …).
+    pub name: String,
+    /// The stage's tasks.
+    pub tasks: Vec<Task>,
+    /// Whether this stage's *input* arrives compressed (i.e. the previous
+    /// stage's shuffle output, or compressed source tables).
+    pub input_compressed: bool,
+    /// Whether this stage compresses its output (shuffle write / spill /
+    /// final output in compressed format).
+    pub output_compressed: bool,
+}
+
+/// A job: an ordered chain of stages (the DAG is linearized; Spark's
+/// barrier semantics make a chain the conservative shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Query label ("q64-like", …).
+    pub name: String,
+    /// Stages in dependency order.
+    pub stages: Vec<Stage>,
+}
+
+impl Stage {
+    /// Total uncompressed bytes this stage writes.
+    pub fn output_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.output_bytes).sum()
+    }
+
+    /// Total task compute time (core-seconds without codec/I/O).
+    pub fn compute_seconds(&self) -> f64 {
+        self.tasks.iter().map(|t| t.compute.as_secs_f64()).sum()
+    }
+}
+
+impl Job {
+    /// Total compute core-seconds across all stages.
+    pub fn compute_seconds(&self) -> f64 {
+        self.stages.iter().map(Stage::compute_seconds).sum()
+    }
+
+    /// Total uncompressed shuffle bytes written by stages that compress
+    /// output.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.output_compressed)
+            .map(Stage::output_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(ms: u64, out: u64) -> Task {
+        Task {
+            compute: SimTime::from_ms(ms),
+            input_bytes: out * 2,
+            output_bytes: out,
+            corpus: CorpusKind::Json,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let stage = Stage {
+            name: "s".into(),
+            tasks: vec![task(10, 100), task(20, 200)],
+            input_compressed: false,
+            output_compressed: true,
+        };
+        assert_eq!(stage.output_bytes(), 300);
+        assert!((stage.compute_seconds() - 0.030).abs() < 1e-12);
+        let job = Job { name: "j".into(), stages: vec![stage.clone(), stage] };
+        assert!((job.compute_seconds() - 0.060).abs() < 1e-12);
+        assert_eq!(job.shuffle_bytes(), 600);
+    }
+}

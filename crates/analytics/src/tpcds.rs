@@ -1,0 +1,165 @@
+//! A TPC-DS-like query mix.
+//!
+//! The real benchmark cannot ship here; this generator produces a
+//! deterministic mix of query *shapes* — scan-heavy, join/shuffle-heavy
+//! and spill-heavy — whose aggregate compute/shuffle balance is calibrated
+//! so that software shuffle compression consumes ≈ 20–30 % of executor CPU
+//! time, the regime in which the paper reports its 23 % end-to-end gain.
+//! Partition payloads use the columnar/JSON corpus classes (what Spark
+//! rows and Parquet pages actually look like to a byte-level compressor).
+
+use crate::stage::{Job, Stage, Task};
+use nx_corpus::CorpusKind;
+use nx_sim::{SimRng, SimTime};
+
+/// Number of queries in the standard mix.
+pub const MIX_SIZE: usize = 12;
+
+/// Generates the standard deterministic query mix.
+pub fn query_mix(seed: u64) -> Vec<Job> {
+    let mut rng = SimRng::new(seed, "tpcds");
+    (0..MIX_SIZE)
+        .map(|i| match i % 3 {
+            0 => scan_heavy(i, &mut rng),
+            1 => shuffle_heavy(i, &mut rng),
+            _ => spill_heavy(i, &mut rng),
+        })
+        .collect()
+}
+
+fn partitions(rng: &mut SimRng, lo: u64, hi: u64) -> usize {
+    rng.uniform_range(lo, hi) as usize
+}
+
+fn task(rng: &mut SimRng, compute_ms: (u64, u64), out_mb: (u64, u64), corpus: CorpusKind) -> Task {
+    let out = rng.uniform_range(out_mb.0, out_mb.1 + 1) << 20;
+    Task {
+        compute: SimTime::from_ms(rng.uniform_range(compute_ms.0, compute_ms.1 + 1)),
+        input_bytes: out * 2,
+        output_bytes: out,
+        corpus,
+    }
+}
+
+/// Wide scans with a light aggregation: one big scan stage, small reduce.
+fn scan_heavy(i: usize, rng: &mut SimRng) -> Job {
+    let scan_tasks = partitions(rng, 48, 96);
+    Job {
+        name: format!("q{}-scan-heavy", i + 1),
+        stages: vec![
+            Stage {
+                name: "scan+filter".into(),
+                tasks: (0..scan_tasks)
+                    .map(|_| task(rng, (390, 650), (2, 4), CorpusKind::Columnar))
+                    .collect(),
+                input_compressed: true, // source tables are stored compressed
+                output_compressed: true,
+            },
+            Stage {
+                name: "aggregate".into(),
+                tasks: (0..scan_tasks / 8)
+                    .map(|_| task(rng, (130, 260), (1, 2), CorpusKind::Columnar))
+                    .collect(),
+                input_compressed: true,
+                output_compressed: false,
+            },
+        ],
+    }
+}
+
+/// Multi-way join: several shuffle stages moving sizeable row data.
+fn shuffle_heavy(i: usize, rng: &mut SimRng) -> Job {
+    let width = partitions(rng, 32, 64);
+    let mk_stage = |name: &str, n: usize, rng: &mut SimRng, compressed_out: bool| Stage {
+        name: name.into(),
+        tasks: (0..n).map(|_| task(rng, (260, 550), (3, 6), CorpusKind::Json)).collect(),
+        input_compressed: true,
+        output_compressed: compressed_out,
+    };
+    Job {
+        name: format!("q{}-join-heavy", i + 1),
+        stages: vec![
+            mk_stage("scan-fact", width, rng, true),
+            mk_stage("join-1", width, rng, true),
+            mk_stage("join-2", width / 2, rng, true),
+            mk_stage("final-agg", width / 8, rng, false),
+        ],
+    }
+}
+
+/// Memory-pressured query that spills sorted runs.
+fn spill_heavy(i: usize, rng: &mut SimRng) -> Job {
+    let width = partitions(rng, 24, 48);
+    Job {
+        name: format!("q{}-spill-heavy", i + 1),
+        stages: vec![
+            Stage {
+                name: "scan".into(),
+                tasks: (0..width)
+                    .map(|_| task(rng, (210, 420), (4, 8), CorpusKind::Logs))
+                    .collect(),
+                input_compressed: true,
+                output_compressed: true,
+            },
+            Stage {
+                name: "sort+spill".into(),
+                // Spills both read and write compressed data: double codec
+                // traffic is represented by larger outputs.
+                tasks: (0..width)
+                    .map(|_| task(rng, (330, 620), (5, 10), CorpusKind::Logs))
+                    .collect(),
+                input_compressed: true,
+                output_compressed: true,
+            },
+            Stage {
+                name: "merge".into(),
+                tasks: (0..width / 4)
+                    .map(|_| task(rng, (170, 340), (1, 3), CorpusKind::Logs))
+                    .collect(),
+                input_compressed: true,
+                output_compressed: false,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Codec;
+    use crate::scheduler::Cluster;
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(query_mix(5), query_mix(5));
+        assert_ne!(query_mix(5), query_mix(6));
+        assert_eq!(query_mix(5).len(), MIX_SIZE);
+    }
+
+    #[test]
+    fn software_codec_fraction_is_calibrated() {
+        // The mechanism behind the 23% claim: software compression must
+        // cost ~20-30% of executor CPU.
+        let jobs = query_mix(1);
+        let report = Cluster::new(24, 1).run(&jobs, &Codec::software_default());
+        let f = report.codec_cpu_fraction();
+        assert!((0.15..=0.40).contains(&f), "codec CPU fraction {f:.3}");
+    }
+
+    #[test]
+    fn all_shapes_present() {
+        let jobs = query_mix(2);
+        assert!(jobs.iter().any(|j| j.name.contains("scan-heavy")));
+        assert!(jobs.iter().any(|j| j.name.contains("join-heavy")));
+        assert!(jobs.iter().any(|j| j.name.contains("spill-heavy")));
+    }
+
+    #[test]
+    fn jobs_have_meaningful_shuffle_volumes() {
+        let jobs = query_mix(3);
+        for j in &jobs {
+            assert!(j.shuffle_bytes() > 50 << 20, "{} shuffles too little", j.name);
+            assert!(j.compute_seconds() > 1.0, "{} computes too little", j.name);
+        }
+    }
+}

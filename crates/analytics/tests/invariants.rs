@@ -1,0 +1,77 @@
+//! Property tests for the analytics scheduler: determinism, codec
+//! ordering, and conservation under randomized job shapes.
+
+use nx_analytics::{Cluster, Codec, Job, Stage, Task};
+use nx_corpus::CorpusKind;
+use nx_sim::SimTime;
+use proptest::prelude::*;
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    prop::collection::vec(
+        (1u64..400, 1u64..16, 0usize..4, any::<bool>(), any::<bool>()),
+        1..5,
+    )
+    .prop_map(|stages| Job {
+        name: "prop".into(),
+        stages: stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ms, mb, kind, in_c, out_c))| Stage {
+                name: format!("s{i}"),
+                tasks: (0..(1 + i % 7))
+                    .map(|_| Task {
+                        compute: SimTime::from_ms(ms),
+                        input_bytes: (mb << 20) * 2,
+                        output_bytes: mb << 20,
+                        corpus: [
+                            CorpusKind::Json,
+                            CorpusKind::Logs,
+                            CorpusKind::Columnar,
+                            CorpusKind::Text,
+                        ][kind],
+                    })
+                    .collect(),
+                input_compressed: in_c,
+                output_compressed: out_c,
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn scheduler_is_deterministic_and_conserving(
+        jobs in prop::collection::vec(arb_job(), 1..4),
+        executors in 1usize..32,
+    ) {
+        let cluster = Cluster::new(executors, 1);
+        let codec = Codec::software_default();
+        let a = cluster.run(&jobs, &codec);
+        let b = cluster.run(&jobs, &codec);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.shuffle_on_wire, b.shuffle_on_wire);
+        // Makespan bounds: at least the critical chain, at most serial.
+        prop_assert!(a.makespan.as_secs_f64() * executors as f64 + 1e-9 >= a.core_seconds);
+        prop_assert!(a.makespan.as_secs_f64() <= a.core_seconds + 1e-9);
+        // Compression never expands these compressible classes.
+        prop_assert!(a.shuffle_on_wire <= a.shuffle_uncompressed);
+    }
+
+    #[test]
+    fn offload_never_slower_than_software_codec(
+        jobs in prop::collection::vec(arb_job(), 1..3),
+    ) {
+        let cluster = Cluster::new(8, 1);
+        let sw = cluster.run(&jobs, &Codec::software_default());
+        let nx = cluster.run(&jobs, &Codec::nx_offload_default());
+        prop_assert!(
+            nx.makespan <= sw.makespan,
+            "offload slower: {} vs {}",
+            nx.makespan,
+            sw.makespan
+        );
+        prop_assert!(nx.codec_core_seconds <= sw.codec_core_seconds);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion counterpart of E12: model execution speed across ablation
+//! configurations (the matcher dominates, so this tracks how design
+//! points change simulation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nx_accel::{AccelConfig, Accelerator, HuffmanMode, Resolution};
+use nx_bench::SEED;
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    let size = 1usize << 20;
+    let data = nx_corpus::mixed(SEED, size);
+    group.throughput(Throughput::Bytes(size as u64));
+
+    let configs: Vec<(&str, AccelConfig)> = vec![
+        ("baseline", AccelConfig::power9()),
+        ("greedy", {
+            let mut c = AccelConfig::power9();
+            c.resolution = Resolution::Greedy;
+            c
+        }),
+        ("fht", {
+            let mut c = AccelConfig::power9();
+            c.huffman = HuffmanMode::Fixed;
+            c
+        }),
+        ("ways1", {
+            let mut c = AccelConfig::power9();
+            c.hash_ways = 1;
+            c
+        }),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::new("compress", name), &data, |b, d| {
+            let mut a = Accelerator::new(cfg.clone());
+            b.iter(|| a.compress(d).0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablations
+}
+criterion_main!(benches);

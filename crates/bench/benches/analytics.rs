@@ -1,0 +1,28 @@
+//! Criterion counterpart of E10: execution speed of the analytics
+//! simulator under each codec (codec construction, i.e. cost-model
+//! calibration, is hoisted out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nx_analytics::{tpcds, Cluster, Codec};
+use nx_bench::SEED;
+
+fn analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytics");
+    let jobs = tpcds::query_mix(SEED);
+    let cluster = Cluster::new(24, 1);
+    let codecs =
+        [("none", Codec::none()), ("software", Codec::software_default()), ("nx", Codec::nx_offload_default())];
+    for (name, codec) in &codecs {
+        group.bench_with_input(BenchmarkId::new("mix", name), codec, |b, codec| {
+            b.iter(|| cluster.run(&jobs, codec).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = analytics
+}
+criterion_main!(benches);

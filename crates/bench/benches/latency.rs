@@ -1,0 +1,45 @@
+//! Criterion counterpart of E6/E7: execution speed of the system-level
+//! queueing simulation itself (events/second), so regressions in the
+//! simulator are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nx_bench::SEED;
+use nx_corpus::CorpusKind;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::workload::SizeDistribution;
+use nx_sys::{CompletionMode, RequestStream, SystemSim, Topology};
+
+fn system_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_sim");
+    let topo = Topology::power9_chip();
+    for &nreq in &[1_000usize, 10_000] {
+        let stream = RequestStream::open_loop(
+            SEED,
+            8,
+            2_000.0,
+            nreq,
+            SizeDistribution::Fixed(256 << 10),
+            &[CorpusKind::Json],
+            Function::Compress,
+        );
+        group.bench_with_input(BenchmarkId::new("open_loop", nreq), &stream, |b, s| {
+            // Calibration is hoisted out of the measured loop.
+            let mut sim = SystemSim::new(
+                &topo,
+                CompletionMode::Poll,
+                FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+                SEED,
+            );
+            b.iter(|| sim.run(s).completed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = system_sim
+}
+criterion_main!(benches);

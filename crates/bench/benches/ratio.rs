@@ -1,0 +1,54 @@
+//! Criterion counterpart of E5: software DEFLATE wall-clock per level and
+//! corpus (the baseline side of the ratio/speed trade-off), plus the 842
+//! codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nx_bench::SEED;
+use nx_corpus::CorpusKind;
+use nx_deflate::{deflate, CompressionLevel};
+
+fn software_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("software_deflate");
+    let size = 1usize << 20;
+    for kind in [CorpusKind::Text, CorpusKind::Json, CorpusKind::Random] {
+        let data = kind.generate(SEED, size);
+        group.throughput(Throughput::Bytes(size as u64));
+        for level in [1u32, 6, 9] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), format!("l{level}")),
+                &data,
+                |b, d| {
+                    let lvl = CompressionLevel::new(level).unwrap();
+                    b.iter(|| deflate(d, lvl).len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn p842(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p842");
+    let size = 1usize << 20;
+    for kind in [CorpusKind::Redundant, CorpusKind::Columnar] {
+        let data = kind.generate(SEED, size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("compress", format!("{kind}")), &data, |b, d| {
+            b.iter(|| nx_842::compress(d).len())
+        });
+        let compressed = nx_842::compress(&data);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("{kind}")),
+            &compressed,
+            |b, d| b.iter(|| nx_842::decompress(d).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = software_levels, p842
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion counterpart of E3/E4: the software baseline's wall-clock on
+//! this host (the denominator of the speedup claims) at each level, on
+//! the exact mixed corpus E3 uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nx_bench::SEED;
+use nx_deflate::{deflate, inflate, CompressionLevel};
+
+fn software_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup_baseline");
+    let size = 4usize << 20;
+    let data = nx_corpus::mixed(SEED, size);
+    group.throughput(Throughput::Bytes(size as u64));
+    for level in [1u32, 6, 9] {
+        group.bench_with_input(BenchmarkId::new("compress", level), &data, |b, d| {
+            let lvl = CompressionLevel::new(level).unwrap();
+            b.iter(|| deflate(d, lvl).len())
+        });
+    }
+    let compressed = deflate(&data, CompressionLevel::default());
+    group.bench_with_input(BenchmarkId::new("inflate", 6), &compressed, |b, d| {
+        b.iter(|| inflate(d).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = software_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion counterpart of E1/E2: wall-clock of the accelerator model's
+//! compression and decompression across request sizes, with Criterion
+//! `Throughput` so results read in GB/s of *model execution* speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nx_accel::{AccelConfig, Accelerator};
+use nx_bench::SEED;
+
+fn compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_compress");
+    for &size in &[64usize << 10, 1 << 20, 8 << 20] {
+        let data = nx_corpus::mixed(SEED, size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("power9", size), &data, |b, d| {
+            let mut a = Accelerator::new(AccelConfig::power9());
+            b.iter(|| a.compress(d).0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("z15", size), &data, |b, d| {
+            let mut a = Accelerator::new(AccelConfig::z15());
+            b.iter(|| a.compress(d).0.len())
+        });
+    }
+    group.finish();
+}
+
+fn decompression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_decompress");
+    for &size in &[1usize << 20, 8 << 20] {
+        let data = nx_corpus::mixed(SEED, size);
+        let (stream, _) = Accelerator::new(AccelConfig::power9()).compress(&data);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("power9", size), &stream, |b, s| {
+            let mut a = Accelerator::new(AccelConfig::power9());
+            b.iter(|| a.decompress(s).expect("valid").0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = compression, decompression
+}
+criterion_main!(benches);

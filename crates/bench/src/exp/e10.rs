@@ -1,0 +1,74 @@
+//! E10 — End-to-end Spark TPC-DS speedup.
+//!
+//! Paper claim: "the accelerators provide an end-to-end **23 % speedup**
+//! to Apache Spark TPC-DS workload compared to the software baseline."
+//! Reproduced on the deterministic TPC-DS-like mix (see
+//! `nx_analytics::tpcds` for the calibration).
+
+use crate::{Table, SEED};
+use nx_analytics::{tpcds, Cluster, Codec};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "End-to-end Spark-like TPC-DS speedup from offload";
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let jobs = tpcds::query_mix(SEED);
+    let cluster = Cluster::new(24, 1);
+
+    let mut table = Table::new(vec![
+        "codec",
+        "makespan (s)",
+        "core-seconds",
+        "codec CPU %",
+        "shuffle ratio",
+        "wire GB",
+    ]);
+    let mut reports = Vec::new();
+    for codec in [Codec::none(), Codec::software_default(), Codec::nx_offload_default()] {
+        let r = cluster.run(&jobs, &codec);
+        table.row(vec![
+            r.codec.to_string(),
+            format!("{:.1}", r.makespan.as_secs_f64()),
+            format!("{:.1}", r.core_seconds),
+            format!("{:.1}", 100.0 * r.codec_cpu_fraction()),
+            format!("{:.2}x", r.shuffle_ratio()),
+            format!("{:.2}", r.shuffle_on_wire as f64 / 1e9),
+        ]);
+        reports.push(r);
+    }
+    let speedup = (reports[2].speedup_over(&reports[1]) - 1.0) * 100.0;
+    format!(
+        "## E10 — {TITLE}\n\n{} queries on 24 executors with one on-chip accelerator.\n\n{}\
+         \nNX offload end-to-end speedup over the software codec: **{speedup:.1}%** \
+         (paper: 23%).\n",
+        jobs.len(),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_lands_in_the_paper_band() {
+        let jobs = tpcds::query_mix(SEED);
+        let cluster = Cluster::new(24, 1);
+        let sw = cluster.run(&jobs, &Codec::software_default());
+        let nx = cluster.run(&jobs, &Codec::nx_offload_default());
+        let speedup = nx.speedup_over(&sw);
+        assert!((1.10..=1.45).contains(&speedup), "speedup {speedup:.3}");
+    }
+
+    #[test]
+    fn offload_keeps_compression_benefits_on_the_wire() {
+        let jobs = tpcds::query_mix(SEED);
+        let cluster = Cluster::new(24, 1);
+        let none = cluster.run(&jobs, &Codec::none());
+        let nx = cluster.run(&jobs, &Codec::nx_offload_default());
+        assert!(nx.shuffle_on_wire * 3 < none.shuffle_on_wire);
+        // And still beats running uncompressed end-to-end (I/O savings).
+        assert!(nx.makespan <= none.makespan);
+    }
+}

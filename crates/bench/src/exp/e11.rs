@@ -1,0 +1,83 @@
+//! E11 — Processor-cycle offload: CPU cycles per byte compressed.
+//!
+//! Paper claim class: "The accelerator reduces processor cycles ... of
+//! many applications." Software compression burns tens of CPU cycles per
+//! byte; the accelerated path charges the core only for CRB build, paste,
+//! page touches and completion handling.
+
+use crate::{Table, SEED};
+use nx_corpus::CorpusKind;
+use nx_deflate::CompressionLevel;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::workload::SizeDistribution;
+use nx_sys::{CompletionMode, RequestStream, SoftwareBaseline, SystemSim, Topology};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "CPU cycles per byte: software vs accelerated path";
+
+fn accel_cycles_per_byte(mode: CompletionMode, size: u64) -> f64 {
+    let stream = RequestStream::open_loop(
+        SEED,
+        4,
+        500.0,
+        800,
+        SizeDistribution::Fixed(size),
+        &[CorpusKind::Json],
+        Function::Compress,
+    );
+    let mut sim = SystemSim::new(
+        &Topology::power9_chip(),
+        mode,
+        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        SEED,
+    );
+    sim.run(&stream).cpu_cycles_per_byte()
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let sample = nx_corpus::mixed(SEED, 8 << 20);
+    let per_core = SoftwareBaseline::measure_per_core_bps(CompressionLevel::default(), &sample);
+    let sw = SoftwareBaseline::new(1, per_core, 1.0, 2.5);
+
+    let mut table = Table::new(vec!["path", "request size", "CPU cycles/byte"]);
+    table.row(vec![
+        "software zlib-6 (measured)".to_string(),
+        "any".to_string(),
+        format!("{:.1}", sw.cpu_cycles_per_byte()),
+    ]);
+    for &size in &[64u64 << 10, 1 << 20] {
+        for mode in [CompletionMode::Interrupt, CompletionMode::Poll] {
+            table.row(vec![
+                format!("NX + {mode:?}"),
+                crate::fmt_bytes(size),
+                format!("{:.2}", accel_cycles_per_byte(mode, size)),
+            ]);
+        }
+    }
+    format!(
+        "## E11 — {TITLE}\n\nInterrupt completion frees the core during the transfer; \
+         polling trades cycles for latency (see E6).\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_path_offloads_by_orders_of_magnitude() {
+        let accel = accel_cycles_per_byte(CompletionMode::Interrupt, 1 << 20);
+        // Software is tens of cycles/byte; the offloaded path must be < 1.
+        assert!(accel < 1.0, "accelerated path costs {accel:.3} cycles/byte");
+    }
+
+    #[test]
+    fn polling_costs_more_cpu_than_interrupts() {
+        let poll = accel_cycles_per_byte(CompletionMode::Poll, 1 << 20);
+        let intr = accel_cycles_per_byte(CompletionMode::Interrupt, 1 << 20);
+        assert!(poll > intr);
+    }
+}

@@ -1,0 +1,125 @@
+//! E12 — Microarchitecture ablations: the trade-offs that made the
+//! on-chip implementation possible.
+//!
+//! The paper's discussion sections motivate each major design choice;
+//! this experiment quantifies them on the model: lane width (throughput),
+//! history size (ratio), speculative vs greedy cover resolution (ratio at
+//! equal throughput), dynamic vs fixed Huffman (ratio vs latency), and
+//! hash associativity.
+
+use crate::{Table, SEED};
+use nx_accel::{AccelConfig, Accelerator, HuffmanMode, Resolution};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Microarchitecture ablations (ratio and rate vs design choices)";
+
+/// Sample size for each configuration run.
+pub const BYTES: usize = 4 << 20;
+
+struct Probe {
+    label: String,
+    cfg: AccelConfig,
+}
+
+fn probes() -> Vec<Probe> {
+    let base = AccelConfig::power9;
+    let mut v = Vec::new();
+    v.push(Probe { label: "baseline POWER9 (8 lanes, 32K, spec, DHT)".into(), cfg: base() });
+    for lanes in [4usize, 16] {
+        let mut c = base();
+        c.lanes = lanes;
+        v.push(Probe { label: format!("lanes = {lanes}"), cfg: c });
+    }
+    for hist in [8 * 1024usize, 16 * 1024] {
+        let mut c = base();
+        c.history_bytes = hist;
+        v.push(Probe { label: format!("history = {} KiB", hist / 1024), cfg: c });
+    }
+    let mut greedy = base();
+    greedy.resolution = Resolution::Greedy;
+    v.push(Probe { label: "greedy resolution".into(), cfg: greedy });
+    let mut fht = base();
+    fht.huffman = HuffmanMode::Fixed;
+    v.push(Probe { label: "fixed Huffman (FHT)".into(), cfg: fht });
+    let mut canned = base();
+    canned.huffman = HuffmanMode::Canned;
+    v.push(Probe { label: "canned Huffman (preloaded DHT)".into(), cfg: canned });
+    for ways in [1usize, 2, 8] {
+        let mut c = base();
+        c.hash_ways = ways;
+        v.push(Probe { label: format!("hash ways = {ways}"), cfg: c });
+    }
+    v
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let data = nx_corpus::mixed(SEED, BYTES);
+    let mut table =
+        Table::new(vec!["configuration", "ratio", "B/cycle", "GB/s", "latency (us)"]);
+    for p in probes() {
+        let mut a = Accelerator::new(p.cfg);
+        let (_, r) = a.compress(&data);
+        table.row(vec![
+            p.label,
+            format!("{:.3}", r.ratio()),
+            format!("{:.2}", r.bytes_per_cycle()),
+            format!("{:.2}", r.throughput_gbps()),
+            format!("{:.1}", r.latency_secs() * 1e6),
+        ]);
+    }
+    format!(
+        "## E12 — {TITLE}\n\n4 MiB mixed corpus; every row is functionally bit-exact \
+         DEFLATE.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio_and_rate(cfg: AccelConfig) -> (f64, f64) {
+        let data = nx_corpus::mixed(SEED, 1 << 20);
+        let (_, r) = Accelerator::new(cfg).compress(&data);
+        (r.ratio(), r.bytes_per_cycle())
+    }
+
+    #[test]
+    fn wider_lanes_raise_throughput() {
+        let mut narrow = AccelConfig::power9();
+        narrow.lanes = 4;
+        let (_, r4) = ratio_and_rate(narrow);
+        let (_, r8) = ratio_and_rate(AccelConfig::power9());
+        assert!(r8 > 1.5 * r4, "lanes 4→8: {r4:.2} → {r8:.2} B/cycle");
+    }
+
+    #[test]
+    fn smaller_history_costs_ratio_not_rate() {
+        let mut small = AccelConfig::power9();
+        small.history_bytes = 8 * 1024;
+        let (ratio_small, rate_small) = ratio_and_rate(small);
+        let (ratio_full, rate_full) = ratio_and_rate(AccelConfig::power9());
+        assert!(ratio_full >= ratio_small * 0.995, "{ratio_small} vs {ratio_full}");
+        let rate_rel = (rate_small / rate_full - 1.0).abs();
+        assert!(rate_rel < 0.1, "history changed rate by {rate_rel:.2}");
+    }
+
+    #[test]
+    fn fixed_huffman_costs_ratio() {
+        let mut fht = AccelConfig::power9();
+        fht.huffman = HuffmanMode::Fixed;
+        let (ratio_fht, _) = ratio_and_rate(fht);
+        let (ratio_dht, _) = ratio_and_rate(AccelConfig::power9());
+        assert!(ratio_dht > ratio_fht, "{ratio_dht} !> {ratio_fht}");
+    }
+
+    #[test]
+    fn fewer_hash_ways_cost_ratio() {
+        let mut one = AccelConfig::power9();
+        one.hash_ways = 1;
+        let (ratio_1, _) = ratio_and_rate(one);
+        let (ratio_4, _) = ratio_and_rate(AccelConfig::power9());
+        assert!(ratio_4 >= ratio_1, "{ratio_4} vs {ratio_1}");
+    }
+}

@@ -1,0 +1,86 @@
+//! E13 — Area and energy.
+//!
+//! Area cannot be measured in a software model: the first table restates
+//! the **paper's reported constants** (labeled as such); the second
+//! derives energy-per-byte from the parametric model in
+//! `nx_accel::energy` on an actual modeled request, against a software
+//! core's power over its measured wall time.
+
+use crate::{Table, SEED};
+use nx_accel::energy::{paper_claims, EnergyModel};
+use nx_accel::{AccelConfig, Accelerator};
+use nx_deflate::CompressionLevel;
+use nx_sys::SoftwareBaseline;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Area (paper constants) and energy per byte (model)";
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let claims = paper_claims();
+    let mut area = Table::new(vec!["quantity", "value", "source"]);
+    area.row(vec![
+        "accelerator area fraction of POWER9 die".to_string(),
+        format!("< {:.1}%", claims.p9_area_fraction * 100.0),
+        "paper abstract (not measured here)".to_string(),
+    ]);
+    area.row(vec![
+        "implied area per accelerator".to_string(),
+        format!("≈ {:.1} mm²", claims.p9_area_fraction * claims.p9_die_mm2),
+        "derived from published die size".to_string(),
+    ]);
+    area.row(vec![
+        "speedup vs 1 core / vs 24-core chip".to_string(),
+        format!("{:.0}x / {:.0}x", claims.p9_single_core_speedup, claims.p9_chip_speedup),
+        "paper abstract (cf. E3/E4)".to_string(),
+    ]);
+
+    let em = EnergyModel::default();
+    let data = nx_corpus::mixed(SEED, 16 << 20);
+    let mut a = Accelerator::new(AccelConfig::power9());
+    let (_, report) = a.compress(&data);
+    let accel_j = em.accel_compress_energy_j(&report);
+    let accel_nj_b = em.accel_nj_per_byte(&report);
+
+    let per_core =
+        SoftwareBaseline::measure_per_core_bps(CompressionLevel::default(), &data[..4 << 20]);
+    let sw_secs = data.len() as f64 / per_core;
+    let sw_j = em.software_energy_j(sw_secs);
+    let sw_nj_b = sw_j * 1e9 / data.len() as f64;
+
+    let mut energy = Table::new(vec!["path", "energy (J, 16 MiB)", "nJ/byte", "vs accel"]);
+    energy.row(vec![
+        "NX accelerator (model)".to_string(),
+        format!("{accel_j:.4}"),
+        format!("{accel_nj_b:.3}"),
+        "1.0x".to_string(),
+    ]);
+    energy.row(vec![
+        "software core (measured time x core power)".to_string(),
+        format!("{sw_j:.3}"),
+        format!("{sw_nj_b:.2}"),
+        format!("{:.0}x", sw_j / accel_j),
+    ]);
+
+    format!(
+        "## E13 — {TITLE}\n\n### Area (paper-reported)\n\n{}\n### Energy (parametric model)\n\n{}",
+        area.render(),
+        energy.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_advantage_is_large() {
+        let em = EnergyModel::default();
+        let data = nx_corpus::mixed(SEED, 4 << 20);
+        let (_, report) = Accelerator::new(AccelConfig::power9()).compress(&data);
+        let accel = em.accel_compress_energy_j(&report);
+        // Software at a conservative 100 MB/s, 5 W core.
+        let sw = em.software_energy_j(data.len() as f64 / 100e6);
+        assert!(sw / accel > 20.0, "energy advantage only {:.1}x", sw / accel);
+    }
+}

@@ -1,0 +1,132 @@
+//! E14 — Page-fault handling and the 842 engine.
+//!
+//! Two POWER9-specific mechanisms the paper describes:
+//!
+//! 1. **Translation faults**: the NX aborts at the first non-resident
+//!    page with partial progress; software touches and resubmits. The
+//!    sweep shows effective throughput vs fault probability and the
+//!    touch-first mitigation's flat profile.
+//! 2. **The 842 engine**: lower-latency, weaker-ratio compression for
+//!    memory expansion, compared against DEFLATE per corpus.
+
+use crate::{Table, SEED};
+use nx_corpus::CorpusKind;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::{CompletionMode, RequestStream, SystemSim, Topology};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Page-fault handling sweep; 842 vs DEFLATE";
+
+/// Fault probabilities swept (per 64 KiB page).
+pub const FAULT_PROBS: [f64; 6] = [0.0, 0.001, 0.005, 0.01, 0.02, 0.05];
+
+/// One measurement: (throughput GB/s, faults, mean latency µs).
+fn measure(policy: FaultPolicy, open_loop: bool) -> (f64, u64, f64) {
+    let stream = if open_loop {
+        // Moderate load: the per-request fault penalty is visible in
+        // latency rather than hidden by queue overlap.
+        nx_sys::workload::RequestStream::open_loop(
+            SEED,
+            4,
+            400.0,
+            600,
+            nx_sys::workload::SizeDistribution::Fixed(4 << 20),
+            &[CorpusKind::Json, CorpusKind::Logs],
+            Function::Compress,
+        )
+    } else {
+        RequestStream::saturating(
+            SEED,
+            48,
+            4 << 20,
+            &[CorpusKind::Json, CorpusKind::Logs],
+            Function::Compress,
+        )
+    };
+    let mut sim =
+        SystemSim::new(&Topology::power9_chip(), CompletionMode::Interrupt, policy, SEED);
+    let res = sim.run(&stream);
+    (res.throughput_gbps(), res.faults, res.mean_latency_us())
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let mut faults = Table::new(vec![
+        "fault prob/page",
+        "retry GB/s",
+        "retry mean lat (us)",
+        "faults taken",
+        "touch-first GB/s",
+        "touch mean lat (us)",
+    ]);
+    for &p in &FAULT_PROBS {
+        let retry = FaultPolicy::RetryOnFault { fault_probability: p };
+        let touch = FaultPolicy::TouchFirst { fault_probability: p };
+        let (retry_gbps, nfaults, _) = measure(retry, false);
+        let (_, _, retry_lat) = measure(retry, true);
+        let (touch_gbps, _, _) = measure(touch, false);
+        let (_, _, touch_lat) = measure(touch, true);
+        faults.row(vec![
+            format!("{:.1}%", p * 100.0),
+            format!("{retry_gbps:.2}"),
+            format!("{retry_lat:.0}"),
+            nfaults.to_string(),
+            format!("{touch_gbps:.2}"),
+            format!("{touch_lat:.0}"),
+        ]);
+    }
+
+    let mut p842 = Table::new(vec![
+        "corpus",
+        "842 ratio",
+        "DEFLATE(NX) ratio",
+        "842 GB/s",
+        "842 zero-chunks %",
+    ]);
+    let cost = nx_sys::CostModel::calibrate(&nx_accel::AccelConfig::power9(), SEED);
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(SEED, 1 << 20);
+        let (out, stats) = nx_842::compress_with_stats(&data);
+        p842.row(vec![
+            kind.name().to_string(),
+            format!("{:.3}", data.len() as f64 / out.len() as f64),
+            format!("{:.3}", cost.ratio(kind)),
+            format!("{:.2}", cost.compress_rate_842_bps(kind) / 1e9),
+            format!("{:.1}", 100.0 * stats.zero_chunks as f64 / stats.chunks.max(1) as f64),
+        ]);
+    }
+
+    format!(
+        "## E14 — {TITLE}\n\n### Fault sweep (48 x 4 MiB requests, one NX unit)\n\n{}\n\
+         ### 842 vs DEFLATE ratio (1 MiB per corpus)\n\n{}",
+        faults.render(),
+        p842.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_latency_degrade_with_faults() {
+        let (t0, _, l0) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.0 }, false);
+        let (t5, f5, _) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.05 }, false);
+        assert!(t0 >= t5, "{t0} vs {t5}");
+        assert!(f5 > 0);
+        // Open-loop latency shows the per-request penalty clearly.
+        let (_, _, l5) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.05 }, true);
+        let (_, _, l0o) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.0 }, true);
+        assert!(l5 > l0o * 1.02, "latency {l0o} -> {l5}");
+        let _ = l0;
+    }
+
+    #[test]
+    fn touch_first_is_flat_across_fault_rates() {
+        let (a, _, _) = measure(FaultPolicy::TouchFirst { fault_probability: 0.0 }, false);
+        let (b, _, _) = measure(FaultPolicy::TouchFirst { fault_probability: 0.05 }, false);
+        let rel = (a / b - 1.0).abs();
+        assert!(rel < 0.02, "touch-first varied by {rel:.3}");
+    }
+}

@@ -1,0 +1,100 @@
+//! E15 — Submission models: POWER9 asynchronous (paste/CSB) vs z15
+//! synchronous (`DFLTCC`).
+//!
+//! The two shipped generations integrate the same class of engine behind
+//! very different software contracts. POWER9's asynchronous CRB path adds
+//! submission/notification latency but frees the core while the engine
+//! runs; z15's synchronous instruction has near-zero issue overhead but
+//! occupies the issuing core for the whole request (and cores of one chip
+//! serialize on the shared engine). This experiment quantifies both edges
+//! of that trade-off.
+
+use crate::{fmt_bytes, Table, SEED};
+use nx_accel::AccelConfig;
+use nx_corpus::CorpusKind;
+use nx_sim::SimTime;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::zsync::ZsyncPath;
+use nx_sys::{CompletionMode, CostModel, RequestStream, SystemSim, Topology};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Submission models: POWER9 async paste/CSB vs z15 sync DFLTCC";
+
+/// Request sizes swept.
+pub const SIZES: [u64; 4] = [4 << 10, 64 << 10, 1 << 20, 16 << 20];
+
+/// Async-path latency and CPU cycles for one idle-system request.
+fn async_request(size: u64, mode: CompletionMode) -> (f64, u64) {
+    let mut sim = SystemSim::new(
+        &Topology::power9_chip(),
+        mode,
+        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        SEED,
+    );
+    let stream = RequestStream::saturating(SEED, 1, size, &[CorpusKind::Json], Function::Compress);
+    let mut res = sim.run(&stream);
+    (res.p99_latency_us(), res.cpu_cycles)
+}
+
+/// Sync-path latency and CPU cycles for one idle-engine request.
+fn sync_request(size: u64) -> (f64, u64) {
+    let cost = CostModel::calibrate(&AccelConfig::z15(), SEED);
+    let mut path = ZsyncPath::new(cost, 5.2);
+    let o = path.issue(SimTime::ZERO, Function::Compress, CorpusKind::Json, size);
+    (o.core_busy.as_us_f64(), o.cpu_cycles)
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let mut table = Table::new(vec![
+        "size",
+        "P9 async poll lat (us)",
+        "P9 async intr lat (us)",
+        "z15 sync lat (us)",
+        "P9 intr CPU cyc",
+        "z15 sync CPU cyc",
+    ]);
+    for &size in &SIZES {
+        let (poll_lat, _) = async_request(size, CompletionMode::Poll);
+        let (intr_lat, intr_cpu) = async_request(size, CompletionMode::Interrupt);
+        let (sync_lat, sync_cpu) = sync_request(size);
+        table.row(vec![
+            fmt_bytes(size),
+            format!("{poll_lat:.1}"),
+            format!("{intr_lat:.1}"),
+            format!("{sync_lat:.1}"),
+            intr_cpu.to_string(),
+            sync_cpu.to_string(),
+        ]);
+    }
+    format!(
+        "## E15 — {TITLE}\n\nIdle system, JSON-class payload. The sync path wins on \
+         latency (no paste/notification) and the z15 engine is 2x faster, but its \
+         issuing core is busy for the whole request; the async interrupt path costs \
+         microseconds of latency and nearly zero CPU.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_beats_async_on_small_request_latency() {
+        let (intr_lat, _) = async_request(4 << 10, CompletionMode::Interrupt);
+        let (sync_lat, _) = sync_request(4 << 10);
+        assert!(sync_lat < intr_lat, "sync {sync_lat} vs async-intr {intr_lat}");
+    }
+
+    #[test]
+    fn async_interrupt_beats_sync_on_cpu_for_large_requests() {
+        let (_, intr_cpu) = async_request(16 << 20, CompletionMode::Interrupt);
+        let (_, sync_cpu) = sync_request(16 << 20);
+        assert!(
+            sync_cpu > 20 * intr_cpu,
+            "sync {sync_cpu} vs async-intr {intr_cpu} CPU cycles"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! E16 — Chunked-stream throughput vs chunk size.
+//!
+//! Streams larger than one request run as CRB *sequences* with the
+//! previous 32 KB re-streamed as history (DESIGN.md, "Chunked streams").
+//! Small chunks therefore pay the per-CRB overhead *and* the history
+//! reload over and over — the integration-level cousin of E1's
+//! request-size ramp, and the reason the NX library batches aggressively.
+//! Ratio also moves: chunk boundaries cost nothing once the history DDE
+//! carries the window, but each chunk still closes its own DEFLATE block.
+
+use crate::{fmt_bytes, Table, SEED};
+use nx_accel::pipeline::AccelStream;
+use nx_accel::AccelConfig;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Chunked-stream (CRB sequence) throughput vs chunk size";
+
+/// Total stream length.
+pub const TOTAL: usize = 8 << 20;
+
+/// Chunk sizes swept.
+pub const CHUNKS: [usize; 6] = [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, TOTAL];
+
+/// Runs one sweep point; returns (cycles, output bytes).
+fn run_chunked(data: &[u8], chunk: usize) -> (u64, usize) {
+    let mut s = AccelStream::new(AccelConfig::power9());
+    let mut out = 0usize;
+    let chunks: Vec<&[u8]> = data.chunks(chunk).collect();
+    for (i, c) in chunks.iter().enumerate() {
+        let (bytes, _) = s.write(c, i + 1 == chunks.len());
+        out += bytes.len();
+    }
+    (s.total_cycles(), out)
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let data = nx_corpus::mixed(SEED, TOTAL);
+    let mut table = Table::new(vec![
+        "chunk size",
+        "CRBs",
+        "GB/s",
+        "vs one-shot",
+        "ratio",
+    ]);
+    let (oneshot_cycles, _) = run_chunked(&data, TOTAL);
+    for &chunk in &CHUNKS {
+        let (cycles, out) = run_chunked(&data, chunk);
+        let gbps = data.len() as f64 / cycles as f64 * 2.0; // 2 GHz
+        table.row(vec![
+            fmt_bytes(chunk as u64),
+            data.len().div_ceil(chunk).to_string(),
+            format!("{gbps:.2}"),
+            format!("{:.2}x", oneshot_cycles as f64 / cycles as f64),
+            format!("{:.3}", data.len() as f64 / out as f64),
+        ]);
+    }
+    format!(
+        "## E16 — {TITLE}\n\n8 MiB mixed stream through POWER9 chunked CRB sessions \
+         (history carried across chunks). Small chunks re-pay request overhead and \
+         history reload per CRB.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_chunks_cost_throughput() {
+        let data = nx_corpus::mixed(SEED, 1 << 20);
+        let (small_cycles, _) = run_chunked(&data, 8 << 10);
+        let (large_cycles, _) = run_chunked(&data, 1 << 20);
+        assert!(
+            small_cycles as f64 > 1.5 * large_cycles as f64,
+            "8 KiB chunks: {small_cycles} vs one-shot {large_cycles}"
+        );
+    }
+
+    #[test]
+    fn every_sweep_point_is_lossless() {
+        let data = nx_corpus::mixed(SEED, 256 << 10);
+        for &chunk in &[4 << 10, 64 << 10] {
+            let mut s = AccelStream::new(AccelConfig::power9());
+            let mut out = Vec::new();
+            let chunks: Vec<&[u8]> = data.chunks(chunk).collect();
+            for (i, c) in chunks.iter().enumerate() {
+                out.extend(s.write(c, i + 1 == chunks.len()).0);
+            }
+            assert_eq!(nx_deflate::inflate(&out).unwrap(), data, "chunk {chunk}");
+        }
+    }
+}

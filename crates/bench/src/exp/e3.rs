@@ -1,0 +1,76 @@
+//! E3 — Single-accelerator speedup over single-core zlib software.
+//!
+//! Paper claim: **388× over the zlib compression software running on a
+//! general-purpose core**. Here the software side is this workspace's
+//! from-scratch DEFLATE measured in wall-clock on the host machine, and
+//! the accelerator side is the modeled engine latency at its 2 GHz clock
+//! — the same methodology, so the *magnitude class* (hundreds of ×, and
+//! growing with the software level) is the reproduced quantity.
+
+use crate::{Table, SEED};
+use nx_accel::{AccelConfig, Accelerator};
+use nx_deflate::{deflate, CompressionLevel};
+use std::time::Instant;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Speedup of one accelerator over one software core";
+
+/// Input size for the comparison.
+pub const BYTES: usize = 64 << 20;
+
+/// Measures one software level's wall-clock rate, B/s.
+fn software_rate(data: &[u8], level: u32) -> f64 {
+    let lvl = CompressionLevel::new(level).expect("valid level");
+    // One warmup, then the timed run.
+    std::hint::black_box(deflate(&data[..data.len() / 8], lvl));
+    let t0 = Instant::now();
+    std::hint::black_box(deflate(data, lvl));
+    data.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let data = nx_corpus::mixed(SEED, BYTES);
+    let mut p9 = Accelerator::new(AccelConfig::power9());
+    let (_, report) = p9.compress(&data);
+    let accel_secs = report.latency_secs();
+    let accel_gbps = report.throughput_gbps();
+
+    let mut table = Table::new(vec![
+        "software level",
+        "sw MB/s (host)",
+        "accel GB/s (model)",
+        "speedup",
+    ]);
+    for level in [1u32, 6, 9] {
+        let sw_bps = software_rate(&data, level);
+        let sw_secs = BYTES as f64 / sw_bps;
+        table.row(vec![
+            format!("zlib -{level}"),
+            format!("{:.1}", sw_bps / 1e6),
+            format!("{accel_gbps:.2}"),
+            format!("{:.0}x", sw_secs / accel_secs),
+        ]);
+    }
+    format!(
+        "## E3 — {TITLE}\n\n64 MiB mixed corpus. Software wall-clock is host-dependent; \
+         the paper reports 388x against its baseline.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_in_the_hundreds() {
+        // Smaller input to keep the test quick; speedup is size-robust.
+        let data = nx_corpus::mixed(SEED, 8 << 20);
+        let mut p9 = Accelerator::new(AccelConfig::power9());
+        let (_, report) = p9.compress(&data);
+        let sw_bps = software_rate(&data, 6);
+        let speedup = (data.len() as f64 / sw_bps) / report.latency_secs();
+        assert!(speedup > 30.0, "speedup only {speedup:.0}x");
+    }
+}

@@ -1,0 +1,74 @@
+//! E4 — Accelerator vs the entire chip of cores.
+//!
+//! Paper claim: **13× speedup over the entire chip of cores** (24 SMT
+//! cores running zlib in parallel). The software chip rate is the
+//! measured single-core rate × 24 cores × a parallel efficiency of 0.85
+//! (shared cache/memory bandwidth); the accelerator side is one NX unit's
+//! modeled effective rate.
+
+use crate::{Table, SEED};
+use nx_accel::{AccelConfig, Accelerator};
+use nx_deflate::CompressionLevel;
+use nx_sys::SoftwareBaseline;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "One accelerator vs a 24-core chip running software zlib";
+
+/// POWER9 SMT cores per chip.
+pub const CHIP_CORES: usize = 24;
+
+/// Parallel efficiency of chip-wide software compression.
+pub const MT_EFFICIENCY: f64 = 0.85;
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let sample = nx_corpus::mixed(SEED, 8 << 20);
+    let per_core =
+        SoftwareBaseline::measure_per_core_bps(CompressionLevel::default(), &sample);
+    let sw = SoftwareBaseline::new(CHIP_CORES, per_core, MT_EFFICIENCY, 2.5);
+
+    let data = nx_corpus::mixed(SEED, 32 << 20);
+    let mut p9 = Accelerator::new(AccelConfig::power9());
+    let (_, report) = p9.compress(&data);
+    let accel_bps = data.len() as f64 / report.latency_secs();
+
+    let mut table = Table::new(vec!["configuration", "rate GB/s", "vs 1 core", "vs 24-core chip"]);
+    table.row(vec![
+        "1 core, zlib-6 (measured)".to_string(),
+        format!("{:.3}", per_core / 1e9),
+        "1.0x".to_string(),
+        format!("{:.2}x", per_core / sw.chip_rate_bps()),
+    ]);
+    table.row(vec![
+        format!("{CHIP_CORES} cores, zlib-6 (eff {MT_EFFICIENCY})"),
+        format!("{:.3}", sw.chip_rate_bps() / 1e9),
+        format!("{:.1}x", sw.chip_rate_bps() / per_core),
+        "1.0x".to_string(),
+    ]);
+    table.row(vec![
+        "1 NX accelerator (model)".to_string(),
+        format!("{:.2}", accel_bps / 1e9),
+        format!("{:.0}x", accel_bps / per_core),
+        format!("{:.1}x", accel_bps / sw.chip_rate_bps()),
+    ]);
+    format!(
+        "## E4 — {TITLE}\n\nPaper: 388x vs one core, 13x vs the whole chip. The chip \
+         column's magnitude tracks the host's measured software rate.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_speedup_is_single_core_over_effective_cores() {
+        let sw = SoftwareBaseline::new(CHIP_CORES, 50e6, MT_EFFICIENCY, 2.5);
+        // If the accel is 388x one core, it is 388/(24*0.85) ≈ 19x the chip.
+        let accel_bps = 388.0 * 50e6;
+        let vs_chip = accel_bps / sw.chip_rate_bps();
+        assert!((vs_chip - 388.0 / (24.0 * 0.85)).abs() < 1e-9);
+        assert!((10.0..25.0).contains(&vs_chip));
+    }
+}

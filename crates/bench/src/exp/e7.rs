@@ -1,0 +1,104 @@
+//! E7 — Shared-accelerator scaling: throughput and tail latency vs
+//! concurrent users.
+//!
+//! Paper shape reproduced: one NX unit serves many user-mode windows;
+//! throughput grows with offered load until the engine saturates, after
+//! which p99 latency climbs steeply (the queueing knee).
+
+use crate::{Table, SEED};
+use nx_corpus::CorpusKind;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::workload::SizeDistribution;
+use nx_sys::{CompletionMode, RequestStream, SystemSim, Topology};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Shared-accelerator scaling: users vs throughput and p99 latency";
+
+/// User counts swept.
+pub const USERS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Per-user request rate (requests/second of 256 KiB buffers ⇒ each user
+/// offers ≈ 0.5 GB/s).
+pub const PER_USER_HZ: f64 = 2_000.0;
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let topo = Topology::power9_chip();
+    let mix = [CorpusKind::Json, CorpusKind::Logs, CorpusKind::Columnar];
+    let mut table = Table::new(vec![
+        "users",
+        "offered GB/s",
+        "achieved GB/s",
+        "mean lat (us)",
+        "p99 lat (us)",
+    ]);
+    for &users in &USERS {
+        let stream = RequestStream::open_loop(
+            SEED,
+            users,
+            PER_USER_HZ,
+            3_000,
+            SizeDistribution::Fixed(256 << 10),
+            &mix,
+            Function::Compress,
+        );
+        let offered = stream.total_bytes() as f64
+            / stream.requests().last().expect("nonempty").arrival.as_secs_f64()
+            / 1e9;
+        let mut sim = SystemSim::new(
+            &topo,
+            CompletionMode::Poll,
+            FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+            SEED,
+        );
+        let mut res = sim.run(&stream);
+        table.row(vec![
+            users.to_string(),
+            format!("{offered:.2}"),
+            format!("{:.2}", res.throughput_gbps()),
+            format!("{:.1}", res.mean_latency_us()),
+            format!("{:.1}", res.p99_latency_us()),
+        ]);
+    }
+    format!(
+        "## E7 — {TITLE}\n\nOne POWER9 NX unit; open-loop Poisson users, 256 KiB \
+         requests at {PER_USER_HZ} req/s each.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_knee_appears() {
+        let topo = Topology::power9_chip();
+        let mix = [CorpusKind::Json];
+        let run_users = |users: u32| {
+            let stream = RequestStream::open_loop(
+                SEED,
+                users,
+                PER_USER_HZ,
+                1_500,
+                SizeDistribution::Fixed(256 << 10),
+                &mix,
+                Function::Compress,
+            );
+            let mut sim = SystemSim::new(
+                &topo,
+                CompletionMode::Poll,
+                FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+                SEED,
+            );
+            let mut res = sim.run(&stream);
+            (res.throughput_gbps(), res.p99_latency_us())
+        };
+        let (t2, l2) = run_users(2);
+        let (t64, l64) = run_users(64);
+        // Throughput grows toward saturation, latency explodes past it.
+        assert!(t64 > 3.0 * t2, "throughput {t2} -> {t64}");
+        assert!(l64 > 10.0 * l2, "latency {l2} -> {l64}");
+    }
+}

@@ -1,0 +1,60 @@
+//! E8 — Generation comparison: z15 doubles the POWER9 rate.
+//!
+//! Paper claim: "The z15 chip doubles the compression rate of POWER9."
+//! Reproduced per corpus class for both directions.
+
+use crate::{Table, SEED};
+use nx_accel::{AccelConfig, Accelerator};
+use nx_corpus::CorpusKind;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "POWER9 vs z15 per-engine rates by corpus";
+
+/// Sample size per corpus.
+pub const BYTES: usize = 4 << 20;
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let mut p9 = Accelerator::new(AccelConfig::power9());
+    let mut z15 = Accelerator::new(AccelConfig::z15());
+    let mut table = Table::new(vec![
+        "corpus",
+        "P9 comp GB/s",
+        "z15 comp GB/s",
+        "comp gain",
+        "P9 dec GB/s",
+        "z15 dec GB/s",
+    ]);
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(SEED, BYTES);
+        let (s9, c9) = p9.compress(&data);
+        let (_, c15) = z15.compress(&data);
+        let (_, d9) = p9.decompress(&s9).expect("own stream");
+        let (_, d15) = z15.decompress(&s9).expect("own stream");
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", c9.throughput_gbps()),
+            format!("{:.2}", c15.throughput_gbps()),
+            format!("{:.2}x", c15.throughput_gbps() / c9.throughput_gbps()),
+            format!("{:.2}", d9.throughput_gbps()),
+            format!("{:.2}", d15.throughput_gbps()),
+        ]);
+    }
+    format!("## E8 — {TITLE}\n\n4 MiB per corpus.\n\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z15_gains_approach_2x_on_compressible_classes() {
+        let mut p9 = Accelerator::new(AccelConfig::power9());
+        let mut z15 = Accelerator::new(AccelConfig::z15());
+        let data = CorpusKind::Logs.generate(SEED, 2 << 20);
+        let (_, c9) = p9.compress(&data);
+        let (_, c15) = z15.compress(&data);
+        let gain = c15.throughput_gbps() / c9.throughput_gbps();
+        assert!((1.5..=2.4).contains(&gain), "gain {gain:.2}");
+    }
+}

@@ -1,0 +1,87 @@
+//! E9 — Aggregate throughput across system topologies.
+//!
+//! Paper claim: "On a maximally configured z15 system topology, on-chip
+//! compression accelerators provide **up to 280 GB/s** data compression
+//! rate." Reproduced as a topology sweep under saturating load (see the
+//! drawer-modeling substitution note in `nx_sys::chip`).
+
+use crate::{Table, SEED};
+use nx_corpus::CorpusKind;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::{CompletionMode, RequestStream, SystemSim, Topology};
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Aggregate compression rate vs system topology";
+
+fn saturated_gbps(topo: &Topology) -> f64 {
+    let per_unit_jobs = 48;
+    let stream = RequestStream::saturating(
+        SEED,
+        per_unit_jobs * topo.total_units(),
+        8 << 20,
+        &[CorpusKind::Json, CorpusKind::Logs, CorpusKind::Columnar],
+        Function::Compress,
+    );
+    let mut sim = SystemSim::new(
+        topo,
+        CompletionMode::Poll,
+        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        SEED,
+    );
+    sim.run(&stream).throughput_gbps()
+}
+
+/// Runs the experiment and renders its report.
+pub fn run() -> String {
+    let topologies = vec![
+        Topology::power9_chip(),
+        Topology::power9_two_socket(),
+        Topology::z15_chip(),
+        Topology::z15_drawers(1),
+        Topology::z15_drawers(2),
+        Topology::z15_drawers(3),
+        Topology::z15_drawers(4),
+        Topology::z15_max(),
+    ];
+    let mut table =
+        Table::new(vec!["topology", "units", "peak GB/s", "achieved GB/s", "efficiency"]);
+    for topo in &topologies {
+        let achieved = saturated_gbps(topo);
+        let peak = topo.peak_compress_bps() / 1e9;
+        table.row(vec![
+            topo.name.clone(),
+            topo.total_units().to_string(),
+            format!("{peak:.0}"),
+            format!("{achieved:.1}"),
+            format!("{:.0}%", 100.0 * achieved / peak),
+        ]);
+    }
+    format!(
+        "## E9 — {TITLE}\n\nSaturating batch of 8 MiB requests; the z15 max row \
+         reproduces the paper's 280 GB/s headline.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z15_max_lands_near_280() {
+        let achieved = saturated_gbps(&Topology::z15_max());
+        assert!(
+            (230.0..=330.0).contains(&achieved),
+            "z15 max aggregate {achieved:.1} GB/s"
+        );
+    }
+
+    #[test]
+    fn scaling_is_roughly_linear_in_units() {
+        let one = saturated_gbps(&Topology::z15_drawers(1));
+        let three = saturated_gbps(&Topology::z15_drawers(3));
+        let ratio = three / one;
+        assert!((2.5..=3.5).contains(&ratio), "1->3 drawer scaling {ratio:.2}");
+    }
+}

@@ -1,0 +1,124 @@
+#![warn(missing_docs)]
+
+//! `nx-bench` — the experiment harness of the `nxsim` reproduction.
+//!
+//! Every table and figure of the paper's evaluation has an experiment
+//! module `exp::e1` … `exp::e14` (see DESIGN.md for the full index) and a
+//! row in the `tables` binary:
+//!
+//! ```text
+//! cargo run --release -p nx-bench --bin tables -- all
+//! cargo run --release -p nx-bench --bin tables -- e5 e10
+//! ```
+//!
+//! The Criterion benches (`cargo bench -p nx-bench`) provide the
+//! wall-clock timing counterparts for the compute-bound experiments.
+
+pub mod exp;
+
+/// The standard seed all experiments use (determinism across runs).
+pub const SEED: u64 = 0x5EED_2020;
+
+/// Formats a byte count compactly (KB/MB/GB, power-of-two units).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{} GiB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{} MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{} KiB", b >> 10)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// A markdown table writer: fixed column layout, pipe-separated.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Adds one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(width) {
+                line.push_str(&format!(" {:>w$} |", c, w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('|');
+        for w in &width {
+            out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(4096), "4 KiB");
+        assert_eq!(fmt_bytes(64 << 20), "64 MiB");
+        assert_eq!(fmt_bytes(2 << 30), "2 GiB");
+    }
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(vec!["size", "GB/s"]);
+        t.row(vec!["4 KiB", "1.25"]);
+        t.row(vec!["64 MiB", "13.60"]);
+        let r = t.render();
+        assert!(r.starts_with('|'));
+        assert_eq!(r.lines().count(), 4);
+        for line in r.lines() {
+            assert_eq!(line.matches('|').count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Asynchronous job sessions.
+//!
+//! POWER9 software submits CRBs and continues working, collecting CSBs
+//! later. [`AsyncSession`] reproduces that usage model in API form: jobs
+//! go over a channel to a dedicated engine thread (one engine = one NX
+//! unit, jobs served FIFO) and each submission returns a [`JobHandle`]
+//! whose [`wait`](JobHandle::wait) delivers the result.
+
+use crate::framing::{self, Format};
+use crate::stats::NxStats;
+use crate::{Compressed, Error, Result};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use nx_accel::{AccelConfig, Accelerator};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Cmd {
+    Compress { data: Vec<u8>, format: Format, reply: Sender<Result<Compressed>> },
+    Shutdown,
+}
+
+/// A queued-submission session backed by one engine thread.
+///
+/// Dropping the session shuts the engine down after draining queued jobs.
+#[derive(Debug)]
+pub struct AsyncSession {
+    tx: Sender<Cmd>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A pending job's completion handle.
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: Receiver<Result<Compressed>>,
+}
+
+impl JobHandle {
+    /// Blocks until the engine finishes this job.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EngineClosed`] if the engine stopped before completing it.
+    pub fn wait(self) -> Result<Compressed> {
+        self.rx.recv().map_err(|_| Error::EngineClosed)?
+    }
+
+    /// Non-blocking check; returns the handle back if still pending.
+    ///
+    /// # Errors
+    ///
+    /// As [`wait`](Self::wait), once complete.
+    pub fn try_wait(self) -> std::result::Result<Result<Compressed>, JobHandle> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(r),
+            Err(crossbeam::channel::TryRecvError::Empty) => Err(self),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Ok(Err(Error::EngineClosed)),
+        }
+    }
+}
+
+impl AsyncSession {
+    /// Spawns the engine thread.
+    pub(crate) fn spawn(config: AccelConfig, stats: Arc<NxStats>) -> Self {
+        let (tx, rx) = unbounded::<Cmd>();
+        let worker = std::thread::Builder::new()
+            .name("nx-engine".into())
+            .spawn(move || {
+                let mut engine = Accelerator::new(config);
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Compress { data, format, reply } => {
+                            let (raw, report) = engine.compress(&data);
+                            let bytes = framing::wrap(raw, &data, format);
+                            stats.record_compress(
+                                data.len() as u64,
+                                bytes.len() as u64,
+                                report.cycles,
+                            );
+                            // Receiver may have been dropped; that's fine.
+                            let _ = reply.send(Ok(Compressed { bytes, report }));
+                        }
+                        Cmd::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn engine thread");
+        Self { tx, worker: Some(worker) }
+    }
+
+    /// Queues a compression job; returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EngineClosed`] if the engine thread has exited.
+    pub fn submit(&self, data: Vec<u8>, format: Format) -> Result<JobHandle> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Cmd::Compress { data, format, reply })
+            .map_err(|_| Error::EngineClosed)?;
+        Ok(JobHandle { rx })
+    }
+
+    /// Shuts the engine down after draining queued jobs, waiting for the
+    /// thread to exit. Preferred over `drop` when callers want to observe
+    /// completion.
+    pub fn close(mut self) {
+        self.close_inner();
+    }
+
+    fn close_inner(&mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AsyncSession {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nx;
+
+    #[test]
+    fn async_jobs_complete_in_order() {
+        let nx = Nx::power9();
+        let session = nx.async_session();
+        let inputs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 20_000]).collect();
+        let handles: Vec<JobHandle> = inputs
+            .iter()
+            .map(|d| session.submit(d.clone(), Format::Gzip).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let c = h.wait().unwrap();
+            let d = nx.decompress(&c.bytes, Format::Gzip).unwrap();
+            assert_eq!(d.bytes, inputs[i]);
+        }
+        session.close();
+        assert_eq!(nx.stats().compress_requests(), 8);
+    }
+
+    #[test]
+    fn try_wait_eventually_succeeds() {
+        let nx = Nx::z15();
+        let session = nx.async_session();
+        let mut handle = session.submit(vec![7u8; 100_000], Format::Zlib).unwrap();
+        let result = loop {
+            match handle.try_wait() {
+                Ok(r) => break r,
+                Err(h) => {
+                    handle = h;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert!(result.unwrap().bytes.len() < 100_000);
+    }
+
+    #[test]
+    fn submit_after_close_fails() {
+        let nx = Nx::power9();
+        let session = nx.async_session();
+        let _ = session.tx.send(Cmd::Shutdown);
+        // Wait for the worker to exit, then submissions fail.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let r = session.submit(vec![1, 2, 3], Format::RawDeflate);
+        if let Ok(h) = r {
+            // Raced the shutdown: the reply channel must then disconnect.
+            assert!(matches!(h.wait(), Err(Error::EngineClosed) | Ok(_)));
+        }
+    }
+
+    #[test]
+    fn drop_drains_cleanly() {
+        let nx = Nx::power9();
+        {
+            let session = nx.async_session();
+            let _h = session.submit(vec![9u8; 50_000], Format::Gzip).unwrap();
+            // Dropped with a job still possibly in flight.
+        }
+        // No panic, no deadlock.
+    }
+}

@@ -1,0 +1,158 @@
+//! Output framing: raw DEFLATE, gzip (RFC 1952) or zlib (RFC 1950).
+//!
+//! The accelerator computes CRC-32/Adler-32 inline with the data movement;
+//! the facade reproduces that by checksumming the payload once while
+//! wrapping.
+
+use crate::Result;
+use nx_deflate::{adler32::adler32, crc32::crc32, gzip, zlib, Error as DeflateError};
+
+/// Container format for accelerator output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Bare RFC 1951 stream, no checksum.
+    RawDeflate,
+    /// gzip member with CRC-32 + length trailer.
+    Gzip,
+    /// zlib stream with Adler-32 trailer.
+    Zlib,
+}
+
+/// Wraps an accelerator-produced raw stream in the requested container.
+pub(crate) fn wrap(raw: Vec<u8>, original: &[u8], format: Format) -> Vec<u8> {
+    match format {
+        Format::RawDeflate => raw,
+        Format::Gzip => gzip::wrap_deflate(&raw, crc32(original), original.len() as u64),
+        Format::Zlib => zlib::wrap_deflate(&raw, adler32(original)),
+    }
+}
+
+/// A parsed container: the raw stream plus the trailer expectations.
+#[derive(Debug)]
+pub(crate) struct Unwrapped<'a> {
+    /// The raw DEFLATE payload.
+    pub deflate_stream: &'a [u8],
+    expected_crc32: Option<u32>,
+    expected_adler: Option<u32>,
+    expected_len: Option<u32>,
+}
+
+impl Unwrapped<'_> {
+    /// Verifies the decoded payload against the container trailer.
+    pub fn verify(&self, decoded: &[u8]) -> Result<()> {
+        if let Some(c) = self.expected_crc32 {
+            if c != crc32(decoded) {
+                return Err(DeflateError::GzipChecksumMismatch.into());
+            }
+        }
+        if let Some(l) = self.expected_len {
+            if l != (decoded.len() & 0xFFFF_FFFF) as u32 {
+                return Err(DeflateError::GzipChecksumMismatch.into());
+            }
+        }
+        if let Some(a) = self.expected_adler {
+            if a != adler32(decoded) {
+                return Err(DeflateError::ZlibChecksumMismatch.into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a container down to its raw DEFLATE payload without inflating.
+pub(crate) fn unwrap(data: &[u8], format: Format) -> Result<Unwrapped<'_>> {
+    match format {
+        Format::RawDeflate => Ok(Unwrapped {
+            deflate_stream: data,
+            expected_crc32: None,
+            expected_adler: None,
+            expected_len: None,
+        }),
+        Format::Gzip => {
+            // Minimal header parse (no optional fields produced by the
+            // accelerator path; full parsing lives in nx_deflate::gzip).
+            if data.len() < 18 {
+                return Err(DeflateError::UnexpectedEof.into());
+            }
+            if data[0..2] != [0x1F, 0x8B] || data[2] != 8 {
+                return Err(DeflateError::BadGzipHeader.into());
+            }
+            if data[3] != 0 {
+                // Optional fields present: fall back to the full parser
+                // for the header length, then slice.
+                let (_, _, _used) = gzip::decompress_with_header(data)?;
+                // Full path already verified everything; represent that.
+                return Ok(Unwrapped {
+                    deflate_stream: &data[10..data.len() - 8],
+                    expected_crc32: None,
+                    expected_adler: None,
+                    expected_len: None,
+                });
+            }
+            let n = data.len();
+            Ok(Unwrapped {
+                deflate_stream: &data[10..n - 8],
+                expected_crc32: Some(u32::from_le_bytes(data[n - 8..n - 4].try_into().expect("4"))),
+                expected_len: Some(u32::from_le_bytes(data[n - 4..].try_into().expect("4"))),
+                expected_adler: None,
+            })
+        }
+        Format::Zlib => {
+            if data.len() < 6 {
+                return Err(DeflateError::UnexpectedEof.into());
+            }
+            if data[0] & 0x0F != 8
+                || (u16::from(data[0]) * 256 + u16::from(data[1])) % 31 != 0
+                || data[1] & 0x20 != 0
+            {
+                return Err(DeflateError::BadZlibHeader.into());
+            }
+            let n = data.len();
+            Ok(Unwrapped {
+                deflate_stream: &data[2..n - 4],
+                expected_adler: Some(u32::from_be_bytes(data[n - 4..].try_into().expect("4"))),
+                expected_crc32: None,
+                expected_len: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+    use nx_deflate::{deflate, CompressionLevel};
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        let data = b"framing roundtrip payload";
+        let raw = deflate(data, CompressionLevel::default());
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            let framed = wrap(raw.clone(), data, format);
+            let un = unwrap(&framed, format).unwrap();
+            assert_eq!(
+                nx_deflate::inflate(un.deflate_stream).unwrap(),
+                data,
+                "{format:?}"
+            );
+            un.verify(data).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_catches_wrong_payload() {
+        let data = b"the true payload";
+        let raw = deflate(data, CompressionLevel::default());
+        let framed = wrap(raw, data, Format::Gzip);
+        let un = unwrap(&framed, Format::Gzip).unwrap();
+        assert!(matches!(un.verify(b"another payload"), Err(Error::Deflate(_))));
+    }
+
+    #[test]
+    fn bad_headers_rejected() {
+        assert!(unwrap(&[0u8; 20], Format::Gzip).is_err());
+        assert!(unwrap(&[0u8; 8], Format::Zlib).is_err());
+        assert!(unwrap(&[], Format::Gzip).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+#![warn(missing_docs)]
+
+//! `nx-core` — the user-facing library of the `nxsim` stack: a modeled
+//! IBM POWER9/z15 on-chip compression accelerator behind the API a
+//! downstream application would actually adopt.
+//!
+//! * [`Nx`] is an accelerator handle: synchronous compress/decompress in
+//!   raw-DEFLATE, gzip or zlib [`Format`]s, 842 for memory-compression
+//!   use cases, per-request [cycle reports](nx_accel::CompressReport) and
+//!   aggregate [`NxStats`].
+//! * [`AsyncSession`] queues jobs to a background engine thread —
+//!   mirroring the asynchronous paste/CSB usage model on POWER9 — and
+//!   hands back [`JobHandle`]s to wait on.
+//! * [`software`] exposes the zlib-level software path for baselines and
+//!   fallback.
+//!
+//! ```
+//! use nx_core::{Format, Nx};
+//!
+//! # fn main() -> Result<(), nx_core::Error> {
+//! let nx = Nx::power9();
+//! let data = b"hello hello hello hello".repeat(20);
+//! let gz = nx.compress(&data, Format::Gzip)?;
+//! assert!(gz.bytes.len() < data.len());
+//! let back = nx.decompress(&gz.bytes, Format::Gzip)?;
+//! assert_eq!(back.bytes, data);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod async_queue;
+pub mod framing;
+pub mod software;
+pub mod stats;
+pub mod stream;
+
+pub use async_queue::{AsyncSession, JobHandle};
+pub use framing::Format;
+pub use stats::NxStats;
+pub use stream::GzipStream;
+
+use nx_accel::{AccelConfig, Accelerator, CompressReport, DecompressReport};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by the facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The DEFLATE/gzip/zlib payload was malformed.
+    Deflate(nx_deflate::Error),
+    /// The 842 payload was malformed.
+    P842(nx_842::Error),
+    /// The async engine was shut down before the job completed.
+    EngineClosed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Deflate(e) => write!(f, "deflate error: {e}"),
+            Error::P842(e) => write!(f, "842 error: {e}"),
+            Error::EngineClosed => write!(f, "accelerator engine closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Deflate(e) => Some(e),
+            Error::P842(e) => Some(e),
+            Error::EngineClosed => None,
+        }
+    }
+}
+
+impl From<nx_deflate::Error> for Error {
+    fn from(e: nx_deflate::Error) -> Self {
+        Error::Deflate(e)
+    }
+}
+
+impl From<nx_842::Error> for Error {
+    fn from(e: nx_842::Error) -> Self {
+        Error::P842(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A compression result: the produced bytes plus the engine's cycle
+/// report.
+#[derive(Debug, Clone)]
+pub struct Compressed {
+    /// The framed output.
+    pub bytes: Vec<u8>,
+    /// The engine's cycle accounting for this request.
+    pub report: CompressReport,
+}
+
+/// A decompression result.
+#[derive(Debug, Clone)]
+pub struct Decompressed {
+    /// The recovered payload.
+    pub bytes: Vec<u8>,
+    /// The engine's cycle accounting for this request.
+    pub report: DecompressReport,
+}
+
+/// A handle to one modeled accelerator unit.
+///
+/// Cloning shares the underlying engine (and its statistics), like
+/// multiple threads sharing one NX unit through their VAS windows.
+#[derive(Debug, Clone)]
+pub struct Nx {
+    inner: Arc<Mutex<Accelerator>>,
+    stats: Arc<NxStats>,
+    config: AccelConfig,
+}
+
+impl Nx {
+    /// Creates a handle with an explicit configuration.
+    pub fn new(config: AccelConfig) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Accelerator::new(config.clone()))),
+            stats: Arc::new(NxStats::new()),
+            config,
+        }
+    }
+
+    /// A POWER9 NX gzip accelerator.
+    pub fn power9() -> Self {
+        Self::new(AccelConfig::power9())
+    }
+
+    /// A z15 zEDC accelerator.
+    pub fn z15() -> Self {
+        Self::new(AccelConfig::z15())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics across all requests on this handle.
+    pub fn stats(&self) -> &NxStats {
+        &self.stats
+    }
+
+    /// Compresses `data` into `format` framing on the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for compression today; the `Result` reserves room for
+    /// job-submission failures (queue shutdown) shared with the async
+    /// path.
+    pub fn compress(&self, data: &[u8], format: Format) -> Result<Compressed> {
+        let (raw, report) = self.inner.lock().compress(data);
+        let bytes = framing::wrap(raw, data, format);
+        self.stats.record_compress(data.len() as u64, bytes.len() as u64, report.cycles);
+        Ok(Compressed { bytes, report })
+    }
+
+    /// Decompresses `format`-framed `data` on the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] if the container or stream is malformed.
+    pub fn decompress(&self, data: &[u8], format: Format) -> Result<Decompressed> {
+        let payload = framing::unwrap(data, format)?;
+        let (bytes, report) = self.inner.lock().decompress(payload.deflate_stream)?;
+        payload.verify(&bytes)?;
+        self.stats.record_decompress(data.len() as u64, bytes.len() as u64, report.cycles);
+        Ok(Decompressed { bytes, report })
+    }
+
+    /// Compresses with the 842 memory-compression engine.
+    pub fn compress_842(&self, data: &[u8]) -> Vec<u8> {
+        let out = nx_842::compress(data);
+        self.stats.record_compress(data.len() as u64, out.len() as u64, 0);
+        out
+    }
+
+    /// Decompresses an 842 stream.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::P842`] if the stream is malformed.
+    pub fn decompress_842(&self, data: &[u8]) -> Result<Vec<u8>> {
+        let out = nx_842::decompress(data)?;
+        self.stats.record_decompress(data.len() as u64, out.len() as u64, 0);
+        Ok(out)
+    }
+
+    /// Opens an asynchronous session: jobs are queued to a dedicated
+    /// engine thread, as with POWER9's asynchronous CRB submission.
+    pub fn async_session(&self) -> AsyncSession {
+        AsyncSession::spawn(self.config.clone(), Arc::clone(&self.stats))
+    }
+
+    /// Compresses with an explicit target-buffer capacity, reproducing the
+    /// CSB **target space exhausted** protocol: if the output would
+    /// overflow the target DDE, the engine aborts partway, the library
+    /// doubles the buffer and resubmits. Each aborted attempt costs engine
+    /// cycles proportional to the fraction of output it produced before
+    /// running out of space; the returned report's `cycles` include all
+    /// attempts.
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_capacity == 0`.
+    pub fn compress_bounded(
+        &self,
+        data: &[u8],
+        format: Format,
+        target_capacity: usize,
+    ) -> Result<BoundedOutcome> {
+        assert!(target_capacity > 0, "target buffer must be non-empty");
+        let mut compressed = self.compress(data, format)?;
+        let needed = compressed.bytes.len();
+        let mut capacity = target_capacity;
+        let mut attempts = 1u32;
+        let full_cycles = compressed.report.cycles;
+        while capacity < needed {
+            // The aborted attempt ran until the target filled.
+            let fraction = capacity as f64 / needed as f64;
+            compressed.report.cycles += (full_cycles as f64 * fraction) as u64;
+            attempts += 1;
+            capacity = capacity.saturating_mul(2);
+        }
+        Ok(BoundedOutcome { compressed, attempts, final_capacity: capacity })
+    }
+}
+
+/// Result of [`Nx::compress_bounded`].
+#[derive(Debug, Clone)]
+pub struct BoundedOutcome {
+    /// The final (successful) compression, with cycles accumulated across
+    /// every attempt.
+    pub compressed: Compressed,
+    /// Submission attempts (1 = no target-exhausted retries).
+    pub attempts: u32,
+    /// Target-buffer capacity of the successful attempt.
+    pub final_capacity: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_roundtrip_all_formats() {
+        let nx = Nx::power9();
+        let data = nx_corpus::CorpusKind::Json.generate(1, 64 * 1024);
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            let c = nx.compress(&data, format).unwrap();
+            let d = nx.decompress(&c.bytes, format).unwrap();
+            assert_eq!(d.bytes, data, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let nx = Nx::power9();
+        let data = vec![b'a'; 10_000];
+        nx.compress(&data, Format::Gzip).unwrap();
+        nx.compress(&data, Format::Zlib).unwrap();
+        let s = nx.stats();
+        assert_eq!(s.compress_requests(), 2);
+        assert_eq!(s.bytes_in(), 20_000);
+        assert!(s.bytes_out() > 0);
+    }
+
+    #[test]
+    fn shared_handle_shares_stats() {
+        let nx = Nx::z15();
+        let nx2 = nx.clone();
+        nx.compress(b"abc", Format::RawDeflate).unwrap();
+        nx2.compress(b"def", Format::RawDeflate).unwrap();
+        assert_eq!(nx.stats().compress_requests(), 2);
+    }
+
+    #[test]
+    fn p842_roundtrip() {
+        let nx = Nx::power9();
+        let data = nx_corpus::CorpusKind::Redundant.generate(2, 32 * 1024);
+        let c = nx.compress_842(&data);
+        assert!(c.len() < data.len() / 4);
+        assert_eq!(nx.decompress_842(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_container_is_an_error() {
+        let nx = Nx::power9();
+        let mut gz = nx.compress(b"payload", Format::Gzip).unwrap().bytes;
+        let n = gz.len();
+        gz[n - 5] ^= 0xFF;
+        assert!(matches!(nx.decompress(&gz, Format::Gzip), Err(Error::Deflate(_))));
+    }
+
+    #[test]
+    fn bounded_compress_retries_until_capacity_fits() {
+        let nx = Nx::power9();
+        let data = nx_corpus::CorpusKind::Random.generate(8, 64 * 1024); // ~incompressible
+        // A tiny initial target forces several doublings.
+        let out = nx.compress_bounded(&data, Format::RawDeflate, 4 * 1024).unwrap();
+        assert!(out.attempts > 2, "only {} attempts", out.attempts);
+        assert!(out.final_capacity >= out.compressed.bytes.len());
+        // Retries cost cycles: more than a clean single pass.
+        let clean = nx.compress(&data, Format::RawDeflate).unwrap();
+        assert!(out.compressed.report.cycles > clean.report.cycles);
+        assert_eq!(
+            nx.decompress(&out.compressed.bytes, Format::RawDeflate).unwrap().bytes,
+            data
+        );
+    }
+
+    #[test]
+    fn bounded_compress_single_attempt_when_target_fits() {
+        let nx = Nx::power9();
+        let data = vec![b'a'; 100_000];
+        let out = nx.compress_bounded(&data, Format::Gzip, 64 * 1024).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.final_capacity, 64 * 1024);
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: Error = nx_deflate::Error::UnexpectedEof.into();
+        assert!(matches!(e, Error::Deflate(_)));
+        assert!(!e.to_string().is_empty());
+        let e: Error = nx_842::Error::UnexpectedEof.into();
+        assert!(matches!(e, Error::P842(_)));
+    }
+}

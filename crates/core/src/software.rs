@@ -1,0 +1,65 @@
+//! The software path: plain zlib-style compression on the CPU, used as
+//! the baseline in every experiment and as a fallback where no
+//! accelerator exists.
+
+use crate::framing::{self, Format};
+use crate::Result;
+use nx_deflate::CompressionLevel;
+
+/// Compresses `data` in software at `level`, framed as `format`.
+///
+/// ```
+/// use nx_core::{software, Format};
+/// use nx_deflate::CompressionLevel;
+///
+/// # fn main() -> Result<(), nx_core::Error> {
+/// let out = software::compress(b"abcabcabc", CompressionLevel::new(6)?, Format::Zlib);
+/// assert_eq!(software::decompress(&out, Format::Zlib)?, b"abcabcabc");
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress(data: &[u8], level: CompressionLevel, format: Format) -> Vec<u8> {
+    let raw = nx_deflate::deflate(data, level);
+    framing::wrap(raw, data, format)
+}
+
+/// Decompresses `format`-framed `data` in software.
+///
+/// # Errors
+///
+/// [`crate::Error::Deflate`] for malformed containers or streams.
+pub fn decompress(data: &[u8], format: Format) -> Result<Vec<u8>> {
+    let un = framing::unwrap(data, format)?;
+    let out = nx_deflate::inflate(un.deflate_stream)?;
+    un.verify(&out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_and_accelerator_streams_interoperate() {
+        // Software output decodes on the accelerator and vice versa — the
+        // paper's interoperability requirement.
+        let nx = crate::Nx::power9();
+        let data = nx_corpus::CorpusKind::Text.generate(3, 32 * 1024);
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            let sw = compress(&data, CompressionLevel::new(9).unwrap(), format);
+            assert_eq!(nx.decompress(&sw, format).unwrap().bytes, data);
+            let hw = nx.compress(&data, format).unwrap();
+            assert_eq!(decompress(&hw.bytes, format).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn all_levels_roundtrip_gzip() {
+        let data = b"levels levels levels levels".repeat(10);
+        for l in 0..=9 {
+            let level = CompressionLevel::new(l).unwrap();
+            let out = compress(&data, level, Format::Gzip);
+            assert_eq!(decompress(&out, Format::Gzip).unwrap(), data);
+        }
+    }
+}

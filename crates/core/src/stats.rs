@@ -1,0 +1,83 @@
+//! Aggregate accelerator statistics, shared across handles and sessions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters for one accelerator handle (thread-safe).
+#[derive(Debug, Default)]
+pub struct NxStats {
+    compress_requests: AtomicU64,
+    decompress_requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    engine_cycles: AtomicU64,
+}
+
+impl NxStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_compress(&self, bytes_in: u64, bytes_out: u64, cycles: u64) {
+        self.compress_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.engine_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_decompress(&self, bytes_in: u64, bytes_out: u64, cycles: u64) {
+        self.decompress_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.engine_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Compression requests served.
+    pub fn compress_requests(&self) -> u64 {
+        self.compress_requests.load(Ordering::Relaxed)
+    }
+
+    /// Decompression requests served.
+    pub fn decompress_requests(&self) -> u64 {
+        self.decompress_requests.load(Ordering::Relaxed)
+    }
+
+    /// Total source bytes received.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes produced.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Total modeled engine cycles consumed.
+    pub fn engine_cycles(&self) -> u64 {
+        self.engine_cycles.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let s = NxStats::new();
+        s.record_compress(100, 40, 25);
+        s.record_compress(100, 30, 25);
+        s.record_decompress(70, 200, 10);
+        assert_eq!(s.compress_requests(), 2);
+        assert_eq!(s.decompress_requests(), 1);
+        assert_eq!(s.bytes_in(), 270);
+        assert_eq!(s.bytes_out(), 270);
+        assert_eq!(s.engine_cycles(), 60);
+    }
+
+    #[test]
+    fn stats_are_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<NxStats>();
+    }
+}

@@ -1,0 +1,194 @@
+//! Streaming gzip production over either engine.
+//!
+//! [`GzipStream`] emits a standard single-member gzip stream
+//! incrementally: the header up front, DEFLATE blocks per chunk (with the
+//! 32 KB window carried across chunks), and the CRC-32/ISIZE trailer at
+//! [`finish`](GzipStream::finish). The compression engine is either the
+//! software [`nx_deflate::stream::StreamEncoder`] or the modeled
+//! accelerator's chunked CRB session ([`nx_accel::pipeline::AccelStream`]).
+//!
+//! ```
+//! use nx_core::stream::GzipStream;
+//!
+//! # fn main() -> Result<(), nx_core::Error> {
+//! let mut s = GzipStream::accelerated(nx_accel::AccelConfig::power9());
+//! let mut out = s.write(b"stream me ");
+//! out.extend(s.write(b"stream me again"));
+//! out.extend(s.finish());
+//! assert_eq!(
+//!     nx_deflate::gzip::decompress(&out)?,
+//!     b"stream me stream me again"
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use nx_accel::pipeline::AccelStream;
+use nx_accel::AccelConfig;
+use nx_deflate::crc32::Crc32;
+use nx_deflate::stream::{Flush, StreamEncoder};
+use nx_deflate::CompressionLevel;
+
+#[derive(Debug)]
+enum Engine {
+    Software(StreamEncoder),
+    Accel(Box<AccelStream>),
+}
+
+/// An incremental gzip compressor.
+#[derive(Debug)]
+pub struct GzipStream {
+    engine: Engine,
+    crc: Crc32,
+    total_in: u64,
+    header_sent: bool,
+    finished: bool,
+    /// Modeled engine cycles accumulated (accelerated path only).
+    cycles: u64,
+}
+
+impl GzipStream {
+    /// A software-engine stream at `level`.
+    pub fn software(level: CompressionLevel) -> Self {
+        Self::with_engine(Engine::Software(StreamEncoder::new(level)))
+    }
+
+    /// An accelerator-engine stream (chunked CRBs with history carry).
+    pub fn accelerated(cfg: AccelConfig) -> Self {
+        Self::with_engine(Engine::Accel(Box::new(AccelStream::new(cfg))))
+    }
+
+    fn with_engine(engine: Engine) -> Self {
+        Self {
+            engine,
+            crc: Crc32::new(),
+            total_in: 0,
+            header_sent: false,
+            finished: false,
+            cycles: 0,
+        }
+    }
+
+    /// Total input bytes consumed.
+    pub fn total_in(&self) -> u64 {
+        self.total_in
+    }
+
+    /// Modeled engine cycles so far (zero on the software path).
+    pub fn engine_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn header(&mut self, out: &mut Vec<u8>) {
+        if !self.header_sent {
+            out.extend_from_slice(&[0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255]);
+            self.header_sent = true;
+        }
+    }
+
+    /// Compresses one chunk, returning the gzip bytes produced so far by
+    /// this call (header included on the first call).
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`finish`](Self::finish).
+    pub fn write(&mut self, chunk: &[u8]) -> Vec<u8> {
+        assert!(!self.finished, "write after finish");
+        let mut out = Vec::with_capacity(chunk.len() / 2 + 16);
+        self.header(&mut out);
+        self.crc.update(chunk);
+        self.total_in += chunk.len() as u64;
+        match &mut self.engine {
+            Engine::Software(enc) => out.extend(enc.write(chunk, Flush::None)),
+            Engine::Accel(s) => {
+                let (bytes, report) = s.write(chunk, false);
+                self.cycles += report.cycles;
+                out.extend(bytes);
+            }
+        }
+        out
+    }
+
+    /// Terminates the DEFLATE stream and appends the gzip trailer.
+    pub fn finish(&mut self) -> Vec<u8> {
+        assert!(!self.finished, "finish called twice");
+        self.finished = true;
+        let mut out = Vec::new();
+        self.header(&mut out);
+        match &mut self.engine {
+            Engine::Software(enc) => out.extend(enc.finish()),
+            Engine::Accel(s) => {
+                let (bytes, report) = s.write(&[], true);
+                self.cycles += report.cycles;
+                out.extend(bytes);
+            }
+        }
+        out.extend_from_slice(&self.crc.finish().to_le_bytes());
+        out.extend_from_slice(&((self.total_in & 0xFFFF_FFFF) as u32).to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nx_deflate::gzip;
+
+    fn collect(mut s: GzipStream, chunks: &[&[u8]]) -> (Vec<u8>, Vec<u8>) {
+        let mut out = Vec::new();
+        let mut plain = Vec::new();
+        for c in chunks {
+            out.extend(s.write(c));
+            plain.extend_from_slice(c);
+        }
+        out.extend(s.finish());
+        (out, plain)
+    }
+
+    #[test]
+    fn software_stream_is_valid_gzip() {
+        let (out, plain) = collect(
+            GzipStream::software(CompressionLevel::default()),
+            &[b"alpha alpha ", b"beta beta ", b"alpha beta"],
+        );
+        assert_eq!(gzip::decompress(&out).unwrap(), plain);
+    }
+
+    #[test]
+    fn accelerated_stream_is_valid_gzip() {
+        let data = nx_corpus::CorpusKind::Logs.generate(4, 200_000);
+        let chunks: Vec<&[u8]> = data.chunks(30_000).collect();
+        let (out, plain) = collect(GzipStream::accelerated(AccelConfig::power9()), &chunks);
+        assert_eq!(gzip::decompress(&out).unwrap(), plain);
+    }
+
+    #[test]
+    fn cycles_accumulate_on_accel_path_only() {
+        let mut a = GzipStream::accelerated(AccelConfig::z15());
+        a.write(b"some bytes");
+        let afin = a.finish();
+        assert!(!afin.is_empty());
+        assert!(a.engine_cycles() > 0);
+
+        let mut s = GzipStream::software(CompressionLevel::default());
+        s.write(b"some bytes");
+        s.finish();
+        assert_eq!(s.engine_cycles(), 0);
+    }
+
+    #[test]
+    fn empty_stream_decodes_to_empty() {
+        let mut s = GzipStream::accelerated(AccelConfig::power9());
+        let out = s.finish();
+        assert_eq!(gzip::decompress(&out).unwrap(), b"");
+        assert_eq!(s.total_in(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "after finish")]
+    fn write_after_finish_panics() {
+        let mut s = GzipStream::software(CompressionLevel::default());
+        let _ = s.finish();
+        let _ = s.write(b"late");
+    }
+}

@@ -1,0 +1,89 @@
+//! Executable-like binary: biased "opcode" bytes, short repeated
+//! instruction motifs, embedded pointer tables and string fragments —
+//! moderately compressible (≈1.5–2.5×), like Calgary `obj2` / Silesia
+//! `mozilla` members.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A small set of "instruction" motifs that recur, as real code does.
+const MOTIFS: &[&[u8]] = &[
+    &[0x55, 0x48, 0x89, 0xE5],             // prologue
+    &[0x48, 0x83, 0xEC, 0x20],             // sub rsp
+    &[0x48, 0x8B, 0x45, 0xF8],             // mov rax,[rbp-8]
+    &[0xE8, 0x00, 0x00, 0x00, 0x00],       // call rel32 (zeros)
+    &[0xC9, 0xC3],                         // leave; ret
+    &[0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00], // nop padding
+];
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 64);
+    let mut base_ptr: u64 = 0x0000_7F3A_0000_0000;
+    while out.len() < len {
+        match rng.gen_range(0..10u32) {
+            // 60%: code-like section — motifs plus biased random opcodes.
+            0..=5 => {
+                for _ in 0..rng.gen_range(8..64) {
+                    if rng.gen_ratio(2, 5) {
+                        let m = MOTIFS[rng.gen_range(0..MOTIFS.len())];
+                        out.extend_from_slice(m);
+                    } else {
+                        // Opcode byte from a skewed distribution, plus a
+                        // modrm-ish byte.
+                        let op = [0x48u8, 0x89, 0x8B, 0x0F, 0xE8, 0xFF, 0x83, 0xC7]
+                            [rng.gen_range(0..8)];
+                        out.push(op);
+                        out.push(rng.gen());
+                    }
+                }
+            }
+            // 20%: pointer table — nearby 8-byte addresses.
+            6..=7 => {
+                for _ in 0..rng.gen_range(16..64) {
+                    base_ptr += u64::from(rng.gen_range(8..256u32));
+                    out.extend_from_slice(&base_ptr.to_le_bytes());
+                }
+            }
+            // 10%: zero padding (section alignment).
+            8 => {
+                let pad = rng.gen_range(16..256);
+                out.extend(std::iter::repeat_n(0u8, pad));
+            }
+            // 10%: string table fragment.
+            _ => {
+                for _ in 0..rng.gen_range(2..10) {
+                    let words = ["__libc_start", "malloc", "memcpy", "deflate", "inflate", "gzip"];
+                    out.extend_from_slice(words[rng.gen_range(0..words.len())].as_bytes());
+                    out.push(0);
+                }
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contains_motifs_and_zeros() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = generate(&mut rng, 50_000);
+        let zeros = data.iter().filter(|&&b| b == 0).count();
+        assert!(zeros > data.len() / 20, "too few zeros: {zeros}");
+        // Prologue motif appears repeatedly.
+        let hits = data.windows(4).filter(|w| *w == [0x55, 0x48, 0x89, 0xE5]).count();
+        assert!(hits > 10, "motif appears only {hits} times");
+    }
+
+    #[test]
+    fn not_too_uniform() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = generate(&mut rng, 1 << 16);
+        let entropy = crate::byte_entropy(&data);
+        assert!(entropy > 2.0 && entropy < 7.0, "entropy {entropy}");
+    }
+}

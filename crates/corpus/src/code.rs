@@ -1,0 +1,94 @@
+//! Source-code-like text: keyword-dense lines, indentation structure and
+//! identifier reuse — the Calgary `progc`/`progl` class of input.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "for", "while", "return", "static", "const", "struct", "int", "char",
+    "void", "unsigned", "switch", "case", "break", "sizeof",
+];
+const IDENTS: &[&str] = &[
+    "buffer", "length", "offset", "state", "ctx", "result", "index", "count", "flags",
+    "src", "dst", "tmp", "node", "entry", "queue", "handle",
+];
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 128);
+    let mut depth = 1usize;
+    while out.len() < len {
+        let indent = "    ".repeat(depth.min(6));
+        let line = match rng.gen_range(0..8u32) {
+            0 => {
+                depth += 1;
+                format!(
+                    "{indent}{} ({} {} {}) {{",
+                    KEYWORDS[rng.gen_range(0..4)],
+                    IDENTS[rng.gen_range(0..IDENTS.len())],
+                    ["<", ">", "==", "!="][rng.gen_range(0..4)],
+                    rng.gen_range(0..256u32)
+                )
+            }
+            1 if depth > 1 => {
+                depth -= 1;
+                format!("{indent}}}")
+            }
+            2 => format!(
+                "{indent}{} {} = {}[{}];",
+                KEYWORDS[rng.gen_range(8..12)],
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                IDENTS[rng.gen_range(0..IDENTS.len())]
+            ),
+            3 => format!(
+                "{indent}{}->{} += {};",
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                rng.gen_range(1..64u32)
+            ),
+            4 => format!("{indent}/* {} {} */", IDENTS[rng.gen_range(0..IDENTS.len())], rng.gen_range(0..100u32)),
+            5 => format!(
+                "{indent}return {}({}, {});",
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                IDENTS[rng.gen_range(0..IDENTS.len())]
+            ),
+            _ => format!(
+                "{indent}{}({}, sizeof({}));",
+                ["memcpy", "memset", "update", "push"][rng.gen_range(0..4)],
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                IDENTS[rng.gen_range(0..IDENTS.len())]
+            ),
+        };
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn looks_like_code() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = generate(&mut rng, 20_000);
+        let text = String::from_utf8(data).unwrap();
+        assert!(text.matches(';').count() > 100);
+        assert!(text.contains("return"));
+        assert!(text.lines().count() > 200);
+    }
+
+    #[test]
+    fn braces_stay_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = generate(&mut rng, 50_000);
+        let text = String::from_utf8(data).unwrap();
+        let open = text.matches('{').count() as i64;
+        let close = text.matches('}').count() as i64;
+        assert!((open - close).abs() < open / 2, "opens {open} closes {close}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Columnar integer data: little-endian 32-bit columns whose values move by
+//! small deltas, like timestamp / counter / measure columns in database
+//! pages and Parquet chunks. Byte-level redundancy concentrates in the high
+//! bytes of each word.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Values per column chunk (a "page" of one column before switching).
+const CHUNK_VALUES: usize = 1024;
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 4 * CHUNK_VALUES);
+    // Three column personalities cycled per chunk.
+    let mut timestamp: u32 = 1_600_000_000;
+    let mut counter: u32 = 0;
+    let mut kind = 0usize;
+    while out.len() < len {
+        match kind % 3 {
+            0 => {
+                // Timestamp column: strictly increasing, small deltas.
+                for _ in 0..CHUNK_VALUES {
+                    timestamp = timestamp.wrapping_add(rng.gen_range(0..16));
+                    out.extend_from_slice(&timestamp.to_le_bytes());
+                }
+            }
+            1 => {
+                // Counter column: mostly +1 with occasional resets.
+                for _ in 0..CHUNK_VALUES {
+                    if rng.gen_ratio(1, 200) {
+                        counter = 0;
+                    }
+                    counter = counter.wrapping_add(1);
+                    out.extend_from_slice(&counter.to_le_bytes());
+                }
+            }
+            _ => {
+                // Measure column: small values from a skewed distribution.
+                for _ in 0..CHUNK_VALUES {
+                    let v: u32 = if rng.gen_ratio(9, 10) {
+                        rng.gen_range(0..256)
+                    } else {
+                        rng.gen_range(0..1_000_000)
+                    };
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        kind += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn high_bytes_are_redundant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = generate(&mut rng, 4 * CHUNK_VALUES);
+        // First chunk is timestamps: every 4th byte (MSB) nearly constant.
+        let msbs: Vec<u8> = data.chunks_exact(4).map(|w| w[3]).collect();
+        let distinct: std::collections::HashSet<u8> = msbs.iter().copied().collect();
+        assert!(distinct.len() <= 2, "{} distinct MSBs", distinct.len());
+    }
+
+    #[test]
+    fn counter_chunk_increments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = generate(&mut rng, 8 * CHUNK_VALUES);
+        // Second chunk (counter column) starts at byte 4*CHUNK_VALUES.
+        let words: Vec<u32> = data[4 * CHUNK_VALUES..8 * CHUNK_VALUES]
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        let increments = words.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(increments as f64 > words.len() as f64 * 0.95);
+    }
+}

@@ -1,0 +1,76 @@
+//! JSON-like records with a shared key vocabulary — the shape of web API
+//! payloads and of row-oriented Spark shuffle data. Key repetition gives
+//! LZ77 long matches; values add controlled entropy.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const NAMES: &[&str] = &[
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy",
+];
+const REGIONS: &[&str] = &["us-east", "us-west", "eu-central", "ap-south", "sa-east"];
+const STATUSES: &[&str] = &["active", "inactive", "pending", "archived"];
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 256);
+    out.extend_from_slice(b"[\n");
+    let mut id: u64 = 1_000_000;
+    while out.len() < len {
+        id += rng.gen_range(1..10);
+        let name = NAMES[rng.gen_range(0..NAMES.len())];
+        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+        let status = STATUSES[rng.gen_range(0..STATUSES.len())];
+        let score: f64 = f64::from(rng.gen_range(0..10_000u32)) / 100.0;
+        let items = rng.gen_range(0..5);
+        let mut record = format!(
+            "  {{\"id\": {id}, \"user\": {{\"name\": \"{name}\", \"region\": \"{region}\"}}, \
+             \"status\": \"{status}\", \"score\": {score:.2}, \"items\": ["
+        );
+        for i in 0..items {
+            if i > 0 {
+                record.push_str(", ");
+            }
+            record.push_str(&format!(
+                "{{\"sku\": \"SKU-{:04}\", \"qty\": {}}}",
+                rng.gen_range(0..500u32),
+                rng.gen_range(1..9u32)
+            ));
+        }
+        record.push_str("]},\n");
+        out.extend_from_slice(record.as_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn records_contain_shared_keys() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = generate(&mut rng, 20_000);
+        let text = String::from_utf8(data).unwrap();
+        let key_count = text.matches("\"status\"").count();
+        assert!(key_count > 20, "only {key_count} records");
+    }
+
+    #[test]
+    fn ids_are_increasing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = generate(&mut rng, 20_000);
+        let text = String::from_utf8(data).unwrap();
+        let ids: Vec<u64> = text
+            .lines()
+            .filter_map(|l| {
+                let start = l.find("\"id\": ")? + 6;
+                let end = l[start..].find(',')? + start;
+                l[start..end].parse().ok()
+            })
+            .collect();
+        assert!(ids.len() > 20);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

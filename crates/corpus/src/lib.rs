@@ -1,0 +1,280 @@
+#![warn(missing_docs)]
+
+//! `nx-corpus` — deterministic synthetic corpora for the `nxsim`
+//! experiments.
+//!
+//! The ISCA 2020 paper evaluates the POWER9/z15 compression accelerator on
+//! standard corpora (Calgary/Canterbury/Silesia classes of data) and on
+//! Apache Spark shuffle traffic — none of which can be shipped here. Each
+//! generator in this crate produces a seeded, reproducible byte stream with
+//! a *calibrated redundancy class* standing in for one of those inputs:
+//!
+//! | Kind | Stands in for | Character |
+//! |---|---|---|
+//! | [`CorpusKind::Text`] | book/prose members (e.g. Calgary `book1`) | order-2 Markov English-like text |
+//! | [`CorpusKind::Logs`] | server logs / `kennedy.xls`-like records | timestamped repetitive lines |
+//! | [`CorpusKind::Json`] | web/API payloads, Spark rows | nested records with shared keys |
+//! | [`CorpusKind::Columnar`] | database/Parquet pages | delta-friendly integer columns |
+//! | [`CorpusKind::Xmlish`] | markup members (`world192`-ish) | tag-heavy markup |
+//! | [`CorpusKind::Binary`] | executables (`geo`, `obj2`) | opcode-like biased binary |
+//! | [`CorpusKind::Code`] | source members (`progc`, `progl`) | keyword-dense code-like text |
+//! | [`CorpusKind::Sensor`] | IoT/metric telemetry | drifting f32 channels with noise |
+//! | [`CorpusKind::Random`] | encrypted/compressed payloads | incompressible uniform bytes |
+//! | [`CorpusKind::Redundant`] | zero pages, repeated buffers | highly repetitive |
+//!
+//! All generators are pure functions of `(seed, len)`, so experiments are
+//! exactly reproducible.
+//!
+//! ```
+//! use nx_corpus::CorpusKind;
+//!
+//! let a = CorpusKind::Text.generate(42, 1024);
+//! let b = CorpusKind::Text.generate(42, 1024);
+//! assert_eq!(a, b);
+//! assert_eq!(a.len(), 1024);
+//! ```
+
+mod binary;
+mod code;
+mod columnar;
+mod json;
+mod logs;
+mod markov;
+mod random;
+mod redundant;
+mod sensor;
+mod xmlish;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The ten synthetic corpus classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CorpusKind {
+    /// Markov-chain English-like prose.
+    Text,
+    /// Timestamped, templated log lines.
+    Logs,
+    /// JSON-like records with a shared key vocabulary.
+    Json,
+    /// Little-endian integer columns with small deltas.
+    Columnar,
+    /// Tag-heavy XML-like markup.
+    Xmlish,
+    /// Biased binary resembling machine code and tables.
+    Binary,
+    /// Source-code-like text (keywords, identifiers, indentation).
+    Code,
+    /// Interleaved f32 telemetry channels with drift and noise.
+    Sensor,
+    /// Uniform random bytes (incompressible).
+    Random,
+    /// Highly repetitive buffer (long identical runs and pages).
+    Redundant,
+}
+
+impl CorpusKind {
+    /// All corpus kinds, in canonical experiment order.
+    pub fn all() -> &'static [CorpusKind] {
+        &[
+            CorpusKind::Text,
+            CorpusKind::Logs,
+            CorpusKind::Json,
+            CorpusKind::Columnar,
+            CorpusKind::Xmlish,
+            CorpusKind::Binary,
+            CorpusKind::Code,
+            CorpusKind::Sensor,
+            CorpusKind::Random,
+            CorpusKind::Redundant,
+        ]
+    }
+
+    /// Stable lower-case name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Text => "text",
+            CorpusKind::Logs => "logs",
+            CorpusKind::Json => "json",
+            CorpusKind::Columnar => "columnar",
+            CorpusKind::Xmlish => "xmlish",
+            CorpusKind::Binary => "binary",
+            CorpusKind::Code => "code",
+            CorpusKind::Sensor => "sensor",
+            CorpusKind::Random => "random",
+            CorpusKind::Redundant => "redundant",
+        }
+    }
+
+    /// Generates exactly `len` bytes of this corpus class from `seed`.
+    pub fn generate(self, seed: u64, len: usize) -> Vec<u8> {
+        // Mix the kind into the seed so different kinds with the same seed
+        // do not share RNG streams.
+        let mixed = seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(mixed);
+        let mut out = match self {
+            CorpusKind::Text => markov::generate(&mut rng, len),
+            CorpusKind::Logs => logs::generate(&mut rng, len),
+            CorpusKind::Json => json::generate(&mut rng, len),
+            CorpusKind::Columnar => columnar::generate(&mut rng, len),
+            CorpusKind::Xmlish => xmlish::generate(&mut rng, len),
+            CorpusKind::Binary => binary::generate(&mut rng, len),
+            CorpusKind::Code => code::generate(&mut rng, len),
+            CorpusKind::Sensor => sensor::generate(&mut rng, len),
+            CorpusKind::Random => random::generate(&mut rng, len),
+            CorpusKind::Redundant => redundant::generate(&mut rng, len),
+        };
+        out.truncate(len);
+        debug_assert_eq!(out.len(), len);
+        out
+    }
+}
+
+impl std::fmt::Display for CorpusKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` honors width/alignment specifiers in format strings.
+        f.pad(self.name())
+    }
+}
+
+/// A generated corpus sample with its provenance.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Which generator produced the data.
+    pub kind: CorpusKind,
+    /// The seed used.
+    pub seed: u64,
+    /// The generated bytes.
+    pub data: Vec<u8>,
+}
+
+/// Generates the standard corpus suite at `len` bytes each — the
+/// input set used by the ratio and throughput experiments.
+pub fn standard_suite(seed: u64, len: usize) -> Vec<Sample> {
+    CorpusKind::all()
+        .iter()
+        .map(|&kind| Sample { kind, seed, data: kind.generate(seed, len) })
+        .collect()
+}
+
+/// A "mixed" workload: concatenation of all classes in equal shares,
+/// standing in for the diverse enterprise data stream the paper's headline
+/// throughput numbers are quoted on.
+pub fn mixed(seed: u64, total_len: usize) -> Vec<u8> {
+    let kinds = CorpusKind::all();
+    let share = total_len / kinds.len();
+    let mut out = Vec::with_capacity(total_len);
+    for &k in kinds {
+        out.extend_from_slice(&k.generate(seed, share));
+    }
+    // Pad the remainder with text.
+    if out.len() < total_len {
+        out.extend_from_slice(&CorpusKind::Text.generate(seed ^ 1, total_len - out.len()));
+    }
+    out.truncate(total_len);
+    out
+}
+
+/// Shannon entropy of the byte distribution, in bits/byte — a quick
+/// compressibility signal used by calibration tests.
+pub fn byte_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[usize::from(b)] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_generate_exact_length() {
+        for &k in CorpusKind::all() {
+            for len in [0usize, 1, 7, 1000, 65_536] {
+                let d = k.generate(7, len);
+                assert_eq!(d.len(), len, "{k} at {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for &k in CorpusKind::all() {
+            assert_eq!(k.generate(1, 4096), k.generate(1, 4096), "{k}");
+            assert_ne!(k.generate(1, 4096), k.generate(2, 4096), "{k} ignores seed");
+        }
+    }
+
+    #[test]
+    fn kinds_differ_from_each_other() {
+        let all: Vec<Vec<u8>> = CorpusKind::all().iter().map(|k| k.generate(3, 2048)).collect();
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "kinds {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_ordering_is_sane() {
+        let random = byte_entropy(&CorpusKind::Random.generate(5, 1 << 16));
+        let text = byte_entropy(&CorpusKind::Text.generate(5, 1 << 16));
+        let redundant = byte_entropy(&CorpusKind::Redundant.generate(5, 1 << 16));
+        assert!(random > 7.9, "random entropy {random}");
+        assert!(text < 6.0, "text entropy {text}");
+        assert!(redundant < 5.0, "redundant entropy {redundant}");
+    }
+
+    #[test]
+    fn compressibility_classes_hold() {
+        use nx_deflate::{deflate, CompressionLevel};
+        let lvl = CompressionLevel::new(6).unwrap();
+        let ratio = |k: CorpusKind| {
+            let d = k.generate(11, 1 << 16);
+            d.len() as f64 / deflate(&d, lvl).len() as f64
+        };
+        let random = ratio(CorpusKind::Random);
+        let text = ratio(CorpusKind::Text);
+        let logs = ratio(CorpusKind::Logs);
+        let redundant = ratio(CorpusKind::Redundant);
+        assert!(random < 1.05, "random compressed {random}x");
+        assert!(text > 1.5, "text only {text}x");
+        assert!(logs > 3.0, "logs only {logs}x");
+        assert!(redundant > 20.0, "redundant only {redundant}x");
+    }
+
+    #[test]
+    fn standard_suite_covers_all_kinds() {
+        let suite = standard_suite(9, 512);
+        assert_eq!(suite.len(), CorpusKind::all().len());
+        for s in &suite {
+            assert_eq!(s.data.len(), 512);
+        }
+    }
+
+    #[test]
+    fn mixed_has_exact_length() {
+        for len in [100usize, 4096, 100_000] {
+            assert_eq!(mixed(3, len).len(), len);
+        }
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(byte_entropy(&[]), 0.0);
+    }
+}

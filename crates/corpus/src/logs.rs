@@ -1,0 +1,76 @@
+//! Server-log-like lines: monotonic timestamps, a small set of templates,
+//! and skewed field values. Highly compressible (≈5–10×), the class the
+//! paper's storage/log-archival motivation targets.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const LEVELS: &[&str] = &["INFO", "INFO", "INFO", "INFO", "WARN", "DEBUG", "ERROR"];
+const COMPONENTS: &[&str] = &[
+    "nx.gzip", "vas.window", "dma.read", "dma.write", "erat", "scheduler", "spark.shuffle",
+    "storage.tier", "net.rpc",
+];
+const MESSAGES: &[&str] = &[
+    "request completed in {d} us",
+    "queued CRB at depth {d}",
+    "page fault on source buffer, resubmitting after touch ({d} pages)",
+    "compression ratio {d}.{d2} on partition {d3}",
+    "window credit returned ({d} outstanding)",
+    "checksum verified for job {d}",
+    "engine utilization {d} percent",
+];
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 128);
+    let mut ts: u64 = 1_577_836_800_000; // fixed epoch base (ms)
+    let mut seq: u64 = 0;
+    while out.len() < len {
+        ts += rng.gen_range(1..50);
+        seq += 1;
+        let level = LEVELS[rng.gen_range(0..LEVELS.len())];
+        let comp = COMPONENTS[rng.gen_range(0..COMPONENTS.len())];
+        let template = MESSAGES[rng.gen_range(0..MESSAGES.len())];
+        // Skewed numeric fields: mostly small values.
+        let d: u32 = if rng.gen_ratio(4, 5) { rng.gen_range(0..100) } else { rng.gen_range(0..100_000) };
+        let msg = template
+            .replace("{d3}", &(seq % 200).to_string())
+            .replace("{d2}", &(d % 10).to_string())
+            .replace("{d}", &d.to_string());
+        let line = format!("{ts} {level:5} [{comp}] req={seq:08x} {msg}\n");
+        out.extend_from_slice(line.as_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lines_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = generate(&mut rng, 20_000);
+        let text = String::from_utf8(data).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 100);
+        // All complete lines carry a timestamp and a component tag.
+        for line in &lines[..lines.len() - 1] {
+            assert!(line.contains('['), "malformed line: {line}");
+            assert!(line.contains("req="), "malformed line: {line}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = generate(&mut rng, 20_000);
+        let text = String::from_utf8(data).unwrap();
+        let stamps: Vec<u64> = text
+            .lines()
+            .filter_map(|l| l.split(' ').next()?.parse().ok())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+}

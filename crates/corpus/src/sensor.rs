@@ -1,0 +1,51 @@
+//! Sensor/time-series telemetry: little-endian `f32` samples following a
+//! drifting baseline with small noise, in the style of IoT/metric streams.
+//! Byte-level redundancy is modest (exponent bytes repeat, mantissa bytes
+//! are noisy) — a class DEFLATE compresses only lightly, sitting between
+//! text and incompressible data.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 16);
+    // Several channels with their own baselines, interleaved sample-major.
+    let mut baselines = [20.0f32, 101.3, 3.3, 998.0];
+    while out.len() < len {
+        for b in baselines.iter_mut() {
+            // Slow drift plus measurement noise.
+            *b += (rng.gen::<f32>() - 0.5) * 0.01 * *b;
+            let sample = *b + (rng.gen::<f32>() - 0.5) * 0.001 * *b;
+            out.extend_from_slice(&sample.to_le_bytes());
+        }
+        // Occasionally a quantized integer channel (ADC counts).
+        if rng.gen_ratio(1, 4) {
+            let adc: u16 = rng.gen_range(2000..2100);
+            out.extend_from_slice(&adc.to_le_bytes());
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn floats_stay_near_baselines() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = generate(&mut rng, 16 * 4);
+        let first = f32::from_le_bytes(data[0..4].try_into().unwrap());
+        assert!((10.0..40.0).contains(&first), "first sample {first}");
+    }
+
+    #[test]
+    fn entropy_is_intermediate() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let data = generate(&mut rng, 1 << 16);
+        let h = crate::byte_entropy(&data);
+        assert!((4.0..7.9).contains(&h), "entropy {h}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Tag-heavy XML-like markup: deep element nesting with a small tag
+//! vocabulary, resembling configuration dumps and document markup corpora.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const TAGS: &[&str] = &["record", "field", "meta", "entry", "value", "group", "item", "attr"];
+const WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 256);
+    out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<root>\n");
+    let mut stack: Vec<&str> = Vec::new();
+    while out.len() < len {
+        let depth = stack.len();
+        let open = depth < 5 && (depth == 0 || rng.gen_ratio(3, 5));
+        if open {
+            let tag = TAGS[rng.gen_range(0..TAGS.len())];
+            let indent = "  ".repeat(depth + 1);
+            if rng.gen_ratio(1, 2) {
+                out.extend_from_slice(
+                    format!(
+                        "{indent}<{tag} id=\"{}\" class=\"{}\">\n",
+                        rng.gen_range(0..10_000u32),
+                        WORDS[rng.gen_range(0..WORDS.len())]
+                    )
+                    .as_bytes(),
+                );
+            } else {
+                out.extend_from_slice(format!("{indent}<{tag}>\n").as_bytes());
+            }
+            stack.push(tag);
+            // Leaf text content sometimes.
+            if rng.gen_ratio(1, 2) {
+                let indent = "  ".repeat(stack.len() + 1);
+                let w1 = WORDS[rng.gen_range(0..WORDS.len())];
+                let w2 = WORDS[rng.gen_range(0..WORDS.len())];
+                out.extend_from_slice(
+                    format!("{indent}{w1} {w2} {}\n", rng.gen_range(0..1000u32)).as_bytes(),
+                );
+            }
+        } else if let Some(tag) = stack.pop() {
+            let indent = "  ".repeat(stack.len() + 1);
+            out.extend_from_slice(format!("{indent}</{tag}>\n").as_bytes());
+        }
+    }
+    // Close anything left open so truncation is the only irregularity.
+    while let Some(tag) = stack.pop() {
+        out.extend_from_slice(format!("</{tag}>\n").as_bytes());
+    }
+    out.extend_from_slice(b"</root>\n");
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_markup() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = generate(&mut rng, 10_000);
+        let text = String::from_utf8(data).unwrap();
+        assert!(text.starts_with("<?xml"));
+        assert!(text.matches('<').count() > 100);
+    }
+
+    #[test]
+    fn open_and_close_tags_roughly_balance() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let data = generate(&mut rng, 50_000);
+        let text = String::from_utf8(data).unwrap();
+        let opens = text.matches("<record").count();
+        let closes = text.matches("</record").count();
+        // Truncation can lose a few closers, not more.
+        assert!(opens >= closes && opens - closes < 8, "opens {opens} closes {closes}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Adler-32 (RFC 1950 §8) implemented from scratch.
+//!
+//! The zlib container carries this checksum in its trailer; the accelerator
+//! computes it inline when producing zlib-framed output.
+
+/// Largest prime smaller than 65536, the Adler-32 modulus.
+const MOD: u32 = 65_521;
+
+/// Maximum bytes that can be summed before `b` can overflow a `u32`;
+/// the standard zlib bound.
+const NMAX: usize = 5552;
+
+/// Incremental Adler-32 state.
+///
+/// ```
+/// use nx_deflate::adler32::Adler32;
+///
+/// let mut a = Adler32::new();
+/// a.update(b"Wikipedia");
+/// assert_eq!(a.finish(), 0x11E6_0398);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Starts a fresh checksum (value 1).
+    pub fn new() -> Self {
+        Self { a: 1, b: 0 }
+    }
+
+    /// Resumes from a previously [`finish`](Self::finish)ed value.
+    pub fn from_checksum(sum: u32) -> Self {
+        Self { a: sum & 0xFFFF, b: sum >> 16 }
+    }
+
+    /// Folds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let (mut a, mut b) = (self.a, self.b);
+        for chunk in data.chunks(NMAX) {
+            for &byte in chunk {
+                a += u32::from(byte);
+                b += a;
+            }
+            a %= MOD;
+            b %= MOD;
+        }
+        self.a = a;
+        self.b = b;
+    }
+
+    /// Returns the current checksum `(b << 16) | a`.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+/// One-shot Adler-32 of `data`.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a = Adler32::new();
+    a.update(data);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wikipedia_vector() {
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn empty_is_one() {
+        assert_eq!(adler32(b""), 1);
+    }
+
+    #[test]
+    fn long_input_does_not_overflow() {
+        let data = vec![0xFFu8; 1 << 20];
+        // Reference computed with the naive per-byte modulo algorithm.
+        let mut a: u64 = 1;
+        let mut b: u64 = 0;
+        for &byte in &data {
+            a = (a + u64::from(byte)) % u64::from(MOD);
+            b = (b + a) % u64::from(MOD);
+        }
+        assert_eq!(adler32(&data), ((b as u32) << 16) | a as u32);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..255u8).cycle().take(20_000).collect();
+        let mut inc = Adler32::new();
+        inc.update(&data[..7000]);
+        inc.update(&data[7000..7001]);
+        inc.update(&data[7001..]);
+        assert_eq!(inc.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn resume_from_checksum() {
+        let data = b"checkpoint and continue";
+        let mut a1 = Adler32::new();
+        a1.update(&data[..5]);
+        let mut a2 = Adler32::from_checksum(a1.finish());
+        a2.update(&data[5..]);
+        assert_eq!(a2.finish(), adler32(data));
+    }
+}

@@ -1,0 +1,333 @@
+//! LSB-first bit-level I/O in the bit order DEFLATE mandates.
+//!
+//! RFC 1951 packs Huffman codes most-significant-bit first *within a code*
+//! but fills bytes starting from the least-significant bit. The writer and
+//! reader here operate on raw little-endian bit runs; Huffman code reversal
+//! is handled by the Huffman layer ([`crate::huffman`]), keeping this module
+//! a plain bit pipe.
+
+use crate::{Error, Result};
+
+/// Accumulating LSB-first bit writer over an owned byte buffer.
+///
+/// ```
+/// use nx_deflate::bitio::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0b1, 1);
+/// let bytes = w.finish();
+/// assert_eq!(bytes, vec![0b0000_1101]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bit accumulator; valid bits occupy the low `nbits` positions.
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with `cap` bytes of pre-allocated output space.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { out: Vec::with_capacity(cap), acc: 0, nbits: 0 }
+    }
+
+    /// Appends the low `n` bits of `value`, least-significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 57` (the accumulator guarantee) — DEFLATE never needs
+    /// more than 48 bits in one call.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57, "bit run too long: {n}");
+        debug_assert!(n == 64 || value < (1u64 << n), "value wider than bit count");
+        self.acc |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary (no-op if aligned).
+    pub fn align_to_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends whole bytes; the writer must be byte-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer is not byte-aligned (call
+    /// [`align_to_byte`](Self::align_to_byte) first).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(self.nbits, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Number of complete bytes emitted so far (excludes buffered bits).
+    pub fn byte_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Total number of bits written so far, including buffered bits.
+    pub fn bit_len(&self) -> u64 {
+        self.out.len() as u64 * 8 + u64::from(self.nbits)
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+
+    /// Drains the complete bytes produced so far, leaving any partial
+    /// byte buffered — the streaming-encoder primitive: the bit stream
+    /// stays continuous across drains.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// LSB-first bit reader over a borrowed byte slice.
+///
+/// The reader distinguishes "ran out of input" ([`Error::UnexpectedEof`])
+/// from malformed content so the inflate state machine can report precise
+/// failures.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index to load into the accumulator.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Refills the accumulator to at least `n` bits if input allows.
+    #[inline]
+    fn refill(&mut self, n: u32) {
+        while self.nbits < n && self.pos < self.data.len() {
+            self.acc |= u64::from(self.data[self.pos]) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads exactly `n` bits (`n <= 32`), LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] if fewer than `n` bits remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 32);
+        self.refill(n);
+        if self.nbits < n {
+            return Err(Error::UnexpectedEof);
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        let v = if n == 0 { 0 } else { v };
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Shows up to `n` bits without consuming them, zero-padded at EOF.
+    ///
+    /// Zero-padding at end-of-input is deliberate: Huffman decoding peeks a
+    /// fixed-width window and may succeed with fewer real bits; the consume
+    /// step then performs the precise EOF check.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u32 {
+        debug_assert!(n <= 32);
+        self.refill(n);
+        (self.acc & ((1u64 << n) - 1)) as u32
+    }
+
+    /// Consumes `n` bits previously observed with [`peek_bits`](Self::peek_bits).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] if fewer than `n` real bits remain.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<()> {
+        if self.nbits < n {
+            return Err(Error::UnexpectedEof);
+        }
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Discards buffered bits up to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Reads `buf.len()` whole bytes; the reader must be byte-aligned
+    /// (buffered whole bytes are drained first).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] if the input is exhausted early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader is not byte-aligned.
+    pub fn read_bytes(&mut self, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(self.nbits % 8, 0, "read_bytes requires byte alignment");
+        for b in buf.iter_mut() {
+            if self.nbits >= 8 {
+                *b = (self.acc & 0xFF) as u8;
+                self.acc >>= 8;
+                self.nbits -= 8;
+            } else if self.pos < self.data.len() {
+                *b = self.data[self.pos];
+                self.pos += 1;
+            } else {
+                return Err(Error::UnexpectedEof);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bits consumed from the underlying slice so far.
+    pub fn bits_consumed(&self) -> u64 {
+        self.pos as u64 * 8 - u64::from(self.nbits)
+    }
+
+    /// True if every bit of the input has been consumed (ignoring up to 7
+    /// zero padding bits in the final byte).
+    pub fn is_empty_ignoring_padding(&mut self) -> bool {
+        self.refill(8);
+        self.nbits < 8 && self.pos >= self.data.len() && self.acc == 0
+    }
+
+    /// Number of whole bytes not yet loaded plus buffered bits, in bits.
+    pub fn bits_remaining(&self) -> u64 {
+        (self.data.len() - self.pos) as u64 * 8 + u64::from(self.nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bit_runs() {
+        let mut w = BitWriter::new();
+        let runs: &[(u64, u32)] = &[(0b1, 1), (0b1010, 4), (0x3FFF, 14), (0, 3), (0xABCD, 16)];
+        for &(v, n) in runs {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in runs {
+            assert_eq!(u64::from(r.read_bits(n).unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn writer_aligns_and_writes_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_to_byte();
+        w.write_bytes(&[0xDE, 0xAD]);
+        assert_eq!(w.finish(), vec![0b11, 0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+        assert_eq!(w.byte_len(), 1);
+    }
+
+    #[test]
+    fn reader_eof_detection() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn peek_zero_pads_at_eof_but_consume_fails() {
+        let mut r = BitReader::new(&[0b1]);
+        assert_eq!(r.peek_bits(16), 0b1);
+        assert!(r.consume(16).is_err());
+        assert!(r.consume(8).is_ok());
+    }
+
+    #[test]
+    fn align_then_read_bytes() {
+        // 3 bits then aligned bytes.
+        let data = [0b0000_0101, 0x11, 0x22];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        r.align_to_byte();
+        let mut buf = [0u8; 2];
+        r.read_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [0x11, 0x22]);
+    }
+
+    #[test]
+    fn read_bytes_drains_accumulator_first() {
+        let data = [0x11, 0x22, 0x33];
+        let mut r = BitReader::new(&data);
+        // Force a refill of 2 bytes into the accumulator via peek.
+        let _ = r.peek_bits(16);
+        let mut buf = [0u8; 3];
+        r.read_bytes(&mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn bits_consumed_tracks_position() {
+        let data = [0xAA, 0xBB, 0xCC];
+        let mut r = BitReader::new(&data);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.bits_consumed(), 5);
+        r.read_bits(7).unwrap();
+        assert_eq!(r.bits_consumed(), 12);
+    }
+
+    #[test]
+    fn empty_ignoring_padding() {
+        let mut r = BitReader::new(&[0b0000_0011]);
+        r.read_bits(2).unwrap();
+        assert!(r.is_empty_ignoring_padding());
+        let mut r2 = BitReader::new(&[0b0000_0111]);
+        r2.read_bits(2).unwrap();
+        assert!(!r2.is_empty_ignoring_padding());
+    }
+
+    #[test]
+    fn zero_width_reads_are_noops() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.bits_consumed(), 0);
+    }
+}

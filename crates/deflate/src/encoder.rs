@@ -1,0 +1,954 @@
+//! The DEFLATE encoder: token streams → RFC 1951 bit streams.
+//!
+//! The encoder mirrors zlib's structure: input is tokenized by the level's
+//! match finder ([`deflate_tokens`]), split into blocks, and each block is
+//! emitted as whichever of *stored* / *fixed Huffman* / *dynamic Huffman*
+//! costs the fewest bits. The block emitters are public so the hardware
+//! model in `nx-accel` can reuse the bit-exact serialization with its own
+//! token stream and its own (hardware-constrained) block strategy.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{build, canonical_codes, Code, MAX_CODELEN_CODE_LEN, MAX_CODE_LEN};
+use crate::lz77::{
+    self, dist_code, greedy::tokenize_greedy, lazy::tokenize_lazy, length_code_index, Histogram,
+    MatcherConfig, Token, DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA, NUM_DIST_SYMBOLS,
+    NUM_LITLEN_SYMBOLS,
+};
+use crate::{Error, Result};
+
+/// A validated zlib-style compression level (0..=9).
+///
+/// Level 0 stores the input without compression; levels 1–3 use the greedy
+/// matcher; levels 4–9 use the lazy matcher with progressively larger
+/// search budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompressionLevel(u32);
+
+impl CompressionLevel {
+    /// Validates and wraps `level`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidLevel`] if `level > 9`.
+    pub fn new(level: u32) -> Result<Self> {
+        if level > 9 {
+            return Err(Error::InvalidLevel(level));
+        }
+        Ok(Self(level))
+    }
+
+    /// zlib's default level.
+    pub fn default_level() -> Self {
+        Self(6)
+    }
+
+    /// The numeric level.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for CompressionLevel {
+    fn default() -> Self {
+        Self::default_level()
+    }
+}
+
+impl std::fmt::Display for CompressionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Maximum number of tokens per emitted block. Bounding the block keeps the
+/// dynamic-Huffman tables adaptive; the value matches the symbol-buffer
+/// depth modeled for the accelerator so software and hardware block
+/// granularity are comparable.
+pub const MAX_BLOCK_TOKENS: usize = 50_000;
+
+/// Largest stored-block payload (RFC 1951: 16-bit LEN field).
+pub const MAX_STORED_BLOCK: usize = 65_535;
+
+/// Match-finding strategy, mirroring zlib's `Z_DEFAULT_STRATEGY` /
+/// `Z_HUFFMAN_ONLY` / `Z_RLE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full LZ77 matching (greedy or lazy per level).
+    #[default]
+    Default,
+    /// No matches at all: entropy-code the literals only. Right for data
+    /// whose redundancy is purely statistical (e.g. already-delta-coded
+    /// images).
+    HuffmanOnly,
+    /// Distance-1 matches only (run-length encoding): almost the full
+    /// ratio on run-dominated data at a fraction of the match-search
+    /// cost.
+    Rle,
+}
+
+/// Tokenizes `data` according to `level`'s strategy without entropy-coding
+/// it. Level 0 returns one literal token per byte.
+pub fn deflate_tokens(data: &[u8], level: CompressionLevel) -> Vec<Token> {
+    deflate_tokens_with_strategy(data, level, Strategy::Default)
+}
+
+/// Tokenizes `data` under an explicit [`Strategy`].
+pub fn deflate_tokens_with_strategy(
+    data: &[u8],
+    level: CompressionLevel,
+    strategy: Strategy,
+) -> Vec<Token> {
+    match strategy {
+        Strategy::HuffmanOnly => data.iter().map(|&b| Token::Literal(b)).collect(),
+        Strategy::Rle => tokenize_rle(data),
+        Strategy::Default => match level.get() {
+            0 => data.iter().map(|&b| Token::Literal(b)).collect(),
+            l if MatcherConfig::is_lazy_level(l) => {
+                tokenize_lazy(data, &MatcherConfig::for_level(l))
+            }
+            l => tokenize_greedy(data, &MatcherConfig::for_level(l)),
+        },
+    }
+}
+
+/// Run-length tokenizer: literals plus distance-1 matches over byte runs.
+fn tokenize_rle(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        tokens.push(Token::Literal(b));
+        let mut left = run - 1;
+        i += 1;
+        while left >= crate::MIN_MATCH {
+            let take = left.min(crate::MAX_MATCH);
+            tokens.push(Token::Match { len: take as u16, dist: 1 });
+            left -= take;
+            i += take;
+        }
+        for _ in 0..left {
+            tokens.push(Token::Literal(b));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// One-shot raw-DEFLATE compression of `data` at `level` with a preset
+/// dictionary: matches in the early output may reference `dict` (its last
+/// 32 KB), exactly as zlib's `deflateSetDictionary` arranges. The decoder
+/// must prime its window with the same dictionary
+/// ([`crate::decoder::inflate_with_dict`]).
+pub fn deflate_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> Vec<u8> {
+    if level.get() == 0 || dict.is_empty() {
+        return deflate(data, level);
+    }
+    let dict = &dict[dict.len().saturating_sub(crate::WINDOW_SIZE)..];
+    let mut buf = Vec::with_capacity(dict.len() + data.len());
+    buf.extend_from_slice(dict);
+    buf.extend_from_slice(data);
+    let cfg = MatcherConfig::for_level(level.get());
+    let tokens = if MatcherConfig::is_lazy_level(level.get()) {
+        crate::lz77::lazy::tokenize_lazy_from(&buf, dict.len(), &cfg)
+    } else {
+        crate::lz77::greedy::tokenize_greedy_from(&buf, dict.len(), &cfg)
+    };
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    if tokens.is_empty() {
+        encode_fixed_block(&mut w, &[], true);
+        return w.finish();
+    }
+    let mut start_tok = 0usize;
+    let mut byte_pos = 0usize;
+    while start_tok < tokens.len() {
+        let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
+        let span: usize = tokens[start_tok..end_tok].iter().map(Token::input_len).sum();
+        let is_final = end_tok == tokens.len();
+        // No stored fallback here: stored blocks cannot express
+        // dictionary references, and dictionary use targets small,
+        // compressible records anyway — emit entropy-coded blocks only.
+        let mut hist = Histogram::new();
+        for &t in &tokens[start_tok..end_tok] {
+            hist.record(t);
+        }
+        hist.record_end_of_block();
+        let plan = DynamicPlan::from_histogram(&hist);
+        if plan.header_bits() + plan.body_bits(&hist) < fixed_block_bits(&hist) {
+            plan.write_header(&mut w, is_final);
+            plan.write_body(&mut w, &tokens[start_tok..end_tok]);
+        } else {
+            encode_fixed_block(&mut w, &tokens[start_tok..end_tok], is_final);
+        }
+        start_tok = end_tok;
+        byte_pos += span;
+    }
+    let _ = byte_pos;
+    w.finish()
+}
+
+/// One-shot raw-DEFLATE compression of `data` at `level`.
+///
+/// The output is a complete DEFLATE stream (final block flagged); wrap it
+/// with [`crate::gzip`] or [`crate::zlib`] for framed formats.
+///
+/// ```
+/// use nx_deflate::{deflate, inflate, CompressionLevel};
+/// # fn main() -> Result<(), nx_deflate::Error> {
+/// let out = deflate(b"aaaaaaaaaaaaaaaaaaaaaaaa", CompressionLevel::new(6)?);
+/// assert!(out.len() < 24);
+/// assert_eq!(inflate(&out)?, b"aaaaaaaaaaaaaaaaaaaaaaaa");
+/// # Ok(())
+/// # }
+/// ```
+pub fn deflate(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    Encoder::new(level).compress(data)
+}
+
+/// Reusable DEFLATE encoder configured with a [`CompressionLevel`] and an
+/// optional [`Strategy`].
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    level: CompressionLevel,
+    strategy: Strategy,
+}
+
+impl Encoder {
+    /// Creates an encoder for `level` with the default strategy.
+    pub fn new(level: CompressionLevel) -> Self {
+        Self { level, strategy: Strategy::Default }
+    }
+
+    /// Creates an encoder with an explicit strategy (zlib's
+    /// `deflateInit2` strategy parameter).
+    pub fn with_strategy(level: CompressionLevel, strategy: Strategy) -> Self {
+        Self { level, strategy }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> CompressionLevel {
+        self.level
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Compresses `data` into a complete raw DEFLATE stream.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+        self.compress_into(&mut w, data);
+        w.finish()
+    }
+
+    /// Compresses `data`, appending the stream to an existing writer.
+    pub fn compress_into(&self, w: &mut BitWriter, data: &[u8]) {
+        if self.level.get() == 0 && self.strategy == Strategy::Default {
+            encode_stored(w, data, true);
+            return;
+        }
+        if data.is_empty() {
+            // An empty final fixed block is the canonical empty stream.
+            encode_fixed_block(w, &[], true);
+            return;
+        }
+        let tokens = deflate_tokens_with_strategy(data, self.level, self.strategy);
+        // Split into blocks of bounded token count, tracking the input span
+        // of each block so the stored fallback can be costed.
+        let mut start_tok = 0usize;
+        let mut start_byte = 0usize;
+        while start_tok < tokens.len() {
+            let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
+            let span: usize = tokens[start_tok..end_tok].iter().map(Token::input_len).sum();
+            let is_final = end_tok == tokens.len();
+            choose_and_encode_block(
+                w,
+                &data[start_byte..start_byte + span],
+                &tokens[start_tok..end_tok],
+                is_final,
+            );
+            start_tok = end_tok;
+            start_byte += span;
+        }
+    }
+}
+
+/// Emits `bytes` as one or more stored (type 0) blocks, flagging the last
+/// one as final if `is_final`. Handles the 65 535-byte LEN limit and the
+/// empty-input case (one empty stored block).
+pub fn encode_stored(w: &mut BitWriter, bytes: &[u8], is_final: bool) {
+    let mut chunks: Vec<&[u8]> = if bytes.is_empty() {
+        vec![&[]]
+    } else {
+        bytes.chunks(MAX_STORED_BLOCK).collect()
+    };
+    let last = chunks.pop().expect("at least one chunk");
+    for c in chunks {
+        encode_stored_block(w, c, false);
+    }
+    encode_stored_block(w, last, is_final);
+}
+
+/// Emits exactly one stored block (`bytes.len() <= 65535`).
+///
+/// # Panics
+///
+/// Panics if `bytes` exceeds the stored-block LEN field.
+pub fn encode_stored_block(w: &mut BitWriter, bytes: &[u8], is_final: bool) {
+    assert!(bytes.len() <= MAX_STORED_BLOCK, "stored block too large");
+    w.write_bits(u64::from(is_final), 1);
+    w.write_bits(0b00, 2); // BTYPE=00
+    w.align_to_byte();
+    let len = bytes.len() as u16;
+    w.write_bytes(&len.to_le_bytes());
+    w.write_bytes(&(!len).to_le_bytes());
+    w.write_bytes(bytes);
+}
+
+/// The fixed literal/length code lengths of RFC 1951 §3.2.6.
+pub fn fixed_litlen_lengths() -> [u8; NUM_LITLEN_SYMBOLS] {
+    let mut l = [0u8; NUM_LITLEN_SYMBOLS];
+    for (i, item) in l.iter_mut().enumerate() {
+        *item = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    l
+}
+
+/// The fixed distance code lengths (all 5 bits, including the two reserved
+/// symbols).
+pub fn fixed_dist_lengths() -> [u8; NUM_DIST_SYMBOLS] {
+    [5u8; NUM_DIST_SYMBOLS]
+}
+
+/// Writes one token with the given code tables.
+#[inline]
+fn write_token(w: &mut BitWriter, litlen: &[Code], dist: &[Code], token: Token) {
+    match token {
+        Token::Literal(b) => {
+            let c = litlen[usize::from(b)];
+            debug_assert!(c.len > 0, "literal {b} has no code in this table");
+            w.write_bits(u64::from(c.bits), u32::from(c.len));
+        }
+        Token::Match { len, dist: d } => {
+            let li = length_code_index(len);
+            let lc = litlen[257 + li];
+            debug_assert!(lc.len > 0, "length code {li} missing from this table");
+            w.write_bits(u64::from(lc.bits), u32::from(lc.len));
+            let extra = LENGTH_EXTRA[li];
+            if extra > 0 {
+                w.write_bits(u64::from(len - LENGTH_BASE[li]), u32::from(extra));
+            }
+            let di = dist_code(d);
+            let dc = dist[di];
+            w.write_bits(u64::from(dc.bits), u32::from(dc.len));
+            let dextra = DIST_EXTRA[di];
+            if dextra > 0 {
+                w.write_bits(u64::from(d - DIST_BASE[di]), u32::from(dextra));
+            }
+        }
+    }
+}
+
+/// Emits one fixed-Huffman (type 1) block containing `tokens`.
+pub fn encode_fixed_block(w: &mut BitWriter, tokens: &[Token], is_final: bool) {
+    let litlen = canonical_codes(&fixed_litlen_lengths()).expect("fixed litlen code is valid");
+    let dist = canonical_codes(&fixed_dist_lengths()).expect("fixed dist code is valid");
+    w.write_bits(u64::from(is_final), 1);
+    w.write_bits(0b01, 2); // BTYPE=01
+    for &t in tokens {
+        write_token(w, &litlen, &dist, t);
+    }
+    let eob = litlen[usize::from(lz77::END_OF_BLOCK)];
+    w.write_bits(u64::from(eob.bits), u32::from(eob.len));
+}
+
+/// Order in which code-length code lengths are transmitted (RFC 1951).
+pub const CODELEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// A code-length-alphabet instruction produced by run-length encoding the
+/// combined literal/length + distance code lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClSym {
+    /// Emit a literal code length 0..=15.
+    Len(u8),
+    /// Symbol 16: repeat previous length 3–6 times.
+    Rep(u8),
+    /// Symbol 17: run of zeros, 3–10 long.
+    Zero(u8),
+    /// Symbol 18: run of zeros, 11–138 long.
+    ZeroLong(u8),
+}
+
+/// Run-length encodes `lengths` into code-length-alphabet instructions.
+fn rle_code_lengths(lengths: &[u8]) -> Vec<ClSym> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < lengths.len() {
+        let v = lengths[i];
+        let mut run = 1usize;
+        while i + run < lengths.len() && lengths[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push(ClSym::ZeroLong(take as u8));
+                left -= take;
+            }
+            if left >= 3 {
+                out.push(ClSym::Zero(left as u8));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push(ClSym::Len(0));
+            }
+        } else {
+            out.push(ClSym::Len(v));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push(ClSym::Rep(take as u8));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push(ClSym::Len(v));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+impl ClSym {
+    fn symbol(self) -> usize {
+        match self {
+            ClSym::Len(v) => usize::from(v),
+            ClSym::Rep(_) => 16,
+            ClSym::Zero(_) => 17,
+            ClSym::ZeroLong(_) => 18,
+        }
+    }
+
+    fn extra(self) -> Option<(u64, u32)> {
+        match self {
+            ClSym::Len(_) => None,
+            ClSym::Rep(n) => Some((u64::from(n - 3), 2)),
+            ClSym::Zero(n) => Some((u64::from(n - 3), 3)),
+            ClSym::ZeroLong(n) => Some((u64::from(n - 11), 7)),
+        }
+    }
+}
+
+/// The fully planned dynamic block header + code tables.
+///
+/// Building the plan is separated from writing it so callers (the block
+/// chooser here, and the accelerator's cycle model) can obtain exact bit
+/// costs before committing.
+#[derive(Debug, Clone)]
+pub struct DynamicPlan {
+    litlen_lengths: Vec<u8>,
+    dist_lengths: Vec<u8>,
+    litlen_codes: Vec<Code>,
+    dist_codes: Vec<Code>,
+    cl_lengths: Vec<u8>,
+    cl_codes: Vec<Code>,
+    cl_syms: Vec<ClSym>,
+    hlit: usize,
+    hdist: usize,
+    hclen: usize,
+}
+
+impl DynamicPlan {
+    /// Plans dynamic-Huffman tables for the given histogram.
+    ///
+    /// The histogram must already include the end-of-block symbol. At least
+    /// two codes are forced into each alphabet (zlib does the same) so the
+    /// emitted trees are always complete and interoperable.
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        let mut litlen_freq = hist.litlen.clone();
+        let mut dist_freq = hist.dist.clone();
+        force_min_codes(&mut litlen_freq);
+        force_min_codes(&mut dist_freq);
+
+        let litlen_lengths = build::limited_lengths(&litlen_freq, MAX_CODE_LEN);
+        let dist_lengths = build::limited_lengths(&dist_freq, MAX_CODE_LEN);
+        Self::from_lengths(litlen_lengths, dist_lengths)
+    }
+
+    /// Plans a block around externally supplied code lengths — the
+    /// "canned DHT" path, where a precomputed table is transmitted instead
+    /// of one generated from the block's own statistics.
+    ///
+    /// The lengths must describe valid (non-oversubscribed) codes; symbols
+    /// the block uses must have nonzero lengths or
+    /// [`write_body`](Self::write_body) will panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths exceed the DEFLATE limits or oversubscribe
+    /// the code space.
+    pub fn from_lengths(litlen_lengths: Vec<u8>, dist_lengths: Vec<u8>) -> Self {
+
+        let hlit = litlen_lengths
+            .iter()
+            .rposition(|&l| l > 0)
+            .map_or(257, |p| (p + 1).max(257));
+        let hdist = dist_lengths
+            .iter()
+            .rposition(|&l| l > 0)
+            .map_or(1, |p| (p + 1).max(1));
+
+        let mut combined = Vec::with_capacity(hlit + hdist);
+        combined.extend_from_slice(&litlen_lengths[..hlit]);
+        combined.extend_from_slice(&dist_lengths[..hdist]);
+        let cl_syms = rle_code_lengths(&combined);
+
+        let mut cl_freq = vec![0u32; 19];
+        for s in &cl_syms {
+            cl_freq[s.symbol()] += 1;
+        }
+        let mut cl_lengths = build::limited_lengths(&cl_freq, MAX_CODELEN_CODE_LEN);
+        // The code-length alphabet must itself be decodable; a single used
+        // symbol yields an incomplete 1-bit code, which inflate
+        // implementations accept for this alphabet, but force two codes for
+        // maximum compatibility.
+        if cl_lengths.iter().filter(|&&l| l > 0).count() == 1 {
+            let used = cl_lengths.iter().position(|&l| l > 0).expect("one used");
+            let other = if used == 0 { 1 } else { 0 };
+            cl_lengths[used] = 1;
+            cl_lengths[other] = 1;
+        }
+
+        let hclen = CODELEN_ORDER
+            .iter()
+            .rposition(|&s| cl_lengths[s] > 0)
+            .map_or(4, |p| (p + 1).max(4));
+
+        let litlen_codes = canonical_codes(&litlen_lengths).expect("built lengths are valid");
+        let dist_codes = canonical_codes(&dist_lengths).expect("built lengths are valid");
+        let cl_codes = canonical_codes(&cl_lengths).expect("built lengths are valid");
+
+        Self {
+            litlen_lengths,
+            dist_lengths,
+            litlen_codes,
+            dist_codes,
+            cl_lengths,
+            cl_codes,
+            cl_syms,
+            hlit,
+            hdist,
+            hclen,
+        }
+    }
+
+    /// Exact size in bits of the header (from BFINAL through the code-length
+    /// stream).
+    pub fn header_bits(&self) -> u64 {
+        let mut bits = 3 + 5 + 5 + 4; // BFINAL+BTYPE, HLIT, HDIST, HCLEN
+        bits += 3 * self.hclen as u64;
+        for s in &self.cl_syms {
+            bits += u64::from(self.cl_lengths[s.symbol()]);
+            if let Some((_, n)) = s.extra() {
+                bits += u64::from(n);
+            }
+        }
+        bits
+    }
+
+    /// Exact size in bits of the body for `hist` (tokens + end-of-block),
+    /// excluding the header.
+    pub fn body_bits(&self, hist: &Histogram) -> u64 {
+        let mut bits = 0u64;
+        for (sym, &f) in hist.litlen.iter().enumerate() {
+            if f == 0 {
+                continue;
+            }
+            bits += u64::from(f) * u64::from(self.litlen_lengths[sym]);
+            if sym > 256 {
+                bits += u64::from(f) * u64::from(LENGTH_EXTRA[sym - 257]);
+            }
+        }
+        for (sym, &f) in hist.dist.iter().enumerate() {
+            if f == 0 {
+                continue;
+            }
+            bits += u64::from(f) * u64::from(self.dist_lengths[sym]);
+            bits += u64::from(f) * u64::from(DIST_EXTRA[sym]);
+        }
+        bits
+    }
+
+    /// Writes the block header (BFINAL, BTYPE=10, table description).
+    pub fn write_header(&self, w: &mut BitWriter, is_final: bool) {
+        w.write_bits(u64::from(is_final), 1);
+        w.write_bits(0b10, 2);
+        w.write_bits(self.hlit as u64 - 257, 5);
+        w.write_bits(self.hdist as u64 - 1, 5);
+        w.write_bits(self.hclen as u64 - 4, 4);
+        for &s in CODELEN_ORDER.iter().take(self.hclen) {
+            w.write_bits(u64::from(self.cl_lengths[s]), 3);
+        }
+        for s in &self.cl_syms {
+            let c = self.cl_codes[s.symbol()];
+            debug_assert!(c.len > 0, "emitting unused code-length symbol");
+            w.write_bits(u64::from(c.bits), u32::from(c.len));
+            if let Some((v, n)) = s.extra() {
+                w.write_bits(v, n);
+            }
+        }
+    }
+
+    /// Writes the block body: all `tokens` then end-of-block.
+    pub fn write_body(&self, w: &mut BitWriter, tokens: &[Token]) {
+        for &t in tokens {
+            write_token(w, &self.litlen_codes, &self.dist_codes, t);
+        }
+        let eob = self.litlen_codes[usize::from(lz77::END_OF_BLOCK)];
+        w.write_bits(u64::from(eob.bits), u32::from(eob.len));
+    }
+
+    /// The planned literal/length code lengths (for inspection/tests).
+    pub fn litlen_lengths(&self) -> &[u8] {
+        &self.litlen_lengths
+    }
+
+    /// The planned distance code lengths (for inspection/tests).
+    pub fn dist_lengths(&self) -> &[u8] {
+        &self.dist_lengths
+    }
+}
+
+/// Ensures at least two symbols in `freqs` are nonzero so the resulting
+/// Huffman code is complete (zlib's "force at least two codes" rule).
+fn force_min_codes(freqs: &mut [u32]) {
+    let mut used = freqs.iter().filter(|&&f| f > 0).count();
+    let mut i = 0;
+    while used < 2 {
+        if freqs[i] == 0 {
+            freqs[i] = 1;
+            used += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Emits one dynamic-Huffman (type 2) block containing `tokens`.
+pub fn encode_dynamic_block(w: &mut BitWriter, tokens: &[Token], is_final: bool) {
+    let mut hist = Histogram::new();
+    for &t in tokens {
+        hist.record(t);
+    }
+    hist.record_end_of_block();
+    let plan = DynamicPlan::from_histogram(&hist);
+    plan.write_header(w, is_final);
+    plan.write_body(w, tokens);
+}
+
+/// Exact bit cost of encoding `tokens` with the fixed tables (including
+/// the 3-bit block header and end-of-block).
+pub fn fixed_block_bits(hist: &Histogram) -> u64 {
+    let litlen = fixed_litlen_lengths();
+    let dist = fixed_dist_lengths();
+    let mut bits = 3u64;
+    for (sym, &f) in hist.litlen.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        bits += u64::from(f) * u64::from(litlen[sym]);
+        if sym > 256 {
+            bits += u64::from(f) * u64::from(LENGTH_EXTRA[sym - 257]);
+        }
+    }
+    for (sym, &f) in hist.dist.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        bits += u64::from(f) * (u64::from(dist[sym]) + u64::from(DIST_EXTRA[sym]));
+    }
+    bits
+}
+
+/// Emits `tokens` (whose concatenated input is `bytes`) as whichever block
+/// type is smallest: stored, fixed or dynamic. This is the zlib
+/// `_tr_flush_block` decision.
+pub fn choose_and_encode_block(w: &mut BitWriter, bytes: &[u8], tokens: &[Token], is_final: bool) {
+    let mut hist = Histogram::new();
+    for &t in tokens {
+        hist.record(t);
+    }
+    hist.record_end_of_block();
+
+    let plan = DynamicPlan::from_histogram(&hist);
+    let dynamic_bits = plan.header_bits() + plan.body_bits(&hist);
+    let fixed_bits = fixed_block_bits(&hist);
+    // Stored: alignment padding (≤7) + per-chunk 5-byte headers + payload.
+    let chunks = bytes.len().div_ceil(MAX_STORED_BLOCK).max(1) as u64;
+    let stored_bits = 7 + chunks * (3 + 32 + 4) + bytes.len() as u64 * 8;
+
+    if stored_bits < dynamic_bits.min(fixed_bits) {
+        encode_stored(w, bytes, is_final);
+    } else if fixed_bits <= dynamic_bits {
+        encode_fixed_block(w, tokens, is_final);
+    } else {
+        plan.write_header(w, is_final);
+        plan.write_body(w, tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::inflate;
+
+    fn level(l: u32) -> CompressionLevel {
+        CompressionLevel::new(l).unwrap()
+    }
+
+    #[test]
+    fn level_validation() {
+        assert!(CompressionLevel::new(9).is_ok());
+        assert_eq!(CompressionLevel::new(10), Err(Error::InvalidLevel(10)));
+        assert_eq!(CompressionLevel::default().get(), 6);
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        for l in 0..=9 {
+            let out = deflate(b"", level(l));
+            assert_eq!(inflate(&out).unwrap(), b"", "level {l}");
+        }
+    }
+
+    #[test]
+    fn stored_level_roundtrips() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i * 31) as u8).collect();
+        let out = deflate(&data, level(0));
+        // Stored output: payload + per-64K headers, no compression.
+        assert!(out.len() >= data.len());
+        assert!(out.len() < data.len() + 5 * (data.len() / MAX_STORED_BLOCK + 2));
+        assert_eq!(inflate(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn all_levels_roundtrip_text() {
+        let data: Vec<u8> = std::iter::repeat_n(&b"compression accelerators on POWER9 and z15 "[..], 500)
+            .flatten()
+            .copied()
+            .collect();
+        for l in 0..=9 {
+            let out = deflate(&data, level(l));
+            assert_eq!(inflate(&out).unwrap(), data, "level {l}");
+            if l > 0 {
+                assert!(out.len() < data.len() / 4, "level {l} barely compressed");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_levels_compress_at_least_as_well() {
+        let mut data = Vec::new();
+        for i in 0..4000u32 {
+            data.extend_from_slice(format!("record,{},{},field{}\n", i, i % 97, i % 13).as_bytes());
+        }
+        let s1 = deflate(&data, level(1)).len();
+        let s6 = deflate(&data, level(6)).len();
+        let s9 = deflate(&data, level(9)).len();
+        assert!(s6 <= s1);
+        assert!(s9 <= s6 + s6 / 100); // allow 1% jitter from block splits
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_stored() {
+        let mut x = 0x9E3779B9u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let out = deflate(&data, level(6));
+        // Must not expand by more than stored-block overhead.
+        assert!(out.len() <= data.len() + 5 * (data.len() / MAX_STORED_BLOCK + 2) + 16);
+        assert_eq!(inflate(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_block_roundtrip() {
+        let mut w = BitWriter::new();
+        let tokens = vec![
+            Token::Literal(b'h'),
+            Token::Literal(b'i'),
+            Token::Match { len: 4, dist: 2 },
+        ];
+        encode_fixed_block(&mut w, &tokens, true);
+        assert_eq!(inflate(&w.finish()).unwrap(), b"hihihi");
+    }
+
+    #[test]
+    fn dynamic_block_roundtrip() {
+        let mut w = BitWriter::new();
+        let tokens: Vec<Token> = b"banana banana banana"
+            .iter()
+            .map(|&b| Token::Literal(b))
+            .collect();
+        encode_dynamic_block(&mut w, &tokens, true);
+        assert_eq!(inflate(&w.finish()).unwrap(), b"banana banana banana");
+    }
+
+    #[test]
+    fn dynamic_block_with_no_matches_has_valid_dist_tree() {
+        // No distances used at all: the forced two-code distance tree must
+        // still decode.
+        let mut w = BitWriter::new();
+        let tokens: Vec<Token> = (0..=255u8).map(Token::Literal).collect();
+        encode_dynamic_block(&mut w, &tokens, true);
+        let expect: Vec<u8> = (0..=255).collect();
+        assert_eq!(inflate(&w.finish()).unwrap(), expect);
+    }
+
+    #[test]
+    fn plan_bit_accounting_is_exact() {
+        let tokens: Vec<Token> = b"abracadabra abracadabra abracadabra"
+            .iter()
+            .map(|&b| Token::Literal(b))
+            .collect();
+        let mut hist = Histogram::new();
+        for &t in &tokens {
+            hist.record(t);
+        }
+        hist.record_end_of_block();
+        let plan = DynamicPlan::from_histogram(&hist);
+        let mut w = BitWriter::new();
+        plan.write_header(&mut w, true);
+        assert_eq!(w.bit_len(), plan.header_bits());
+        plan.write_body(&mut w, &tokens);
+        assert_eq!(w.bit_len(), plan.header_bits() + plan.body_bits(&hist));
+    }
+
+    #[test]
+    fn canned_plan_from_lengths_roundtrips() {
+        // A generic "canned" table covering every transmittable symbol
+        // (literals weighted higher). Only distance symbols 0..=29 may
+        // receive codes — 30/31 are reserved and make HDIST invalid.
+        let mut hist = Histogram::new();
+        for (s, f) in hist.litlen.iter_mut().enumerate().take(286) {
+            *f = if s < 256 { 2 } else { 1 };
+        }
+        for f in hist.dist.iter_mut().take(30) {
+            *f = 1;
+        }
+        let plan = DynamicPlan::from_histogram(&hist);
+        let canned =
+            DynamicPlan::from_lengths(plan.litlen_lengths().to_vec(), plan.dist_lengths().to_vec());
+        let tokens = vec![
+            Token::Literal(b'q'),
+            Token::Literal(0xFE),
+            Token::Match { len: 3, dist: 2 },
+            Token::Match { len: 258, dist: 5 },
+        ];
+        let mut w = BitWriter::new();
+        canned.write_header(&mut w, true);
+        canned.write_body(&mut w, &tokens);
+        let out =
+            inflate(&w.finish()).expect("canned-table block decodes");
+        assert_eq!(out, crate::lz77::expand_tokens(&tokens));
+    }
+
+    #[test]
+    fn rle_code_lengths_edge_runs() {
+        // 138-long zero run → single ZeroLong(138); 139 → ZeroLong(138)+...
+        let lengths = vec![0u8; 138];
+        assert_eq!(rle_code_lengths(&lengths), vec![ClSym::ZeroLong(138)]);
+        let lengths = vec![0u8; 139];
+        // 139 = 138 + 1: trailing single zero emitted literally.
+        assert_eq!(
+            rle_code_lengths(&lengths),
+            vec![ClSym::ZeroLong(138), ClSym::Len(0)]
+        );
+        // Nonzero run of 8: Len + Rep(6) + Len.
+        let lengths = vec![7u8; 8];
+        assert_eq!(
+            rle_code_lengths(&lengths),
+            vec![ClSym::Len(7), ClSym::Rep(6), ClSym::Len(7)]
+        );
+    }
+
+    #[test]
+    fn multi_block_output_roundtrips() {
+        // Enough tokens to force several blocks.
+        let data: Vec<u8> = (0..(MAX_BLOCK_TOKENS * 3))
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let out = deflate(&data, level(5));
+        assert_eq!(inflate(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_only_strategy_emits_no_matches() {
+        let data = b"aaaa bbbb aaaa bbbb".repeat(50);
+        let tokens = deflate_tokens_with_strategy(
+            &data,
+            level(6),
+            Strategy::HuffmanOnly,
+        );
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+        let out = Encoder::with_strategy(level(6), Strategy::HuffmanOnly).compress(&data);
+        assert_eq!(inflate(&out).unwrap(), data);
+        // Still smaller than raw: the entropy coding works alone.
+        assert!(out.len() < data.len());
+    }
+
+    #[test]
+    fn rle_strategy_compresses_runs_only() {
+        let mut data = vec![b'x'; 5000];
+        data.extend_from_slice(b"abcdefabcdefabcdef"); // repeats but no runs
+        let enc = Encoder::with_strategy(level(6), Strategy::Rle);
+        let out = enc.compress(&data);
+        assert_eq!(inflate(&out).unwrap(), data);
+        // The run compresses away; check tokens have only dist-1 matches.
+        let tokens = deflate_tokens_with_strategy(&data, level(6), Strategy::Rle);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert_eq!(*dist, 1, "RLE must never emit dist > 1");
+            }
+        }
+        assert!(out.len() < 200, "run not collapsed: {} bytes", out.len());
+    }
+
+    #[test]
+    fn rle_tokens_cover_input_exactly() {
+        for data in [&b""[..], b"a", b"ab", b"aaab", b"abbb", &[7u8; 1000]] {
+            let tokens = tokenize_rle(data);
+            assert_eq!(crate::lz77::expand_tokens(&tokens), data);
+        }
+    }
+
+    #[test]
+    fn max_match_and_max_distance_tokens_roundtrip() {
+        // Construct data that yields a maximum-distance match.
+        let mut data = vec![0u8; crate::WINDOW_SIZE];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 7) as u8 ^ (i / 531) as u8;
+        }
+        data.extend_from_slice(b"SENTINEL-0123456789abcdef");
+        let prefix: Vec<u8> = data[..64].to_vec();
+        data.extend_from_slice(&prefix);
+        for l in [1, 6, 9] {
+            let out = deflate(&data, level(l));
+            assert_eq!(inflate(&out).unwrap(), data, "level {l}");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Code-length construction: frequency histogram → per-symbol code lengths.
+//!
+//! Two constructions are provided:
+//!
+//! * [`huffman_lengths`] — classic two-queue Huffman, optimal but with
+//!   unbounded depth;
+//! * [`limited_lengths`] — the **package-merge** algorithm, producing
+//!   optimal code lengths under a maximum-length constraint. DEFLATE caps
+//!   literal/length and distance codes at 15 bits and the code-length
+//!   alphabet at 7 bits, so this is the constructor the encoder (and the
+//!   hardware model in `nx-accel`, which mimics the on-chip table builder)
+//!   actually uses.
+
+/// Builds optimal unbounded Huffman code lengths for `freqs`.
+///
+/// Symbols with zero frequency receive length 0. If exactly one symbol has
+/// nonzero frequency it receives length 1 (a zero-length code cannot be
+/// decoded). Returns an all-zero vector when every frequency is zero.
+pub fn huffman_lengths(freqs: &[u32]) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Standard heap-free two-queue construction over nodes sorted by weight.
+    #[derive(Clone, Copy)]
+    struct Node {
+        weight: u64,
+        /// Index into `nodes`; leaves reference `usize::MAX` children.
+        left: usize,
+        right: usize,
+        symbol: usize,
+    }
+    let mut leaves: Vec<Node> = used
+        .iter()
+        .map(|&s| Node { weight: u64::from(freqs[s]), left: usize::MAX, right: usize::MAX, symbol: s })
+        .collect();
+    leaves.sort_by_key(|n| n.weight);
+
+    let mut nodes: Vec<Node> = leaves.clone();
+    let mut internal: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut leaf_i = 0usize;
+
+    let take_min = |leaf_i: &mut usize,
+                    internal: &mut std::collections::VecDeque<usize>,
+                    nodes: &Vec<Node>,
+                    leaves: &Vec<Node>| {
+        let leaf_w = leaves.get(*leaf_i).map(|n| n.weight);
+        let int_w = internal.front().map(|&i| nodes[i].weight);
+        match (leaf_w, int_w) {
+            (Some(lw), Some(iw)) if lw <= iw => {
+                let idx = *leaf_i;
+                *leaf_i += 1;
+                idx
+            }
+            (Some(_), None) => {
+                let idx = *leaf_i;
+                *leaf_i += 1;
+                idx
+            }
+            (_, Some(_)) => internal.pop_front().unwrap(),
+            (None, None) => unreachable!("queues exhausted prematurely"),
+        }
+    };
+
+    let total_leaves = leaves.len();
+    for _ in 0..total_leaves - 1 {
+        let a = take_min(&mut leaf_i, &mut internal, &nodes, &leaves);
+        let b = take_min(&mut leaf_i, &mut internal, &nodes, &leaves);
+        let parent = Node {
+            weight: nodes[a].weight + nodes[b].weight,
+            left: a,
+            right: b,
+            symbol: usize::MAX,
+        };
+        nodes.push(parent);
+        internal.push_back(nodes.len() - 1);
+    }
+
+    // Depth-first traversal from the root assigns depths.
+    let root = nodes.len() - 1;
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        let n = nodes[idx];
+        if n.symbol != usize::MAX {
+            lengths[n.symbol] = depth.max(1);
+        } else {
+            stack.push((n.left, depth + 1));
+            stack.push((n.right, depth + 1));
+        }
+    }
+    lengths
+}
+
+/// Builds optimal code lengths for `freqs` subject to `max_len`, using the
+/// package-merge algorithm.
+///
+/// Zero-frequency symbols receive length 0; a single used symbol receives
+/// length 1. The result always satisfies the Kraft equality over used
+/// symbols (a complete code) unless fewer than two symbols are used.
+///
+/// # Panics
+///
+/// Panics if the constraint is infeasible, i.e. `used_symbols > 2^max_len`.
+/// DEFLATE's alphabets (≤ 288 symbols, limit 15; ≤ 19 symbols, limit 7)
+/// always fit.
+pub fn limited_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        used.len() <= 1usize << max_len,
+        "cannot code {} symbols within {} bits",
+        used.len(),
+        max_len
+    );
+
+    // Fast path: if unconstrained Huffman already fits, it is optimal.
+    let plain = huffman_lengths(freqs);
+    if plain.iter().all(|&l| l <= max_len) {
+        return plain;
+    }
+
+    // Package-merge. Items are (weight, set-of-leaves); we track leaf
+    // membership as per-symbol counts folded incrementally: each time a leaf
+    // appears in a chosen package at some level its length grows by one.
+    //
+    // Representation: at each level we carry a list of packages; a package
+    // is (weight, Vec<u16> leaf indices into `used`). Alphabet sizes here
+    // are ≤ 288 so the quadratic bookkeeping is cheap and clear.
+    #[derive(Clone)]
+    struct Pkg {
+        weight: u64,
+        leaves: Vec<u16>,
+    }
+
+    let mut singles: Vec<Pkg> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Pkg { weight: u64::from(freqs[s]), leaves: vec![i as u16] })
+        .collect();
+    singles.sort_by_key(|p| p.weight);
+
+    let mut level: Vec<Pkg> = singles.clone();
+    for _ in 1..max_len {
+        // Package: pair adjacent items.
+        let mut packaged: Vec<Pkg> = Vec::with_capacity(level.len() / 2);
+        let mut it = level.chunks_exact(2);
+        for pair in &mut it {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packaged.push(Pkg { weight: pair[0].weight + pair[1].weight, leaves });
+        }
+        // Merge with the singles of the next level.
+        let mut merged = Vec::with_capacity(packaged.len() + singles.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < singles.len() || b < packaged.len() {
+            let take_single = b >= packaged.len()
+                || (a < singles.len() && singles[a].weight <= packaged[b].weight);
+            if take_single {
+                merged.push(singles[a].clone());
+                a += 1;
+            } else {
+                let leaves = std::mem::take(&mut packaged[b].leaves);
+                merged.push(Pkg { weight: packaged[b].weight, leaves });
+                b += 1;
+            }
+        }
+        level = merged;
+    }
+
+    // Choose the first 2n-2 items; each leaf occurrence adds one bit.
+    let n = used.len();
+    let mut counts = vec![0u8; n];
+    for pkg in level.iter().take(2 * n - 2) {
+        for &leaf in &pkg.leaves {
+            counts[leaf as usize] += 1;
+        }
+    }
+    for (i, &s) in used.iter().enumerate() {
+        lengths[s] = counts[i];
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kraft(lengths: &[u8]) -> f64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1.0 / f64::from(1u32 << l))
+            .sum()
+    }
+
+    fn cost(freqs: &[u32], lengths: &[u8]) -> u64 {
+        freqs
+            .iter()
+            .zip(lengths)
+            .map(|(&f, &l)| u64::from(f) * u64::from(l))
+            .sum()
+    }
+
+    #[test]
+    fn empty_and_single_symbol() {
+        assert_eq!(huffman_lengths(&[0, 0, 0]), vec![0, 0, 0]);
+        assert_eq!(huffman_lengths(&[0, 7, 0]), vec![0, 1, 0]);
+        assert_eq!(limited_lengths(&[0, 0], 15), vec![0, 0]);
+        assert_eq!(limited_lengths(&[9, 0], 15), vec![1, 0]);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        assert_eq!(huffman_lengths(&[1, 1000]), vec![1, 1]);
+        assert_eq!(limited_lengths(&[1, 1000], 15), vec![1, 1]);
+    }
+
+    #[test]
+    fn classic_example_is_optimal() {
+        // Frequencies with a known optimal cost.
+        let freqs = [5u32, 9, 12, 13, 16, 45];
+        let lengths = huffman_lengths(&freqs);
+        assert_eq!(cost(&freqs, &lengths), 224); // canonical Huffman cost
+        assert!((kraft(&lengths) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fibonacci_forces_limiting() {
+        // Fibonacci weights create a maximally skewed tree; limiting to 6
+        // bits must still produce a complete, valid code.
+        let freqs = [1u32, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144];
+        let plain = huffman_lengths(&freqs);
+        assert!(plain.iter().any(|&l| l > 6));
+        let limited = limited_lengths(&freqs, 6);
+        assert!(limited.iter().all(|&l| l <= 6 && l > 0));
+        assert!((kraft(&limited) - 1.0).abs() < 1e-12);
+        // Package-merge is optimal among limited codes: it can't beat the
+        // unconstrained cost, and must be within the theoretical bound.
+        assert!(cost(&freqs, &limited) >= cost(&freqs, &plain));
+    }
+
+    #[test]
+    fn limited_matches_plain_when_unconstrained() {
+        let freqs = [10u32, 20, 30, 40];
+        assert_eq!(
+            cost(&freqs, &limited_lengths(&freqs, 15)),
+            cost(&freqs, &huffman_lengths(&freqs))
+        );
+    }
+
+    #[test]
+    fn deflate_alphabet_sizes_fit() {
+        // 288 literal/length symbols all used, uniform: lengths must fit 15.
+        let freqs = vec![1u32; 288];
+        let lengths = limited_lengths(&freqs, 15);
+        assert!(lengths.iter().all(|&l| l > 0 && l <= 15));
+        assert!((kraft(&lengths) - 1.0).abs() < 1e-12);
+        // Code-length alphabet: 19 symbols, limit 7.
+        let freqs = vec![3u32; 19];
+        let lengths = limited_lengths(&freqs, 7);
+        assert!(lengths.iter().all(|&l| l > 0 && l <= 7));
+    }
+
+    #[test]
+    fn package_merge_optimality_brute_force() {
+        // For a tiny alphabet, exhaustively verify optimality at limit 3.
+        let freqs = [37u32, 14, 8, 5, 2];
+        let pm = limited_lengths(&freqs, 3);
+        assert!(pm.iter().all(|&l| l <= 3));
+        assert!((kraft(&pm) - 1.0).abs() < 1e-12);
+        // Enumerate all length assignments 1..=3 satisfying Kraft == 1.
+        let mut best = u64::MAX;
+        let n = freqs.len();
+        let mut assign = vec![1u8; n];
+        loop {
+            let k = kraft(&assign);
+            if (k - 1.0).abs() < 1e-12 {
+                best = best.min(cost(&freqs, &assign));
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    // done
+                    assert_eq!(cost(&freqs, &pm), best);
+                    return;
+                }
+                if assign[i] < 3 {
+                    assign[i] += 1;
+                    break;
+                }
+                assign[i] = 1;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_frequencies_stay_zero() {
+        let freqs = [0u32, 5, 0, 7, 0, 11, 0];
+        for lengths in [huffman_lengths(&freqs), limited_lengths(&freqs, 4)] {
+            assert_eq!(lengths[0], 0);
+            assert_eq!(lengths[2], 0);
+            assert_eq!(lengths[4], 0);
+            assert_eq!(lengths[6], 0);
+            assert!(lengths[1] > 0 && lengths[3] > 0 && lengths[5] > 0);
+        }
+    }
+}

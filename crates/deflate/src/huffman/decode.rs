@@ -1,0 +1,303 @@
+//! Two-level Huffman decoding tables.
+//!
+//! A 9-bit root table resolves all codes of ≤ 9 bits with a single lookup;
+//! longer codes chain to a second-level subtable. This is the structure
+//! zlib's inflate uses, and is also a faithful model of the multi-bit
+//! lookup the hardware decompressor performs each cycle.
+
+
+use crate::bitio::BitReader;
+use crate::{Error, Result};
+
+/// Number of bits resolved by the root table.
+pub const ROOT_BITS: u32 = 9;
+
+/// Packed table entry.
+///
+/// * invalid: `0`
+/// * leaf: `payload = symbol`, `len = code length (consumed bits)`
+/// * root link: `payload = subtable base`, `len = extra bits indexed by the
+///   subtable`, `link = true`
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Entry(u32);
+
+impl Entry {
+    const LINK: u32 = 1 << 31;
+
+    fn leaf(symbol: u16, len: u8) -> Self {
+        Entry(u32::from(symbol) | (u32::from(len) << 16))
+    }
+    fn link(base: u32, extra: u8) -> Self {
+        Entry(base | (u32::from(extra) << 16) | Self::LINK)
+    }
+    #[inline]
+    fn is_invalid(self) -> bool {
+        self.0 == 0
+    }
+    #[inline]
+    fn is_link(self) -> bool {
+        self.0 & Self::LINK != 0
+    }
+    #[inline]
+    fn payload(self) -> u32 {
+        self.0 & 0xFFFF
+    }
+    #[inline]
+    fn len(self) -> u32 {
+        (self.0 >> 16) & 0xFF
+    }
+}
+
+/// A built decoding table for one Huffman alphabet.
+///
+/// ```
+/// use nx_deflate::huffman::decode::DecodeTable;
+/// use nx_deflate::bitio::{BitReader, BitWriter};
+/// use nx_deflate::huffman::canonical_codes;
+///
+/// # fn main() -> Result<(), nx_deflate::Error> {
+/// let lengths = [2u8, 2, 2, 2];
+/// let table = DecodeTable::new(&lengths)?;
+/// let codes = canonical_codes(&lengths)?;
+/// let mut w = BitWriter::new();
+/// w.write_bits(u64::from(codes[3].bits), u32::from(codes[3].len));
+/// let bytes = w.finish();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(table.decode(&mut r)?, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeTable {
+    root: Vec<Entry>,
+    sub: Vec<Entry>,
+    max_len: u8,
+}
+
+impl DecodeTable {
+    /// Builds a table from per-symbol code lengths.
+    ///
+    /// Incomplete codes are allowed (unassigned patterns decode to
+    /// [`Error::InvalidSymbol`]); oversubscribed codes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCodeLengths`] if the lengths oversubscribe the code
+    /// space or exceed 15 bits.
+    pub fn new(lengths: &[u8]) -> Result<Self> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len > super::MAX_CODE_LEN {
+            return Err(Error::InvalidCodeLengths);
+        }
+        let codes = super::canonical_codes(lengths)?; // validates Kraft
+        let mut root = vec![Entry::default(); 1 << ROOT_BITS];
+        let mut sub: Vec<Entry> = Vec::new();
+
+        // First pass: fill short codes, and compute per-prefix maximum
+        // extra length for long codes.
+        let mut extra_of_prefix = std::collections::HashMap::new();
+        for (sym, code) in codes.iter().enumerate() {
+            let len = u32::from(code.len);
+            if len == 0 {
+                continue;
+            }
+            if len <= ROOT_BITS {
+                let stride = 1usize << len;
+                let mut idx = usize::from(code.bits);
+                while idx < root.len() {
+                    root[idx] = Entry::leaf(sym as u16, code.len);
+                    idx += stride;
+                }
+            } else {
+                let prefix = usize::from(code.bits) & ((1 << ROOT_BITS) - 1);
+                let extra = (len - ROOT_BITS) as u8;
+                let e = extra_of_prefix.entry(prefix).or_insert(0u8);
+                *e = (*e).max(extra);
+            }
+        }
+
+        // Allocate subtables per prefix.
+        let mut base_of_prefix = std::collections::HashMap::new();
+        let mut prefixes: Vec<_> = extra_of_prefix.iter().map(|(&p, &e)| (p, e)).collect();
+        prefixes.sort_unstable();
+        for (prefix, extra) in prefixes {
+            let base = sub.len() as u32;
+            sub.resize(sub.len() + (1 << extra), Entry::default());
+            base_of_prefix.insert(prefix, (base, extra));
+            root[prefix] = Entry::link(base, extra);
+        }
+
+        // Second pass: fill long codes into their subtables.
+        for (sym, code) in codes.iter().enumerate() {
+            let len = u32::from(code.len);
+            if len <= ROOT_BITS {
+                continue;
+            }
+            let prefix = usize::from(code.bits) & ((1 << ROOT_BITS) - 1);
+            let (base, extra) = base_of_prefix[&prefix];
+            let hi = usize::from(code.bits) >> ROOT_BITS; // len-ROOT_BITS bits
+            let sublen = (len - ROOT_BITS) as u8;
+            let stride = 1usize << sublen;
+            let mut idx = hi;
+            while idx < 1 << extra {
+                sub[base as usize + idx] = Entry::leaf(sym as u16, sublen);
+                idx += stride;
+            }
+        }
+
+        Ok(Self { root, sub, max_len })
+    }
+
+    /// Longest code length in this table (0 for an empty alphabet).
+    pub fn max_code_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Decodes one symbol from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidSymbol`] if the upcoming bits match no assigned
+    ///   code;
+    /// * [`Error::UnexpectedEof`] if the stream ends mid-code.
+    #[inline]
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16> {
+        let window = reader.peek_bits(ROOT_BITS);
+        let entry = self.root[window as usize];
+        if entry.is_invalid() {
+            // Either an unassigned pattern or EOF-truncated bits.
+            return if reader.bits_remaining() == 0 {
+                Err(Error::UnexpectedEof)
+            } else {
+                Err(Error::InvalidSymbol)
+            };
+        }
+        if !entry.is_link() {
+            reader.consume(entry.len())?;
+            return Ok(entry.payload() as u16);
+        }
+        let extra = entry.len();
+        let wide = reader.peek_bits(ROOT_BITS + extra) >> ROOT_BITS;
+        let se = self.sub[entry.payload() as usize + wide as usize];
+        if se.is_invalid() {
+            return if reader.bits_remaining() < u64::from(ROOT_BITS + extra) {
+                Err(Error::UnexpectedEof)
+            } else {
+                Err(Error::InvalidSymbol)
+            };
+        }
+        reader.consume(ROOT_BITS + se.len())?;
+        Ok(se.payload() as u16)
+    }
+}
+
+/// Builds a decode table directly from canonical code descriptions —
+/// convenience for tests that start from explicit codes.
+pub fn table_from_lengths(lengths: &[u8]) -> Result<DecodeTable> {
+    DecodeTable::new(lengths)
+}
+
+/// Round-trip helper: encodes `symbols` with the canonical code for
+/// `lengths` and decodes them back. Used by property tests.
+#[doc(hidden)]
+pub fn roundtrip_symbols(lengths: &[u8], symbols: &[u16]) -> Result<Vec<u16>> {
+    use crate::bitio::BitWriter;
+    let codes = super::canonical_codes(lengths)?;
+    let mut w = BitWriter::new();
+    for &s in symbols {
+        let c = codes[s as usize];
+        assert!(c.len > 0, "encoding unused symbol {s}");
+        w.write_bits(u64::from(c.bits), u32::from(c.len));
+    }
+    let bytes = w.finish();
+    let table = DecodeTable::new(lengths)?;
+    let mut r = BitReader::new(&bytes);
+    let mut out = Vec::with_capacity(symbols.len());
+    for _ in 0..symbols.len() {
+        out.push(table.decode(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huffman::build::limited_lengths;
+
+    #[test]
+    fn decodes_short_codes() {
+        let lengths = [1u8, 2, 3, 3];
+        let symbols = [0u16, 1, 2, 3, 3, 2, 1, 0, 0];
+        assert_eq!(roundtrip_symbols(&lengths, &symbols).unwrap(), symbols);
+    }
+
+    #[test]
+    fn decodes_codes_longer_than_root() {
+        // Create an alphabet that forces >9-bit codes: skewed frequencies.
+        let mut freqs = vec![0u32; 300];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = 1 + (i as u32 % 7) + if i < 4 { 100_000 } else { 0 };
+        }
+        let lengths = limited_lengths(&freqs, 15);
+        assert!(lengths.iter().any(|&l| l > 9), "need long codes for this test");
+        let symbols: Vec<u16> = (0..300u16).collect();
+        assert_eq!(roundtrip_symbols(&lengths, &symbols).unwrap(), symbols);
+    }
+
+    #[test]
+    fn exactly_nine_and_ten_bit_boundary() {
+        // 512 symbols of 9 bits: fully saturates the root table.
+        let lengths = vec![9u8; 512];
+        let symbols: Vec<u16> = (0..512u16).rev().collect();
+        assert_eq!(roundtrip_symbols(&lengths, &symbols).unwrap(), symbols);
+        // 1024 symbols of 10 bits: everything goes through subtables.
+        let lengths = vec![10u8; 1024];
+        let symbols: Vec<u16> = (0..1024u16).step_by(3).collect();
+        assert_eq!(roundtrip_symbols(&lengths, &symbols).unwrap(), symbols);
+    }
+
+    #[test]
+    fn invalid_pattern_detected() {
+        // Incomplete code: single 2-bit code; patterns 0b01..0b11 invalid.
+        let lengths = [2u8, 0];
+        let table = DecodeTable::new(&lengths).unwrap();
+        let data = [0xFFu8];
+        let mut r = BitReader::new(&data);
+        assert_eq!(table.decode(&mut r), Err(Error::InvalidSymbol));
+    }
+
+    #[test]
+    fn eof_mid_code_detected() {
+        let lengths = vec![10u8; 1024];
+        let table = DecodeTable::new(&lengths).unwrap();
+        let data = [0x00u8]; // only 8 bits available, need 10
+        let mut r = BitReader::new(&data);
+        assert_eq!(table.decode(&mut r), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        let table = DecodeTable::new(&[1, 1]).unwrap();
+        let mut r = BitReader::new(&[]);
+        assert_eq!(table.decode(&mut r), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn single_symbol_table() {
+        let table = DecodeTable::new(&[0, 1, 0]).unwrap();
+        let data = [0b0000_0000u8];
+        let mut r = BitReader::new(&data);
+        assert_eq!(table.decode(&mut r).unwrap(), 1);
+    }
+
+    #[test]
+    fn max_code_len_reported() {
+        assert_eq!(DecodeTable::new(&[1, 2, 2]).unwrap().max_code_len(), 2);
+        assert_eq!(DecodeTable::new(&[0, 0]).unwrap().max_code_len(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        assert!(DecodeTable::new(&[1, 1, 1]).is_err());
+    }
+}

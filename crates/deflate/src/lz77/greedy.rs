@@ -1,0 +1,162 @@
+//! Greedy match finder — zlib's `deflate_fast` strategy (levels 1–3).
+//!
+//! At each position the longest match among up to `max_chain` candidates is
+//! taken immediately; positions covered by a match are inserted into the
+//! dictionary but not searched.
+
+use super::hash::{match_length, HashChains};
+use super::{MatcherConfig, Token};
+use crate::{MIN_MATCH, WINDOW_SIZE};
+
+/// Finds the best match for `pos` among the chain candidates.
+///
+/// Returns `(length, distance)` of the longest candidate of length ≥
+/// `MIN_MATCH`, or `None`. Ties prefer the nearest (newest) candidate, like
+/// zlib (`>` comparison while walking newest-first).
+pub(crate) fn best_match(
+    chains: &HashChains,
+    data: &[u8],
+    pos: usize,
+    cfg: &MatcherConfig,
+    prev_len: usize,
+) -> Option<(usize, usize)> {
+    if pos + MIN_MATCH > data.len() {
+        return None;
+    }
+    // zlib halves the chain budget when the previous match was "good".
+    let mut budget = cfg.max_chain;
+    if prev_len >= cfg.good_length {
+        budget >>= 2;
+    }
+    let nice = cfg.nice_length.min(data.len() - pos);
+    let mut best_len = prev_len.max(MIN_MATCH - 1);
+    let mut best: Option<(usize, usize)> = None;
+    for cand in chains.candidates(data, pos, budget.max(1)) {
+        // Quick reject: last byte of a would-be longer match must differ.
+        if pos + best_len < data.len()
+            && best_len >= MIN_MATCH
+            && data[cand + best_len] != data[pos + best_len]
+        {
+            continue;
+        }
+        let len = match_length(data, cand, pos);
+        if len > best_len {
+            best_len = len;
+            best = Some((len, pos - cand));
+            if len >= nice {
+                break;
+            }
+        }
+    }
+    debug_assert!(best.is_none_or(|(_, d)| d <= WINDOW_SIZE));
+    best
+}
+
+/// Tokenizes `data` with the greedy strategy under `cfg`.
+pub fn tokenize_greedy(data: &[u8], cfg: &MatcherConfig) -> Vec<Token> {
+    tokenize_greedy_from(data, 0, cfg)
+}
+
+/// Tokenizes `data[start..]` with the greedy strategy; `data[..start]` is
+/// *history* — it is indexed for matching (so tokens may reference back
+/// into it) but produces no tokens. This is the chunked/streaming entry
+/// point: `start` bytes of prior stream precede the new chunk.
+pub fn tokenize_greedy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec<Token> {
+    let mut chains = HashChains::new();
+    let mut tokens = Vec::with_capacity((data.len() - start) / 3 + 8);
+    for p in 0..start.min(data.len().saturating_sub(MIN_MATCH - 1)) {
+        chains.insert(data, p);
+    }
+    let mut pos = start;
+    while pos < data.len() {
+        let found = if pos + MIN_MATCH <= data.len() {
+            best_match(&chains, data, pos, cfg, 0)
+        } else {
+            None
+        };
+        match found {
+            Some((len, dist)) => {
+                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                // Insert all covered positions (zlib inserts up to the
+                // penultimate byte of the match).
+                let end = (pos + len).min(data.len().saturating_sub(MIN_MATCH - 1));
+                for p in pos..end {
+                    chains.insert(data, p);
+                }
+                pos += len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                if pos + MIN_MATCH <= data.len() {
+                    chains.insert(data, pos);
+                }
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lz77::expand_tokens;
+
+    fn cfg() -> MatcherConfig {
+        MatcherConfig::for_level(1)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize_greedy(b"", &cfg()).is_empty());
+    }
+
+    #[test]
+    fn all_literals_for_unique_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        let tokens = tokenize_greedy(&data, &cfg());
+        assert_eq!(tokens.len(), 256);
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+    }
+
+    #[test]
+    fn finds_simple_repeat() {
+        let data = b"abcdefabcdef";
+        let tokens = tokenize_greedy(data, &cfg());
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { len: 6, dist: 6 })));
+        assert_eq!(expand_tokens(&tokens), data);
+    }
+
+    #[test]
+    fn run_length_via_overlap() {
+        let data = vec![b'z'; 300];
+        let tokens = tokenize_greedy(&data, &MatcherConfig::for_level(3));
+        assert_eq!(expand_tokens(&tokens), data);
+        // A run should compress to literal + a few overlapping matches.
+        assert!(tokens.len() <= 4, "run produced {} tokens", tokens.len());
+    }
+
+    #[test]
+    fn roundtrips_arbitrary_data_all_levels() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.push((i.wrapping_mul(2654435761) >> 13) as u8);
+            if i % 7 == 0 {
+                data.extend_from_slice(b"pattern");
+            }
+        }
+        for level in 1..=3 {
+            let cfg = MatcherConfig::for_level(level);
+            let tokens = tokenize_greedy(&data, &cfg);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(tokens.iter().all(Token::is_valid));
+        }
+    }
+
+    #[test]
+    fn tail_shorter_than_min_match_is_literal() {
+        let data = b"ab";
+        let tokens = tokenize_greedy(data, &cfg());
+        assert_eq!(tokens, vec![Token::Literal(b'a'), Token::Literal(b'b')]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Lazy match finder — zlib's `deflate_slow` strategy (levels 4–9).
+//!
+//! After finding a match at position `p`, the matcher also evaluates
+//! position `p + 1`; if the later match is strictly longer, the byte at `p`
+//! is emitted as a literal and the longer match wins. This one-token
+//! lookahead recovers most of the ratio a globally optimal parse would
+//! find, at modest cost. The ISCA paper's accelerator *cannot* afford this
+//! sequential dependence — its speculative parallel resolver (modeled in
+//! `nx-accel`) approximates it combinatorially — which is precisely the
+//! ratio trade-off experiment E12 measures.
+
+use super::greedy::best_match;
+use super::hash::HashChains;
+use super::{MatcherConfig, Token};
+use crate::MIN_MATCH;
+
+/// Tokenizes `data` with the lazy strategy under `cfg`.
+pub fn tokenize_lazy(data: &[u8], cfg: &MatcherConfig) -> Vec<Token> {
+    tokenize_lazy_from(data, 0, cfg)
+}
+
+/// Tokenizes `data[start..]` with the lazy strategy; `data[..start]` is
+/// history (indexed, not emitted) — see
+/// [`super::greedy::tokenize_greedy_from`].
+pub fn tokenize_lazy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec<Token> {
+    let mut chains = HashChains::new();
+    let mut tokens = Vec::with_capacity((data.len() - start) / 3 + 8);
+    for p in 0..start.min(data.len().saturating_sub(MIN_MATCH - 1)) {
+        chains.insert(data, p);
+    }
+    let mut pos = start;
+
+    // Pending match from the previous position, if any.
+    let mut prev: Option<(usize, usize)> = None; // (len, dist) anchored at pos-1
+
+    while pos < data.len() {
+        let cur = if pos + MIN_MATCH <= data.len() {
+            let prev_len = prev.map_or(0, |(l, _)| l);
+            // zlib refuses to extend searches once the previous match
+            // reached max_lazy.
+            if prev_len >= cfg.max_lazy {
+                None
+            } else {
+                best_match(&chains, data, pos, cfg, prev_len)
+            }
+        } else {
+            None
+        };
+
+        match (prev, cur) {
+            (Some((plen, pdist)), cur) => {
+                let improved = cur.is_some_and(|(clen, _)| clen > plen);
+                if improved {
+                    // Defer again: previous position becomes a literal.
+                    tokens.push(Token::Literal(data[pos - 1]));
+                    if pos + MIN_MATCH <= data.len() {
+                        chains.insert(data, pos);
+                    }
+                    prev = cur;
+                    pos += 1;
+                } else {
+                    // Commit the previous match (anchored at pos-1).
+                    tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+                    let start = pos; // pos-1 already inserted
+                    let end = (pos - 1 + plen).min(data.len().saturating_sub(MIN_MATCH - 1));
+                    for p in start..end {
+                        chains.insert(data, p);
+                    }
+                    pos = pos - 1 + plen;
+                    prev = None;
+                }
+            }
+            (None, Some((clen, cdist))) => {
+                if clen >= cfg.max_lazy || clen >= cfg.nice_length {
+                    // Long enough: take it immediately (no deferral).
+                    tokens.push(Token::Match { len: clen as u16, dist: cdist as u16 });
+                    let end = (pos + clen).min(data.len().saturating_sub(MIN_MATCH - 1));
+                    for p in pos..end {
+                        chains.insert(data, p);
+                    }
+                    pos += clen;
+                } else {
+                    // Defer the decision by one byte.
+                    chains.insert(data, pos);
+                    prev = Some((clen, cdist));
+                    pos += 1;
+                }
+            }
+            (None, None) => {
+                tokens.push(Token::Literal(data[pos]));
+                if pos + MIN_MATCH <= data.len() {
+                    chains.insert(data, pos);
+                }
+                pos += 1;
+            }
+        }
+    }
+    // A pending match at end-of-input: it fit entirely in the buffer
+    // (best_match caps at the input end), so commit it.
+    if let Some((plen, pdist)) = prev {
+        tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lz77::{expand_tokens, greedy::tokenize_greedy};
+
+    fn cfg(level: u32) -> MatcherConfig {
+        MatcherConfig::for_level(level)
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(tokenize_lazy(b"", &cfg(6)).is_empty());
+        assert_eq!(
+            tokenize_lazy(b"ab", &cfg(6)),
+            vec![Token::Literal(b'a'), Token::Literal(b'b')]
+        );
+    }
+
+    #[test]
+    fn lazy_prefers_later_longer_match() {
+        // Classic case: "abcbcdbcde" — at 'b'(4) greedy takes "bcd" (dist 3)
+        // but deferring one byte.. construct a cleaner canonical case:
+        // data = "xabcd" + "yabcde" + "abcde!" ... keep it simple: verify
+        // lazy never produces a worse total token input span than greedy on
+        // a crafted input where deferral wins.
+        let data = b"0abc1abcd__0abc1abcd__xabcdefgh+abcdefgh";
+        let lazy = tokenize_lazy(data, &cfg(9));
+        let greedy = tokenize_greedy(data, &cfg(9));
+        assert_eq!(expand_tokens(&lazy), data);
+        assert_eq!(expand_tokens(&greedy), data);
+        assert!(lazy.len() <= greedy.len());
+    }
+
+    #[test]
+    fn roundtrips_structured_data_all_levels() {
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(format!("key{}=value{};", i % 57, i % 13).as_bytes());
+        }
+        for level in 4..=9 {
+            let tokens = tokenize_lazy(&data, &cfg(level));
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(tokens.iter().all(Token::is_valid));
+        }
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_data() {
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 7) as u8
+            })
+            .collect();
+        let tokens = tokenize_lazy(&data, &cfg(6));
+        assert_eq!(expand_tokens(&tokens), data);
+    }
+
+    #[test]
+    fn long_run_compresses_tightly() {
+        let data = vec![b'r'; 10_000];
+        let tokens = tokenize_lazy(&data, &cfg(6));
+        assert_eq!(expand_tokens(&tokens), data);
+        assert!(tokens.len() < 60, "run produced {} tokens", tokens.len());
+    }
+
+    #[test]
+    fn higher_levels_never_worse_on_text() {
+        let data: Vec<u8> = std::iter::repeat_n(&b"the quick brown fox jumps over the lazy dog. pack my box with five dozen liquor jugs. "[..], 50)
+        .flatten()
+        .copied()
+        .collect();
+        let t4 = tokenize_lazy(&data, &cfg(4)).len();
+        let t9 = tokenize_lazy(&data, &cfg(9)).len();
+        assert!(t9 <= t4, "level 9 ({t9}) worse than level 4 ({t4})");
+    }
+
+    #[test]
+    fn pending_match_at_eof_committed() {
+        // Input engineered so a deferred match is pending when input ends.
+        let data = b"abcdXabcd";
+        let tokens = tokenize_lazy(data, &cfg(6));
+        assert_eq!(expand_tokens(&tokens), data);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+    }
+}

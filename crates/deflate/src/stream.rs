@@ -1,0 +1,472 @@
+//! Streaming (chunked) compression with history carry-over.
+//!
+//! Large streams cannot be compressed in one buffer: zlib processes them
+//! through repeated `deflate()` calls, and the NX accelerator through a
+//! sequence of CRBs whose source DDEs prepend the previous 32 KB of data
+//! as *history*. [`StreamEncoder`] reproduces that model: each
+//! [`write`](StreamEncoder::write) emits complete non-final blocks whose
+//! matches may reach back into earlier chunks, and [`Flush`] controls the
+//! chunk boundary semantics (`Sync` emits the classic zlib empty stored
+//! block so the output so far is byte-aligned and decodable).
+//!
+//! ```
+//! use nx_deflate::stream::{Flush, StreamEncoder};
+//! use nx_deflate::{inflate, CompressionLevel};
+//!
+//! # fn main() -> Result<(), nx_deflate::Error> {
+//! let mut enc = StreamEncoder::new(CompressionLevel::new(6)?);
+//! let mut out = enc.write(b"first chunk first chunk ", Flush::None);
+//! out.extend(enc.write(b"first chunk again", Flush::Finish));
+//! assert_eq!(inflate(&out)?, b"first chunk first chunk first chunk again");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bitio::BitWriter;
+use crate::encoder::{choose_and_encode_block, encode_fixed_block, CompressionLevel, MAX_BLOCK_TOKENS};
+use crate::lz77::{
+    greedy::tokenize_greedy_from, lazy::tokenize_lazy_from, MatcherConfig, Token,
+};
+use crate::WINDOW_SIZE;
+
+/// Chunk-boundary behaviour for [`StreamEncoder::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flush {
+    /// Emit complete blocks for this chunk and keep the stream open.
+    None,
+    /// As `None`, then append an empty stored block (`00 00 FF FF`
+    /// payload) so everything emitted so far decodes and ends
+    /// byte-aligned — zlib's `Z_SYNC_FLUSH`.
+    Sync,
+    /// Close the stream: the last block is flagged final (an empty final
+    /// block is appended if this chunk is empty).
+    Finish,
+}
+
+/// A chunked DEFLATE encoder carrying the 32 KB window across calls.
+#[derive(Debug)]
+pub struct StreamEncoder {
+    level: CompressionLevel,
+    /// Up to [`WINDOW_SIZE`] bytes of the most recent input.
+    tail: Vec<u8>,
+    /// The persistent bit writer: the DEFLATE bit stream is continuous
+    /// across chunks, so partial bytes stay buffered here between calls.
+    w: BitWriter,
+    finished: bool,
+    total_in: u64,
+}
+
+impl StreamEncoder {
+    /// Creates an encoder at `level`.
+    pub fn new(level: CompressionLevel) -> Self {
+        Self { level, tail: Vec::new(), w: BitWriter::new(), finished: false, total_in: 0 }
+    }
+
+    /// Total input bytes consumed so far.
+    pub fn total_in(&self) -> u64 {
+        self.total_in
+    }
+
+    /// Whether [`Flush::Finish`] has been processed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Compresses `chunk`, returning the bytes produced by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Flush::Finish`].
+    pub fn write(&mut self, chunk: &[u8], flush: Flush) -> Vec<u8> {
+        assert!(!self.finished, "write after Flush::Finish");
+        self.total_in += chunk.len() as u64;
+
+        if !chunk.is_empty() {
+            // Tokenize the chunk against the carried window.
+            let start = self.tail.len();
+            let mut buf = Vec::with_capacity(start + chunk.len());
+            buf.extend_from_slice(&self.tail);
+            buf.extend_from_slice(chunk);
+            let tokens = if self.level.get() == 0 {
+                chunk.iter().map(|&b| Token::Literal(b)).collect()
+            } else {
+                let cfg = MatcherConfig::for_level(self.level.get());
+                if MatcherConfig::is_lazy_level(self.level.get()) {
+                    tokenize_lazy_from(&buf, start, &cfg)
+                } else {
+                    tokenize_greedy_from(&buf, start, &cfg)
+                }
+            };
+            // Emit in bounded blocks; final only if finishing.
+            let mut start_tok = 0usize;
+            let mut byte_pos = 0usize;
+            while start_tok < tokens.len() {
+                let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
+                let span: usize =
+                    tokens[start_tok..end_tok].iter().map(Token::input_len).sum();
+                let is_last_block = end_tok == tokens.len();
+                let is_final = is_last_block && flush == Flush::Finish;
+                choose_and_encode_block(
+                    &mut self.w,
+                    &chunk[byte_pos..byte_pos + span],
+                    &tokens[start_tok..end_tok],
+                    is_final,
+                );
+                start_tok = end_tok;
+                byte_pos += span;
+            }
+            // Carry the window forward.
+            if chunk.len() >= WINDOW_SIZE {
+                self.tail.clear();
+                self.tail.extend_from_slice(&chunk[chunk.len() - WINDOW_SIZE..]);
+            } else {
+                self.tail.extend_from_slice(chunk);
+                let excess = self.tail.len().saturating_sub(WINDOW_SIZE);
+                if excess > 0 {
+                    self.tail.drain(..excess);
+                }
+            }
+        }
+
+        match flush {
+            Flush::None => {}
+            Flush::Sync => {
+                // Empty non-final stored block: aligns to a byte boundary.
+                crate::encoder::encode_stored_block(&mut self.w, &[], false);
+            }
+            Flush::Finish => {
+                if chunk.is_empty() {
+                    encode_fixed_block(&mut self.w, &[], true);
+                }
+                self.w.align_to_byte();
+                self.finished = true;
+            }
+        }
+        self.w.take_bytes()
+    }
+
+    /// Closes the stream, returning any final bytes. Equivalent to
+    /// `write(&[], Flush::Finish)`; idempotent no-op when already
+    /// finished.
+    pub fn finish(&mut self) -> Vec<u8> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.write(&[], Flush::Finish)
+    }
+}
+
+/// A push-based streaming decompressor: feed compressed bytes as they
+/// arrive, collect output as blocks complete.
+///
+/// Decoding is block-at-a-time: after each [`push`](InflateStream::push)
+/// the engine decodes every block that is now fully available and holds
+/// position at the first incomplete one. The 32 KB window is carried
+/// internally, so consumed input and produced output can both be dropped
+/// by the caller.
+///
+/// ```
+/// use nx_deflate::stream::InflateStream;
+/// use nx_deflate::{deflate, CompressionLevel};
+///
+/// # fn main() -> Result<(), nx_deflate::Error> {
+/// let data = b"streamed payload streamed payload".repeat(50);
+/// let comp = deflate(&data, CompressionLevel::new(6)?);
+/// let mut dec = InflateStream::new();
+/// let mut out = Vec::new();
+/// for chunk in comp.chunks(7) {
+///     out.extend(dec.push(chunk)?);
+/// }
+/// assert!(dec.is_finished());
+/// assert_eq!(out, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct InflateStream {
+    /// Unconsumed compressed input (compacted to whole bytes).
+    buf: Vec<u8>,
+    /// Bit offset of the next undecoded block within `buf`.
+    bit_pos: u64,
+    /// The carried output window (last ≤ 32 KB of produced output).
+    window: Vec<u8>,
+    finished: bool,
+    total_out: u64,
+}
+
+impl InflateStream {
+    /// An empty stream decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the final block has been decoded.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total bytes produced so far.
+    pub fn total_out(&self) -> u64 {
+        self.total_out
+    }
+
+    /// Feeds more compressed bytes; returns the output of every block
+    /// completed by this push.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::Error`] for malformed input. Input past the final
+    /// block is ignored (callers handle trailers themselves).
+    pub fn push(&mut self, bytes: &[u8]) -> crate::Result<Vec<u8>> {
+        if self.finished {
+            return Ok(Vec::new());
+        }
+        self.buf.extend_from_slice(bytes);
+        let mut produced = Vec::new();
+        loop {
+            // Attempt one block from the current bit position on a fresh
+            // engine primed with the carried window.
+            let mut inf = crate::decoder::Inflater::new(&self.buf);
+            inf.prime_window(&self.window);
+            if inf.skip_bits(self.bit_pos).is_err() {
+                break; // not even the position's bits are present yet
+            }
+            match inf.decode_block(usize::MAX) {
+                Ok(()) => {
+                    self.bit_pos = inf.bit_position();
+                    let out = inf.output().to_vec();
+                    self.total_out += out.len() as u64;
+                    // Update the carried window.
+                    self.window.extend_from_slice(&out);
+                    let excess = self.window.len().saturating_sub(crate::WINDOW_SIZE);
+                    if excess > 0 {
+                        self.window.drain(..excess);
+                    }
+                    if inf.is_finished() {
+                        self.finished = true;
+                    }
+                    produced.extend(out);
+                    // Compact consumed whole bytes.
+                    let whole = (self.bit_pos / 8) as usize;
+                    if whole > 0 {
+                        self.buf.drain(..whole);
+                        self.bit_pos %= 8;
+                    }
+                    if self.finished {
+                        break;
+                    }
+                }
+                Err(crate::Error::UnexpectedEof) => break, // need more input
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(produced)
+    }
+
+    /// Declares end of input.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::UnexpectedEof`] if the stream was incomplete.
+    pub fn finish(&self) -> crate::Result<()> {
+        if self.finished {
+            Ok(())
+        } else {
+            Err(crate::Error::UnexpectedEof)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate;
+
+    fn lvl(l: u32) -> CompressionLevel {
+        CompressionLevel::new(l).unwrap()
+    }
+
+    fn chunked_roundtrip(data: &[u8], chunk_size: usize, level: u32) -> Vec<u8> {
+        let mut enc = StreamEncoder::new(lvl(level));
+        let mut out = Vec::new();
+        let chunks: Vec<&[u8]> = data.chunks(chunk_size.max(1)).collect();
+        for (i, c) in chunks.iter().enumerate() {
+            let flush = if i + 1 == chunks.len() { Flush::Finish } else { Flush::None };
+            out.extend(enc.write(c, flush));
+        }
+        if !enc.is_finished() {
+            out.extend(enc.finish());
+        }
+        assert_eq!(inflate(&out).unwrap(), data);
+        out
+    }
+
+    #[test]
+    fn chunked_equals_whole_for_decoding() {
+        let data: Vec<u8> = b"streaming chunked compression with history carry ".repeat(400);
+        for chunk in [100usize, 1024, 7919, data.len()] {
+            for level in [1u32, 6, 9] {
+                chunked_roundtrip(&data, chunk, level);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_chunk_matches_found() {
+        // Second chunk repeats the first exactly: with history carry the
+        // second chunk compresses to almost nothing.
+        let motif: Vec<u8> = (0..8000u32).map(|i| (i % 251) as u8).collect();
+        let mut enc = StreamEncoder::new(lvl(6));
+        let first = enc.write(&motif, Flush::None);
+        let second = enc.write(&motif, Flush::Finish);
+        let mut all = first.clone();
+        all.extend_from_slice(&second);
+        assert_eq!(inflate(&all).unwrap(), [motif.clone(), motif.clone()].concat());
+        assert!(
+            second.len() < first.len() / 5,
+            "no history reuse: {} vs {}",
+            second.len(),
+            first.len()
+        );
+    }
+
+    #[test]
+    fn sync_flush_is_decodable_midstream() {
+        let mut enc = StreamEncoder::new(lvl(6));
+        let part1 = enc.write(b"first part of the stream ", Flush::Sync);
+        // A sync-flushed prefix decodes once a final block follows; emulate
+        // a reader that appends an empty final block.
+        let mut probe = part1.clone();
+        let mut w = BitWriter::new();
+        encode_fixed_block(&mut w, &[], true);
+        probe.extend(w.finish());
+        assert_eq!(inflate(&probe).unwrap(), b"first part of the stream ");
+        // And the real stream continues correctly.
+        let part2 = enc.write(b"and the rest", Flush::Finish);
+        let mut all = part1;
+        all.extend(part2);
+        assert_eq!(inflate(&all).unwrap(), b"first part of the stream and the rest");
+    }
+
+    #[test]
+    fn sync_flush_emits_the_classic_marker() {
+        let mut enc = StreamEncoder::new(lvl(6));
+        let out = enc.write(b"x", Flush::Sync);
+        // The empty stored block ends with LEN=0000, NLEN=FFFF.
+        assert!(
+            out.windows(4).any(|w| w == [0x00, 0x00, 0xFF, 0xFF]),
+            "missing 00 00 FF FF marker: {out:02x?}"
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut enc = StreamEncoder::new(lvl(6));
+        let out = enc.finish();
+        assert_eq!(inflate(&out).unwrap(), b"");
+        assert!(enc.is_finished());
+        assert!(enc.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "after Flush::Finish")]
+    fn write_after_finish_panics() {
+        let mut enc = StreamEncoder::new(lvl(6));
+        let _ = enc.finish();
+        let _ = enc.write(b"more", Flush::None);
+    }
+
+    #[test]
+    fn window_capped_at_32k() {
+        let mut enc = StreamEncoder::new(lvl(1));
+        let big = vec![3u8; 100_000];
+        let _ = enc.write(&big, Flush::None);
+        assert!(enc.tail.len() <= WINDOW_SIZE);
+        assert_eq!(enc.total_in(), 100_000);
+    }
+
+    #[test]
+    fn level0_streams_stored_blocks() {
+        let data = vec![9u8; 70_000];
+        chunked_roundtrip(&data, 30_000, 0);
+    }
+
+    #[test]
+    fn inflate_stream_handles_any_chunking() {
+        let data: Vec<u8> = b"push-based streaming inflate, block by block. ".repeat(300);
+        let comp = crate::deflate(&data, lvl(6));
+        for chunk in [1usize, 3, 17, 256, comp.len()] {
+            let mut dec = InflateStream::new();
+            let mut out = Vec::new();
+            for c in comp.chunks(chunk) {
+                out.extend(dec.push(c).unwrap());
+            }
+            assert!(dec.is_finished(), "chunk {chunk}");
+            dec.finish().unwrap();
+            assert_eq!(out, data, "chunk {chunk}");
+            assert_eq!(dec.total_out(), data.len() as u64);
+        }
+    }
+
+    #[test]
+    fn inflate_stream_crosses_32k_window_boundaries() {
+        // Multi-block stream much larger than the window: the carried
+        // window must keep far matches decodable.
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 7 + (i / 9731) % 31) as u8).collect();
+        let comp = crate::deflate(&data, lvl(6));
+        let mut dec = InflateStream::new();
+        let mut out = Vec::new();
+        for c in comp.chunks(4096) {
+            out.extend(dec.push(c).unwrap());
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn inflate_stream_reports_incomplete_input() {
+        let comp = crate::deflate(b"never finished", lvl(6));
+        let mut dec = InflateStream::new();
+        let _ = dec.push(&comp[..comp.len() - 1]).unwrap();
+        assert!(!dec.is_finished());
+        assert_eq!(dec.finish(), Err(crate::Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn inflate_stream_rejects_corruption() {
+        let mut comp = crate::deflate(&vec![b'q'; 50_000], lvl(6));
+        comp[10] ^= 0xFF;
+        let mut dec = InflateStream::new();
+        let mut failed = false;
+        for c in comp.chunks(64) {
+            if dec.push(c).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed || !dec.is_finished(), "corruption escaped detection");
+    }
+
+    #[test]
+    fn inflate_stream_decodes_sync_flushed_producer_incrementally() {
+        // A producer that sync-flushes lets the consumer see each chunk's
+        // bytes as soon as they arrive.
+        let mut enc = StreamEncoder::new(lvl(6));
+        let mut dec = InflateStream::new();
+        let a = enc.write(b"first message|", Flush::Sync);
+        let got_a = dec.push(&a).unwrap();
+        assert_eq!(got_a, b"first message|");
+        let b = enc.write(b"second message", Flush::Finish);
+        let got_b = dec.push(&b).unwrap();
+        assert_eq!(got_b, b"second message");
+        assert!(dec.is_finished());
+    }
+
+    #[test]
+    fn inflate_stream_ignores_pushes_after_final_block() {
+        let comp = crate::deflate(b"done", lvl(1));
+        let mut dec = InflateStream::new();
+        let out = dec.push(&comp).unwrap();
+        assert_eq!(out, b"done");
+        assert!(dec.push(b"trailing garbage").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! The zlib container (RFC 1950) around raw DEFLATE.
+//!
+//! zlib framing is what the Java/Spark `Deflater` APIs and the z15
+//! `DFLTCC` zlib-compatible mode produce: a 2-byte header and an Adler-32
+//! trailer.
+
+use crate::adler32::adler32;
+use crate::encoder::CompressionLevel;
+use crate::{decoder, Error, Result};
+
+/// CM=8 (DEFLATE), CINFO=7 (32 KB window).
+const CMF: u8 = 0x78;
+
+/// Compresses `data` into a zlib stream.
+///
+/// ```
+/// use nx_deflate::zlib;
+/// use nx_deflate::CompressionLevel;
+/// # fn main() -> Result<(), nx_deflate::Error> {
+/// let z = zlib::compress(b"payload", CompressionLevel::new(6)?);
+/// assert_eq!(zlib::decompress(&z)?, b"payload");
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    write_header(&mut out, level);
+    out.extend_from_slice(&crate::deflate(data, level));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Wraps an already-produced raw DEFLATE stream in zlib framing. `adler`
+/// is the Adler-32 of the *uncompressed* payload.
+pub fn wrap_deflate(deflate_stream: &[u8], adler: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(deflate_stream.len() + 6);
+    write_header(&mut out, CompressionLevel::default());
+    out.extend_from_slice(deflate_stream);
+    out.extend_from_slice(&adler.to_be_bytes());
+    out
+}
+
+fn write_header(out: &mut Vec<u8>, level: CompressionLevel) {
+    // FLEVEL advisory bits per zlib convention.
+    let flevel: u8 = match level.get() {
+        0..=1 => 0,
+        2..=5 => 1,
+        6 => 2,
+        _ => 3,
+    };
+    let mut flg = flevel << 6; // FDICT=0
+    // FCHECK makes (CMF*256 + FLG) a multiple of 31.
+    let rem = (u16::from(CMF) * 256 + u16::from(flg)) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(CMF);
+    out.push(flg);
+}
+
+/// Compresses `data` against a preset dictionary into a zlib stream with
+/// the FDICT flag and DICTID field (RFC 1950 §2.2), the wire format of
+/// zlib's `deflateSetDictionary`.
+pub fn compress_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> Vec<u8> {
+    if dict.is_empty() {
+        return compress(data, level);
+    }
+    let mut out = Vec::with_capacity(data.len() / 2 + 20);
+    // Header with FDICT set.
+    let flevel: u8 = match level.get() {
+        0..=1 => 0,
+        2..=5 => 1,
+        6 => 2,
+        _ => 3,
+    };
+    let mut flg = (flevel << 6) | 0x20;
+    let rem = (u16::from(CMF) * 256 + u16::from(flg)) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    out.push(CMF);
+    out.push(flg);
+    out.extend_from_slice(&adler32(dict).to_be_bytes());
+    out.extend_from_slice(&crate::encoder::deflate_with_dict(data, level, dict));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompresses a zlib stream that requires the given preset dictionary,
+/// verifying both the DICTID and the payload Adler-32.
+///
+/// # Errors
+///
+/// * [`Error::BadZlibHeader`] if the stream does not request a dictionary
+///   or requests a different one (DICTID mismatch);
+/// * otherwise as [`decompress`].
+pub fn decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 10 {
+        return Err(Error::UnexpectedEof);
+    }
+    let (cmf, flg) = (data[0], data[1]);
+    if cmf & 0x0F != 8
+        || cmf >> 4 > 7
+        || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0
+    {
+        return Err(Error::BadZlibHeader);
+    }
+    if flg & 0x20 == 0 {
+        return Err(Error::BadZlibHeader); // no dictionary requested
+    }
+    let dictid = u32::from_be_bytes(data[2..6].try_into().expect("4 bytes"));
+    if dictid != adler32(dict) {
+        return Err(Error::BadZlibHeader);
+    }
+    let mut inf = decoder::Inflater::new(&data[6..]);
+    inf.prime_window(dict);
+    inf.run(usize::MAX)?;
+    let used = inf.byte_position();
+    let out = inf.into_output();
+    let trailer_at = 6 + used;
+    if trailer_at + 4 > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    if trailer_at + 4 != data.len() {
+        return Err(Error::TrailingData);
+    }
+    let stored = u32::from_be_bytes(data[trailer_at..trailer_at + 4].try_into().expect("4"));
+    if stored != adler32(&out) {
+        return Err(Error::ZlibChecksumMismatch);
+    }
+    Ok(out)
+}
+
+/// Decompresses a zlib stream, verifying the Adler-32 trailer.
+///
+/// # Errors
+///
+/// * [`Error::BadZlibHeader`] for bad CM/CINFO/FCHECK or a preset
+///   dictionary requirement (FDICT, unsupported);
+/// * [`Error::ZlibChecksumMismatch`] on trailer mismatch;
+/// * any DEFLATE error from the payload;
+/// * [`Error::TrailingData`] if bytes follow the trailer.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 6 {
+        return Err(Error::UnexpectedEof);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0F != 8 {
+        return Err(Error::BadZlibHeader); // method must be DEFLATE
+    }
+    if cmf >> 4 > 7 {
+        return Err(Error::BadZlibHeader); // window > 32 KB
+    }
+    if (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
+        return Err(Error::BadZlibHeader);
+    }
+    if flg & 0x20 != 0 {
+        return Err(Error::BadZlibHeader); // FDICT unsupported
+    }
+    let mut inf = decoder::Inflater::new(&data[2..]);
+    inf.run(usize::MAX)?;
+    let used = inf.byte_position();
+    let out = inf.into_output();
+    let trailer_at = 2 + used;
+    if trailer_at + 4 > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    if trailer_at + 4 != data.len() {
+        return Err(Error::TrailingData);
+    }
+    let stored = u32::from_be_bytes(data[trailer_at..trailer_at + 4].try_into().unwrap());
+    if stored != adler32(&out) {
+        return Err(Error::ZlibChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lvl(l: u32) -> CompressionLevel {
+        CompressionLevel::new(l).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let data = b"zlib container roundtrip payload payload payload";
+        for l in 0..=9 {
+            let z = compress(data, lvl(l));
+            assert_eq!(decompress(&z).unwrap(), data, "level {l}");
+        }
+    }
+
+    #[test]
+    fn header_fcheck_is_valid() {
+        for l in 0..=9 {
+            let z = compress(b"x", lvl(l));
+            assert_eq!((u16::from(z[0]) * 256 + u16::from(z[1])) % 31, 0, "level {l}");
+        }
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        let mut z = compress(b"x", lvl(6));
+        z[0] = (z[0] & 0xF0) | 7;
+        assert_eq!(decompress(&z), Err(Error::BadZlibHeader));
+    }
+
+    #[test]
+    fn bad_fcheck_rejected() {
+        let mut z = compress(b"x", lvl(6));
+        z[1] ^= 0x01;
+        assert_eq!(decompress(&z), Err(Error::BadZlibHeader));
+    }
+
+    #[test]
+    fn fdict_rejected() {
+        let mut z = compress(b"x", lvl(6));
+        z[1] |= 0x20;
+        // Fix FCHECK so the header error is specifically FDICT.
+        let rem = (u16::from(z[0]) * 256 + u16::from(z[1] & !0x1F)) % 31;
+        z[1] = (z[1] & !0x1F) | ((31 - rem) % 31) as u8;
+        assert_eq!(decompress(&z), Err(Error::BadZlibHeader));
+    }
+
+    #[test]
+    fn adler_mismatch_rejected() {
+        let mut z = compress(b"checksum check", lvl(6));
+        let n = z.len();
+        z[n - 1] ^= 0xFF;
+        assert_eq!(decompress(&z), Err(Error::ZlibChecksumMismatch));
+    }
+
+    #[test]
+    fn trailing_data_rejected() {
+        let mut z = compress(b"x", lvl(6));
+        z.push(0);
+        assert_eq!(decompress(&z), Err(Error::TrailingData));
+    }
+
+    #[test]
+    fn wrap_deflate_matches_compress() {
+        let data = b"external deflate stream";
+        let raw = crate::deflate(data, lvl(4));
+        let z = wrap_deflate(&raw, adler32(data));
+        assert_eq!(decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let z = compress(b"", lvl(9));
+        assert_eq!(decompress(&z).unwrap(), b"");
+    }
+
+    #[test]
+    fn decodes_reference_zlib_stream() {
+        // Byte-exact output of the reference zlib C library
+        // (`compress2(level=6)`) for the ASCII string "hello" — a
+        // fixed-Huffman block. Decoding it proves interoperability with
+        // streams produced outside this workspace.
+        let reference: [u8; 13] = [
+            0x78, 0x9C, 0xCB, 0x48, 0xCD, 0xC9, 0xC9, 0x07, 0x00, 0x06, 0x2C, 0x02, 0x15,
+        ];
+        assert_eq!(decompress(&reference).unwrap(), b"hello");
+        // And the raw DEFLATE payload on its own.
+        assert_eq!(crate::inflate(&reference[2..11]).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn dictionary_roundtrip_and_gain() {
+        // Records share structure with the dictionary: with the dict the
+        // first record compresses far better.
+        let dict = b"{\"user\": \"\", \"region\": \"\", \"status\": \"active\", \"score\": }";
+        let record = b"{\"user\": \"alice\", \"region\": \"eu\", \"status\": \"active\", \"score\": 97}";
+        let with = compress_with_dict(record, lvl(9), dict);
+        let without = compress(record, lvl(9));
+        assert_eq!(decompress_with_dict(&with, dict).unwrap(), record);
+        assert!(with.len() + 4 < without.len(), "{} vs {}", with.len(), without.len());
+    }
+
+    #[test]
+    fn wrong_dictionary_rejected() {
+        let z = compress_with_dict(b"payload", lvl(6), b"right dictionary");
+        assert_eq!(
+            decompress_with_dict(&z, b"wrong dictionary"),
+            Err(Error::BadZlibHeader)
+        );
+    }
+
+    #[test]
+    fn plain_decompress_rejects_fdict_stream() {
+        let z = compress_with_dict(b"payload", lvl(6), b"dict");
+        assert_eq!(decompress(&z), Err(Error::BadZlibHeader));
+    }
+
+    #[test]
+    fn dict_stream_without_fdict_rejected_by_dict_decoder() {
+        let z = compress(b"payload", lvl(6));
+        assert_eq!(decompress_with_dict(&z, b"dict"), Err(Error::BadZlibHeader));
+    }
+
+    #[test]
+    fn raw_dict_helpers_roundtrip() {
+        let dict: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+        let data: Vec<u8> = dict.iter().rev().copied().chain(dict.iter().copied()).collect();
+        for level in [1u32, 6, 9] {
+            let raw = crate::encoder::deflate_with_dict(
+                &data,
+                lvl(level),
+                &dict,
+            );
+            assert_eq!(
+                crate::decoder::inflate_with_dict(&raw, &dict).unwrap(),
+                data,
+                "level {level}"
+            );
+        }
+    }
+}

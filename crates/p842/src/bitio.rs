@@ -1,0 +1,106 @@
+//! MSB-first bit I/O — 842 packs fields big-endian-first, unlike DEFLATE.
+
+use crate::{Error, Result};
+
+/// MSB-first bit writer.
+#[derive(Debug, Default)]
+pub(crate) struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value`, most-significant bit first.
+    pub(crate) fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57);
+        debug_assert!(n == 64 || value < (1u64 << n));
+        self.acc = (self.acc << n) | value;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push(((self.acc >> self.nbits) & 0xFF) as u8);
+        }
+    }
+
+    /// Zero-pads to a byte boundary and returns the buffer.
+    pub(crate) fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.out.push((self.acc & 0xFF) as u8);
+            self.nbits = 0;
+        }
+        self.out
+    }
+
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub(crate) struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Reads exactly `n <= 32` bits, MSB-first.
+    pub(crate) fn read_bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 32);
+        while self.nbits < n {
+            if self.pos >= self.data.len() {
+                return Err(Error::UnexpectedEof);
+            }
+            self.acc = (self.acc << 8) | u64::from(self.data[self.pos]);
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        self.nbits -= n;
+        let v = (self.acc >> self.nbits) & ((1u64 << n) - 1);
+        Ok(if n == 0 { 0 } else { v as u32 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_msb_first() {
+        let mut w = BitWriter::new();
+        let runs: &[(u64, u32)] = &[(0b10110, 5), (0x1FF, 9), (0, 3), (0xFFFF, 16), (1, 1)];
+        for &(v, n) in runs {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in runs {
+            assert_eq!(u64::from(r.read_bits(n).unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn msb_bit_order_on_the_wire() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0000000, 7);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+}

@@ -1,0 +1,174 @@
+//! The 842 decompressor.
+
+use crate::bitio::BitReader;
+use crate::format::{
+    resolve_index, Action, I2_BITS, I2_FIFO, I4_BITS, I4_FIFO, I8_BITS, I8_FIFO, OP_BITS, OP_END,
+    OP_REPEAT, OP_SHORT_DATA, OP_ZEROS, REPEAT_BITS, SHORT_DATA_BITS, TEMPLATES,
+};
+use crate::{Error, Result};
+
+/// Decompresses an 842 stream.
+///
+/// # Errors
+///
+/// Any [`Error`] variant describing the malformation encountered.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    decompress_with_limit(data, usize::MAX)
+}
+
+/// Decompresses an 842 stream with an output-size bound.
+///
+/// # Errors
+///
+/// [`Error::OutputLimitExceeded`] once output would pass `limit`; otherwise
+/// as [`decompress`].
+pub fn decompress_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+
+    loop {
+        let op = r.read_bits(OP_BITS)? as u8;
+        match op {
+            0x00..=0x19 => {
+                let total = (out.len() as u64 / 8) * 8;
+                let mut chunk = [0u8; 8];
+                let mut slot = 0usize;
+                for a in TEMPLATES[usize::from(op)] {
+                    match a {
+                        Action::D2 => {
+                            let v = r.read_bits(16)? as u16;
+                            chunk[slot * 2..slot * 2 + 2].copy_from_slice(&v.to_be_bytes());
+                        }
+                        Action::D4 => {
+                            let v = r.read_bits(32)?;
+                            chunk[slot * 2..slot * 2 + 4].copy_from_slice(&v.to_be_bytes());
+                        }
+                        Action::D8 => {
+                            let hi = u64::from(r.read_bits(32)?);
+                            let lo = u64::from(r.read_bits(32)?);
+                            chunk.copy_from_slice(&(((hi << 32) | lo).to_be_bytes()));
+                        }
+                        Action::I2 => {
+                            let idx = u64::from(r.read_bits(I2_BITS)?);
+                            let off = resolve_index(idx, 2, I2_FIFO, total)
+                                .ok_or(Error::IndexOutOfRange)?;
+                            chunk[slot * 2..slot * 2 + 2]
+                                .copy_from_slice(&out[off as usize..off as usize + 2]);
+                        }
+                        Action::I4 => {
+                            let idx = u64::from(r.read_bits(I4_BITS)?);
+                            let off = resolve_index(idx, 4, I4_FIFO, total)
+                                .ok_or(Error::IndexOutOfRange)?;
+                            chunk[slot * 2..slot * 2 + 4]
+                                .copy_from_slice(&out[off as usize..off as usize + 4]);
+                        }
+                        Action::I8 => {
+                            let idx = u64::from(r.read_bits(I8_BITS)?);
+                            let off = resolve_index(idx, 8, I8_FIFO, total)
+                                .ok_or(Error::IndexOutOfRange)?;
+                            chunk.copy_from_slice(&out[off as usize..off as usize + 8]);
+                        }
+                        Action::N0 => {}
+                    }
+                    slot += a.slots();
+                }
+                push_all(&mut out, &chunk, limit)?;
+            }
+            OP_ZEROS => push_all(&mut out, &[0u8; 8], limit)?,
+            OP_REPEAT => {
+                let count = r.read_bits(REPEAT_BITS)? as usize + 1;
+                if out.len() < 8 {
+                    return Err(Error::IndexOutOfRange);
+                }
+                let chunk: [u8; 8] = out[out.len() - 8..].try_into().expect("last chunk");
+                for _ in 0..count {
+                    push_all(&mut out, &chunk, limit)?;
+                }
+            }
+            OP_SHORT_DATA => {
+                let count = r.read_bits(SHORT_DATA_BITS)? as usize;
+                if count == 0 {
+                    return Err(Error::InvalidShortData);
+                }
+                for _ in 0..count {
+                    let b = r.read_bits(8)? as u8;
+                    push_all(&mut out, &[b], limit)?;
+                }
+            }
+            OP_END => return Ok(out),
+            other => return Err(Error::InvalidOpcode(other)),
+        }
+    }
+}
+
+fn push_all(out: &mut Vec<u8>, bytes: &[u8], limit: usize) -> Result<()> {
+    if out.len() + bytes.len() > limit {
+        return Err(Error::OutputLimitExceeded);
+    }
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress;
+
+    #[test]
+    fn empty_stream_is_just_end() {
+        let c = compress(b"");
+        assert!(c.len() <= 1);
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        // 0x1F is undefined; craft a stream starting with it.
+        let data = [0b1111_1000u8]; // 5 bits: 11111
+        assert_eq!(decompress(&data), Err(Error::InvalidOpcode(0x1F)));
+    }
+
+    #[test]
+    fn repeat_without_prior_chunk_rejected() {
+        // OP_REPEAT (0x1B = 11011) + count 0.
+        let mut w = crate::bitio::BitWriter::new();
+        w.write_bits(0x1B, 5);
+        w.write_bits(0, 6);
+        w.write_bits(u64::from(OP_END), 5);
+        assert_eq!(decompress(&w.finish()), Err(Error::IndexOutOfRange));
+    }
+
+    #[test]
+    fn short_data_zero_count_rejected() {
+        let mut w = crate::bitio::BitWriter::new();
+        w.write_bits(u64::from(OP_SHORT_DATA), 5);
+        w.write_bits(0, 3);
+        assert_eq!(decompress(&w.finish()), Err(Error::InvalidShortData));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let c = compress(b"some data that compresses into a few ops....");
+        for cut in 1..c.len().min(6) {
+            assert!(decompress(&c[..c.len() - cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let data = vec![7u8; 4096];
+        let c = compress(&data);
+        assert_eq!(decompress_with_limit(&c, 100), Err(Error::OutputLimitExceeded));
+        assert_eq!(decompress_with_limit(&c, 4096).unwrap(), data);
+    }
+
+    #[test]
+    fn index_out_of_range_rejected() {
+        // Template 0x19 (I8) as the very first op: nothing to reference.
+        let mut w = crate::bitio::BitWriter::new();
+        w.write_bits(0x19, 5);
+        w.write_bits(0, 8);
+        w.write_bits(u64::from(OP_END), 5);
+        assert_eq!(decompress(&w.finish()), Err(Error::IndexOutOfRange));
+    }
+}

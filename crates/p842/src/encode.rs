@@ -1,0 +1,287 @@
+//! The 842 compressor.
+//!
+//! For each 8-byte chunk the encoder consults three small hash maps (last
+//! position of each 8-, 4- and 2-byte group), validates candidates against
+//! the ring-buffer window geometry, and picks the cheapest of the 26
+//! templates; all-zero chunks and chunk repeats use the dedicated opcodes.
+//! This follows the hardware algorithm's structure: per-chunk greedy
+//! template choice with no cross-chunk search.
+
+use crate::bitio::BitWriter;
+use crate::format::{
+    index_for_offset, Action, I2_FIFO, I4_FIFO, I8_FIFO, OP_BITS, OP_END, OP_REPEAT,
+    OP_SHORT_DATA, OP_ZEROS, REPEAT_BITS, SHORT_DATA_BITS, TEMPLATES,
+};
+use std::collections::HashMap;
+
+/// Per-run statistics from [`compress_with_stats`] — consumed by the
+/// accelerator throughput model and the E14 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Whole 8-byte chunks processed.
+    pub chunks: u64,
+    /// Chunks emitted via `OP_ZEROS`.
+    pub zero_chunks: u64,
+    /// Chunks folded into `OP_REPEAT`.
+    pub repeat_chunks: u64,
+    /// Chunks emitted fully literal (template 0x00).
+    pub literal_chunks: u64,
+    /// Chunks that used at least one index reference.
+    pub indexed_chunks: u64,
+    /// Output size in bytes.
+    pub output_bytes: u64,
+}
+
+/// Compresses `data` into an 842 stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with_stats(data).0
+}
+
+/// Compresses `data`, also returning encoder statistics.
+pub fn compress_with_stats(data: &[u8]) -> (Vec<u8>, CompressStats) {
+    let mut w = BitWriter::new();
+    let mut stats = CompressStats::default();
+
+    let mut map8: HashMap<u64, u64> = HashMap::new();
+    let mut map4: HashMap<u32, u64> = HashMap::new();
+    let mut map2: HashMap<u16, u64> = HashMap::new();
+
+    let chunk_count = data.len() / 8;
+    let mut i = 0usize;
+    let mut last_chunk: Option<[u8; 8]> = None;
+
+    while i < chunk_count {
+        let pos = (i * 8) as u64;
+        let chunk: [u8; 8] = data[i * 8..i * 8 + 8].try_into().expect("chunk");
+        stats.chunks += 1;
+
+        if last_chunk == Some(chunk) {
+            // Fold the maximal run of repeats into REPEAT ops.
+            let mut run = 0usize;
+            while i + run < chunk_count
+                && data[(i + run) * 8..(i + run) * 8 + 8] == chunk
+                && run < 64
+            {
+                run += 1;
+            }
+            w.write_bits(u64::from(OP_REPEAT), OP_BITS);
+            w.write_bits(run as u64 - 1, REPEAT_BITS);
+            stats.repeat_chunks += run as u64;
+            stats.chunks += run as u64 - 1;
+            // Update hash maps for every repeated chunk position.
+            for r in 0..run {
+                update_maps(&mut map8, &mut map4, &mut map2, &chunk, pos + (r * 8) as u64);
+            }
+            i += run;
+            continue;
+        }
+
+        if chunk == [0u8; 8] {
+            w.write_bits(u64::from(OP_ZEROS), OP_BITS);
+            stats.zero_chunks += 1;
+            update_maps(&mut map8, &mut map4, &mut map2, &chunk, pos);
+            last_chunk = Some(chunk);
+            i += 1;
+            continue;
+        }
+
+        // Candidate indices per group.
+        let g8 = u64::from_be_bytes(chunk);
+        let i8x = map8
+            .get(&g8)
+            .and_then(|&q| index_for_offset(q, 8, I8_FIFO, pos));
+        let mut i4x: [Option<u64>; 2] = [None; 2];
+        let mut i2x: [Option<u64>; 4] = [None; 4];
+        for (h, slot) in i4x.iter_mut().enumerate() {
+            let g = u32::from_be_bytes(chunk[h * 4..h * 4 + 4].try_into().expect("g4"));
+            *slot = map4
+                .get(&g)
+                .and_then(|&q| index_for_offset(q, 4, I4_FIFO, pos));
+        }
+        for (h, slot) in i2x.iter_mut().enumerate() {
+            let g = u16::from_be_bytes(chunk[h * 2..h * 2 + 2].try_into().expect("g2"));
+            *slot = map2
+                .get(&g)
+                .and_then(|&q| index_for_offset(q, 2, I2_FIFO, pos));
+        }
+
+        // Pick the cheapest feasible template.
+        let (op, _) = best_template(i8x, &i4x, &i2x);
+        let actions = TEMPLATES[usize::from(op)];
+        if op == 0x00 {
+            stats.literal_chunks += 1;
+        } else {
+            stats.indexed_chunks += 1;
+        }
+        w.write_bits(u64::from(op), OP_BITS);
+        let mut slot = 0usize;
+        for a in actions {
+            match a {
+                Action::D2 => {
+                    let v = u16::from_be_bytes(chunk[slot * 2..slot * 2 + 2].try_into().expect("d2"));
+                    w.write_bits(u64::from(v), 16);
+                }
+                Action::D4 => {
+                    let v = u32::from_be_bytes(chunk[slot * 2..slot * 2 + 4].try_into().expect("d4"));
+                    w.write_bits(u64::from(v), 32);
+                }
+                Action::D8 => {
+                    // 64 bits exceeds the writer's single-call limit; split.
+                    let v = u64::from_be_bytes(chunk);
+                    w.write_bits(v >> 32, 32);
+                    w.write_bits(v & 0xFFFF_FFFF, 32);
+                }
+                Action::I2 => {
+                    w.write_bits(i2x[slot].expect("validated i2"), crate::format::I2_BITS);
+                }
+                Action::I4 => {
+                    w.write_bits(i4x[slot / 2].expect("validated i4"), crate::format::I4_BITS);
+                }
+                Action::I8 => {
+                    w.write_bits(i8x.expect("validated i8"), crate::format::I8_BITS);
+                }
+                Action::N0 => {}
+            }
+            slot += a.slots();
+        }
+
+        update_maps(&mut map8, &mut map4, &mut map2, &chunk, pos);
+        last_chunk = Some(chunk);
+        i += 1;
+    }
+
+    // Trailing short data.
+    let tail = &data[chunk_count * 8..];
+    if !tail.is_empty() {
+        w.write_bits(u64::from(OP_SHORT_DATA), OP_BITS);
+        w.write_bits(tail.len() as u64, SHORT_DATA_BITS);
+        for &b in tail {
+            w.write_bits(u64::from(b), 8);
+        }
+    }
+    w.write_bits(u64::from(OP_END), OP_BITS);
+    let out = w.finish();
+    stats.output_bytes = out.len() as u64;
+    (out, stats)
+}
+
+/// Records the groups of `chunk` (at byte offset `pos`) in the hash maps.
+fn update_maps(
+    map8: &mut HashMap<u64, u64>,
+    map4: &mut HashMap<u32, u64>,
+    map2: &mut HashMap<u16, u64>,
+    chunk: &[u8; 8],
+    pos: u64,
+) {
+    map8.insert(u64::from_be_bytes(*chunk), pos);
+    for h in 0..2 {
+        let g = u32::from_be_bytes(chunk[h * 4..h * 4 + 4].try_into().expect("g4"));
+        map4.insert(g, pos + (h * 4) as u64);
+    }
+    for h in 0..4 {
+        let g = u16::from_be_bytes(chunk[h * 2..h * 2 + 2].try_into().expect("g2"));
+        map2.insert(g, pos + (h * 2) as u64);
+    }
+}
+
+/// Chooses the cheapest template whose index actions are all available.
+/// Returns `(opcode, payload_bits)`.
+fn best_template(i8x: Option<u64>, i4x: &[Option<u64>; 2], i2x: &[Option<u64>; 4]) -> (u8, u32) {
+    let mut best_op = 0x00u8;
+    let mut best_bits = 64u32; // template 0x00: D8
+    for (op, actions) in TEMPLATES.iter().enumerate() {
+        let mut bits = 0u32;
+        let mut slot = 0usize;
+        let mut feasible = true;
+        for &a in actions {
+            match a {
+                Action::I2 if i2x[slot].is_none() => feasible = false,
+                Action::I4 if i4x[slot / 2].is_none() => feasible = false,
+                Action::I8 if i8x.is_none() => feasible = false,
+                _ => {}
+            }
+            bits += a.bits();
+            slot += a.slots();
+            if !feasible {
+                break;
+            }
+        }
+        if feasible && bits < best_bits {
+            best_bits = bits;
+            best_op = op as u8;
+        }
+    }
+    (best_op, best_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompress;
+
+    #[test]
+    fn zeros_use_zero_opcode() {
+        let (out, stats) = compress_with_stats(&[0u8; 80]);
+        // First chunk is ZEROS, remaining nine fold into REPEAT.
+        assert!(stats.zero_chunks >= 1);
+        assert!(stats.repeat_chunks >= 8);
+        assert!(out.len() < 10);
+        assert_eq!(decompress(&out).unwrap(), vec![0u8; 80]);
+    }
+
+    #[test]
+    fn repeated_chunks_use_repeat() {
+        let data: Vec<u8> = b"ABCDEFGH".repeat(100);
+        let (out, stats) = compress_with_stats(&data);
+        assert!(stats.repeat_chunks > 90, "{stats:?}");
+        assert!(out.len() < 40, "output {} bytes", out.len());
+        assert_eq!(decompress(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn long_repeat_run_splits_at_64() {
+        let data: Vec<u8> = b"QRSTUVWX".repeat(200); // 199 repeats > 64
+        let out = compress(&data);
+        assert_eq!(decompress(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn indexed_chunks_found() {
+        // Two identical non-adjacent chunks: second should use I8.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"PATTERN!");
+        data.extend_from_slice(b"filler__");
+        data.extend_from_slice(b"PATTERN!");
+        let (out, stats) = compress_with_stats(&data);
+        assert!(stats.indexed_chunks >= 1, "{stats:?}");
+        assert_eq!(decompress(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_expands_bounded() {
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                (x.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+            })
+            .collect();
+        let out = compress(&data);
+        // Worst case per chunk: 5 + 64 bits → ×(69/64) + end marker.
+        assert!(out.len() <= data.len() * 69 / 64 + 8);
+        assert_eq!(decompress(&out).unwrap(), data);
+    }
+
+    #[test]
+    fn stats_account_all_chunks() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(8000).collect();
+        let (_, stats) = compress_with_stats(&data);
+        assert_eq!(stats.chunks, 1000);
+        assert_eq!(
+            stats.zero_chunks + stats.repeat_chunks + stats.literal_chunks + stats.indexed_chunks,
+            stats.chunks
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! 842 format constants: opcodes, templates and index geometry.
+//!
+//! The template table and field widths follow the Linux kernel's `lib/842`
+//! description of the POWER NX hardware format.
+
+/// Width of every opcode.
+pub const OP_BITS: u32 = 5;
+/// Width of the repeat count field.
+pub const REPEAT_BITS: u32 = 6;
+/// Width of the short-data count field.
+pub const SHORT_DATA_BITS: u32 = 3;
+
+/// Index field widths.
+pub const I2_BITS: u32 = 8;
+/// See [`I2_BITS`].
+pub const I4_BITS: u32 = 9;
+/// See [`I2_BITS`].
+pub const I8_BITS: u32 = 8;
+
+/// Ring-buffer (fifo) window sizes in bytes, per group size.
+pub const I2_FIFO: u64 = 2 * (1 << I2_BITS); // 512 B
+/// See [`I2_FIFO`].
+pub const I4_FIFO: u64 = 4 * (1 << I4_BITS); // 2 KB
+/// See [`I2_FIFO`].
+pub const I8_FIFO: u64 = 8 * (1 << I8_BITS); // 2 KB
+
+/// Special opcodes (above the template range `0x00..=0x19`).
+pub const OP_REPEAT: u8 = 0x1B;
+/// Emit eight zero bytes.
+pub const OP_ZEROS: u8 = 0x1C;
+/// Trailing chunk shorter than 8 bytes.
+pub const OP_SHORT_DATA: u8 = 0x1D;
+/// End of stream.
+pub const OP_END: u8 = 0x1E;
+
+/// One action within a template, covering one or more 2-byte slots of the
+/// 8-byte chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// 2 literal bytes (16 bits).
+    D2,
+    /// 4 literal bytes (32 bits), covers two slots.
+    D4,
+    /// 8 literal bytes (64 bits), covers all four slots.
+    D8,
+    /// 8-bit index into the 2-byte fifo.
+    I2,
+    /// 9-bit index into the 4-byte fifo, covers two slots.
+    I4,
+    /// 8-bit index into the 8-byte fifo, covers all four slots.
+    I8,
+    /// Covered by a preceding multi-slot action.
+    N0,
+}
+
+impl Action {
+    /// Payload bits this action contributes to the stream.
+    pub fn bits(self) -> u32 {
+        match self {
+            Action::D2 => 16,
+            Action::D4 => 32,
+            Action::D8 => 64,
+            Action::I2 => I2_BITS,
+            Action::I4 => I4_BITS,
+            Action::I8 => I8_BITS,
+            Action::N0 => 0,
+        }
+    }
+
+    /// 2-byte slots covered.
+    pub fn slots(self) -> usize {
+        match self {
+            Action::D2 | Action::I2 => 1,
+            Action::D4 | Action::I4 => 2,
+            Action::D8 | Action::I8 => 4,
+            Action::N0 => 0,
+        }
+    }
+}
+
+/// The 26 regular templates, indexed by opcode `0x00..=0x19`.
+///
+/// Each row lists four action positions; multi-slot actions are followed
+/// by `N0` placeholders so every row has exactly four entries covering the
+/// four 2-byte slots of a chunk.
+pub const TEMPLATES: [[Action; 4]; 26] = {
+    use Action::{D2, D4, D8, I2, I4, I8, N0};
+    [
+        [D8, N0, N0, N0], // 0x00
+        [D4, D2, I2, N0], // 0x01
+        [D4, I2, D2, N0], // 0x02
+        [D4, I2, I2, N0], // 0x03
+        [D4, I4, N0, N0], // 0x04
+        [D2, I2, D4, N0], // 0x05
+        [D2, I2, D2, I2], // 0x06
+        [D2, I2, I2, D2], // 0x07
+        [D2, I2, I2, I2], // 0x08
+        [D2, I2, I4, N0], // 0x09
+        [I2, D2, D4, N0], // 0x0a
+        [I2, D4, I2, N0], // 0x0b
+        [I2, D2, I2, D2], // 0x0c
+        [I2, D2, I2, I2], // 0x0d
+        [I2, D2, I4, N0], // 0x0e
+        [I2, I2, D4, N0], // 0x0f
+        [I2, I2, D2, I2], // 0x10
+        [I2, I2, I2, D2], // 0x11
+        [I2, I2, I2, I2], // 0x12
+        [I2, I2, I4, N0], // 0x13
+        [I4, D4, N0, N0], // 0x14
+        [I4, D2, I2, N0], // 0x15
+        [I4, I2, D2, N0], // 0x16
+        [I4, I2, I2, N0], // 0x17
+        [I4, I4, N0, N0], // 0x18
+        [I8, N0, N0, N0], // 0x19
+    ]
+};
+
+/// Resolves an index-field value to an absolute byte offset in the output,
+/// given the decoder's current chunk-aligned position `total` (bytes of
+/// output rounded down to 8). Mirrors the kernel's `do_index` window
+/// arithmetic; returns `None` when the reference would precede the stream.
+pub fn resolve_index(index: u64, size: u64, fsize: u64, total: u64) -> Option<u64> {
+    let mut offset = index * size;
+    if total > fsize {
+        let mut section = (total / fsize) * fsize;
+        let pos = total - section;
+        if offset >= pos {
+            section = section.checked_sub(fsize)?;
+        }
+        offset += section;
+    }
+    if offset + size > total {
+        // References may not read data the decoder has not produced; the
+        // encoder never emits these.
+        return None;
+    }
+    Some(offset)
+}
+
+/// Computes the index-field value the encoder must emit so that
+/// [`resolve_index`] recovers byte offset `q`, or `None` if `q` has fallen
+/// out of the window. `total` is the encoder's current chunk position.
+pub fn index_for_offset(q: u64, size: u64, fsize: u64, total: u64) -> Option<u64> {
+    let index = (q % fsize) / size;
+    match resolve_index(index, size, fsize, total) {
+        Some(resolved) if resolved == q => Some(index),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_cover_exactly_four_slots() {
+        for (op, row) in TEMPLATES.iter().enumerate() {
+            let slots: usize = row.iter().map(|a| a.slots()).sum();
+            assert_eq!(slots, 4, "template {op:#04x}");
+        }
+    }
+
+    #[test]
+    fn template_zero_is_all_literal() {
+        assert_eq!(TEMPLATES[0][0], Action::D8);
+        assert_eq!(TEMPLATES[0x19][0], Action::I8);
+    }
+
+    #[test]
+    fn index_roundtrip_within_window() {
+        // Reference to offset 0 from total 8 (one chunk emitted).
+        assert_eq!(index_for_offset(0, 8, I8_FIFO, 8), Some(0));
+        assert_eq!(resolve_index(0, 8, I8_FIFO, 8), Some(0));
+        // 2-byte group at offset 6, referenced from total 8.
+        let idx = index_for_offset(6, 2, I2_FIFO, 8).unwrap();
+        assert_eq!(resolve_index(idx, 2, I2_FIFO, 8), Some(6));
+    }
+
+    #[test]
+    fn index_expires_outside_window() {
+        // A 2-byte group at offset 0 is unreachable once total > 512.
+        assert_eq!(index_for_offset(0, 2, I2_FIFO, 1024), None);
+        // At exactly total = 512 the window is [0, 512): offset 0 is the
+        // oldest still-reachable byte (kernel condition is `total > fsize`).
+        assert_eq!(index_for_offset(0, 2, I2_FIFO, 512), Some(0));
+        // One chunk later it has expired.
+        assert_eq!(index_for_offset(0, 2, I2_FIFO, 520), None);
+        // Offset 510 is still reachable from total 512.
+        let idx = index_for_offset(510, 2, I2_FIFO, 512).unwrap();
+        assert_eq!(resolve_index(idx, 2, I2_FIFO, 512), Some(510));
+    }
+
+    #[test]
+    fn wraparound_resolution_matches() {
+        // For many (q, total) pairs, index_for_offset/resolve_index agree.
+        for size_fsize in [(2u64, I2_FIFO), (4, I4_FIFO), (8, I8_FIFO)] {
+            let (size, fsize) = size_fsize;
+            for total in (8..(4 * fsize)).step_by(8) {
+                for q in (0..total).step_by(size as usize) {
+                    if let Some(idx) = index_for_offset(q, size, fsize, total) {
+                        assert_eq!(
+                            resolve_index(idx, size, fsize, total),
+                            Some(q),
+                            "size {size} q {q} total {total}"
+                        );
+                        // Must be within the last fsize bytes.
+                        assert!(total - q <= fsize, "stale ref size {size} q {q} total {total}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+#![warn(missing_docs)]
+
+//! `nx-842` — the IBM **842** compression format, implemented from scratch.
+//!
+//! 842 is the "hardware-friendly" compression algorithm implemented by the
+//! NX coprocessor on POWER processors (POWER7+ through POWER9) and used by
+//! the kernel for Active Memory Expansion and zswap. The ISCA 2020 paper's
+//! POWER9 accelerator exposes both a gzip/DEFLATE engine and an 842 engine;
+//! experiment E14 compares them.
+//!
+//! The format processes input in 8-byte chunks. Each chunk is described by
+//! a 5-bit template opcode that partitions the chunk's four 2-byte slots
+//! into literal data (`D2`/`D4`/`D8`) and back-references into small
+//! recent-history ring buffers (`I2`: 8-bit index over a 512 B window,
+//! `I4`: 9-bit index over 2 KB, `I8`: 8-bit index over 2 KB). Special
+//! opcodes encode all-zero chunks, chunk repeats, short trailing data and
+//! end-of-stream. This matches the layout documented in the Linux kernel's
+//! `lib/842` implementation, so the trade-offs (tiny window, fixed
+//! 8-byte phrase structure) are the real hardware's.
+//!
+//! ```
+//! let data = b"hello hello hello hello hello hello hello!";
+//! let compressed = nx_842::compress(data);
+//! assert_eq!(nx_842::decompress(&compressed).unwrap(), data);
+//! ```
+
+mod bitio;
+mod decode;
+mod encode;
+pub mod format;
+pub mod model;
+
+pub use decode::{decompress, decompress_with_limit};
+pub use encode::{compress, compress_with_stats, CompressStats};
+
+use std::fmt;
+
+/// Errors produced while decoding an 842 stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Input ended before `OP_END`.
+    UnexpectedEof,
+    /// An opcode outside the defined set.
+    InvalidOpcode(u8),
+    /// An index referenced data before the start of output.
+    IndexOutOfRange,
+    /// `OP_SHORT_DATA` with a zero count.
+    InvalidShortData,
+    /// Output would exceed the caller's limit.
+    OutputLimitExceeded,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of 842 stream"),
+            Error::InvalidOpcode(op) => write!(f, "invalid 842 opcode {op:#04x}"),
+            Error::IndexOutOfRange => write!(f, "842 index references data before output start"),
+            Error::InvalidShortData => write!(f, "842 short-data opcode with zero length"),
+            Error::OutputLimitExceeded => write!(f, "842 output exceeds configured limit"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_roundtrips() {
+        for data in [&b""[..], b"a", b"12345678", b"123456789", &[0u8; 64][..]] {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data, "input {data:?}");
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            Error::UnexpectedEof,
+            Error::InvalidOpcode(0x1F),
+            Error::IndexOutOfRange,
+            Error::InvalidShortData,
+            Error::OutputLimitExceeded,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Round-trip and calibration tests for the 842 codec across the synthetic
+//! corpora and under proptest fuzzing.
+
+use nx_842::{compress, compress_with_stats, decompress};
+use nx_corpus::CorpusKind;
+use proptest::prelude::*;
+
+#[test]
+fn roundtrips_every_corpus_kind() {
+    for &kind in CorpusKind::all() {
+        for len in [0usize, 1, 7, 8, 9, 4096, 65_536] {
+            let data = kind.generate(0xDEAD, len);
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data, "{kind} len {len}");
+        }
+    }
+}
+
+#[test]
+fn ratio_ordering_is_sane() {
+    let ratio = |kind: CorpusKind| {
+        let data = kind.generate(3, 1 << 16);
+        data.len() as f64 / compress(&data).len() as f64
+    };
+    let random = ratio(CorpusKind::Random);
+    let redundant = ratio(CorpusKind::Redundant);
+    let columnar = ratio(CorpusKind::Columnar);
+    assert!(random < 1.01, "842 should not compress random data ({random:.3}x)");
+    assert!(redundant > 10.0, "redundant only {redundant:.2}x");
+    assert!(columnar > 1.3, "columnar only {columnar:.2}x");
+}
+
+#[test]
+fn deflate_beats_842_on_text_as_in_the_paper() {
+    // The paper positions 842 as the low-latency memory-compression format
+    // with a weaker ratio than DEFLATE; verify that ordering here.
+    let data = CorpusKind::Text.generate(5, 1 << 16);
+    let r842 = data.len() as f64 / compress(&data).len() as f64;
+    let deflated = nx_deflate::deflate(&data, nx_deflate::CompressionLevel::default());
+    let rdef = data.len() as f64 / deflated.len() as f64;
+    assert!(rdef > r842, "deflate {rdef:.2}x vs 842 {r842:.2}x");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrips_structured_bytes(
+        motif in prop::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..200,
+        suffix in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut data: Vec<u8> = motif.iter().copied().cycle().take(motif.len() * reps).collect();
+        data.extend_from_slice(&suffix);
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = nx_842::decompress_with_limit(&data, 1 << 20);
+    }
+
+    #[test]
+    fn stats_consistent(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let (out, stats) = compress_with_stats(&data);
+        prop_assert_eq!(stats.output_bytes as usize, out.len());
+        prop_assert_eq!(stats.chunks as usize, data.len() / 8);
+        prop_assert_eq!(
+            stats.zero_chunks + stats.repeat_chunks + stats.literal_chunks + stats.indexed_chunks,
+            stats.chunks
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic typed-event queue.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of typed events.
+///
+/// Events at equal times pop in insertion order (a monotone sequence
+/// number breaks ties), which makes simulations fully deterministic.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    scheduled: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, scheduled: 0 }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Entry { time, seq: self.seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!((t1, e1), (SimTime::from_ns(10), 1));
+        // Schedule relative to the popped time, as models do.
+        q.schedule(t1 + SimTime::from_ns(5), 2);
+        q.schedule(t1 + SimTime::from_ns(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `nx-sim` — a small discrete-event simulation kernel.
+//!
+//! The system-level experiments in the `nxsim` reproduction (request
+//! latency, shared-accelerator queuing, topology scaling, the Spark-like
+//! pipeline) all run on this kernel: virtual [`SimTime`], a typed
+//! [`EventQueue`], queueing [`resource`]s (multi-server FIFO stations and
+//! serialized links), reproducible random [`rng`] streams and [`stats`]
+//! accumulators with percentiles.
+//!
+//! The kernel is deliberately *typed-event* rather than
+//! callback-/process-based: each model defines an event enum and drives a
+//! `while let Some((t, ev)) = q.pop()` loop, which keeps the borrow
+//! structure simple and the execution deterministic.
+//!
+//! ```
+//! use nx_sim::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq, Eq)]
+//! enum Ev { Arrive(u32), Done(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_ns(10), Ev::Arrive(1));
+//! q.schedule(SimTime::from_ns(5), Ev::Arrive(2));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_ns(5), Ev::Arrive(2)));
+//! ```
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use resource::{FifoStation, SerialLink};
+pub use rng::SimRng;
+pub use stats::{Percentiles, Summary};
+pub use time::SimTime;

@@ -1,0 +1,153 @@
+//! Reproducible random streams and the distributions the workload
+//! generators need (exponential inter-arrivals, bounded Pareto sizes).
+
+use crate::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random stream for one model component.
+///
+/// Wraps [`StdRng`] and adds the distribution samplers used by the
+/// system-level workloads; constructing separate streams per component
+/// keeps models reproducible under refactoring.
+#[derive(Debug)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from `seed`, mixed with a component `tag` so
+    /// different components never share a stream.
+    pub fn new(seed: u64, tag: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in tag.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { rng: StdRng::seed_from_u64(seed ^ h) }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Exponential with the given mean (inverse-transform sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite());
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Exponential inter-arrival gap as a [`SimTime`].
+    pub fn exp_time(&mut self, mean: SimTime) -> SimTime {
+        SimTime::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Bounded Pareto in `[lo, hi]` with shape `alpha` — heavy-tailed
+    /// request sizes, as seen in storage traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * (1.0 - la / ha) - 1.0) / la).powf(-1.0 / alpha)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn coin(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Picks an index in `0..n` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_tag() {
+        let mut a = SimRng::new(1, "arrivals");
+        let mut b = SimRng::new(1, "arrivals");
+        let mut c = SimRng::new(1, "sizes");
+        let xa: Vec<f64> = (0..10).map(|_| a.uniform()).collect();
+        let xb: Vec<f64> = (0..10).map(|_| b.uniform()).collect();
+        let xc: Vec<f64> = (0..10).map(|_| c.uniform()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SimRng::new(7, "exp");
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut r = SimRng::new(9, "pareto");
+        for _ in 0..10_000 {
+            let x = r.bounded_pareto(4096.0, 1_048_576.0, 1.2);
+            assert!((4096.0..=1_048_576.0 + 1.0).contains(&x), "{x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut r = SimRng::new(11, "pareto2");
+        let xs: Vec<f64> = (0..50_000).map(|_| r.bounded_pareto(1.0, 1000.0, 1.0)).collect();
+        let small = xs.iter().filter(|&&x| x < 10.0).count();
+        // With alpha=1 over [1,1000], most mass is at small sizes.
+        assert!(small > xs.len() / 2, "only {small} small values");
+    }
+
+    #[test]
+    fn coin_probability_roughly_respected() {
+        let mut r = SimRng::new(13, "coin");
+        let heads = (0..100_000).filter(|_| r.coin(0.25)).count();
+        assert!((heads as f64 / 1e5 - 0.25).abs() < 0.01, "{heads}");
+    }
+
+    #[test]
+    fn exp_time_is_positive() {
+        let mut r = SimRng::new(17, "t");
+        for _ in 0..1000 {
+            let t = r.exp_time(SimTime::from_us(10));
+            assert!(t > SimTime::ZERO);
+        }
+    }
+}

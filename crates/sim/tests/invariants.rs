@@ -1,0 +1,106 @@
+//! Property tests for the simulation kernel's invariants: event ordering,
+//! FIFO-station causality and conservation, link serialization.
+
+use nx_sim::{EventQueue, FifoStation, SerialLink, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn events_pop_in_nondecreasing_time_fifo_on_ties(
+        times in prop::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO violated among equal times");
+                }
+            }
+            last = Some((t, id));
+        }
+        prop_assert_eq!(q.total_scheduled(), times.len() as u64);
+    }
+
+    #[test]
+    fn fifo_station_conserves_work_and_respects_causality(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100),
+        servers in 1usize..8,
+    ) {
+        // Jobs must be submitted in arrival order for FIFO semantics.
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(a, _)| a);
+        let mut st = FifoStation::new(servers);
+        let mut total_service = 0u64;
+        let mut finishes = Vec::new();
+        for &(arrival, service) in &jobs {
+            let (start, finish) = st.submit(
+                SimTime::from_ns(arrival),
+                SimTime::from_ns(service),
+            );
+            prop_assert!(start >= SimTime::from_ns(arrival), "started before arrival");
+            prop_assert_eq!(finish, start + SimTime::from_ns(service));
+            total_service += service;
+            finishes.push(finish);
+        }
+        prop_assert_eq!(st.busy_time(), SimTime::from_ns(total_service));
+        prop_assert_eq!(st.completed(), jobs.len() as u64);
+        // Utilization over the horizon never exceeds 1.
+        let end = finishes.iter().max().copied().unwrap();
+        prop_assert!(st.utilization(end) <= 1.0 + 1e-9);
+        // A station can never finish all work faster than the critical
+        // bound: total service / servers.
+        let span = end.as_ns_f64();
+        prop_assert!(span * servers as f64 + 1e-6 >= total_service as f64);
+    }
+
+    #[test]
+    fn serial_link_never_overlaps_transfers(
+        transfers in prop::collection::vec((0u64..10_000, 1u64..10_000), 1..100),
+    ) {
+        let mut transfers = transfers;
+        transfers.sort_by_key(|&(a, _)| a);
+        let mut link = SerialLink::new(1e9); // 1 B/ns
+        let mut prev_finish = SimTime::ZERO;
+        let mut total = 0u64;
+        for &(arrival, bytes) in &transfers {
+            let (start, finish) = link.transfer(SimTime::from_ns(arrival), bytes);
+            prop_assert!(start >= prev_finish, "transfer overlapped its predecessor");
+            prop_assert!(start >= SimTime::from_ns(arrival));
+            prop_assert!(finish > start);
+            prev_finish = finish;
+            total += bytes;
+        }
+        prop_assert_eq!(link.transferred(), total);
+        // The link moved `total` bytes at 1 B/ns: busy time ≥ total ns,
+        // up to one picosecond of float-truncation per transfer.
+        let slack_ns = transfers.len() as f64 * 0.001;
+        prop_assert!(link.busy_until().as_ns_f64() + slack_ns >= total as f64);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..500),
+    ) {
+        let mut p = nx_sim::Percentiles::new();
+        for &x in &xs {
+            p.record(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(p.percentile(0.0).unwrap(), xs[0]);
+        prop_assert_eq!(p.percentile(100.0).unwrap(), *xs.last().unwrap());
+        let med = p.percentile(50.0).unwrap();
+        prop_assert!(xs.contains(&med));
+        // Monotone in p.
+        let p50 = p.percentile(50.0).unwrap();
+        let p90 = p.percentile(90.0).unwrap();
+        let p99 = p.percentile(99.0).unwrap();
+        prop_assert!(p50 <= p90 && p90 <= p99);
+    }
+}

@@ -1,0 +1,226 @@
+//! The calibrated cost model: engine service time per request.
+//!
+//! Rather than re-running the cycle-accurate `nx-accel` model inside every
+//! queueing simulation (millions of jobs), the system layer calibrates a
+//! per-corpus-class linear model — marginal cycles per byte plus fixed
+//! per-request cycles — by running the real engine model once per class at
+//! construction. The calibration inputs and the queueing simulations
+//! therefore share one source of truth for engine speed.
+
+use crate::crb::Function;
+use nx_842::compress_with_stats;
+use nx_842::model as p842_model;
+use nx_accel::{AccelConfig, Accelerator};
+use nx_corpus::CorpusKind;
+use nx_sim::SimTime;
+use std::collections::HashMap;
+
+/// Calibration sample size per corpus class.
+const SAMPLE_BYTES: usize = 256 * 1024;
+
+/// Per-class calibration row.
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    /// Marginal engine cycles per input byte (compression).
+    comp_cycles_per_byte: f64,
+    /// Compression ratio achieved on the calibration sample.
+    ratio: f64,
+    /// Marginal engine cycles per *compressed* input byte (decompression).
+    decomp_cycles_per_byte: f64,
+}
+
+/// Per-class 842 calibration row.
+#[derive(Debug, Clone, Copy)]
+struct Row842 {
+    comp_cycles_per_byte: f64,
+    decomp_cycles_per_byte: f64,
+    ratio: f64,
+}
+
+/// Engine service-time model calibrated from `nx-accel`.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    name: &'static str,
+    freq_ghz: f64,
+    overhead_cycles: f64,
+    rows: HashMap<CorpusKind, Row>,
+    rows_842: HashMap<CorpusKind, Row842>,
+}
+
+impl CostModel {
+    /// Calibrates a model for `cfg` by running the cycle model on each
+    /// corpus class (deterministic in `seed`).
+    pub fn calibrate(cfg: &AccelConfig, seed: u64) -> Self {
+        let mut accel = Accelerator::new(cfg.clone());
+        let e842 = p842_model::EngineConfig::power9();
+        let mut rows = HashMap::new();
+        let mut rows_842 = HashMap::new();
+        for &kind in CorpusKind::all() {
+            let data = kind.generate(seed, SAMPLE_BYTES);
+            let (stream, cr) = accel.compress(&data);
+            let (_, dr) = accel.decompress(&stream).expect("own stream decodes");
+            let marginal_comp =
+                (cr.cycles - cr.overhead_cycles) as f64 / data.len().max(1) as f64;
+            let marginal_decomp =
+                (dr.cycles - dr.overhead_cycles) as f64 / stream.len().max(1) as f64;
+            rows.insert(
+                kind,
+                Row {
+                    comp_cycles_per_byte: marginal_comp,
+                    ratio: data.len() as f64 / stream.len().max(1) as f64,
+                    decomp_cycles_per_byte: marginal_decomp,
+                },
+            );
+            let (out842, stats) = compress_with_stats(&data);
+            let creport = p842_model::compress_cycles(&e842, &stats, data.len() as u64);
+            let dreport = p842_model::decompress_cycles(&e842, &stats, data.len() as u64);
+            rows_842.insert(
+                kind,
+                Row842 {
+                    comp_cycles_per_byte: (creport.cycles
+                        - e842.request_overhead_cycles)
+                        as f64
+                        / data.len().max(1) as f64,
+                    // Decompression is priced per *compressed* input byte.
+                    decomp_cycles_per_byte: (dreport.cycles
+                        - e842.request_overhead_cycles)
+                        as f64
+                        / out842.len().max(1) as f64,
+                    ratio: data.len() as f64 / out842.len().max(1) as f64,
+                },
+            );
+        }
+        Self {
+            name: cfg.name,
+            freq_ghz: cfg.freq_ghz,
+            overhead_cycles: cfg.request_overhead_cycles as f64,
+            rows,
+            rows_842,
+        }
+    }
+
+    /// Configuration name this model was calibrated for.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Engine clock in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// Engine service time for a request of `bytes` of class `corpus`
+    /// under `function` (excludes queueing, DMA and completion).
+    pub fn service_time(&self, function: Function, corpus: CorpusKind, bytes: u64) -> SimTime {
+        let row = self.rows[&corpus];
+        let cycles = match function {
+            Function::Compress => self.overhead_cycles + row.comp_cycles_per_byte * bytes as f64,
+            Function::Decompress => {
+                self.overhead_cycles + row.decomp_cycles_per_byte * bytes as f64
+            }
+            Function::Compress842 => {
+                self.overhead_cycles + self.rows_842[&corpus].comp_cycles_per_byte * bytes as f64
+            }
+            Function::Decompress842 => {
+                self.overhead_cycles
+                    + self.rows_842[&corpus].decomp_cycles_per_byte * bytes as f64
+            }
+        };
+        SimTime::from_secs_f64(cycles / (self.freq_ghz * 1e9))
+    }
+
+    /// Output size estimate for a request (ratio-scaled).
+    pub fn output_bytes(&self, function: Function, corpus: CorpusKind, bytes: u64) -> u64 {
+        match function {
+            Function::Compress => (bytes as f64 / self.rows[&corpus].ratio).ceil() as u64,
+            Function::Decompress => (bytes as f64 * self.rows[&corpus].ratio).ceil() as u64,
+            Function::Compress842 => (bytes as f64 / self.rows_842[&corpus].ratio).ceil() as u64,
+            Function::Decompress842 => (bytes as f64 * self.rows_842[&corpus].ratio).ceil() as u64,
+        }
+    }
+
+    /// Calibrated DEFLATE compression ratio for a class.
+    pub fn ratio(&self, corpus: CorpusKind) -> f64 {
+        self.rows[&corpus].ratio
+    }
+
+    /// Calibrated 842 compression ratio for a class.
+    pub fn ratio_842(&self, corpus: CorpusKind) -> f64 {
+        self.rows_842[&corpus].ratio
+    }
+
+    /// Effective 842 compression throughput for a class, bytes/second
+    /// (marginal rate, overhead excluded).
+    pub fn compress_rate_842_bps(&self, corpus: CorpusKind) -> f64 {
+        self.freq_ghz * 1e9 / self.rows_842[&corpus].comp_cycles_per_byte
+    }
+
+    /// Effective steady-state compression throughput for a class, in
+    /// bytes/second (marginal rate, overhead excluded).
+    pub fn compress_rate_bps(&self, corpus: CorpusKind) -> f64 {
+        self.freq_ghz * 1e9 / self.rows[&corpus].comp_cycles_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::calibrate(&AccelConfig::power9(), 42)
+    }
+
+    #[test]
+    fn service_time_scales_with_bytes() {
+        let m = model();
+        let t1 = m.service_time(Function::Compress, CorpusKind::Text, 64 * 1024);
+        let t2 = m.service_time(Function::Compress, CorpusKind::Text, 4 * 64 * 1024);
+        let r = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((3.0..4.2).contains(&r), "scaling factor {r}");
+    }
+
+    #[test]
+    fn text_compresses_near_lane_rate() {
+        let m = model();
+        let rate = m.compress_rate_bps(CorpusKind::Text) / 1e9;
+        assert!((8.0..=16.5).contains(&rate), "text rate {rate} GB/s");
+    }
+
+    #[test]
+    fn ratios_match_corpus_classes() {
+        let m = model();
+        assert!(m.ratio(CorpusKind::Random) < 1.05);
+        assert!(m.ratio(CorpusKind::Logs) > 3.0);
+        assert!(m.ratio(CorpusKind::Redundant) > 20.0);
+        // 842's tiny window loses to DEFLATE on text.
+        assert!(m.ratio_842(CorpusKind::Text) < m.ratio(CorpusKind::Text));
+    }
+
+    #[test]
+    fn output_size_inverts_between_compress_and_decompress() {
+        let m = model();
+        let c = m.output_bytes(Function::Compress, CorpusKind::Json, 1 << 20);
+        let d = m.output_bytes(Function::Decompress, CorpusKind::Json, c);
+        let rel = (d as f64 - (1u64 << 20) as f64).abs() / (1u64 << 20) as f64;
+        assert!(rel < 0.01, "roundtrip size error {rel}");
+    }
+
+    #[test]
+    fn z15_model_is_faster_than_power9() {
+        let p9 = model();
+        let z15 = CostModel::calibrate(&AccelConfig::z15(), 42);
+        let b = 1 << 20;
+        let tp9 = p9.service_time(Function::Compress, CorpusKind::Json, b);
+        let tz = z15.service_time(Function::Compress, CorpusKind::Json, b);
+        assert!(tz < tp9);
+    }
+
+    #[test]
+    fn decompression_service_is_priced_on_compressed_bytes() {
+        let m = model();
+        // Decompressing 1 MB of redundant-class *compressed* data expands
+        // hugely; its service time must reflect the large output.
+        let t = m.service_time(Function::Decompress, CorpusKind::Redundant, 1 << 20);
+        assert!(t > SimTime::from_us(100), "suspiciously fast: {t}");
+    }
+}

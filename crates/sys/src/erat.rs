@@ -1,0 +1,144 @@
+//! The NX ERAT (effective-to-real address translation) and the page-fault
+//! protocol.
+//!
+//! The NX unit translates user effective addresses through its own ERAT.
+//! When a source or target page is not resident, the unit cannot wait: it
+//! terminates the job early, reporting in the CSB how many bytes were
+//! processed. The library then *touches* the faulting page (forcing the
+//! OS to resolve it) and resubmits a CRB for the remainder. The paper
+//! highlights this retry protocol as a key enabler of user-mode access;
+//! experiment E14 measures its cost and the touch-first mitigation.
+
+use nx_sim::{SimRng, SimTime};
+
+/// Kernel/page-resolution latency charged when a fault is reported and
+/// the page is touched (fault interrupt + `do_page_fault` + resubmission
+/// path).
+pub const FAULT_RESOLUTION: SimTime = SimTime::from_us(25);
+
+/// Cost for software to pre-touch one resident page (a load per page).
+pub const TOUCH_PER_PAGE: SimTime = SimTime::from_ns(150);
+
+/// Page size the fault model uses (64 KB, the common POWER configuration).
+pub const PAGE_BYTES: u64 = 64 * 1024;
+
+/// Fault-handling strategy of the submitting library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPolicy {
+    /// Submit immediately; on a fault CSB, touch and resubmit the
+    /// remainder. `fault_probability` is the chance any given page is
+    /// non-resident.
+    RetryOnFault {
+        /// Probability one page faults.
+        fault_probability: f64,
+    },
+    /// Touch every source page before submitting (paying
+    /// [`TOUCH_PER_PAGE`] each), eliminating faults.
+    TouchFirst {
+        /// Probability a page *would have* faulted (determines how much
+        /// touching actually resolves vs. wasted loads — the touch cost
+        /// is paid for every page regardless).
+        fault_probability: f64,
+    },
+}
+
+/// Outcome of planning translations for one submission attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Pre-submission delay (touching pages under `TouchFirst`).
+    pub pre_submit: SimTime,
+    /// Byte offsets (within this attempt's remaining range) at which the
+    /// engine will fault; empty for a clean run. Offsets are page-aligned
+    /// and strictly increasing; the engine stops at the *first* one, so
+    /// only `faults.first()` shapes the attempt.
+    pub fault_at: Option<u64>,
+}
+
+/// Samples the fault behaviour for one submission attempt over `bytes`.
+pub fn plan(policy: FaultPolicy, bytes: u64, rng: &mut SimRng) -> FaultPlan {
+    match policy {
+        FaultPolicy::TouchFirst { .. } => {
+            let pages = bytes.div_ceil(PAGE_BYTES).max(1);
+            FaultPlan {
+                pre_submit: SimTime::from_ps(TOUCH_PER_PAGE.as_ps() * pages),
+                fault_at: None,
+            }
+        }
+        FaultPolicy::RetryOnFault { fault_probability } => {
+            debug_assert!((0.0..=1.0).contains(&fault_probability));
+            if fault_probability <= 0.0 {
+                return FaultPlan { pre_submit: SimTime::ZERO, fault_at: None };
+            }
+            let pages = bytes.div_ceil(PAGE_BYTES).max(1);
+            // The engine stops at the first non-resident page.
+            for p in 0..pages {
+                if rng.coin(fault_probability) {
+                    return FaultPlan { pre_submit: SimTime::ZERO, fault_at: Some(p * PAGE_BYTES) };
+                }
+            }
+            FaultPlan { pre_submit: SimTime::ZERO, fault_at: None }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_first_never_faults_but_pays_per_page() {
+        let mut rng = SimRng::new(1, "erat");
+        let p = plan(FaultPolicy::TouchFirst { fault_probability: 1.0 }, 10 * PAGE_BYTES, &mut rng);
+        assert_eq!(p.fault_at, None);
+        assert_eq!(p.pre_submit, SimTime::from_ps(TOUCH_PER_PAGE.as_ps() * 10));
+    }
+
+    #[test]
+    fn zero_probability_never_faults() {
+        let mut rng = SimRng::new(2, "erat");
+        for _ in 0..100 {
+            let p = plan(
+                FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+                1 << 20,
+                &mut rng,
+            );
+            assert_eq!(p, FaultPlan { pre_submit: SimTime::ZERO, fault_at: None });
+        }
+    }
+
+    #[test]
+    fn certain_fault_stops_at_first_page() {
+        let mut rng = SimRng::new(3, "erat");
+        let p = plan(FaultPolicy::RetryOnFault { fault_probability: 1.0 }, 1 << 20, &mut rng);
+        assert_eq!(p.fault_at, Some(0));
+    }
+
+    #[test]
+    fn fault_offsets_are_page_aligned_and_in_range() {
+        let mut rng = SimRng::new(4, "erat");
+        let bytes = 37 * PAGE_BYTES + 123;
+        for _ in 0..500 {
+            let p = plan(FaultPolicy::RetryOnFault { fault_probability: 0.05 }, bytes, &mut rng);
+            if let Some(at) = p.fault_at {
+                assert_eq!(at % PAGE_BYTES, 0);
+                assert!(at < bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_frequency_tracks_probability() {
+        let mut rng = SimRng::new(5, "erat");
+        let trials = 2000;
+        let faulted = (0..trials)
+            .filter(|_| {
+                plan(FaultPolicy::RetryOnFault { fault_probability: 0.01 }, 10 * PAGE_BYTES, &mut rng)
+                    .fault_at
+                    .is_some()
+            })
+            .count();
+        // P(any of 10 pages faults) ≈ 9.6%.
+        let rate = faulted as f64 / trials as f64;
+        assert!((0.06..0.14).contains(&rate), "observed fault rate {rate}");
+    }
+}

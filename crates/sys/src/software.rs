@@ -1,0 +1,115 @@
+//! The multi-core software-compression baseline ("zlib on general-purpose
+//! cores").
+//!
+//! Single-core rate is *measured* — by timing this workspace's own
+//! from-scratch DEFLATE at the requested level on a calibration sample —
+//! and multi-core scaling applies a parallel-efficiency factor (software
+//! compression parallelizes per-buffer, but shared cache/memory bandwidth
+//! and scheduling overheads cost ~10–20 % at chip scale, consistent with
+//! the paper's whole-chip comparison landing at 13× rather than the ideal
+//! 388/24 ≈ 16×).
+
+use nx_deflate::{deflate, CompressionLevel};
+use nx_sim::SimTime;
+use std::time::Instant;
+
+/// A software compression baseline on `cores` identical cores.
+#[derive(Debug, Clone)]
+pub struct SoftwareBaseline {
+    cores: usize,
+    per_core_bps: f64,
+    efficiency: f64,
+    core_ghz: f64,
+}
+
+impl SoftwareBaseline {
+    /// Creates a baseline from an already-measured per-core rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters or `efficiency` outside `(0, 1]`.
+    pub fn new(cores: usize, per_core_bps: f64, efficiency: f64, core_ghz: f64) -> Self {
+        assert!(cores > 0 && per_core_bps > 0.0 && core_ghz > 0.0);
+        assert!(efficiency > 0.0 && efficiency <= 1.0);
+        Self { cores, per_core_bps, efficiency, core_ghz }
+    }
+
+    /// Measures this host's single-threaded DEFLATE rate at `level` over
+    /// `sample`, in bytes/second. Runs multiple repetitions and returns
+    /// the median to damp scheduling noise.
+    pub fn measure_per_core_bps(level: CompressionLevel, sample: &[u8]) -> f64 {
+        assert!(!sample.is_empty(), "calibration sample must be non-empty");
+        let mut rates = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let out = deflate(sample, level);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            rates.push(sample.len() as f64 / dt.max(1e-9));
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        rates[rates.len() / 2]
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The single-core rate, bytes/second.
+    pub fn per_core_bps(&self) -> f64 {
+        self.per_core_bps
+    }
+
+    /// Aggregate chip rate with parallel efficiency applied,
+    /// bytes/second.
+    pub fn chip_rate_bps(&self) -> f64 {
+        self.per_core_bps * self.cores as f64 * self.efficiency
+    }
+
+    /// Time for the chip to compress `bytes` of bulk data (parallel
+    /// across buffers).
+    pub fn chip_compress_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.chip_rate_bps())
+    }
+
+    /// Time for one core to compress `bytes`.
+    pub fn core_compress_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.per_core_bps)
+    }
+
+    /// CPU cycles consumed per byte compressed in software.
+    pub fn cpu_cycles_per_byte(&self) -> f64 {
+        self.core_ghz * 1e9 / self.per_core_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rate_is_plausible() {
+        let sample = nx_corpus::CorpusKind::Text.generate(1, 1 << 20);
+        let bps = SoftwareBaseline::measure_per_core_bps(CompressionLevel::default(), &sample);
+        // Any machine lands between 1 MB/s and 2 GB/s for a scalar
+        // level-6 DEFLATE.
+        assert!((1e6..2e9).contains(&bps), "measured {bps:.3e} B/s");
+    }
+
+    #[test]
+    fn chip_scaling_applies_efficiency() {
+        let sw = SoftwareBaseline::new(24, 50e6, 0.85, 2.5);
+        assert!((sw.chip_rate_bps() - 24.0 * 50e6 * 0.85).abs() < 1.0);
+        let t_core = sw.core_compress_time(1 << 30);
+        let t_chip = sw.chip_compress_time(1 << 30);
+        let speedup = t_core.as_secs_f64() / t_chip.as_secs_f64();
+        assert!((speedup - 24.0 * 0.85).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_per_byte() {
+        let sw = SoftwareBaseline::new(1, 50e6, 1.0, 2.5);
+        assert!((sw.cpu_cycles_per_byte() - 50.0).abs() < 1e-9);
+    }
+}

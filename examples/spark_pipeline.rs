@@ -1,0 +1,44 @@
+//! The paper's end-to-end scenario: an Apache-Spark-like TPC-DS query mix
+//! whose shuffle/spill compression either runs in software on the
+//! executor cores or is offloaded to the on-chip accelerator.
+//!
+//! Run with: `cargo run --release --example spark_pipeline`
+
+use nx_analytics::{tpcds, Cluster, Codec};
+
+fn main() {
+    let jobs = tpcds::query_mix(2020);
+    let cluster = Cluster::new(24, 1); // a POWER9 chip: 24 cores, 1 NX
+    println!(
+        "TPC-DS-like mix: {} queries, {:.0} core-seconds of compute, {:.1} GB shuffled",
+        jobs.len(),
+        jobs.iter().map(|j| j.compute_seconds()).sum::<f64>(),
+        jobs.iter().map(|j| j.shuffle_bytes()).sum::<u64>() as f64 / 1e9,
+    );
+    println!("cluster: {} executors, 1 on-chip accelerator\n", cluster.executors());
+
+    let mut reports = Vec::new();
+    for codec in [Codec::none(), Codec::software_default(), Codec::nx_offload_default()] {
+        let r = cluster.run(&jobs, &codec);
+        println!("codec {:<16} makespan {:>8.1}s  core-s {:>8.1}  codec-cpu {:>5.1}%  shuffle ratio {:>5.2}x  wire {:>6.2} GB",
+            r.codec,
+            r.makespan.as_secs_f64(),
+            r.core_seconds,
+            100.0 * r.codec_cpu_fraction(),
+            r.shuffle_ratio(),
+            r.shuffle_on_wire as f64 / 1e9,
+        );
+        reports.push(r);
+    }
+
+    let sw = &reports[1];
+    let nx = &reports[2];
+    println!(
+        "\nend-to-end speedup of NX offload over software codec: {:.1}%  (paper: 23%)",
+        (nx.speedup_over(sw) - 1.0) * 100.0
+    );
+    println!(
+        "executor CPU time returned to query work: {:.1} core-seconds",
+        sw.codec_core_seconds - nx.codec_core_seconds
+    );
+}

@@ -1,0 +1,76 @@
+//! Whole-stack consistency tests: the calibrated system-level cost model
+//! must agree with the cycle-level engine model it was calibrated from,
+//! and the analytics layer's codec must agree with both.
+
+use nx_accel::{AccelConfig, Accelerator};
+use nx_analytics::Codec;
+use nx_corpus::CorpusKind;
+use nx_sys::crb::Function;
+use nx_sys::CostModel;
+
+/// The system-level cost model is a linear fit of the engine model; on
+/// the calibration-sized requests they must agree closely.
+#[test]
+fn cost_model_tracks_engine_model() {
+    let cfg = AccelConfig::power9();
+    let cost = CostModel::calibrate(&cfg, 1234);
+    let mut engine = Accelerator::new(cfg);
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(1234, 256 * 1024);
+        let (_, report) = engine.compress(&data);
+        let engine_secs = report.latency_secs();
+        let model_secs = cost
+            .service_time(Function::Compress, kind, data.len() as u64)
+            .as_secs_f64();
+        let rel = (model_secs - engine_secs).abs() / engine_secs;
+        assert!(rel < 0.05, "{kind}: cost model off by {:.1}%", rel * 100.0);
+    }
+}
+
+/// Cost-model ratios equal the engine's actual output ratio at the
+/// calibration point.
+#[test]
+fn cost_model_ratios_match_real_streams() {
+    let cfg = AccelConfig::power9();
+    let cost = CostModel::calibrate(&cfg, 99);
+    let mut engine = Accelerator::new(cfg);
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(99, 256 * 1024);
+        let (stream, _) = engine.compress(&data);
+        let real = data.len() as f64 / stream.len() as f64;
+        let modeled = cost.ratio(kind);
+        let rel = (modeled - real).abs() / real;
+        assert!(rel < 0.02, "{kind}: ratio model {modeled:.3} vs real {real:.3}");
+    }
+}
+
+/// The analytics codec's compressed sizes must match the system cost
+/// model (same source of truth).
+#[test]
+fn analytics_codec_sizes_are_consistent_with_cost_model() {
+    let codec = Codec::nx_offload_default();
+    let cost = CostModel::calibrate(&AccelConfig::power9(), 77);
+    for &kind in CorpusKind::all() {
+        let bytes = 8 << 20;
+        let a = codec.compressed_size(kind, bytes) as f64;
+        let b = cost.output_bytes(Function::Compress, kind, bytes) as f64;
+        let rel = (a - b).abs() / b;
+        assert!(rel < 0.01, "{kind}: codec {a} vs cost model {b}");
+    }
+}
+
+/// The headline numbers derived through completely different layers must
+/// be mutually consistent: the z15/POWER9 rate doubling must show up in
+/// the engine model, the cost model, and the topology peak.
+#[test]
+fn generation_scaling_is_consistent_across_layers() {
+    let p9 = CostModel::calibrate(&AccelConfig::power9(), 5);
+    let z15 = CostModel::calibrate(&AccelConfig::z15(), 5);
+    for &kind in &[CorpusKind::Text, CorpusKind::Json, CorpusKind::Columnar] {
+        let ratio = z15.compress_rate_bps(kind) / p9.compress_rate_bps(kind);
+        assert!((1.5..=2.5).contains(&ratio), "{kind}: generation ratio {ratio:.2}");
+    }
+    let peak9 = nx_sys::Topology::power9_chip().peak_compress_bps();
+    let peak15 = nx_sys::Topology::z15_chip().peak_compress_bps();
+    assert!((peak15 / peak9 - 2.0).abs() < 1e-9);
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: the full stack (corpus → accelerator →
+//! containers → decoders) and interoperability between every producer and
+//! every consumer of DEFLATE streams in the workspace.
+
+use nx_core::{software, Format, Nx};
+use nx_corpus::CorpusKind;
+use nx_deflate::CompressionLevel;
+
+/// Every producer (software levels, both accelerator generations) ×
+/// every consumer (software inflate, accelerator decompressor) on every
+/// corpus class.
+#[test]
+fn full_interoperability_matrix() {
+    let p9 = Nx::power9();
+    let z15 = Nx::z15();
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(0xFEED, 64 * 1024);
+
+        // Producers: raw streams.
+        let mut streams: Vec<(String, Vec<u8>)> = Vec::new();
+        for level in [1u32, 6, 9] {
+            streams.push((
+                format!("sw-l{level}"),
+                nx_deflate::deflate(&data, CompressionLevel::new(level).unwrap()),
+            ));
+        }
+        streams.push(("p9".into(), p9.compress(&data, Format::RawDeflate).unwrap().bytes));
+        streams.push(("z15".into(), z15.compress(&data, Format::RawDeflate).unwrap().bytes));
+
+        for (name, stream) in &streams {
+            // Consumer 1: software inflate.
+            assert_eq!(
+                nx_deflate::inflate(stream).unwrap(),
+                data,
+                "{kind}/{name} vs software inflate"
+            );
+            // Consumer 2: accelerator decompressor.
+            assert_eq!(
+                p9.decompress(stream, Format::RawDeflate).unwrap().bytes,
+                data,
+                "{kind}/{name} vs accelerator"
+            );
+        }
+    }
+}
+
+#[test]
+fn framed_formats_interoperate_between_paths() {
+    let nx = Nx::power9();
+    let data = CorpusKind::Logs.generate(5, 100_000);
+    for format in [Format::Gzip, Format::Zlib] {
+        let hw = nx.compress(&data, format).unwrap().bytes;
+        let sw = software::compress(&data, CompressionLevel::new(6).unwrap(), format);
+        assert_eq!(software::decompress(&hw, format).unwrap(), data);
+        assert_eq!(nx.decompress(&sw, format).unwrap().bytes, data);
+    }
+}
+
+#[test]
+fn gzip_container_from_accelerator_passes_strict_parser() {
+    let nx = Nx::z15();
+    let data = CorpusKind::Xmlish.generate(9, 80_000);
+    let gz = nx.compress(&data, Format::Gzip).unwrap().bytes;
+    // The strict software gzip parser verifies CRC and ISIZE.
+    let (out, header, used) = nx_deflate::gzip::decompress_with_header(&gz).unwrap();
+    assert_eq!(out, data);
+    assert_eq!(used, gz.len());
+    assert_eq!(header.file_name, None);
+}
+
+#[test]
+fn accelerator_reports_make_physical_sense_across_the_suite() {
+    let nx = Nx::power9();
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(3, 256 * 1024);
+        let c = nx.compress(&data, Format::RawDeflate).unwrap();
+        let r = &c.report;
+        assert!(r.bytes_per_cycle() <= 8.0 + 1e-9, "{kind} exceeds lane width");
+        assert!(r.cycles > 0 && r.blocks > 0, "{kind} degenerate report");
+        assert!(
+            r.ratio() >= 0.9,
+            "{kind}: expansion beyond stored-block overhead ({})",
+            r.ratio()
+        );
+        let d = nx.decompress(&c.bytes, Format::RawDeflate).unwrap();
+        assert_eq!(d.bytes, data);
+        assert_eq!(d.report.output_bytes, data.len() as u64);
+    }
+}
+
+#[test]
+fn end_to_end_842_memory_compression_path() {
+    let nx = Nx::power9();
+    for &kind in CorpusKind::all() {
+        let page = kind.generate(7, 64 * 1024); // one 64 KB page
+        let c = nx.compress_842(&page);
+        assert_eq!(nx.decompress_842(&c).unwrap(), page, "{kind}");
+    }
+}
+
+#[test]
+fn concurrent_clients_share_one_accelerator_safely() {
+    let nx = Nx::power9();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let nx = nx.clone();
+            std::thread::spawn(move || {
+                let data = CorpusKind::Json.generate(i, 50_000);
+                let c = nx.compress(&data, Format::Zlib).unwrap();
+                assert_eq!(nx.decompress(&c.bytes, Format::Zlib).unwrap().bytes, data);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(nx.stats().compress_requests(), 8);
+    assert_eq!(nx.stats().decompress_requests(), 8);
+}
