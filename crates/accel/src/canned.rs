@@ -49,7 +49,10 @@ impl CannedSet {
         ];
         let tables = profiles
             .into_iter()
-            .map(|(name, sample)| CannedTable { name, plan: plan_from_sample(&sample) })
+            .map(|(name, sample)| CannedTable {
+                name,
+                plan: plan_from_sample(&sample),
+            })
             .collect();
         Self { tables }
     }
@@ -59,7 +62,10 @@ impl CannedSet {
     pub fn from_samples(samples: &[(&'static str, &[u8])]) -> Self {
         let tables = samples
             .iter()
-            .map(|(name, s)| CannedTable { name, plan: plan_from_sample(s) })
+            .map(|(name, s)| CannedTable {
+                name,
+                plan: plan_from_sample(s),
+            })
             .collect();
         Self { tables }
     }
@@ -106,8 +112,7 @@ impl Default for CannedSet {
 /// count, then give every transmittable symbol a floor frequency so the
 /// resulting code can encode *any* block.
 fn plan_from_sample(sample: &[u8]) -> DynamicPlan {
-    let tokens =
-        nx_deflate::deflate_tokens(sample, nx_deflate::CompressionLevel::default());
+    let tokens = nx_deflate::deflate_tokens(sample, nx_deflate::CompressionLevel::default());
     let mut hist = Histogram::new();
     for t in &tokens {
         hist.record(*t);
@@ -126,8 +131,8 @@ fn plan_from_sample(sample: &[u8]) -> DynamicPlan {
 /// ~16 KB of deterministic English-like words.
 fn sample_text() -> Vec<u8> {
     let words = [
-        "the", "of", "and", "to", "in", "is", "was", "that", "for", "with", "system",
-        "data", "time", "which", "from", "their", "would", "there", "about", "could",
+        "the", "of", "and", "to", "in", "is", "was", "that", "for", "with", "system", "data",
+        "time", "which", "from", "their", "would", "there", "about", "could",
     ];
     deterministic(16 * 1024, |x, out| {
         out.extend_from_slice(words[(x % words.len() as u64) as usize].as_bytes());
@@ -139,8 +144,12 @@ fn sample_text() -> Vec<u8> {
 fn sample_structured() -> Vec<u8> {
     deterministic(16 * 1024, |x, out| {
         out.extend_from_slice(
-            format!("{{\"id\": {}, \"name\": \"u{}\", \"ok\": true}},", x % 9973, x % 611)
-                .as_bytes(),
+            format!(
+                "{{\"id\": {}, \"name\": \"u{}\", \"ok\": true}},",
+                x % 9973,
+                x % 611
+            )
+            .as_bytes(),
         );
     })
 }
@@ -245,7 +254,10 @@ mod tests {
         hist.record_end_of_block();
         let (best, best_bits) = set.select(&hist);
         for i in 0..set.len() {
-            assert!(cost_bits(&set, i, &tokens) >= best_bits, "table {i} beats selected {best}");
+            assert!(
+                cost_bits(&set, i, &tokens) >= best_bits,
+                "table {i} beats selected {best}"
+            );
         }
     }
 

@@ -170,7 +170,10 @@ impl AccelConfig {
             self.history_bytes > 0 && self.history_bytes <= 32 * 1024,
             "history must be within DEFLATE's 32 KB window"
         );
-        assert!(self.history_bytes.is_power_of_two(), "history must be a power of two");
+        assert!(
+            self.history_bytes.is_power_of_two(),
+            "history must be a power of two"
+        );
         assert!(self.hash_ways > 0 && self.hash_banks > 0);
         assert!(self.bank_read_ports > 0);
         assert!(self.hash_bits >= 4 && self.hash_bits <= 20);

@@ -95,7 +95,10 @@ mod tests {
         let stream = deflate(&data, CompressionLevel::default());
         let (out, r) = decomp().decompress(&stream).unwrap();
         assert_eq!(out, data);
-        assert_eq!(r.cycles, r.header_cycles + r.body_cycles + r.overhead_cycles);
+        assert_eq!(
+            r.cycles,
+            r.header_cycles + r.body_cycles + r.overhead_cycles
+        );
         assert_eq!(r.output_bytes, data.len() as u64);
     }
 
@@ -137,8 +140,12 @@ mod tests {
     fn z15_decompresses_faster_than_power9() {
         let data: Vec<u8> = b"generation comparison payload ".repeat(2000);
         let stream = deflate(&data, CompressionLevel::default());
-        let (_, p9) = Decompressor::new(AccelConfig::power9()).decompress(&stream).unwrap();
-        let (_, z15) = Decompressor::new(AccelConfig::z15()).decompress(&stream).unwrap();
+        let (_, p9) = Decompressor::new(AccelConfig::power9())
+            .decompress(&stream)
+            .unwrap();
+        let (_, z15) = Decompressor::new(AccelConfig::z15())
+            .decompress(&stream)
+            .unwrap();
         assert!(z15.cycles < p9.cycles);
     }
 

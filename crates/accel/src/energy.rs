@@ -136,9 +136,7 @@ mod tests {
         let mut a = Accelerator::new(AccelConfig::power9());
         let small = a.compress(&vec![b'a'; 10_000]).1;
         let large = a.compress(&vec![b'a'; 1_000_000]).1;
-        assert!(
-            em.accel_compress_energy_j(&large) > 10.0 * em.accel_compress_energy_j(&small)
-        );
+        assert!(em.accel_compress_energy_j(&large) > 10.0 * em.accel_compress_energy_j(&small));
     }
 
     #[test]

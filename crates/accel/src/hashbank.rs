@@ -26,7 +26,13 @@ impl HashBank {
     /// spread over `banks` banks.
     pub fn new(hash_bits: u32, ways: usize, banks: usize) -> Self {
         let sets = 1usize << hash_bits;
-        Self { slots: vec![NIL; sets * ways], cursor: vec![0; sets], sets, ways, banks }
+        Self {
+            slots: vec![NIL; sets * ways],
+            cursor: vec![0; sets],
+            sets,
+            ways,
+            banks,
+        }
     }
 
     /// Multiplicative hash of a 3-byte prefix to a set index.
@@ -96,7 +102,12 @@ impl HashBank {
         for &s in sets_accessed {
             counts[self.bank_of(s)] += 1;
         }
-        let worst = counts.iter().copied().max().unwrap_or(0).div_ceil(read_ports);
+        let worst = counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .div_ceil(read_ports);
         u64::from(worst.saturating_sub(1))
     }
 }

@@ -23,8 +23,15 @@ impl HistoryBuffer {
     ///
     /// Panics unless `size` is a power of two.
     pub fn new(size: usize) -> Self {
-        assert!(size.is_power_of_two(), "history size must be a power of two");
-        Self { buf: vec![0; size], mask: size - 1, written: 0 }
+        assert!(
+            size.is_power_of_two(),
+            "history size must be a power of two"
+        );
+        Self {
+            buf: vec![0; size],
+            mask: size - 1,
+            written: 0,
+        }
     }
 
     /// Capacity in bytes.

@@ -70,7 +70,10 @@ impl BlockEncoder {
     pub fn with_canned(mut cfg: AccelConfig, set: CannedSet) -> Self {
         assert!(!set.is_empty(), "canned mode needs at least one table");
         cfg.huffman = HuffmanMode::Canned;
-        Self { cfg, canned: Some(set) }
+        Self {
+            cfg,
+            canned: Some(set),
+        }
     }
 
     /// Encodes `tokens` (an exact cover of `data`) into a complete DEFLATE
@@ -78,7 +81,11 @@ impl BlockEncoder {
     pub fn encode(&self, data: &[u8], tokens: &[Token]) -> EncodeOutcome {
         let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
         let (blocks, stored_blocks) = self.encode_into(&mut w, data, tokens, true);
-        EncodeOutcome { stream: w.finish(), blocks, stored_blocks }
+        EncodeOutcome {
+            stream: w.finish(),
+            blocks,
+            stored_blocks,
+        }
     }
 
     /// Streaming form: appends this chunk's blocks to `w` without padding
@@ -134,7 +141,8 @@ impl BlockEncoder {
                 input_bytes: span as u64,
                 tokens: block_tokens.len() as u64,
                 ingest_cycles: (span as u64).div_ceil(self.cfg.lanes as u64),
-                build_encode_cycles: build + self.encode_cycles(block_tokens.len() as u64, output_bits),
+                build_encode_cycles: build
+                    + self.encode_cycles(block_tokens.len() as u64, output_bits),
                 output_bits,
             });
             start_tok = end_tok;
@@ -219,7 +227,11 @@ mod tests {
     fn roundtrip(cfg: AccelConfig, data: &[u8]) -> EncodeOutcome {
         let tokens = MatchEngine::new(cfg.clone()).tokenize(data).tokens;
         let out = BlockEncoder::new(cfg).encode(data, &tokens);
-        assert_eq!(inflate(&out.stream).unwrap(), data, "bit-exactness violated");
+        assert_eq!(
+            inflate(&out.stream).unwrap(),
+            data,
+            "bit-exactness violated"
+        );
         out
     }
 
@@ -232,8 +244,7 @@ mod tests {
 
     #[test]
     fn dynamic_and_fixed_modes_roundtrip() {
-        let data: Vec<u8> = b"entropy coding back end test data, test data, data. "
-            .repeat(200);
+        let data: Vec<u8> = b"entropy coding back end test data, test data, data. ".repeat(200);
         let dynamic = roundtrip(AccelConfig::power9(), &data);
         let mut fixed_cfg = AccelConfig::power9();
         fixed_cfg.huffman = HuffmanMode::Fixed;
@@ -241,7 +252,10 @@ mod tests {
         // Dynamic must win on ratio for skewed text.
         let dyn_bits: u64 = dynamic.blocks.iter().map(|b| b.output_bits).sum();
         let fix_bits: u64 = fixed.blocks.iter().map(|b| b.output_bits).sum();
-        assert!(dyn_bits < fix_bits, "dynamic {dyn_bits} !< fixed {fix_bits}");
+        assert!(
+            dyn_bits < fix_bits,
+            "dynamic {dyn_bits} !< fixed {fix_bits}"
+        );
         // But fixed mode has no table-build latency.
         assert!(
             fixed.blocks[0].build_encode_cycles < dynamic.blocks[0].build_encode_cycles,
@@ -264,8 +278,12 @@ mod tests {
     fn canned_mode_sits_between_fixed_and_dynamic() {
         let data: Vec<u8> = (0..3000u32)
             .flat_map(|i| {
-                format!("{{\"k\": {}, \"v\": \"item-{}\"}},\n", i % 977, i * 37 % 10007)
-                    .into_bytes()
+                format!(
+                    "{{\"k\": {}, \"v\": \"item-{}\"}},\n",
+                    i % 977,
+                    i * 37 % 10007
+                )
+                .into_bytes()
             })
             .collect();
         let out_of = |huffman: crate::config::HuffmanMode| {
@@ -277,8 +295,14 @@ mod tests {
         let canned = out_of(HuffmanMode::Canned);
         let fixed = out_of(HuffmanMode::Fixed);
         let bits = |o: &EncodeOutcome| o.blocks.iter().map(|b| b.output_bits).sum::<u64>();
-        assert!(bits(&dynamic) <= bits(&canned), "dynamic must be the ratio ceiling");
-        assert!(bits(&canned) < bits(&fixed), "canned must beat fixed on structured data");
+        assert!(
+            bits(&dynamic) <= bits(&canned),
+            "dynamic must be the ratio ceiling"
+        );
+        assert!(
+            bits(&canned) < bits(&fixed),
+            "canned must beat fixed on structured data"
+        );
         // Latency: canned pays selection, not generation.
         assert!(
             canned.blocks[0].build_encode_cycles < dynamic.blocks[0].build_encode_cycles,
@@ -292,7 +316,9 @@ mod tests {
         let set = crate::canned::CannedSet::from_samples(&[("sensor", &sample)]);
         let enc = BlockEncoder::with_canned(AccelConfig::power9(), set);
         let data = b"sensor=9;temp=19.1;state=ok;".repeat(500);
-        let tokens = MatchEngine::new(AccelConfig::power9()).tokenize(&data).tokens;
+        let tokens = MatchEngine::new(AccelConfig::power9())
+            .tokenize(&data)
+            .tokens;
         let out = enc.encode(&data, &tokens);
         assert_eq!(inflate(&out.stream).unwrap(), data);
     }
@@ -302,7 +328,9 @@ mod tests {
         let mut x = 0x853c49e6748fea9bu64;
         let data: Vec<u8> = (0..100_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();

@@ -150,7 +150,10 @@ impl MatchEngine {
                         Some(b) => len > usize::from(b.len),
                     };
                     if better {
-                        best = Some(LaneMatch { len: len as u16, dist: (q - cand) as u16 });
+                        best = Some(LaneMatch {
+                            len: len as u16,
+                            dist: (q - cand) as u16,
+                        });
                         if len >= max_len {
                             break; // comparator saturated
                         }
@@ -165,8 +168,9 @@ impl MatchEngine {
             // every lane hashes identically).
             accessed_sets.sort_unstable();
             accessed_sets.dedup();
-            bank_stall_cycles +=
-                self.bank.conflict_stalls(&accessed_sets, self.cfg.bank_read_ports);
+            bank_stall_cycles += self
+                .bank
+                .conflict_stalls(&accessed_sets, self.cfg.bank_read_ports);
 
             // Phase 2: insert every ingested position (the dictionary is
             // maintained regardless of cover decisions).
@@ -266,7 +270,10 @@ impl MatchEngine {
         while i < m {
             match choice[i] {
                 Some(lm) => {
-                    tokens.push(Token::Match { len: lm.len, dist: lm.dist });
+                    tokens.push(Token::Match {
+                        len: lm.len,
+                        dist: lm.dist,
+                    });
                     i += usize::from(lm.len);
                 }
                 None => {
@@ -291,7 +298,10 @@ impl MatchEngine {
         while i < window_end {
             match lane_matches[i - cur] {
                 Some(lm) => {
-                    tokens.push(Token::Match { len: lm.len, dist: lm.dist });
+                    tokens.push(Token::Match {
+                        len: lm.len,
+                        dist: lm.dist,
+                    });
                     i += usize::from(lm.len);
                 }
                 None => {
@@ -322,13 +332,16 @@ mod tests {
 
     #[test]
     fn cover_is_lossless_on_structured_data() {
-        let data: Vec<u8> = b"the paper describes the accelerator the paper describes "
-            .repeat(40);
+        let data: Vec<u8> = b"the paper describes the accelerator the paper describes ".repeat(40);
         let out = engine().tokenize(&data);
         assert_eq!(expand_tokens(&out.tokens), data);
         assert!(out.tokens.iter().all(|t| t.is_valid()));
         // Repetitive text must actually produce matches.
-        let matches = out.tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count();
+        let matches = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Match { .. }))
+            .count();
         assert!(matches > 10, "only {matches} matches");
     }
 
@@ -347,7 +360,11 @@ mod tests {
         let out = engine().tokenize(&data);
         assert_eq!(expand_tokens(&out.tokens), data);
         // First window is literals; afterwards long matches dominate.
-        assert!(out.tokens.len() < 64, "{} tokens for a pure run", out.tokens.len());
+        assert!(
+            out.tokens.len() < 64,
+            "{} tokens for a pure run",
+            out.tokens.len()
+        );
     }
 
     #[test]
@@ -402,7 +419,11 @@ mod tests {
             .collect();
         let out = engine().tokenize(&data);
         assert_eq!(expand_tokens(&out.tokens), data);
-        let lits = out.tokens.iter().filter(|t| matches!(t, Token::Literal(_))).count();
+        let lits = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Literal(_)))
+            .count();
         assert!(lits as f64 > data.len() as f64 * 0.8, "{lits} literals");
     }
 
@@ -446,6 +467,9 @@ mod tests {
             data.extend_from_slice(format!("w{i:05}x").as_bytes());
         }
         let out = MatchEngine::new(cfg).tokenize(&data);
-        assert!(out.bank_stall_cycles > 0, "no stalls on single-ported banks");
+        assert!(
+            out.bank_stall_cycles > 0,
+            "no stalls on single-ported banks"
+        );
     }
 }

@@ -60,8 +60,7 @@ impl Accelerator {
         }
         let makespan = finish2.max(m.ingest_cycles);
         let huffman_tail = makespan - m.ingest_cycles.min(makespan);
-        let cycles =
-            makespan + m.bank_stall_cycles + self.cfg.request_overhead_cycles;
+        let cycles = makespan + m.bank_stall_cycles + self.cfg.request_overhead_cycles;
 
         let report = CompressReport {
             config_name: self.cfg.name,
@@ -87,10 +86,7 @@ impl Accelerator {
     ///
     /// Propagates any [`nx_deflate::Error`] for malformed input — the
     /// hardware likewise terminates the job with an error CSB.
-    pub fn decompress(
-        &mut self,
-        stream: &[u8],
-    ) -> nx_deflate::Result<(Vec<u8>, DecompressReport)> {
+    pub fn decompress(&mut self, stream: &[u8]) -> nx_deflate::Result<(Vec<u8>, DecompressReport)> {
         self.decomp.decompress(stream)
     }
 }
@@ -145,7 +141,9 @@ impl AccelStream {
         buf.extend_from_slice(&self.tail);
         buf.extend_from_slice(chunk);
         let m = self.matcher.tokenize_from(&buf, start);
-        let (blocks, stored) = self.encoder.encode_into(&mut self.w, chunk, &m.tokens, last);
+        let (blocks, stored) = self
+            .encoder
+            .encode_into(&mut self.w, chunk, &m.tokens, last);
 
         // Per-CRB makespan: history reload + the usual two-stage pipeline.
         let mut finish1 = m.history_cycles;
@@ -167,7 +165,8 @@ impl AccelStream {
         // Carry the window.
         if chunk.len() >= nx_deflate::WINDOW_SIZE {
             self.tail.clear();
-            self.tail.extend_from_slice(&chunk[chunk.len() - nx_deflate::WINDOW_SIZE..]);
+            self.tail
+                .extend_from_slice(&chunk[chunk.len() - nx_deflate::WINDOW_SIZE..]);
         } else {
             self.tail.extend_from_slice(chunk);
             let excess = self.tail.len().saturating_sub(nx_deflate::WINDOW_SIZE);
@@ -250,7 +249,11 @@ mod tests {
         let (_, r) = a.compress(&data);
         // 4 KB at 8 B/cycle is 512 cycles of ingest; overhead + table
         // build add over 1000 more.
-        assert!(r.bytes_per_cycle() < 4.0, "{:.2} B/cycle", r.bytes_per_cycle());
+        assert!(
+            r.bytes_per_cycle() < 4.0,
+            "{:.2} B/cycle",
+            r.bytes_per_cycle()
+        );
     }
 
     #[test]
@@ -341,8 +344,18 @@ mod tests {
     /// tests.
     fn nx_like_text(len: usize) -> Vec<u8> {
         let words = [
-            "compression", "accelerator", "throughput", "power9", "z15", "deflate", "huffman",
-            "pipeline", "the", "of", "and", "with",
+            "compression",
+            "accelerator",
+            "throughput",
+            "power9",
+            "z15",
+            "deflate",
+            "huffman",
+            "pipeline",
+            "the",
+            "of",
+            "and",
+            "with",
         ];
         let mut out = Vec::with_capacity(len + 16);
         let mut x = 0x243F6A8885A308D3u64;

@@ -55,7 +55,10 @@ fn ratio_sits_between_zlib_1_and_zlib_9_on_compressible_corpora() {
         // bound applies only below that regime.
         let accel_ratio = data.len() as f64 / accel_len;
         if accel_ratio < 100.0 {
-            assert!(accel_len <= l1 * 1.25, "{kind}: accel {accel_len} vs zlib-1 {l1}");
+            assert!(
+                accel_len <= l1 * 1.25,
+                "{kind}: accel {accel_len} vs zlib-1 {l1}"
+            );
         }
     }
     assert!(
@@ -73,14 +76,25 @@ fn dynamic_huffman_beats_fixed_on_ratio_but_not_latency() {
     let mut fixed = Accelerator::new(fixed_cfg);
     let (ds, dr) = dynamic.compress(&data);
     let (fs, fr) = fixed.compress(&data);
-    assert!(ds.len() < fs.len(), "dynamic {} !< fixed {}", ds.len(), fs.len());
-    assert!(dr.cycles >= fr.cycles, "dynamic should pay table-build cycles");
+    assert!(
+        ds.len() < fs.len(),
+        "dynamic {} !< fixed {}",
+        ds.len(),
+        fs.len()
+    );
+    assert!(
+        dr.cycles >= fr.cycles,
+        "dynamic should pay table-build cycles"
+    );
 }
 
 #[test]
 fn speculative_resolution_improves_ratio_over_greedy() {
     let data = CorpusKind::Json.generate(13, 256 * 1024);
-    let spec_len = Accelerator::new(AccelConfig::power9()).compress(&data).0.len();
+    let spec_len = Accelerator::new(AccelConfig::power9())
+        .compress(&data)
+        .0
+        .len();
     let mut greedy_cfg = AccelConfig::power9();
     greedy_cfg.resolution = Resolution::Greedy;
     let greedy_len = Accelerator::new(greedy_cfg).compress(&data).0.len();
@@ -115,7 +129,10 @@ fn z15_roughly_doubles_power9_throughput() {
     let (_, r9) = Accelerator::new(AccelConfig::power9()).compress(&data);
     let (_, r15) = Accelerator::new(AccelConfig::z15()).compress(&data);
     let ratio = r15.throughput_gbps() / r9.throughput_gbps();
-    assert!((1.6..=2.4).contains(&ratio), "z15/p9 throughput ratio {ratio:.2}");
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "z15/p9 throughput ratio {ratio:.2}"
+    );
 }
 
 #[test]

@@ -31,7 +31,10 @@ impl Cluster {
     /// Panics if either count is zero.
     pub fn new(executors: usize, accel_units: usize) -> Self {
         assert!(executors > 0 && accel_units > 0);
-        Self { executors, accel_units }
+        Self {
+            executors,
+            accel_units,
+        }
     }
 
     /// Number of executor cores.
@@ -86,11 +89,16 @@ impl Cluster {
         let mut total_core_estimate = 0.0;
         for t in &stage.tasks {
             if stage.input_compressed {
-                total_accel_demand += codec.read_cost(t.corpus, t.input_bytes).accel_demand.as_secs_f64();
+                total_accel_demand += codec
+                    .read_cost(t.corpus, t.input_bytes)
+                    .accel_demand
+                    .as_secs_f64();
             }
             if stage.output_compressed {
-                total_accel_demand +=
-                    codec.write_cost(t.corpus, t.output_bytes).accel_demand.as_secs_f64();
+                total_accel_demand += codec
+                    .write_cost(t.corpus, t.output_bytes)
+                    .accel_demand
+                    .as_secs_f64();
             }
             total_core_estimate += t.compute.as_secs_f64();
         }
@@ -112,16 +120,18 @@ impl Cluster {
 
             if stage.input_compressed {
                 let r = codec.read_cost(t.corpus, t.input_bytes);
-                let wait =
-                    SimTime::from_secs_f64(r.core_time.as_secs_f64() * queue_factor_for(r, queue_factor));
+                let wait = SimTime::from_secs_f64(
+                    r.core_time.as_secs_f64() * queue_factor_for(r, queue_factor),
+                );
                 codec_time += wait;
                 io_bytes_read = codec.compressed_size(t.corpus, t.input_bytes);
                 out.accel_busy_seconds += r.accel_demand.as_secs_f64();
             }
             if stage.output_compressed {
                 let w = codec.write_cost(t.corpus, t.output_bytes);
-                let wait =
-                    SimTime::from_secs_f64(w.core_time.as_secs_f64() * queue_factor_for(w, queue_factor));
+                let wait = SimTime::from_secs_f64(
+                    w.core_time.as_secs_f64() * queue_factor_for(w, queue_factor),
+                );
                 codec_time += wait;
                 io_bytes_write = w.bytes_out;
                 out.accel_busy_seconds += w.accel_demand.as_secs_f64();

@@ -95,7 +95,10 @@ mod tests {
         };
         assert_eq!(stage.output_bytes(), 300);
         assert!((stage.compute_seconds() - 0.030).abs() < 1e-12);
-        let job = Job { name: "j".into(), stages: vec![stage.clone(), stage] };
+        let job = Job {
+            name: "j".into(),
+            stages: vec![stage.clone(), stage],
+        };
         assert!((job.compute_seconds() - 0.060).abs() < 1e-12);
         assert_eq!(job.shuffle_bytes(), 600);
     }

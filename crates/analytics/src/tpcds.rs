@@ -72,7 +72,9 @@ fn shuffle_heavy(i: usize, rng: &mut SimRng) -> Job {
     let width = partitions(rng, 32, 64);
     let mk_stage = |name: &str, n: usize, rng: &mut SimRng, compressed_out: bool| Stage {
         name: name.into(),
-        tasks: (0..n).map(|_| task(rng, (260, 550), (3, 6), CorpusKind::Json)).collect(),
+        tasks: (0..n)
+            .map(|_| task(rng, (260, 550), (3, 6), CorpusKind::Json))
+            .collect(),
         input_compressed: true,
         output_compressed: compressed_out,
     };
@@ -158,7 +160,11 @@ mod tests {
     fn jobs_have_meaningful_shuffle_volumes() {
         let jobs = query_mix(3);
         for j in &jobs {
-            assert!(j.shuffle_bytes() > 50 << 20, "{} shuffles too little", j.name);
+            assert!(
+                j.shuffle_bytes() > 50 << 20,
+                "{} shuffles too little",
+                j.name
+            );
             assert!(j.compute_seconds() > 1.0, "{} computes too little", j.name);
         }
     }

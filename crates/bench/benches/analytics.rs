@@ -10,8 +10,11 @@ fn analytics(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytics");
     let jobs = tpcds::query_mix(SEED);
     let cluster = Cluster::new(24, 1);
-    let codecs =
-        [("none", Codec::none()), ("software", Codec::software_default()), ("nx", Codec::nx_offload_default())];
+    let codecs = [
+        ("none", Codec::none()),
+        ("software", Codec::software_default()),
+        ("nx", Codec::nx_offload_default()),
+    ];
     for (name, codec) in &codecs {
         group.bench_with_input(BenchmarkId::new("mix", name), codec, |b, codec| {
             b.iter(|| cluster.run(&jobs, codec).makespan)

@@ -28,7 +28,9 @@ fn system_sim(c: &mut Criterion) {
             let mut sim = SystemSim::new(
                 &topo,
                 CompletionMode::Poll,
-                FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+                FaultPolicy::RetryOnFault {
+                    fault_probability: 0.0,
+                },
                 SEED,
             );
             b.iter(|| sim.run(s).completed)

@@ -1,0 +1,65 @@
+//! Benchmarks for the sharded parallel engine and the single-thread
+//! DEFLATE hot paths it multiplies.
+//!
+//! `parallel_compress` compares `nx_core::software::compress` (one
+//! thread) against the `ParallelEngine` at increasing worker counts on
+//! the same 16 MiB mixed corpus — the acceptance target is ≥ 2.5× at
+//! 4 workers. `hotpath` times the single-thread encoder and the
+//! `inflate` decoder, which gate both the serial baseline and the
+//! per-worker shard throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nx_core::parallel::{ParallelEngine, ParallelOptions};
+use nx_core::Format;
+use nx_deflate::CompressionLevel;
+
+const CORPUS_LEN: usize = 16 << 20;
+
+fn corpus() -> Vec<u8> {
+    nx_corpus::mixed(nx_bench::SEED, CORPUS_LEN)
+}
+
+fn bench_parallel_compress(c: &mut Criterion) {
+    let data = corpus();
+    let level = CompressionLevel::new(6).unwrap();
+    let mut group = c.benchmark_group("parallel_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("serial", 0), &data, |b, d| {
+        b.iter(|| nx_core::software::compress(d, level, Format::Gzip))
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let engine = ParallelEngine::new(ParallelOptions {
+            workers,
+            ..ParallelOptions::default()
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", workers), &data, |b, d| {
+            b.iter(|| engine.compress(d, 6, Format::Gzip).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let data = corpus();
+    let mut group = c.benchmark_group("hotpath");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    for level in [1u32, 6] {
+        group.bench_with_input(BenchmarkId::new("deflate", level), &data, |b, d| {
+            b.iter(|| nx_deflate::deflate(d, nx_deflate::CompressionLevel::new(level).unwrap()))
+        });
+    }
+    let compressed = nx_deflate::deflate(&data, nx_deflate::CompressionLevel::new(6).unwrap());
+    group.bench_with_input(BenchmarkId::new("inflate", 6), &compressed, |b, d| {
+        b.iter(|| nx_deflate::inflate(d).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_compress, bench_hotpath
+}
+criterion_main!(benches);

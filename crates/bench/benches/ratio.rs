@@ -33,9 +33,11 @@ fn p842(c: &mut Criterion) {
     for kind in [CorpusKind::Redundant, CorpusKind::Columnar] {
         let data = kind.generate(SEED, size);
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("compress", format!("{kind}")), &data, |b, d| {
-            b.iter(|| nx_842::compress(d).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{kind}")),
+            &data,
+            |b, d| b.iter(|| nx_842::compress(d).len()),
+        );
         let compressed = nx_842::compress(&data);
         group.bench_with_input(
             BenchmarkId::new("decompress", format!("{kind}")),

@@ -3,14 +3,47 @@
 //! ```text
 //! cargo run --release -p nx-bench --bin tables -- all
 //! cargo run --release -p nx-bench --bin tables -- e1 e5 e10
+//! cargo run --release -p nx-bench --bin tables -- e17 --json out.json
 //! cargo run --release -p nx-bench --bin tables -- list
 //! ```
+//!
+//! `--json <path>` additionally writes the machine-readable metrics of
+//! every selected experiment that exposes them, as a JSON array of
+//! `{"experiment": id, "metric": name, "value": v}` rows.
 
 use nx_bench::exp;
 use std::process::ExitCode;
 
+/// Renders metric rows as a JSON array — hand-rolled so the harness
+/// stays dependency-free (names are identifiers, no escaping needed).
+fn render_json(rows: &[(&str, &str, f64)]) -> String {
+    let mut out = String::from("[\n");
+    for (i, (exp, metric, value)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"experiment\": \"{exp}\", \"metric\": \"{metric}\", \"value\": {value}}}{sep}\n"
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--json requires a path argument");
+                return ExitCode::FAILURE;
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
+
     let registry = exp::all();
 
     if args.is_empty() || args[0] == "list" {
@@ -18,7 +51,7 @@ fn main() -> ExitCode {
         for e in &registry {
             println!("  {:>4}  {}", e.id, e.title);
         }
-        println!("\nusage: tables all | <id> [<id> ...]");
+        println!("\nusage: tables all | <id> [<id> ...] [--json <path>]");
         return ExitCode::SUCCESS;
     }
 
@@ -38,11 +71,29 @@ fn main() -> ExitCode {
         sel
     };
 
-    for e in selected {
+    let mut json_rows: Vec<(&str, &str, f64)> = Vec::new();
+    for e in &selected {
         let t0 = std::time::Instant::now();
         let report = (e.run)();
         println!("{report}");
-        eprintln!("[{} finished in {:.1}s]\n", e.id, t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[{} finished in {:.1}s]\n",
+            e.id,
+            t0.elapsed().as_secs_f64()
+        );
+        if let Some(metrics) = e.metrics {
+            for (name, value) in metrics() {
+                json_rows.push((e.id, name, value));
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, render_json(&json_rows)) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[wrote {} metric row(s) to {path}]", json_rows.len());
     }
     ExitCode::SUCCESS
 }

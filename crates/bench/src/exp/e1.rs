@@ -12,12 +12,26 @@ use nx_accel::{AccelConfig, Accelerator};
 pub const TITLE: &str = "Compression throughput vs request size (POWER9 & z15)";
 
 /// Request sizes swept.
-pub const SIZES: [usize; 8] =
-    [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20];
+pub const SIZES: [usize; 8] = [
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+    64 << 20,
+];
 
 /// Runs the experiment and renders its report.
 pub fn run() -> String {
-    let mut table = Table::new(vec!["request size", "POWER9 GB/s", "z15 GB/s", "P9 B/cycle", "ratio"]);
+    let mut table = Table::new(vec![
+        "request size",
+        "POWER9 GB/s",
+        "z15 GB/s",
+        "P9 B/cycle",
+        "ratio",
+    ]);
     let mut p9 = Accelerator::new(AccelConfig::power9());
     let mut z15 = Accelerator::new(AccelConfig::z15());
     for &size in &SIZES {

@@ -29,7 +29,9 @@ fn accel_cycles_per_byte(mode: CompletionMode, size: u64) -> f64 {
     let mut sim = SystemSim::new(
         &Topology::power9_chip(),
         mode,
-        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        FaultPolicy::RetryOnFault {
+            fault_probability: 0.0,
+        },
         SEED,
     );
     sim.run(&stream).cpu_cycles_per_byte()

@@ -24,30 +24,51 @@ struct Probe {
 fn probes() -> Vec<Probe> {
     let base = AccelConfig::power9;
     let mut v = Vec::new();
-    v.push(Probe { label: "baseline POWER9 (8 lanes, 32K, spec, DHT)".into(), cfg: base() });
+    v.push(Probe {
+        label: "baseline POWER9 (8 lanes, 32K, spec, DHT)".into(),
+        cfg: base(),
+    });
     for lanes in [4usize, 16] {
         let mut c = base();
         c.lanes = lanes;
-        v.push(Probe { label: format!("lanes = {lanes}"), cfg: c });
+        v.push(Probe {
+            label: format!("lanes = {lanes}"),
+            cfg: c,
+        });
     }
     for hist in [8 * 1024usize, 16 * 1024] {
         let mut c = base();
         c.history_bytes = hist;
-        v.push(Probe { label: format!("history = {} KiB", hist / 1024), cfg: c });
+        v.push(Probe {
+            label: format!("history = {} KiB", hist / 1024),
+            cfg: c,
+        });
     }
     let mut greedy = base();
     greedy.resolution = Resolution::Greedy;
-    v.push(Probe { label: "greedy resolution".into(), cfg: greedy });
+    v.push(Probe {
+        label: "greedy resolution".into(),
+        cfg: greedy,
+    });
     let mut fht = base();
     fht.huffman = HuffmanMode::Fixed;
-    v.push(Probe { label: "fixed Huffman (FHT)".into(), cfg: fht });
+    v.push(Probe {
+        label: "fixed Huffman (FHT)".into(),
+        cfg: fht,
+    });
     let mut canned = base();
     canned.huffman = HuffmanMode::Canned;
-    v.push(Probe { label: "canned Huffman (preloaded DHT)".into(), cfg: canned });
+    v.push(Probe {
+        label: "canned Huffman (preloaded DHT)".into(),
+        cfg: canned,
+    });
     for ways in [1usize, 2, 8] {
         let mut c = base();
         c.hash_ways = ways;
-        v.push(Probe { label: format!("hash ways = {ways}"), cfg: c });
+        v.push(Probe {
+            label: format!("hash ways = {ways}"),
+            cfg: c,
+        });
     }
     v
 }
@@ -55,8 +76,13 @@ fn probes() -> Vec<Probe> {
 /// Runs the experiment and renders its report.
 pub fn run() -> String {
     let data = nx_corpus::mixed(SEED, BYTES);
-    let mut table =
-        Table::new(vec!["configuration", "ratio", "B/cycle", "GB/s", "latency (us)"]);
+    let mut table = Table::new(vec![
+        "configuration",
+        "ratio",
+        "B/cycle",
+        "GB/s",
+        "latency (us)",
+    ]);
     for p in probes() {
         let mut a = Accelerator::new(p.cfg);
         let (_, r) = a.compress(&data);
@@ -100,7 +126,10 @@ mod tests {
         small.history_bytes = 8 * 1024;
         let (ratio_small, rate_small) = ratio_and_rate(small);
         let (ratio_full, rate_full) = ratio_and_rate(AccelConfig::power9());
-        assert!(ratio_full >= ratio_small * 0.995, "{ratio_small} vs {ratio_full}");
+        assert!(
+            ratio_full >= ratio_small * 0.995,
+            "{ratio_small} vs {ratio_full}"
+        );
         let rate_rel = (rate_small / rate_full - 1.0).abs();
         assert!(rate_rel < 0.1, "history changed rate by {rate_rel:.2}");
     }

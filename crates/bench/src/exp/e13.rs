@@ -31,7 +31,10 @@ pub fn run() -> String {
     ]);
     area.row(vec![
         "speedup vs 1 core / vs 24-core chip".to_string(),
-        format!("{:.0}x / {:.0}x", claims.p9_single_core_speedup, claims.p9_chip_speedup),
+        format!(
+            "{:.0}x / {:.0}x",
+            claims.p9_single_core_speedup, claims.p9_chip_speedup
+        ),
         "paper abstract (cf. E3/E4)".to_string(),
     ]);
 
@@ -81,6 +84,10 @@ mod tests {
         let accel = em.accel_compress_energy_j(&report);
         // Software at a conservative 100 MB/s, 5 W core.
         let sw = em.software_energy_j(data.len() as f64 / 100e6);
-        assert!(sw / accel > 20.0, "energy advantage only {:.1}x", sw / accel);
+        assert!(
+            sw / accel > 20.0,
+            "energy advantage only {:.1}x",
+            sw / accel
+        );
     }
 }

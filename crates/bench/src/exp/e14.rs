@@ -44,8 +44,12 @@ fn measure(policy: FaultPolicy, open_loop: bool) -> (f64, u64, f64) {
             Function::Compress,
         )
     };
-    let mut sim =
-        SystemSim::new(&Topology::power9_chip(), CompletionMode::Interrupt, policy, SEED);
+    let mut sim = SystemSim::new(
+        &Topology::power9_chip(),
+        CompletionMode::Interrupt,
+        policy,
+        SEED,
+    );
     let res = sim.run(&stream);
     (res.throughput_gbps(), res.faults, res.mean_latency_us())
 }
@@ -61,8 +65,12 @@ pub fn run() -> String {
         "touch mean lat (us)",
     ]);
     for &p in &FAULT_PROBS {
-        let retry = FaultPolicy::RetryOnFault { fault_probability: p };
-        let touch = FaultPolicy::TouchFirst { fault_probability: p };
+        let retry = FaultPolicy::RetryOnFault {
+            fault_probability: p,
+        };
+        let touch = FaultPolicy::TouchFirst {
+            fault_probability: p,
+        };
         let (retry_gbps, nfaults, _) = measure(retry, false);
         let (_, _, retry_lat) = measure(retry, true);
         let (touch_gbps, _, _) = measure(touch, false);
@@ -93,7 +101,10 @@ pub fn run() -> String {
             format!("{:.3}", data.len() as f64 / out.len() as f64),
             format!("{:.3}", cost.ratio(kind)),
             format!("{:.2}", cost.compress_rate_842_bps(kind) / 1e9),
-            format!("{:.1}", 100.0 * stats.zero_chunks as f64 / stats.chunks.max(1) as f64),
+            format!(
+                "{:.1}",
+                100.0 * stats.zero_chunks as f64 / stats.chunks.max(1) as f64
+            ),
         ]);
     }
 
@@ -111,21 +122,51 @@ mod tests {
 
     #[test]
     fn throughput_and_latency_degrade_with_faults() {
-        let (t0, _, l0) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.0 }, false);
-        let (t5, f5, _) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.05 }, false);
+        let (t0, _, l0) = measure(
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.0,
+            },
+            false,
+        );
+        let (t5, f5, _) = measure(
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.05,
+            },
+            false,
+        );
         assert!(t0 >= t5, "{t0} vs {t5}");
         assert!(f5 > 0);
         // Open-loop latency shows the per-request penalty clearly.
-        let (_, _, l5) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.05 }, true);
-        let (_, _, l0o) = measure(FaultPolicy::RetryOnFault { fault_probability: 0.0 }, true);
+        let (_, _, l5) = measure(
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.05,
+            },
+            true,
+        );
+        let (_, _, l0o) = measure(
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.0,
+            },
+            true,
+        );
         assert!(l5 > l0o * 1.02, "latency {l0o} -> {l5}");
         let _ = l0;
     }
 
     #[test]
     fn touch_first_is_flat_across_fault_rates() {
-        let (a, _, _) = measure(FaultPolicy::TouchFirst { fault_probability: 0.0 }, false);
-        let (b, _, _) = measure(FaultPolicy::TouchFirst { fault_probability: 0.05 }, false);
+        let (a, _, _) = measure(
+            FaultPolicy::TouchFirst {
+                fault_probability: 0.0,
+            },
+            false,
+        );
+        let (b, _, _) = measure(
+            FaultPolicy::TouchFirst {
+                fault_probability: 0.05,
+            },
+            false,
+        );
         let rel = (a / b - 1.0).abs();
         assert!(rel < 0.02, "touch-first varied by {rel:.3}");
     }

@@ -29,7 +29,9 @@ fn async_request(size: u64, mode: CompletionMode) -> (f64, u64) {
     let mut sim = SystemSim::new(
         &Topology::power9_chip(),
         mode,
-        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        FaultPolicy::RetryOnFault {
+            fault_probability: 0.0,
+        },
         SEED,
     );
     let stream = RequestStream::saturating(SEED, 1, size, &[CorpusKind::Json], Function::Compress);
@@ -85,7 +87,10 @@ mod tests {
     fn sync_beats_async_on_small_request_latency() {
         let (intr_lat, _) = async_request(4 << 10, CompletionMode::Interrupt);
         let (sync_lat, _) = sync_request(4 << 10);
-        assert!(sync_lat < intr_lat, "sync {sync_lat} vs async-intr {intr_lat}");
+        assert!(
+            sync_lat < intr_lat,
+            "sync {sync_lat} vs async-intr {intr_lat}"
+        );
     }
 
     #[test]

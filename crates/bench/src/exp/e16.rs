@@ -36,13 +36,7 @@ fn run_chunked(data: &[u8], chunk: usize) -> (u64, usize) {
 /// Runs the experiment and renders its report.
 pub fn run() -> String {
     let data = nx_corpus::mixed(SEED, TOTAL);
-    let mut table = Table::new(vec![
-        "chunk size",
-        "CRBs",
-        "GB/s",
-        "vs one-shot",
-        "ratio",
-    ]);
+    let mut table = Table::new(vec!["chunk size", "CRBs", "GB/s", "vs one-shot", "ratio"]);
     let (oneshot_cycles, _) = run_chunked(&data, TOTAL);
     for &chunk in &CHUNKS {
         let (cycles, out) = run_chunked(&data, chunk);

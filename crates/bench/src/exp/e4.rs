@@ -23,8 +23,7 @@ pub const MT_EFFICIENCY: f64 = 0.85;
 /// Runs the experiment and renders its report.
 pub fn run() -> String {
     let sample = nx_corpus::mixed(SEED, 8 << 20);
-    let per_core =
-        SoftwareBaseline::measure_per_core_bps(CompressionLevel::default(), &sample);
+    let per_core = SoftwareBaseline::measure_per_core_bps(CompressionLevel::default(), &sample);
     let sw = SoftwareBaseline::new(CHIP_CORES, per_core, MT_EFFICIENCY, 2.5);
 
     let data = nx_corpus::mixed(SEED, 32 << 20);
@@ -32,7 +31,12 @@ pub fn run() -> String {
     let (_, report) = p9.compress(&data);
     let accel_bps = data.len() as f64 / report.latency_secs();
 
-    let mut table = Table::new(vec!["configuration", "rate GB/s", "vs 1 core", "vs 24-core chip"]);
+    let mut table = Table::new(vec![
+        "configuration",
+        "rate GB/s",
+        "vs 1 core",
+        "vs 24-core chip",
+    ]);
     table.row(vec![
         "1 core, zlib-6 (measured)".to_string(),
         format!("{:.3}", per_core / 1e9),

@@ -28,7 +28,14 @@ pub fn run() -> String {
     let mut accel_can = Accelerator::new(canned_cfg);
 
     let mut table = Table::new(vec![
-        "corpus", "zlib-1", "zlib-6", "zlib-9", "NX dyn", "NX canned", "NX fixed", "842",
+        "corpus",
+        "zlib-1",
+        "zlib-6",
+        "zlib-9",
+        "NX dyn",
+        "NX canned",
+        "NX fixed",
+        "842",
     ]);
     for &kind in CorpusKind::all() {
         let data = kind.generate(SEED, BYTES);
@@ -66,7 +73,10 @@ mod tests {
         let data = CorpusKind::Text.generate(SEED, 256 << 10);
         let l1 = deflate(&data, CompressionLevel::new(1).unwrap()).len();
         let l9 = deflate(&data, CompressionLevel::new(9).unwrap()).len();
-        let nd = Accelerator::new(AccelConfig::power9()).compress(&data).0.len();
+        let nd = Accelerator::new(AccelConfig::power9())
+            .compress(&data)
+            .0
+            .len();
         let mut fixed_cfg = AccelConfig::power9();
         fixed_cfg.huffman = HuffmanMode::Fixed;
         let nf = Accelerator::new(fixed_cfg).compress(&data).0.len();

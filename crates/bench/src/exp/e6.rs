@@ -21,14 +21,20 @@ pub const SIZES: [u64; 6] = [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 
 fn latency_us(size: u64, mode: CompletionMode) -> f64 {
     let topo = Topology::power9_chip();
     let mut sim = sim(&topo, mode);
-    let stream =
-        RequestStream::saturating(SEED, 1, size, &[CorpusKind::Json], Function::Compress);
+    let stream = RequestStream::saturating(SEED, 1, size, &[CorpusKind::Json], Function::Compress);
     let mut res = sim.run(&stream);
     res.p99_latency_us()
 }
 
 fn sim(topo: &Topology, mode: CompletionMode) -> SystemSim {
-    SystemSim::new(topo, mode, FaultPolicy::RetryOnFault { fault_probability: 0.0 }, SEED)
+    SystemSim::new(
+        topo,
+        mode,
+        FaultPolicy::RetryOnFault {
+            fault_probability: 0.0,
+        },
+        SEED,
+    )
 }
 
 /// Runs the experiment and renders its report.
@@ -56,7 +62,10 @@ mod tests {
     fn interrupt_penalty_shows_at_small_sizes_only() {
         let small_poll = latency_us(4 << 10, CompletionMode::Poll);
         let small_intr = latency_us(4 << 10, CompletionMode::Interrupt);
-        assert!(small_intr > small_poll * 1.5, "{small_poll} vs {small_intr}");
+        assert!(
+            small_intr > small_poll * 1.5,
+            "{small_poll} vs {small_intr}"
+        );
         let big_poll = latency_us(4 << 20, CompletionMode::Poll);
         let big_intr = latency_us(4 << 20, CompletionMode::Interrupt);
         assert!(big_intr < big_poll * 1.2, "{big_poll} vs {big_intr}");

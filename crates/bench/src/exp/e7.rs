@@ -44,12 +44,19 @@ pub fn run() -> String {
             Function::Compress,
         );
         let offered = stream.total_bytes() as f64
-            / stream.requests().last().expect("nonempty").arrival.as_secs_f64()
+            / stream
+                .requests()
+                .last()
+                .expect("nonempty")
+                .arrival
+                .as_secs_f64()
             / 1e9;
         let mut sim = SystemSim::new(
             &topo,
             CompletionMode::Poll,
-            FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.0,
+            },
             SEED,
         );
         let mut res = sim.run(&stream);
@@ -89,7 +96,9 @@ mod tests {
             let mut sim = SystemSim::new(
                 &topo,
                 CompletionMode::Poll,
-                FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+                FaultPolicy::RetryOnFault {
+                    fault_probability: 0.0,
+                },
                 SEED,
             );
             let mut res = sim.run(&stream);

@@ -26,7 +26,9 @@ fn saturated_gbps(topo: &Topology) -> f64 {
     let mut sim = SystemSim::new(
         topo,
         CompletionMode::Poll,
-        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        FaultPolicy::RetryOnFault {
+            fault_probability: 0.0,
+        },
         SEED,
     );
     sim.run(&stream).throughput_gbps()
@@ -44,8 +46,13 @@ pub fn run() -> String {
         Topology::z15_drawers(4),
         Topology::z15_max(),
     ];
-    let mut table =
-        Table::new(vec!["topology", "units", "peak GB/s", "achieved GB/s", "efficiency"]);
+    let mut table = Table::new(vec![
+        "topology",
+        "units",
+        "peak GB/s",
+        "achieved GB/s",
+        "efficiency",
+    ]);
     for topo in &topologies {
         let achieved = saturated_gbps(topo);
         let peak = topo.peak_compress_bps() / 1e9;
@@ -82,6 +89,9 @@ mod tests {
         let one = saturated_gbps(&Topology::z15_drawers(1));
         let three = saturated_gbps(&Topology::z15_drawers(3));
         let ratio = three / one;
-        assert!((2.5..=3.5).contains(&ratio), "1->3 drawer scaling {ratio:.2}");
+        assert!(
+            (2.5..=3.5).contains(&ratio),
+            "1->3 drawer scaling {ratio:.2}"
+        );
     }
 }

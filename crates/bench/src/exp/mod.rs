@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E14; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E17; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -10,6 +10,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -19,6 +20,10 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 
+/// Machine-readable metric rows an experiment can expose for
+/// `tables --json`: `(metric_name, value)` pairs.
+pub type MetricFn = fn() -> Vec<(&'static str, f64)>;
+
 /// An experiment entry: id, one-line description, runner.
 pub struct Experiment {
     /// Identifier (`"e1"` …).
@@ -27,27 +32,116 @@ pub struct Experiment {
     pub title: &'static str,
     /// Runs the experiment, returning the rendered report.
     pub run: fn() -> String,
+    /// Machine-readable `(metric, value)` rows for `tables --json`,
+    /// when the experiment exposes them.
+    pub metrics: Option<MetricFn>,
 }
 
 /// All experiments, in order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "e1", title: e1::TITLE, run: e1::run },
-        Experiment { id: "e2", title: e2::TITLE, run: e2::run },
-        Experiment { id: "e3", title: e3::TITLE, run: e3::run },
-        Experiment { id: "e4", title: e4::TITLE, run: e4::run },
-        Experiment { id: "e5", title: e5::TITLE, run: e5::run },
-        Experiment { id: "e6", title: e6::TITLE, run: e6::run },
-        Experiment { id: "e7", title: e7::TITLE, run: e7::run },
-        Experiment { id: "e8", title: e8::TITLE, run: e8::run },
-        Experiment { id: "e9", title: e9::TITLE, run: e9::run },
-        Experiment { id: "e10", title: e10::TITLE, run: e10::run },
-        Experiment { id: "e11", title: e11::TITLE, run: e11::run },
-        Experiment { id: "e12", title: e12::TITLE, run: e12::run },
-        Experiment { id: "e13", title: e13::TITLE, run: e13::run },
-        Experiment { id: "e14", title: e14::TITLE, run: e14::run },
-        Experiment { id: "e15", title: e15::TITLE, run: e15::run },
-        Experiment { id: "e16", title: e16::TITLE, run: e16::run },
+        Experiment {
+            id: "e1",
+            title: e1::TITLE,
+            run: e1::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e2",
+            title: e2::TITLE,
+            run: e2::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e3",
+            title: e3::TITLE,
+            run: e3::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e4",
+            title: e4::TITLE,
+            run: e4::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e5",
+            title: e5::TITLE,
+            run: e5::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e6",
+            title: e6::TITLE,
+            run: e6::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e7",
+            title: e7::TITLE,
+            run: e7::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e8",
+            title: e8::TITLE,
+            run: e8::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e9",
+            title: e9::TITLE,
+            run: e9::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e10",
+            title: e10::TITLE,
+            run: e10::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e11",
+            title: e11::TITLE,
+            run: e11::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e12",
+            title: e12::TITLE,
+            run: e12::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e13",
+            title: e13::TITLE,
+            run: e13::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e14",
+            title: e14::TITLE,
+            run: e14::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e15",
+            title: e15::TITLE,
+            run: e15::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e16",
+            title: e16::TITLE,
+            run: e16::run,
+            metrics: None,
+        },
+        Experiment {
+            id: "e17",
+            title: e17::TITLE,
+            run: e17::run,
+            metrics: Some(e17::metrics),
+        },
     ]
 }
 
@@ -56,10 +150,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 16);
+        assert_eq!(all.len(), 17);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 }

@@ -15,7 +15,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Cmd {
-    Compress { data: Vec<u8>, format: Format, reply: Sender<Result<Compressed>> },
+    Compress {
+        data: Vec<u8>,
+        format: Format,
+        reply: Sender<Result<Compressed>>,
+    },
     Shutdown,
 }
 
@@ -68,7 +72,11 @@ impl AsyncSession {
                 let mut engine = Accelerator::new(config);
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
-                        Cmd::Compress { data, format, reply } => {
+                        Cmd::Compress {
+                            data,
+                            format,
+                            reply,
+                        } => {
                             let (raw, report) = engine.compress(&data);
                             let bytes = framing::wrap(raw, &data, format);
                             stats.record_compress(
@@ -84,7 +92,10 @@ impl AsyncSession {
                 }
             })
             .expect("spawn engine thread");
-        Self { tx, worker: Some(worker) }
+        Self {
+            tx,
+            worker: Some(worker),
+        }
     }
 
     /// Queues a compression job; returns immediately.
@@ -95,7 +106,11 @@ impl AsyncSession {
     pub fn submit(&self, data: Vec<u8>, format: Format) -> Result<JobHandle> {
         let (reply, rx) = bounded(1);
         self.tx
-            .send(Cmd::Compress { data, format, reply })
+            .send(Cmd::Compress {
+                data,
+                format,
+                reply,
+            })
             .map_err(|_| Error::EngineClosed)?;
         Ok(JobHandle { rx })
     }

@@ -69,30 +69,50 @@ pub(crate) fn unwrap(data: &[u8], format: Format) -> Result<Unwrapped<'_>> {
             expected_len: None,
         }),
         Format::Gzip => {
-            // Minimal header parse (no optional fields produced by the
-            // accelerator path; full parsing lives in nx_deflate::gzip).
             if data.len() < 18 {
                 return Err(DeflateError::UnexpectedEof.into());
             }
             if data[0..2] != [0x1F, 0x8B] || data[2] != 8 {
                 return Err(DeflateError::BadGzipHeader.into());
             }
-            if data[3] != 0 {
-                // Optional fields present: fall back to the full parser
-                // for the header length, then slice.
-                let (_, _, _used) = gzip::decompress_with_header(data)?;
-                // Full path already verified everything; represent that.
-                return Ok(Unwrapped {
-                    deflate_stream: &data[10..data.len() - 8],
-                    expected_crc32: None,
-                    expected_adler: None,
-                    expected_len: None,
-                });
+            let flg = data[3];
+            if flg & 0b1110_0000 != 0 {
+                return Err(DeflateError::BadGzipHeader.into());
+            }
+            // Skip the optional header fields (RFC 1952 §2.3.1) so the
+            // payload slice starts at the DEFLATE stream even for
+            // foreign producers (`gzip(1)` sets FNAME by default).
+            let mut pos = 10usize;
+            if flg & 0x04 != 0 {
+                // FEXTRA: u16 length + payload.
+                if pos + 2 > data.len() {
+                    return Err(DeflateError::UnexpectedEof.into());
+                }
+                pos += 2 + usize::from(u16::from_le_bytes([data[pos], data[pos + 1]]));
+            }
+            for flag in [0x08, 0x10] {
+                // FNAME, FCOMMENT: zero-terminated strings.
+                if flg & flag != 0 {
+                    let end = data
+                        .get(pos..)
+                        .and_then(|rest| rest.iter().position(|&b| b == 0))
+                        .ok_or(DeflateError::UnexpectedEof)?;
+                    pos += end + 1;
+                }
+            }
+            if flg & 0x02 != 0 {
+                // FHCRC: CRC-16 of the header.
+                pos += 2;
             }
             let n = data.len();
+            if pos + 8 > n {
+                return Err(DeflateError::UnexpectedEof.into());
+            }
             Ok(Unwrapped {
-                deflate_stream: &data[10..n - 8],
-                expected_crc32: Some(u32::from_le_bytes(data[n - 8..n - 4].try_into().expect("4"))),
+                deflate_stream: &data[pos..n - 8],
+                expected_crc32: Some(u32::from_le_bytes(
+                    data[n - 8..n - 4].try_into().expect("4"),
+                )),
                 expected_len: Some(u32::from_le_bytes(data[n - 4..].try_into().expect("4"))),
                 expected_adler: None,
             })
@@ -146,7 +166,10 @@ mod tests {
         let raw = deflate(data, CompressionLevel::default());
         let framed = wrap(raw, data, Format::Gzip);
         let un = unwrap(&framed, Format::Gzip).unwrap();
-        assert!(matches!(un.verify(b"another payload"), Err(Error::Deflate(_))));
+        assert!(matches!(
+            un.verify(b"another payload"),
+            Err(Error::Deflate(_))
+        ));
     }
 
     #[test]
@@ -154,5 +177,24 @@ mod tests {
         assert!(unwrap(&[0u8; 20], Format::Gzip).is_err());
         assert!(unwrap(&[0u8; 8], Format::Zlib).is_err());
         assert!(unwrap(&[], Format::Gzip).is_err());
+    }
+
+    #[test]
+    fn gzip_optional_header_fields_are_skipped() {
+        // gzip(1) sets FNAME by default; the payload slice must start
+        // after the optional fields, not at byte 10.
+        let data = b"payload behind an FNAME header";
+        let raw = deflate(data, CompressionLevel::default());
+        let mut framed = vec![0x1F, 0x8B, 8, 0x08, 0, 0, 0, 0, 0, 3];
+        framed.extend_from_slice(b"some_file.txt\0");
+        framed.extend_from_slice(&raw);
+        framed.extend_from_slice(&nx_deflate::crc32::crc32(data).to_le_bytes());
+        framed.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        let un = unwrap(&framed, Format::Gzip).unwrap();
+        let out = nx_deflate::inflate(un.deflate_stream).unwrap();
+        assert_eq!(out, data);
+        un.verify(&out).unwrap();
+        // Truncated mid-FNAME (no terminator) is an EOF, not garbage.
+        assert!(unwrap(&framed[..16], Format::Gzip).is_err());
     }
 }

@@ -11,6 +11,9 @@
 //! * [`AsyncSession`] queues jobs to a background engine thread —
 //!   mirroring the asynchronous paste/CSB usage model on POWER9 — and
 //!   hands back [`JobHandle`]s to wait on.
+//! * [`parallel`] shards one stream across a worker pool (pigz-style)
+//!   while still emitting a single valid gzip/zlib/raw stream, with the
+//!   trailer checksum folded from per-shard values.
 //! * [`software`] exposes the zlib-level software path for baselines and
 //!   fallback.
 //!
@@ -30,12 +33,14 @@
 
 pub mod async_queue;
 pub mod framing;
+pub mod parallel;
 pub mod software;
 pub mod stats;
 pub mod stream;
 
 pub use async_queue::{AsyncSession, JobHandle};
 pub use framing::Format;
+pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
 pub use stats::NxStats;
 pub use stream::GzipStream;
 
@@ -161,7 +166,8 @@ impl Nx {
     pub fn compress(&self, data: &[u8], format: Format) -> Result<Compressed> {
         let (raw, report) = self.inner.lock().compress(data);
         let bytes = framing::wrap(raw, data, format);
-        self.stats.record_compress(data.len() as u64, bytes.len() as u64, report.cycles);
+        self.stats
+            .record_compress(data.len() as u64, bytes.len() as u64, report.cycles);
         Ok(Compressed { bytes, report })
     }
 
@@ -174,14 +180,16 @@ impl Nx {
         let payload = framing::unwrap(data, format)?;
         let (bytes, report) = self.inner.lock().decompress(payload.deflate_stream)?;
         payload.verify(&bytes)?;
-        self.stats.record_decompress(data.len() as u64, bytes.len() as u64, report.cycles);
+        self.stats
+            .record_decompress(data.len() as u64, bytes.len() as u64, report.cycles);
         Ok(Decompressed { bytes, report })
     }
 
     /// Compresses with the 842 memory-compression engine.
     pub fn compress_842(&self, data: &[u8]) -> Vec<u8> {
         let out = nx_842::compress(data);
-        self.stats.record_compress(data.len() as u64, out.len() as u64, 0);
+        self.stats
+            .record_compress(data.len() as u64, out.len() as u64, 0);
         out
     }
 
@@ -192,7 +200,8 @@ impl Nx {
     /// [`Error::P842`] if the stream is malformed.
     pub fn decompress_842(&self, data: &[u8]) -> Result<Vec<u8>> {
         let out = nx_842::decompress(data)?;
-        self.stats.record_decompress(data.len() as u64, out.len() as u64, 0);
+        self.stats
+            .record_decompress(data.len() as u64, out.len() as u64, 0);
         Ok(out)
     }
 
@@ -200,6 +209,15 @@ impl Nx {
     /// engine thread, as with POWER9's asynchronous CRB submission.
     pub fn async_session(&self) -> AsyncSession {
         AsyncSession::spawn(self.config.clone(), Arc::clone(&self.stats))
+    }
+
+    /// Opens a sharded parallel compression session at `level`: one
+    /// request fans out across a pool of workers (modeling multiple
+    /// accelerator units sharing a stream) and the traffic is recorded
+    /// in this handle's [`NxStats`]. See [`parallel`] for the stream
+    /// construction.
+    pub fn parallel_session(&self, opts: parallel::ParallelOptions, level: u32) -> ParallelSession {
+        ParallelSession::new(opts, level, Arc::clone(&self.stats))
     }
 
     /// Compresses with an explicit target-buffer capacity, reproducing the
@@ -236,7 +254,11 @@ impl Nx {
             attempts += 1;
             capacity = capacity.saturating_mul(2);
         }
-        Ok(BoundedOutcome { compressed, attempts, final_capacity: capacity })
+        Ok(BoundedOutcome {
+            compressed,
+            attempts,
+            final_capacity: capacity,
+        })
     }
 }
 
@@ -303,22 +325,29 @@ mod tests {
         let mut gz = nx.compress(b"payload", Format::Gzip).unwrap().bytes;
         let n = gz.len();
         gz[n - 5] ^= 0xFF;
-        assert!(matches!(nx.decompress(&gz, Format::Gzip), Err(Error::Deflate(_))));
+        assert!(matches!(
+            nx.decompress(&gz, Format::Gzip),
+            Err(Error::Deflate(_))
+        ));
     }
 
     #[test]
     fn bounded_compress_retries_until_capacity_fits() {
         let nx = Nx::power9();
         let data = nx_corpus::CorpusKind::Random.generate(8, 64 * 1024); // ~incompressible
-        // A tiny initial target forces several doublings.
-        let out = nx.compress_bounded(&data, Format::RawDeflate, 4 * 1024).unwrap();
+                                                                         // A tiny initial target forces several doublings.
+        let out = nx
+            .compress_bounded(&data, Format::RawDeflate, 4 * 1024)
+            .unwrap();
         assert!(out.attempts > 2, "only {} attempts", out.attempts);
         assert!(out.final_capacity >= out.compressed.bytes.len());
         // Retries cost cycles: more than a clean single pass.
         let clean = nx.compress(&data, Format::RawDeflate).unwrap();
         assert!(out.compressed.report.cycles > clean.report.cycles);
         assert_eq!(
-            nx.decompress(&out.compressed.bytes, Format::RawDeflate).unwrap().bytes,
+            nx.decompress(&out.compressed.bytes, Format::RawDeflate)
+                .unwrap()
+                .bytes,
             data
         );
     }

@@ -1,0 +1,618 @@
+//! Sharded parallel compression — the software analogue of feeding one
+//! stream through several accelerator units (or pigz through several
+//! cores) and still emitting a single valid gzip/zlib/raw-DEFLATE
+//! stream.
+//!
+//! # How a sharded stream stays valid
+//!
+//! The input is cut into fixed-size chunks. Each chunk is compressed
+//! independently by a pool worker, *primed* with the last 32 KB of the
+//! preceding chunk as a preset dictionary
+//! ([`StreamEncoder::with_dict`]) so cross-chunk matches are not lost at
+//! the seam. Every non-final shard ends with a sync flush (the empty
+//! stored block, `00 00 FF FF`), which both byte-aligns the shard and
+//! leaves the block sequence open; the final shard ends with a final
+//! block. Concatenating the shards in order therefore yields one
+//! continuous, RFC 1951-valid DEFLATE stream — exactly the trick pigz
+//! uses, and the reason the paper's multi-unit accelerators can split
+//! one request across engines.
+//!
+//! Container checksums never see the whole input on one thread either:
+//! each worker checksums its own chunk, and the per-shard values fold
+//! into the trailer value with [`crc32_combine`] / [`adler32_combine`].
+//!
+//! Decompression of a DEFLATE stream is inherently serial — every match
+//! references the preceding 32 KB of *output*, so shard `i` cannot be
+//! decoded before shard `i-1` finished. [`ParallelEngine::decompress`]
+//! is therefore an ordinary single-threaded inflate; the parallel win on
+//! the decode side comes from decompressing *independent members*
+//! concurrently, which needs no engine support.
+//!
+//! ```
+//! use nx_core::parallel::{ParallelEngine, ParallelOptions};
+//! use nx_core::Format;
+//!
+//! # fn main() -> Result<(), nx_core::Error> {
+//! let engine = ParallelEngine::new(ParallelOptions::default());
+//! let data = b"shard me shard me shard me ".repeat(40_000);
+//! let gz = engine.compress(&data, 6, Format::Gzip)?;
+//! let back = engine.decompress(&gz, Format::Gzip)?;
+//! assert_eq!(back, data);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::framing::Format;
+use crate::{software, Error, NxStats, Result};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use nx_deflate::adler32::{adler32, adler32_combine};
+use nx_deflate::crc32::{crc32, crc32_combine};
+use nx_deflate::stream::{Flush, StreamEncoder};
+use nx_deflate::{gzip, zlib, CompressionLevel};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Dictionary carried between shards: one DEFLATE window.
+const DICT_SIZE: usize = nx_deflate::WINDOW_SIZE;
+
+/// Configuration for a [`ParallelEngine`].
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Worker threads in the pool (≥ 1; `0` is rounded up).
+    pub workers: usize,
+    /// Input bytes per shard. pigz's default is 128 KB; smaller shards
+    /// expose more parallelism but pay more per-shard overhead (the sync
+    /// flush marker, the dictionary re-priming, the Huffman headers).
+    pub chunk_size: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            chunk_size: 128 * 1024,
+        }
+    }
+}
+
+/// One unit of work: compress `input[chunk]` with `input[dict]` as the
+/// preset dictionary.
+struct Job {
+    seq: usize,
+    input: Arc<Vec<u8>>,
+    chunk: Range<usize>,
+    dict: Range<usize>,
+    level: u32,
+    format: Format,
+    is_final: bool,
+    done: Sender<ShardOut>,
+}
+
+/// A compressed shard travelling back to the submitting thread.
+struct ShardOut {
+    seq: usize,
+    bytes: Vec<u8>,
+    /// CRC-32 of the shard's *input* (gzip framing only).
+    crc: u32,
+    /// Adler-32 of the shard's *input* (zlib framing only).
+    adler: u32,
+    len: u64,
+}
+
+/// Aggregate counters for a [`ParallelEngine`] (monotonic, lock-free).
+#[derive(Debug, Default)]
+pub struct ParallelStats {
+    requests: AtomicU64,
+    shards: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl ParallelStats {
+    /// Completed `compress` calls.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Shards compressed across all requests.
+    pub fn shards(&self) -> u64 {
+        self.shards.load(Ordering::Relaxed)
+    }
+
+    /// Total input bytes.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Total framed output bytes.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+}
+
+/// A persistent pool of compression workers producing single valid
+/// streams from sharded input. See the [module docs](self) for the
+/// format argument.
+#[derive(Debug)]
+pub struct ParallelEngine {
+    opts: ParallelOptions,
+    /// `Some` until drop; taking it closes the channel and stops workers.
+    job_tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ParallelStats>,
+}
+
+impl ParallelEngine {
+    /// Spawns the worker pool.
+    pub fn new(mut opts: ParallelOptions) -> Self {
+        opts.workers = opts.workers.max(1);
+        opts.chunk_size = opts.chunk_size.max(1);
+        // A small bounded queue: submission applies backpressure instead
+        // of buffering every pending shard descriptor at once.
+        let (job_tx, job_rx) = bounded::<Job>(opts.workers * 2);
+        let workers = (0..opts.workers)
+            .map(|_| {
+                let rx = job_rx.clone();
+                std::thread::spawn(move || worker_loop(rx))
+            })
+            .collect();
+        Self {
+            opts,
+            job_tx: Some(job_tx),
+            workers,
+            stats: Arc::new(ParallelStats::default()),
+        }
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &ParallelOptions {
+        &self.opts
+    }
+
+    /// Aggregate counters for this engine.
+    pub fn stats(&self) -> &ParallelStats {
+        &self.stats
+    }
+
+    /// Compresses `data` at `level` into `format` framing using the
+    /// worker pool. Output is deterministic: it depends only on `data`,
+    /// `level`, `format` and `chunk_size` — never on the worker count or
+    /// completion order — and always equals
+    /// [`compress_serial`](Self::compress_serial).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EngineClosed`] if the pool died (a worker panicked);
+    /// [`Error::Deflate`] for an invalid `level`.
+    pub fn compress(&self, data: &[u8], level: u32, format: Format) -> Result<Vec<u8>> {
+        CompressionLevel::new(level)?;
+        let shards = shard_ranges(data.len(), self.opts.chunk_size);
+        let njobs = shards.len();
+        // One shared copy of the input; shards borrow ranges of it.
+        let input = Arc::new(data.to_vec());
+        let (done_tx, done_rx) = bounded::<ShardOut>(njobs);
+        let job_tx = self.job_tx.as_ref().expect("pool alive until drop");
+        for (seq, chunk) in shards.into_iter().enumerate() {
+            let dict = chunk.start.saturating_sub(DICT_SIZE)..chunk.start;
+            let job = Job {
+                seq,
+                input: Arc::clone(&input),
+                chunk,
+                dict,
+                level,
+                format,
+                is_final: seq + 1 == njobs,
+                done: done_tx.clone(),
+            };
+            job_tx.send(job).map_err(|_| Error::EngineClosed)?;
+        }
+        drop(done_tx);
+
+        let mut outs: Vec<Option<ShardOut>> = (0..njobs).map(|_| None).collect();
+        for _ in 0..njobs {
+            let out = done_rx.recv().map_err(|_| Error::EngineClosed)?;
+            let seq = out.seq;
+            outs[seq] = Some(out);
+        }
+        let outs: Vec<ShardOut> = outs
+            .into_iter()
+            .map(|o| o.expect("every seq sent"))
+            .collect();
+        let framed = stitch(&outs, data.len(), format);
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.shards.fetch_add(njobs as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        Ok(framed)
+    }
+
+    /// The single-threaded reference: identical sharding and stitching,
+    /// run inline. [`compress`](Self::compress) is defined to produce
+    /// exactly these bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] for an invalid `level`.
+    pub fn compress_serial(&self, data: &[u8], level: u32, format: Format) -> Result<Vec<u8>> {
+        CompressionLevel::new(level)?;
+        let shards = shard_ranges(data.len(), self.opts.chunk_size);
+        let njobs = shards.len();
+        let mut enc: Option<StreamEncoder> = None;
+        let outs: Vec<ShardOut> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(seq, chunk)| {
+                let dict = chunk.start.saturating_sub(DICT_SIZE)..chunk.start;
+                compress_shard(
+                    &mut enc,
+                    seq,
+                    &data[chunk.clone()],
+                    &data[dict],
+                    level,
+                    format,
+                    seq + 1 == njobs,
+                )
+            })
+            .collect();
+        Ok(stitch(&outs, data.len(), format))
+    }
+
+    /// Decompresses `format`-framed `data`. Single-threaded by design —
+    /// see the [module docs](self) for why shard-parallel inflate of one
+    /// stream is not possible.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] for malformed containers or streams.
+    pub fn decompress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        software::decompress(data, format)
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's `for job in rx` loop.
+        drop(self.job_tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Splits `len` bytes into `chunk_size` shards; an empty input still
+/// produces one (empty) shard so the final-block machinery runs.
+fn shard_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        // Intentionally one element holding the empty range 0..0 (one
+        // empty shard), not an empty vec.
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let mut out = Vec::with_capacity(len.div_ceil(chunk_size));
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk_size).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Worker body: compress shards until the job channel closes, reusing
+/// one [`StreamEncoder`] (hash chains, token buffer, scratch space)
+/// across every shard this worker ever sees.
+fn worker_loop(rx: Receiver<Job>) {
+    let mut enc: Option<StreamEncoder> = None;
+    for job in rx.iter() {
+        let chunk = &job.input[job.chunk.clone()];
+        let dict = &job.input[job.dict.clone()];
+        let out = compress_shard(
+            &mut enc,
+            job.seq,
+            chunk,
+            dict,
+            job.level,
+            job.format,
+            job.is_final,
+        );
+        // A receiver that gave up (submission error path) is not our
+        // problem; drop the result.
+        let _ = job.done.send(out);
+    }
+}
+
+/// Compresses one shard, reusing `enc` when the level matches.
+fn compress_shard(
+    enc: &mut Option<StreamEncoder>,
+    seq: usize,
+    chunk: &[u8],
+    dict: &[u8],
+    level: u32,
+    format: Format,
+    is_final: bool,
+) -> ShardOut {
+    let lvl = CompressionLevel::new(level).expect("validated at submission");
+    let enc = match enc {
+        Some(e) if e.level() == lvl => {
+            e.reset_with_dict(dict);
+            e
+        }
+        slot => slot.insert(StreamEncoder::with_dict(lvl, dict)),
+    };
+    let flush = if is_final { Flush::Finish } else { Flush::Sync };
+    let bytes = enc.write(chunk, flush);
+    ShardOut {
+        seq,
+        bytes,
+        crc: if format == Format::Gzip {
+            crc32(chunk)
+        } else {
+            0
+        },
+        adler: if format == Format::Zlib {
+            adler32(chunk)
+        } else {
+            1
+        },
+        len: chunk.len() as u64,
+    }
+}
+
+/// Concatenates ordered shards and wraps them in the container, folding
+/// the per-shard checksums into the trailer value.
+fn stitch(outs: &[ShardOut], total_len: usize, format: Format) -> Vec<u8> {
+    let body_len: usize = outs.iter().map(|o| o.bytes.len()).sum();
+    let mut raw = Vec::with_capacity(body_len);
+    for o in outs {
+        raw.extend_from_slice(&o.bytes);
+    }
+    match format {
+        Format::RawDeflate => raw,
+        Format::Gzip => {
+            let crc = outs
+                .iter()
+                .fold(0u32, |acc, o| crc32_combine(acc, o.crc, o.len));
+            gzip::wrap_deflate(&raw, crc, total_len as u64)
+        }
+        Format::Zlib => {
+            let adler = outs
+                .iter()
+                .fold(1u32, |acc, o| adler32_combine(acc, o.adler, o.len));
+            zlib::wrap_deflate(&raw, adler)
+        }
+    }
+}
+
+/// A parallel compression session bound to an [`crate::Nx`] handle: the
+/// engine's traffic is recorded into the handle's [`NxStats`], modeling
+/// a host that fans one request out across accelerator units.
+#[derive(Debug)]
+pub struct ParallelSession {
+    engine: ParallelEngine,
+    stats: Arc<NxStats>,
+    level: u32,
+}
+
+impl ParallelSession {
+    pub(crate) fn new(opts: ParallelOptions, level: u32, stats: Arc<NxStats>) -> Self {
+        Self {
+            engine: ParallelEngine::new(opts),
+            stats,
+            level,
+        }
+    }
+
+    /// The pool configuration.
+    pub fn options(&self) -> &ParallelOptions {
+        &self.engine.opts
+    }
+
+    /// Per-engine counters (shards, bytes).
+    pub fn engine_stats(&self) -> &ParallelStats {
+        self.engine.stats()
+    }
+
+    /// Compresses `data` into `format` framing across the pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelEngine::compress`].
+    pub fn compress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        let out = self.engine.compress(data, self.level, format)?;
+        self.stats
+            .record_compress(data.len() as u64, out.len() as u64, 0);
+        Ok(out)
+    }
+
+    /// Decompresses `format`-framed `data` (single-threaded; see the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelEngine::decompress`].
+    pub fn decompress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        let out = self.engine.decompress(data, format)?;
+        self.stats
+            .record_decompress(data.len() as u64, out.len() as u64, 0);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> Vec<u8> {
+        nx_corpus::mixed(7, n)
+    }
+
+    fn engine(workers: usize, chunk: usize) -> ParallelEngine {
+        ParallelEngine::new(ParallelOptions {
+            workers,
+            chunk_size: chunk,
+        })
+    }
+
+    #[test]
+    fn roundtrips_all_formats() {
+        let data = corpus(600 * 1024);
+        let e = engine(4, 64 * 1024);
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            let out = e.compress(&data, 6, format).unwrap();
+            assert_eq!(e.decompress(&out, format).unwrap(), data, "{format:?}");
+        }
+        assert_eq!(e.stats().requests(), 3);
+        assert_eq!(e.stats().shards(), 3 * 10);
+    }
+
+    #[test]
+    fn output_independent_of_worker_count() {
+        let data = corpus(300 * 1024);
+        let reference = engine(1, 32 * 1024)
+            .compress(&data, 6, Format::Gzip)
+            .unwrap();
+        for workers in [2, 3, 8] {
+            let out = engine(workers, 32 * 1024)
+                .compress(&data, 6, Format::Gzip)
+                .unwrap();
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_output_equals_serial_reference() {
+        let data = corpus(200 * 1024);
+        let e = engine(4, 24 * 1024);
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            assert_eq!(
+                e.compress(&data, 6, format).unwrap(),
+                e.compress_serial(&data, 6, format).unwrap(),
+                "{format:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let e = engine(2, 128 * 1024);
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            let out = e.compress(b"", 6, format).unwrap();
+            assert_eq!(e.decompress(&out, format).unwrap(), b"", "{format:?}");
+        }
+    }
+
+    #[test]
+    fn input_smaller_than_one_chunk() {
+        let data = b"fits in one shard".to_vec();
+        let e = engine(4, 128 * 1024);
+        let out = e.compress(&data, 6, Format::Gzip).unwrap();
+        assert_eq!(e.decompress(&out, Format::Gzip).unwrap(), data);
+        assert_eq!(e.stats().shards(), 1);
+        // A single shard is a plain whole-stream compression: identical
+        // bytes to the ordinary software path.
+        assert_eq!(
+            out,
+            software::compress(&data, CompressionLevel::new(6).unwrap(), Format::Gzip)
+        );
+    }
+
+    #[test]
+    fn chunks_smaller_than_the_dictionary() {
+        // 1 KB chunks: every shard's dictionary spans several whole
+        // previous chunks' tails (dict range is clamped to 32 KB of
+        // *input*, which here covers 32 chunks).
+        let data = corpus(40 * 1024);
+        let e = engine(3, 1024);
+        for level in [1u32, 6] {
+            let out = e.compress(&data, level, Format::Zlib).unwrap();
+            assert_eq!(
+                e.decompress(&out, Format::Zlib).unwrap(),
+                data,
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn incompressible_shards_fall_back_to_stored() {
+        // Random bytes cannot be compressed; the per-block stored
+        // fallback must kick in and keep expansion bounded (stored
+        // overhead is 5 bytes per 64 KB + the shard seams).
+        let data = nx_corpus::CorpusKind::Random.generate(3, 512 * 1024);
+        let e = engine(4, 64 * 1024);
+        let out = e.compress(&data, 6, Format::Gzip).unwrap();
+        assert_eq!(e.decompress(&out, Format::Gzip).unwrap(), data);
+        assert!(
+            out.len() < data.len() + data.len() / 100 + 64,
+            "incompressible input expanded: {} -> {}",
+            data.len(),
+            out.len()
+        );
+    }
+
+    #[test]
+    fn dictionary_priming_helps_across_shards() {
+        // Input whose period is much larger than one chunk but smaller
+        // than the window: without dictionary hand-off every shard would
+        // start cold and find no cross-shard matches.
+        let motif = corpus(24 * 1024);
+        let data: Vec<u8> = motif
+            .iter()
+            .copied()
+            .cycle()
+            .take(motif.len() * 8)
+            .collect();
+        let primed = engine(2, 24 * 1024)
+            .compress(&data, 6, Format::RawDeflate)
+            .unwrap();
+        // Reference without priming: compress each chunk independently
+        // and concatenate lengths (not a valid stream; length only).
+        let cold: usize = data
+            .chunks(24 * 1024)
+            .map(|c| nx_deflate::deflate(c, CompressionLevel::new(6).unwrap()).len())
+            .sum();
+        assert!(
+            primed.len() * 2 < cold,
+            "dictionary hand-off ineffective: primed {} vs cold {}",
+            primed.len(),
+            cold
+        );
+    }
+
+    #[test]
+    fn level_zero_and_invalid_levels() {
+        let data = corpus(100 * 1024);
+        let e = engine(2, 32 * 1024);
+        let out = e.compress(&data, 0, Format::Gzip).unwrap();
+        assert_eq!(e.decompress(&out, Format::Gzip).unwrap(), data);
+        assert!(e.compress(&data, 10, Format::Gzip).is_err());
+    }
+
+    #[test]
+    fn session_records_into_nx_stats() {
+        let nx = crate::Nx::power9();
+        let sess = nx.parallel_session(
+            ParallelOptions {
+                workers: 2,
+                chunk_size: 16 * 1024,
+            },
+            6,
+        );
+        let data = corpus(64 * 1024);
+        let out = sess.compress(&data, Format::Gzip).unwrap();
+        assert_eq!(nx.stats().compress_requests(), 1);
+        assert_eq!(nx.stats().bytes_in(), data.len() as u64);
+        let back = sess.decompress(&out, Format::Gzip).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(
+            sess.engine_stats().shards(),
+            (data.len() as u64).div_ceil(16 * 1024)
+        );
+    }
+}

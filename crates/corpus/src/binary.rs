@@ -30,8 +30,8 @@ pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
                     } else {
                         // Opcode byte from a skewed distribution, plus a
                         // modrm-ish byte.
-                        let op = [0x48u8, 0x89, 0x8B, 0x0F, 0xE8, 0xFF, 0x83, 0xC7]
-                            [rng.gen_range(0..8)];
+                        let op =
+                            [0x48u8, 0x89, 0x8B, 0x0F, 0xE8, 0xFF, 0x83, 0xC7][rng.gen_range(0..8)];
                         out.push(op);
                         out.push(rng.gen());
                     }
@@ -52,7 +52,14 @@ pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
             // 10%: string table fragment.
             _ => {
                 for _ in 0..rng.gen_range(2..10) {
-                    let words = ["__libc_start", "malloc", "memcpy", "deflate", "inflate", "gzip"];
+                    let words = [
+                        "__libc_start",
+                        "malloc",
+                        "memcpy",
+                        "deflate",
+                        "inflate",
+                        "gzip",
+                    ];
                     out.extend_from_slice(words[rng.gen_range(0..words.len())].as_bytes());
                     out.push(0);
                 }
@@ -75,7 +82,10 @@ mod tests {
         let zeros = data.iter().filter(|&&b| b == 0).count();
         assert!(zeros > data.len() / 20, "too few zeros: {zeros}");
         // Prologue motif appears repeatedly.
-        let hits = data.windows(4).filter(|w| *w == [0x55, 0x48, 0x89, 0xE5]).count();
+        let hits = data
+            .windows(4)
+            .filter(|w| *w == [0x55, 0x48, 0x89, 0xE5])
+            .count();
         assert!(hits > 10, "motif appears only {hits} times");
     }
 

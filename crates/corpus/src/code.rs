@@ -5,12 +5,12 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const KEYWORDS: &[&str] = &[
-    "if", "else", "for", "while", "return", "static", "const", "struct", "int", "char",
-    "void", "unsigned", "switch", "case", "break", "sizeof",
+    "if", "else", "for", "while", "return", "static", "const", "struct", "int", "char", "void",
+    "unsigned", "switch", "case", "break", "sizeof",
 ];
 const IDENTS: &[&str] = &[
-    "buffer", "length", "offset", "state", "ctx", "result", "index", "count", "flags",
-    "src", "dst", "tmp", "node", "entry", "queue", "handle",
+    "buffer", "length", "offset", "state", "ctx", "result", "index", "count", "flags", "src",
+    "dst", "tmp", "node", "entry", "queue", "handle",
 ];
 
 pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
@@ -46,7 +46,11 @@ pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
                 IDENTS[rng.gen_range(0..IDENTS.len())],
                 rng.gen_range(1..64u32)
             ),
-            4 => format!("{indent}/* {} {} */", IDENTS[rng.gen_range(0..IDENTS.len())], rng.gen_range(0..100u32)),
+            4 => format!(
+                "{indent}/* {} {} */",
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                rng.gen_range(0..100u32)
+            ),
             5 => format!(
                 "{indent}return {}({}, {});",
                 IDENTS[rng.gen_range(0..IDENTS.len())],
@@ -89,6 +93,9 @@ mod tests {
         let text = String::from_utf8(data).unwrap();
         let open = text.matches('{').count() as i64;
         let close = text.matches('}').count() as i64;
-        assert!((open - close).abs() < open / 2, "opens {open} closes {close}");
+        assert!(
+            (open - close).abs() < open / 2,
+            "opens {open} closes {close}"
+        );
     }
 }

@@ -154,7 +154,11 @@ pub struct Sample {
 pub fn standard_suite(seed: u64, len: usize) -> Vec<Sample> {
     CorpusKind::all()
         .iter()
-        .map(|&kind| Sample { kind, seed, data: kind.generate(seed, len) })
+        .map(|&kind| Sample {
+            kind,
+            seed,
+            data: kind.generate(seed, len),
+        })
         .collect()
 }
 
@@ -221,7 +225,10 @@ mod tests {
 
     #[test]
     fn kinds_differ_from_each_other() {
-        let all: Vec<Vec<u8>> = CorpusKind::all().iter().map(|k| k.generate(3, 2048)).collect();
+        let all: Vec<Vec<u8>> = CorpusKind::all()
+            .iter()
+            .map(|k| k.generate(3, 2048))
+            .collect();
         for i in 0..all.len() {
             for j in i + 1..all.len() {
                 assert_ne!(all[i], all[j], "kinds {i} and {j} identical");

@@ -7,8 +7,15 @@ use rand::Rng;
 
 const LEVELS: &[&str] = &["INFO", "INFO", "INFO", "INFO", "WARN", "DEBUG", "ERROR"];
 const COMPONENTS: &[&str] = &[
-    "nx.gzip", "vas.window", "dma.read", "dma.write", "erat", "scheduler", "spark.shuffle",
-    "storage.tier", "net.rpc",
+    "nx.gzip",
+    "vas.window",
+    "dma.read",
+    "dma.write",
+    "erat",
+    "scheduler",
+    "spark.shuffle",
+    "storage.tier",
+    "net.rpc",
 ];
 const MESSAGES: &[&str] = &[
     "request completed in {d} us",
@@ -31,7 +38,11 @@ pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
         let comp = COMPONENTS[rng.gen_range(0..COMPONENTS.len())];
         let template = MESSAGES[rng.gen_range(0..MESSAGES.len())];
         // Skewed numeric fields: mostly small values.
-        let d: u32 = if rng.gen_ratio(4, 5) { rng.gen_range(0..100) } else { rng.gen_range(0..100_000) };
+        let d: u32 = if rng.gen_ratio(4, 5) {
+            rng.gen_range(0..100)
+        } else {
+            rng.gen_range(0..100_000)
+        };
         let msg = template
             .replace("{d3}", &(seq % 200).to_string())
             .replace("{d2}", &(d % 10).to_string())

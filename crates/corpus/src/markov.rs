@@ -9,20 +9,162 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his",
-    "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
-    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
-    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
-    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
-    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
-    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
-    "must", "through", "years", "where", "much", "your", "way", "well", "down", "should",
-    "because", "each", "just", "those", "people", "mr", "how", "too", "little", "state", "good",
-    "very", "make", "world", "still", "own", "see", "men", "work", "long", "get", "here",
-    "between", "both", "life", "being", "under", "never", "day", "same", "another", "know",
-    "while", "last", "might", "us", "great", "old", "year", "off", "come", "since", "against",
-    "go", "came", "right", "used", "take", "three", "system", "processor", "memory", "data",
-    "compression", "accelerator", "throughput", "latency", "hardware", "software",
+    "the",
+    "of",
+    "and",
+    "a",
+    "to",
+    "in",
+    "is",
+    "was",
+    "he",
+    "for",
+    "it",
+    "with",
+    "as",
+    "his",
+    "on",
+    "be",
+    "at",
+    "by",
+    "had",
+    "not",
+    "are",
+    "but",
+    "from",
+    "or",
+    "have",
+    "an",
+    "they",
+    "which",
+    "one",
+    "you",
+    "were",
+    "her",
+    "all",
+    "she",
+    "there",
+    "would",
+    "their",
+    "we",
+    "him",
+    "been",
+    "has",
+    "when",
+    "who",
+    "will",
+    "more",
+    "no",
+    "if",
+    "out",
+    "so",
+    "said",
+    "what",
+    "up",
+    "its",
+    "about",
+    "into",
+    "than",
+    "them",
+    "can",
+    "only",
+    "other",
+    "new",
+    "some",
+    "could",
+    "time",
+    "these",
+    "two",
+    "may",
+    "then",
+    "do",
+    "first",
+    "any",
+    "my",
+    "now",
+    "such",
+    "like",
+    "our",
+    "over",
+    "man",
+    "me",
+    "even",
+    "most",
+    "made",
+    "after",
+    "also",
+    "did",
+    "many",
+    "before",
+    "must",
+    "through",
+    "years",
+    "where",
+    "much",
+    "your",
+    "way",
+    "well",
+    "down",
+    "should",
+    "because",
+    "each",
+    "just",
+    "those",
+    "people",
+    "mr",
+    "how",
+    "too",
+    "little",
+    "state",
+    "good",
+    "very",
+    "make",
+    "world",
+    "still",
+    "own",
+    "see",
+    "men",
+    "work",
+    "long",
+    "get",
+    "here",
+    "between",
+    "both",
+    "life",
+    "being",
+    "under",
+    "never",
+    "day",
+    "same",
+    "another",
+    "know",
+    "while",
+    "last",
+    "might",
+    "us",
+    "great",
+    "old",
+    "year",
+    "off",
+    "come",
+    "since",
+    "against",
+    "go",
+    "came",
+    "right",
+    "used",
+    "take",
+    "three",
+    "system",
+    "processor",
+    "memory",
+    "data",
+    "compression",
+    "accelerator",
+    "throughput",
+    "latency",
+    "hardware",
+    "software",
 ];
 
 /// Sentence length distribution parameters.

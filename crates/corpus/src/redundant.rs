@@ -9,7 +9,9 @@ use rand::Rng;
 pub(crate) fn generate(rng: &mut StdRng, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len + 4096);
     // A fixed 64-byte motif repeated throughout.
-    let motif: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+    let motif: Vec<u8> = (0..64u8)
+        .map(|i| i.wrapping_mul(37).wrapping_add(11))
+        .collect();
     while out.len() < len {
         match rng.gen_range(0..8u32) {
             0..=2 => out.extend(std::iter::repeat_n(0u8, rng.gen_range(256..4096))),
@@ -45,7 +47,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let data = generate(&mut rng, 1 << 16);
         let repeats = data.windows(2).filter(|w| w[0] == w[1]).count();
-        assert!(repeats as f64 > data.len() as f64 * 0.5, "only {repeats} repeats");
+        assert!(
+            repeats as f64 > data.len() as f64 * 0.5,
+            "only {repeats} repeats"
+        );
     }
 
     #[test]

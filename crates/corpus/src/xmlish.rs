@@ -4,7 +4,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-const TAGS: &[&str] = &["record", "field", "meta", "entry", "value", "group", "item", "attr"];
+const TAGS: &[&str] = &[
+    "record", "field", "meta", "entry", "value", "group", "item", "attr",
+];
 const WORDS: &[&str] = &[
     "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
 ];
@@ -77,6 +79,9 @@ mod tests {
         let opens = text.matches("<record").count();
         let closes = text.matches("</record").count();
         // Truncation can lose a few closers, not more.
-        assert!(opens >= closes && opens - closes < 8, "opens {opens} closes {closes}");
+        assert!(
+            opens >= closes && opens - closes < 8,
+            "opens {opens} closes {closes}"
+        );
     }
 }

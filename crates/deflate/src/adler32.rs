@@ -39,7 +39,10 @@ impl Adler32 {
 
     /// Resumes from a previously [`finish`](Self::finish)ed value.
     pub fn from_checksum(sum: u32) -> Self {
-        Self { a: sum & 0xFFFF, b: sum >> 16 }
+        Self {
+            a: sum & 0xFFFF,
+            b: sum >> 16,
+        }
     }
 
     /// Folds `data` into the checksum.
@@ -68,6 +71,42 @@ pub fn adler32(data: &[u8]) -> u32 {
     let mut a = Adler32::new();
     a.update(data);
     a.finish()
+}
+
+/// Combines the Adler-32 of two concatenated byte ranges:
+/// `combine(adler32(A), adler32(B), B.len()) == adler32(A ++ B)`.
+///
+/// The counterpart of [`crate::crc32::crc32_combine`] for zlib framing:
+/// parallel workers checksum their own shards and the results fold into
+/// one trailer. Unlike CRC-32 no matrix algebra is needed — both running
+/// sums are linear in the inputs modulo 65521:
+///
+/// * `a(A‖B) = a(A) + a(B) − 1` (each `a` carries the leading `1`), and
+/// * `b(A‖B) = b(A) + b(B) + len(B)·(a(A) − 1)`, because every byte of
+///   `B` sees the extra `a(A) − 1` offset accumulated into `b`.
+pub fn adler32_combine(adler_a: u32, adler_b: u32, len_b: u64) -> u32 {
+    let rem = (len_b % u64::from(MOD)) as u32;
+    let a1 = adler_a & 0xFFFF;
+    let b1 = adler_a >> 16;
+    let a2 = adler_b & 0xFFFF;
+    let b2 = adler_b >> 16;
+    // Work in u32 with additive MOD offsets so intermediates stay
+    // non-negative (mirrors zlib's adler32_combine arithmetic).
+    let mut sum1 = a1 + a2 + MOD - 1;
+    let mut sum2 = (rem * a1) % MOD + b1 + b2 + MOD - rem;
+    if sum1 >= MOD {
+        sum1 -= MOD;
+    }
+    if sum1 >= MOD {
+        sum1 -= MOD;
+    }
+    if sum2 >= 2 * MOD {
+        sum2 -= 2 * MOD;
+    }
+    if sum2 >= MOD {
+        sum2 -= MOD;
+    }
+    (sum2 << 16) | sum1
 }
 
 #[cfg(test)]
@@ -105,6 +144,55 @@ mod tests {
         inc.update(&data[7000..7001]);
         inc.update(&data[7001..]);
         assert_eq!(inc.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let x: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let y: Vec<u8> = (0..4_321u32).map(|i| (i * 13 % 241) as u8).collect();
+        let whole = adler32(&[x.clone(), y.clone()].concat());
+        assert_eq!(
+            adler32_combine(adler32(&x), adler32(&y), y.len() as u64),
+            whole
+        );
+    }
+
+    #[test]
+    fn combine_with_empty_sides() {
+        let x = b"left side only";
+        assert_eq!(adler32_combine(adler32(x), adler32(b""), 0), adler32(x));
+        assert_eq!(
+            adler32_combine(adler32(b""), adler32(x), x.len() as u64),
+            adler32(x)
+        );
+    }
+
+    #[test]
+    fn combine_len_larger_than_modulus() {
+        // len(B) > 65521 exercises the `rem` reduction.
+        let x = vec![0xABu8; 3];
+        let y = vec![0x5Au8; 70_000];
+        let whole = adler32(&[x.clone(), y.clone()].concat());
+        assert_eq!(
+            adler32_combine(adler32(&x), adler32(&y), y.len() as u64),
+            whole
+        );
+    }
+
+    #[test]
+    fn combine_is_associative_over_three_parts() {
+        let parts: [&[u8]; 3] = [b"alpha-alpha", b"beta", b"gamma-gamma-gamma"];
+        let whole = adler32(&parts.concat());
+        let ab = adler32_combine(adler32(parts[0]), adler32(parts[1]), parts[1].len() as u64);
+        let left = adler32_combine(ab, adler32(parts[2]), parts[2].len() as u64);
+        let bc = adler32_combine(adler32(parts[1]), adler32(parts[2]), parts[2].len() as u64);
+        let right = adler32_combine(
+            adler32(parts[0]),
+            bc,
+            (parts[1].len() + parts[2].len()) as u64,
+        );
+        assert_eq!(left, whole);
+        assert_eq!(right, whole);
     }
 
     #[test]

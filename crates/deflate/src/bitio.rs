@@ -35,7 +35,11 @@ impl BitWriter {
 
     /// Creates a writer with `cap` bytes of pre-allocated output space.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { out: Vec::with_capacity(cap), acc: 0, nbits: 0 }
+        Self {
+            out: Vec::with_capacity(cap),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Appends the low `n` bits of `value`, least-significant bit first.
@@ -50,10 +54,18 @@ impl BitWriter {
         debug_assert!(n == 64 || value < (1u64 << n), "value wider than bit count");
         self.acc |= value << self.nbits;
         self.nbits += n;
-        while self.nbits >= 8 {
-            self.out.push((self.acc & 0xFF) as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
+        if self.nbits >= 8 {
+            // Flush every complete byte in one extend instead of a
+            // byte-at-a-time push loop. `nbits` never exceeds 7 + 57 =
+            // 64, so `bytes <= 8`.
+            let bytes = (self.nbits >> 3) as usize;
+            self.out.extend_from_slice(&self.acc.to_le_bytes()[..bytes]);
+            self.acc = if bytes == 8 {
+                0
+            } else {
+                self.acc >> (bytes * 8)
+            };
+            self.nbits &= 7;
         }
     }
 
@@ -118,12 +130,37 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader positioned at the first bit of `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, nbits: 0 }
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Refills the accumulator to at least `n` bits if input allows.
+    ///
+    /// Fast path: while at least 8 input bytes remain, a whole 64-bit
+    /// little-endian word is ORed in at once and `pos` advances by the
+    /// number of *fully* absorbed bytes. The first partially absorbed
+    /// byte leaves its low bits in the accumulator above `nbits`; the
+    /// next refill ORs the same bits onto the same positions (OR is
+    /// idempotent), so the overlap needs no masking. The accumulator
+    /// above `nbits` therefore holds either zeros or correct look-ahead
+    /// stream bits — consumers must only rely on the low `nbits`.
     #[inline]
     fn refill(&mut self, n: u32) {
+        if self.nbits >= n {
+            return;
+        }
+        if self.pos + 8 <= self.data.len() {
+            let w = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+            self.acc |= w << self.nbits;
+            let absorbed = (63 - self.nbits) >> 3;
+            self.pos += absorbed as usize;
+            self.nbits += absorbed * 8;
+            return;
+        }
         while self.nbits < n && self.pos < self.data.len() {
             self.acc |= u64::from(self.data[self.pos]) << self.nbits;
             self.pos += 1;
@@ -196,17 +233,24 @@ impl<'a> BitReader<'a> {
     /// Panics if the reader is not byte-aligned.
     pub fn read_bytes(&mut self, buf: &mut [u8]) -> Result<()> {
         assert_eq!(self.nbits % 8, 0, "read_bytes requires byte alignment");
-        for b in buf.iter_mut() {
-            if self.nbits >= 8 {
-                *b = (self.acc & 0xFF) as u8;
-                self.acc >>= 8;
-                self.nbits -= 8;
-            } else if self.pos < self.data.len() {
-                *b = self.data[self.pos];
-                self.pos += 1;
-            } else {
+        let mut i = 0;
+        while i < buf.len() && self.nbits >= 8 {
+            buf[i] = (self.acc & 0xFF) as u8;
+            self.acc >>= 8;
+            self.nbits -= 8;
+            i += 1;
+        }
+        if i < buf.len() {
+            // Any bits still in the accumulator are look-ahead copies of
+            // bytes at `pos` (see `refill`); drop them before switching
+            // to direct slice reads so they are not double-counted.
+            self.acc = 0;
+            let n = buf.len() - i;
+            if self.data.len() - self.pos < n {
                 return Err(Error::UnexpectedEof);
             }
+            buf[i..].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
         }
         Ok(())
     }

@@ -17,7 +17,11 @@ const fn build_tables() -> [[u32; 256]; 8] {
         let mut crc = i as u32;
         let mut k = 0;
         while k < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
             k += 1;
         }
         t[0][i] = crc;
@@ -198,7 +202,10 @@ mod tests {
         // below, plus two published vectors.
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
         assert_eq!(crc32(b"abc"), 0x3524_41C2);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     /// Straightforward bitwise reference used to validate the tables.
@@ -207,7 +214,11 @@ mod tests {
         for &b in data {
             crc ^= u32::from(b);
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
             }
         }
         !crc
@@ -244,7 +255,9 @@ mod tests {
 
     #[test]
     fn combine_matches_direct_computation() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
         for split in [0usize, 1, 7, 100, 4096, 9_999, 10_000] {
             let (a, b) = data.split_at(split);
             let combined = crc32_combine(crc32(a), crc32(b), b.len() as u64);
@@ -272,7 +285,10 @@ mod tests {
     fn combine_with_empty_parts() {
         let d = b"nonempty";
         assert_eq!(crc32_combine(crc32(d), crc32(b""), 0), crc32(d));
-        assert_eq!(crc32_combine(crc32(b""), crc32(d), d.len() as u64), crc32(d));
+        assert_eq!(
+            crc32_combine(crc32(b""), crc32(d), d.len() as u64),
+            crc32(d)
+        );
     }
 
     #[test]

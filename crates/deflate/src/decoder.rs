@@ -86,6 +86,17 @@ pub fn inflate_traced(data: &[u8]) -> Result<(Vec<u8>, Vec<BlockTrace>)> {
     Ok((inf.into_output(), trace))
 }
 
+/// The fixed-Huffman decode tables never change (RFC 1951 §3.2.6);
+/// build them once per process instead of per block.
+fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
+    static TABLES: std::sync::OnceLock<(DecodeTable, DecodeTable)> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let litlen = DecodeTable::new(&fixed_litlen_lengths()).expect("fixed litlen lengths");
+        let dist = DecodeTable::new(&fixed_dist_lengths()).expect("fixed dist lengths");
+        (litlen, dist)
+    })
+}
+
 /// Incremental inflate engine over a borrowed input slice.
 #[derive(Debug)]
 pub struct Inflater<'a> {
@@ -183,9 +194,8 @@ impl<'a> Inflater<'a> {
             }
             0b01 => {
                 header_end_bits = self.reader.bits_consumed();
-                let litlen = DecodeTable::new(&fixed_litlen_lengths())?;
-                let dist = DecodeTable::new(&fixed_dist_lengths())?;
-                self.huffman_block(&litlen, &dist, limit, collect.then_some(&mut tokens))?;
+                let (litlen, dist) = fixed_decode_tables();
+                self.huffman_block(litlen, dist, limit, collect.then_some(&mut tokens))?;
             }
             0b10 => {
                 let (litlen, dist) = self.read_dynamic_tables()?;
@@ -373,11 +383,19 @@ impl<'a> Inflater<'a> {
                         });
                     }
                     let start = self.out.len() - distance;
-                    // Overlapping copies are the defined RLE semantics;
-                    // copy byte-wise from the growing buffer.
-                    for k in 0..len {
-                        let b = self.out[start + k];
-                        self.out.push(b);
+                    if distance >= len {
+                        self.out.extend_from_within(start..start + len);
+                    } else {
+                        // Overlapping copy (RLE semantics): out[start..] is
+                        // periodic with period `distance`, so appending any
+                        // prefix of it continues the pattern. The available
+                        // source doubles each pass.
+                        let mut remaining = len;
+                        while remaining > 0 {
+                            let take = remaining.min(self.out.len() - start);
+                            self.out.extend_from_within(start..start + take);
+                            remaining -= take;
+                        }
                     }
                 }
                 _ => return Err(Error::InvalidLengthOrDistance),
@@ -451,7 +469,10 @@ mod tests {
 
     #[test]
     fn rejects_truncated_stream() {
-        let full = crate::deflate(b"some reasonable payload here", CompressionLevel::new(6).unwrap());
+        let full = crate::deflate(
+            b"some reasonable payload here",
+            CompressionLevel::new(6).unwrap(),
+        );
         for cut in 1..full.len().min(12) {
             let r = inflate(&full[..full.len() - cut]);
             assert!(r.is_err(), "cut {cut} accepted");
@@ -478,8 +499,8 @@ mod tests {
         w.write_bits(0, 5); // HLIT=257
         w.write_bits(0, 5); // HDIST=1
         w.write_bits(15, 4); // HCLEN=19
-        // Give symbol 16 length 1, symbol 17 length 1, everything else 0.
-        // CODELEN_ORDER starts 16,17,18,...
+                             // Give symbol 16 length 1, symbol 17 length 1, everything else 0.
+                             // CODELEN_ORDER starts 16,17,18,...
         w.write_bits(1, 3); // len(16)=1
         w.write_bits(1, 3); // len(17)=1
         for _ in 2..19 {
@@ -525,9 +546,9 @@ mod tests {
         w.write_bits(0, 5); // HLIT=257
         w.write_bits(0, 5); // HDIST=1
         w.write_bits(15, 4); // HCLEN=19
-        // len(18)=1, len(0)=... we need: lengths[0..257] mostly zero with
-        // symbol 0 and 1 getting codes, 256 zero.
-        // Order: 16,17,18,0,8,7,9,6,10,5,11,4,12,3,13,2,14,1,15
+                             // len(18)=1, len(0)=... we need: lengths[0..257] mostly zero with
+                             // symbol 0 and 1 getting codes, 256 zero.
+                             // Order: 16,17,18,0,8,7,9,6,10,5,11,4,12,3,13,2,14,1,15
         let mut lens = [0u8; 19];
         lens[18] = 1; // zero runs
         lens[1] = 1; // code length 1

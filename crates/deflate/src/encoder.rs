@@ -126,7 +126,10 @@ fn tokenize_rle(data: &[u8]) -> Vec<Token> {
         i += 1;
         while left >= crate::MIN_MATCH {
             let take = left.min(crate::MAX_MATCH);
-            tokens.push(Token::Match { len: take as u16, dist: 1 });
+            tokens.push(Token::Match {
+                len: take as u16,
+                dist: 1,
+            });
             left -= take;
             i += take;
         }
@@ -166,7 +169,10 @@ pub fn deflate_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> V
     let mut byte_pos = 0usize;
     while start_tok < tokens.len() {
         let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
-        let span: usize = tokens[start_tok..end_tok].iter().map(Token::input_len).sum();
+        let span: usize = tokens[start_tok..end_tok]
+            .iter()
+            .map(Token::input_len)
+            .sum();
         let is_final = end_tok == tokens.len();
         // No stored fallback here: stored blocks cannot express
         // dictionary references, and dictionary use targets small,
@@ -219,7 +225,10 @@ pub struct Encoder {
 impl Encoder {
     /// Creates an encoder for `level` with the default strategy.
     pub fn new(level: CompressionLevel) -> Self {
-        Self { level, strategy: Strategy::Default }
+        Self {
+            level,
+            strategy: Strategy::Default,
+        }
     }
 
     /// Creates an encoder with an explicit strategy (zlib's
@@ -263,7 +272,10 @@ impl Encoder {
         let mut start_byte = 0usize;
         while start_tok < tokens.len() {
             let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
-            let span: usize = tokens[start_tok..end_tok].iter().map(Token::input_len).sum();
+            let span: usize = tokens[start_tok..end_tok]
+                .iter()
+                .map(Token::input_len)
+                .sum();
             let is_final = end_tok == tokens.len();
             choose_and_encode_block(
                 w,
@@ -339,21 +351,27 @@ fn write_token(w: &mut BitWriter, litlen: &[Code], dist: &[Code], token: Token) 
             w.write_bits(u64::from(c.bits), u32::from(c.len));
         }
         Token::Match { len, dist: d } => {
+            // Fuse all four fields of a match token — length code, length
+            // extra bits, distance code, distance extra bits — into one
+            // accumulator and a single `write_bits` call. Worst case is
+            // 15 + 5 + 15 + 13 = 48 bits, within the writer's 57-bit
+            // limit. When a code has zero extra bits, `len - base` is
+            // zero, so the unconditional OR is a no-op.
             let li = length_code_index(len);
             let lc = litlen[257 + li];
             debug_assert!(lc.len > 0, "length code {li} missing from this table");
-            w.write_bits(u64::from(lc.bits), u32::from(lc.len));
-            let extra = LENGTH_EXTRA[li];
-            if extra > 0 {
-                w.write_bits(u64::from(len - LENGTH_BASE[li]), u32::from(extra));
-            }
+            let mut acc = u64::from(lc.bits);
+            let mut n = u32::from(lc.len);
+            acc |= u64::from(len - LENGTH_BASE[li]) << n;
+            n += u32::from(LENGTH_EXTRA[li]);
             let di = dist_code(d);
             let dc = dist[di];
-            w.write_bits(u64::from(dc.bits), u32::from(dc.len));
-            let dextra = DIST_EXTRA[di];
-            if dextra > 0 {
-                w.write_bits(u64::from(d - DIST_BASE[di]), u32::from(dextra));
-            }
+            debug_assert!(dc.len > 0, "distance code {di} missing from this table");
+            acc |= u64::from(dc.bits) << n;
+            n += u32::from(dc.len);
+            acc |= u64::from(d - DIST_BASE[di]) << n;
+            n += u32::from(DIST_EXTRA[di]);
+            w.write_bits(acc, n);
         }
     }
 }
@@ -500,7 +518,6 @@ impl DynamicPlan {
     /// Panics if the lengths exceed the DEFLATE limits or oversubscribe
     /// the code space.
     pub fn from_lengths(litlen_lengths: Vec<u8>, dist_lengths: Vec<u8>) -> Self {
-
         let hlit = litlen_lengths
             .iter()
             .rposition(|&l| l > 0)
@@ -744,10 +761,11 @@ mod tests {
 
     #[test]
     fn all_levels_roundtrip_text() {
-        let data: Vec<u8> = std::iter::repeat_n(&b"compression accelerators on POWER9 and z15 "[..], 500)
-            .flatten()
-            .copied()
-            .collect();
+        let data: Vec<u8> =
+            std::iter::repeat_n(&b"compression accelerators on POWER9 and z15 "[..], 500)
+                .flatten()
+                .copied()
+                .collect();
         for l in 0..=9 {
             let out = deflate(&data, level(l));
             assert_eq!(inflate(&out).unwrap(), data, "level {l}");
@@ -775,7 +793,9 @@ mod tests {
         let mut x = 0x9E3779B9u64;
         let data: Vec<u8> = (0..100_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();
@@ -862,8 +882,7 @@ mod tests {
         let mut w = BitWriter::new();
         canned.write_header(&mut w, true);
         canned.write_body(&mut w, &tokens);
-        let out =
-            inflate(&w.finish()).expect("canned-table block decodes");
+        let out = inflate(&w.finish()).expect("canned-table block decodes");
         assert_eq!(out, crate::lz77::expand_tokens(&tokens));
     }
 
@@ -899,11 +918,7 @@ mod tests {
     #[test]
     fn huffman_only_strategy_emits_no_matches() {
         let data = b"aaaa bbbb aaaa bbbb".repeat(50);
-        let tokens = deflate_tokens_with_strategy(
-            &data,
-            level(6),
-            Strategy::HuffmanOnly,
-        );
+        let tokens = deflate_tokens_with_strategy(&data, level(6), Strategy::HuffmanOnly);
         assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
         let out = Encoder::with_strategy(level(6), Strategy::HuffmanOnly).compress(&data);
         assert_eq!(inflate(&out).unwrap(), data);

@@ -50,7 +50,7 @@ pub fn compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
     out.push(METHOD_DEFLATE);
     out.push(0); // FLG: no optional fields
     out.extend_from_slice(&0u32.to_le_bytes()); // MTIME
-    // XFL: 2 = max compression, 4 = fastest (gzip convention).
+                                                // XFL: 2 = max compression, 4 = fastest (gzip convention).
     out.push(match level.get() {
         9 => 2,
         1 => 4,
@@ -133,12 +133,18 @@ pub fn decompress_with_header(data: &[u8]) -> Result<(Vec<u8>, GzipHeader, usize
         }
     }
     if flg & FNAME != 0 {
-        let end = data[pos..].iter().position(|&b| b == 0).ok_or(Error::UnexpectedEof)?;
+        let end = data[pos..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(Error::UnexpectedEof)?;
         header.file_name = Some(data[pos..pos + end].to_vec());
         pos += end + 1;
     }
     if flg & FCOMMENT != 0 {
-        let end = data[pos..].iter().position(|&b| b == 0).ok_or(Error::UnexpectedEof)?;
+        let end = data[pos..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(Error::UnexpectedEof)?;
         header.comment = Some(data[pos..pos + end].to_vec());
         pos += end + 1;
     }
@@ -164,8 +170,7 @@ pub fn decompress_with_header(data: &[u8]) -> Result<(Vec<u8>, GzipHeader, usize
         return Err(Error::UnexpectedEof);
     }
     let stored_crc = u32::from_le_bytes(data[trailer_at..trailer_at + 4].try_into().unwrap());
-    let stored_len =
-        u32::from_le_bytes(data[trailer_at + 4..trailer_at + 8].try_into().unwrap());
+    let stored_len = u32::from_le_bytes(data[trailer_at + 4..trailer_at + 8].try_into().unwrap());
     if stored_crc != crate::crc32::crc32(&out) {
         return Err(Error::GzipChecksumMismatch);
     }
@@ -201,7 +206,10 @@ pub struct Members<'a> {
 /// # }
 /// ```
 pub fn members(data: &[u8]) -> Members<'_> {
-    Members { rest: data, failed: false }
+    Members {
+        rest: data,
+        failed: false,
+    }
 }
 
 impl Iterator for Members<'_> {

@@ -39,7 +39,12 @@ pub fn huffman_lengths(freqs: &[u32]) -> Vec<u8> {
     }
     let mut leaves: Vec<Node> = used
         .iter()
-        .map(|&s| Node { weight: u64::from(freqs[s]), left: usize::MAX, right: usize::MAX, symbol: s })
+        .map(|&s| Node {
+            weight: u64::from(freqs[s]),
+            left: usize::MAX,
+            right: usize::MAX,
+            symbol: s,
+        })
         .collect();
     leaves.sort_by_key(|n| n.weight);
 
@@ -150,7 +155,10 @@ pub fn limited_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
     let mut singles: Vec<Pkg> = used
         .iter()
         .enumerate()
-        .map(|(i, &s)| Pkg { weight: u64::from(freqs[s]), leaves: vec![i as u16] })
+        .map(|(i, &s)| Pkg {
+            weight: u64::from(freqs[s]),
+            leaves: vec![i as u16],
+        })
         .collect();
     singles.sort_by_key(|p| p.weight);
 
@@ -162,7 +170,10 @@ pub fn limited_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
         for pair in &mut it {
             let mut leaves = pair[0].leaves.clone();
             leaves.extend_from_slice(&pair[1].leaves);
-            packaged.push(Pkg { weight: pair[0].weight + pair[1].weight, leaves });
+            packaged.push(Pkg {
+                weight: pair[0].weight + pair[1].weight,
+                leaves,
+            });
         }
         // Merge with the singles of the next level.
         let mut merged = Vec::with_capacity(packaged.len() + singles.len());
@@ -175,7 +186,10 @@ pub fn limited_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
                 a += 1;
             } else {
                 let leaves = std::mem::take(&mut packaged[b].leaves);
-                merged.push(Pkg { weight: packaged[b].weight, leaves });
+                merged.push(Pkg {
+                    weight: packaged[b].weight,
+                    leaves,
+                });
                 b += 1;
             }
         }

@@ -5,7 +5,6 @@
 //! zlib's inflate uses, and is also a faithful model of the multi-bit
 //! lookup the hardware decompressor performs each cycle.
 
-
 use crate::bitio::BitReader;
 use crate::{Error, Result};
 
@@ -239,7 +238,10 @@ mod tests {
             *f = 1 + (i as u32 % 7) + if i < 4 { 100_000 } else { 0 };
         }
         let lengths = limited_lengths(&freqs, 15);
-        assert!(lengths.iter().any(|&l| l > 9), "need long codes for this test");
+        assert!(
+            lengths.iter().any(|&l| l > 9),
+            "need long codes for this test"
+        );
         let symbols: Vec<u16> = (0..300u16).collect();
         assert_eq!(roundtrip_symbols(&lengths, &symbols).unwrap(), symbols);
     }

@@ -96,7 +96,10 @@ pub fn canonical_codes(lengths: &[u8]) -> Result<Vec<Code>> {
         if len > 0 {
             let canon = next[len as usize];
             next[len as usize] += 1;
-            out[sym] = Code { bits: reverse_bits(canon, len), len };
+            out[sym] = Code {
+                bits: reverse_bits(canon, len),
+                len,
+            };
         }
     }
     Ok(out)
@@ -144,11 +147,11 @@ mod tests {
         // (3,3,3,3,3,2,4,4) yields codes 010..111, 00, 1110, 1111.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths).unwrap();
-        let canon: Vec<u16> = codes
-            .iter()
-            .map(|c| reverse_bits(c.bits, c.len))
-            .collect();
-        assert_eq!(canon, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        let canon: Vec<u16> = codes.iter().map(|c| reverse_bits(c.bits, c.len)).collect();
+        assert_eq!(
+            canon,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod lz77;
 pub mod stream;
 pub mod zlib;
 
-pub use decoder::{inflate, inflate_traced, inflate_with_dict, inflate_with_limit, BlockTrace, Inflater};
+pub use decoder::{
+    inflate, inflate_traced, inflate_with_dict, inflate_with_limit, BlockTrace, Inflater,
+};
 pub use encoder::{
     deflate, deflate_tokens, deflate_with_dict, CompressionLevel, Encoder, Strategy,
 };

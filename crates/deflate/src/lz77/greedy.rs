@@ -64,19 +64,37 @@ pub fn tokenize_greedy(data: &[u8], cfg: &MatcherConfig) -> Vec<Token> {
 pub fn tokenize_greedy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec<Token> {
     let mut chains = HashChains::new();
     let mut tokens = Vec::with_capacity((data.len() - start) / 3 + 8);
+    tokenize_greedy_into(data, start, cfg, &mut chains, &mut tokens);
+    tokens
+}
+
+/// As [`tokenize_greedy_from`], but appending into caller-owned state:
+/// `chains` must be freshly created or [`HashChains::reset`], and tokens
+/// are pushed onto `tokens`. This is the allocation-free entry point the
+/// reusable [`super::Tokenizer`] builds on.
+pub fn tokenize_greedy_into(
+    data: &[u8],
+    start: usize,
+    cfg: &MatcherConfig,
+    chains: &mut HashChains,
+    tokens: &mut Vec<Token>,
+) {
     for p in 0..start.min(data.len().saturating_sub(MIN_MATCH - 1)) {
         chains.insert(data, p);
     }
     let mut pos = start;
     while pos < data.len() {
         let found = if pos + MIN_MATCH <= data.len() {
-            best_match(&chains, data, pos, cfg, 0)
+            best_match(chains, data, pos, cfg, 0)
         } else {
             None
         };
         match found {
             Some((len, dist)) => {
-                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
                 // Insert all covered positions (zlib inserts up to the
                 // penultimate byte of the match).
                 let end = (pos + len).min(data.len().saturating_sub(MIN_MATCH - 1));
@@ -94,7 +112,6 @@ pub fn tokenize_greedy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> V
             }
         }
     }
-    tokens
 }
 
 #[cfg(test)]
@@ -123,7 +140,9 @@ mod tests {
     fn finds_simple_repeat() {
         let data = b"abcdefabcdef";
         let tokens = tokenize_greedy(data, &cfg());
-        assert!(tokens.iter().any(|t| matches!(t, Token::Match { len: 6, dist: 6 })));
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { len: 6, dist: 6 })));
         assert_eq!(expand_tokens(&tokens), data);
     }
 

@@ -23,9 +23,8 @@ const NIL: u32 = u32::MAX;
 #[inline]
 pub fn hash3(data: &[u8], pos: usize) -> usize {
     debug_assert!(pos + MIN_MATCH <= data.len());
-    let v = u32::from(data[pos])
-        | (u32::from(data[pos + 1]) << 8)
-        | (u32::from(data[pos + 2]) << 16);
+    let v =
+        u32::from(data[pos]) | (u32::from(data[pos + 1]) << 8) | (u32::from(data[pos + 2]) << 16);
     // Multiplicative hash; constant from Knuth's golden-ratio family.
     ((v.wrapping_mul(0x9E37_79B1)) >> 17) as usize & HASH_MASK
 }
@@ -40,7 +39,26 @@ pub struct HashChains {
 impl HashChains {
     /// Creates an empty dictionary.
     pub fn new() -> Self {
-        Self { head: vec![NIL; HASH_SIZE], prev: vec![NIL; WINDOW_SIZE] }
+        Self {
+            head: vec![NIL; HASH_SIZE],
+            prev: vec![NIL; WINDOW_SIZE],
+        }
+    }
+
+    /// Clears the dictionary for reuse on a new buffer without
+    /// reallocating or touching the 128 KB `prev` table.
+    ///
+    /// Only `head` is cleared. Stale `prev` entries from the previous
+    /// buffer are unreachable: every chain walk starts at `head[h]`,
+    /// which after a reset only ever holds positions inserted since, and
+    /// each [`insert`](Self::insert) writes `prev[pos & mask]` *before*
+    /// publishing `pos` in `head` — so by induction every slot reachable
+    /// from a fresh head was written in the current run. The remaining
+    /// hazard, circular wrap-around *within* a run (two positions more
+    /// than one window apart sharing a `prev` slot), is exactly what the
+    /// monotonicity guard in [`Candidates::next`] terminates on.
+    pub fn reset(&mut self) {
+        self.head.fill(NIL);
     }
 
     /// Inserts position `pos` (requires ≥ 3 bytes available at `pos`).
@@ -72,6 +90,23 @@ impl Default for HashChains {
 }
 
 /// Iterator over candidate match positions; see [`HashChains::candidates`].
+///
+/// # Stale-entry guards
+///
+/// The circular `prev` table is never cleared as the window slides (and
+/// [`HashChains::reset`] deliberately leaves it untouched), so a walk can
+/// land on an entry written for a position one or more windows ago. Two
+/// checks in [`next`](Iterator::next) make such entries harmless rather
+/// than requiring an O(window) sweep:
+///
+/// 1. **Distance bound** — a candidate at or beyond `pos`, or more than
+///    `WINDOW_SIZE` behind it, ends the walk: it cannot be expressed as a
+///    DEFLATE distance, and anything further down the chain is older
+///    still.
+/// 2. **Monotonicity** — each hop must move to a strictly *older*
+///    position. A stale slot can point forward (its writer lived in a
+///    previous lap of the circular buffer), which would otherwise cycle
+///    the iterator forever; the guard collapses that hop to end-of-chain.
 #[derive(Debug)]
 pub struct Candidates<'a> {
     chains: &'a HashChains,

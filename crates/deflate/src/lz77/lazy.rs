@@ -25,6 +25,19 @@ pub fn tokenize_lazy(data: &[u8], cfg: &MatcherConfig) -> Vec<Token> {
 pub fn tokenize_lazy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec<Token> {
     let mut chains = HashChains::new();
     let mut tokens = Vec::with_capacity((data.len() - start) / 3 + 8);
+    tokenize_lazy_into(data, start, cfg, &mut chains, &mut tokens);
+    tokens
+}
+
+/// As [`tokenize_lazy_from`], but appending into caller-owned state —
+/// see [`super::greedy::tokenize_greedy_into`].
+pub fn tokenize_lazy_into(
+    data: &[u8],
+    start: usize,
+    cfg: &MatcherConfig,
+    chains: &mut HashChains,
+    tokens: &mut Vec<Token>,
+) {
     for p in 0..start.min(data.len().saturating_sub(MIN_MATCH - 1)) {
         chains.insert(data, p);
     }
@@ -41,7 +54,7 @@ pub fn tokenize_lazy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec
             if prev_len >= cfg.max_lazy {
                 None
             } else {
-                best_match(&chains, data, pos, cfg, prev_len)
+                best_match(chains, data, pos, cfg, prev_len)
             }
         } else {
             None
@@ -60,7 +73,10 @@ pub fn tokenize_lazy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec
                     pos += 1;
                 } else {
                     // Commit the previous match (anchored at pos-1).
-                    tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+                    tokens.push(Token::Match {
+                        len: plen as u16,
+                        dist: pdist as u16,
+                    });
                     let start = pos; // pos-1 already inserted
                     let end = (pos - 1 + plen).min(data.len().saturating_sub(MIN_MATCH - 1));
                     for p in start..end {
@@ -73,7 +89,10 @@ pub fn tokenize_lazy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec
             (None, Some((clen, cdist))) => {
                 if clen >= cfg.max_lazy || clen >= cfg.nice_length {
                     // Long enough: take it immediately (no deferral).
-                    tokens.push(Token::Match { len: clen as u16, dist: cdist as u16 });
+                    tokens.push(Token::Match {
+                        len: clen as u16,
+                        dist: cdist as u16,
+                    });
                     let end = (pos + clen).min(data.len().saturating_sub(MIN_MATCH - 1));
                     for p in pos..end {
                         chains.insert(data, p);
@@ -98,9 +117,11 @@ pub fn tokenize_lazy_from(data: &[u8], start: usize, cfg: &MatcherConfig) -> Vec
     // A pending match at end-of-input: it fit entirely in the buffer
     // (best_match caps at the input end), so commit it.
     if let Some((plen, pdist)) = prev {
-        tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+        tokens.push(Token::Match {
+            len: plen as u16,
+            dist: pdist as u16,
+        });
     }
-    tokens
 }
 
 #[cfg(test)]

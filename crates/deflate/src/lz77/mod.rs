@@ -63,8 +63,8 @@ pub const END_OF_BLOCK: u16 = 256;
 
 /// Base match length for each length code 257..=285 (index 0 = code 257).
 pub const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 
 /// Extra bits for each length code 257..=285.
@@ -80,9 +80,56 @@ pub const DIST_BASE: [u16; 30] = [
 
 /// Extra bits for each distance code 0..=29.
 pub const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
+
+/// `len - 3` → length-code index, precomputed over the whole 3..=258
+/// domain. The encoder consults this once per match token, so a table
+/// lookup beats recomputing the log2-based bucketing each time.
+static LENGTH_CODE_LUT: [u8; 256] = build_length_code_lut();
+
+const fn build_length_code_lut() -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    let mut m = 0u32;
+    while m < 256 {
+        lut[m as usize] = if m == 255 {
+            28 // len 258 has its own zero-extra code
+        } else if m < 8 {
+            m as u8
+        } else {
+            let e = 31 - m.leading_zeros(); // floor(log2(m)), >= 3
+            (4 * (e - 1) + ((m >> (e - 2)) & 3)) as u8
+        };
+        m += 1;
+    }
+    lut
+}
+
+/// Distance-code lookup using zlib's two-scale trick: the first 256
+/// entries map `dist - 1` directly; the last 256 map `(dist - 1) >> 7`
+/// for larger distances. Buckets of 128 at those magnitudes never cross
+/// a code boundary (all codes with base ≥ 257 span multiples of 128).
+static DIST_CODE_LUT: [u8; 512] = build_dist_code_lut();
+
+const fn build_dist_code_lut() -> [u8; 512] {
+    const fn code(d: u32) -> u8 {
+        if d < 4 {
+            d as u8
+        } else {
+            let e = 31 - d.leading_zeros(); // floor(log2(d)), >= 2
+            (2 * e + ((d >> (e - 1)) & 1)) as u8
+        }
+    }
+    let mut lut = [0u8; 512];
+    let mut d = 0u32;
+    while d < 256 {
+        lut[d as usize] = code(d);
+        lut[256 + d as usize] = code(d << 7);
+        d += 1;
+    }
+    lut
+}
 
 /// Maps a match length (3..=258) to its length-code *index* (0..=28, i.e.
 /// symbol `257 + index`).
@@ -93,16 +140,7 @@ pub const DIST_EXTRA: [u8; 30] = [
 #[inline]
 pub fn length_code_index(len: u16) -> usize {
     debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&usize::from(len)));
-    if len == 258 {
-        return 28;
-    }
-    let m = u32::from(len - 3);
-    if m < 8 {
-        m as usize
-    } else {
-        let e = 31 - m.leading_zeros(); // floor(log2(m)), >= 3
-        (4 * (e - 1) + ((m >> (e - 2)) & 3)) as usize
-    }
+    usize::from(LENGTH_CODE_LUT[usize::from(len - 3)])
 }
 
 /// Maps a distance (1..=32768) to its distance-code symbol (0..=29).
@@ -113,12 +151,58 @@ pub fn length_code_index(len: u16) -> usize {
 #[inline]
 pub fn dist_code(dist: u16) -> usize {
     debug_assert!((1..=32768u32).contains(&u32::from(dist)));
-    let d = u32::from(dist) - 1;
-    if d < 4 {
-        d as usize
-    } else {
-        let e = 31 - d.leading_zeros(); // floor(log2(d)), >= 2
-        (2 * e + ((d >> (e - 1)) & 1)) as usize
+    let d = usize::from(dist) - 1;
+    let i = if d < 256 { d } else { 256 + (d >> 7) };
+    usize::from(DIST_CODE_LUT[i])
+}
+
+/// Reusable LZ77 tokenizer state.
+///
+/// [`greedy::tokenize_greedy`] and [`lazy::tokenize_lazy`] allocate a
+/// fresh 256 KB hash-chain dictionary and a token buffer on every call —
+/// fine for one-shot compression, wasteful for chunked sessions (the
+/// streaming encoder, the parallel engine's shard workers) that
+/// tokenize thousands of chunks. A `Tokenizer` owns both and recycles
+/// them: resetting the dictionary clears only the `head` table (see
+/// [`hash::HashChains::reset`] for why stale `prev` entries are safe),
+/// and the token buffer keeps its capacity across calls.
+#[derive(Debug, Default)]
+pub struct Tokenizer {
+    chains: hash::HashChains,
+    tokens: Vec<Token>,
+}
+
+impl Tokenizer {
+    /// Creates an empty tokenizer (the 256 KB tables are allocated once,
+    /// here).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizes `data[start..]` under `cfg`, with `data[..start]` as
+    /// history — the reusable analogue of
+    /// [`greedy::tokenize_greedy_from`] / [`lazy::tokenize_lazy_from`],
+    /// choosing the matcher by `cfg`'s level exactly as the encoder
+    /// does. The returned slice is valid until the next call.
+    pub fn tokenize(&mut self, data: &[u8], start: usize, level: u32) -> &[Token] {
+        debug_assert!(level >= 1, "level 0 has no matcher; use literals()");
+        let cfg = MatcherConfig::for_level(level);
+        self.chains.reset();
+        self.tokens.clear();
+        if MatcherConfig::is_lazy_level(level) {
+            lazy::tokenize_lazy_into(data, start, &cfg, &mut self.chains, &mut self.tokens);
+        } else {
+            greedy::tokenize_greedy_into(data, start, &cfg, &mut self.chains, &mut self.tokens);
+        }
+        &self.tokens
+    }
+
+    /// Maps `data` to one literal token per byte (the level-0 /
+    /// Huffman-only path), reusing the token buffer.
+    pub fn literals(&mut self, data: &[u8]) -> &[Token] {
+        self.tokens.clear();
+        self.tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        &self.tokens
     }
 }
 
@@ -141,7 +225,10 @@ impl Default for Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Self { litlen: vec![0; NUM_LITLEN_SYMBOLS], dist: vec![0; NUM_DIST_SYMBOLS] }
+        Self {
+            litlen: vec![0; NUM_LITLEN_SYMBOLS],
+            dist: vec![0; NUM_DIST_SYMBOLS],
+        }
     }
 
     /// Counts one token.
@@ -202,7 +289,12 @@ impl MatcherConfig {
             9 => (32, 258, 258, 4096),
             _ => panic!("matcher config defined for levels 1..=9, got {level}"),
         };
-        Self { good_length, max_lazy, nice_length, max_chain }
+        Self {
+            good_length,
+            max_lazy,
+            nice_length,
+            max_chain,
+        }
     }
 
     /// Whether zlib would use the lazy (deflate_slow) strategy for `level`.
@@ -296,7 +388,10 @@ mod tests {
         let mut h = Histogram::new();
         h.record(Token::Literal(b'x'));
         h.record(Token::Match { len: 3, dist: 1 });
-        h.record(Token::Match { len: 258, dist: 32768 });
+        h.record(Token::Match {
+            len: 258,
+            dist: 32768,
+        });
         h.record_end_of_block();
         assert_eq!(h.litlen[usize::from(b'x')], 1);
         assert_eq!(h.litlen[257], 1);
@@ -311,7 +406,11 @@ mod tests {
     fn token_validity() {
         assert!(Token::Literal(0).is_valid());
         assert!(Token::Match { len: 3, dist: 1 }.is_valid());
-        assert!(Token::Match { len: 258, dist: 32768 }.is_valid());
+        assert!(Token::Match {
+            len: 258,
+            dist: 32768
+        }
+        .is_valid());
         assert!(!Token::Match { len: 2, dist: 1 }.is_valid());
         assert!(!Token::Match { len: 259, dist: 1 }.is_valid());
         assert!(!Token::Match { len: 3, dist: 0 }.is_valid());

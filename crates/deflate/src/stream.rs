@@ -23,10 +23,10 @@
 //! ```
 
 use crate::bitio::BitWriter;
-use crate::encoder::{choose_and_encode_block, encode_fixed_block, CompressionLevel, MAX_BLOCK_TOKENS};
-use crate::lz77::{
-    greedy::tokenize_greedy_from, lazy::tokenize_lazy_from, MatcherConfig, Token,
+use crate::encoder::{
+    choose_and_encode_block, encode_fixed_block, CompressionLevel, MAX_BLOCK_TOKENS,
 };
+use crate::lz77::{Token, Tokenizer};
 use crate::WINDOW_SIZE;
 
 /// Chunk-boundary behaviour for [`StreamEncoder::write`].
@@ -52,6 +52,12 @@ pub struct StreamEncoder {
     /// The persistent bit writer: the DEFLATE bit stream is continuous
     /// across chunks, so partial bytes stay buffered here between calls.
     w: BitWriter,
+    /// Reusable match-finder state (hash chains + token buffer): survives
+    /// across chunks *and* across [`reset_with_dict`](Self::reset_with_dict)
+    /// so long-lived sessions stop re-allocating 256 KB per chunk.
+    tok: Tokenizer,
+    /// Scratch buffer holding `tail ++ chunk` during tokenization.
+    scratch: Vec<u8>,
     finished: bool,
     total_in: u64,
 }
@@ -59,7 +65,48 @@ pub struct StreamEncoder {
 impl StreamEncoder {
     /// Creates an encoder at `level`.
     pub fn new(level: CompressionLevel) -> Self {
-        Self { level, tail: Vec::new(), w: BitWriter::new(), finished: false, total_in: 0 }
+        Self {
+            level,
+            tail: Vec::new(),
+            w: BitWriter::new(),
+            tok: Tokenizer::new(),
+            scratch: Vec::new(),
+            finished: false,
+            total_in: 0,
+        }
+    }
+
+    /// Creates an encoder whose first chunk may match back into `dict`
+    /// (its last 32 KB) — the streaming analogue of
+    /// [`crate::deflate_with_dict`]. The parallel engine uses this to
+    /// prime each shard's worker with the previous shard's tail.
+    pub fn with_dict(level: CompressionLevel, dict: &[u8]) -> Self {
+        let mut enc = Self::new(level);
+        enc.prime_dict(dict);
+        enc
+    }
+
+    /// Rearms a finished (or fresh) encoder for a new, independent stream
+    /// primed with `dict`, keeping the tokenizer and buffer allocations —
+    /// the cheap path for a worker compressing many shards in sequence.
+    pub fn reset_with_dict(&mut self, dict: &[u8]) {
+        self.tail.clear();
+        self.w = BitWriter::new();
+        self.finished = false;
+        self.total_in = 0;
+        self.prime_dict(dict);
+    }
+
+    fn prime_dict(&mut self, dict: &[u8]) {
+        if self.level.get() > 0 {
+            self.tail
+                .extend_from_slice(&dict[dict.len().saturating_sub(WINDOW_SIZE)..]);
+        }
+    }
+
+    /// The configured compression level.
+    pub fn level(&self) -> CompressionLevel {
+        self.level
     }
 
     /// Total input bytes consumed so far.
@@ -82,28 +129,26 @@ impl StreamEncoder {
         self.total_in += chunk.len() as u64;
 
         if !chunk.is_empty() {
-            // Tokenize the chunk against the carried window.
+            // Tokenize the chunk against the carried window, reusing the
+            // scratch buffer and tokenizer state across calls.
             let start = self.tail.len();
-            let mut buf = Vec::with_capacity(start + chunk.len());
-            buf.extend_from_slice(&self.tail);
-            buf.extend_from_slice(chunk);
-            let tokens = if self.level.get() == 0 {
-                chunk.iter().map(|&b| Token::Literal(b)).collect()
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&self.tail);
+            self.scratch.extend_from_slice(chunk);
+            let tokens: &[Token] = if self.level.get() == 0 {
+                self.tok.literals(chunk)
             } else {
-                let cfg = MatcherConfig::for_level(self.level.get());
-                if MatcherConfig::is_lazy_level(self.level.get()) {
-                    tokenize_lazy_from(&buf, start, &cfg)
-                } else {
-                    tokenize_greedy_from(&buf, start, &cfg)
-                }
+                self.tok.tokenize(&self.scratch, start, self.level.get())
             };
             // Emit in bounded blocks; final only if finishing.
             let mut start_tok = 0usize;
             let mut byte_pos = 0usize;
             while start_tok < tokens.len() {
                 let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
-                let span: usize =
-                    tokens[start_tok..end_tok].iter().map(Token::input_len).sum();
+                let span: usize = tokens[start_tok..end_tok]
+                    .iter()
+                    .map(Token::input_len)
+                    .sum();
                 let is_last_block = end_tok == tokens.len();
                 let is_final = is_last_block && flush == Flush::Finish;
                 choose_and_encode_block(
@@ -118,7 +163,8 @@ impl StreamEncoder {
             // Carry the window forward.
             if chunk.len() >= WINDOW_SIZE {
                 self.tail.clear();
-                self.tail.extend_from_slice(&chunk[chunk.len() - WINDOW_SIZE..]);
+                self.tail
+                    .extend_from_slice(&chunk[chunk.len() - WINDOW_SIZE..]);
             } else {
                 self.tail.extend_from_slice(chunk);
                 let excess = self.tail.len().saturating_sub(WINDOW_SIZE);
@@ -291,7 +337,11 @@ mod tests {
         let mut out = Vec::new();
         let chunks: Vec<&[u8]> = data.chunks(chunk_size.max(1)).collect();
         for (i, c) in chunks.iter().enumerate() {
-            let flush = if i + 1 == chunks.len() { Flush::Finish } else { Flush::None };
+            let flush = if i + 1 == chunks.len() {
+                Flush::Finish
+            } else {
+                Flush::None
+            };
             out.extend(enc.write(c, flush));
         }
         if !enc.is_finished() {
@@ -321,7 +371,10 @@ mod tests {
         let second = enc.write(&motif, Flush::Finish);
         let mut all = first.clone();
         all.extend_from_slice(&second);
-        assert_eq!(inflate(&all).unwrap(), [motif.clone(), motif.clone()].concat());
+        assert_eq!(
+            inflate(&all).unwrap(),
+            [motif.clone(), motif.clone()].concat()
+        );
         assert!(
             second.len() < first.len() / 5,
             "no history reuse: {} vs {}",
@@ -345,7 +398,10 @@ mod tests {
         let part2 = enc.write(b"and the rest", Flush::Finish);
         let mut all = part1;
         all.extend(part2);
-        assert_eq!(inflate(&all).unwrap(), b"first part of the stream and the rest");
+        assert_eq!(
+            inflate(&all).unwrap(),
+            b"first part of the stream and the rest"
+        );
     }
 
     #[test]
@@ -386,6 +442,39 @@ mod tests {
     }
 
     #[test]
+    fn with_dict_matches_oneshot_dictionary_encoder() {
+        let dict: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+        let data: Vec<u8> = dict.iter().copied().cycle().take(9000).collect();
+        let mut enc = StreamEncoder::with_dict(lvl(6), &dict);
+        let mut out = enc.write(&data, Flush::Finish);
+        out.extend(enc.finish());
+        assert_eq!(crate::inflate_with_dict(&out, &dict).unwrap(), data);
+        // Dictionary must actually be used: data that repeats the dict
+        // compresses far better than the dict-less stream.
+        let plain = crate::deflate(&data, lvl(6));
+        assert!(
+            out.len() < plain.len(),
+            "dict unused: {} vs {}",
+            out.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn reset_with_dict_reuses_encoder_across_streams() {
+        let parts: [&[u8]; 3] = [b"first shard first shard", b"second!", b"third third third"];
+        let mut enc = StreamEncoder::new(lvl(6));
+        let mut dict: Vec<u8> = Vec::new();
+        for part in parts {
+            enc.reset_with_dict(&dict);
+            let mut out = enc.write(part, Flush::Finish);
+            out.extend(enc.finish());
+            assert_eq!(crate::inflate_with_dict(&out, &dict).unwrap(), part);
+            dict = part.to_vec();
+        }
+    }
+
+    #[test]
     fn level0_streams_stored_blocks() {
         let data = vec![9u8; 70_000];
         chunked_roundtrip(&data, 30_000, 0);
@@ -412,7 +501,9 @@ mod tests {
     fn inflate_stream_crosses_32k_window_boundaries() {
         // Multi-block stream much larger than the window: the carried
         // window must keep far matches decodable.
-        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 7 + (i / 9731) % 31) as u8).collect();
+        let data: Vec<u8> = (0..300_000u32)
+            .map(|i| (i % 7 + (i / 9731) % 31) as u8)
+            .collect();
         let comp = crate::deflate(&data, lvl(6));
         let mut dec = InflateStream::new();
         let mut out = Vec::new();

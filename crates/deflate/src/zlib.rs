@@ -49,7 +49,7 @@ fn write_header(out: &mut Vec<u8>, level: CompressionLevel) {
         _ => 3,
     };
     let mut flg = flevel << 6; // FDICT=0
-    // FCHECK makes (CMF*256 + FLG) a multiple of 31.
+                               // FCHECK makes (CMF*256 + FLG) a multiple of 31.
     let rem = (u16::from(CMF) * 256 + u16::from(flg)) % 31;
     if rem != 0 {
         flg += (31 - rem) as u8;
@@ -99,10 +99,7 @@ pub fn decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
         return Err(Error::UnexpectedEof);
     }
     let (cmf, flg) = (data[0], data[1]);
-    if cmf & 0x0F != 8
-        || cmf >> 4 > 7
-        || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0
-    {
+    if cmf & 0x0F != 8 || cmf >> 4 > 7 || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
         return Err(Error::BadZlibHeader);
     }
     if flg & 0x20 == 0 {
@@ -197,7 +194,11 @@ mod tests {
     fn header_fcheck_is_valid() {
         for l in 0..=9 {
             let z = compress(b"x", lvl(l));
-            assert_eq!((u16::from(z[0]) * 256 + u16::from(z[1])) % 31, 0, "level {l}");
+            assert_eq!(
+                (u16::from(z[0]) * 256 + u16::from(z[1])) % 31,
+                0,
+                "level {l}"
+            );
         }
     }
 
@@ -273,11 +274,17 @@ mod tests {
         // Records share structure with the dictionary: with the dict the
         // first record compresses far better.
         let dict = b"{\"user\": \"\", \"region\": \"\", \"status\": \"active\", \"score\": }";
-        let record = b"{\"user\": \"alice\", \"region\": \"eu\", \"status\": \"active\", \"score\": 97}";
+        let record =
+            b"{\"user\": \"alice\", \"region\": \"eu\", \"status\": \"active\", \"score\": 97}";
         let with = compress_with_dict(record, lvl(9), dict);
         let without = compress(record, lvl(9));
         assert_eq!(decompress_with_dict(&with, dict).unwrap(), record);
-        assert!(with.len() + 4 < without.len(), "{} vs {}", with.len(), without.len());
+        assert!(
+            with.len() + 4 < without.len(),
+            "{} vs {}",
+            with.len(),
+            without.len()
+        );
     }
 
     #[test]
@@ -304,13 +311,14 @@ mod tests {
     #[test]
     fn raw_dict_helpers_roundtrip() {
         let dict: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
-        let data: Vec<u8> = dict.iter().rev().copied().chain(dict.iter().copied()).collect();
+        let data: Vec<u8> = dict
+            .iter()
+            .rev()
+            .copied()
+            .chain(dict.iter().copied())
+            .collect();
         for level in [1u32, 6, 9] {
-            let raw = crate::encoder::deflate_with_dict(
-                &data,
-                lvl(level),
-                &dict,
-            );
+            let raw = crate::encoder::deflate_with_dict(&data, lvl(level), &dict);
             assert_eq!(
                 crate::decoder::inflate_with_dict(&raw, &dict).unwrap(),
                 data,

@@ -3,7 +3,9 @@
 //! streams / histograms must satisfy the codec invariants.
 
 use nx_deflate::huffman::{build, canonical_codes, decode::roundtrip_symbols};
-use nx_deflate::lz77::{expand_tokens, greedy::tokenize_greedy, lazy::tokenize_lazy, MatcherConfig};
+use nx_deflate::lz77::{
+    expand_tokens, greedy::tokenize_greedy, lazy::tokenize_lazy, MatcherConfig,
+};
 use nx_deflate::{deflate, gzip, inflate, zlib, CompressionLevel};
 use proptest::prelude::*;
 
@@ -15,8 +17,12 @@ fn structured_bytes() -> impl Strategy<Value = Vec<u8>> {
             // random run
             prop::collection::vec(any::<u8>(), 0..64),
             // repeated motif
-            (prop::collection::vec(any::<u8>(), 1..8), 1usize..40)
-                .prop_map(|(m, n)| m.iter().copied().cycle().take(m.len() * n).collect()),
+            (prop::collection::vec(any::<u8>(), 1..8), 1usize..40).prop_map(|(m, n)| m
+                .iter()
+                .copied()
+                .cycle()
+                .take(m.len() * n)
+                .collect()),
             // ascii words
             "[a-z ]{0,40}".prop_map(|s| s.into_bytes()),
         ],
@@ -184,6 +190,26 @@ proptest! {
         }
         prop_assert!(dec.is_finished());
         prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn adler32_combine_matches_concatenation(
+        x in prop::collection::vec(any::<u8>(), 0..4096),
+        y in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        use nx_deflate::adler32::{adler32, adler32_combine};
+        let whole = adler32(&[x.clone(), y.clone()].concat());
+        prop_assert_eq!(adler32_combine(adler32(&x), adler32(&y), y.len() as u64), whole);
+    }
+
+    #[test]
+    fn crc32_combine_matches_concatenation(
+        x in prop::collection::vec(any::<u8>(), 0..4096),
+        y in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        use nx_deflate::crc32::{crc32, crc32_combine};
+        let whole = crc32(&[x.clone(), y.clone()].concat());
+        prop_assert_eq!(crc32_combine(crc32(&x), crc32(&y), y.len() as u64), whole);
     }
 
     #[test]

@@ -37,7 +37,6 @@ impl BitWriter {
         }
         self.out
     }
-
 }
 
 /// MSB-first bit reader.
@@ -51,7 +50,12 @@ pub(crate) struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub(crate) fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, nbits: 0 }
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Reads exactly `n <= 32` bits, MSB-first.

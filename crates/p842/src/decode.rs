@@ -158,7 +158,10 @@ mod tests {
     fn limit_enforced() {
         let data = vec![7u8; 4096];
         let c = compress(&data);
-        assert_eq!(decompress_with_limit(&c, 100), Err(Error::OutputLimitExceeded));
+        assert_eq!(
+            decompress_with_limit(&c, 100),
+            Err(Error::OutputLimitExceeded)
+        );
         assert_eq!(decompress_with_limit(&c, 4096).unwrap(), data);
     }
 

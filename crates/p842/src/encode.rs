@@ -9,8 +9,8 @@
 
 use crate::bitio::BitWriter;
 use crate::format::{
-    index_for_offset, Action, I2_FIFO, I4_FIFO, I8_FIFO, OP_BITS, OP_END, OP_REPEAT,
-    OP_SHORT_DATA, OP_ZEROS, REPEAT_BITS, SHORT_DATA_BITS, TEMPLATES,
+    index_for_offset, Action, I2_FIFO, I4_FIFO, I8_FIFO, OP_BITS, OP_END, OP_REPEAT, OP_SHORT_DATA,
+    OP_ZEROS, REPEAT_BITS, SHORT_DATA_BITS, TEMPLATES,
 };
 use std::collections::HashMap;
 
@@ -70,7 +70,13 @@ pub fn compress_with_stats(data: &[u8]) -> (Vec<u8>, CompressStats) {
             stats.chunks += run as u64 - 1;
             // Update hash maps for every repeated chunk position.
             for r in 0..run {
-                update_maps(&mut map8, &mut map4, &mut map2, &chunk, pos + (r * 8) as u64);
+                update_maps(
+                    &mut map8,
+                    &mut map4,
+                    &mut map2,
+                    &chunk,
+                    pos + (r * 8) as u64,
+                );
             }
             i += run;
             continue;
@@ -118,11 +124,13 @@ pub fn compress_with_stats(data: &[u8]) -> (Vec<u8>, CompressStats) {
         for a in actions {
             match a {
                 Action::D2 => {
-                    let v = u16::from_be_bytes(chunk[slot * 2..slot * 2 + 2].try_into().expect("d2"));
+                    let v =
+                        u16::from_be_bytes(chunk[slot * 2..slot * 2 + 2].try_into().expect("d2"));
                     w.write_bits(u64::from(v), 16);
                 }
                 Action::D4 => {
-                    let v = u32::from_be_bytes(chunk[slot * 2..slot * 2 + 4].try_into().expect("d4"));
+                    let v =
+                        u32::from_be_bytes(chunk[slot * 2..slot * 2 + 4].try_into().expect("d4"));
                     w.write_bits(u64::from(v), 32);
                 }
                 Action::D8 => {

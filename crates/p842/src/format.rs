@@ -204,7 +204,10 @@ mod tests {
                             "size {size} q {q} total {total}"
                         );
                         // Must be within the last fsize bytes.
-                        assert!(total - q <= fsize, "stale ref size {size} q {q} total {total}");
+                        assert!(
+                            total - q <= fsize,
+                            "stale ref size {size} q {q} total {total}"
+                        );
                     }
                 }
             }

@@ -59,13 +59,20 @@ impl EngineReport {
 }
 
 /// Prices a compression request from its encoder statistics.
-pub fn compress_cycles(cfg: &EngineConfig, stats: &CompressStats, input_bytes: u64) -> EngineReport {
+pub fn compress_cycles(
+    cfg: &EngineConfig,
+    stats: &CompressStats,
+    input_bytes: u64,
+) -> EngineReport {
     let run_chunks = stats.repeat_chunks + stats.zero_chunks;
     let template_chunks = stats.chunks - run_chunks.min(stats.chunks);
     let cycles = (template_chunks as f64 / cfg.chunks_per_cycle).ceil() as u64
         + (run_chunks as f64 / cfg.run_chunks_per_cycle).ceil() as u64
         + cfg.request_overhead_cycles;
-    EngineReport { input_bytes, cycles }
+    EngineReport {
+        input_bytes,
+        cycles,
+    }
 }
 
 /// Prices a decompression request: one template per cycle, run ops retire
@@ -85,7 +92,10 @@ pub fn decompress_cycles(
     let cycles = (template_chunks as f64 / cfg.chunks_per_cycle).ceil() as u64
         + (run_chunks as f64 / cfg.run_chunks_per_cycle).ceil() as u64
         + cfg.request_overhead_cycles;
-    EngineReport { input_bytes: output_bytes, cycles }
+    EngineReport {
+        input_bytes: output_bytes,
+        cycles,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +107,9 @@ mod tests {
     fn streaming_rate_is_in_the_engine_class() {
         let cfg = EngineConfig::power9();
         // Mixed-entropy data: mostly template chunks.
-        let data: Vec<u8> = (0..1_000_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..1_000_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let (_, stats) = compress_with_stats(&data);
         let r = compress_cycles(&cfg, &stats, data.len() as u64);
         let gbps = r.throughput_gbps(cfg.freq_ghz);
@@ -138,6 +150,11 @@ mod tests {
         let d = decompress_cycles(&cfg, &stats, data.len() as u64);
         // Same op counts → same order of cycles.
         let rel = (c.cycles as f64 / d.cycles as f64 - 1.0).abs();
-        assert!(rel < 0.2, "compress {} vs decompress {}", c.cycles, d.cycles);
+        assert!(
+            rel < 0.2,
+            "compress {} vs decompress {}",
+            c.cycles,
+            d.cycles
+        );
     }
 }

@@ -25,7 +25,10 @@ fn ratio_ordering_is_sane() {
     let random = ratio(CorpusKind::Random);
     let redundant = ratio(CorpusKind::Redundant);
     let columnar = ratio(CorpusKind::Columnar);
-    assert!(random < 1.01, "842 should not compress random data ({random:.3}x)");
+    assert!(
+        random < 1.01,
+        "842 should not compress random data ({random:.3}x)"
+    );
     assert!(redundant > 10.0, "redundant only {redundant:.2}x");
     assert!(columnar > 1.3, "columnar only {columnar:.2}x");
 }

@@ -48,14 +48,22 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, scheduled: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled: 0,
+        }
     }
 
     /// Schedules `event` at absolute time `time`.
     pub fn schedule(&mut self, time: SimTime, event: E) {
         self.seq += 1;
         self.scheduled += 1;
-        self.heap.push(Reverse(Entry { time, seq: self.seq, event }));
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            event,
+        }));
     }
 
     /// Removes and returns the earliest event.

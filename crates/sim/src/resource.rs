@@ -32,7 +32,11 @@ impl FifoStation {
         for _ in 0..servers {
             free_at.push(Reverse(SimTime::ZERO));
         }
-        Self { free_at, busy: SimTime::ZERO, completed: 0 }
+        Self {
+            free_at,
+            busy: SimTime::ZERO,
+            completed: 0,
+        }
     }
 
     /// Submits a job arriving at `arrival` with service demand `service`;
@@ -49,7 +53,10 @@ impl FifoStation {
 
     /// Earliest time a new arrival could begin service.
     pub fn next_free(&self) -> SimTime {
-        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Total service time dispensed (for utilization accounting).
@@ -94,7 +101,11 @@ impl SerialLink {
     /// Panics if the bandwidth is not positive and finite.
     pub fn new(bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0 && bytes_per_sec.is_finite());
-        Self { bytes_per_sec, busy_until: SimTime::ZERO, transferred: 0 }
+        Self {
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+            transferred: 0,
+        }
     }
 
     /// Queues a transfer of `bytes` arriving at `arrival`; returns

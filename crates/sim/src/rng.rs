@@ -24,7 +24,9 @@ impl SimRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        Self { rng: StdRng::seed_from_u64(seed ^ h) }
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ h),
+        }
     }
 
     /// Uniform in `[0, 1)`.
@@ -122,14 +124,19 @@ mod tests {
         let mut r = SimRng::new(9, "pareto");
         for _ in 0..10_000 {
             let x = r.bounded_pareto(4096.0, 1_048_576.0, 1.2);
-            assert!((4096.0..=1_048_576.0 + 1.0).contains(&x), "{x} out of bounds");
+            assert!(
+                (4096.0..=1_048_576.0 + 1.0).contains(&x),
+                "{x} out of bounds"
+            );
         }
     }
 
     #[test]
     fn pareto_is_heavy_tailed() {
         let mut r = SimRng::new(11, "pareto2");
-        let xs: Vec<f64> = (0..50_000).map(|_| r.bounded_pareto(1.0, 1000.0, 1.0)).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| r.bounded_pareto(1.0, 1000.0, 1.0))
+            .collect();
         let small = xs.iter().filter(|&&x| x < 10.0).count();
         // With alpha=1 over [1,1000], most mass is at small sizes.
         assert!(small > xs.len() / 2, "only {small} small values");

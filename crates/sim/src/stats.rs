@@ -15,7 +15,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Self { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -108,7 +114,8 @@ impl Percentiles {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }
         let n = self.samples.len();

@@ -43,7 +43,10 @@ impl Topology {
     pub fn power9_chip() -> Self {
         Self {
             name: "POWER9 1-chip".to_string(),
-            chips: vec![Chip { units: 1, mem_bw: 120e9 }],
+            chips: vec![Chip {
+                units: 1,
+                mem_bw: 120e9,
+            }],
             accel: AccelConfig::power9(),
         }
     }
@@ -52,7 +55,13 @@ impl Topology {
     pub fn power9_two_socket() -> Self {
         Self {
             name: "POWER9 2-socket".to_string(),
-            chips: vec![Chip { units: 1, mem_bw: 120e9 }; 2],
+            chips: vec![
+                Chip {
+                    units: 1,
+                    mem_bw: 120e9
+                };
+                2
+            ],
             accel: AccelConfig::power9(),
         }
     }
@@ -61,7 +70,10 @@ impl Topology {
     pub fn z15_chip() -> Self {
         Self {
             name: "z15 1-chip".to_string(),
-            chips: vec![Chip { units: 1, mem_bw: 200e9 }],
+            chips: vec![Chip {
+                units: 1,
+                mem_bw: 200e9,
+            }],
             accel: AccelConfig::z15(),
         }
     }
@@ -76,7 +88,13 @@ impl Topology {
         assert!((1..=5).contains(&drawers), "z15 supports 1..=5 drawers");
         Self {
             name: format!("z15 {drawers}-drawer"),
-            chips: vec![Chip { units: 1, mem_bw: 200e9 }; drawers * 2],
+            chips: vec![
+                Chip {
+                    units: 1,
+                    mem_bw: 200e9
+                };
+                drawers * 2
+            ],
             accel: AccelConfig::z15(),
         }
     }

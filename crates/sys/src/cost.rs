@@ -59,8 +59,7 @@ impl CostModel {
             let data = kind.generate(seed, SAMPLE_BYTES);
             let (stream, cr) = accel.compress(&data);
             let (_, dr) = accel.decompress(&stream).expect("own stream decodes");
-            let marginal_comp =
-                (cr.cycles - cr.overhead_cycles) as f64 / data.len().max(1) as f64;
+            let marginal_comp = (cr.cycles - cr.overhead_cycles) as f64 / data.len().max(1) as f64;
             let marginal_decomp =
                 (dr.cycles - dr.overhead_cycles) as f64 / stream.len().max(1) as f64;
             rows.insert(
@@ -77,14 +76,10 @@ impl CostModel {
             rows_842.insert(
                 kind,
                 Row842 {
-                    comp_cycles_per_byte: (creport.cycles
-                        - e842.request_overhead_cycles)
-                        as f64
+                    comp_cycles_per_byte: (creport.cycles - e842.request_overhead_cycles) as f64
                         / data.len().max(1) as f64,
                     // Decompression is priced per *compressed* input byte.
-                    decomp_cycles_per_byte: (dreport.cycles
-                        - e842.request_overhead_cycles)
-                        as f64
+                    decomp_cycles_per_byte: (dreport.cycles - e842.request_overhead_cycles) as f64
                         / out842.len().max(1) as f64,
                     ratio: data.len() as f64 / out842.len().max(1) as f64,
                 },
@@ -122,8 +117,7 @@ impl CostModel {
                 self.overhead_cycles + self.rows_842[&corpus].comp_cycles_per_byte * bytes as f64
             }
             Function::Decompress842 => {
-                self.overhead_cycles
-                    + self.rows_842[&corpus].decomp_cycles_per_byte * bytes as f64
+                self.overhead_cycles + self.rows_842[&corpus].decomp_cycles_per_byte * bytes as f64
             }
         };
         SimTime::from_secs_f64(cycles / (self.freq_ghz * 1e9))

@@ -30,7 +30,10 @@ impl Default for DmaEngines {
 impl DmaEngines {
     /// Creates engines with `bw` bytes/second per channel.
     pub fn new(bw: f64) -> Self {
-        Self { read: SerialLink::new(bw), write: SerialLink::new(bw) }
+        Self {
+            read: SerialLink::new(bw),
+            write: SerialLink::new(bw),
+        }
     }
 
     /// Time to move a request's data, overlapping read and write

@@ -67,16 +67,25 @@ pub fn plan(policy: FaultPolicy, bytes: u64, rng: &mut SimRng) -> FaultPlan {
         FaultPolicy::RetryOnFault { fault_probability } => {
             debug_assert!((0.0..=1.0).contains(&fault_probability));
             if fault_probability <= 0.0 {
-                return FaultPlan { pre_submit: SimTime::ZERO, fault_at: None };
+                return FaultPlan {
+                    pre_submit: SimTime::ZERO,
+                    fault_at: None,
+                };
             }
             let pages = bytes.div_ceil(PAGE_BYTES).max(1);
             // The engine stops at the first non-resident page.
             for p in 0..pages {
                 if rng.coin(fault_probability) {
-                    return FaultPlan { pre_submit: SimTime::ZERO, fault_at: Some(p * PAGE_BYTES) };
+                    return FaultPlan {
+                        pre_submit: SimTime::ZERO,
+                        fault_at: Some(p * PAGE_BYTES),
+                    };
                 }
             }
-            FaultPlan { pre_submit: SimTime::ZERO, fault_at: None }
+            FaultPlan {
+                pre_submit: SimTime::ZERO,
+                fault_at: None,
+            }
         }
     }
 }
@@ -88,7 +97,13 @@ mod tests {
     #[test]
     fn touch_first_never_faults_but_pays_per_page() {
         let mut rng = SimRng::new(1, "erat");
-        let p = plan(FaultPolicy::TouchFirst { fault_probability: 1.0 }, 10 * PAGE_BYTES, &mut rng);
+        let p = plan(
+            FaultPolicy::TouchFirst {
+                fault_probability: 1.0,
+            },
+            10 * PAGE_BYTES,
+            &mut rng,
+        );
         assert_eq!(p.fault_at, None);
         assert_eq!(p.pre_submit, SimTime::from_ps(TOUCH_PER_PAGE.as_ps() * 10));
     }
@@ -98,18 +113,32 @@ mod tests {
         let mut rng = SimRng::new(2, "erat");
         for _ in 0..100 {
             let p = plan(
-                FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+                FaultPolicy::RetryOnFault {
+                    fault_probability: 0.0,
+                },
                 1 << 20,
                 &mut rng,
             );
-            assert_eq!(p, FaultPlan { pre_submit: SimTime::ZERO, fault_at: None });
+            assert_eq!(
+                p,
+                FaultPlan {
+                    pre_submit: SimTime::ZERO,
+                    fault_at: None
+                }
+            );
         }
     }
 
     #[test]
     fn certain_fault_stops_at_first_page() {
         let mut rng = SimRng::new(3, "erat");
-        let p = plan(FaultPolicy::RetryOnFault { fault_probability: 1.0 }, 1 << 20, &mut rng);
+        let p = plan(
+            FaultPolicy::RetryOnFault {
+                fault_probability: 1.0,
+            },
+            1 << 20,
+            &mut rng,
+        );
         assert_eq!(p.fault_at, Some(0));
     }
 
@@ -118,7 +147,13 @@ mod tests {
         let mut rng = SimRng::new(4, "erat");
         let bytes = 37 * PAGE_BYTES + 123;
         for _ in 0..500 {
-            let p = plan(FaultPolicy::RetryOnFault { fault_probability: 0.05 }, bytes, &mut rng);
+            let p = plan(
+                FaultPolicy::RetryOnFault {
+                    fault_probability: 0.05,
+                },
+                bytes,
+                &mut rng,
+            );
             if let Some(at) = p.fault_at {
                 assert_eq!(at % PAGE_BYTES, 0);
                 assert!(at < bytes);
@@ -132,9 +167,15 @@ mod tests {
         let trials = 2000;
         let faulted = (0..trials)
             .filter(|_| {
-                plan(FaultPolicy::RetryOnFault { fault_probability: 0.01 }, 10 * PAGE_BYTES, &mut rng)
-                    .fault_at
-                    .is_some()
+                plan(
+                    FaultPolicy::RetryOnFault {
+                        fault_probability: 0.01,
+                    },
+                    10 * PAGE_BYTES,
+                    &mut rng,
+                )
+                .fault_at
+                .is_some()
             })
             .count();
         // P(any of 10 pages faults) ≈ 9.6%.

@@ -218,8 +218,8 @@ impl SystemSim {
 
             let plan = erat::plan(self.fault_policy, job.remaining, &mut self.rng);
             let submit = now + plan.pre_submit + PASTE_LATENCY;
-            result.cpu_cycles += SUBMIT_CPU_CYCLES
-                + (plan.pre_submit.as_secs_f64() * self.core_ghz * 1e9) as u64;
+            result.cpu_cycles +=
+                SUBMIT_CPU_CYCLES + (plan.pre_submit.as_secs_f64() * self.core_ghz * 1e9) as u64;
 
             // The engine stops at the first faulting page (if any).
             let (processed, faulted) = match plan.fault_at {
@@ -233,10 +233,12 @@ impl SystemSim {
             };
 
             let finish = if processed > 0 {
-                let service =
-                    self.cost.service_time(job.req.function, job.req.corpus, processed);
-                let out =
-                    self.cost.output_bytes(job.req.function, job.req.corpus, processed);
+                let service = self
+                    .cost
+                    .service_time(job.req.function, job.req.corpus, processed);
+                let out = self
+                    .cost
+                    .output_bytes(job.req.function, job.req.corpus, processed);
                 let unit = &mut self.units[job.unit];
                 let (start, engine_fin) = unit.engine.submit(submit, service);
                 let dma_start = start + crate::dma::DMA_SETUP;
@@ -254,7 +256,9 @@ impl SystemSim {
                 fin
             };
             // The job holds its window credit until the CSB posts.
-            self.units[job.unit].outstanding.push(std::cmp::Reverse(finish));
+            self.units[job.unit]
+                .outstanding
+                .push(std::cmp::Reverse(finish));
 
             if faulted {
                 result.faults += 1;
@@ -263,10 +267,9 @@ impl SystemSim {
                 // CSB posts the fault; library is notified, touches the
                 // page, and resubmits the remainder.
                 let notify = self.completion.notification_latency();
-                result.cpu_cycles += self.completion.cpu_wait_cycles(
-                    finish + notify - now,
-                    self.core_ghz,
-                );
+                result.cpu_cycles += self
+                    .completion
+                    .cpu_wait_cycles(finish + notify - now, self.core_ghz);
                 q.schedule(finish + notify + FAULT_RESOLUTION, job);
                 continue;
             }
@@ -301,14 +304,17 @@ mod tests {
     use nx_corpus::CorpusKind;
 
     fn no_faults() -> FaultPolicy {
-        FaultPolicy::RetryOnFault { fault_probability: 0.0 }
+        FaultPolicy::RetryOnFault {
+            fault_probability: 0.0,
+        }
     }
 
     #[test]
     fn single_request_latency_decomposes() {
         let topo = Topology::power9_chip();
         let mut sim = SystemSim::new(&topo, CompletionMode::Poll, no_faults(), 1);
-        let stream = RequestStream::saturating(1, 1, 1 << 20, &[CorpusKind::Text], Function::Compress);
+        let stream =
+            RequestStream::saturating(1, 1, 1 << 20, &[CorpusKind::Text], Function::Compress);
         let mut res = sim.run(&stream);
         assert_eq!(res.completed, 1);
         // 1 MB at ~13 GB/s ≈ 80 µs; plus fixed overheads.
@@ -330,10 +336,20 @@ mod tests {
     #[test]
     fn two_units_double_saturated_throughput() {
         let one = {
-            let mut sim =
-                SystemSim::new(&Topology::power9_chip(), CompletionMode::Poll, no_faults(), 3);
-            sim.run(&RequestStream::saturating(3, 64, 4 << 20, &[CorpusKind::Json], Function::Compress))
-                .throughput_gbps()
+            let mut sim = SystemSim::new(
+                &Topology::power9_chip(),
+                CompletionMode::Poll,
+                no_faults(),
+                3,
+            );
+            sim.run(&RequestStream::saturating(
+                3,
+                64,
+                4 << 20,
+                &[CorpusKind::Json],
+                Function::Compress,
+            ))
+            .throughput_gbps()
         };
         let two = {
             let mut sim = SystemSim::new(
@@ -342,8 +358,14 @@ mod tests {
                 no_faults(),
                 3,
             );
-            sim.run(&RequestStream::saturating(3, 64, 4 << 20, &[CorpusKind::Json], Function::Compress))
-                .throughput_gbps()
+            sim.run(&RequestStream::saturating(
+                3,
+                64,
+                4 << 20,
+                &[CorpusKind::Json],
+                Function::Compress,
+            ))
+            .throughput_gbps()
         };
         let ratio = two / one;
         assert!((1.7..=2.2).contains(&ratio), "scaling ratio {ratio}");
@@ -378,7 +400,9 @@ mod tests {
         let faulty = SystemSim::new(
             &topo,
             CompletionMode::Poll,
-            FaultPolicy::RetryOnFault { fault_probability: 0.02 },
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.02,
+            },
             5,
         )
         .run(&stream);
@@ -397,14 +421,18 @@ mod tests {
         let faulty = SystemSim::new(
             &topo,
             CompletionMode::Interrupt,
-            FaultPolicy::RetryOnFault { fault_probability: 0.05 },
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.05,
+            },
             6,
         )
         .run(&stream);
         let touched = SystemSim::new(
             &topo,
             CompletionMode::Interrupt,
-            FaultPolicy::TouchFirst { fault_probability: 0.05 },
+            FaultPolicy::TouchFirst {
+                fault_probability: 0.05,
+            },
             6,
         )
         .run(&stream);
@@ -424,7 +452,11 @@ mod tests {
         let tight = SystemSim::new(&topo, CompletionMode::Poll, no_faults(), 9)
             .with_window_credits(2)
             .run(&stream);
-        assert!(tight.paste_rejections > 32, "{} rejections", tight.paste_rejections);
+        assert!(
+            tight.paste_rejections > 32,
+            "{} rejections",
+            tight.paste_rejections
+        );
         assert_eq!(tight.completed, 64);
         assert_eq!(tight.input_bytes, free.input_bytes);
         // Work conserving: the engine stays fed, so completion of the
@@ -440,7 +472,11 @@ mod tests {
             8,
             500.0,
             400,
-            SizeDistribution::BoundedPareto { lo: 4096, hi: 1 << 22, alpha: 1.2 },
+            SizeDistribution::BoundedPareto {
+                lo: 4096,
+                hi: 1 << 22,
+                alpha: 1.2,
+            },
             &[CorpusKind::Json, CorpusKind::Binary],
             Function::Compress,
         );

@@ -31,7 +31,12 @@ impl SoftwareBaseline {
     pub fn new(cores: usize, per_core_bps: f64, efficiency: f64, core_ghz: f64) -> Self {
         assert!(cores > 0 && per_core_bps > 0.0 && core_ghz > 0.0);
         assert!(efficiency > 0.0 && efficiency <= 1.0);
-        Self { cores, per_core_bps, efficiency, core_ghz }
+        Self {
+            cores,
+            per_core_bps,
+            efficiency,
+            core_ghz,
+        }
     }
 
     /// Measures this host's single-threaded DEFLATE rate at `level` over

@@ -37,7 +37,12 @@ impl VasWindow {
     /// Panics if `credits == 0`.
     pub fn new(credits: u32) -> Self {
         assert!(credits > 0, "a window needs at least one credit");
-        Self { credits_total: credits, in_flight: 0, accepted: 0, rejected: 0 }
+        Self {
+            credits_total: credits,
+            in_flight: 0,
+            accepted: 0,
+            rejected: 0,
+        }
     }
 
     /// Attempts a paste; `true` when accepted (a credit is consumed).

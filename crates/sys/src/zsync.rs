@@ -40,7 +40,11 @@ impl ZsyncPath {
     /// clock.
     pub fn new(cost: CostModel, core_ghz: f64) -> Self {
         assert!(core_ghz > 0.0);
-        Self { cost, engine: FifoStation::new(1), core_ghz }
+        Self {
+            cost,
+            engine: FifoStation::new(1),
+            core_ghz,
+        }
     }
 
     /// Issues one synchronous request at `now`; the core blocks until the
@@ -93,7 +97,10 @@ mod tests {
         let a = p.issue(SimTime::ZERO, Function::Compress, CorpusKind::Text, 1 << 20);
         let b = p.issue(SimTime::ZERO, Function::Compress, CorpusKind::Text, 1 << 20);
         assert!(b.finish > a.finish);
-        assert!(b.core_busy > a.core_busy, "second core waits for the engine");
+        assert!(
+            b.core_busy > a.core_busy,
+            "second core waits for the engine"
+        );
     }
 
     #[test]

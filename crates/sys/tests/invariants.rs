@@ -28,7 +28,9 @@ fn run_once(
     let mut sim = SystemSim::new(
         &Topology::power9_chip(),
         CompletionMode::Poll,
-        FaultPolicy::RetryOnFault { fault_probability: fault_prob },
+        FaultPolicy::RetryOnFault {
+            fault_probability: fault_prob,
+        },
         seed,
     );
     if let Some(c) = credits {

@@ -24,9 +24,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("gzip_cli: {e}");
-            eprintln!(
-                "usage: gzip_cli compress|decompress <input> <output> [--software | --z15]"
-            );
+            eprintln!("usage: gzip_cli compress|decompress <input> <output> [--software | --z15]");
             ExitCode::FAILURE
         }
     }
@@ -44,7 +42,13 @@ fn run(args: &[String]) -> Result<String, String> {
         ("compress", Some("--software")) => {
             let t0 = std::time::Instant::now();
             let out = software::compress(&input, CompressionLevel::default(), Format::Gzip);
-            (out, format!("software zlib-6, {:.1} ms", t0.elapsed().as_secs_f64() * 1e3))
+            (
+                out,
+                format!(
+                    "software zlib-6, {:.1} ms",
+                    t0.elapsed().as_secs_f64() * 1e3
+                ),
+            )
         }
         ("compress", Some("--stream")) => {
             // Chunked CRB session: one gzip member produced incrementally.
@@ -62,8 +66,14 @@ fn run(args: &[String]) -> Result<String, String> {
             (out, note)
         }
         ("compress", z) => {
-            let nx = if z == Some("--z15") { Nx::z15() } else { Nx::power9() };
-            let c = nx.compress(&input, Format::Gzip).map_err(|e| e.to_string())?;
+            let nx = if z == Some("--z15") {
+                Nx::z15()
+            } else {
+                Nx::power9()
+            };
+            let c = nx
+                .compress(&input, Format::Gzip)
+                .map_err(|e| e.to_string())?;
             let note = format!(
                 "{}: {:.1} GB/s modeled, {:.1} us modeled latency",
                 c.report.config_name,
@@ -85,7 +95,9 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         ("decompress", _) => {
             let nx = Nx::power9();
-            let d = nx.decompress(&input, Format::Gzip).map_err(|e| e.to_string())?;
+            let d = nx
+                .decompress(&input, Format::Gzip)
+                .map_err(|e| e.to_string())?;
             let note = format!(
                 "{}: {:.1} GB/s modeled",
                 d.report.config_name,

@@ -39,11 +39,17 @@ fn main() {
 
     // Sample real pages (one per kind) to measure honest 842 ratios.
     let mut ratios = Vec::new();
-    let mut pool = Pool { compressed: HashMap::new() };
+    let mut pool = Pool {
+        compressed: HashMap::new(),
+    };
     for (i, &k) in kinds.iter().enumerate() {
         let page = k.generate(7 + i as u64, PAGE);
         let c = nx_842::compress(&page);
-        assert_eq!(nx_842::decompress(&c).unwrap(), page, "pool must be lossless");
+        assert_eq!(
+            nx_842::decompress(&c).unwrap(),
+            page,
+            "pool must be lossless"
+        );
         ratios.push(PAGE as f64 / c.len() as f64);
         pool.compressed.insert(i, c);
     }

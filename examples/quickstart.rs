@@ -16,9 +16,21 @@ fn main() -> Result<(), nx_core::Error> {
     let compressed = nx.compress(&data, Format::Gzip)?;
     let r = &compressed.report;
     println!("\n[accelerator: {}]", r.config_name);
-    println!("  output:      {} bytes (ratio {:.2}x)", compressed.bytes.len(), r.ratio());
-    println!("  cycles:      {} ({:.2} bytes/cycle)", r.cycles, r.bytes_per_cycle());
-    println!("  throughput:  {:.1} GB/s at {} GHz", r.throughput_gbps(), r.freq_ghz);
+    println!(
+        "  output:      {} bytes (ratio {:.2}x)",
+        compressed.bytes.len(),
+        r.ratio()
+    );
+    println!(
+        "  cycles:      {} ({:.2} bytes/cycle)",
+        r.cycles,
+        r.bytes_per_cycle()
+    );
+    println!(
+        "  throughput:  {:.1} GB/s at {} GHz",
+        r.throughput_gbps(),
+        r.freq_ghz
+    );
     println!("  latency:     {:.1} us", r.latency_secs() * 1e6);
     println!(
         "  blocks: {}  tokens: {}  bank stalls: {}  huffman tail: {}",
@@ -44,7 +56,8 @@ fn main() -> Result<(), nx_core::Error> {
     let sw_time = t0.elapsed();
     println!("\n[software zlib-6]");
     println!("  output:      {} bytes", sw.len());
-    println!("  wall time:   {:.1} ms ({:.1} MB/s on this host)",
+    println!(
+        "  wall time:   {:.1} ms ({:.1} MB/s on this host)",
         sw_time.as_secs_f64() * 1e3,
         data.len() as f64 / sw_time.as_secs_f64() / 1e6
     );

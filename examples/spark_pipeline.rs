@@ -15,10 +15,17 @@ fn main() {
         jobs.iter().map(|j| j.compute_seconds()).sum::<f64>(),
         jobs.iter().map(|j| j.shuffle_bytes()).sum::<u64>() as f64 / 1e9,
     );
-    println!("cluster: {} executors, 1 on-chip accelerator\n", cluster.executors());
+    println!(
+        "cluster: {} executors, 1 on-chip accelerator\n",
+        cluster.executors()
+    );
 
     let mut reports = Vec::new();
-    for codec in [Codec::none(), Codec::software_default(), Codec::nx_offload_default()] {
+    for codec in [
+        Codec::none(),
+        Codec::software_default(),
+        Codec::nx_offload_default(),
+    ] {
         let r = cluster.run(&jobs, &codec);
         println!("codec {:<16} makespan {:>8.1}s  core-s {:>8.1}  codec-cpu {:>5.1}%  shuffle ratio {:>5.2}x  wire {:>6.2} GB",
             r.codec,

@@ -12,8 +12,17 @@ use nx_sys::{CompletionMode, RequestStream, SystemSim, Topology};
 
 fn main() {
     let topo = Topology::power9_chip();
-    let mix = [CorpusKind::Json, CorpusKind::Logs, CorpusKind::Columnar, CorpusKind::Binary];
-    println!("storage node on {}: {} accelerator unit(s)\n", topo.name, topo.total_units());
+    let mix = [
+        CorpusKind::Json,
+        CorpusKind::Logs,
+        CorpusKind::Columnar,
+        CorpusKind::Binary,
+    ];
+    println!(
+        "storage node on {}: {} accelerator unit(s)\n",
+        topo.name,
+        topo.total_units()
+    );
     println!(
         "{:<10} {:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "mode", "users", "offered", "achieved", "mean lat", "p99 lat", "faults"
@@ -27,7 +36,11 @@ fn main() {
                 users,
                 2_000.0,
                 4_000,
-                SizeDistribution::BoundedPareto { lo: 64 << 10, hi: 1 << 20, alpha: 1.3 },
+                SizeDistribution::BoundedPareto {
+                    lo: 64 << 10,
+                    hi: 1 << 20,
+                    alpha: 1.3,
+                },
                 &mix,
                 Function::Compress,
             );
@@ -37,7 +50,9 @@ fn main() {
             let mut sim = SystemSim::new(
                 &topo,
                 completion,
-                FaultPolicy::RetryOnFault { fault_probability: 0.002 },
+                FaultPolicy::RetryOnFault {
+                    fault_probability: 0.002,
+                },
                 99,
             );
             let mut res = sim.run(&stream);
@@ -59,7 +74,9 @@ fn main() {
     let mut sim = SystemSim::new(
         &Topology::power9_chip(),
         CompletionMode::Interrupt,
-        FaultPolicy::RetryOnFault { fault_probability: 0.0 },
+        FaultPolicy::RetryOnFault {
+            fault_probability: 0.0,
+        },
         7,
     );
     let res = sim.run(&stream);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, full test suite.
+#
+#   scripts/ci.sh          # everything (what CI runs)
+#   scripts/ci.sh --fast   # skip the release build, test in debug only
+#
+# All cargo invocations run --offline: the workspace vendors its
+# third-party surface as in-repo shims (see shims/README.md), so a CI
+# host never needs the network.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "$FAST" == "0" ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --offline --release
+fi
+
+echo "==> cargo test (tier-1)"
+cargo test --offline -q
+
+echo "==> OK"

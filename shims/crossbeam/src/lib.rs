@@ -1,0 +1,4 @@
+//! Shim for `crossbeam`: the `channel` module only. See
+//! `shims/README.md` for why this exists.
+
+pub mod channel;

@@ -1,0 +1,88 @@
+//! The `Arbitrary` trait and `any::<T>()`.
+
+use crate::sample::{Index, IndexStrategy};
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain integer strategy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IntStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for IntStrategy<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = IntStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                IntStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Fair-coin strategy for `bool`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> Self::Strategy {
+        BoolStrategy
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_domains() {
+        let mut rng = TestRng::new(9);
+        let bytes: Vec<u8> = (0..4000).map(|_| any::<u8>().gen_value(&mut rng)).collect();
+        // All 256 values should appear in 4000 draws with overwhelming odds.
+        let mut seen = [false; 256];
+        for b in bytes {
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 250);
+        let flips: Vec<bool> = (0..100)
+            .map(|_| any::<bool>().gen_value(&mut rng))
+            .collect();
+        assert!(flips.iter().any(|&b| b) && flips.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,268 @@
+//! Shim for `proptest`: the macro front-end plus the strategy subset
+//! the workspace uses. No shrinking — failures report the generated
+//! inputs of the failing attempt, which is reproducible because the
+//! runner derives its RNG deterministically from the test name and
+//! attempt number. See `shims/README.md`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `prop::` re-exports.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// The customary glob import for tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn roundtrips(data in prop::collection::vec(any::<u8>(), 0..512)) {
+///         prop_assert_eq!(decode(&encode(&data)), data);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Expands each `fn` item in a `proptest!` block (internal).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident ($($args:tt)+) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_args!((($cfg); $name; $body); []; $($args)+ ,);
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+/// Splits the argument list `a in strat, b in strat, ...` (internal).
+/// Strategy expressions are collected token-by-token up to the next
+/// top-level comma; parenthesized sub-expressions arrive as single
+/// token trees, so embedded commas never split an expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // Done: emit the runner.
+    (($cfg:expr; $name:ident; $body:block); [$(($a:pat, ($($s:tt)+)))*];) => {
+        let __config = $cfg;
+        $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+            let mut __inputs = String::new();
+            $(
+                let $a = {
+                    let __v = $crate::strategy::Strategy::gen_value(&($($s)+), __rng);
+                    let __one = format!("{:?}", &__v);
+                    __inputs.push_str(stringify!($a));
+                    __inputs.push_str(" = ");
+                    if __one.len() > 400 {
+                        __inputs.push_str(&__one[..400]);
+                        __inputs.push('…');
+                    } else {
+                        __inputs.push_str(&__one);
+                    }
+                    __inputs.push_str("; ");
+                    __v
+                };
+            )*
+            let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+            (__result, __inputs)
+        });
+    };
+    // Tolerate duplicated/trailing commas introduced by normalization.
+    (($($ctx:tt)*); [$($acc:tt)*]; , $($rest:tt)*) => {
+        $crate::__proptest_args!(($($ctx)*); [$($acc)*]; $($rest)*);
+    };
+    // Start of one `pattern in strategy` binding.
+    (($($ctx:tt)*); [$($acc:tt)*]; $a:pat in $($rest:tt)+) => {
+        $crate::__proptest_strat!(($($ctx)*); [$($acc)*]; [$a]; []; $($rest)+);
+    };
+}
+
+/// Accumulates one strategy expression up to a top-level comma (internal).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strat {
+    (($($ctx:tt)*); [$($acc:tt)*]; [$a:pat]; [$($s:tt)+]; , $($rest:tt)*) => {
+        $crate::__proptest_args!(($($ctx)*); [$($acc)* ($a, ($($s)+))]; $($rest)*);
+    };
+    (($($ctx:tt)*); [$($acc:tt)*]; [$a:pat]; [$($s:tt)+];) => {
+        $crate::__proptest_args!(($($ctx)*); [$($acc)* ($a, ($($s)+))];);
+    };
+    (($($ctx:tt)*); [$($acc:tt)*]; [$a:pat]; [$($s:tt)*]; $t:tt $($rest:tt)*) => {
+        $crate::__proptest_strat!(($($ctx)*); [$($acc)*]; [$a]; [$($s)* $t]; $($rest)*);
+    };
+}
+
+/// Chooses uniformly among strategy arms producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body (borrows its operands).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+                            __l, __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+),
+                            __l,
+                            __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `(left != right)`\n  both: {:?}", __l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (retried with a fresh draw) when `cond`
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_and_vecs_generate(
+            data in prop::collection::vec(any::<u8>(), 0..64),
+            (lo, hi) in (0u32..100, 100u32..200),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(data.len() < 64);
+            prop_assert!(lo < hi, "lo {} hi {}", lo, hi);
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_retries_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_strings(bytes in prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..8),
+            "[a-c]{1,4}".prop_map(|s| s.into_bytes()),
+        ]) {
+            prop_assert!(bytes.len() <= 8);
+        }
+
+        #[test]
+        fn index_projects(ix in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(ix.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    fn failure_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(n in 0u32..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}

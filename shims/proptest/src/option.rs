@@ -1,0 +1,42 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` about 10% of the time, otherwise `Some` of the
+/// inner strategy's value (upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(10) == 0 {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::new(11);
+        let s = of(1u32..100);
+        let draws: Vec<_> = (0..300).map(|_| s.gen_value(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().flatten().all(|v| (1..100).contains(v)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length-agnostic index: drawn once, projected onto any collection
+/// length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects the raw draw onto `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` (matching upstream).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        self.0 % len
+    }
+}
+
+/// Strategy generating [`Index`] values (used via `any::<Index>()`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let ix = IndexStrategy.gen_value(&mut rng);
+            assert!(ix.index(7) < 7);
+            assert!(ix.index(1) == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_len_panics() {
+        Index(5).index(0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Runner support types: configuration, case errors, and the
+//! deterministic RNG strategies draw from.
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded and retried.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a rejection (assumption failure).
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        Self::Reject(msg.into())
+    }
+
+    /// Builds a failure (assertion violation).
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+/// Deterministic generator used by all strategies (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a of a test name — stable per-test seed base.
+pub fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one proptest-generated test: `cases` accepted executions of
+/// `case`, retrying rejected draws. `case` receives a fresh
+/// deterministic RNG per attempt and returns the case outcome plus a
+/// human-readable description of the drawn arguments.
+pub fn run(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+) {
+    let base = fnv(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 16 + 64;
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest '{name}': too many prop_assume! rejections \
+                 ({accepted}/{} cases accepted after {attempts} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::new(base.wrapping_add(attempts.wrapping_mul(0x9E37_79B9)));
+        attempts += 1;
+        let (result, desc) = case(&mut rng);
+        match result {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at attempt {attempts}:\n  {msg}\n  inputs: {desc}"
+                );
+            }
+        }
+    }
+}

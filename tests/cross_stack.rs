@@ -40,7 +40,10 @@ fn cost_model_ratios_match_real_streams() {
         let real = data.len() as f64 / stream.len() as f64;
         let modeled = cost.ratio(kind);
         let rel = (modeled - real).abs() / real;
-        assert!(rel < 0.02, "{kind}: ratio model {modeled:.3} vs real {real:.3}");
+        assert!(
+            rel < 0.02,
+            "{kind}: ratio model {modeled:.3} vs real {real:.3}"
+        );
     }
 }
 
@@ -68,7 +71,10 @@ fn generation_scaling_is_consistent_across_layers() {
     let z15 = CostModel::calibrate(&AccelConfig::z15(), 5);
     for &kind in &[CorpusKind::Text, CorpusKind::Json, CorpusKind::Columnar] {
         let ratio = z15.compress_rate_bps(kind) / p9.compress_rate_bps(kind);
-        assert!((1.5..=2.5).contains(&ratio), "{kind}: generation ratio {ratio:.2}");
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "{kind}: generation ratio {ratio:.2}"
+        );
     }
     let peak9 = nx_sys::Topology::power9_chip().peak_compress_bps();
     let peak15 = nx_sys::Topology::z15_chip().peak_compress_bps();

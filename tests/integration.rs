@@ -24,8 +24,14 @@ fn full_interoperability_matrix() {
                 nx_deflate::deflate(&data, CompressionLevel::new(level).unwrap()),
             ));
         }
-        streams.push(("p9".into(), p9.compress(&data, Format::RawDeflate).unwrap().bytes));
-        streams.push(("z15".into(), z15.compress(&data, Format::RawDeflate).unwrap().bytes));
+        streams.push((
+            "p9".into(),
+            p9.compress(&data, Format::RawDeflate).unwrap().bytes,
+        ));
+        streams.push((
+            "z15".into(),
+            z15.compress(&data, Format::RawDeflate).unwrap().bytes,
+        ));
 
         for (name, stream) in &streams {
             // Consumer 1: software inflate.
@@ -75,7 +81,10 @@ fn accelerator_reports_make_physical_sense_across_the_suite() {
         let data = kind.generate(3, 256 * 1024);
         let c = nx.compress(&data, Format::RawDeflate).unwrap();
         let r = &c.report;
-        assert!(r.bytes_per_cycle() <= 8.0 + 1e-9, "{kind} exceeds lane width");
+        assert!(
+            r.bytes_per_cycle() <= 8.0 + 1e-9,
+            "{kind} exceeds lane width"
+        );
         assert!(r.cycles > 0 && r.blocks > 0, "{kind} degenerate report");
         assert!(
             r.ratio() >= 0.9,

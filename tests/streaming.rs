@@ -13,7 +13,11 @@ fn unwrap_gzip(stream: &[u8], expect: &[u8]) -> Vec<u8> {
     assert_eq!(&stream[..3], &[0x1F, 0x8B, 8]);
     let n = stream.len();
     let crc = u32::from_le_bytes(stream[n - 8..n - 4].try_into().unwrap());
-    assert_eq!(crc, nx_deflate::crc32::crc32(expect), "trailer CRC mismatch");
+    assert_eq!(
+        crc,
+        nx_deflate::crc32::crc32(expect),
+        "trailer CRC mismatch"
+    );
     stream[10..n - 8].to_vec()
 }
 
