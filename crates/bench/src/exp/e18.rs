@@ -1,0 +1,514 @@
+//! E18 — Fault-injection sweep: throughput and tail latency vs fault rate.
+//!
+//! Exercises the `nx_core::fault` subsystem end to end. Part A drives the
+//! functional `Nx` handle through `Nx::with_faults` across injected fault
+//! rates, comparing the plain retry-from-offset recovery policy against
+//! the touch-ahead mitigation (touch the faulting page plus a window so
+//! the resubmission runs fault-free through it). Every response is
+//! checked byte-identical against the clean reference — recovery must
+//! never change the answer, only the latency. Part B replays the same
+//! comparison in the `nx_sys` discrete-event simulator, where CSB error
+//! injection composes with the stochastic ERAT page-fault model and the
+//! retry/touch-ahead/touch-first policies of the paper's Section V.
+//!
+//! The zero-rate row doubles as the instrumentation-overhead check: a
+//! seeded plan whose rates are all zero still runs the full draw-and-
+//! recover machinery, and the report prints its cost next to an
+//! uninstrumented baseline (the acceptance bar is ≤ 5%).
+//!
+//! `run()` emits `BENCH_FAULTS.json` with the full sweep (one object per
+//! cell); `tables --json` additionally gets a curated set of scalar
+//! metrics.
+
+use crate::{Table, SEED};
+use nx_accel::AccelConfig;
+use nx_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
+use nx_core::{Format, Nx};
+use nx_corpus::CorpusKind;
+use nx_deflate::CompressionLevel;
+use nx_sys::crb::Function;
+use nx_sys::erat::FaultPolicy;
+use nx_sys::{CompletionMode, RequestStream, SystemSim, Topology};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Fault-injection sweep: recovery cost, retry vs touch-ahead";
+
+/// Where the machine-readable sweep lands (relative to the invocation
+/// directory, i.e. the workspace root under `cargo run`).
+pub const JSON_PATH: &str = "BENCH_FAULTS.json";
+
+/// Functional sweep: requests per cell and bytes per request. 512 KiB
+/// spans several 64 KiB fault pages, so touch-ahead has a window to win.
+const REQUESTS: usize = 40;
+const REQ_BYTES: usize = 512 << 10;
+
+/// Injected fault rates swept in Part A (the page-fault probability;
+/// the other fault classes scale down from it — see `FaultRates::sweep`).
+const RATES: [f64; 6] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.5];
+
+/// Part B: per-page fault probability of the ERAT model and the injected
+/// CSB-error rates layered on top.
+const SIM_PAGE_FAULT_P: f64 = 0.05;
+const SIM_INJECTED: [f64; 3] = [0.0, 0.1, 0.3];
+const SIM_TOUCH_WINDOW: u64 = 32;
+
+/// One functional sweep cell (Part A).
+struct FnCell {
+    policy: &'static str,
+    rate: f64,
+    /// Decompression throughput over produced bytes, MB/s.
+    mb_per_s: f64,
+    /// p99 of the per-request decompress latency, µs.
+    p99_us: f64,
+    /// Compression-direction throughput over consumed bytes, MB/s.
+    compress_mb_per_s: f64,
+    page_faults: u64,
+    retries: u64,
+    resubmissions: u64,
+    fallbacks: u64,
+}
+
+/// One simulator sweep cell (Part B).
+struct SysCell {
+    policy: &'static str,
+    injected: f64,
+    gbps: f64,
+    p99_us: f64,
+    faults: u64,
+    csb_errors: u64,
+    retries: u64,
+}
+
+struct Measured {
+    /// Instrumented-but-quiet cost vs an uninstrumented handle,
+    /// as a fraction (0.03 = 3% slower).
+    rate0_overhead: f64,
+    cells: Vec<FnCell>,
+    sys: Vec<SysCell>,
+}
+
+/// The shared request set: raw payloads and their gzip framings.
+struct Inputs {
+    chunks: Vec<Vec<u8>>,
+    gz: Vec<Vec<u8>>,
+}
+
+impl Inputs {
+    fn build(requests: usize, req_bytes: usize) -> Self {
+        let data = nx_corpus::mixed(SEED, requests * req_bytes);
+        let level = CompressionLevel::default();
+        let chunks: Vec<Vec<u8>> = data.chunks(req_bytes).map(<[u8]>::to_vec).collect();
+        let gz = chunks
+            .iter()
+            .map(|c| nx_core::software::compress(c, level, Format::Gzip))
+            .collect();
+        Inputs { chunks, gz }
+    }
+}
+
+fn inputs() -> &'static Inputs {
+    static CELL: OnceLock<Inputs> = OnceLock::new();
+    CELL.get_or_init(|| Inputs::build(REQUESTS, REQ_BYTES))
+}
+
+fn p99(lat_us: &mut [f64]) -> f64 {
+    if lat_us.is_empty() {
+        return 0.0;
+    }
+    lat_us.sort_by(f64::total_cmp);
+    let idx = ((lat_us.len() as f64 * 0.99).ceil() as usize).clamp(1, lat_us.len());
+    lat_us[idx - 1]
+}
+
+/// Runs one Part A cell: the full request set through a faulted handle,
+/// verifying every answer against the clean reference.
+fn run_cell(ins: &Inputs, policy_name: &'static str, rate: f64, policy: RecoveryPolicy) -> FnCell {
+    let plan = FaultPlan::seeded(SEED ^ (rate * 1000.0) as u64, FaultRates::sweep(rate));
+    let nx = Nx::with_faults(AccelConfig::power9(), plan, policy);
+
+    let mut lat = Vec::with_capacity(ins.gz.len());
+    let mut out_bytes = 0usize;
+    let t0 = Instant::now();
+    for (gz, chunk) in ins.gz.iter().zip(&ins.chunks) {
+        let t = Instant::now();
+        let out = nx.decompress(gz, Format::Gzip).expect("recovery exhausted");
+        lat.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(
+            out.bytes, *chunk,
+            "recovered decompression must be byte-identical"
+        );
+        out_bytes += out.bytes.len();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut in_bytes = 0usize;
+    let ct0 = Instant::now();
+    for chunk in ins.chunks.iter().step_by(5) {
+        let out = nx
+            .compress(chunk, Format::Gzip)
+            .expect("recovery exhausted");
+        let back = nx_core::software::decompress(&out.bytes, Format::Gzip).expect("framing intact");
+        assert_eq!(back, *chunk, "recovered compression must round-trip");
+        in_bytes += chunk.len();
+    }
+    let csecs = ct0.elapsed().as_secs_f64();
+
+    let stats = nx.fault_stats().expect("faulted handle exposes stats");
+    FnCell {
+        policy: policy_name,
+        rate,
+        mb_per_s: out_bytes as f64 / secs / 1e6,
+        p99_us: p99(&mut lat),
+        compress_mb_per_s: in_bytes as f64 / csecs / 1e6,
+        page_faults: stats.page_fault_count(),
+        retries: stats.retry_count(),
+        resubmissions: stats.resubmission_count(),
+        fallbacks: stats.software_fallback_count(),
+    }
+}
+
+/// Wall-clock seconds to decompress the whole request set on `nx`.
+fn decompress_secs(nx: &Nx) -> f64 {
+    let ins = inputs();
+    let t0 = Instant::now();
+    for gz in &ins.gz {
+        let out = nx.decompress(gz, Format::Gzip).expect("valid stream");
+        std::hint::black_box(out.bytes.len());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs one Part B cell: the simulator under `policy` with `injected`
+/// CSB-error pressure layered on the ERAT page-fault model.
+fn run_sim_cell(policy_name: &'static str, policy: FaultPolicy, injected: f64) -> SysCell {
+    let topo = Topology::power9_chip();
+    let stream = RequestStream::saturating(
+        SEED,
+        96,
+        4 << 20,
+        &[CorpusKind::Json, CorpusKind::Logs, CorpusKind::Binary],
+        Function::Compress,
+    );
+    let mut sim = SystemSim::new(&topo, CompletionMode::Interrupt, policy, SEED);
+    if injected > 0.0 {
+        let rates = FaultRates {
+            csb_error: injected,
+            timeout: injected * 0.25,
+            ..FaultRates::none()
+        };
+        sim = sim.with_injected_faults(FaultPlan::seeded(SEED, rates));
+    }
+    let mut res = sim.run(&stream);
+    SysCell {
+        policy: policy_name,
+        injected,
+        gbps: res.throughput_gbps(),
+        p99_us: res.p99_latency_us(),
+        faults: res.faults,
+        csb_errors: res.csb_errors,
+        retries: res.retries,
+    }
+}
+
+/// Runs the sweep once per process; `run()` and [`metrics`] share it.
+fn measured() -> &'static Measured {
+    static CELL: OnceLock<Measured> = OnceLock::new();
+    CELL.get_or_init(|| {
+        // Warm the shared inputs outside any timed region.
+        let _ = inputs();
+
+        // Interleave the two handles (best-of-4 each) so scheduler noise
+        // hits both sides evenly — the passes are only ~100 ms long.
+        let plain = Nx::power9();
+        let quiet = Nx::with_faults(
+            AccelConfig::power9(),
+            FaultPlan::seeded(SEED, FaultRates::none()),
+            RecoveryPolicy::default(),
+        );
+        let (mut baseline, mut instrumented) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..4 {
+            baseline = baseline.min(decompress_secs(&plain));
+            instrumented = instrumented.min(decompress_secs(&quiet));
+        }
+        let rate0_overhead = instrumented / baseline - 1.0;
+
+        let mut cells = Vec::new();
+        for &rate in &RATES {
+            cells.push(run_cell(inputs(), "retry", rate, RecoveryPolicy::default()));
+            cells.push(run_cell(
+                inputs(),
+                "ahead",
+                rate,
+                RecoveryPolicy::touch_ahead(16),
+            ));
+        }
+
+        let p = SIM_PAGE_FAULT_P;
+        let sys = SIM_INJECTED
+            .iter()
+            .flat_map(|&injected| {
+                [
+                    run_sim_cell(
+                        "retry",
+                        FaultPolicy::RetryOnFault {
+                            fault_probability: p,
+                        },
+                        injected,
+                    ),
+                    run_sim_cell(
+                        "ahead",
+                        FaultPolicy::TouchAhead {
+                            fault_probability: p,
+                            window_pages: SIM_TOUCH_WINDOW,
+                        },
+                        injected,
+                    ),
+                    run_sim_cell(
+                        "touchfirst",
+                        FaultPolicy::TouchFirst {
+                            fault_probability: p,
+                        },
+                        injected,
+                    ),
+                ]
+            })
+            .collect();
+
+        Measured {
+            rate0_overhead,
+            cells,
+            sys,
+        }
+    })
+}
+
+/// Renders the full sweep as a JSON array, one object per cell.
+fn render_sweep_json(m: &Measured) -> String {
+    let mut rows = vec![format!(
+        "  {{\"section\": \"overhead\", \"rate0_overhead_pct\": {:.3}}}",
+        m.rate0_overhead * 100.0
+    )];
+    for c in &m.cells {
+        rows.push(format!(
+            "  {{\"section\": \"functional\", \"policy\": \"{}\", \"rate\": {}, \
+             \"mb_per_s\": {:.3}, \"p99_us\": {:.3}, \"compress_mb_per_s\": {:.3}, \
+             \"page_faults\": {}, \"retries\": {}, \"resubmissions\": {}, \
+             \"software_fallbacks\": {}, \"verified\": true}}",
+            c.policy,
+            c.rate,
+            c.mb_per_s,
+            c.p99_us,
+            c.compress_mb_per_s,
+            c.page_faults,
+            c.retries,
+            c.resubmissions,
+            c.fallbacks
+        ));
+    }
+    for s in &m.sys {
+        rows.push(format!(
+            "  {{\"section\": \"system\", \"policy\": \"{}\", \"injected\": {}, \
+             \"gb_per_s\": {:.3}, \"p99_us\": {:.3}, \"page_faults\": {}, \
+             \"csb_errors\": {}, \"retries\": {}}}",
+            s.policy, s.injected, s.gbps, s.p99_us, s.faults, s.csb_errors, s.retries
+        ));
+    }
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Static metric names for the curated `tables --json` rows; the full
+/// sweep lives in `BENCH_FAULTS.json`.
+fn cell_metric_names(policy: &str, permille: u32) -> Option<(&'static str, &'static str)> {
+    match (policy, permille) {
+        ("retry", 0) => Some(("retry_r000_mb_per_s", "retry_r000_p99_us")),
+        ("retry", 20) => Some(("retry_r020_mb_per_s", "retry_r020_p99_us")),
+        ("retry", 50) => Some(("retry_r050_mb_per_s", "retry_r050_p99_us")),
+        ("retry", 100) => Some(("retry_r100_mb_per_s", "retry_r100_p99_us")),
+        ("retry", 200) => Some(("retry_r200_mb_per_s", "retry_r200_p99_us")),
+        ("retry", 500) => Some(("retry_r500_mb_per_s", "retry_r500_p99_us")),
+        ("ahead", 0) => Some(("ahead_r000_mb_per_s", "ahead_r000_p99_us")),
+        ("ahead", 20) => Some(("ahead_r020_mb_per_s", "ahead_r020_p99_us")),
+        ("ahead", 50) => Some(("ahead_r050_mb_per_s", "ahead_r050_p99_us")),
+        ("ahead", 100) => Some(("ahead_r100_mb_per_s", "ahead_r100_p99_us")),
+        ("ahead", 200) => Some(("ahead_r200_mb_per_s", "ahead_r200_p99_us")),
+        ("ahead", 500) => Some(("ahead_r500_mb_per_s", "ahead_r500_p99_us")),
+        _ => None,
+    }
+}
+
+/// Machine-readable rows for `tables --json`: (metric, value) pairs.
+pub fn metrics() -> Vec<(&'static str, f64)> {
+    let m = measured();
+    let mut rows = vec![("rate0_overhead_pct", m.rate0_overhead * 100.0)];
+    for c in &m.cells {
+        let pm = (c.rate * 1000.0).round() as u32;
+        if let Some((mbps, p99)) = cell_metric_names(c.policy, pm) {
+            rows.push((mbps, c.mb_per_s));
+            rows.push((p99, c.p99_us));
+        }
+    }
+    for s in &m.sys {
+        if (s.injected - 0.3).abs() < 1e-9 {
+            let (gbps, p99): (&'static str, &'static str) = match s.policy {
+                "retry" => ("sim_retry_i300_gbps", "sim_retry_i300_p99_us"),
+                "ahead" => ("sim_ahead_i300_gbps", "sim_ahead_i300_p99_us"),
+                _ => ("sim_touchfirst_i300_gbps", "sim_touchfirst_i300_p99_us"),
+            };
+            rows.push((gbps, s.gbps));
+            rows.push((p99, s.p99_us));
+        }
+    }
+    rows
+}
+
+/// Runs the experiment, writes `BENCH_FAULTS.json`, renders the report.
+pub fn run() -> String {
+    let m = measured();
+
+    let mut fn_table = Table::new(vec![
+        "policy",
+        "rate",
+        "MB/s",
+        "p99 µs",
+        "faults",
+        "resubmits",
+        "fallbacks",
+    ]);
+    for c in &m.cells {
+        fn_table.row(vec![
+            c.policy.to_string(),
+            format!("{:.2}", c.rate),
+            format!("{:.1}", c.mb_per_s),
+            format!("{:.0}", c.p99_us),
+            c.page_faults.to_string(),
+            c.resubmissions.to_string(),
+            c.fallbacks.to_string(),
+        ]);
+    }
+
+    let mut sys_table = Table::new(vec![
+        "policy",
+        "injected",
+        "GB/s",
+        "p99 µs",
+        "page faults",
+        "CSB errors",
+        "retries",
+    ]);
+    for s in &m.sys {
+        sys_table.row(vec![
+            s.policy.to_string(),
+            format!("{:.2}", s.injected),
+            format!("{:.2}", s.gbps),
+            format!("{:.0}", s.p99_us),
+            s.faults.to_string(),
+            s.csb_errors.to_string(),
+            s.retries.to_string(),
+        ]);
+    }
+
+    let json = render_sweep_json(m);
+    let json_note = match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => format!("full sweep written to `{JSON_PATH}`"),
+        Err(err) => format!("could not write `{JSON_PATH}`: {err}"),
+    };
+
+    format!(
+        "## E18 — {TITLE}\n\nPart A: {REQUESTS} × {} KiB gzip requests per cell through \
+         `Nx::with_faults`; every response verified byte-identical to the clean \
+         reference. `retry` resubmits from the faulting offset with only that page \
+         made resident; `ahead` touches 16 pages past the fault. Quiet-plan overhead \
+         vs an uninstrumented handle: {:+.2}% (bar: ≤ 5%).\n\n{}\nPart B: simulator, \
+         POWER9 chip, 96 × 4 MiB saturating compress requests; ERAT page-fault \
+         probability {:.2} per page, with injected CSB-error pressure on top \
+         (retried with capped exponential backoff).\n\n{}\n{json_note}\n",
+        REQ_BYTES >> 10,
+        m.rate0_overhead * 100.0,
+        fn_table.render(),
+        SIM_PAGE_FAULT_P,
+        sys_table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulted_cell_recovers_byte_identical_answers() {
+        // One small cell at a heavy fault rate: run_cell asserts
+        // byte-identity internally; this checks injection actually
+        // fired and recovery did real work.
+        let ins = Inputs::build(4, 256 << 10);
+        let cell = run_cell(&ins, "retry", 0.4, RecoveryPolicy::default());
+        assert!(cell.page_faults > 0, "no page faults injected at rate 0.4");
+        assert!(cell.resubmissions > 0, "faults must force resubmissions");
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut names: Vec<&str> = Vec::new();
+        for policy in ["retry", "ahead"] {
+            for pm in [0, 20, 50, 100, 200, 500] {
+                let (a, b) = cell_metric_names(policy, pm).unwrap();
+                names.push(a);
+                names.push(b);
+            }
+        }
+        names.extend([
+            "rate0_overhead_pct",
+            "sim_retry_i300_gbps",
+            "sim_retry_i300_p99_us",
+            "sim_ahead_i300_gbps",
+            "sim_ahead_i300_p99_us",
+            "sim_touchfirst_i300_gbps",
+            "sim_touchfirst_i300_p99_us",
+        ]);
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn p99_picks_the_tail() {
+        let mut lat: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(p99(&mut lat), 99.0);
+        let mut one = vec![7.0];
+        assert_eq!(p99(&mut one), 7.0);
+        assert_eq!(p99(&mut []), 0.0);
+    }
+
+    #[test]
+    fn sweep_json_is_well_formed() {
+        let m = Measured {
+            rate0_overhead: 0.01,
+            cells: vec![FnCell {
+                policy: "retry",
+                rate: 0.1,
+                mb_per_s: 100.0,
+                p99_us: 5000.0,
+                compress_mb_per_s: 40.0,
+                page_faults: 12,
+                retries: 3,
+                resubmissions: 12,
+                fallbacks: 0,
+            }],
+            sys: vec![SysCell {
+                policy: "ahead",
+                injected: 0.3,
+                gbps: 10.0,
+                p99_us: 900.0,
+                faults: 40,
+                csb_errors: 20,
+                retries: 25,
+            }],
+        };
+        let json = render_sweep_json(&m);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches("{\"section\"").count(), 3);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

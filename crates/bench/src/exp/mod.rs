@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E17; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E18; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -11,6 +11,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -142,6 +143,12 @@ pub fn all() -> Vec<Experiment> {
             run: e17::run,
             metrics: Some(e17::metrics),
         },
+        Experiment {
+            id: "e18",
+            title: e18::TITLE,
+            run: e18::run,
+            metrics: Some(e18::metrics),
+        },
     ]
 }
 
@@ -150,10 +157,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 17);
+        assert_eq!(all.len(), 18);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 }

@@ -59,6 +59,14 @@ impl Unwrapped<'_> {
     }
 }
 
+/// Reads the 4-byte trailer field at `at`, surfacing truncation as a
+/// typed error instead of panicking on the slice conversion.
+fn trailer4(data: &[u8], at: usize) -> std::result::Result<[u8; 4], DeflateError> {
+    data.get(at..at + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or(DeflateError::UnexpectedEof)
+}
+
 /// Parses a container down to its raw DEFLATE payload without inflating.
 pub(crate) fn unwrap(data: &[u8], format: Format) -> Result<Unwrapped<'_>> {
     match format {
@@ -110,10 +118,8 @@ pub(crate) fn unwrap(data: &[u8], format: Format) -> Result<Unwrapped<'_>> {
             }
             Ok(Unwrapped {
                 deflate_stream: &data[pos..n - 8],
-                expected_crc32: Some(u32::from_le_bytes(
-                    data[n - 8..n - 4].try_into().expect("4"),
-                )),
-                expected_len: Some(u32::from_le_bytes(data[n - 4..].try_into().expect("4"))),
+                expected_crc32: Some(u32::from_le_bytes(trailer4(data, n - 8)?)),
+                expected_len: Some(u32::from_le_bytes(trailer4(data, n - 4)?)),
                 expected_adler: None,
             })
         }
@@ -130,7 +136,7 @@ pub(crate) fn unwrap(data: &[u8], format: Format) -> Result<Unwrapped<'_>> {
             let n = data.len();
             Ok(Unwrapped {
                 deflate_stream: &data[2..n - 4],
-                expected_adler: Some(u32::from_be_bytes(data[n - 4..].try_into().expect("4"))),
+                expected_adler: Some(u32::from_be_bytes(trailer4(data, n - 4)?)),
                 expected_crc32: None,
                 expected_len: None,
             })
@@ -196,5 +202,28 @@ mod tests {
         un.verify(&out).unwrap();
         // Truncated mid-FNAME (no terminator) is an EOF, not garbage.
         assert!(unwrap(&framed[..16], Format::Gzip).is_err());
+    }
+
+    #[test]
+    fn every_truncation_returns_a_typed_error_not_a_panic() {
+        // Regression for the `expect("4")` trailer reads: any prefix of a
+        // valid container must parse or fail with a typed error — never
+        // panic on the slice conversion.
+        let data = b"truncation torture payload".repeat(8);
+        let raw = deflate(&data, CompressionLevel::default());
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            let framed = wrap(raw.clone(), &data, format);
+            for cut in 0..framed.len() {
+                let _ = unwrap(&framed[..cut], format);
+            }
+            assert!(unwrap(&framed, format).is_ok());
+        }
+    }
+
+    #[test]
+    fn trailer4_rejects_short_reads() {
+        assert!(trailer4(&[1, 2, 3], 0).is_err());
+        assert!(trailer4(&[1, 2, 3, 4], 1).is_err());
+        assert_eq!(trailer4(&[1, 2, 3, 4], 0), Ok([1, 2, 3, 4]));
     }
 }

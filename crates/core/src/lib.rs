@@ -32,6 +32,7 @@
 //! ```
 
 pub mod async_queue;
+pub mod fault;
 pub mod framing;
 pub mod parallel;
 pub mod software;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod stream;
 
 pub use async_queue::{AsyncSession, JobHandle};
+pub use fault::{FaultInjector, FaultPlan, FaultRates, RecoveryPolicy};
 pub use framing::Format;
 pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
 pub use stats::NxStats;
@@ -59,6 +61,24 @@ pub enum Error {
     P842(nx_842::Error),
     /// The async engine was shut down before the job completed.
     EngineClosed,
+    /// The accelerator is unavailable and software fallback is disabled.
+    AcceleratorUnavailable,
+    /// No CSB arrived within the deadline on any of `attempts` tries.
+    SubmissionTimeout {
+        /// Submission attempts made before giving up.
+        attempts: u32,
+    },
+    /// The submission queue stayed full (async: [`AsyncSession::try_submit`]
+    /// found no room; sync: every retry was rejected).
+    QueueOverflow,
+    /// The engine's output failed its integrity check on every one of
+    /// `attempts` tries.
+    CorruptedOutput {
+        /// Submission attempts made before giving up.
+        attempts: u32,
+    },
+    /// A parallel engine was requested with zero workers.
+    NoWorkers,
 }
 
 impl fmt::Display for Error {
@@ -67,6 +87,15 @@ impl fmt::Display for Error {
             Error::Deflate(e) => write!(f, "deflate error: {e}"),
             Error::P842(e) => write!(f, "842 error: {e}"),
             Error::EngineClosed => write!(f, "accelerator engine closed"),
+            Error::AcceleratorUnavailable => write!(f, "accelerator unavailable"),
+            Error::SubmissionTimeout { attempts } => {
+                write!(f, "no CSB completion after {attempts} submission attempts")
+            }
+            Error::QueueOverflow => write!(f, "submission queue full"),
+            Error::CorruptedOutput { attempts } => {
+                write!(f, "output failed integrity check on {attempts} attempts")
+            }
+            Error::NoWorkers => write!(f, "parallel engine needs at least one worker"),
         }
     }
 }
@@ -76,7 +105,7 @@ impl std::error::Error for Error {
         match self {
             Error::Deflate(e) => Some(e),
             Error::P842(e) => Some(e),
-            Error::EngineClosed => None,
+            _ => None,
         }
     }
 }
@@ -115,6 +144,30 @@ pub struct Decompressed {
     pub report: DecompressReport,
 }
 
+/// Internal view of a request result's output bytes, so the recovery
+/// loop can run its integrity check over either direction.
+trait Payload {
+    fn payload_ref(&self) -> &[u8];
+    fn payload_len(&self) -> usize {
+        self.payload_ref().len()
+    }
+    fn payload_clone(&self) -> Vec<u8> {
+        self.payload_ref().to_vec()
+    }
+}
+
+impl Payload for Compressed {
+    fn payload_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Payload for Decompressed {
+    fn payload_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
 /// A handle to one modeled accelerator unit.
 ///
 /// Cloning shares the underlying engine (and its statistics), like
@@ -124,6 +177,7 @@ pub struct Nx {
     inner: Arc<Mutex<Accelerator>>,
     stats: Arc<NxStats>,
     config: AccelConfig,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Nx {
@@ -133,7 +187,37 @@ impl Nx {
             inner: Arc::new(Mutex::new(Accelerator::new(config.clone()))),
             stats: Arc::new(NxStats::new()),
             config,
+            faults: None,
         }
+    }
+
+    /// Creates a handle whose submissions run under fault injection:
+    /// every compress/decompress goes through the recovery protocol
+    /// (resubmit-from-offset with optional touch-ahead, capped
+    /// exponential backoff, integrity re-check, software fallback)
+    /// against the faults `plan` injects.
+    ///
+    /// With [`FaultPlan::none`] the handle behaves identically to
+    /// [`Nx::new`] modulo the (cheap) injection checks — the E18
+    /// experiment holds that overhead under 5%.
+    pub fn with_faults(config: AccelConfig, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Accelerator::new(config.clone()))),
+            stats: Arc::new(NxStats::new()),
+            config,
+            faults: Some(Arc::new(FaultInjector::new(plan, policy))),
+        }
+    }
+
+    /// The fault injector, if this handle was built with one.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Injection/recovery counters, if this handle was built with a
+    /// fault injector.
+    pub fn fault_stats(&self) -> Option<&fault::FaultStats> {
+        self.faults.as_deref().map(FaultInjector::stats)
     }
 
     /// A POWER9 NX gzip accelerator.
@@ -164,6 +248,30 @@ impl Nx {
     /// job-submission failures (queue shutdown) shared with the async
     /// path.
     pub fn compress(&self, data: &[u8], format: Format) -> Result<Compressed> {
+        match self.faults.clone() {
+            None => self.compress_accel(data, format),
+            Some(inj) => self.compress_recovering(data, format, &inj),
+        }
+    }
+
+    /// Decompresses `format`-framed `data` on the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] if the container or stream is malformed; under
+    /// fault injection additionally the recovery-exhaustion errors
+    /// ([`Error::AcceleratorUnavailable`], [`Error::SubmissionTimeout`],
+    /// [`Error::QueueOverflow`], [`Error::CorruptedOutput`]) when
+    /// software fallback is disabled.
+    pub fn decompress(&self, data: &[u8], format: Format) -> Result<Decompressed> {
+        match self.faults.clone() {
+            None => self.decompress_accel(data, format),
+            Some(inj) => self.decompress_recovering(data, format, &inj),
+        }
+    }
+
+    /// The direct accelerator compression path (no injection checks).
+    fn compress_accel(&self, data: &[u8], format: Format) -> Result<Compressed> {
         let (raw, report) = self.inner.lock().compress(data);
         let bytes = framing::wrap(raw, data, format);
         self.stats
@@ -171,18 +279,196 @@ impl Nx {
         Ok(Compressed { bytes, report })
     }
 
-    /// Decompresses `format`-framed `data` on the accelerator.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::Deflate`] if the container or stream is malformed.
-    pub fn decompress(&self, data: &[u8], format: Format) -> Result<Decompressed> {
+    /// The direct accelerator decompression path (no injection checks).
+    fn decompress_accel(&self, data: &[u8], format: Format) -> Result<Decompressed> {
         let payload = framing::unwrap(data, format)?;
         let (bytes, report) = self.inner.lock().decompress(payload.deflate_stream)?;
         payload.verify(&bytes)?;
         self.stats
             .record_decompress(data.len() as u64, bytes.len() as u64, report.cycles);
         Ok(Decompressed { bytes, report })
+    }
+
+    /// Software-fallback compression: a valid stream from the CPU path
+    /// (bytes differ from the accelerator's but decode identically).
+    fn compress_software(&self, data: &[u8], format: Format) -> Compressed {
+        let bytes = software::compress(data, nx_deflate::CompressionLevel::default(), format);
+        self.stats
+            .record_compress(data.len() as u64, bytes.len() as u64, 0);
+        Compressed {
+            report: CompressReport {
+                config_name: "software-fallback",
+                freq_ghz: self.config.freq_ghz,
+                input_bytes: data.len() as u64,
+                output_bytes: bytes.len() as u64,
+                cycles: 0,
+                ingest_cycles: 0,
+                bank_stall_cycles: 0,
+                huffman_tail_cycles: 0,
+                overhead_cycles: 0,
+                blocks: 0,
+                stored_blocks: 0,
+                tokens: 0,
+                discarded_matches: 0,
+            },
+            bytes,
+        }
+    }
+
+    /// Software-fallback decompression: byte-identical output to the
+    /// accelerator path (both implement RFC 1951 exactly).
+    fn decompress_software(&self, data: &[u8], format: Format) -> Result<Decompressed> {
+        let bytes = software::decompress(data, format)?;
+        self.stats
+            .record_decompress(data.len() as u64, bytes.len() as u64, 0);
+        Ok(Decompressed {
+            report: DecompressReport {
+                config_name: "software-fallback",
+                freq_ghz: self.config.freq_ghz,
+                input_bytes: data.len() as u64,
+                output_bytes: bytes.len() as u64,
+                cycles: 0,
+                header_cycles: 0,
+                body_cycles: 0,
+                overhead_cycles: 0,
+                blocks: 0,
+                symbols: 0,
+            },
+            bytes,
+        })
+    }
+
+    fn compress_recovering(
+        &self,
+        data: &[u8],
+        format: Format,
+        inj: &Arc<FaultInjector>,
+    ) -> Result<Compressed> {
+        match self.recover(data, fault::Site::Compress, inj, |nx| {
+            nx.compress_accel(data, format)
+        })? {
+            Some(out) => Ok(out),
+            None => Ok(self.compress_software(data, format)),
+        }
+    }
+
+    fn decompress_recovering(
+        &self,
+        data: &[u8],
+        format: Format,
+        inj: &Arc<FaultInjector>,
+    ) -> Result<Decompressed> {
+        match self.recover(data, fault::Site::Decompress, inj, |nx| {
+            nx.decompress_accel(data, format)
+        })? {
+            Some(out) => Ok(out),
+            None => self.decompress_software(data, format),
+        }
+    }
+
+    /// The shared recovery loop around one accelerator request.
+    ///
+    /// Returns `Ok(Some(out))` when an attempt completed cleanly,
+    /// `Ok(None)` when the request must degrade to the software path
+    /// (accelerator unavailable, or the attempt budget ran out with
+    /// fallback enabled), and `Err` for genuine input errors (never
+    /// retried) or recovery exhaustion with fallback disabled.
+    fn recover<T: Payload>(
+        &self,
+        data: &[u8],
+        site: fault::Site,
+        inj: &Arc<FaultInjector>,
+        run: impl Fn(&Self) -> Result<T>,
+    ) -> Result<Option<T>> {
+        use fault::FaultKind;
+        let policy = *inj.policy();
+        let req = inj.begin_request();
+        let stats = inj.stats();
+        let mut resident_pages = 0u64;
+        let mut attempt = 0u32;
+        let mut last_fault = None;
+        while attempt < policy.max_attempts {
+            match inj.submit_fault(site, req, attempt, data.len() as u64, resident_pages) {
+                Some(FaultKind::AccelUnavailable) => {
+                    return if policy.software_fallback {
+                        stats.bump(&stats.software_fallbacks);
+                        Ok(None)
+                    } else {
+                        Err(Error::AcceleratorUnavailable)
+                    };
+                }
+                Some(
+                    f @ (FaultKind::QueueOverflow
+                    | FaultKind::SubmissionTimeout
+                    | FaultKind::CsbError { .. }),
+                ) => {
+                    // Transient: back off (capped exponential) and retry
+                    // the whole submission.
+                    stats.bump(&stats.retries);
+                    inj.take_backoff(attempt);
+                    last_fault = Some(f);
+                    attempt += 1;
+                    continue;
+                }
+                Some(f @ FaultKind::PageFault { offset: _ }) => {
+                    // Touch the faulting page (plus the touch-ahead
+                    // window) and resubmit; everything up to the touched
+                    // frontier is now resident and cannot fault again.
+                    if let FaultKind::PageFault { offset } = f {
+                        resident_pages =
+                            (offset / fault::PAGE_BYTES) + 1 + u64::from(policy.touch_ahead_pages);
+                    }
+                    stats.bump(&stats.resubmissions);
+                    last_fault = Some(f);
+                    attempt += 1;
+                    continue;
+                }
+                Some(f @ FaultKind::Partial { .. }) => {
+                    // The engine stopped early without an error; the
+                    // library resubmits the remainder (modeled as a full
+                    // resubmission).
+                    stats.bump(&stats.resubmissions);
+                    last_fault = Some(f);
+                    attempt += 1;
+                    continue;
+                }
+                Some(FaultKind::BitFlip { .. })
+                | Some(FaultKind::Truncate { .. })
+                | Some(FaultKind::WorkerPanic)
+                | None => {}
+            }
+            // Clean submission: run the engine. Genuine input errors are
+            // not transient — surface them immediately, no retry.
+            let out = run(self)?;
+            // Modeled output-integrity check: the engine CRCs its output
+            // stream; an injected in-flight corruption must be caught
+            // here and never escape to the caller.
+            if let Some(k) = inj.output_fault(req, attempt, out.payload_len() as u64) {
+                let mut corrupted = out.payload_clone();
+                fault::corrupt(k, &mut corrupted);
+                if corrupted != out.payload_ref() {
+                    stats.bump(&stats.corruptions_detected);
+                }
+                stats.bump(&stats.retries);
+                inj.take_backoff(attempt);
+                last_fault = Some(k);
+                attempt += 1;
+                continue;
+            }
+            return Ok(Some(out));
+        }
+        // Attempt budget exhausted.
+        if policy.software_fallback {
+            stats.bump(&stats.software_fallbacks);
+            return Ok(None);
+        }
+        Err(match last_fault {
+            Some(FaultKind::QueueOverflow) => Error::QueueOverflow,
+            Some(FaultKind::BitFlip { .. }) | Some(FaultKind::Truncate { .. }) => {
+                Error::CorruptedOutput { attempts: attempt }
+            }
+            _ => Error::SubmissionTimeout { attempts: attempt },
+        })
     }
 
     /// Compresses with the 842 memory-compression engine.
@@ -211,13 +497,21 @@ impl Nx {
         AsyncSession::spawn(self.config.clone(), Arc::clone(&self.stats))
     }
 
+    /// Opens an asynchronous session whose queue holds at most `depth`
+    /// outstanding jobs — the VAS window credit limit in API form.
+    /// [`AsyncSession::try_submit`] surfaces a full queue as
+    /// [`Error::QueueOverflow`].
+    pub fn async_session_bounded(&self, depth: usize) -> AsyncSession {
+        AsyncSession::spawn_bounded(self.config.clone(), Arc::clone(&self.stats), depth)
+    }
+
     /// Opens a sharded parallel compression session at `level`: one
     /// request fans out across a pool of workers (modeling multiple
     /// accelerator units sharing a stream) and the traffic is recorded
     /// in this handle's [`NxStats`]. See [`parallel`] for the stream
     /// construction.
     pub fn parallel_session(&self, opts: parallel::ParallelOptions, level: u32) -> ParallelSession {
-        ParallelSession::new(opts, level, Arc::clone(&self.stats))
+        ParallelSession::new(opts, level, Arc::clone(&self.stats), self.faults.clone())
     }
 
     /// Compresses with an explicit target-buffer capacity, reproducing the

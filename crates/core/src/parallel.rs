@@ -42,17 +42,26 @@
 //! # }
 //! ```
 
+use crate::fault::FaultInjector;
 use crate::framing::Format;
 use crate::{software, Error, NxStats, Result};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use nx_deflate::adler32::{adler32, adler32_combine};
 use nx_deflate::crc32::{crc32, crc32_combine};
 use nx_deflate::stream::{Flush, StreamEncoder};
 use nx_deflate::{gzip, zlib, CompressionLevel};
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the submitting thread waits for a shard before checking
+/// whether the pool is still alive. Purely a liveness probe: a healthy
+/// but slow pool just loops.
+const POOL_PROBE: Duration = Duration::from_millis(200);
 
 /// Dictionary carried between shards: one DEFLATE window.
 const DICT_SIZE: usize = nx_deflate::WINDOW_SIZE;
@@ -81,6 +90,8 @@ impl Default for ParallelOptions {
 /// preset dictionary.
 struct Job {
     seq: usize,
+    /// Request index for fault-plan coordinates.
+    request: u64,
     input: Arc<Vec<u8>>,
     chunk: Range<usize>,
     dict: Range<usize>,
@@ -90,9 +101,16 @@ struct Job {
     done: Sender<ShardOut>,
 }
 
-/// A compressed shard travelling back to the submitting thread.
+/// A shard result travelling back to the submitting thread; `data` is
+/// `None` when the worker's compression panicked (the failure marker
+/// that triggers the serial fallback instead of a hang).
 struct ShardOut {
     seq: usize,
+    data: Option<ShardData>,
+}
+
+/// A successfully compressed shard.
+struct ShardData {
     bytes: Vec<u8>,
     /// CRC-32 of the shard's *input* (gzip framing only).
     crc: u32,
@@ -108,6 +126,8 @@ pub struct ParallelStats {
     shards: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    serial_fallbacks: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl ParallelStats {
@@ -130,6 +150,18 @@ impl ParallelStats {
     pub fn bytes_out(&self) -> u64 {
         self.bytes_out.load(Ordering::Relaxed)
     }
+
+    /// Requests that completed through the inline serial fallback after a
+    /// pool failure (worker death, poisoned channel).
+    pub fn serial_fallbacks(&self) -> u64 {
+        self.serial_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics contained by the pool (each produces a failed shard
+    /// marker, not a hang).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
 }
 
 /// A persistent pool of compression workers producing single valid
@@ -142,27 +174,54 @@ pub struct ParallelEngine {
     job_tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ParallelStats>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ParallelEngine {
     /// Spawns the worker pool.
     pub fn new(mut opts: ParallelOptions) -> Self {
         opts.workers = opts.workers.max(1);
+        Self::spawn(opts, None)
+    }
+
+    /// Spawns the worker pool, rejecting a zero-worker configuration with
+    /// [`Error::NoWorkers`] instead of rounding it up.
+    pub fn try_new(opts: ParallelOptions) -> Result<Self> {
+        if opts.workers == 0 {
+            return Err(Error::NoWorkers);
+        }
+        Ok(Self::spawn(opts, None))
+    }
+
+    /// Spawns the worker pool under fault injection: the injector's plan
+    /// may kill workers mid-stream ([`crate::fault::FaultKind::WorkerPanic`]),
+    /// and the engine must still complete every request through the
+    /// serial fallback.
+    pub fn with_faults(mut opts: ParallelOptions, faults: Arc<FaultInjector>) -> Self {
+        opts.workers = opts.workers.max(1);
+        Self::spawn(opts, Some(faults))
+    }
+
+    fn spawn(mut opts: ParallelOptions, faults: Option<Arc<FaultInjector>>) -> Self {
         opts.chunk_size = opts.chunk_size.max(1);
+        let stats = Arc::new(ParallelStats::default());
         // A small bounded queue: submission applies backpressure instead
         // of buffering every pending shard descriptor at once.
         let (job_tx, job_rx) = bounded::<Job>(opts.workers * 2);
         let workers = (0..opts.workers)
             .map(|_| {
                 let rx = job_rx.clone();
-                std::thread::spawn(move || worker_loop(rx))
+                let inj = faults.clone();
+                let st = Arc::clone(&stats);
+                std::thread::spawn(move || worker_loop(rx, inj, st))
             })
             .collect();
         Self {
             opts,
             job_tx: Some(job_tx),
             workers,
-            stats: Arc::new(ParallelStats::default()),
+            stats,
+            faults,
         }
     }
 
@@ -184,52 +243,111 @@ impl ParallelEngine {
     ///
     /// # Errors
     ///
-    /// [`Error::EngineClosed`] if the pool died (a worker panicked);
-    /// [`Error::Deflate`] for an invalid `level`.
+    /// [`Error::Deflate`] for an invalid `level`. A pool failure (worker
+    /// death, poisoned channel) is *not* an error: the request completes
+    /// through the inline serial fallback — same bytes, recorded in
+    /// [`ParallelStats::serial_fallbacks`] — instead of hanging or
+    /// surfacing a transient.
     pub fn compress(&self, data: &[u8], level: u32, format: Format) -> Result<Vec<u8>> {
         CompressionLevel::new(level)?;
+        match self.compress_pooled(data, level, format) {
+            Some(framed) => {
+                self.record_request(data.len(), framed.len());
+                Ok(framed)
+            }
+            None => {
+                // Pool failure: finish the request inline. Identical
+                // bytes by construction (same sharding + stitching).
+                self.stats.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+                if let Some(inj) = &self.faults {
+                    let s = inj.stats();
+                    s.bump(&s.serial_fallbacks);
+                }
+                let framed = self.compress_serial(data, level, format)?;
+                self.record_request(data.len(), framed.len());
+                Ok(framed)
+            }
+        }
+    }
+
+    /// Runs one request through the pool; `None` means the pool could not
+    /// complete it (dead workers, failed shard, closed channel) and the
+    /// caller must fall back.
+    fn compress_pooled(&self, data: &[u8], level: u32, format: Format) -> Option<Vec<u8>> {
         let shards = shard_ranges(data.len(), self.opts.chunk_size);
         let njobs = shards.len();
+        let request = self.faults.as_ref().map_or(0, |inj| inj.begin_request());
         // One shared copy of the input; shards borrow ranges of it.
         let input = Arc::new(data.to_vec());
         let (done_tx, done_rx) = bounded::<ShardOut>(njobs);
-        let job_tx = self.job_tx.as_ref().expect("pool alive until drop");
-        for (seq, chunk) in shards.into_iter().enumerate() {
-            let dict = chunk.start.saturating_sub(DICT_SIZE)..chunk.start;
-            let job = Job {
-                seq,
-                input: Arc::clone(&input),
-                chunk,
-                dict,
-                level,
-                format,
-                is_final: seq + 1 == njobs,
-                done: done_tx.clone(),
-            };
-            job_tx.send(job).map_err(|_| Error::EngineClosed)?;
-        }
+        let job_tx = self.job_tx.as_ref()?;
+        let mut pending: VecDeque<Job> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(seq, chunk)| {
+                let dict = chunk.start.saturating_sub(DICT_SIZE)..chunk.start;
+                Job {
+                    seq,
+                    request,
+                    input: Arc::clone(&input),
+                    chunk,
+                    dict,
+                    level,
+                    format,
+                    is_final: seq + 1 == njobs,
+                    done: done_tx.clone(),
+                }
+            })
+            .collect();
         drop(done_tx);
 
-        let mut outs: Vec<Option<ShardOut>> = (0..njobs).map(|_| None).collect();
-        for _ in 0..njobs {
-            let out = done_rx.recv().map_err(|_| Error::EngineClosed)?;
-            let seq = out.seq;
-            outs[seq] = Some(out);
+        // Interleave non-blocking submission with collection: a blocking
+        // send into a dead pool's full queue is exactly the hang this
+        // path exists to prevent.
+        let mut outs: Vec<Option<ShardData>> = (0..njobs).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < njobs {
+            while let Some(job) = pending.pop_front() {
+                match job_tx.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(job)) => {
+                        pending.push_front(job);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => return None,
+                }
+            }
+            match done_rx.recv_timeout(POOL_PROBE) {
+                Ok(out) => {
+                    received += 1;
+                    outs[out.seq] = out.data;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Slow is fine; dead is not. With every worker gone no
+                    // shard will ever arrive.
+                    if self.workers.iter().all(JoinHandle::is_finished) {
+                        return None;
+                    }
+                }
+                // All shard senders dropped with results missing: jobs
+                // died with their workers.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
         }
-        let outs: Vec<ShardOut> = outs
-            .into_iter()
-            .map(|o| o.expect("every seq sent"))
-            .collect();
-        let framed = stitch(&outs, data.len(), format);
+        let outs: Option<Vec<ShardData>> = outs.into_iter().collect();
+        Some(stitch(&outs?, data.len(), format))
+    }
+
+    fn record_request(&self, bytes_in: usize, bytes_out: usize) {
+        let njobs = shard_ranges(bytes_in, self.opts.chunk_size).len();
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.shards.fetch_add(njobs as u64, Ordering::Relaxed);
         self.stats
             .bytes_in
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+            .fetch_add(bytes_in as u64, Ordering::Relaxed);
         self.stats
             .bytes_out
-            .fetch_add(framed.len() as u64, Ordering::Relaxed);
-        Ok(framed)
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
     }
 
     /// The single-threaded reference: identical sharding and stitching,
@@ -244,14 +362,13 @@ impl ParallelEngine {
         let shards = shard_ranges(data.len(), self.opts.chunk_size);
         let njobs = shards.len();
         let mut enc: Option<StreamEncoder> = None;
-        let outs: Vec<ShardOut> = shards
+        let outs: Vec<ShardData> = shards
             .into_iter()
             .enumerate()
             .map(|(seq, chunk)| {
                 let dict = chunk.start.saturating_sub(DICT_SIZE)..chunk.start;
                 compress_shard(
                     &mut enc,
-                    seq,
                     &data[chunk.clone()],
                     &data[dict],
                     level,
@@ -307,36 +424,52 @@ fn shard_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
 /// Worker body: compress shards until the job channel closes, reusing
 /// one [`StreamEncoder`] (hash chains, token buffer, scratch space)
 /// across every shard this worker ever sees.
-fn worker_loop(rx: Receiver<Job>) {
+///
+/// Two failure modes are survived deliberately: an injected
+/// `WorkerPanic` kills this worker mid-stream (the thread exits with the
+/// job unfinished — the submission side must detect the dying pool), and
+/// a genuine panic inside compression is contained to a failed-shard
+/// marker so one bad shard poisons neither the channel nor the encoder
+/// reused by later shards.
+fn worker_loop(rx: Receiver<Job>, faults: Option<Arc<FaultInjector>>, stats: Arc<ParallelStats>) {
     let mut enc: Option<StreamEncoder> = None;
     for job in rx.iter() {
+        if let Some(inj) = &faults {
+            if inj.worker_fault(job.request, job.seq as u64) {
+                // Injected worker death: drop the job (its result sender
+                // goes with it) and exit the thread.
+                return;
+            }
+        }
         let chunk = &job.input[job.chunk.clone()];
         let dict = &job.input[job.dict.clone()];
-        let out = compress_shard(
-            &mut enc,
-            job.seq,
-            chunk,
-            dict,
-            job.level,
-            job.format,
-            job.is_final,
-        );
-        // A receiver that gave up (submission error path) is not our
-        // problem; drop the result.
-        let _ = job.done.send(out);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            compress_shard(&mut enc, chunk, dict, job.level, job.format, job.is_final)
+        }));
+        let data = match result {
+            Ok(d) => Some(d),
+            Err(_) => {
+                // The encoder's state is suspect after an unwind; drop it.
+                enc = None;
+                stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
+        // A receiver that gave up (fallback path) is not our problem;
+        // drop the result.
+        let _ = job.done.send(ShardOut { seq: job.seq, data });
     }
 }
 
 /// Compresses one shard, reusing `enc` when the level matches.
 fn compress_shard(
     enc: &mut Option<StreamEncoder>,
-    seq: usize,
     chunk: &[u8],
     dict: &[u8],
     level: u32,
     format: Format,
     is_final: bool,
-) -> ShardOut {
+) -> ShardData {
     let lvl = CompressionLevel::new(level).expect("validated at submission");
     let enc = match enc {
         Some(e) if e.level() == lvl => {
@@ -347,8 +480,7 @@ fn compress_shard(
     };
     let flush = if is_final { Flush::Finish } else { Flush::Sync };
     let bytes = enc.write(chunk, flush);
-    ShardOut {
-        seq,
+    ShardData {
         bytes,
         crc: if format == Format::Gzip {
             crc32(chunk)
@@ -366,7 +498,7 @@ fn compress_shard(
 
 /// Concatenates ordered shards and wraps them in the container, folding
 /// the per-shard checksums into the trailer value.
-fn stitch(outs: &[ShardOut], total_len: usize, format: Format) -> Vec<u8> {
+fn stitch(outs: &[ShardData], total_len: usize, format: Format) -> Vec<u8> {
     let body_len: usize = outs.iter().map(|o| o.bytes.len()).sum();
     let mut raw = Vec::with_capacity(body_len);
     for o in outs {
@@ -400,9 +532,18 @@ pub struct ParallelSession {
 }
 
 impl ParallelSession {
-    pub(crate) fn new(opts: ParallelOptions, level: u32, stats: Arc<NxStats>) -> Self {
+    pub(crate) fn new(
+        opts: ParallelOptions,
+        level: u32,
+        stats: Arc<NxStats>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        let engine = match faults {
+            Some(f) => ParallelEngine::with_faults(opts, f),
+            None => ParallelEngine::new(opts),
+        };
         Self {
-            engine: ParallelEngine::new(opts),
+            engine,
             stats,
             level,
         }
@@ -592,6 +733,70 @@ mod tests {
         let out = e.compress(&data, 0, Format::Gzip).unwrap();
         assert_eq!(e.decompress(&out, Format::Gzip).unwrap(), data);
         assert!(e.compress(&data, 10, Format::Gzip).is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected_by_try_new() {
+        let opts = ParallelOptions {
+            workers: 0,
+            chunk_size: 64 * 1024,
+        };
+        assert!(matches!(
+            ParallelEngine::try_new(opts.clone()),
+            Err(Error::NoWorkers)
+        ));
+        // The legacy constructor still rounds up.
+        assert_eq!(ParallelEngine::new(opts).options().workers, 1);
+    }
+
+    #[test]
+    fn injected_worker_death_falls_back_to_serial() {
+        use crate::fault::{FaultKind, FaultPlan, RecoveryPolicy, Scripted, Site};
+        // Kill every worker on its first shard of request 0: the pool is
+        // dead mid-request and the engine must still produce the exact
+        // serial bytes instead of hanging.
+        let script: Vec<Scripted> = (0..16)
+            .map(|s| Scripted {
+                site: Site::Worker,
+                request: 0,
+                attempt: s,
+                kind: FaultKind::WorkerPanic,
+            })
+            .collect();
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::script(script),
+            RecoveryPolicy::default(),
+        ));
+        let e = ParallelEngine::with_faults(
+            ParallelOptions {
+                workers: 2,
+                chunk_size: 16 * 1024,
+            },
+            Arc::clone(&inj),
+        );
+        let data = corpus(120 * 1024);
+        let out = e.compress(&data, 6, Format::Gzip).unwrap();
+        assert_eq!(out, e.compress_serial(&data, 6, Format::Gzip).unwrap());
+        assert_eq!(e.stats().serial_fallbacks(), 1);
+        assert!(inj.stats().worker_panic_count() >= 1);
+        assert_eq!(inj.stats().serial_fallback_count(), 1);
+        // The pool is gone, but later requests still complete serially.
+        let out2 = e.compress(&data, 6, Format::Zlib).unwrap();
+        assert_eq!(out2, e.compress_serial(&data, 6, Format::Zlib).unwrap());
+        assert_eq!(e.stats().serial_fallbacks(), 2);
+    }
+
+    #[test]
+    fn backpressure_many_shards_through_a_tiny_pool() {
+        // Far more shards than queue slots (workers*2 = 2): submission
+        // must interleave with collection, never deadlock, and output
+        // must stay byte-identical.
+        let data = corpus(256 * 1024);
+        let e = engine(1, 4 * 1024); // 64 shards, 2 queue slots
+        let out = e.compress(&data, 6, Format::Gzip).unwrap();
+        assert_eq!(out, e.compress_serial(&data, 6, Format::Gzip).unwrap());
+        assert_eq!(e.decompress(&out, Format::Gzip).unwrap(), data);
+        assert_eq!(e.stats().serial_fallbacks(), 0);
     }
 
     #[test]

@@ -154,7 +154,9 @@ impl<'a> BitReader<'a> {
             return;
         }
         if self.pos + 8 <= self.data.len() {
-            let w = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+            let w = u64::from_le_bytes(word);
             self.acc |= w << self.nbits;
             let absorbed = (63 - self.nbits) >> 3;
             self.pos += absorbed as usize;

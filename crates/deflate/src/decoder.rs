@@ -91,9 +91,15 @@ pub fn inflate_traced(data: &[u8]) -> Result<(Vec<u8>, Vec<BlockTrace>)> {
 fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
     static TABLES: std::sync::OnceLock<(DecodeTable, DecodeTable)> = std::sync::OnceLock::new();
     TABLES.get_or_init(|| {
-        let litlen = DecodeTable::new(&fixed_litlen_lengths()).expect("fixed litlen lengths");
-        let dist = DecodeTable::new(&fixed_dist_lengths()).expect("fixed dist lengths");
-        (litlen, dist)
+        match (
+            DecodeTable::new(&fixed_litlen_lengths()),
+            DecodeTable::new(&fixed_dist_lengths()),
+        ) {
+            (Ok(litlen), Ok(dist)) => (litlen, dist),
+            // The inputs are the RFC 1951 §3.2.6 constants — a complete,
+            // valid code by definition.
+            _ => unreachable!("RFC 1951 fixed code lengths form a valid code"),
+        }
     })
 }
 

@@ -169,8 +169,8 @@ pub fn decompress_with_header(data: &[u8]) -> Result<(Vec<u8>, GzipHeader, usize
     if trailer_at + 8 > data.len() {
         return Err(Error::UnexpectedEof);
     }
-    let stored_crc = u32::from_le_bytes(data[trailer_at..trailer_at + 4].try_into().unwrap());
-    let stored_len = u32::from_le_bytes(data[trailer_at + 4..trailer_at + 8].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(read4(data, trailer_at)?);
+    let stored_len = u32::from_le_bytes(read4(data, trailer_at + 4)?);
     if stored_crc != crate::crc32::crc32(&out) {
         return Err(Error::GzipChecksumMismatch);
     }
@@ -178,6 +178,14 @@ pub fn decompress_with_header(data: &[u8]) -> Result<(Vec<u8>, GzipHeader, usize
         return Err(Error::GzipChecksumMismatch);
     }
     Ok((out, header, trailer_at + 8))
+}
+
+/// Reads the 4-byte field at `at`, surfacing truncation as a typed error
+/// instead of panicking on the slice conversion.
+fn read4(data: &[u8], at: usize) -> Result<[u8; 4]> {
+    data.get(at..at + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or(Error::UnexpectedEof)
 }
 
 /// Iterator over the members of a (possibly multi-member) gzip stream —

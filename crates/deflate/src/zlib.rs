@@ -105,7 +105,7 @@ pub fn decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
     if flg & 0x20 == 0 {
         return Err(Error::BadZlibHeader); // no dictionary requested
     }
-    let dictid = u32::from_be_bytes(data[2..6].try_into().expect("4 bytes"));
+    let dictid = u32::from_be_bytes(read4(data, 2)?);
     if dictid != adler32(dict) {
         return Err(Error::BadZlibHeader);
     }
@@ -121,11 +121,19 @@ pub fn decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
     if trailer_at + 4 != data.len() {
         return Err(Error::TrailingData);
     }
-    let stored = u32::from_be_bytes(data[trailer_at..trailer_at + 4].try_into().expect("4"));
+    let stored = u32::from_be_bytes(read4(data, trailer_at)?);
     if stored != adler32(&out) {
         return Err(Error::ZlibChecksumMismatch);
     }
     Ok(out)
+}
+
+/// Reads the 4-byte field at `at`, surfacing truncation as a typed error
+/// instead of panicking on the slice conversion.
+fn read4(data: &[u8], at: usize) -> Result<[u8; 4]> {
+    data.get(at..at + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or(Error::UnexpectedEof)
 }
 
 /// Decompresses a zlib stream, verifying the Adler-32 trailer.
@@ -166,7 +174,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     if trailer_at + 4 != data.len() {
         return Err(Error::TrailingData);
     }
-    let stored = u32::from_be_bytes(data[trailer_at..trailer_at + 4].try_into().unwrap());
+    let stored = u32::from_be_bytes(read4(data, trailer_at)?);
     if stored != adler32(&out) {
         return Err(Error::ZlibChecksumMismatch);
     }

@@ -77,10 +77,9 @@ pub fn decompress_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>> {
             OP_ZEROS => push_all(&mut out, &[0u8; 8], limit)?,
             OP_REPEAT => {
                 let count = r.read_bits(REPEAT_BITS)? as usize + 1;
-                if out.len() < 8 {
-                    return Err(Error::IndexOutOfRange);
-                }
-                let chunk: [u8; 8] = out[out.len() - 8..].try_into().expect("last chunk");
+                let start = out.len().checked_sub(8).ok_or(Error::IndexOutOfRange)?;
+                let mut chunk = [0u8; 8];
+                chunk.copy_from_slice(&out[start..]);
                 for _ in 0..count {
                     push_all(&mut out, &chunk, limit)?;
                 }
@@ -133,6 +132,22 @@ mod tests {
         // OP_REPEAT (0x1B = 11011) + count 0.
         let mut w = crate::bitio::BitWriter::new();
         w.write_bits(0x1B, 5);
+        w.write_bits(0, 6);
+        w.write_bits(u64::from(OP_END), 5);
+        assert_eq!(decompress(&w.finish()), Err(Error::IndexOutOfRange));
+    }
+
+    #[test]
+    fn repeat_after_short_data_shorter_than_a_chunk_rejected() {
+        // Regression for the `expect("last chunk")` conversion: OP_REPEAT
+        // with 0 < out.len() < 8 must be a typed error, not a panic.
+        let mut w = crate::bitio::BitWriter::new();
+        w.write_bits(u64::from(OP_SHORT_DATA), 5);
+        w.write_bits(3, SHORT_DATA_BITS); // count = 3 bytes of short data
+        w.write_bits(0xAA, 8);
+        w.write_bits(0xBB, 8);
+        w.write_bits(0xCC, 8);
+        w.write_bits(0x1B, 5); // OP_REPEAT
         w.write_bits(0, 6);
         w.write_bits(u64::from(OP_END), 5);
         assert_eq!(decompress(&w.finish()), Err(Error::IndexOutOfRange));

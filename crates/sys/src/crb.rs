@@ -57,6 +57,20 @@ pub enum CsbStatus {
         /// Bytes successfully processed before the fault.
         processed_bytes: u64,
     },
+    /// The engine posted an error completion code; the job produced no
+    /// usable output and the library retries it with backoff.
+    Error {
+        /// The completion code posted.
+        code: nx_core::fault::CsbCode,
+    },
+}
+
+impl CsbStatus {
+    /// Whether this status lets the library retry the job (faults and
+    /// transient error codes do; `Ok` has nothing to retry).
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, CsbStatus::Ok)
+    }
 }
 
 /// A coprocessor status block: what the engine wrote back at completion.
@@ -92,6 +106,16 @@ mod tests {
         assert!(Function::Decompress.is_gzip());
         assert!(!Function::Compress842.is_gzip());
         assert!(!Function::Decompress842.is_gzip());
+    }
+
+    #[test]
+    fn retryable_statuses() {
+        assert!(!CsbStatus::Ok.is_retryable());
+        assert!(CsbStatus::PageFault { processed_bytes: 0 }.is_retryable());
+        assert!(CsbStatus::Error {
+            code: nx_core::fault::CsbCode::Hardware
+        }
+        .is_retryable());
     }
 
     #[test]

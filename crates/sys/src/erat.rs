@@ -22,6 +22,19 @@ pub const TOUCH_PER_PAGE: SimTime = SimTime::from_ns(150);
 /// Page size the fault model uses (64 KB, the common POWER configuration).
 pub const PAGE_BYTES: u64 = 64 * 1024;
 
+/// First retry backoff after an error CSB (doubles per attempt).
+pub const CSB_RETRY_BACKOFF_BASE: SimTime = SimTime::from_us(2);
+
+/// Backoff ceiling for error-CSB retries (capped exponential).
+pub const CSB_RETRY_BACKOFF_CAP: SimTime = SimTime::from_us(128);
+
+/// The capped exponential backoff before resubmitting after the
+/// `attempt`-th failed try (0-based).
+pub fn csb_retry_backoff(attempt: u32) -> SimTime {
+    let mult = 1u64 << attempt.min(16);
+    SimTime::from_ps(CSB_RETRY_BACKOFF_BASE.as_ps().saturating_mul(mult)).min(CSB_RETRY_BACKOFF_CAP)
+}
+
 /// Fault-handling strategy of the submitting library.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultPolicy {
@@ -40,6 +53,27 @@ pub enum FaultPolicy {
         /// is paid for every page regardless).
         fault_probability: f64,
     },
+    /// Submit immediately like `RetryOnFault`, but on a fault touch the
+    /// faulting page *plus the next `window_pages` pages* before
+    /// resubmitting — amortizing one fault resolution across a window of
+    /// residency instead of paying a round trip per page.
+    TouchAhead {
+        /// Probability one page faults.
+        fault_probability: f64,
+        /// Extra pages touched beyond the faulting one on each fault.
+        window_pages: u64,
+    },
+}
+
+impl FaultPolicy {
+    /// Pages made resident by resolving one fault under this policy (the
+    /// faulting page itself plus any touch-ahead window).
+    pub fn pages_touched_per_fault(&self) -> u64 {
+        match self {
+            FaultPolicy::TouchAhead { window_pages, .. } => 1 + window_pages,
+            _ => 1,
+        }
+    }
 }
 
 /// Outcome of planning translations for one submission attempt.
@@ -54,17 +88,35 @@ pub struct FaultPlan {
     pub fault_at: Option<u64>,
 }
 
-/// Samples the fault behaviour for one submission attempt over `bytes`.
+/// Samples the fault behaviour for one submission attempt over `bytes`
+/// with no pages resident. See [`plan_resident`].
 pub fn plan(policy: FaultPolicy, bytes: u64, rng: &mut SimRng) -> FaultPlan {
+    plan_resident(policy, bytes, 0, rng)
+}
+
+/// Samples the fault behaviour for one submission attempt over `bytes`,
+/// where the first `resident_pages` pages of the range were already
+/// touched (by fault resolution or touch-ahead) and cannot fault.
+pub fn plan_resident(
+    policy: FaultPolicy,
+    bytes: u64,
+    resident_pages: u64,
+    rng: &mut SimRng,
+) -> FaultPlan {
     match policy {
         FaultPolicy::TouchFirst { .. } => {
             let pages = bytes.div_ceil(PAGE_BYTES).max(1);
             FaultPlan {
-                pre_submit: SimTime::from_ps(TOUCH_PER_PAGE.as_ps() * pages),
+                pre_submit: SimTime::from_ps(
+                    TOUCH_PER_PAGE.as_ps() * pages.saturating_sub(resident_pages),
+                ),
                 fault_at: None,
             }
         }
-        FaultPolicy::RetryOnFault { fault_probability } => {
+        FaultPolicy::RetryOnFault { fault_probability }
+        | FaultPolicy::TouchAhead {
+            fault_probability, ..
+        } => {
             debug_assert!((0.0..=1.0).contains(&fault_probability));
             if fault_probability <= 0.0 {
                 return FaultPlan {
@@ -74,7 +126,7 @@ pub fn plan(policy: FaultPolicy, bytes: u64, rng: &mut SimRng) -> FaultPlan {
             }
             let pages = bytes.div_ceil(PAGE_BYTES).max(1);
             // The engine stops at the first non-resident page.
-            for p in 0..pages {
+            for p in resident_pages..pages {
                 if rng.coin(fault_probability) {
                     return FaultPlan {
                         pre_submit: SimTime::ZERO,
@@ -159,6 +211,64 @@ mod tests {
                 assert!(at < bytes);
             }
         }
+    }
+
+    #[test]
+    fn resident_prefix_cannot_fault() {
+        let mut rng = SimRng::new(8, "erat");
+        let bytes = 10 * PAGE_BYTES;
+        // All 10 pages resident: even certain faults are suppressed.
+        for _ in 0..50 {
+            let p = plan_resident(
+                FaultPolicy::RetryOnFault {
+                    fault_probability: 1.0,
+                },
+                bytes,
+                10,
+                &mut rng,
+            );
+            assert_eq!(p.fault_at, None);
+        }
+        // Only 4 resident: the first possible fault is page 4.
+        let p = plan_resident(
+            FaultPolicy::TouchAhead {
+                fault_probability: 1.0,
+                window_pages: 8,
+            },
+            bytes,
+            4,
+            &mut rng,
+        );
+        assert_eq!(p.fault_at, Some(4 * PAGE_BYTES));
+    }
+
+    #[test]
+    fn touch_ahead_window_sizes_fault_resolution() {
+        assert_eq!(
+            FaultPolicy::TouchAhead {
+                fault_probability: 0.1,
+                window_pages: 16
+            }
+            .pages_touched_per_fault(),
+            17
+        );
+        assert_eq!(
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.1
+            }
+            .pages_touched_per_fault(),
+            1
+        );
+    }
+
+    #[test]
+    fn csb_backoff_is_capped_exponential() {
+        assert_eq!(csb_retry_backoff(0), CSB_RETRY_BACKOFF_BASE);
+        assert_eq!(
+            csb_retry_backoff(1).as_ps(),
+            CSB_RETRY_BACKOFF_BASE.as_ps() * 2
+        );
+        assert_eq!(csb_retry_backoff(30), CSB_RETRY_BACKOFF_CAP);
     }
 
     #[test]

@@ -35,6 +35,13 @@ struct Job {
     first_arrival: SimTime,
     attempts: u32,
     unit: usize,
+    /// Leading pages of the remaining range already made resident by
+    /// fault resolution (1 under `RetryOnFault`, 1 + window under
+    /// `TouchAhead`); they cannot fault on the next attempt.
+    resident_pages: u64,
+    /// Stable request index — the injected-fault plan's request
+    /// coordinate.
+    index: u64,
 }
 
 /// Aggregated results of one simulation run.
@@ -59,6 +66,11 @@ pub struct ExperimentResult {
     /// Pastes rejected for lack of window credits (each costs the
     /// submitter a back-off and retry).
     pub paste_rejections: u64,
+    /// Error CSBs posted (injected transient engine errors).
+    pub csb_errors: u64,
+    /// Whole-job retries after error CSBs / injected timeouts, each paid
+    /// with a capped exponential backoff.
+    pub retries: u64,
 }
 
 impl ExperimentResult {
@@ -101,6 +113,9 @@ pub struct SystemSim {
     rng: SimRng,
     next_unit: usize,
     window_credits: u32,
+    /// Deterministic injected-fault schedule (error CSBs, timeouts)
+    /// layered on top of the stochastic page-fault model.
+    injected: Option<nx_core::fault::FaultPlan>,
 }
 
 impl SystemSim {
@@ -139,7 +154,17 @@ impl SystemSim {
             rng: SimRng::new(seed, "system-sim"),
             next_unit: 0,
             window_credits: u32::MAX,
+            injected: None,
         }
+    }
+
+    /// Injects the faults `plan` schedules (error CSBs, submission
+    /// timeouts) on top of the stochastic page-fault model: each draw is
+    /// keyed by `(request id, attempt)`, so a run is replayable from the
+    /// plan's seed.
+    pub fn with_injected_faults(mut self, plan: nx_core::fault::FaultPlan) -> Self {
+        self.injected = Some(plan);
+        self
     }
 
     /// Bounds each unit's VAS window to `credits` outstanding jobs; a
@@ -163,7 +188,7 @@ impl SystemSim {
     /// Runs the simulation over `stream` to completion.
     pub fn run(&mut self, stream: &RequestStream) -> ExperimentResult {
         let mut q: EventQueue<Job> = EventQueue::new();
-        for r in stream.requests() {
+        for (index, r) in stream.requests().iter().enumerate() {
             let unit = self.route();
             q.schedule(
                 r.arrival,
@@ -172,6 +197,8 @@ impl SystemSim {
                     first_arrival: r.arrival,
                     attempts: 0,
                     unit,
+                    resident_pages: 0,
+                    index: index as u64,
                     req: r.clone(),
                 },
             );
@@ -187,6 +214,8 @@ impl SystemSim {
             cpu_cycles: 0,
             peak_outstanding: 0,
             paste_rejections: 0,
+            csb_errors: 0,
+            retries: 0,
         };
 
         while let Some((now, mut job)) = q.pop() {
@@ -216,7 +245,50 @@ impl SystemSim {
                 }
             }
 
-            let plan = erat::plan(self.fault_policy, job.remaining, &mut self.rng);
+            // Injected transient faults (error CSB, lost completion):
+            // the job occupies the engine briefly, posts a failure, and
+            // the library resubmits after a capped exponential backoff.
+            if let Some(injected) = &self.injected {
+                let site = if job.req.function == crate::crb::Function::Decompress
+                    || job.req.function == crate::crb::Function::Decompress842
+                {
+                    nx_core::fault::Site::Decompress
+                } else {
+                    nx_core::fault::Site::Compress
+                };
+                // Page faults stay with the stochastic ERAT model; output
+                // corruption has no analogue in the analytic simulator
+                // (no byte stream to corrupt).
+                if let Some(
+                    nx_core::fault::FaultKind::CsbError { .. }
+                    | nx_core::fault::FaultKind::SubmissionTimeout
+                    | nx_core::fault::FaultKind::QueueOverflow,
+                ) = injected.draw_submit(site, job.index, job.attempts, job.remaining)
+                {
+                    result.csb_errors += 1;
+                    result.retries += 1;
+                    let backoff = erat::csb_retry_backoff(job.attempts);
+                    job.attempts += 1;
+                    // The aborted attempt still pastes and briefly
+                    // occupies the engine before the error posts.
+                    let (_, fin) = self.units[job.unit]
+                        .engine
+                        .submit(now + PASTE_LATENCY, SimTime::from_ns(500));
+                    self.units[job.unit]
+                        .outstanding
+                        .push(std::cmp::Reverse(fin));
+                    result.cpu_cycles += SUBMIT_CPU_CYCLES;
+                    q.schedule(fin + self.completion.notification_latency() + backoff, job);
+                    continue;
+                }
+            }
+
+            let plan = erat::plan_resident(
+                self.fault_policy,
+                job.remaining,
+                job.resident_pages,
+                &mut self.rng,
+            );
             let submit = now + plan.pre_submit + PASTE_LATENCY;
             result.cpu_cycles +=
                 SUBMIT_CPU_CYCLES + (plan.pre_submit.as_secs_f64() * self.core_ghz * 1e9) as u64;
@@ -265,12 +337,19 @@ impl SystemSim {
                 job.remaining -= processed;
                 job.attempts += 1;
                 // CSB posts the fault; library is notified, touches the
-                // page, and resubmits the remainder.
+                // faulting page (plus the touch-ahead window under
+                // `TouchAhead`), and resubmits the remainder. The
+                // remainder starts at the faulting page, so the touched
+                // pages are exactly its resident prefix.
+                let touched = self.fault_policy.pages_touched_per_fault();
+                job.resident_pages = touched;
+                let touch_time = SimTime::from_ps(erat::TOUCH_PER_PAGE.as_ps() * touched);
                 let notify = self.completion.notification_latency();
                 result.cpu_cycles += self
                     .completion
-                    .cpu_wait_cycles(finish + notify - now, self.core_ghz);
-                q.schedule(finish + notify + FAULT_RESOLUTION, job);
+                    .cpu_wait_cycles(finish + notify - now, self.core_ghz)
+                    + (touch_time.as_secs_f64() * self.core_ghz * 1e9) as u64;
+                q.schedule(finish + notify + FAULT_RESOLUTION + touch_time, job);
                 continue;
             }
 
@@ -438,6 +517,74 @@ mod tests {
         .run(&stream);
         assert_eq!(touched.faults, 0);
         assert!(touched.throughput_gbps() > faulty.throughput_gbps());
+    }
+
+    #[test]
+    fn injected_csb_errors_are_retried_and_counted() {
+        let topo = Topology::power9_chip();
+        let stream =
+            RequestStream::saturating(11, 32, 2 << 20, &[CorpusKind::Text], Function::Compress);
+        let clean = SystemSim::new(&topo, CompletionMode::Poll, no_faults(), 11).run(&stream);
+        assert_eq!(clean.csb_errors, 0);
+        let plan = nx_core::fault::FaultPlan::seeded(
+            77,
+            nx_core::fault::FaultRates {
+                csb_error: 0.3,
+                timeout: 0.1,
+                ..nx_core::fault::FaultRates::none()
+            },
+        );
+        let faulty = SystemSim::new(&topo, CompletionMode::Poll, no_faults(), 11)
+            .with_injected_faults(plan.clone())
+            .run(&stream);
+        // Transients delay but never lose work.
+        assert!(faulty.csb_errors > 0);
+        assert!(faulty.retries >= faulty.csb_errors);
+        assert_eq!(faulty.completed, 32);
+        assert_eq!(faulty.input_bytes, clean.input_bytes);
+        assert!(faulty.makespan >= clean.makespan);
+        // Replayable: the same plan injects the same faults.
+        let again = SystemSim::new(&topo, CompletionMode::Poll, no_faults(), 11)
+            .with_injected_faults(plan)
+            .run(&stream);
+        assert_eq!(again.csb_errors, faulty.csb_errors);
+        assert_eq!(again.retries, faulty.retries);
+    }
+
+    #[test]
+    fn touch_ahead_beats_plain_retry_under_heavy_faults() {
+        let topo = Topology::power9_chip();
+        let stream =
+            RequestStream::saturating(12, 16, 8 << 20, &[CorpusKind::Text], Function::Compress);
+        let retry = SystemSim::new(
+            &topo,
+            CompletionMode::Interrupt,
+            FaultPolicy::RetryOnFault {
+                fault_probability: 0.2,
+            },
+            12,
+        )
+        .run(&stream);
+        let ahead = SystemSim::new(
+            &topo,
+            CompletionMode::Interrupt,
+            FaultPolicy::TouchAhead {
+                fault_probability: 0.2,
+                window_pages: 32,
+            },
+            12,
+        )
+        .run(&stream);
+        // Each resolution buys a 33-page resident window, so far fewer
+        // round trips.
+        assert!(
+            ahead.faults < retry.faults / 2,
+            "touch-ahead {} vs retry {} faults",
+            ahead.faults,
+            retry.faults
+        );
+        assert!(ahead.throughput_gbps() > retry.throughput_gbps());
+        assert_eq!(ahead.completed, retry.completed);
     }
 
     #[test]

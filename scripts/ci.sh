@@ -28,4 +28,42 @@ fi
 echo "==> cargo test (tier-1)"
 cargo test --offline -q
 
+echo "==> fault suite + fuzz smoke (release)"
+# The adversarial battery and the 30k-case mutational fuzz sweep rerun
+# in release mode: optimization changes overflow/bounds behaviour, and
+# these suites exist precisely to catch decoder edges.
+cargo test --offline --release -q -p nx-core \
+    --test adversarial --test fuzz_smoke --test fault_recovery
+
+echo "==> decode-path panic gate"
+# No .unwrap()/.expect( in non-test code on the untrusted-input decode
+# paths: a hostile stream must map to a typed error, never a panic.
+# (#[cfg(test)] modules sit at the bottom of each file; everything
+# before that marker is production code.)
+DECODE_PATHS=(
+    crates/deflate/src/decoder.rs
+    crates/deflate/src/huffman/decode.rs
+    crates/deflate/src/bitio.rs
+    crates/deflate/src/gzip.rs
+    crates/deflate/src/zlib.rs
+    crates/p842/src/decode.rs
+    crates/p842/src/bitio.rs
+    crates/core/src/framing.rs
+    crates/core/src/software.rs
+    crates/accel/src/decomp.rs
+)
+GATE_FAIL=0
+for f in "${DECODE_PATHS[@]}"; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|\.expect\(/{print FILENAME":"FNR": "$0}' "$f")
+    if [[ -n "$hits" ]]; then
+        echo "panic-prone call on a decode path:"
+        echo "$hits"
+        GATE_FAIL=1
+    fi
+done
+if [[ "$GATE_FAIL" != "0" ]]; then
+    echo "==> FAIL: decode paths must return typed errors, not panic"
+    exit 1
+fi
+
 echo "==> OK"

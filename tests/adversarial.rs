@@ -1,0 +1,236 @@
+//! Adversarial-stream battery: hostile inputs through every public
+//! decode surface.
+//!
+//! Every mutation of a valid stream — truncation, bit flips, corrupted
+//! length/checksum fields, wholesale garbage — must come back as a typed
+//! `Err`, a correct `Ok`, or a detected-corruption `Ok`; never a panic,
+//! a hang, or output past the caller's limit. The decoders are the
+//! attack surface of the stack (they parse untrusted bytes), so this
+//! battery runs the same corpus through four of them:
+//!
+//! * `nx_deflate::inflate_with_limit` — the raw DEFLATE oracle,
+//! * `nx_core::software::decompress` — container parsing (gzip/zlib
+//!   headers and trailers) over the same core,
+//! * `Nx::decompress` — the accelerator facade (framing + engine model),
+//! * `nx_842::decompress_with_limit` — the 842 template parser.
+
+use nx_core::{software, Format, Nx};
+use nx_deflate::CompressionLevel;
+
+/// Output cap handed to the `*_with_limit` decoders: generous enough for
+/// every valid stream in the corpus, tight enough that a decoder running
+/// away on corrupt lengths trips it instead of ballooning.
+const LIMIT: usize = 1 << 20;
+
+/// splitmix64 — the battery's only randomness; fully deterministic.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = mix(self.0);
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Valid streams at every level and framing, from a structured corpus.
+fn valid_streams() -> Vec<(Format, Vec<u8>)> {
+    let mut streams = Vec::new();
+    for (i, size) in [0usize, 1, 257, 4096, 16384].iter().enumerate() {
+        let data = nx_corpus::mixed(0xAD5 + i as u64, *size);
+        for level in [0u32, 1, 6, 9] {
+            let lvl = CompressionLevel::new(level).expect("valid level");
+            for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+                streams.push((format, software::compress(&data, lvl, format)));
+            }
+        }
+    }
+    streams
+}
+
+/// One mutated variant of `base` (never a verbatim copy is required —
+/// correctness of valid streams is covered elsewhere).
+fn mutate(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut m = base.to_vec();
+    match rng.below(6) {
+        // Truncate anywhere, including to empty.
+        0 => m.truncate(rng.below(m.len() + 1)),
+        // Flip one bit.
+        1 if !m.is_empty() => {
+            let i = rng.below(m.len());
+            m[i] ^= 1 << rng.below(8);
+        }
+        // Stomp a whole byte.
+        2 if !m.is_empty() => {
+            let i = rng.below(m.len());
+            m[i] = rng.next() as u8;
+        }
+        // Corrupt the tail (trailer CRC/ISIZE/Adler live there).
+        3 if !m.is_empty() => {
+            let n = m.len();
+            let span = rng.below(8.min(n)) + 1;
+            for b in &mut m[n - span..] {
+                *b = rng.next() as u8;
+            }
+        }
+        // Duplicate a slice into the middle.
+        4 if !m.is_empty() => {
+            let start = rng.below(m.len());
+            let end = (start + rng.below(16) + 1).min(m.len());
+            let slice = m[start..end].to_vec();
+            let at = rng.below(m.len());
+            m.splice(at..at, slice);
+        }
+        // Pure garbage of similar size.
+        _ => {
+            let n = rng.below(base.len().max(16)) + 1;
+            m = (0..n).map(|_| rng.next() as u8).collect();
+        }
+    }
+    m
+}
+
+/// The shared assertion: a hostile buffer through every decode surface.
+/// Returning at all (no panic, no runaway allocation) is most of the
+/// point; the explicit checks pin the output-limit contract and the
+/// software/accelerator agreement.
+fn assault(nx: &Nx, format: Format, m: &[u8]) {
+    if let Ok(out) = nx_deflate::inflate_with_limit(m, LIMIT) {
+        assert!(out.len() <= LIMIT, "inflate exceeded its output limit");
+    }
+    let sw = software::decompress(m, format);
+    let nx = nx.decompress(m, format);
+    match (&sw, &nx) {
+        (Ok(a), Ok(b)) => assert_eq!(
+            a, &b.bytes,
+            "software and accelerator accepted the same stream but disagreed"
+        ),
+        (Err(_), Err(_)) => {}
+        (a, b) => panic!(
+            "software and accelerator disagree on acceptance: sw={:?} nx={:?}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn mutated_streams_never_panic_or_overrun() {
+    let streams = valid_streams();
+    let nx = Nx::power9();
+    let mut rng = Rng(0xBA771E);
+    for (format, base) in &streams {
+        for _ in 0..24 {
+            let m = mutate(base, &mut rng);
+            assault(&nx, *format, &m);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_a_small_stream_is_handled() {
+    // Exhaustive truncation sweep on one stream per framing: every
+    // prefix boundary (header, mid-block, trailer) must be a typed
+    // error or a clean parse, never a panic.
+    let data = nx_corpus::mixed(0x7211, 2048);
+    let nx = Nx::power9();
+    let lvl = CompressionLevel::new(6).expect("valid level");
+    for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+        let full = software::compress(&data, lvl, format);
+        for cut in 0..full.len() {
+            assault(&nx, format, &full[..cut]);
+        }
+    }
+}
+
+#[test]
+fn random_garbage_is_rejected_not_parsed_forever() {
+    let nx = Nx::power9();
+    let mut rng = Rng(0x6A2BA6E);
+    for _ in 0..256 {
+        let n = rng.below(4096);
+        let garbage: Vec<u8> = (0..n).map(|_| rng.next() as u8).collect();
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            assault(&nx, format, &garbage);
+        }
+    }
+}
+
+#[test]
+fn corrupted_length_fields_are_caught() {
+    // Stored blocks carry explicit LEN/NLEN; gzip carries ISIZE. Stomp
+    // each directly instead of hoping the random mutator finds them.
+    let data = nx_corpus::mixed(0x1E46, 4096);
+    let lvl = CompressionLevel::new(0).expect("stored blocks");
+    let mut raw = software::compress(&data, lvl, Format::RawDeflate);
+    // Byte 0 is the block header; bytes 1..5 are LEN/NLEN of the first
+    // stored block. Break the complement invariant.
+    if raw.len() > 4 {
+        raw[3] ^= 0xFF;
+        assert!(
+            nx_deflate::inflate_with_limit(&raw, LIMIT).is_err(),
+            "LEN/NLEN mismatch must be rejected"
+        );
+    }
+    let mut gz = software::compress(&data, lvl, Format::Gzip);
+    let n = gz.len();
+    for b in &mut gz[n - 4..] {
+        *b ^= 0x5A; // ISIZE now disagrees with the inflated length
+    }
+    assert!(
+        software::decompress(&gz, Format::Gzip).is_err(),
+        "gzip ISIZE mismatch must be rejected"
+    );
+}
+
+#[test]
+fn mutated_842_streams_never_panic_or_overrun() {
+    let mut rng = Rng(0x842_842);
+    for (i, size) in [1usize, 64, 512, 4096].iter().enumerate() {
+        let data = nx_corpus::mixed(0x842 + i as u64, *size);
+        let base = nx_842::compress(&data);
+        for _ in 0..48 {
+            let m = mutate(&base, &mut rng);
+            if let Ok(out) = nx_842::decompress_with_limit(&m, LIMIT) {
+                assert!(out.len() <= LIMIT, "842 decode exceeded its output limit");
+            }
+        }
+        // Exhaustive truncations as well — the 842 bit reader walks
+        // templates right up to the end of the buffer.
+        for cut in 0..base.len() {
+            if let Ok(out) = nx_842::decompress_with_limit(&base[..cut], LIMIT) {
+                assert!(out.len() <= LIMIT);
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_is_deterministic_on_hostile_input() {
+    // Same hostile buffer twice → byte-identical verdicts. Guards
+    // against uninitialized reads or state leaking between calls.
+    let mut rng = Rng(0xD37E);
+    let data = nx_corpus::mixed(0xD37E, 4096);
+    let lvl = CompressionLevel::new(6).expect("valid level");
+    let base = software::compress(&data, lvl, Format::Zlib);
+    for _ in 0..64 {
+        let m = mutate(&base, &mut rng);
+        let a = software::decompress(&m, Format::Zlib);
+        let b = software::decompress(&m, Format::Zlib);
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
+            (Err(x), Err(y)) => assert_eq!(format!("{x}"), format!("{y}")),
+            _ => panic!("nondeterministic accept/reject on identical input"),
+        }
+    }
+}
