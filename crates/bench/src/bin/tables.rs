@@ -9,19 +9,50 @@
 //!
 //! `--json <path>` additionally writes the machine-readable metrics of
 //! every selected experiment that exposes them, as a JSON array of
-//! `{"experiment": id, "metric": name, "value": v}` rows.
+//! `{"experiment": id, "title": t, "metric": name, "value": v,
+//! "unit": u}` rows.
 
 use nx_bench::exp;
 use std::process::ExitCode;
 
+/// One emitted JSON row: experiment id, experiment title, metric row.
+struct JsonRow<'a> {
+    experiment: &'a str,
+    title: &'a str,
+    row: exp::MetricRow,
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars) so
+/// titles and units can carry arbitrary text without a JSON dependency.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders metric rows as a JSON array — hand-rolled so the harness
-/// stays dependency-free (names are identifiers, no escaping needed).
-fn render_json(rows: &[(&str, &str, f64)]) -> String {
+/// stays dependency-free.
+fn render_json(rows: &[JsonRow<'_>]) -> String {
     let mut out = String::from("[\n");
-    for (i, (exp, metric, value)) in rows.iter().enumerate() {
+    for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "  {{\"experiment\": \"{exp}\", \"metric\": \"{metric}\", \"value\": {value}}}{sep}\n"
+            "  {{\"experiment\": \"{}\", \"title\": \"{}\", \"metric\": \"{}\", \
+             \"value\": {}, \"unit\": \"{}\"}}{sep}\n",
+            escape(r.experiment),
+            escape(r.title),
+            escape(r.row.name),
+            r.row.value,
+            escape(r.row.unit)
         ));
     }
     out.push_str("]\n");
@@ -71,7 +102,7 @@ fn main() -> ExitCode {
         sel
     };
 
-    let mut json_rows: Vec<(&str, &str, f64)> = Vec::new();
+    let mut json_rows: Vec<JsonRow<'_>> = Vec::new();
     for e in &selected {
         let t0 = std::time::Instant::now();
         let report = (e.run)();
@@ -82,8 +113,12 @@ fn main() -> ExitCode {
             t0.elapsed().as_secs_f64()
         );
         if let Some(metrics) = e.metrics {
-            for (name, value) in metrics() {
-                json_rows.push((e.id, name, value));
+            for row in metrics() {
+                json_rows.push(JsonRow {
+                    experiment: e.id,
+                    title: e.title,
+                    row,
+                });
             }
         }
     }

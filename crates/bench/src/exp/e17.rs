@@ -13,6 +13,7 @@
 //! the workers time-slice and speedup stays ≈ 1×, so the report prints
 //! the detected parallelism next to the numbers.
 
+use super::MetricRow;
 use crate::{Table, SEED};
 use nx_core::parallel::{ParallelEngine, ParallelOptions};
 use nx_core::Format;
@@ -88,12 +89,16 @@ fn measured() -> &'static Measured {
     })
 }
 
-/// Machine-readable rows for `tables --json`: (metric, value) pairs.
-pub fn metrics() -> Vec<(&'static str, f64)> {
+/// Machine-readable rows for `tables --json`.
+pub fn metrics() -> Vec<MetricRow> {
     let m = measured();
     let mut rows = vec![
-        ("serial_mb_per_s", TOTAL as f64 / m.serial_secs / 1e6),
-        ("serial_bytes_out", m.serial_bytes as f64),
+        MetricRow::new(
+            "serial_mb_per_s",
+            TOTAL as f64 / m.serial_secs / 1e6,
+            "MB/s",
+        ),
+        MetricRow::new("serial_bytes_out", m.serial_bytes as f64, "bytes"),
     ];
     for p in &m.points {
         let (mbps, speedup): (&'static str, &'static str) = match p.workers {
@@ -102,10 +107,14 @@ pub fn metrics() -> Vec<(&'static str, f64)> {
             4 => ("sharded_w4_mb_per_s", "sharded_w4_speedup"),
             _ => ("sharded_w8_mb_per_s", "sharded_w8_speedup"),
         };
-        rows.push((mbps, TOTAL as f64 / p.secs / 1e6));
-        rows.push((speedup, m.serial_secs / p.secs));
+        rows.push(MetricRow::new(mbps, TOTAL as f64 / p.secs / 1e6, "MB/s"));
+        rows.push(MetricRow::new(speedup, m.serial_secs / p.secs, "ratio"));
     }
-    rows.push(("host_parallelism", host_parallelism() as f64));
+    rows.push(MetricRow::new(
+        "host_parallelism",
+        host_parallelism() as f64,
+        "count",
+    ));
     rows
 }
 

@@ -20,6 +20,7 @@
 //! cell); `tables --json` additionally gets a curated set of scalar
 //! metrics.
 
+use super::MetricRow;
 use crate::{Table, SEED};
 use nx_accel::AccelConfig;
 use nx_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
@@ -338,15 +339,19 @@ fn cell_metric_names(policy: &str, permille: u32) -> Option<(&'static str, &'sta
     }
 }
 
-/// Machine-readable rows for `tables --json`: (metric, value) pairs.
-pub fn metrics() -> Vec<(&'static str, f64)> {
+/// Machine-readable rows for `tables --json`.
+pub fn metrics() -> Vec<MetricRow> {
     let m = measured();
-    let mut rows = vec![("rate0_overhead_pct", m.rate0_overhead * 100.0)];
+    let mut rows = vec![MetricRow::new(
+        "rate0_overhead_pct",
+        m.rate0_overhead * 100.0,
+        "percent",
+    )];
     for c in &m.cells {
         let pm = (c.rate * 1000.0).round() as u32;
         if let Some((mbps, p99)) = cell_metric_names(c.policy, pm) {
-            rows.push((mbps, c.mb_per_s));
-            rows.push((p99, c.p99_us));
+            rows.push(MetricRow::new(mbps, c.mb_per_s, "MB/s"));
+            rows.push(MetricRow::new(p99, c.p99_us, "us"));
         }
     }
     for s in &m.sys {
@@ -356,8 +361,8 @@ pub fn metrics() -> Vec<(&'static str, f64)> {
                 "ahead" => ("sim_ahead_i300_gbps", "sim_ahead_i300_p99_us"),
                 _ => ("sim_touchfirst_i300_gbps", "sim_touchfirst_i300_p99_us"),
             };
-            rows.push((gbps, s.gbps));
-            rows.push((p99, s.p99_us));
+            rows.push(MetricRow::new(gbps, s.gbps, "GB/s"));
+            rows.push(MetricRow::new(p99, s.p99_us, "us"));
         }
     }
     rows

@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E18; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E19; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -12,6 +12,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -21,9 +22,28 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 
+/// One machine-readable metric row for `tables --json`.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricRow {
+    /// Stable metric identifier (snake_case, unique within the run).
+    pub name: &'static str,
+    /// The measured value.
+    pub value: f64,
+    /// Unit of `value` (`"MB/s"`, `"us"`, `"percent"`, `"ratio"`,
+    /// `"bytes"`, `"count"`, `"bool"`).
+    pub unit: &'static str,
+}
+
+impl MetricRow {
+    /// Builds one row.
+    pub fn new(name: &'static str, value: f64, unit: &'static str) -> Self {
+        Self { name, value, unit }
+    }
+}
+
 /// Machine-readable metric rows an experiment can expose for
-/// `tables --json`: `(metric_name, value)` pairs.
-pub type MetricFn = fn() -> Vec<(&'static str, f64)>;
+/// `tables --json`.
+pub type MetricFn = fn() -> Vec<MetricRow>;
 
 /// An experiment entry: id, one-line description, runner.
 pub struct Experiment {
@@ -149,6 +169,12 @@ pub fn all() -> Vec<Experiment> {
             run: e18::run,
             metrics: Some(e18::metrics),
         },
+        Experiment {
+            id: "e19",
+            title: e19::TITLE,
+            run: e19::run,
+            metrics: Some(e19::metrics),
+        },
     ]
 }
 
@@ -157,10 +183,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 19);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
     }
 }

@@ -7,13 +7,59 @@
 //! whose [`wait`](JobHandle::wait) delivers the result.
 
 use crate::framing::{self, Format};
-use crate::stats::NxStats;
-use crate::{Compressed, Error, Result};
+use crate::stats::{Codec, NxStats};
+use crate::{Compressed, Error, Result, Trace, SUBMIT_CYCLES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use nx_accel::{AccelConfig, Accelerator};
+use nx_telemetry::{Counter, Gauge, Stage, TelemetrySink};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Queue-side telemetry: an instantaneous depth gauge, a depth
+/// histogram sampled at each submission, and an overflow counter —
+/// the VAS window-credit accounting the paper describes, in metric
+/// form. All no-ops when the sink is disabled.
+#[derive(Debug, Clone)]
+struct QueueTelemetry {
+    sink: TelemetrySink,
+    depth: Option<Gauge>,
+    overflows: Option<Counter>,
+}
+
+impl QueueTelemetry {
+    fn new(sink: TelemetrySink) -> Self {
+        let depth = sink.registry().map(|r| r.gauge("nx_async_queue_depth"));
+        let overflows = sink
+            .registry()
+            .map(|r| r.counter("nx_async_queue_overflows_total"));
+        Self {
+            sink,
+            depth,
+            overflows,
+        }
+    }
+
+    fn on_enqueue(&self) {
+        if let Some(g) = &self.depth {
+            let now = g.add(1);
+            self.sink.record_queue_depth(now.max(0) as u64);
+        }
+    }
+
+    fn on_dequeue(&self) -> i64 {
+        match &self.depth {
+            Some(g) => g.add(-1).max(0),
+            None => 0,
+        }
+    }
+
+    fn on_overflow(&self) {
+        if let Some(c) = &self.overflows {
+            c.inc();
+        }
+    }
+}
 
 enum Cmd {
     Compress {
@@ -31,6 +77,7 @@ enum Cmd {
 pub struct AsyncSession {
     tx: Sender<Cmd>,
     worker: Option<JoinHandle<()>>,
+    telemetry: QueueTelemetry,
 }
 
 /// A pending job's completion handle.
@@ -83,9 +130,9 @@ impl JobHandle {
 
 impl AsyncSession {
     /// Spawns the engine thread behind an unbounded queue.
-    pub(crate) fn spawn(config: AccelConfig, stats: Arc<NxStats>) -> Self {
+    pub(crate) fn spawn(config: AccelConfig, stats: Arc<NxStats>, sink: TelemetrySink) -> Self {
         let (tx, rx) = unbounded::<Cmd>();
-        Self::spawn_with(config, stats, tx, rx)
+        Self::spawn_with(config, stats, sink, tx, rx)
     }
 
     /// Spawns the engine thread behind a queue of at most `depth`
@@ -93,17 +140,25 @@ impl AsyncSession {
     /// [`try_submit`](Self::try_submit) surfaces a full queue as
     /// [`Error::QueueOverflow`]; blocking [`submit`](Self::submit) waits
     /// for a slot instead.
-    pub(crate) fn spawn_bounded(config: AccelConfig, stats: Arc<NxStats>, depth: usize) -> Self {
+    pub(crate) fn spawn_bounded(
+        config: AccelConfig,
+        stats: Arc<NxStats>,
+        sink: TelemetrySink,
+        depth: usize,
+    ) -> Self {
         let (tx, rx) = bounded::<Cmd>(depth.max(1));
-        Self::spawn_with(config, stats, tx, rx)
+        Self::spawn_with(config, stats, sink, tx, rx)
     }
 
     fn spawn_with(
         config: AccelConfig,
         stats: Arc<NxStats>,
+        sink: TelemetrySink,
         tx: Sender<Cmd>,
         rx: Receiver<Cmd>,
     ) -> Self {
+        let telemetry = QueueTelemetry::new(sink);
+        let worker_tel = telemetry.clone();
         let worker = std::thread::Builder::new()
             .name("nx-engine".into())
             .spawn(move || {
@@ -115,13 +170,28 @@ impl AsyncSession {
                             format,
                             reply,
                         } => {
+                            let depth = worker_tel.on_dequeue();
                             let (raw, report) = engine.compress(&data);
                             let bytes = framing::wrap(raw, &data, format);
                             stats.record_compress(
+                                Codec::Deflate,
                                 data.len() as u64,
                                 bytes.len() as u64,
                                 report.cycles,
                             );
+                            // The request's span timeline: queue wait is
+                            // modeled from the depth ahead of the job
+                            // (each queued job costs one service slot).
+                            let mut trace = Trace::begin(&worker_tel.sink);
+                            trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+                            trace.span(
+                                Stage::QueueWait,
+                                depth as u64 * SUBMIT_CYCLES,
+                                0,
+                                depth as u64,
+                            );
+                            trace.span(Stage::Engine, report.cycles, data.len() as u64, 0);
+                            trace.finish(bytes.len() as u64);
                             // Receiver may have been dropped; that's fine.
                             let _ = reply.send(Ok(Compressed { bytes, report }));
                         }
@@ -133,6 +203,7 @@ impl AsyncSession {
         Self {
             tx,
             worker: Some(worker),
+            telemetry,
         }
     }
 
@@ -150,6 +221,7 @@ impl AsyncSession {
                 reply,
             })
             .map_err(|_| Error::EngineClosed)?;
+        self.telemetry.on_enqueue();
         Ok(JobHandle { rx })
     }
 
@@ -168,8 +240,14 @@ impl AsyncSession {
             format,
             reply,
         }) {
-            Ok(()) => Ok(JobHandle { rx }),
-            Err(TrySendError::Full(_)) => Err(Error::QueueOverflow),
+            Ok(()) => {
+                self.telemetry.on_enqueue();
+                Ok(JobHandle { rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.telemetry.on_overflow();
+                Err(Error::QueueOverflow)
+            }
             Err(TrySendError::Disconnected(_)) => Err(Error::EngineClosed),
         }
     }

@@ -549,6 +549,52 @@ impl FaultStats {
     }
 }
 
+impl nx_telemetry::MetricSource for FaultStats {
+    fn collect(&self, out: &mut Vec<(String, nx_telemetry::MetricValue)>) {
+        use nx_telemetry::MetricValue::Counter;
+        for (name, value) in [
+            ("nx_fault_page_faults_total", self.page_fault_count()),
+            ("nx_fault_csb_errors_total", self.csb_error_count()),
+            ("nx_fault_partials_total", self.partial_count()),
+            (
+                "nx_fault_queue_overflows_total",
+                self.queue_overflow_count(),
+            ),
+            ("nx_fault_timeouts_total", self.timeout_count()),
+            ("nx_fault_corruptions_total", self.corruption_count()),
+            (
+                "nx_fault_corruptions_detected_total",
+                self.corruption_detected_count(),
+            ),
+            ("nx_fault_unavailable_total", self.unavailable_count()),
+            ("nx_fault_worker_panics_total", self.worker_panic_count()),
+            ("nx_fault_resubmissions_total", self.resubmission_count()),
+            ("nx_fault_retries_total", self.retry_count()),
+            (
+                "nx_fault_touch_ahead_suppressed_total",
+                self.touch_ahead_suppressed_count(),
+            ),
+            (
+                "nx_fault_software_fallbacks_total",
+                self.software_fallback_count(),
+            ),
+            (
+                "nx_fault_serial_fallbacks_total",
+                self.serial_fallback_count(),
+            ),
+            ("nx_fault_backoff_ns_total", self.backoff_ns_total()),
+        ] {
+            out.push((name.to_string(), Counter(value)));
+        }
+    }
+}
+
+impl nx_telemetry::MetricSource for FaultInjector {
+    fn collect(&self, out: &mut Vec<(String, nx_telemetry::MetricValue)>) {
+        nx_telemetry::MetricSource::collect(&self.stats, out);
+    }
+}
+
 /// A fault plan bound to a recovery policy and live counters — the
 /// handle the recovery loops consult. One injector numbers its requests
 /// with a shared monotone counter, so a plan's `(request, attempt)`

@@ -43,13 +43,76 @@ pub use async_queue::{AsyncSession, JobHandle};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RecoveryPolicy};
 pub use framing::Format;
 pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
-pub use stats::NxStats;
+pub use stats::{Codec, CodecStats, DirStats, NxStats};
 pub use stream::GzipStream;
 
 use nx_accel::{AccelConfig, Accelerator, CompressReport, DecompressReport};
+use nx_telemetry::{duration_to_cycles, MetricSource, Stage, TelemetrySink};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
+
+/// Modeled CRB-build + VAS-paste cost stamped on `submit` spans (cycles).
+/// The paper's queue submission is sub-microsecond; ~0.5 µs at the nest
+/// clock.
+pub(crate) const SUBMIT_CYCLES: u64 = 1200;
+
+/// Modeled CSB-poll + completion-notification cost on `complete` spans.
+pub(crate) const COMPLETE_CYCLES: u64 = 400;
+
+/// Modeled cost of touching one faulted page before resubmission
+/// (mirrors `nx_sys::erat`'s 150 ns per touch at 2.5 GHz).
+const TOUCH_CYCLES_PER_PAGE: u64 = 375;
+
+/// Request-local span emission: a cursor over one request's private
+/// cycle timeline. Timelines start at cycle 0 for every request — the
+/// property that keeps trace dumps byte-identical across runs no matter
+/// how threads interleave.
+pub(crate) struct Trace<'a> {
+    sink: &'a TelemetrySink,
+    request: u64,
+    seq: u32,
+    cursor: u64,
+}
+
+impl<'a> Trace<'a> {
+    pub(crate) fn begin(sink: &'a TelemetrySink) -> Self {
+        let request = if sink.is_enabled() {
+            sink.begin_request()
+        } else {
+            0
+        };
+        Self {
+            sink,
+            request,
+            seq: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Emits a span at the cursor and advances it by `dur` cycles.
+    pub(crate) fn span(&mut self, stage: Stage, dur: u64, bytes: u64, detail: u64) {
+        self.sink.emit(
+            self.request,
+            self.seq,
+            stage,
+            0,
+            self.cursor,
+            dur,
+            bytes,
+            detail,
+        );
+        self.seq += 1;
+        self.cursor += dur;
+    }
+
+    /// Closes the timeline: a `complete` span plus the request-latency
+    /// and bytes histograms.
+    pub(crate) fn finish(&mut self, bytes: u64) {
+        self.span(Stage::Complete, COMPLETE_CYCLES, bytes, 0);
+        self.sink.record_request(self.cursor, bytes);
+    }
+}
 
 /// Errors surfaced by the facade.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +211,8 @@ pub struct Decompressed {
 /// loop can run its integrity check over either direction.
 trait Payload {
     fn payload_ref(&self) -> &[u8];
+    /// Modeled engine cycles this result cost (for `engine` spans).
+    fn engine_cycles(&self) -> u64;
     fn payload_len(&self) -> usize {
         self.payload_ref().len()
     }
@@ -160,11 +225,17 @@ impl Payload for Compressed {
     fn payload_ref(&self) -> &[u8] {
         &self.bytes
     }
+    fn engine_cycles(&self) -> u64 {
+        self.report.cycles
+    }
 }
 
 impl Payload for Decompressed {
     fn payload_ref(&self) -> &[u8] {
         &self.bytes
+    }
+    fn engine_cycles(&self) -> u64 {
+        self.report.cycles
     }
 }
 
@@ -178,6 +249,7 @@ pub struct Nx {
     stats: Arc<NxStats>,
     config: AccelConfig,
     faults: Option<Arc<FaultInjector>>,
+    telemetry: TelemetrySink,
 }
 
 impl Nx {
@@ -188,6 +260,7 @@ impl Nx {
             stats: Arc::new(NxStats::new()),
             config,
             faults: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 
@@ -206,7 +279,33 @@ impl Nx {
             stats: Arc::new(NxStats::new()),
             config,
             faults: Some(Arc::new(FaultInjector::new(plan, policy))),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: every request stage emits a span, the
+    /// core latency/size histograms record, and this handle's [`NxStats`]
+    /// (plus fault stats, when faulted) register as pull sources on the
+    /// sink's registry. Sessions opened afterwards inherit the sink.
+    ///
+    /// A [`TelemetrySink::disabled`] sink (the default) reduces every
+    /// instrumentation point to a null check — E19 holds the enabled
+    /// overhead under 5%.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        if let Some(reg) = sink.registry() {
+            reg.register_source("nx-stats", Arc::clone(&self.stats) as Arc<dyn MetricSource>);
+            if let Some(inj) = &self.faults {
+                reg.register_source("nx-fault-stats", Arc::clone(inj) as Arc<dyn MetricSource>);
+            }
+        }
+        self.telemetry = sink;
+        self
+    }
+
+    /// The telemetry sink in force (disabled unless
+    /// [`with_telemetry`](Self::with_telemetry) attached one).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The fault injector, if this handle was built with one.
@@ -248,10 +347,18 @@ impl Nx {
     /// job-submission failures (queue shutdown) shared with the async
     /// path.
     pub fn compress(&self, data: &[u8], format: Format) -> Result<Compressed> {
-        match self.faults.clone() {
-            None => self.compress_accel(data, format),
-            Some(inj) => self.compress_recovering(data, format, &inj),
-        }
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+        let out = match self.faults.clone() {
+            None => {
+                let out = self.compress_accel(data, format)?;
+                trace.span(Stage::Engine, out.report.cycles, data.len() as u64, 0);
+                out
+            }
+            Some(inj) => self.compress_recovering(data, format, &inj, &mut trace)?,
+        };
+        trace.finish(out.bytes.len() as u64);
+        Ok(out)
     }
 
     /// Decompresses `format`-framed `data` on the accelerator.
@@ -264,18 +371,30 @@ impl Nx {
     /// [`Error::QueueOverflow`], [`Error::CorruptedOutput`]) when
     /// software fallback is disabled.
     pub fn decompress(&self, data: &[u8], format: Format) -> Result<Decompressed> {
-        match self.faults.clone() {
-            None => self.decompress_accel(data, format),
-            Some(inj) => self.decompress_recovering(data, format, &inj),
-        }
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+        let out = match self.faults.clone() {
+            None => {
+                let out = self.decompress_accel(data, format)?;
+                trace.span(Stage::Engine, out.report.cycles, data.len() as u64, 0);
+                out
+            }
+            Some(inj) => self.decompress_recovering(data, format, &inj, &mut trace)?,
+        };
+        trace.finish(out.bytes.len() as u64);
+        Ok(out)
     }
 
     /// The direct accelerator compression path (no injection checks).
     fn compress_accel(&self, data: &[u8], format: Format) -> Result<Compressed> {
         let (raw, report) = self.inner.lock().compress(data);
         let bytes = framing::wrap(raw, data, format);
-        self.stats
-            .record_compress(data.len() as u64, bytes.len() as u64, report.cycles);
+        self.stats.record_compress(
+            Codec::Deflate,
+            data.len() as u64,
+            bytes.len() as u64,
+            report.cycles,
+        );
         Ok(Compressed { bytes, report })
     }
 
@@ -284,8 +403,12 @@ impl Nx {
         let payload = framing::unwrap(data, format)?;
         let (bytes, report) = self.inner.lock().decompress(payload.deflate_stream)?;
         payload.verify(&bytes)?;
-        self.stats
-            .record_decompress(data.len() as u64, bytes.len() as u64, report.cycles);
+        self.stats.record_decompress(
+            Codec::Deflate,
+            data.len() as u64,
+            bytes.len() as u64,
+            report.cycles,
+        );
         Ok(Decompressed { bytes, report })
     }
 
@@ -293,8 +416,9 @@ impl Nx {
     /// (bytes differ from the accelerator's but decode identically).
     fn compress_software(&self, data: &[u8], format: Format) -> Compressed {
         let bytes = software::compress(data, nx_deflate::CompressionLevel::default(), format);
+        self.stats.record_software_fallback();
         self.stats
-            .record_compress(data.len() as u64, bytes.len() as u64, 0);
+            .record_compress(Codec::Deflate, data.len() as u64, bytes.len() as u64, 0);
         Compressed {
             report: CompressReport {
                 config_name: "software-fallback",
@@ -319,8 +443,9 @@ impl Nx {
     /// accelerator path (both implement RFC 1951 exactly).
     fn decompress_software(&self, data: &[u8], format: Format) -> Result<Decompressed> {
         let bytes = software::decompress(data, format)?;
+        self.stats.record_software_fallback();
         self.stats
-            .record_decompress(data.len() as u64, bytes.len() as u64, 0);
+            .record_decompress(Codec::Deflate, data.len() as u64, bytes.len() as u64, 0);
         Ok(Decompressed {
             report: DecompressReport {
                 config_name: "software-fallback",
@@ -343,12 +468,16 @@ impl Nx {
         data: &[u8],
         format: Format,
         inj: &Arc<FaultInjector>,
+        trace: &mut Trace<'_>,
     ) -> Result<Compressed> {
-        match self.recover(data, fault::Site::Compress, inj, |nx| {
+        match self.recover(data, fault::Site::Compress, inj, trace, |nx| {
             nx.compress_accel(data, format)
         })? {
             Some(out) => Ok(out),
-            None => Ok(self.compress_software(data, format)),
+            None => {
+                trace.span(Stage::Fallback, 0, data.len() as u64, 0);
+                Ok(self.compress_software(data, format))
+            }
         }
     }
 
@@ -357,12 +486,16 @@ impl Nx {
         data: &[u8],
         format: Format,
         inj: &Arc<FaultInjector>,
+        trace: &mut Trace<'_>,
     ) -> Result<Decompressed> {
-        match self.recover(data, fault::Site::Decompress, inj, |nx| {
+        match self.recover(data, fault::Site::Decompress, inj, trace, |nx| {
             nx.decompress_accel(data, format)
         })? {
             Some(out) => Ok(out),
-            None => self.decompress_software(data, format),
+            None => {
+                trace.span(Stage::Fallback, 0, data.len() as u64, 0);
+                self.decompress_software(data, format)
+            }
         }
     }
 
@@ -378,12 +511,14 @@ impl Nx {
         data: &[u8],
         site: fault::Site,
         inj: &Arc<FaultInjector>,
+        trace: &mut Trace<'_>,
         run: impl Fn(&Self) -> Result<T>,
     ) -> Result<Option<T>> {
         use fault::FaultKind;
         let policy = *inj.policy();
         let req = inj.begin_request();
         let stats = inj.stats();
+        let freq = self.config.freq_ghz;
         let mut resident_pages = 0u64;
         let mut attempt = 0u32;
         let mut last_fault = None;
@@ -405,7 +540,14 @@ impl Nx {
                     // Transient: back off (capped exponential) and retry
                     // the whole submission.
                     stats.bump(&stats.retries);
+                    self.stats.record_retry();
                     inj.take_backoff(attempt);
+                    trace.span(
+                        Stage::Retry,
+                        duration_to_cycles(policy.backoff(attempt), freq),
+                        0,
+                        u64::from(attempt),
+                    );
                     last_fault = Some(f);
                     attempt += 1;
                     continue;
@@ -415,8 +557,16 @@ impl Nx {
                     // window) and resubmit; everything up to the touched
                     // frontier is now resident and cannot fault again.
                     if let FaultKind::PageFault { offset } = f {
-                        resident_pages =
+                        let newly_resident =
                             (offset / fault::PAGE_BYTES) + 1 + u64::from(policy.touch_ahead_pages);
+                        let touched = newly_resident.saturating_sub(resident_pages);
+                        trace.span(
+                            Stage::EratTouch,
+                            touched * TOUCH_CYCLES_PER_PAGE,
+                            touched * fault::PAGE_BYTES,
+                            offset / fault::PAGE_BYTES,
+                        );
+                        resident_pages = newly_resident;
                     }
                     stats.bump(&stats.resubmissions);
                     last_fault = Some(f);
@@ -428,6 +578,7 @@ impl Nx {
                     // library resubmits the remainder (modeled as a full
                     // resubmission).
                     stats.bump(&stats.resubmissions);
+                    trace.span(Stage::Retry, SUBMIT_CYCLES, 0, u64::from(attempt));
                     last_fault = Some(f);
                     attempt += 1;
                     continue;
@@ -440,6 +591,12 @@ impl Nx {
             // Clean submission: run the engine. Genuine input errors are
             // not transient — surface them immediately, no retry.
             let out = run(self)?;
+            trace.span(
+                Stage::Engine,
+                out.engine_cycles(),
+                data.len() as u64,
+                u64::from(attempt),
+            );
             // Modeled output-integrity check: the engine CRCs its output
             // stream; an injected in-flight corruption must be caught
             // here and never escape to the caller.
@@ -450,7 +607,14 @@ impl Nx {
                     stats.bump(&stats.corruptions_detected);
                 }
                 stats.bump(&stats.retries);
+                self.stats.record_retry();
                 inj.take_backoff(attempt);
+                trace.span(
+                    Stage::Retry,
+                    duration_to_cycles(policy.backoff(attempt), freq),
+                    0,
+                    u64::from(attempt),
+                );
                 last_fault = Some(k);
                 attempt += 1;
                 continue;
@@ -471,30 +635,73 @@ impl Nx {
         })
     }
 
-    /// Compresses with the 842 memory-compression engine.
+    /// Compresses with the 842 memory-compression engine. Cycles are
+    /// priced by the 842 engine model (`nx_842::model`) from the
+    /// encoder's op mix, so mixed 842/DEFLATE workloads report real
+    /// throughput for both engines.
     pub fn compress_842(&self, data: &[u8]) -> Vec<u8> {
-        let out = nx_842::compress(data);
-        self.stats
-            .record_compress(data.len() as u64, out.len() as u64, 0);
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+        let (out, enc_stats) = nx_842::compress_with_stats(data);
+        let report = nx_842::model::compress_cycles(
+            &nx_842::model::EngineConfig::power9(),
+            &enc_stats,
+            data.len() as u64,
+        );
+        self.stats.record_compress(
+            Codec::P842,
+            data.len() as u64,
+            out.len() as u64,
+            report.cycles,
+        );
+        trace.span(Stage::Engine, report.cycles, data.len() as u64, 0);
+        trace.finish(out.len() as u64);
         out
     }
 
-    /// Decompresses an 842 stream.
+    /// Decompresses an 842 stream. Cycles come from the 842 engine
+    /// model's decode path (one template per cycle through the copy
+    /// network, runs bursting on the fast path).
     ///
     /// # Errors
     ///
     /// [`Error::P842`] if the stream is malformed.
     pub fn decompress_842(&self, data: &[u8]) -> Result<Vec<u8>> {
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
         let out = nx_842::decompress(data)?;
-        self.stats
-            .record_decompress(data.len() as u64, out.len() as u64, 0);
+        // The decoder doesn't report its op mix; price the request as
+        // all-template chunks (the conservative path — runs only go
+        // faster), which is exact for template-only streams.
+        let dec_stats = nx_842::CompressStats {
+            chunks: (out.len() as u64).div_ceil(8),
+            output_bytes: data.len() as u64,
+            ..nx_842::CompressStats::default()
+        };
+        let report = nx_842::model::decompress_cycles(
+            &nx_842::model::EngineConfig::power9(),
+            &dec_stats,
+            out.len() as u64,
+        );
+        self.stats.record_decompress(
+            Codec::P842,
+            data.len() as u64,
+            out.len() as u64,
+            report.cycles,
+        );
+        trace.span(Stage::Engine, report.cycles, data.len() as u64, 0);
+        trace.finish(out.len() as u64);
         Ok(out)
     }
 
     /// Opens an asynchronous session: jobs are queued to a dedicated
     /// engine thread, as with POWER9's asynchronous CRB submission.
     pub fn async_session(&self) -> AsyncSession {
-        AsyncSession::spawn(self.config.clone(), Arc::clone(&self.stats))
+        AsyncSession::spawn(
+            self.config.clone(),
+            Arc::clone(&self.stats),
+            self.telemetry.clone(),
+        )
     }
 
     /// Opens an asynchronous session whose queue holds at most `depth`
@@ -502,7 +709,12 @@ impl Nx {
     /// [`AsyncSession::try_submit`] surfaces a full queue as
     /// [`Error::QueueOverflow`].
     pub fn async_session_bounded(&self, depth: usize) -> AsyncSession {
-        AsyncSession::spawn_bounded(self.config.clone(), Arc::clone(&self.stats), depth)
+        AsyncSession::spawn_bounded(
+            self.config.clone(),
+            Arc::clone(&self.stats),
+            self.telemetry.clone(),
+            depth,
+        )
     }
 
     /// Opens a sharded parallel compression session at `level`: one
@@ -511,7 +723,13 @@ impl Nx {
     /// in this handle's [`NxStats`]. See [`parallel`] for the stream
     /// construction.
     pub fn parallel_session(&self, opts: parallel::ParallelOptions, level: u32) -> ParallelSession {
-        ParallelSession::new(opts, level, Arc::clone(&self.stats), self.faults.clone())
+        ParallelSession::new(
+            opts,
+            level,
+            Arc::clone(&self.stats),
+            self.faults.clone(),
+            self.telemetry.clone(),
+        )
     }
 
     /// Compresses with an explicit target-buffer capacity, reproducing the

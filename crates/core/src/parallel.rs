@@ -44,12 +44,14 @@
 
 use crate::fault::FaultInjector;
 use crate::framing::Format;
+use crate::stats::Codec;
 use crate::{software, Error, NxStats, Result};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use nx_deflate::adler32::{adler32, adler32_combine};
 use nx_deflate::crc32::{crc32, crc32_combine};
 use nx_deflate::stream::{Flush, StreamEncoder};
 use nx_deflate::{gzip, zlib, CompressionLevel};
+use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -65,6 +67,12 @@ const POOL_PROBE: Duration = Duration::from_millis(200);
 
 /// Dictionary carried between shards: one DEFLATE window.
 const DICT_SIZE: usize = nx_deflate::WINDOW_SIZE;
+
+/// Modeled engine streaming rate for shard spans: 8 input bytes per
+/// cycle (the paper's 16 GB/s at the 2 GHz nest clock). Shard timelines
+/// are *modeled* — deterministic functions of shard index and size —
+/// never wall clock, so trace dumps replay byte-identically.
+const SHARD_BYTES_PER_CYCLE: u64 = 8;
 
 /// Configuration for a [`ParallelEngine`].
 #[derive(Debug, Clone)]
@@ -92,6 +100,8 @@ struct Job {
     seq: usize,
     /// Request index for fault-plan coordinates.
     request: u64,
+    /// Request index for span-trace coordinates (sink-allocated).
+    trace_request: u64,
     input: Arc<Vec<u8>>,
     chunk: Range<usize>,
     dict: Range<usize>,
@@ -128,9 +138,22 @@ pub struct ParallelStats {
     bytes_out: AtomicU64,
     serial_fallbacks: AtomicU64,
     worker_panics: AtomicU64,
+    /// Shards compressed by each worker (index = worker id). Exposes the
+    /// pool's load balance; sums to `shards` minus failed/injected ones.
+    worker_shards: Vec<AtomicU64>,
+    /// Input bytes compressed by each worker.
+    worker_bytes: Vec<AtomicU64>,
 }
 
 impl ParallelStats {
+    fn with_workers(n: usize) -> Self {
+        Self {
+            worker_shards: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            worker_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
     /// Completed `compress` calls.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
@@ -162,6 +185,66 @@ impl ParallelStats {
     pub fn worker_panics(&self) -> u64 {
         self.worker_panics.load(Ordering::Relaxed)
     }
+
+    /// Shards compressed by each worker (index = worker id).
+    pub fn worker_shards(&self) -> Vec<u64> {
+        self.worker_shards
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Input bytes compressed by each worker (index = worker id).
+    pub fn worker_bytes(&self) -> Vec<u64> {
+        self.worker_bytes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl MetricSource for ParallelStats {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        out.push((
+            "nx_parallel_requests_total".into(),
+            MetricValue::Counter(self.requests()),
+        ));
+        out.push((
+            "nx_parallel_shards_total".into(),
+            MetricValue::Counter(self.shards()),
+        ));
+        out.push((
+            "nx_parallel_bytes_in_total".into(),
+            MetricValue::Counter(self.bytes_in()),
+        ));
+        out.push((
+            "nx_parallel_bytes_out_total".into(),
+            MetricValue::Counter(self.bytes_out()),
+        ));
+        out.push((
+            "nx_parallel_serial_fallbacks_total".into(),
+            MetricValue::Counter(self.serial_fallbacks()),
+        ));
+        out.push((
+            "nx_parallel_worker_panics_total".into(),
+            MetricValue::Counter(self.worker_panics()),
+        ));
+        for (i, (shards, bytes)) in self
+            .worker_shards()
+            .into_iter()
+            .zip(self.worker_bytes())
+            .enumerate()
+        {
+            out.push((
+                format!("nx_parallel_worker_shards_total{{worker=\"{i}\"}}"),
+                MetricValue::Counter(shards),
+            ));
+            out.push((
+                format!("nx_parallel_worker_bytes_total{{worker=\"{i}\"}}"),
+                MetricValue::Counter(bytes),
+            ));
+        }
+    }
 }
 
 /// A persistent pool of compression workers producing single valid
@@ -175,13 +258,14 @@ pub struct ParallelEngine {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ParallelStats>,
     faults: Option<Arc<FaultInjector>>,
+    telemetry: TelemetrySink,
 }
 
 impl ParallelEngine {
     /// Spawns the worker pool.
     pub fn new(mut opts: ParallelOptions) -> Self {
         opts.workers = opts.workers.max(1);
-        Self::spawn(opts, None)
+        Self::spawn(opts, None, TelemetrySink::disabled())
     }
 
     /// Spawns the worker pool, rejecting a zero-worker configuration with
@@ -190,7 +274,7 @@ impl ParallelEngine {
         if opts.workers == 0 {
             return Err(Error::NoWorkers);
         }
-        Ok(Self::spawn(opts, None))
+        Ok(Self::spawn(opts, None, TelemetrySink::disabled()))
     }
 
     /// Spawns the worker pool under fault injection: the injector's plan
@@ -199,21 +283,50 @@ impl ParallelEngine {
     /// serial fallback.
     pub fn with_faults(mut opts: ParallelOptions, faults: Arc<FaultInjector>) -> Self {
         opts.workers = opts.workers.max(1);
-        Self::spawn(opts, Some(faults))
+        Self::spawn(opts, Some(faults), TelemetrySink::disabled())
     }
 
-    fn spawn(mut opts: ParallelOptions, faults: Option<Arc<FaultInjector>>) -> Self {
+    /// Spawns the worker pool with span tracing and metrics wired to
+    /// `sink`. Shard spans are modeled (a deterministic function of shard
+    /// index and size — see [`SHARD_BYTES_PER_CYCLE`]'s docs), so trace
+    /// dumps are identical across runs regardless of thread scheduling.
+    pub fn with_telemetry(
+        mut opts: ParallelOptions,
+        faults: Option<Arc<FaultInjector>>,
+        sink: TelemetrySink,
+    ) -> Self {
+        opts.workers = opts.workers.max(1);
+        Self::spawn(opts, faults, sink)
+    }
+
+    fn spawn(
+        mut opts: ParallelOptions,
+        faults: Option<Arc<FaultInjector>>,
+        sink: TelemetrySink,
+    ) -> Self {
         opts.chunk_size = opts.chunk_size.max(1);
-        let stats = Arc::new(ParallelStats::default());
+        let stats = Arc::new(ParallelStats::with_workers(opts.workers));
+        if let Some(reg) = sink.registry() {
+            reg.register_source(
+                "nx-parallel-stats",
+                Arc::clone(&stats) as Arc<dyn MetricSource>,
+            );
+        }
         // A small bounded queue: submission applies backpressure instead
         // of buffering every pending shard descriptor at once.
         let (job_tx, job_rx) = bounded::<Job>(opts.workers * 2);
         let workers = (0..opts.workers)
-            .map(|_| {
+            .map(|worker_id| {
                 let rx = job_rx.clone();
                 let inj = faults.clone();
                 let st = Arc::clone(&stats);
-                std::thread::spawn(move || worker_loop(rx, inj, st))
+                let tel = sink.clone();
+                let shape = WorkerShape {
+                    worker_id: worker_id as u32,
+                    workers: opts.workers as u64,
+                    chunk_size: opts.chunk_size as u64,
+                };
+                std::thread::spawn(move || worker_loop(rx, inj, st, tel, shape))
             })
             .collect();
         Self {
@@ -222,6 +335,7 @@ impl ParallelEngine {
             workers,
             stats,
             faults,
+            telemetry: sink,
         }
     }
 
@@ -277,6 +391,11 @@ impl ParallelEngine {
         let shards = shard_ranges(data.len(), self.opts.chunk_size);
         let njobs = shards.len();
         let request = self.faults.as_ref().map_or(0, |inj| inj.begin_request());
+        let trace_request = if self.telemetry.is_enabled() {
+            self.telemetry.begin_request()
+        } else {
+            0
+        };
         // One shared copy of the input; shards borrow ranges of it.
         let input = Arc::new(data.to_vec());
         let (done_tx, done_rx) = bounded::<ShardOut>(njobs);
@@ -289,6 +408,7 @@ impl ParallelEngine {
                 Job {
                     seq,
                     request,
+                    trace_request,
                     input: Arc::clone(&input),
                     chunk,
                     dict,
@@ -431,7 +551,22 @@ fn shard_ranges(len: usize, chunk_size: usize) -> Vec<Range<usize>> {
 /// a genuine panic inside compression is contained to a failed-shard
 /// marker so one bad shard poisons neither the channel nor the encoder
 /// reused by later shards.
-fn worker_loop(rx: Receiver<Job>, faults: Option<Arc<FaultInjector>>, stats: Arc<ParallelStats>) {
+/// Static pool geometry a worker needs to place its shard spans on the
+/// modeled timeline.
+#[derive(Clone, Copy)]
+struct WorkerShape {
+    worker_id: u32,
+    workers: u64,
+    chunk_size: u64,
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    faults: Option<Arc<FaultInjector>>,
+    stats: Arc<ParallelStats>,
+    sink: TelemetrySink,
+    shape: WorkerShape,
+) {
     let mut enc: Option<StreamEncoder> = None;
     for job in rx.iter() {
         if let Some(inj) = &faults {
@@ -455,6 +590,33 @@ fn worker_loop(rx: Receiver<Job>, faults: Option<Arc<FaultInjector>>, stats: Arc
                 None
             }
         };
+        if data.is_some() {
+            stats.worker_shards[shape.worker_id as usize].fetch_add(1, Ordering::Relaxed);
+            stats.worker_bytes[shape.worker_id as usize]
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            if sink.is_enabled() {
+                // Modeled timeline: round-robin waves of full chunks, so
+                // shard `seq` starts after `seq / workers` earlier waves
+                // each costing `chunk_size / rate` cycles, on modeled
+                // unit `seq % workers`. Deterministic in (seq, size)
+                // alone — never the actual schedule; the real load
+                // balance lives in the per-worker counters instead.
+                let wave_cycles = (shape.chunk_size / SHARD_BYTES_PER_CYCLE).max(1);
+                let start = (job.seq as u64 / shape.workers) * wave_cycles;
+                let dur = (chunk.len() as u64 / SHARD_BYTES_PER_CYCLE).max(1);
+                sink.emit(
+                    job.trace_request,
+                    job.seq as u32,
+                    Stage::Shard,
+                    (job.seq as u64 % shape.workers) as u32,
+                    start,
+                    dur,
+                    chunk.len() as u64,
+                    0,
+                );
+                sink.record_shard(dur);
+            }
+        }
         // A receiver that gave up (fallback path) is not our problem;
         // drop the result.
         let _ = job.done.send(ShardOut { seq: job.seq, data });
@@ -537,11 +699,9 @@ impl ParallelSession {
         level: u32,
         stats: Arc<NxStats>,
         faults: Option<Arc<FaultInjector>>,
+        sink: TelemetrySink,
     ) -> Self {
-        let engine = match faults {
-            Some(f) => ParallelEngine::with_faults(opts, f),
-            None => ParallelEngine::new(opts),
-        };
+        let engine = ParallelEngine::with_telemetry(opts, faults, sink);
         Self {
             engine,
             stats,
@@ -567,7 +727,7 @@ impl ParallelSession {
     pub fn compress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
         let out = self.engine.compress(data, self.level, format)?;
         self.stats
-            .record_compress(data.len() as u64, out.len() as u64, 0);
+            .record_compress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
         Ok(out)
     }
 
@@ -580,7 +740,7 @@ impl ParallelSession {
     pub fn decompress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
         let out = self.engine.decompress(data, format)?;
         self.stats
-            .record_decompress(data.len() as u64, out.len() as u64, 0);
+            .record_decompress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
         Ok(out)
     }
 }

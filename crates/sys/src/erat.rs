@@ -74,6 +74,15 @@ impl FaultPolicy {
             _ => 1,
         }
     }
+
+    /// Short stable identifier for metric labels and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultPolicy::RetryOnFault { .. } => "retry_on_fault",
+            FaultPolicy::TouchFirst { .. } => "touch_first",
+            FaultPolicy::TouchAhead { .. } => "touch_ahead",
+        }
+    }
 }
 
 /// Outcome of planning translations for one submission attempt.

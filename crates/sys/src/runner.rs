@@ -15,6 +15,7 @@ use crate::erat::{self, FaultPolicy, FAULT_RESOLUTION};
 use crate::vas::{PASTE_LATENCY, SUBMIT_CPU_CYCLES};
 use crate::workload::{Request, RequestStream};
 use nx_sim::{EventQueue, FifoStation, Percentiles, SerialLink, SimRng, SimTime};
+use nx_telemetry::{MetricsRegistry, Stage, TelemetrySink};
 
 /// One accelerator unit's resources.
 #[derive(Debug)]
@@ -42,6 +43,8 @@ struct Job {
     /// Stable request index — the injected-fault plan's request
     /// coordinate.
     index: u64,
+    /// Span-trace request id (sink-allocated; 0 when tracing is off).
+    trace: u64,
 }
 
 /// Aggregated results of one simulation run.
@@ -99,6 +102,39 @@ impl ExperimentResult {
         }
         self.cpu_cycles as f64 / self.input_bytes as f64
     }
+
+    /// Folds this run's aggregate counters into `registry` under the
+    /// `nx_sys_*` namespace. Counters accumulate across runs; the peak
+    /// gauge keeps the maximum seen.
+    pub fn record_into(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("nx_sys_completed_total")
+            .add(self.completed);
+        registry.counter("nx_sys_faults_total").add(self.faults);
+        registry
+            .counter("nx_sys_input_bytes_total")
+            .add(self.input_bytes);
+        registry
+            .counter("nx_sys_output_bytes_total")
+            .add(self.output_bytes);
+        registry
+            .counter("nx_sys_cpu_cycles_total")
+            .add(self.cpu_cycles);
+        registry
+            .counter("nx_sys_paste_rejections_total")
+            .add(self.paste_rejections);
+        registry
+            .counter("nx_sys_csb_errors_total")
+            .add(self.csb_errors);
+        registry.counter("nx_sys_retries_total").add(self.retries);
+        let peak = registry.gauge("nx_sys_peak_outstanding");
+        if (self.peak_outstanding as i64) > peak.get() {
+            peak.set(self.peak_outstanding as i64);
+        }
+        registry
+            .counter("nx_sys_makespan_us_total")
+            .add(self.makespan.as_us_f64() as u64);
+    }
 }
 
 /// The system simulator for one topology.
@@ -116,6 +152,8 @@ pub struct SystemSim {
     /// Deterministic injected-fault schedule (error CSBs, timeouts)
     /// layered on top of the stochastic page-fault model.
     injected: Option<nx_core::fault::FaultPlan>,
+    /// Span/metric sink; disabled by default (near-zero cost).
+    telemetry: TelemetrySink,
 }
 
 impl SystemSim {
@@ -155,7 +193,22 @@ impl SystemSim {
             next_unit: 0,
             window_credits: u32::MAX,
             injected: None,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Wires span tracing and histograms to `sink`. Span timestamps are
+    /// the simulation clock converted to core cycles, so traces from the
+    /// same seed and topology are byte-identical run to run.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// Simulation time → modeled core cycles (the span-trace domain).
+    fn cycles(&self, t: SimTime) -> u64 {
+        let per_us = (self.core_ghz * 1000.0) as u128;
+        (t.as_ps() as u128 * per_us / 1_000_000) as u64
     }
 
     /// Injects the faults `plan` schedules (error CSBs, submission
@@ -187,9 +240,15 @@ impl SystemSim {
 
     /// Runs the simulation over `stream` to completion.
     pub fn run(&mut self, stream: &RequestStream) -> ExperimentResult {
+        let traced = self.telemetry.is_enabled();
         let mut q: EventQueue<Job> = EventQueue::new();
         for (index, r) in stream.requests().iter().enumerate() {
             let unit = self.route();
+            let trace = if traced {
+                self.telemetry.begin_request()
+            } else {
+                0
+            };
             q.schedule(
                 r.arrival,
                 Job {
@@ -200,6 +259,7 @@ impl SystemSim {
                     resident_pages: 0,
                     index: index as u64,
                     req: r.clone(),
+                    trace,
                 },
             );
         }
@@ -240,7 +300,21 @@ impl SystemSim {
                         .peek()
                         .map(|std::cmp::Reverse(f)| *f)
                         .expect("window full implies outstanding jobs");
-                    q.schedule(free_at.max(now) + crate::vas::PASTE_RETRY_BACKOFF, job);
+                    let retry_at = free_at.max(now) + crate::vas::PASTE_RETRY_BACKOFF;
+                    if traced {
+                        // detail=1: retry caused by a rejected paste.
+                        self.telemetry.emit(
+                            job.trace,
+                            job.attempts,
+                            Stage::Retry,
+                            job.unit as u32,
+                            self.cycles(now),
+                            self.cycles(retry_at - now),
+                            0,
+                            1,
+                        );
+                    }
+                    q.schedule(retry_at, job);
                     continue;
                 }
             }
@@ -278,7 +352,21 @@ impl SystemSim {
                         .outstanding
                         .push(std::cmp::Reverse(fin));
                     result.cpu_cycles += SUBMIT_CPU_CYCLES;
-                    q.schedule(fin + self.completion.notification_latency() + backoff, job);
+                    let resume = fin + self.completion.notification_latency() + backoff;
+                    if traced {
+                        // detail=2: retry caused by an error CSB / timeout.
+                        self.telemetry.emit(
+                            job.trace,
+                            job.attempts,
+                            Stage::Retry,
+                            job.unit as u32,
+                            self.cycles(now),
+                            self.cycles(resume - now),
+                            0,
+                            2,
+                        );
+                    }
+                    q.schedule(resume, job);
                     continue;
                 }
             }
@@ -292,6 +380,18 @@ impl SystemSim {
             let submit = now + plan.pre_submit + PASTE_LATENCY;
             result.cpu_cycles +=
                 SUBMIT_CPU_CYCLES + (plan.pre_submit.as_secs_f64() * self.core_ghz * 1e9) as u64;
+            if traced {
+                self.telemetry.emit(
+                    job.trace,
+                    job.attempts,
+                    Stage::Submit,
+                    job.unit as u32,
+                    self.cycles(now),
+                    self.cycles(submit - now),
+                    job.remaining,
+                    job.attempts as u64,
+                );
+            }
 
             // The engine stops at the first faulting page (if any).
             let (processed, faulted) = match plan.fault_at {
@@ -304,7 +404,7 @@ impl SystemSim {
                 None => (job.remaining, false),
             };
 
-            let finish = if processed > 0 {
+            let (engine_start, finish) = if processed > 0 {
                 let service = self
                     .cost
                     .service_time(job.req.function, job.req.corpus, processed);
@@ -318,15 +418,37 @@ impl SystemSim {
                 let (_, wf) = unit.dma_write.transfer(dma_start, out);
                 let (_, cf) = self.chip_links[unit.chip].transfer(dma_start, processed + out);
                 result.output_bytes += out;
-                engine_fin.max(rf).max(wf).max(cf)
+                (start, engine_fin.max(rf).max(wf).max(cf))
             } else {
                 // Fault recognized at job start: a short engine occupancy
                 // for the aborted attempt.
-                let (_, fin) = self.units[job.unit]
+                let (start, fin) = self.units[job.unit]
                     .engine
                     .submit(submit, SimTime::from_ns(500));
-                fin
+                (start, fin)
             };
+            if traced {
+                self.telemetry.emit(
+                    job.trace,
+                    job.attempts,
+                    Stage::QueueWait,
+                    job.unit as u32,
+                    self.cycles(submit),
+                    self.cycles(engine_start - submit),
+                    0,
+                    job.attempts as u64,
+                );
+                self.telemetry.emit(
+                    job.trace,
+                    job.attempts,
+                    Stage::Engine,
+                    job.unit as u32,
+                    self.cycles(engine_start),
+                    self.cycles(finish - engine_start),
+                    processed,
+                    job.attempts as u64,
+                );
+            }
             // The job holds its window credit until the CSB posts.
             self.units[job.unit]
                 .outstanding
@@ -349,6 +471,18 @@ impl SystemSim {
                     .completion
                     .cpu_wait_cycles(finish + notify - now, self.core_ghz)
                     + (touch_time.as_secs_f64() * self.core_ghz * 1e9) as u64;
+                if traced {
+                    self.telemetry.emit(
+                        job.trace,
+                        job.attempts,
+                        Stage::EratTouch,
+                        job.unit as u32,
+                        self.cycles(finish + notify),
+                        self.cycles(FAULT_RESOLUTION + touch_time),
+                        touched * erat::PAGE_BYTES,
+                        job.attempts as u64,
+                    );
+                }
                 q.schedule(finish + notify + FAULT_RESOLUTION + touch_time, job);
                 continue;
             }
@@ -363,6 +497,20 @@ impl SystemSim {
             result.cpu_cycles += self
                 .completion
                 .cpu_wait_cycles(observed - now, self.core_ghz);
+            if traced {
+                self.telemetry.emit(
+                    job.trace,
+                    job.attempts,
+                    Stage::Complete,
+                    job.unit as u32,
+                    self.cycles(finish),
+                    self.cycles(observed - finish),
+                    job.req.bytes,
+                    job.attempts as u64,
+                );
+                self.telemetry
+                    .record_request(self.cycles(observed - job.first_arrival), job.req.bytes);
+            }
         }
         result
     }

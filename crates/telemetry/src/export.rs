@@ -1,0 +1,300 @@
+//! Exporters: Prometheus text, JSON snapshot, Chrome trace-event JSON.
+//!
+//! All three are deterministic functions of their input — the registry
+//! snapshot is already name-sorted and the trace dump span-sorted, so two
+//! identical runs export byte-identical text. Everything is hand-rolled
+//! (the crate has no dependencies); only the tiny JSON subset actually
+//! produced here is implemented.
+//!
+//! Metric names may carry baked-in Prometheus labels, e.g.
+//! `nx_compress_bytes_total{format="deflate"}`; the Prometheus exporter
+//! splits them back out when emitting histogram series so the `le` label
+//! composes correctly.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricValue;
+use crate::span::SpanEvent;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits `name{label="v"}` into `(name, Some(label="v"))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.rfind('}')) {
+        (Some(open), Some(close)) if close > open => (&name[..open], Some(&name[open + 1..close])),
+        _ => (name, None),
+    }
+}
+
+/// Joins base labels with an extra `le` label for histogram buckets.
+fn bucket_series(base: &str, labels: Option<&str>, le: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{base}_bucket{{{l},le=\"{le}\"}}"),
+        _ => format!("{base}_bucket{{le=\"{le}\"}}"),
+    }
+}
+
+fn suffixed(base: &str, labels: Option<&str>, suffix: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{base}{suffix}{{{l}}}"),
+        _ => format!("{base}{suffix}"),
+    }
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges emit one sample each; histograms emit cumulative
+/// `_bucket{le=...}` series plus `_sum` and `_count`, ending with the
+/// conventional `le="+Inf"` bucket.
+pub fn to_prometheus(snapshot: &[(String, MetricValue)]) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot {
+        let (base, labels) = split_labels(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {base} counter\n{name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {base} gauge\n{name} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                let mut cumulative = 0u64;
+                for b in &h.buckets {
+                    cumulative += b.count;
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        bucket_series(base, labels, &b.le.to_string()),
+                        cumulative
+                    ));
+                }
+                out.push_str(&format!(
+                    "{} {}\n",
+                    bucket_series(base, labels, "+Inf"),
+                    h.count
+                ));
+                out.push_str(&format!("{} {}\n", suffixed(base, labels, "_sum"), h.sum));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    suffixed(base, labels, "_count"),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|b| format!("{{\"le\":{},\"count\":{}}}", b.le, b.count))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.p50,
+        h.p90,
+        h.p99,
+        h.p999,
+        buckets.join(",")
+    )
+}
+
+/// Renders a registry snapshot as one JSON object keyed by metric name.
+///
+/// Counters/gauges map to numbers; histograms map to objects with count,
+/// sum, min/max, the four pinned percentiles, and non-empty buckets.
+pub fn to_json(snapshot: &[(String, MetricValue)]) -> String {
+    let entries: Vec<String> = snapshot
+        .iter()
+        .map(|(name, value)| {
+            let v = match value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => v.to_string(),
+                MetricValue::Histogram(h) => histogram_json(h),
+            };
+            format!("\"{}\":{}", json_escape(name), v)
+        })
+        .collect();
+    format!("{{{}}}", entries.join(","))
+}
+
+/// Renders a span dump as Chrome trace-event JSON
+/// (`chrome://tracing` / Perfetto loadable).
+///
+/// Each span becomes a complete (`"ph":"X"`) event. Timestamps are
+/// microseconds derived from modeled cycles at `cycles_per_us`; each
+/// request renders as its own `tid` so per-request timelines sit side by
+/// side. Pass the sink's sorted dump for byte-identical output across
+/// runs.
+pub fn to_chrome_trace(spans: &[SpanEvent], cycles_per_us: f64) -> String {
+    let scale = if cycles_per_us > 0.0 {
+        1.0 / cycles_per_us
+    } else {
+        1.0
+    };
+    let events: Vec<String> = spans
+        .iter()
+        .map(|s| {
+            // Fixed-point µs (3 decimals) keeps output locale/float-format
+            // independent and byte-stable.
+            let ts = (s.start_cycles as f64 * scale * 1000.0).round() as u64;
+            let dur = ((s.dur_cycles as f64 * scale * 1000.0).round() as u64).max(1);
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"seq\":{},\"worker\":{},\"bytes\":{},\"detail\":{}}}}}",
+                s.stage.name(),
+                s.request,
+                ts / 1000,
+                ts % 1000,
+                dur / 1000,
+                dur % 1000,
+                s.seq,
+                s.worker,
+                s.bytes,
+                s.detail
+            )
+        })
+        .collect();
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LogHistogram;
+    use crate::registry::MetricsRegistry;
+    use crate::span::{SpanEvent, Stage};
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("nx_requests_total").add(3);
+        reg.gauge("nx_queue_inflight").set(-2);
+        let h = reg.histogram("nx_latency_cycles{format=\"deflate\"}");
+        h.record(10);
+        h.record(10);
+        h.record(5000);
+        reg
+    }
+
+    #[test]
+    fn prometheus_format_has_types_buckets_and_inf() {
+        let text = to_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE nx_requests_total counter"));
+        assert!(text.contains("nx_requests_total 3"));
+        assert!(text.contains("# TYPE nx_queue_inflight gauge"));
+        assert!(text.contains("nx_queue_inflight -2"));
+        assert!(text.contains("# TYPE nx_latency_cycles histogram"));
+        // Buckets are cumulative and labels compose with le.
+        assert!(text.contains("nx_latency_cycles_bucket{format=\"deflate\",le=\"10\"} 2"));
+        assert!(text.contains("nx_latency_cycles_bucket{format=\"deflate\",le=\"+Inf\"} 3"));
+        assert!(text.contains("nx_latency_cycles_sum{format=\"deflate\"} 5020"));
+        assert!(text.contains("nx_latency_cycles_count{format=\"deflate\"} 3"));
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_complete() {
+        let json = to_json(&sample_registry().snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"nx_requests_total\":3"));
+        assert!(json.contains("\"nx_queue_inflight\":-2"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"buckets\":[{\"le\":"));
+        // The labeled name is escaped as a plain JSON key.
+        assert!(json.contains("\"nx_latency_cycles{format=\\\"deflate\\\"}\":{"));
+    }
+
+    #[test]
+    fn chrome_trace_events_are_complete_spans() {
+        let spans = vec![
+            SpanEvent {
+                request: 2,
+                seq: 0,
+                worker: 1,
+                stage: Stage::Submit,
+                start_cycles: 0,
+                dur_cycles: 2000,
+                bytes: 4096,
+                detail: 0,
+            },
+            SpanEvent {
+                request: 2,
+                seq: 1,
+                worker: 1,
+                stage: Stage::Engine,
+                start_cycles: 2000,
+                dur_cycles: 10_000,
+                bytes: 4096,
+                detail: 0,
+            },
+        ];
+        let json = to_chrome_trace(&spans, 2000.0);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"submit\""));
+        assert!(json.contains("\"name\":\"engine\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2"));
+        // 2000 cycles at 2000 cycles/µs = 1 µs.
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":5.000"));
+    }
+
+    #[test]
+    fn chrome_trace_duration_floor_is_visible() {
+        let spans = vec![SpanEvent {
+            request: 0,
+            seq: 0,
+            worker: 0,
+            stage: Stage::Complete,
+            start_cycles: 0,
+            dur_cycles: 0,
+            bytes: 0,
+            detail: 0,
+        }];
+        let json = to_chrome_trace(&spans, 2000.0);
+        assert!(json.contains("\"dur\":0.001"), "{json}");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_registry();
+        let b = sample_registry();
+        assert_eq!(to_prometheus(&a.snapshot()), to_prometheus(&b.snapshot()));
+        assert_eq!(to_json(&a.snapshot()), to_json(&b.snapshot()));
+    }
+
+    #[test]
+    fn empty_inputs_render_cleanly() {
+        assert_eq!(to_prometheus(&[]), "");
+        assert_eq!(to_json(&[]), "{}");
+        assert_eq!(
+            to_chrome_trace(&[], 2000.0),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+        let h = LogHistogram::new();
+        let snap = vec![("nx_empty".to_string(), MetricValue::Histogram(h.snapshot()))];
+        let text = to_prometheus(&snap);
+        assert!(text.contains("nx_empty_bucket{le=\"+Inf\"} 0"));
+    }
+}

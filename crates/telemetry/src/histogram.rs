@@ -1,0 +1,375 @@
+//! Log-bucketed latency/size histograms (HDR-style).
+//!
+//! Values land in power-of-two octaves subdivided into [`SUB_BUCKETS`]
+//! linear sub-buckets, so relative quantization error is bounded by
+//! `1/SUB_BUCKETS` (≈ 3.1%) at any magnitude while the whole `u64` range
+//! fits in a fixed [`BUCKETS`]-slot array. Recording is one atomic add —
+//! cheap enough for per-request hot paths — and two histograms with the
+//! same geometry [`merge`](LogHistogram::merge) exactly (merging equals
+//! having recorded into one histogram, a property the test battery pins).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two octave splits into this many
+/// linear buckets. 32 bounds relative error at 1/32 ≈ 3.1%.
+pub const SUB_BUCKETS: u64 = 32;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 5;
+
+/// Total bucket count covering all of `u64`.
+///
+/// Values below `SUB_BUCKETS` index directly; above, each of the
+/// remaining `64 - SUB_BITS` octaves contributes `SUB_BUCKETS` buckets.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value (shared by record and the bound helpers).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    // Top SUB_BITS+1 bits of v, in [SUB_BUCKETS, 2*SUB_BUCKETS).
+    let top = v >> shift;
+    ((u64::from(shift) + 1) * SUB_BUCKETS + (top - SUB_BUCKETS)) as usize
+}
+
+/// Smallest value mapping to bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let block = i / SUB_BUCKETS; // ≥ 1
+    let off = i % SUB_BUCKETS;
+    (SUB_BUCKETS + off) << (block - 1)
+}
+
+/// Largest value mapping to bucket `i` (saturating at `u64::MAX`).
+fn bucket_high(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let block = i / SUB_BUCKETS;
+    let width = 1u64 << (block - 1);
+    bucket_low(i as usize).saturating_add(width - 1)
+}
+
+/// A lock-free, mergeable log-bucketed histogram over `u64` values.
+///
+/// All counters are monotone atomics: recording from many threads and
+/// snapshotting concurrently are both safe (a snapshot taken mid-traffic
+/// is a consistent-enough view: counts only grow).
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the array through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = match v.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("vector built with BUCKETS elements"),
+        };
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds every observation of `other` into `self`. Exactly equivalent
+    /// to having recorded `other`'s observations here (same geometry).
+    pub fn merge(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Value at quantile `q` (in `[0, 1]`): the upper bound of the bucket
+    /// holding the order statistic of rank `ceil(q * count)`, clamped to
+    /// the observed min/max. Relative quantization error is bounded by
+    /// `1/SUB_BUCKETS`. Returns `None` when empty.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let hi = bucket_high(i).min(self.max.load(Ordering::Relaxed));
+                return Some(hi.max(self.min.load(Ordering::Relaxed)));
+            }
+        }
+        self.max()
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.value_at_quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.value_at_quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.value_at_quantile(0.999)
+    }
+
+    /// An owned point-in-time copy, for export and reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push(BucketCount {
+                    le: bucket_high(i),
+                    count: n,
+                });
+            }
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.p50().unwrap_or(0),
+            p90: self.p90().unwrap_or(0),
+            p99: self.p99().unwrap_or(0),
+            p999: self.p999().unwrap_or(0),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket of a snapshot: `count` observations with values
+/// `≤ le` (and greater than the previous bucket's `le`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations in the bucket (not cumulative).
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`LogHistogram`], used by the exporters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Non-empty buckets in ascending `le` order.
+    pub buckets: Vec<BucketCount>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(SUB_BUCKETS - 1));
+        // Below SUB_BUCKETS every value has its own bucket: quantiles are
+        // exact.
+        assert_eq!(h.value_at_quantile(0.0), Some(0));
+        assert_eq!(h.value_at_quantile(1.0), Some(SUB_BUCKETS - 1));
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Each bucket's low is the previous bucket's high + 1, and every
+        // value maps into the bucket whose bounds contain it.
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "bucket {i}");
+        }
+        for v in [0u64, 1, 31, 32, 33, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "value {v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = LogHistogram::new();
+        for v in [100u64, 10_000, 1_000_000, 123_456_789] {
+            h.record(v);
+        }
+        for (q, exact) in [(0.25, 100u64), (0.5, 10_000), (0.75, 1_000_000)] {
+            let got = h.value_at_quantile(q).unwrap();
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64, "q={q} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let one = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            one.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), one.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record_n(12_345, 7);
+        for _ in 0..7 {
+            b.record(12_345);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        a.record_n(1, 0); // no-op
+        assert_eq!(a.count(), 7);
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-request span tracing into a lock-free ring buffer.
+//!
+//! A [`SpanEvent`] is one stage of one request's life — submit, queue
+//! wait, ERAT touch, engine occupancy, retry backoff, fallback, complete
+//! — stamped in the **cycle domain** (see [`crate::CycleClock`]). Events
+//! are tiny fixed-size records; writers claim a slot with one atomic
+//! `fetch_add` and publish it with a sequence stamp, so recording never
+//! takes a lock and never blocks another writer (the ring overwrites its
+//! oldest entries under overflow, counting what it dropped).
+//!
+//! Timestamps are *request-local*: each request's timeline starts at
+//! cycle 0 and stages accumulate deterministic modeled costs. The export
+//! layer gives each request its own Chrome-trace `tid`, so timelines
+//! render side by side, and dumps are sorted by `(request, seq)` — two
+//! runs with the same fault seed and worker count produce byte-identical
+//! dumps regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The stage of a request a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// CRB build + VAS paste.
+    Submit = 0,
+    /// Waiting in the submission queue for an engine.
+    QueueWait = 1,
+    /// Touching pages after a translation fault (ERAT resolution).
+    EratTouch = 2,
+    /// Engine occupancy (the compress/decompress itself).
+    Engine = 3,
+    /// Backoff before resubmitting after a transient fault.
+    Retry = 4,
+    /// Degradation to the software path (or serial pool fallback).
+    Fallback = 5,
+    /// CSB post + completion notification.
+    Complete = 6,
+    /// One parallel-pool shard's compression.
+    Shard = 7,
+}
+
+impl Stage {
+    /// Stable lowercase name (exporters key on it).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Submit => "submit",
+            Stage::QueueWait => "queue_wait",
+            Stage::EratTouch => "erat_touch",
+            Stage::Engine => "engine",
+            Stage::Retry => "retry",
+            Stage::Fallback => "fallback",
+            Stage::Complete => "complete",
+            Stage::Shard => "shard",
+        }
+    }
+
+    fn from_u64(v: u64) -> Stage {
+        match v {
+            0 => Stage::Submit,
+            1 => Stage::QueueWait,
+            2 => Stage::EratTouch,
+            3 => Stage::Engine,
+            4 => Stage::Retry,
+            5 => Stage::Fallback,
+            7 => Stage::Shard,
+            _ => Stage::Complete,
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Request index (the fault plan's request coordinate where one is
+    /// active, else a per-sink monotone counter).
+    pub request: u64,
+    /// Span index within the request's timeline (deterministic: derived
+    /// from attempt/shard numbering, not arrival order).
+    pub seq: u32,
+    /// Worker / engine / unit that executed the stage (0 when n/a).
+    pub worker: u32,
+    /// The stage covered.
+    pub stage: Stage,
+    /// Request-local start, in modeled cycles.
+    pub start_cycles: u64,
+    /// Duration, in modeled cycles.
+    pub dur_cycles: u64,
+    /// Bytes the stage operated on (0 when n/a).
+    pub bytes: u64,
+    /// Stage-specific detail: attempt number for retries, CSB code for
+    /// errors, queue depth for queue waits.
+    pub detail: u64,
+}
+
+/// Words per ring slot: seven payload words + the sequence stamp.
+const PAYLOAD_WORDS: usize = 7;
+
+struct Slot {
+    /// Publication stamp: `2*index + 2` once the event for logical
+    /// `index` is fully written; odd while a write is in flight.
+    seq: AtomicU64,
+    words: [AtomicU64; PAYLOAD_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A bounded, lock-free multi-producer span ring.
+///
+/// Writers are wait-free (one `fetch_add` + eight relaxed stores + one
+/// release store); the snapshot reader validates each slot's sequence
+/// stamp before and after copying it, discarding records a concurrent
+/// writer was overwriting. Overflow evicts the oldest events.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring holding up to `capacity` events (rounded up to a power of
+    /// two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including any since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events evicted by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records one event (wait-free).
+    pub fn push(&self, ev: &SpanEvent) {
+        let idx = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(idx & self.mask) as usize];
+        // Mark the write in flight (odd stamp), fill, then publish the
+        // even stamp for this logical index.
+        slot.seq.store(2 * idx + 1, Ordering::Release);
+        let w = &slot.words;
+        w[0].store(ev.request, Ordering::Relaxed);
+        w[1].store(
+            (u64::from(ev.seq) << 32) | u64::from(ev.worker), // seq | worker
+            Ordering::Relaxed,
+        );
+        w[2].store(ev.stage as u64, Ordering::Relaxed);
+        w[3].store(ev.start_cycles, Ordering::Relaxed);
+        w[4].store(ev.dur_cycles, Ordering::Relaxed);
+        w[5].store(ev.bytes, Ordering::Relaxed);
+        w[6].store(ev.detail, Ordering::Relaxed);
+        slot.seq.store(2 * idx + 2, Ordering::Release);
+    }
+
+    /// Copies out every currently-readable event, oldest first by ring
+    /// position. Records being overwritten concurrently are skipped.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for idx in start..head {
+            let slot = &self.slots[(idx & self.mask) as usize];
+            let stamp = 2 * idx + 2;
+            if slot.seq.load(Ordering::Acquire) != stamp {
+                continue;
+            }
+            let w = &slot.words;
+            let words: [u64; PAYLOAD_WORDS] = std::array::from_fn(|i| w[i].load(Ordering::Relaxed));
+            // Re-validate: if a writer lapped us mid-copy the stamp moved.
+            if slot.seq.load(Ordering::Acquire) != stamp {
+                continue;
+            }
+            out.push(SpanEvent {
+                request: words[0],
+                seq: (words[1] >> 32) as u32,
+                worker: words[1] as u32,
+                stage: Stage::from_u64(words[2]),
+                start_cycles: words[3],
+                dur_cycles: words[4],
+                bytes: words[5],
+                detail: words[6],
+            });
+        }
+        out
+    }
+
+    /// [`snapshot`](Self::snapshot) sorted by the deterministic dump
+    /// order: `(request, seq, stage, start)`. Two runs that record the
+    /// same event *set* export identically however their threads
+    /// interleaved.
+    pub fn sorted_snapshot(&self) -> Vec<SpanEvent> {
+        let mut evs = self.snapshot();
+        evs.sort_by_key(|e| (e.request, e.seq, e.stage, e.start_cycles, e.worker));
+        evs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(request: u64, seq: u32) -> SpanEvent {
+        SpanEvent {
+            request,
+            seq,
+            worker: 3,
+            stage: Stage::Engine,
+            start_cycles: 10 * u64::from(seq),
+            dur_cycles: 10,
+            bytes: 4096,
+            detail: 1,
+        }
+    }
+
+    #[test]
+    fn roundtrips_events() {
+        let ring = SpanRing::new(16);
+        for i in 0..5 {
+            ring.push(&ev(7, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0], ev(7, 0));
+        assert_eq!(snap[4], ev(7, 4));
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_drops() {
+        let ring = SpanRing::new(8);
+        for i in 0..20 {
+            ring.push(&ev(1, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert_eq!(snap[0].seq, 12); // oldest surviving
+        assert_eq!(snap[7].seq, 19);
+        assert_eq!(ring.dropped(), 12);
+        assert_eq!(ring.recorded(), 20);
+    }
+
+    #[test]
+    fn sorted_snapshot_orders_by_request_then_seq() {
+        let ring = SpanRing::new(16);
+        ring.push(&ev(9, 1));
+        ring.push(&ev(2, 0));
+        ring.push(&ev(9, 0));
+        let s = ring.sorted_snapshot();
+        assert_eq!(
+            s.iter().map(|e| (e.request, e.seq)).collect::<Vec<_>>(),
+            vec![(2, 0), (9, 0), (9, 1)]
+        );
+    }
+
+    #[test]
+    fn concurrent_pushes_are_all_recorded() {
+        use std::sync::Arc;
+        let ring = Arc::new(SpanRing::new(4096));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let r = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..256u32 {
+                        r.push(&ev(t, i));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("pusher");
+        }
+        let snap = ring.sorted_snapshot();
+        assert_eq!(snap.len(), 4 * 256);
+        // Every (request, seq) pair present exactly once.
+        for t in 0..4u64 {
+            for i in 0..256u32 {
+                assert!(snap
+                    .binary_search_by_key(&(t, i), |e| (e.request, e.seq))
+                    .is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        for (stage, name) in [
+            (Stage::Submit, "submit"),
+            (Stage::QueueWait, "queue_wait"),
+            (Stage::EratTouch, "erat_touch"),
+            (Stage::Engine, "engine"),
+            (Stage::Retry, "retry"),
+            (Stage::Fallback, "fallback"),
+            (Stage::Complete, "complete"),
+            (Stage::Shard, "shard"),
+        ] {
+            assert_eq!(stage.name(), name);
+            assert_eq!(Stage::from_u64(stage as u64), stage);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the histogram: quantile error bounds and merge
+//! equivalence over arbitrary inputs, the two guarantees the module docs
+//! promise.
+
+use nx_telemetry::{LogHistogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `value_at_quantile` stays within one sub-bucket of the exact
+    /// order statistic: relative error ≤ 1/SUB_BUCKETS at any magnitude.
+    #[test]
+    fn quantile_error_is_bounded(
+        values in proptest::collection::vec(0u64..(1u64 << 48), 1..300),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The histogram's own rank convention: ceil(q·n) clamped to [1, n].
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let exact = sorted[(rank - 1) as usize];
+        let got = h.value_at_quantile(q).expect("non-empty");
+        let bound = exact / SUB_BUCKETS + 1;
+        prop_assert!(
+            got.abs_diff(exact) <= bound,
+            "q={q} exact={exact} got={got} bound={bound}"
+        );
+        // Always inside the observed range.
+        prop_assert!((sorted[0]..=sorted[sorted.len() - 1]).contains(&got));
+    }
+
+    /// Merging two histograms is exactly equivalent to recording every
+    /// observation into one (identical snapshot, hence identical
+    /// quantiles, buckets, and exports).
+    #[test]
+    fn merge_equals_single_histogram(
+        left in proptest::collection::vec(0u64..(1u64 << 52), 0..200),
+        right in proptest::collection::vec(0u64..(1u64 << 52), 0..200),
+    ) {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let one = LogHistogram::new();
+        for &v in &left {
+            a.record(v);
+            one.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            one.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.snapshot(), one.snapshot());
+    }
+
+    /// `record_n(v, n)` is indistinguishable from `n` single records.
+    #[test]
+    fn record_n_equals_repeats(v in 0u64..(1u64 << 40), n in 1u64..50) {
+        let bulk = LogHistogram::new();
+        let singles = LogHistogram::new();
+        bulk.record_n(v, n);
+        for _ in 0..n {
+            singles.record(v);
+        }
+        prop_assert_eq!(bulk.snapshot(), singles.snapshot());
+    }
+}

@@ -1,0 +1,116 @@
+//! `nxtop` — a `top`-style snapshot of the unified telemetry registry.
+//!
+//! Drives a mixed workload (sync compress/decompress with fault
+//! injection, a sharded parallel session, an async queue) through one
+//! instrumented [`Nx`] handle, then renders everything the observability
+//! layer unifies: per-codec request counters, fault-recovery accounting,
+//! queue depth, per-worker shard balance, and the latency histograms
+//! with their percentiles.
+//!
+//! ```text
+//! cargo run --release -p nx-core --example nxtop            # dashboard
+//! cargo run --release -p nx-core --example nxtop -- --prom  # Prometheus text
+//! cargo run --release -p nx-core --example nxtop -- --trace # Chrome trace JSON
+//! ```
+//!
+//! `--prom` output is a valid Prometheus exposition (pipe it to a file
+//! and point a scrape job at it); `--trace` loads into
+//! `chrome://tracing` / Perfetto. Both are byte-deterministic: the span
+//! timeline is keyed to modeled cycles, never wall clock.
+
+use nx_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
+use nx_core::parallel::ParallelOptions;
+use nx_core::{Format, Nx};
+use nx_telemetry::{to_chrome_trace, to_prometheus, MetricValue, MetricsRegistry, TelemetrySink};
+
+/// Modeled core cycles per microsecond (2.5 GHz) for the trace export.
+const CYCLES_PER_US: f64 = 2500.0;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+
+    // One instrumented handle: live registry + span ring, light fault
+    // pressure so the recovery counters have something to show.
+    let nx = Nx::with_faults(
+        nx_accel::AccelConfig::power9(),
+        FaultPlan::seeded(7, FaultRates::sweep(0.05)),
+        RecoveryPolicy::touch_ahead(8),
+    )
+    .with_telemetry(TelemetrySink::enabled(MetricsRegistry::new()));
+
+    // Sync traffic, both codecs.
+    let data = nx_corpus::mixed(7, 1 << 20);
+    for chunk in data.chunks(128 << 10) {
+        let gz = nx.compress(chunk, Format::Gzip).expect("compress");
+        let back = nx.decompress(&gz.bytes, Format::Gzip).expect("decompress");
+        assert_eq!(back.bytes, chunk);
+    }
+    let c842 = nx.compress_842(&data[..256 << 10]);
+    let _ = nx.decompress_842(&c842).expect("842 back");
+
+    // One parallel sharded request (per-worker counters, shard spans).
+    let psess = nx.parallel_session(
+        ParallelOptions {
+            workers: 4,
+            chunk_size: 64 << 10,
+        },
+        6,
+    );
+    let _ = psess.compress(&data, Format::Gzip).expect("parallel");
+
+    // A burst through the async queue (depth gauge + queue-wait spans).
+    let asess = nx.async_session();
+    let handles: Vec<_> = data
+        .chunks(256 << 10)
+        .map(|c| asess.submit(c.to_vec(), Format::Zlib).expect("submit"))
+        .collect();
+    for h in handles {
+        let _ = h.wait().expect("async job");
+    }
+
+    let sink = nx.telemetry();
+    let registry = sink.registry().expect("enabled sink has a registry");
+    let snapshot = registry.snapshot();
+
+    match mode.as_str() {
+        "--prom" => print!("{}", to_prometheus(&snapshot)),
+        "--trace" => print!("{}", to_chrome_trace(&sink.trace(), CYCLES_PER_US)),
+        _ => render_dashboard(&snapshot, sink.trace().len(), sink.trace_dropped()),
+    }
+}
+
+/// Renders the interactive-style dashboard view.
+fn render_dashboard(snapshot: &[(String, MetricValue)], spans: usize, dropped: u64) {
+    println!("nxtop — unified telemetry snapshot");
+    println!("==================================\n");
+
+    println!("{:<48} {:>14}", "counter / gauge", "value");
+    println!("{:-<48} {:->14}", "", "");
+    for (name, value) in snapshot {
+        match value {
+            MetricValue::Counter(v) => println!("{name:<48} {v:>14}"),
+            MetricValue::Gauge(v) => println!("{name:<48} {v:>14}"),
+            MetricValue::Histogram(_) => {}
+        }
+    }
+
+    println!(
+        "\n{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50", "p90", "p99", "max"
+    );
+    println!(
+        "{:-<32} {:->8} {:->10} {:->10} {:->10} {:->10}",
+        "", "", "", "", "", ""
+    );
+    for (name, value) in snapshot {
+        if let MetricValue::Histogram(h) = value {
+            println!(
+                "{name:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+
+    println!("\nspan trace: {spans} spans recorded, {dropped} dropped");
+    println!("(re-run with --prom for Prometheus text, --trace for Chrome trace JSON)");
+}

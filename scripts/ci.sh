@@ -51,6 +51,14 @@ DECODE_PATHS=(
     crates/core/src/framing.rs
     crates/core/src/software.rs
     crates/accel/src/decomp.rs
+    # Telemetry emit/export paths run inside every instrumented request;
+    # an observability layer must never be the thing that panics.
+    crates/telemetry/src/histogram.rs
+    crates/telemetry/src/registry.rs
+    crates/telemetry/src/sink.rs
+    crates/telemetry/src/span.rs
+    crates/telemetry/src/export.rs
+    crates/telemetry/src/clock.rs
 )
 GATE_FAIL=0
 for f in "${DECODE_PATHS[@]}"; do
@@ -64,6 +72,27 @@ done
 if [[ "$GATE_FAIL" != "0" ]]; then
     echo "==> FAIL: decode paths must return typed errors, not panic"
     exit 1
+fi
+
+if [[ "$FAST" == "0" ]]; then
+    echo "==> telemetry overhead gate (E19, bar 5%)"
+    # E19 interleaves instrumented vs no-op-sink runs and double-runs a
+    # pinned faulted trace; it writes BENCH_OBS.json + BENCH_TRACE.json.
+    cargo run --offline --release -p nx-bench --bin tables -- e19 > /dev/null
+    max_pct=$(awk -F'"max_overhead_pct": ' '/max_overhead_pct/{split($2,a,","); print a[1]}' BENCH_OBS.json)
+    if ! awk -v p="$max_pct" 'BEGIN{exit !(p <= 5.0)}'; then
+        echo "==> FAIL: telemetry overhead ${max_pct}% exceeds the 5% bar"
+        exit 1
+    fi
+    echo "    max overhead: ${max_pct}% (bar 5%)"
+    if ! grep -q '"trace_deterministic": true' BENCH_OBS.json; then
+        echo "==> FAIL: pinned-seed trace dumps were not byte-identical"
+        exit 1
+    fi
+    echo "==> Chrome trace validation"
+    # The exporter hand-rolls JSON; prove it parses with a real parser.
+    python3 -m json.tool BENCH_TRACE.json > /dev/null
+    echo "    BENCH_TRACE.json is well-formed JSON"
 fi
 
 echo "==> OK"
