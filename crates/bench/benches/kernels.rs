@@ -1,0 +1,79 @@
+//! Benchmarks for the PR 4 inflate superloop and the zero-allocation
+//! scratch plumbing.
+//!
+//! `inflate_kernel` times the merged-entry fast decoder against the
+//! careful per-symbol reference (`disable_fast_path`) on the same level-6
+//! mixed corpus — the gap is exactly what the superloop buys. `scratch`
+//! compares the allocating one-shot `inflate` with `inflate_into`
+//! reusing an `InflateScratch` + output buffer, and a pooled
+//! `ScratchSession` against the stateless software path, which is the
+//! steady-state request shape the `nx-core` facade serves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nx_core::{Format, Nx};
+use nx_deflate::decoder::inflate_careful;
+use nx_deflate::{deflate, inflate, inflate_into, CompressionLevel, InflateScratch};
+
+const CORPUS_LEN: usize = 4 << 20;
+
+fn corpus() -> Vec<u8> {
+    nx_corpus::mixed(nx_bench::SEED, CORPUS_LEN)
+}
+
+fn bench_inflate_kernel(c: &mut Criterion) {
+    let data = corpus();
+    let comp = deflate(&data, CompressionLevel::new(6).unwrap());
+    let mut group = c.benchmark_group("inflate_kernel");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("fast", 6), &comp, |b, d| {
+        b.iter(|| inflate(d).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("careful", 6), &comp, |b, d| {
+        b.iter(|| inflate_careful(d).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scratch(c: &mut Criterion) {
+    let data = corpus();
+    let comp = deflate(&data, CompressionLevel::new(6).unwrap());
+    let mut group = c.benchmark_group("scratch");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("fresh_alloc", 6), &comp, |b, d| {
+        b.iter(|| inflate(d).unwrap().len())
+    });
+    let mut scratch = InflateScratch::default();
+    let mut out = Vec::new();
+    group.bench_with_input(BenchmarkId::new("reused", 6), &comp, |b, d| {
+        b.iter(|| {
+            inflate_into(d, &mut scratch, &mut out).unwrap();
+            out.len()
+        })
+    });
+
+    let nx = Nx::power9();
+    let gz = nx_core::software::compress(&data, CompressionLevel::new(6).unwrap(), Format::Gzip);
+    group.bench_with_input(BenchmarkId::new("facade_oneshot", 6), &gz, |b, d| {
+        b.iter(|| nx.decompress(d, Format::Gzip).unwrap().bytes.len())
+    });
+    let mut session = nx.scratch_session(6).unwrap();
+    let mut plain = Vec::new();
+    group.bench_with_input(BenchmarkId::new("facade_session", 6), &gz, |b, d| {
+        b.iter(|| {
+            session
+                .decompress_into(d, Format::Gzip, &mut plain)
+                .unwrap();
+            plain.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inflate_kernel, bench_scratch
+}
+criterion_main!(benches);

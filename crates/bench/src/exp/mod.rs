@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E19; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E20; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -14,6 +14,7 @@ pub mod e17;
 pub mod e18;
 pub mod e19;
 pub mod e2;
+pub mod e20;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -175,6 +176,12 @@ pub fn all() -> Vec<Experiment> {
             run: e19::run,
             metrics: Some(e19::metrics),
         },
+        Experiment {
+            id: "e20",
+            title: e20::TITLE,
+            run: e20::run,
+            metrics: Some(e20::metrics),
+        },
     ]
 }
 
@@ -183,10 +190,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 20);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
     }
 }

@@ -7,6 +7,7 @@
 //! whose [`wait`](JobHandle::wait) delivers the result.
 
 use crate::framing::{self, Format};
+use crate::scratch::BufferPool;
 use crate::stats::{Codec, NxStats};
 use crate::{Compressed, Error, Result, Trace, SUBMIT_CYCLES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
@@ -78,6 +79,7 @@ pub struct AsyncSession {
     tx: Sender<Cmd>,
     worker: Option<JoinHandle<()>>,
     telemetry: QueueTelemetry,
+    pool: Arc<BufferPool>,
 }
 
 /// A pending job's completion handle.
@@ -130,9 +132,14 @@ impl JobHandle {
 
 impl AsyncSession {
     /// Spawns the engine thread behind an unbounded queue.
-    pub(crate) fn spawn(config: AccelConfig, stats: Arc<NxStats>, sink: TelemetrySink) -> Self {
+    pub(crate) fn spawn(
+        config: AccelConfig,
+        stats: Arc<NxStats>,
+        sink: TelemetrySink,
+        pool: Arc<BufferPool>,
+    ) -> Self {
         let (tx, rx) = unbounded::<Cmd>();
-        Self::spawn_with(config, stats, sink, tx, rx)
+        Self::spawn_with(config, stats, sink, pool, tx, rx)
     }
 
     /// Spawns the engine thread behind a queue of at most `depth`
@@ -144,21 +151,24 @@ impl AsyncSession {
         config: AccelConfig,
         stats: Arc<NxStats>,
         sink: TelemetrySink,
+        pool: Arc<BufferPool>,
         depth: usize,
     ) -> Self {
         let (tx, rx) = bounded::<Cmd>(depth.max(1));
-        Self::spawn_with(config, stats, sink, tx, rx)
+        Self::spawn_with(config, stats, sink, pool, tx, rx)
     }
 
     fn spawn_with(
         config: AccelConfig,
         stats: Arc<NxStats>,
         sink: TelemetrySink,
+        pool: Arc<BufferPool>,
         tx: Sender<Cmd>,
         rx: Receiver<Cmd>,
     ) -> Self {
         let telemetry = QueueTelemetry::new(sink);
         let worker_tel = telemetry.clone();
+        let worker_pool = Arc::clone(&pool);
         let worker = std::thread::Builder::new()
             .name("nx-engine".into())
             .spawn(move || {
@@ -192,6 +202,10 @@ impl AsyncSession {
                             );
                             trace.span(Stage::Engine, report.cycles, data.len() as u64, 0);
                             trace.finish(bytes.len() as u64);
+                            // Recycle the job's input buffer: the next
+                            // submitter acquiring via `buffer()` reuses
+                            // its capacity instead of allocating.
+                            worker_pool.release(data);
                             // Receiver may have been dropped; that's fine.
                             let _ = reply.send(Ok(Compressed { bytes, report }));
                         }
@@ -204,7 +218,16 @@ impl AsyncSession {
             tx,
             worker: Some(worker),
             telemetry,
+            pool,
         }
+    }
+
+    /// Takes a recycled input buffer from the session's pool: jobs release
+    /// their input buffers back to the pool once compressed, so a
+    /// fill-submit-refill loop stops allocating input storage after the
+    /// queue depth's worth of warmup submissions.
+    pub fn buffer(&self) -> Vec<u8> {
+        self.pool.acquire()
     }
 
     /// Queues a compression job; returns immediately.
@@ -397,6 +420,22 @@ mod tests {
                 inputs[i]
             );
         }
+    }
+
+    #[test]
+    fn input_buffers_recycle_through_the_pool() {
+        let nx = Nx::power9();
+        let session = nx.async_session();
+        for i in 0..4u8 {
+            let mut buf = session.buffer();
+            buf.resize(50_000, i);
+            session.submit(buf, Format::Gzip).unwrap().wait().unwrap();
+        }
+        session.close();
+        // The engine releases each job's input before replying, so every
+        // acquisition after the first hits the shelf.
+        assert!(nx.buffer_pool().hits() >= 3);
+        assert!(nx.buffer_pool().recycled() >= 3);
     }
 
     #[test]

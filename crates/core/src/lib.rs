@@ -35,6 +35,7 @@ pub mod async_queue;
 pub mod fault;
 pub mod framing;
 pub mod parallel;
+pub mod scratch;
 pub mod software;
 pub mod stats;
 pub mod stream;
@@ -43,6 +44,7 @@ pub use async_queue::{AsyncSession, JobHandle};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RecoveryPolicy};
 pub use framing::Format;
 pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
+pub use scratch::{BufferPool, InflatePathMetrics, ScratchSession};
 pub use stats::{Codec, CodecStats, DirStats, NxStats};
 pub use stream::GzipStream;
 
@@ -250,6 +252,7 @@ pub struct Nx {
     config: AccelConfig,
     faults: Option<Arc<FaultInjector>>,
     telemetry: TelemetrySink,
+    pool: Arc<scratch::BufferPool>,
 }
 
 impl Nx {
@@ -261,6 +264,7 @@ impl Nx {
             config,
             faults: None,
             telemetry: TelemetrySink::disabled(),
+            pool: Arc::new(scratch::BufferPool::default()),
         }
     }
 
@@ -280,6 +284,7 @@ impl Nx {
             config,
             faults: Some(Arc::new(FaultInjector::new(plan, policy))),
             telemetry: TelemetrySink::disabled(),
+            pool: Arc::new(scratch::BufferPool::default()),
         }
     }
 
@@ -294,6 +299,14 @@ impl Nx {
     pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
         if let Some(reg) = sink.registry() {
             reg.register_source("nx-stats", Arc::clone(&self.stats) as Arc<dyn MetricSource>);
+            reg.register_source(
+                "nx-buffer-pool",
+                Arc::clone(&self.pool) as Arc<dyn MetricSource>,
+            );
+            reg.register_source(
+                "nx-inflate-paths",
+                Arc::new(scratch::InflatePathMetrics) as Arc<dyn MetricSource>,
+            );
             if let Some(inj) = &self.faults {
                 reg.register_source("nx-fault-stats", Arc::clone(inj) as Arc<dyn MetricSource>);
             }
@@ -701,6 +714,7 @@ impl Nx {
             self.config.clone(),
             Arc::clone(&self.stats),
             self.telemetry.clone(),
+            Arc::clone(&self.pool),
         )
     }
 
@@ -713,6 +727,7 @@ impl Nx {
             self.config.clone(),
             Arc::clone(&self.stats),
             self.telemetry.clone(),
+            Arc::clone(&self.pool),
             depth,
         )
     }
@@ -729,7 +744,32 @@ impl Nx {
             Arc::clone(&self.stats),
             self.faults.clone(),
             self.telemetry.clone(),
+            Arc::clone(&self.pool),
         )
+    }
+
+    /// The buffer pool shared by this handle's sessions (scratch, async,
+    /// parallel). Exposed so callers can acquire/release recycled buffers
+    /// directly and read the pool counters.
+    pub fn buffer_pool(&self) -> &Arc<scratch::BufferPool> {
+        &self.pool
+    }
+
+    /// Opens a zero-allocation scratch session at `level`: a persistent
+    /// encoder + decoder scratch bound to this handle's stats, telemetry
+    /// and buffer pool. See [`scratch::ScratchSession`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] for an invalid `level`.
+    pub fn scratch_session(&self, level: u32) -> Result<ScratchSession> {
+        let level = nx_deflate::CompressionLevel::new(level)?;
+        Ok(ScratchSession::new(
+            Arc::clone(&self.stats),
+            self.telemetry.clone(),
+            level,
+            Arc::clone(&self.pool),
+        ))
     }
 
     /// Compresses with an explicit target-buffer capacity, reproducing the

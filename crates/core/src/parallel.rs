@@ -44,6 +44,7 @@
 
 use crate::fault::FaultInjector;
 use crate::framing::Format;
+use crate::scratch::BufferPool;
 use crate::stats::Codec;
 use crate::{software, Error, NxStats, Result};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -259,13 +260,16 @@ pub struct ParallelEngine {
     stats: Arc<ParallelStats>,
     faults: Option<Arc<FaultInjector>>,
     telemetry: TelemetrySink,
+    /// Shard output buffers cycle through here: workers acquire, the
+    /// submitting thread releases after stitching.
+    pool: Arc<BufferPool>,
 }
 
 impl ParallelEngine {
     /// Spawns the worker pool.
     pub fn new(mut opts: ParallelOptions) -> Self {
         opts.workers = opts.workers.max(1);
-        Self::spawn(opts, None, TelemetrySink::disabled())
+        Self::spawn(opts, None, TelemetrySink::disabled(), Arc::default())
     }
 
     /// Spawns the worker pool, rejecting a zero-worker configuration with
@@ -274,7 +278,12 @@ impl ParallelEngine {
         if opts.workers == 0 {
             return Err(Error::NoWorkers);
         }
-        Ok(Self::spawn(opts, None, TelemetrySink::disabled()))
+        Ok(Self::spawn(
+            opts,
+            None,
+            TelemetrySink::disabled(),
+            Arc::default(),
+        ))
     }
 
     /// Spawns the worker pool under fault injection: the injector's plan
@@ -283,26 +292,34 @@ impl ParallelEngine {
     /// serial fallback.
     pub fn with_faults(mut opts: ParallelOptions, faults: Arc<FaultInjector>) -> Self {
         opts.workers = opts.workers.max(1);
-        Self::spawn(opts, Some(faults), TelemetrySink::disabled())
+        Self::spawn(
+            opts,
+            Some(faults),
+            TelemetrySink::disabled(),
+            Arc::default(),
+        )
     }
 
     /// Spawns the worker pool with span tracing and metrics wired to
-    /// `sink`. Shard spans are modeled (a deterministic function of shard
-    /// index and size — see [`SHARD_BYTES_PER_CYCLE`]'s docs), so trace
-    /// dumps are identical across runs regardless of thread scheduling.
+    /// `sink`, recycling shard buffers through `pool`. Shard spans are
+    /// modeled (a deterministic function of shard index and size — see
+    /// [`SHARD_BYTES_PER_CYCLE`]'s docs), so trace dumps are identical
+    /// across runs regardless of thread scheduling.
     pub fn with_telemetry(
         mut opts: ParallelOptions,
         faults: Option<Arc<FaultInjector>>,
         sink: TelemetrySink,
+        pool: Arc<BufferPool>,
     ) -> Self {
         opts.workers = opts.workers.max(1);
-        Self::spawn(opts, faults, sink)
+        Self::spawn(opts, faults, sink, pool)
     }
 
     fn spawn(
         mut opts: ParallelOptions,
         faults: Option<Arc<FaultInjector>>,
         sink: TelemetrySink,
+        pool: Arc<BufferPool>,
     ) -> Self {
         opts.chunk_size = opts.chunk_size.max(1);
         let stats = Arc::new(ParallelStats::with_workers(opts.workers));
@@ -321,12 +338,13 @@ impl ParallelEngine {
                 let inj = faults.clone();
                 let st = Arc::clone(&stats);
                 let tel = sink.clone();
+                let pl = Arc::clone(&pool);
                 let shape = WorkerShape {
                     worker_id: worker_id as u32,
                     workers: opts.workers as u64,
                     chunk_size: opts.chunk_size as u64,
                 };
-                std::thread::spawn(move || worker_loop(rx, inj, st, tel, shape))
+                std::thread::spawn(move || worker_loop(rx, inj, st, tel, shape, pl))
             })
             .collect();
         Self {
@@ -336,6 +354,7 @@ impl ParallelEngine {
             stats,
             faults,
             telemetry: sink,
+            pool,
         }
     }
 
@@ -347,6 +366,11 @@ impl ParallelEngine {
     /// Aggregate counters for this engine.
     pub fn stats(&self) -> &ParallelStats {
         &self.stats
+    }
+
+    /// The buffer pool shard outputs recycle through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Compresses `data` at `level` into `format` framing using the
@@ -455,7 +479,12 @@ impl ParallelEngine {
             }
         }
         let outs: Option<Vec<ShardData>> = outs.into_iter().collect();
-        Some(stitch(&outs?, data.len(), format))
+        let outs = outs?;
+        let framed = stitch(&outs, data.len(), format);
+        for o in outs {
+            self.pool.release(o.bytes);
+        }
+        Some(framed)
     }
 
     fn record_request(&self, bytes_in: usize, bytes_out: usize) {
@@ -489,6 +518,7 @@ impl ParallelEngine {
                 let dict = chunk.start.saturating_sub(DICT_SIZE)..chunk.start;
                 compress_shard(
                     &mut enc,
+                    self.pool.acquire(),
                     &data[chunk.clone()],
                     &data[dict],
                     level,
@@ -497,7 +527,11 @@ impl ParallelEngine {
                 )
             })
             .collect();
-        Ok(stitch(&outs, data.len(), format))
+        let framed = stitch(&outs, data.len(), format);
+        for o in outs {
+            self.pool.release(o.bytes);
+        }
+        Ok(framed)
     }
 
     /// Decompresses `format`-framed `data`. Single-threaded by design —
@@ -566,6 +600,7 @@ fn worker_loop(
     stats: Arc<ParallelStats>,
     sink: TelemetrySink,
     shape: WorkerShape,
+    pool: Arc<BufferPool>,
 ) {
     let mut enc: Option<StreamEncoder> = None;
     for job in rx.iter() {
@@ -579,7 +614,15 @@ fn worker_loop(
         let chunk = &job.input[job.chunk.clone()];
         let dict = &job.input[job.dict.clone()];
         let result = catch_unwind(AssertUnwindSafe(|| {
-            compress_shard(&mut enc, chunk, dict, job.level, job.format, job.is_final)
+            compress_shard(
+                &mut enc,
+                pool.acquire(),
+                chunk,
+                dict,
+                job.level,
+                job.format,
+                job.is_final,
+            )
         }));
         let data = match result {
             Ok(d) => Some(d),
@@ -623,9 +666,11 @@ fn worker_loop(
     }
 }
 
-/// Compresses one shard, reusing `enc` when the level matches.
+/// Compresses one shard into `buf` (a pooled buffer the caller releases
+/// after stitching), reusing `enc` when the level matches.
 fn compress_shard(
     enc: &mut Option<StreamEncoder>,
+    mut buf: Vec<u8>,
     chunk: &[u8],
     dict: &[u8],
     level: u32,
@@ -641,7 +686,9 @@ fn compress_shard(
         slot => slot.insert(StreamEncoder::with_dict(lvl, dict)),
     };
     let flush = if is_final { Flush::Finish } else { Flush::Sync };
-    let bytes = enc.write(chunk, flush);
+    buf.clear();
+    enc.write_into(chunk, flush, &mut buf);
+    let bytes = buf;
     ShardData {
         bytes,
         crc: if format == Format::Gzip {
@@ -700,8 +747,9 @@ impl ParallelSession {
         stats: Arc<NxStats>,
         faults: Option<Arc<FaultInjector>>,
         sink: TelemetrySink,
+        pool: Arc<BufferPool>,
     ) -> Self {
-        let engine = ParallelEngine::with_telemetry(opts, faults, sink);
+        let engine = ParallelEngine::with_telemetry(opts, faults, sink, pool);
         Self {
             engine,
             stats,
@@ -957,6 +1005,22 @@ mod tests {
         assert_eq!(out, e.compress_serial(&data, 6, Format::Gzip).unwrap());
         assert_eq!(e.decompress(&out, Format::Gzip).unwrap(), data);
         assert_eq!(e.stats().serial_fallbacks(), 0);
+    }
+
+    #[test]
+    fn shard_buffers_recycle_through_the_pool() {
+        let data = corpus(256 * 1024);
+        let e = engine(2, 32 * 1024); // 8 shards per request
+        e.compress(&data, 6, Format::Gzip).unwrap();
+        // Every shard buffer stitched on the submitting thread goes back
+        // to the shelf (pool cap permitting).
+        assert_eq!(e.pool().recycled(), 8);
+        e.compress(&data, 6, Format::Gzip).unwrap();
+        assert!(
+            e.pool().hits() >= 1,
+            "second request never reused a shard buffer"
+        );
+        assert_eq!(e.pool().recycled(), 16);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Buffer pooling and zero-allocation scratch sessions.
+//!
+//! The accelerator's driver pins its CRB/DDE buffers once and reuses them
+//! for every request — steady-state operation performs no allocation.
+//! This module reproduces that discipline in the facade:
+//!
+//! * [`BufferPool`] is a shared shelf of byte buffers with hit/miss
+//!   accounting, used by the parallel pool workers (shard output) and the
+//!   async engine (input recycling).
+//! * [`ScratchSession`] bundles a persistent [`StreamEncoder`], an
+//!   [`InflateScratch`] (decode tables + output sizing) and a pool handle
+//!   so repeated same-shape compress/decompress calls through the
+//!   `*_into` APIs stop touching the allocator after warmup.
+//! * [`InflatePathMetrics`] exports the decoder's fast-path/careful-path
+//!   byte counters (the inflate superloop hit rate) as pull metrics.
+//!
+//! ```
+//! use nx_core::{Format, Nx};
+//!
+//! # fn main() -> Result<(), nx_core::Error> {
+//! let nx = Nx::power9();
+//! let mut sess = nx.scratch_session(6)?;
+//! let data = b"scratch reuse scratch reuse".repeat(100);
+//! let mut comp = sess.acquire_buffer();
+//! let mut back = sess.acquire_buffer();
+//! sess.compress_into(&data, Format::Gzip, &mut comp)?;
+//! sess.decompress_into(&comp, Format::Gzip, &mut back)?;
+//! assert_eq!(back, data);
+//! sess.release_buffer(comp);
+//! sess.release_buffer(back);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::framing::Format;
+use crate::stats::{Codec, NxStats};
+use crate::{Result, Trace, SUBMIT_CYCLES};
+use nx_deflate::adler32::adler32;
+use nx_deflate::crc32::crc32;
+use nx_deflate::stream::{Flush, StreamEncoder};
+use nx_deflate::{gzip, zlib, CompressionLevel, InflateScratch};
+use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Idle buffers retained per pool before further releases are dropped.
+const DEFAULT_MAX_IDLE: usize = 32;
+
+/// A shared shelf of reusable byte buffers.
+///
+/// `acquire` pops a previously released buffer (a *hit*) or allocates an
+/// empty one (a *miss*); `release` clears a buffer and shelves it for the
+/// next acquirer, dropping it instead once the shelf is full so the pool
+/// cannot grow without bound. All counters are monotonic and lock-free;
+/// the shelf itself is a mutex — acquisition is O(1) pop/push.
+#[derive(Debug)]
+pub struct BufferPool {
+    shelf: Mutex<Vec<Vec<u8>>>,
+    max_idle: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::with_max_idle(DEFAULT_MAX_IDLE)
+    }
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_idle` idle buffers.
+    pub fn with_max_idle(max_idle: usize) -> Self {
+        Self {
+            shelf: Mutex::new(Vec::new()),
+            max_idle,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a buffer from the shelf, or a fresh empty one on a miss.
+    /// Returned buffers are always empty (`len == 0`) but keep whatever
+    /// capacity their previous use grew.
+    pub fn acquire(&self) -> Vec<u8> {
+        match self.shelf.lock().pop() {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Clears `buf` and shelves it for reuse; drops it (counted) when the
+    /// shelf already holds the idle maximum.
+    pub fn release(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut shelf = self.shelf.lock();
+        if shelf.len() < self.max_idle {
+            shelf.push(buf);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Buffers currently shelved.
+    pub fn idle(&self) -> usize {
+        self.shelf.lock().len()
+    }
+
+    /// Acquisitions served from the shelf.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Buffers returned to the shelf.
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Buffers dropped at release because the shelf was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl MetricSource for BufferPool {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        out.push((
+            "nx_pool_hits_total".into(),
+            MetricValue::Counter(self.hits()),
+        ));
+        out.push((
+            "nx_pool_misses_total".into(),
+            MetricValue::Counter(self.misses()),
+        ));
+        out.push((
+            "nx_pool_recycled_total".into(),
+            MetricValue::Counter(self.recycled()),
+        ));
+        out.push((
+            "nx_pool_dropped_total".into(),
+            MetricValue::Counter(self.dropped()),
+        ));
+        out.push((
+            "nx_pool_idle_buffers".into(),
+            MetricValue::Gauge(self.idle() as i64),
+        ));
+    }
+}
+
+/// Pull-source for the inflate superloop's path counters: how many output
+/// bytes the fast loop produced versus the careful per-symbol loop. The
+/// counters are process-wide (they aggregate every decoder in the
+/// process), matching the hardware's per-unit performance counters.
+#[derive(Debug, Default)]
+pub struct InflatePathMetrics;
+
+impl MetricSource for InflatePathMetrics {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let (fast, careful) = nx_deflate::decode_path_counters();
+        out.push((
+            "nx_inflate_fast_path_bytes_total".into(),
+            MetricValue::Counter(fast),
+        ));
+        out.push((
+            "nx_inflate_careful_path_bytes_total".into(),
+            MetricValue::Counter(careful),
+        ));
+        // Hit rate in basis points (0..=10000) as a gauge, so dashboards
+        // get the ratio without post-processing two counters.
+        let total = fast + careful;
+        let bp = if total == 0 {
+            0
+        } else {
+            ((fast as u128 * 10_000) / total as u128) as i64
+        };
+        out.push(("nx_inflate_fast_path_bp".into(), MetricValue::Gauge(bp)));
+    }
+}
+
+/// A reusable compression/decompression session bound to an [`crate::Nx`]
+/// handle: the software path with every piece of per-request state —
+/// encoder hash chains, decode tables, output buffers — carried across
+/// calls. After one warmup call per payload shape, `compress_into` and
+/// `decompress_into` stop allocating on the decode side entirely (the
+/// encode side still builds its dynamic Huffman plan per block; see
+/// DESIGN.md's zero-allocation notes).
+///
+/// Traffic is recorded in the owning handle's [`NxStats`] and its
+/// telemetry sink, like any other facade request.
+#[derive(Debug)]
+pub struct ScratchSession {
+    stats: Arc<NxStats>,
+    telemetry: TelemetrySink,
+    level: CompressionLevel,
+    enc: StreamEncoder,
+    inflate: InflateScratch,
+    pool: Arc<BufferPool>,
+}
+
+impl ScratchSession {
+    pub(crate) fn new(
+        stats: Arc<NxStats>,
+        telemetry: TelemetrySink,
+        level: CompressionLevel,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        Self {
+            stats,
+            telemetry,
+            level,
+            enc: StreamEncoder::new(level),
+            inflate: InflateScratch::new(),
+            pool,
+        }
+    }
+
+    /// The configured compression level.
+    pub fn level(&self) -> CompressionLevel {
+        self.level
+    }
+
+    /// The buffer pool this session shares with its [`crate::Nx`] handle.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Takes a reusable buffer from the shared pool.
+    pub fn acquire_buffer(&self) -> Vec<u8> {
+        self.pool.acquire()
+    }
+
+    /// Returns a buffer to the shared pool.
+    pub fn release_buffer(&self, buf: Vec<u8>) {
+        self.pool.release(buf);
+    }
+
+    /// Compresses `data` into `format` framing, writing the complete
+    /// container into `out` (cleared first). The persistent encoder's
+    /// window, tokenizer and bit-writer buffers are reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; the `Result` mirrors [`crate::Nx::compress`].
+    pub fn compress_into(&mut self, data: &[u8], format: Format, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+        self.enc.reset_with_dict(&[]);
+        match format {
+            Format::RawDeflate => {
+                self.enc.write_into(data, Flush::Finish, out);
+            }
+            Format::Gzip => {
+                gzip::write_header_into(out);
+                self.enc.write_into(data, Flush::Finish, out);
+                gzip::write_trailer_into(out, crc32(data), data.len() as u64);
+            }
+            Format::Zlib => {
+                zlib::write_header_into(out, self.level);
+                self.enc.write_into(data, Flush::Finish, out);
+                zlib::write_trailer_into(out, adler32(data));
+            }
+        }
+        self.stats
+            .record_compress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
+        trace.span(Stage::Engine, 0, data.len() as u64, 0);
+        trace.finish(out.len() as u64);
+        Ok(())
+    }
+
+    /// Decompresses `format`-framed `data` into `out` (cleared first),
+    /// verifying container checksums. Decode tables rebuild in place and
+    /// the output is sized from the container hint — after warmup this
+    /// path performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::Deflate`] for malformed containers or streams.
+    pub fn decompress_into(
+        &mut self,
+        data: &[u8],
+        format: Format,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+        match format {
+            Format::RawDeflate => nx_deflate::inflate_into(data, &mut self.inflate, out)?,
+            Format::Gzip => gzip::decompress_into(data, &mut self.inflate, out)?,
+            Format::Zlib => zlib::decompress_into(data, &mut self.inflate, out)?,
+        }
+        self.stats
+            .record_decompress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
+        trace.span(Stage::Engine, 0, data.len() as u64, 0);
+        trace.finish(out.len() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nx;
+
+    #[test]
+    fn pool_hit_miss_accounting() {
+        let pool = BufferPool::with_max_idle(2);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.misses(), 2);
+        assert_eq!(pool.hits(), 0);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.recycled(), 2);
+        assert_eq!(pool.idle(), 2);
+        let c = pool.acquire();
+        assert_eq!(pool.hits(), 1);
+        // Shelf full: a third release is dropped, not shelved.
+        pool.release(Vec::new());
+        pool.release(Vec::new());
+        assert_eq!(pool.dropped(), 1);
+        pool.release(c);
+        assert_eq!(pool.dropped(), 2);
+    }
+
+    #[test]
+    fn pool_buffers_keep_capacity() {
+        let pool = BufferPool::default();
+        let mut buf = pool.acquire();
+        buf.extend_from_slice(&[7u8; 4096]);
+        pool.release(buf);
+        let again = pool.acquire();
+        assert!(again.is_empty());
+        assert!(again.capacity() >= 4096);
+    }
+
+    #[test]
+    fn session_roundtrips_all_formats() {
+        let nx = Nx::power9();
+        let mut sess = nx.scratch_session(6).unwrap();
+        let data = nx_corpus::CorpusKind::Json.generate(11, 48 * 1024);
+        let mut comp = Vec::new();
+        let mut back = Vec::new();
+        for format in [Format::RawDeflate, Format::Gzip, Format::Zlib] {
+            sess.compress_into(&data, format, &mut comp).unwrap();
+            sess.decompress_into(&comp, format, &mut back).unwrap();
+            assert_eq!(back, data, "{format:?}");
+            // Interop: the ordinary facade decodes the session's output.
+            assert_eq!(nx.decompress(&comp, format).unwrap().bytes, data);
+        }
+        assert_eq!(nx.stats().compress_requests(), 3);
+        assert_eq!(nx.stats().decompress_requests(), 6);
+    }
+
+    #[test]
+    fn session_buffers_stabilize() {
+        let nx = Nx::z15();
+        let mut sess = nx.scratch_session(6).unwrap();
+        let data = nx_corpus::CorpusKind::Text.generate(5, 64 * 1024);
+        let mut comp = Vec::new();
+        let mut back = Vec::new();
+        sess.compress_into(&data, Format::Gzip, &mut comp).unwrap();
+        sess.decompress_into(&comp, Format::Gzip, &mut back)
+            .unwrap();
+        let (ccap, bcap) = (comp.capacity(), back.capacity());
+        for _ in 0..5 {
+            sess.compress_into(&data, Format::Gzip, &mut comp).unwrap();
+            sess.decompress_into(&comp, Format::Gzip, &mut back)
+                .unwrap();
+            assert_eq!(back, data);
+        }
+        assert_eq!(comp.capacity(), ccap, "compress buffer reallocated");
+        assert_eq!(back.capacity(), bcap, "decompress buffer reallocated");
+    }
+
+    #[test]
+    fn session_detects_corruption() {
+        let nx = Nx::power9();
+        let mut sess = nx.scratch_session(6).unwrap();
+        let data = b"integrity matters".repeat(50);
+        let mut comp = Vec::new();
+        sess.compress_into(&data, Format::Gzip, &mut comp).unwrap();
+        let n = comp.len();
+        comp[n - 5] ^= 0xFF; // CRC byte
+        let mut back = Vec::new();
+        assert!(sess
+            .decompress_into(&comp, Format::Gzip, &mut back)
+            .is_err());
+        // The session stays usable after an error.
+        sess.compress_into(&data, Format::Zlib, &mut comp).unwrap();
+        sess.decompress_into(&comp, Format::Zlib, &mut back)
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn level_zero_session_stores() {
+        let nx = Nx::power9();
+        let mut sess = nx.scratch_session(0).unwrap();
+        let data = vec![0xABu8; 70_000];
+        let mut comp = Vec::new();
+        let mut back = Vec::new();
+        sess.compress_into(&data, Format::Zlib, &mut comp).unwrap();
+        sess.decompress_into(&comp, Format::Zlib, &mut back)
+            .unwrap();
+        assert_eq!(back, data);
+        assert!(nx.scratch_session(10).is_err());
+    }
+
+    #[test]
+    fn inflate_path_metrics_export() {
+        let mut out = Vec::new();
+        InflatePathMetrics.collect(&mut out);
+        let names: Vec<&str> = out.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"nx_inflate_fast_path_bytes_total"));
+        assert!(names.contains(&"nx_inflate_careful_path_bytes_total"));
+        assert!(names.contains(&"nx_inflate_fast_path_bp"));
+    }
+}

@@ -111,6 +111,22 @@ impl BitWriter {
     pub fn take_bytes(&mut self) -> Vec<u8> {
         std::mem::take(&mut self.out)
     }
+
+    /// Appends the complete bytes produced so far to `dst` and clears the
+    /// internal buffer (its capacity is kept). Allocation-free sibling of
+    /// [`take_bytes`](Self::take_bytes): any partial byte stays buffered.
+    pub fn take_bytes_into(&mut self, dst: &mut Vec<u8>) {
+        dst.extend_from_slice(&self.out);
+        self.out.clear();
+    }
+
+    /// Resets the writer to empty while keeping the output buffer's
+    /// capacity for reuse.
+    pub fn clear(&mut self) {
+        self.out.clear();
+        self.acc = 0;
+        self.nbits = 0;
+    }
 }
 
 /// LSB-first bit reader over a borrowed byte slice.
@@ -272,6 +288,31 @@ impl<'a> BitReader<'a> {
     /// Number of whole bytes not yet loaded plus buffered bits, in bits.
     pub fn bits_remaining(&self) -> u64 {
         (self.data.len() - self.pos) as u64 * 8 + u64::from(self.nbits)
+    }
+
+    /// The full input slice this reader walks — superloop access.
+    #[inline]
+    pub(crate) fn input(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Snapshot of `(acc, nbits, pos)` for a fast loop that keeps the bit
+    /// accumulator in locals. The accumulator may hold look-ahead stream
+    /// bits above `nbits` (see [`refill`](Self::refill)); a consumer that
+    /// refills with the same idempotent-OR scheme preserves the invariant.
+    #[inline]
+    pub(crate) fn fast_state(&self) -> (u64, u32, usize) {
+        (self.acc, self.nbits, self.pos)
+    }
+
+    /// Writes back a state previously obtained from
+    /// [`fast_state`](Self::fast_state) and advanced by the fast loop.
+    #[inline]
+    pub(crate) fn set_fast_state(&mut self, acc: u64, nbits: u32, pos: usize) {
+        debug_assert!(pos <= self.data.len());
+        self.acc = acc;
+        self.nbits = nbits;
+        self.pos = pos;
     }
 }
 

@@ -6,12 +6,50 @@
 //! software levels 0–9 and both accelerator modes — is validated against
 //! this decoder, and the decoder itself is validated against hand-built
 //! known-answer vectors.
+//!
+//! # The superloop
+//!
+//! Decoding runs on two cooperating paths:
+//!
+//! * a **fast loop** ([`Inflater::fast_loop`]) that runs while ≥ 16 input
+//!   bytes and ≥ 274 bytes of output slack remain — the bit accumulator
+//!   lives in a local, one wide refill serves up to two literals or a
+//!   whole length+distance token, and match copies go 8 bytes at a time
+//!   rounding up into the slack region. One pre-merged table lookup
+//!   (see [`crate::huffman::decode`]) yields action, base value, extra-bit
+//!   count and consumed bits together — the software analogue of the
+//!   hardware's one-lookup-per-cycle decode pipeline;
+//! * a **careful loop** that decodes one token at a time with precise
+//!   bounds, limit, and EOF checks. The fast loop never commits a
+//!   questionable token: on any anomaly (unassigned code, end-of-block,
+//!   reserved symbol, too-far distance) it rewinds to the token start and
+//!   hands over, so error semantics and boundary behavior are identical
+//!   to a purely careful decode.
+//!
+//! Bytes produced by each path are counted process-wide; see
+//! [`decode_path_counters`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bitio::BitReader;
 use crate::encoder::{fixed_dist_lengths, fixed_litlen_lengths, CODELEN_ORDER};
-use crate::huffman::decode::DecodeTable;
-use crate::lz77::{DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA};
+use crate::huffman::decode::{m_consumed, m_extra, m_payload, DecodeTable, M_EOB, M_EXC, M_LIT};
 use crate::{Error, Result};
+
+/// Bytes produced by the fast inflate loop, process-wide.
+static FAST_PATH_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bytes produced by the careful per-symbol loop, process-wide.
+static CAREFUL_PATH_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(fast, careful)` byte counters for the two inflate paths
+/// over Huffman-coded blocks (stored blocks are not attributed to either).
+/// Monotone; the fast-path hit rate is `fast / (fast + careful)`.
+pub fn decode_path_counters() -> (u64, u64) {
+    (
+        FAST_PATH_BYTES.load(Ordering::Relaxed),
+        CAREFUL_PATH_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 /// Decodes a complete raw DEFLATE stream.
 ///
@@ -40,6 +78,36 @@ pub fn inflate_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>> {
     let mut inf = Inflater::new(data);
     inf.run(limit)?;
     Ok(inf.into_output())
+}
+
+/// Decodes a raw DEFLATE stream with the fast loop disabled — the
+/// reference path the differential test battery compares against.
+#[doc(hidden)]
+pub fn inflate_careful(data: &[u8]) -> Result<Vec<u8>> {
+    let mut inf = Inflater::new(data);
+    inf.disable_fast_path();
+    inf.run(usize::MAX)?;
+    Ok(inf.into_output())
+}
+
+/// Decodes a raw DEFLATE stream into a caller-provided output buffer,
+/// reusing `scratch` for decode tables and code-length staging — the
+/// zero-allocation steady-state entry point.
+///
+/// `out` is cleared first; on success it holds the decoded bytes. On error
+/// its contents are unspecified but its capacity (and the scratch tables)
+/// remain available for reuse.
+///
+/// # Errors
+///
+/// As [`inflate`].
+pub fn inflate_into(data: &[u8], scratch: &mut InflateScratch, out: &mut Vec<u8>) -> Result<()> {
+    let mut inf = Inflater::with_reuse(data, std::mem::take(scratch), std::mem::take(out));
+    let res = inf.run(usize::MAX);
+    let (o, s) = inf.into_parts();
+    *scratch = s;
+    *out = o;
+    res
 }
 
 /// Per-block structural record collected when tracing is enabled — the
@@ -92,8 +160,8 @@ fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
     static TABLES: std::sync::OnceLock<(DecodeTable, DecodeTable)> = std::sync::OnceLock::new();
     TABLES.get_or_init(|| {
         match (
-            DecodeTable::new(&fixed_litlen_lengths()),
-            DecodeTable::new(&fixed_dist_lengths()),
+            DecodeTable::new_litlen(&fixed_litlen_lengths()),
+            DecodeTable::new_dist(&fixed_dist_lengths()),
         ) {
             (Ok(litlen), Ok(dist)) => (litlen, dist),
             // The inputs are the RFC 1951 §3.2.6 constants — a complete,
@@ -101,6 +169,33 @@ fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
             _ => unreachable!("RFC 1951 fixed code lengths form a valid code"),
         }
     })
+}
+
+/// Reusable inflate working state: merged decode tables, the code-length
+/// table, and the code-length staging vector. Holding one of these across
+/// requests makes dynamic-block table construction allocation-free in
+/// steady state (tables rebuild in place; see
+/// [`DecodeTable::rebuild_litlen`]).
+#[derive(Debug, Default)]
+pub struct InflateScratch {
+    litlen: DecodeTable,
+    dist: DecodeTable,
+    cl: DecodeTable,
+    lengths: Vec<u8>,
+}
+
+impl InflateScratch {
+    /// Fresh, empty scratch (first use populates the tables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Output capacity heuristic for a fresh decode: DEFLATE payloads in the
+/// wild typically expand 2–4×; cap the upfront guess so a tiny hostile
+/// input cannot force a large reservation.
+fn initial_capacity(input_len: usize) -> usize {
+    input_len.saturating_mul(4).min(1 << 20)
 }
 
 /// Incremental inflate engine over a borrowed input slice.
@@ -112,18 +207,64 @@ pub struct Inflater<'a> {
     primed: usize,
     finished: bool,
     trace: Option<Vec<BlockTrace>>,
+    scratch: InflateScratch,
+    fast_enabled: bool,
 }
 
 impl<'a> Inflater<'a> {
-    /// Creates an engine at the start of `data`.
+    /// Creates an engine at the start of `data`. The output buffer is
+    /// seeded with a ratio-based capacity guess; callers that know the
+    /// decoded size (e.g. from a gzip ISIZE trailer) should refine it via
+    /// [`reserve_output`](Self::reserve_output).
     pub fn new(data: &'a [u8]) -> Self {
         Self {
             reader: BitReader::new(data),
-            out: Vec::new(),
+            out: Vec::with_capacity(initial_capacity(data.len())),
             primed: 0,
             finished: false,
             trace: None,
+            scratch: InflateScratch::default(),
+            fast_enabled: true,
         }
+    }
+
+    /// Creates an engine that reuses a previous decode's scratch tables
+    /// and output buffer (cleared, capacity kept) — see [`inflate_into`].
+    pub fn with_reuse(data: &'a [u8], scratch: InflateScratch, mut out: Vec<u8>) -> Self {
+        out.clear();
+        Self {
+            reader: BitReader::new(data),
+            out,
+            primed: 0,
+            finished: false,
+            trace: None,
+            scratch,
+            fast_enabled: true,
+        }
+    }
+
+    /// Consumes the engine, returning the decoded bytes (excluding any
+    /// primed dictionary) together with the reusable scratch state.
+    pub fn into_parts(mut self) -> (Vec<u8>, InflateScratch) {
+        self.out.drain(..self.primed);
+        (self.out, self.scratch)
+    }
+
+    /// Grows the output buffer's capacity toward `hint` expected decoded
+    /// bytes. A hint is advisory: wrong values cost at most a reallocation
+    /// or some slack, never correctness, and hostile hints are capped.
+    pub fn reserve_output(&mut self, hint: usize) {
+        // Never reserve more than the theoretical DEFLATE expansion of the
+        // remaining input (~1032×) or a hard 256 MiB roof.
+        let input_len = self.reader.input().len();
+        let cap = hint.min(input_len.saturating_mul(1032)).min(1 << 28);
+        self.out.reserve(cap);
+    }
+
+    /// Disables the fast loop, forcing every token through the careful
+    /// per-symbol path — the reference mode for differential testing.
+    pub fn disable_fast_path(&mut self) {
+        self.fast_enabled = false;
     }
 
     /// Primes the window with a preset dictionary (its last 32 KB), the
@@ -204,9 +345,22 @@ impl<'a> Inflater<'a> {
                 self.huffman_block(litlen, dist, limit, collect.then_some(&mut tokens))?;
             }
             0b10 => {
-                let (litlen, dist) = self.read_dynamic_tables()?;
+                // The scratch tables are moved out for the duration of the
+                // block so the table borrows don't pin `self`, and moved
+                // back unconditionally to keep their capacity for reuse.
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let built = self.read_dynamic_tables_into(&mut scratch);
                 header_end_bits = self.reader.bits_consumed();
-                self.huffman_block(&litlen, &dist, limit, collect.then_some(&mut tokens))?;
+                let res = built.and_then(|()| {
+                    self.huffman_block(
+                        &scratch.litlen,
+                        &scratch.dist,
+                        limit,
+                        collect.then_some(&mut tokens),
+                    )
+                });
+                self.scratch = scratch;
+                res?;
             }
             _ => return Err(Error::ReservedBlockType),
         }
@@ -281,7 +435,7 @@ impl<'a> Inflater<'a> {
         Ok(header_end)
     }
 
-    fn read_dynamic_tables(&mut self) -> Result<(DecodeTable, DecodeTable)> {
+    fn read_dynamic_tables_into(&mut self, scratch: &mut InflateScratch) -> Result<()> {
         let hlit = self.reader.read_bits(5)? as usize + 257;
         let hdist = self.reader.read_bits(5)? as usize + 1;
         let hclen = self.reader.read_bits(4)? as usize + 4;
@@ -293,10 +447,12 @@ impl<'a> Inflater<'a> {
         for &sym in CODELEN_ORDER.iter().take(hclen) {
             cl_lengths[sym] = self.reader.read_bits(3)? as u8;
         }
-        let cl_table = DecodeTable::new(&cl_lengths)?;
+        scratch.cl.rebuild_plain(&cl_lengths)?;
 
         let total = hlit + hdist;
-        let mut lengths = vec![0u8; total];
+        scratch.lengths.clear();
+        scratch.lengths.resize(total, 0);
+        let (cl_table, lengths) = (&scratch.cl, &mut scratch.lengths);
         let mut i = 0usize;
         while i < total {
             let sym = cl_table.decode(&mut self.reader)?;
@@ -338,12 +494,12 @@ impl<'a> Inflater<'a> {
         }
 
         // The literal/length alphabet must contain the end-of-block code.
-        if lengths[256] == 0 {
+        if scratch.lengths[256] == 0 {
             return Err(Error::InvalidCodeLengths);
         }
-        let litlen = DecodeTable::new(&lengths[..hlit])?;
-        let dist = DecodeTable::new(&lengths[hlit..])?;
-        Ok((litlen, dist))
+        scratch.litlen.rebuild_litlen(&scratch.lengths[..hlit])?;
+        scratch.dist.rebuild_dist(&scratch.lengths[hlit..])?;
+        Ok(())
     }
 
     fn huffman_block(
@@ -353,59 +509,249 @@ impl<'a> Inflater<'a> {
         limit: usize,
         mut tokens: Option<&mut Vec<crate::lz77::Token>>,
     ) -> Result<()> {
-        loop {
-            let sym = litlen.decode(&mut self.reader)?;
-            match sym {
-                0..=255 => {
-                    if let Some(ts) = tokens.as_deref_mut() {
-                        ts.push(crate::lz77::Token::Literal(sym as u8));
-                    }
-                    self.push(sym as u8, limit)?;
+        // The fast loop skips per-token bookkeeping, so tracing runs
+        // entirely on the careful path.
+        let use_fast = tokens.is_none() && self.fast_enabled && litlen.is_merged();
+        let mut careful_bytes = 0u64;
+        let res = loop {
+            if use_fast {
+                self.fast_loop(litlen, dist, limit);
+            }
+            match self.careful_token(litlen, dist, limit, &mut tokens, &mut careful_bytes) {
+                Ok(true) => break Ok(()),
+                Ok(false) => {}
+                Err(e) => break Err(e),
+            }
+        };
+        if careful_bytes > 0 {
+            CAREFUL_PATH_BYTES.fetch_add(careful_bytes, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// Decodes one token on the careful path. Returns `Ok(true)` on
+    /// end-of-block.
+    fn careful_token(
+        &mut self,
+        litlen: &DecodeTable,
+        dist: &DecodeTable,
+        limit: usize,
+        tokens: &mut Option<&mut Vec<crate::lz77::Token>>,
+        careful_bytes: &mut u64,
+    ) -> Result<bool> {
+        let e = litlen.decode_entry(&mut self.reader)?;
+        if e & M_LIT != 0 {
+            let b = m_payload(e) as u8;
+            if let Some(ts) = tokens.as_deref_mut() {
+                ts.push(crate::lz77::Token::Literal(b));
+            }
+            self.push(b, limit)?;
+            *careful_bytes += 1;
+            return Ok(false);
+        }
+        if e & M_EOB != 0 {
+            return Ok(true);
+        }
+        if e & M_EXC != 0 {
+            // Reserved literal/length symbols 286/287.
+            return Err(Error::InvalidLengthOrDistance);
+        }
+        let len = m_payload(e) as usize + self.reader.read_bits(m_extra(e))? as usize;
+        let de = dist.decode_entry(&mut self.reader)?;
+        if de & M_EXC != 0 {
+            // Reserved distance symbols 30/31.
+            return Err(Error::InvalidLengthOrDistance);
+        }
+        let distance = m_payload(de) as usize + self.reader.read_bits(m_extra(de))? as usize;
+        if distance > self.out.len() {
+            return Err(Error::DistanceTooFar);
+        }
+        if self.out.len() - self.primed + len > limit {
+            return Err(Error::OutputLimitExceeded);
+        }
+        if let Some(ts) = tokens.as_deref_mut() {
+            ts.push(crate::lz77::Token::Match {
+                len: len as u16,
+                dist: distance as u16,
+            });
+        }
+        let start = self.out.len() - distance;
+        if distance >= len {
+            self.out.extend_from_within(start..start + len);
+        } else {
+            // Overlapping copy (RLE semantics): out[start..] is periodic
+            // with period `distance`, so appending any prefix of it
+            // continues the pattern. The available source doubles each
+            // pass.
+            let mut remaining = len;
+            while remaining > 0 {
+                let take = remaining.min(self.out.len() - start);
+                self.out.extend_from_within(start..start + take);
+                remaining -= take;
+            }
+        }
+        *careful_bytes += len as u64;
+        Ok(false)
+    }
+
+    /// The fast inner loop. Decodes tokens while safety margins hold and
+    /// hands any anomaly back to the careful loop with the reader rewound
+    /// to the start of the offending token. Infallible by construction:
+    /// it only commits tokens the careful path would also accept.
+    ///
+    /// Safety margins (see DESIGN.md for the full argument):
+    /// * **input**: runs while `pos + 16 <= data.len()`, so both the
+    ///   iteration-start refill and the mid-token refill read 8 in-bounds
+    ///   bytes and always leave ≥ 56 valid accumulator bits — enough for
+    ///   two literals (≤ 30 bits) or a literal + length code + extra
+    ///   (≤ 35 bits) before the mid refill, and a distance code + extra
+    ///   (≤ 28 bits) after it;
+    /// * **output**: runs while `wpos + 274 <= fence`, where 274 ≥ one
+    ///   literal (1) + the longest match (258) rounded up to the next
+    ///   8-byte copy boundary (264), so wide copies may overshoot into
+    ///   slack that `truncate` trims afterwards;
+    /// * **limit**: the slack fence never extends past `primed + limit`,
+    ///   so the fast loop can never overrun the caller's output limit —
+    ///   near the limit it defers to the careful loop's exact check.
+    fn fast_loop(&mut self, litlen: &DecodeTable, dist: &DecodeTable, limit: usize) {
+        const SLACK: usize = 274;
+        const CHUNK: usize = 64 * 1024;
+        let data = self.reader.input();
+        let (mut acc, mut nbits, mut pos) = self.reader.fast_state();
+        let mut wpos = self.out.len();
+        let start_wpos = wpos;
+        let limit_bound = self.primed.saturating_add(limit);
+        'outer: while pos + 16 <= data.len() {
+            // Open a slack region: resize (not reserve) so the wide copies
+            // below can index freely; trimmed back to `wpos` on exit.
+            let target = wpos.saturating_add(CHUNK).min(limit_bound);
+            if target < wpos.saturating_add(SLACK) {
+                break;
+            }
+            if self.out.len() < target {
+                self.out.resize(target, 0);
+            }
+            let out = self.out.as_mut_slice();
+            let fence = out.len();
+            while pos + 16 <= data.len() && wpos + SLACK <= fence {
+                if nbits < 56 {
+                    let mut w = [0u8; 8];
+                    w.copy_from_slice(&data[pos..pos + 8]);
+                    acc |= u64::from_le_bytes(w) << nbits;
+                    let absorbed = (63 - nbits) >> 3;
+                    pos += absorbed as usize;
+                    nbits += absorbed * 8;
                 }
-                256 => return Ok(()),
-                257..=285 => {
-                    let li = usize::from(sym - 257);
-                    let extra = LENGTH_EXTRA[li];
-                    let len = usize::from(LENGTH_BASE[li])
-                        + self.reader.read_bits(u32::from(extra))? as usize;
-                    let dsym = dist.decode(&mut self.reader)?;
-                    if dsym > 29 {
-                        return Err(Error::InvalidLengthOrDistance);
-                    }
-                    let di = usize::from(dsym);
-                    let dextra = DIST_EXTRA[di];
-                    let distance = usize::from(DIST_BASE[di])
-                        + self.reader.read_bits(u32::from(dextra))? as usize;
-                    if distance > self.out.len() {
-                        return Err(Error::DistanceTooFar);
-                    }
-                    if self.out.len() - self.primed + len > limit {
-                        return Err(Error::OutputLimitExceeded);
-                    }
-                    if let Some(ts) = tokens.as_deref_mut() {
-                        ts.push(crate::lz77::Token::Match {
-                            len: len as u16,
-                            dist: distance as u16,
-                        });
-                    }
-                    let start = self.out.len() - distance;
-                    if distance >= len {
-                        self.out.extend_from_within(start..start + len);
-                    } else {
-                        // Overlapping copy (RLE semantics): out[start..] is
-                        // periodic with period `distance`, so appending any
-                        // prefix of it continues the pattern. The available
-                        // source doubles each pass.
-                        let mut remaining = len;
-                        while remaining > 0 {
-                            let take = remaining.min(self.out.len() - start);
-                            self.out.extend_from_within(start..start + take);
-                            remaining -= take;
+                let mut e = litlen.lookup(acc);
+                if e == 0 {
+                    break 'outer;
+                }
+                if e & M_LIT != 0 {
+                    let c = m_consumed(e);
+                    acc >>= c;
+                    nbits -= c;
+                    out[wpos] = m_payload(e) as u8;
+                    wpos += 1;
+                    // Second literal from the same refill: ≥ 41 bits left.
+                    e = litlen.lookup(acc);
+                    if e & M_LIT != 0 {
+                        let c2 = m_consumed(e);
+                        acc >>= c2;
+                        nbits -= c2;
+                        out[wpos] = m_payload(e) as u8;
+                        wpos += 1;
+                        // Third literal: ≥ 26 bits left still covers a
+                        // 15-bit code plus the next root peek.
+                        e = litlen.lookup(acc);
+                        if e & M_LIT != 0 {
+                            let c3 = m_consumed(e);
+                            acc >>= c3;
+                            nbits -= c3;
+                            out[wpos] = m_payload(e) as u8;
+                            wpos += 1;
+                            continue;
                         }
                     }
+                    if e == 0 {
+                        continue;
+                    }
                 }
-                _ => return Err(Error::InvalidLengthOrDistance),
+                if e & M_EXC != 0 {
+                    // End-of-block or reserved symbol: let the careful
+                    // loop re-decode it (nothing consumed for `e`).
+                    break 'outer;
+                }
+                // Length/distance token. Snapshot so a bail re-decodes the
+                // whole token carefully with identical error semantics.
+                let snap = (acc, nbits, pos, wpos);
+                let c = m_consumed(e);
+                acc >>= c;
+                nbits -= c;
+                let lextra = m_extra(e);
+                let len = m_payload(e) as usize + (acc & ((1u64 << lextra) - 1)) as usize;
+                acc >>= lextra;
+                nbits -= lextra;
+                if nbits < 32 {
+                    // Mid-token refill; in-bounds because `pos` has moved
+                    // at most 7 bytes since the `pos + 16` guard.
+                    let mut w = [0u8; 8];
+                    w.copy_from_slice(&data[pos..pos + 8]);
+                    acc |= u64::from_le_bytes(w) << nbits;
+                    let absorbed = (63 - nbits) >> 3;
+                    pos += absorbed as usize;
+                    nbits += absorbed * 8;
+                }
+                let de = dist.lookup(acc);
+                if de == 0 || de & M_EXC != 0 {
+                    (acc, nbits, pos, wpos) = snap;
+                    break 'outer;
+                }
+                let dc = m_consumed(de);
+                acc >>= dc;
+                nbits -= dc;
+                let dextra = m_extra(de);
+                let distance = m_payload(de) as usize + (acc & ((1u64 << dextra) - 1)) as usize;
+                acc >>= dextra;
+                nbits -= dextra;
+                if distance > wpos {
+                    (acc, nbits, pos, wpos) = snap;
+                    break 'outer;
+                }
+                let src = wpos - distance;
+                if distance == 1 {
+                    let b = out[src];
+                    out[wpos..wpos + len].fill(b);
+                } else if distance >= 8 {
+                    // 8-byte wide copy rounding up into the slack; each
+                    // read is ≥ 8 bytes behind the write cursor, so
+                    // already-written data is never read mid-chunk.
+                    let mut s = src;
+                    let mut d = wpos;
+                    let end = wpos + len;
+                    while d < end {
+                        let mut tmp = [0u8; 8];
+                        tmp.copy_from_slice(&out[s..s + 8]);
+                        out[d..d + 8].copy_from_slice(&tmp);
+                        s += 8;
+                        d += 8;
+                    }
+                } else {
+                    // Short-period overlap (2..=7): byte-by-byte keeps the
+                    // pattern exact.
+                    let mut i = wpos;
+                    let end = wpos + len;
+                    while i < end {
+                        out[i] = out[i - distance];
+                        i += 1;
+                    }
+                }
+                wpos += len;
             }
+        }
+        self.out.truncate(wpos);
+        self.reader.set_fast_state(acc, nbits, pos);
+        if wpos > start_wpos {
+            FAST_PATH_BYTES.fetch_add((wpos - start_wpos) as u64, Ordering::Relaxed);
         }
     }
 }
@@ -628,5 +974,91 @@ mod tests {
         assert!(inf.is_finished());
         assert_eq!(inf.byte_position(), comp.len());
         assert_eq!(inf.output(), b"position test data");
+    }
+
+    /// A payload that exercises literals, long matches, and short-period
+    /// overlaps at every compression level.
+    fn mixed_payload() -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(
+                format!("entry {i} value={}|", i.wrapping_mul(2654435761)).as_bytes(),
+            );
+        }
+        data.extend(std::iter::repeat_n(b'R', 5000)); // dist-1 runs
+        data.extend((0..3000).map(|i| (i % 251) as u8)); // near-random tail
+        data
+    }
+
+    #[test]
+    fn fast_and_careful_paths_agree() {
+        let data = mixed_payload();
+        for level in [0u32, 1, 4, 6, 9] {
+            let comp = crate::deflate(&data, CompressionLevel::new(level).unwrap());
+            let fast = inflate(&comp).unwrap();
+            let careful = inflate_careful(&comp).unwrap();
+            assert_eq!(fast, careful, "level {level}");
+            assert_eq!(fast, data, "level {level}");
+        }
+    }
+
+    #[test]
+    fn fast_path_counters_advance() {
+        let (f0, _) = decode_path_counters();
+        let data = mixed_payload();
+        let comp = crate::deflate(&data, CompressionLevel::new(6).unwrap());
+        assert_eq!(inflate(&comp).unwrap(), data);
+        let (f1, _) = decode_path_counters();
+        assert!(f1 > f0, "fast loop produced no bytes on a large stream");
+    }
+
+    #[test]
+    fn inflate_into_reuses_buffers() {
+        let data = mixed_payload();
+        let comp = crate::deflate(&data, CompressionLevel::new(6).unwrap());
+        let mut scratch = InflateScratch::new();
+        let mut out = Vec::new();
+        inflate_into(&comp, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        let cap = out.capacity();
+        // Second decode of the same stream must not grow the buffer.
+        inflate_into(&comp, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn inflate_into_reports_errors_and_stays_reusable() {
+        let mut scratch = InflateScratch::new();
+        let mut out = Vec::new();
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b11, 2); // reserved type
+        assert_eq!(
+            inflate_into(&w.finish(), &mut scratch, &mut out),
+            Err(Error::ReservedBlockType)
+        );
+        let data = mixed_payload();
+        let comp = crate::deflate(&data, CompressionLevel::new(6).unwrap());
+        inflate_into(&comp, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn output_capacity_is_seeded() {
+        let inf = Inflater::new(&[0u8; 1000]);
+        assert!(inf.out.capacity() >= 4000);
+        let mut inf = Inflater::new(&[0u8; 8]);
+        inf.reserve_output(usize::MAX); // hostile hint is capped
+        assert!(inf.out.capacity() <= 8 * 1032);
+    }
+
+    #[test]
+    fn fast_path_respects_dictionary_window() {
+        let dict = b"0123456789abcdefghijklmnopqrstuvwxyz".repeat(40);
+        let data = dict.repeat(3);
+        let comp =
+            crate::encoder::deflate_with_dict(&data, CompressionLevel::new(6).unwrap(), &dict);
+        assert_eq!(inflate_with_dict(&comp, &dict).unwrap(), data);
     }
 }

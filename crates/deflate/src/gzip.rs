@@ -70,16 +70,29 @@ pub fn compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
 /// *uncompressed* payload.
 pub fn wrap_deflate(deflate_stream: &[u8], crc: u32, input_len: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(deflate_stream.len() + 18);
+    write_header_into(&mut out);
+    out.extend_from_slice(deflate_stream);
+    write_trailer_into(&mut out, crc, input_len);
+    out
+}
+
+/// Appends the minimal 10-byte gzip member header (no optional fields,
+/// OS = unknown) to `out` — the streaming half of [`wrap_deflate`] for
+/// callers that assemble a member into a reused buffer.
+pub fn write_header_into(out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
     out.push(METHOD_DEFLATE);
     out.push(0);
     out.extend_from_slice(&0u32.to_le_bytes());
     out.push(0);
     out.push(255);
-    out.extend_from_slice(deflate_stream);
+}
+
+/// Appends the CRC-32 + ISIZE member trailer to `out`. `crc` and
+/// `input_len` describe the *uncompressed* payload.
+pub fn write_trailer_into(out: &mut Vec<u8>, crc: u32, input_len: u64) {
     out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(&((input_len & 0xFFFF_FFFF) as u32).to_le_bytes());
-    out
 }
 
 /// Decompresses a single-member gzip stream, verifying the trailer.
@@ -106,6 +119,76 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
 ///
 /// See [`decompress`].
 pub fn decompress_with_header(data: &[u8]) -> Result<(Vec<u8>, GzipHeader, usize)> {
+    let (header, pos) = parse_header(data)?;
+    let mut inf = decoder::Inflater::new(&data[pos..]);
+    inf.reserve_output(isize_hint(data));
+    inf.run(usize::MAX)?;
+    let used_payload = inf.byte_position();
+    let out = inf.into_output();
+    let used = verify_trailer(data, pos + used_payload, &out)?;
+    Ok((out, header, used))
+}
+
+/// Decompresses a single-member gzip stream into a caller-provided buffer,
+/// reusing `scratch` across calls — the steady-state path the scratch
+/// session layer in `nx-core` drives. `out` is cleared first.
+///
+/// # Errors
+///
+/// As [`decompress`].
+pub fn decompress_into(
+    data: &[u8],
+    scratch: &mut decoder::InflateScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let (_header, pos) = parse_header(data)?;
+    let mut inf =
+        decoder::Inflater::with_reuse(&data[pos..], std::mem::take(scratch), std::mem::take(out));
+    inf.reserve_output(isize_hint(data));
+    let res = inf.run(usize::MAX);
+    let used_payload = inf.byte_position();
+    let (o, s) = inf.into_parts();
+    *scratch = s;
+    *out = o;
+    res?;
+    let used = verify_trailer(data, pos + used_payload, out)?;
+    if used != data.len() {
+        return Err(Error::TrailingData);
+    }
+    Ok(())
+}
+
+/// Output-size hint from the member's ISIZE trailer field. Exact for the
+/// common single-member case (modulo 2³²); for multi-member streams it is
+/// merely the last member's size, which is still a harmless capacity hint
+/// — [`decoder::Inflater::reserve_output`] caps hostile values.
+fn isize_hint(data: &[u8]) -> usize {
+    match read4(data, data.len().saturating_sub(4)) {
+        Ok(b) => u32::from_le_bytes(b) as usize,
+        Err(_) => 0,
+    }
+}
+
+/// Validates the 8-byte CRC-32 + ISIZE trailer at `trailer_at` against the
+/// decoded payload, returning the total member length.
+fn verify_trailer(data: &[u8], trailer_at: usize, out: &[u8]) -> Result<usize> {
+    if trailer_at + 8 > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    let stored_crc = u32::from_le_bytes(read4(data, trailer_at)?);
+    let stored_len = u32::from_le_bytes(read4(data, trailer_at + 4)?);
+    if stored_crc != crate::crc32::crc32(out) {
+        return Err(Error::GzipChecksumMismatch);
+    }
+    if stored_len != (out.len() & 0xFFFF_FFFF) as u32 {
+        return Err(Error::GzipChecksumMismatch);
+    }
+    Ok(trailer_at + 8)
+}
+
+/// Parses a member header, returning the parsed fields and the offset at
+/// which the DEFLATE payload begins.
+fn parse_header(data: &[u8]) -> Result<(GzipHeader, usize)> {
     if data.len() < 18 {
         return Err(Error::UnexpectedEof);
     }
@@ -160,24 +243,7 @@ pub fn decompress_with_header(data: &[u8]) -> Result<(Vec<u8>, GzipHeader, usize
         pos += 2;
     }
     let _ = flg & FTEXT; // advisory only
-
-    let mut inf = decoder::Inflater::new(&data[pos..]);
-    inf.run(usize::MAX)?;
-    let used_payload = inf.byte_position();
-    let out = inf.into_output();
-    let trailer_at = pos + used_payload;
-    if trailer_at + 8 > data.len() {
-        return Err(Error::UnexpectedEof);
-    }
-    let stored_crc = u32::from_le_bytes(read4(data, trailer_at)?);
-    let stored_len = u32::from_le_bytes(read4(data, trailer_at + 4)?);
-    if stored_crc != crate::crc32::crc32(&out) {
-        return Err(Error::GzipChecksumMismatch);
-    }
-    if stored_len != (out.len() & 0xFFFF_FFFF) as u32 {
-        return Err(Error::GzipChecksumMismatch);
-    }
-    Ok((out, header, trailer_at + 8))
+    Ok((header, pos))
 }
 
 /// Reads the 4-byte field at `at`, surfacing truncation as a typed error
@@ -344,6 +410,34 @@ mod tests {
         assert_eq!(a, b"first");
         assert_eq!(b, b"second");
         assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn decompress_into_reuses_and_verifies() {
+        let data: Vec<u8> = b"scratch-session gzip payload ".repeat(300);
+        let gz = compress(&data, lvl(6));
+        let mut scratch = crate::decoder::InflateScratch::new();
+        let mut out = Vec::new();
+        decompress_into(&gz, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        let cap = out.capacity();
+        decompress_into(&gz, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(out.capacity(), cap);
+        // Corruption is still caught on the reuse path.
+        let mut bad = gz.clone();
+        let n = bad.len();
+        bad[n - 5] ^= 0xFF;
+        assert_eq!(
+            decompress_into(&bad, &mut scratch, &mut out),
+            Err(Error::GzipChecksumMismatch)
+        );
+        let mut trailing = gz;
+        trailing.push(0xEE);
+        assert_eq!(
+            decompress_into(&trailing, &mut scratch, &mut out),
+            Err(Error::TrailingData)
+        );
     }
 
     #[test]

@@ -60,9 +60,25 @@ pub fn reverse_bits(v: u16, n: u8) -> u16 {
 /// — DEFLATE legitimately uses them for degenerate distance alphabets — and
 /// simply leave part of the code space unassigned.
 pub fn canonical_codes(lengths: &[u8]) -> Result<Vec<Code>> {
+    let mut out = Vec::new();
+    canonical_codes_into(lengths, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`canonical_codes`], but writes into a caller-provided vector so
+/// steady-state decoders can rebuild per-block codes without allocating.
+///
+/// `out` is cleared and refilled; its capacity is reused across calls.
+///
+/// # Errors
+///
+/// As [`canonical_codes`].
+pub fn canonical_codes_into(lengths: &[u8], out: &mut Vec<Code>) -> Result<()> {
+    out.clear();
     let max_len = lengths.iter().copied().max().unwrap_or(0);
     if max_len == 0 {
-        return Ok(vec![Code::default(); lengths.len()]);
+        out.resize(lengths.len(), Code::default());
+        return Ok(());
     }
     if max_len > MAX_CODE_LEN {
         return Err(Error::InvalidCodeLengths);
@@ -91,7 +107,7 @@ pub fn canonical_codes(lengths: &[u8]) -> Result<Vec<Code>> {
         next[len as usize] = code;
     }
 
-    let mut out = vec![Code::default(); lengths.len()];
+    out.resize(lengths.len(), Code::default());
     for (sym, &len) in lengths.iter().enumerate() {
         if len > 0 {
             let canon = next[len as usize];
@@ -102,7 +118,7 @@ pub fn canonical_codes(lengths: &[u8]) -> Result<Vec<Code>> {
             };
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Returns `true` if `lengths` describe a *complete* code (Kraft sum exactly

@@ -53,7 +53,8 @@ pub mod stream;
 pub mod zlib;
 
 pub use decoder::{
-    inflate, inflate_traced, inflate_with_dict, inflate_with_limit, BlockTrace, Inflater,
+    decode_path_counters, inflate, inflate_into, inflate_traced, inflate_with_dict,
+    inflate_with_limit, BlockTrace, InflateScratch, Inflater,
 };
 pub use encoder::{
     deflate, deflate_tokens, deflate_with_dict, CompressionLevel, Encoder, Strategy,

@@ -91,7 +91,7 @@ impl StreamEncoder {
     /// the cheap path for a worker compressing many shards in sequence.
     pub fn reset_with_dict(&mut self, dict: &[u8]) {
         self.tail.clear();
-        self.w = BitWriter::new();
+        self.w.clear();
         self.finished = false;
         self.total_in = 0;
         self.prime_dict(dict);
@@ -125,6 +125,19 @@ impl StreamEncoder {
     ///
     /// Panics if called after [`Flush::Finish`].
     pub fn write(&mut self, chunk: &[u8], flush: Flush) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(chunk, flush, &mut out);
+        out
+    }
+
+    /// Compresses `chunk`, appending the produced bytes to `out` instead
+    /// of allocating a fresh vector — the zero-allocation path for
+    /// long-lived sessions that recycle their output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Flush::Finish`].
+    pub fn write_into(&mut self, chunk: &[u8], flush: Flush, out: &mut Vec<u8>) {
         assert!(!self.finished, "write after Flush::Finish");
         self.total_in += chunk.len() as u64;
 
@@ -188,7 +201,7 @@ impl StreamEncoder {
                 self.finished = true;
             }
         }
-        self.w.take_bytes()
+        self.w.take_bytes_into(out);
     }
 
     /// Closes the stream, returning any final bytes. Equivalent to
@@ -236,6 +249,11 @@ pub struct InflateStream {
     bit_pos: u64,
     /// The carried output window (last ≤ 32 KB of produced output).
     window: Vec<u8>,
+    /// Reusable decode tables + length scratch, carried across pushes so
+    /// steady-state decoding stops allocating.
+    scratch: crate::decoder::InflateScratch,
+    /// Reusable per-block output buffer (swapped into each engine).
+    block_out: Vec<u8>,
     finished: bool,
     total_out: u64,
 }
@@ -270,17 +288,28 @@ impl InflateStream {
         self.buf.extend_from_slice(bytes);
         let mut produced = Vec::new();
         loop {
-            // Attempt one block from the current bit position on a fresh
-            // engine primed with the carried window.
-            let mut inf = crate::decoder::Inflater::new(&self.buf);
+            // Attempt one block from the current bit position on an engine
+            // primed with the carried window, recycling the decode tables
+            // and per-block output buffer across pushes.
+            let mut inf = crate::decoder::Inflater::with_reuse(
+                &self.buf,
+                std::mem::take(&mut self.scratch),
+                std::mem::take(&mut self.block_out),
+            );
             inf.prime_window(&self.window);
             if inf.skip_bits(self.bit_pos).is_err() {
-                break; // not even the position's bits are present yet
+                // Not even the position's bits are present yet.
+                let (out, scratch) = inf.into_parts();
+                (self.block_out, self.scratch) = (out, scratch);
+                break;
             }
-            match inf.decode_block(usize::MAX) {
+            let status = inf.decode_block(usize::MAX);
+            let (bit_pos, block_final) = (inf.bit_position(), inf.is_finished());
+            let (out, scratch) = inf.into_parts();
+            self.scratch = scratch;
+            match status {
                 Ok(()) => {
-                    self.bit_pos = inf.bit_position();
-                    let out = inf.output().to_vec();
+                    self.bit_pos = bit_pos;
                     self.total_out += out.len() as u64;
                     // Update the carried window.
                     self.window.extend_from_slice(&out);
@@ -288,10 +317,11 @@ impl InflateStream {
                     if excess > 0 {
                         self.window.drain(..excess);
                     }
-                    if inf.is_finished() {
+                    if block_final {
                         self.finished = true;
                     }
-                    produced.extend(out);
+                    produced.extend_from_slice(&out);
+                    self.block_out = out;
                     // Compact consumed whole bytes.
                     let whole = (self.bit_pos / 8) as usize;
                     if whole > 0 {
@@ -302,8 +332,14 @@ impl InflateStream {
                         break;
                     }
                 }
-                Err(crate::Error::UnexpectedEof) => break, // need more input
-                Err(e) => return Err(e),
+                Err(crate::Error::UnexpectedEof) => {
+                    self.block_out = out;
+                    break; // need more input
+                }
+                Err(e) => {
+                    self.block_out = out;
+                    return Err(e);
+                }
             }
         }
         Ok(produced)
@@ -472,6 +508,49 @@ mod tests {
             assert_eq!(crate::inflate_with_dict(&out, &dict).unwrap(), part);
             dict = part.to_vec();
         }
+    }
+
+    #[test]
+    fn write_into_appends_and_matches_write() {
+        let data: Vec<u8> = b"write_into should append, not replace. ".repeat(200);
+        let mut enc = StreamEncoder::new(lvl(6));
+        let mut out = b"prefix".to_vec();
+        enc.write_into(&data, Flush::Finish, &mut out);
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(inflate(&out[6..]).unwrap(), data);
+    }
+
+    #[test]
+    fn write_into_reuses_output_capacity() {
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        let mut enc = StreamEncoder::new(lvl(6));
+        let mut out = Vec::new();
+        enc.reset_with_dict(&[]);
+        enc.write_into(&data, Flush::Finish, &mut out);
+        let cap = out.capacity();
+        for _ in 0..3 {
+            out.clear();
+            enc.reset_with_dict(&[]);
+            enc.write_into(&data, Flush::Finish, &mut out);
+            assert_eq!(inflate(&out).unwrap(), data);
+        }
+        assert_eq!(out.capacity(), cap, "output buffer was reallocated");
+    }
+
+    #[test]
+    fn inflate_stream_recycles_block_buffers() {
+        // Two same-shape streams through one decoder-per-stream pattern:
+        // the second push cycle must not grow the internal buffers.
+        let data: Vec<u8> = b"recycled push-based inflate buffers ".repeat(500);
+        let comp = crate::deflate(&data, lvl(6));
+        let mut dec = InflateStream::new();
+        let mut out = Vec::new();
+        for c in comp.chunks(1024) {
+            out.extend(dec.push(c).unwrap());
+        }
+        assert_eq!(out, data);
+        let cap = dec.block_out.capacity();
+        assert!(cap > 0, "block buffer never retained");
     }
 
     #[test]

@@ -40,6 +40,19 @@ pub fn wrap_deflate(deflate_stream: &[u8], adler: u32) -> Vec<u8> {
     out
 }
 
+/// Appends the 2-byte zlib header (CM=8, 32 KB window, FDICT clear,
+/// FLEVEL advisory from `level`) to `out` — the streaming half of
+/// [`wrap_deflate`] for callers assembling a stream into a reused buffer.
+pub fn write_header_into(out: &mut Vec<u8>, level: CompressionLevel) {
+    write_header(out, level);
+}
+
+/// Appends the big-endian Adler-32 trailer to `out`. `adler` is the
+/// checksum of the *uncompressed* payload.
+pub fn write_trailer_into(out: &mut Vec<u8>, adler: u32) {
+    out.extend_from_slice(&adler.to_be_bytes());
+}
+
 fn write_header(out: &mut Vec<u8>, level: CompressionLevel) {
     // FLEVEL advisory bits per zlib convention.
     let flevel: u8 = match level.get() {
@@ -181,6 +194,52 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Decompresses a zlib stream into a caller-provided buffer, reusing
+/// `scratch` across calls — the steady-state path the scratch session
+/// layer in `nx-core` drives. `out` is cleared first.
+///
+/// # Errors
+///
+/// As [`decompress`].
+pub fn decompress_into(
+    data: &[u8],
+    scratch: &mut decoder::InflateScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if data.len() < 6 {
+        return Err(Error::UnexpectedEof);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0F != 8
+        || cmf >> 4 > 7
+        || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0
+        || flg & 0x20 != 0
+    {
+        return Err(Error::BadZlibHeader);
+    }
+    let mut inf =
+        decoder::Inflater::with_reuse(&data[2..], std::mem::take(scratch), std::mem::take(out));
+    let res = inf.run(usize::MAX);
+    let used = inf.byte_position();
+    let (o, s) = inf.into_parts();
+    *scratch = s;
+    *out = o;
+    res?;
+    let trailer_at = 2 + used;
+    if trailer_at + 4 > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    if trailer_at + 4 != data.len() {
+        return Err(Error::TrailingData);
+    }
+    let stored = u32::from_be_bytes(read4(data, trailer_at)?);
+    if stored != adler32(out) {
+        return Err(Error::ZlibChecksumMismatch);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +306,27 @@ mod tests {
         let mut z = compress(b"x", lvl(6));
         z.push(0);
         assert_eq!(decompress(&z), Err(Error::TrailingData));
+    }
+
+    #[test]
+    fn decompress_into_reuses_and_verifies() {
+        let data: Vec<u8> = b"scratch-session zlib payload ".repeat(300);
+        let z = compress(&data, lvl(6));
+        let mut scratch = crate::decoder::InflateScratch::new();
+        let mut out = Vec::new();
+        decompress_into(&z, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        let cap = out.capacity();
+        decompress_into(&z, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(out.capacity(), cap);
+        let mut bad = z;
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        assert_eq!(
+            decompress_into(&bad, &mut scratch, &mut out),
+            Err(Error::ZlibChecksumMismatch)
+        );
     }
 
     #[test]

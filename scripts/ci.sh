@@ -46,6 +46,9 @@ DECODE_PATHS=(
     crates/deflate/src/bitio.rs
     crates/deflate/src/gzip.rs
     crates/deflate/src/zlib.rs
+    crates/deflate/src/stream.rs
+    # The scratch/pool layer sits on every reuse-path request.
+    crates/core/src/scratch.rs
     crates/p842/src/decode.rs
     crates/p842/src/bitio.rs
     crates/core/src/framing.rs
@@ -93,6 +96,27 @@ if [[ "$FAST" == "0" ]]; then
     # The exporter hand-rolls JSON; prove it parses with a real parser.
     python3 -m json.tool BENCH_TRACE.json > /dev/null
     echo "    BENCH_TRACE.json is well-formed JSON"
+
+    echo "==> inflate superloop gate (E20, regression bar 10%)"
+    # Snapshot the committed baseline before e20 overwrites the file,
+    # then fail if aggregate inflate throughput regressed by >10%.
+    baseline=$(awk -F'"section": "summary".*"inflate_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_KERNELS.json)
+    cargo run --offline --release -p nx-bench --bin tables -- e20 > /dev/null
+    fresh=$(awk -F'"section": "summary".*"inflate_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_KERNELS.json)
+    python3 -m json.tool BENCH_KERNELS.json > /dev/null
+    if ! grep -q '"all_identical": true' BENCH_KERNELS.json; then
+        echo "==> FAIL: fast and careful decoders diverged"
+        exit 1
+    fi
+    if [[ -n "$baseline" ]]; then
+        if ! awk -v f="$fresh" -v b="$baseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            echo "==> FAIL: inflate ${fresh} MB/s regressed >10% vs committed ${baseline} MB/s"
+            exit 1
+        fi
+        echo "    inflate: ${fresh} MB/s (committed baseline ${baseline} MB/s)"
+    else
+        echo "    no committed baseline found; recorded ${fresh} MB/s"
+    fi
 fi
 
 echo "==> OK"
