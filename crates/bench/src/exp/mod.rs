@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E20; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E21; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -15,6 +15,7 @@ pub mod e18;
 pub mod e19;
 pub mod e2;
 pub mod e20;
+pub mod e21;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -182,6 +183,12 @@ pub fn all() -> Vec<Experiment> {
             run: e20::run,
             metrics: Some(e20::metrics),
         },
+        Experiment {
+            id: "e21",
+            title: e21::TITLE,
+            run: e21::run,
+            metrics: Some(e21::metrics),
+        },
     ]
 }
 
@@ -190,10 +197,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 20);
+        assert_eq!(all.len(), 21);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 }

@@ -9,9 +9,9 @@
 use crate::framing::{self, Format};
 use crate::scratch::BufferPool;
 use crate::stats::{Codec, NxStats};
-use crate::{Compressed, Error, Result, Trace, SUBMIT_CYCLES};
+use crate::{software, CompressOptions, Compressed, Error, Result, Trace, SUBMIT_CYCLES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use nx_accel::{AccelConfig, Accelerator};
+use nx_accel::{AccelConfig, Accelerator, CompressReport};
 use nx_telemetry::{Counter, Gauge, Stage, TelemetrySink};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -66,6 +66,7 @@ enum Cmd {
     Compress {
         data: Vec<u8>,
         format: Format,
+        opts: CompressOptions,
         reply: Sender<Result<Compressed>>,
     },
     Shutdown,
@@ -172,17 +173,44 @@ impl AsyncSession {
         let worker = std::thread::Builder::new()
             .name("nx-engine".into())
             .spawn(move || {
+                let freq_ghz = config.freq_ghz;
                 let mut engine = Accelerator::new(config);
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Cmd::Compress {
                             data,
                             format,
+                            opts,
                             reply,
                         } => {
                             let depth = worker_tel.on_dequeue();
-                            let (raw, report) = engine.compress(&data);
-                            let bytes = framing::wrap(raw, &data, format);
+                            // Default options run the modeled accelerator;
+                            // a non-default ladder rung runs the software
+                            // encoder at that level (the fixed-function
+                            // engine has no level knob), reported with
+                            // zero engine cycles like the fallback path.
+                            let (bytes, report) = if opts.is_default() {
+                                let (raw, report) = engine.compress(&data);
+                                (framing::wrap(raw, &data, format), report)
+                            } else {
+                                let bytes = software::compress(&data, opts.level(), format);
+                                let report = CompressReport {
+                                    config_name: "software-ladder",
+                                    freq_ghz,
+                                    input_bytes: data.len() as u64,
+                                    output_bytes: bytes.len() as u64,
+                                    cycles: 0,
+                                    ingest_cycles: 0,
+                                    bank_stall_cycles: 0,
+                                    huffman_tail_cycles: 0,
+                                    overhead_cycles: 0,
+                                    blocks: 0,
+                                    stored_blocks: 0,
+                                    tokens: 0,
+                                    discarded_matches: 0,
+                                };
+                                (bytes, report)
+                            };
                             stats.record_compress(
                                 Codec::Deflate,
                                 data.len() as u64,
@@ -236,11 +264,28 @@ impl AsyncSession {
     ///
     /// [`Error::EngineClosed`] if the engine thread has exited.
     pub fn submit(&self, data: Vec<u8>, format: Format) -> Result<JobHandle> {
+        self.submit_with(data, format, CompressOptions::default())
+    }
+
+    /// Queues a compression job with explicit [`CompressOptions`]: jobs at
+    /// default options run on the modeled accelerator, any other ladder
+    /// rung runs the software encoder at that level on the engine thread.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EngineClosed`] if the engine thread has exited.
+    pub fn submit_with(
+        &self,
+        data: Vec<u8>,
+        format: Format,
+        opts: CompressOptions,
+    ) -> Result<JobHandle> {
         let (reply, rx) = bounded(1);
         self.tx
             .send(Cmd::Compress {
                 data,
                 format,
+                opts,
                 reply,
             })
             .map_err(|_| Error::EngineClosed)?;
@@ -257,10 +302,26 @@ impl AsyncSession {
     /// [`Error::QueueOverflow`] when the queue is at capacity;
     /// [`Error::EngineClosed`] if the engine thread has exited.
     pub fn try_submit(&self, data: Vec<u8>, format: Format) -> Result<JobHandle> {
+        self.try_submit_with(data, format, CompressOptions::default())
+    }
+
+    /// As [`try_submit`](Self::try_submit) with explicit
+    /// [`CompressOptions`]; see [`submit_with`](Self::submit_with).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_submit`](Self::try_submit).
+    pub fn try_submit_with(
+        &self,
+        data: Vec<u8>,
+        format: Format,
+        opts: CompressOptions,
+    ) -> Result<JobHandle> {
         let (reply, rx) = bounded(1);
         match self.tx.try_send(Cmd::Compress {
             data,
             format,
+            opts,
             reply,
         }) {
             Ok(()) => {
@@ -436,6 +497,33 @@ mod tests {
         // acquisition after the first hits the shelf.
         assert!(nx.buffer_pool().hits() >= 3);
         assert!(nx.buffer_pool().recycled() >= 3);
+    }
+
+    #[test]
+    fn submit_with_runs_the_level_ladder() {
+        let nx = Nx::power9();
+        let session = nx.async_session();
+        let data = b"ladder ladder ladder ladder ladder".repeat(500);
+        let mut sizes = Vec::new();
+        for rung in nx_deflate::Level::all() {
+            let opts = crate::CompressOptions::from_level(rung);
+            let c = session
+                .submit_with(data.clone(), Format::Gzip, opts)
+                .unwrap()
+                .wait()
+                .unwrap();
+            let back = nx.decompress(&c.bytes, Format::Gzip).unwrap();
+            assert_eq!(back.bytes, data, "level {rung} did not roundtrip");
+            // Non-default rungs run in software: zero engine cycles.
+            if !opts.is_default() {
+                assert_eq!(c.report.cycles, 0, "level {rung} hit the engine");
+                assert_eq!(c.report.config_name, "software-ladder");
+            }
+            sizes.push(c.bytes.len());
+        }
+        // Highly redundant input: every rung must still compress well.
+        assert!(sizes.iter().all(|&s| s < data.len() / 4));
+        session.close();
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use async_queue::{AsyncSession, JobHandle};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RecoveryPolicy};
 pub use framing::Format;
 pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
-pub use scratch::{BufferPool, InflatePathMetrics, ScratchSession};
+pub use scratch::{BufferPool, EncodePathMetrics, InflatePathMetrics, ScratchSession};
 pub use stats::{Codec, CodecStats, DirStats, NxStats};
 pub use stream::GzipStream;
 
@@ -190,6 +190,71 @@ impl From<nx_842::Error> for Error {
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Per-request compression knobs threaded through the facade: today the
+/// effort rung on the software encoder's level ladder, with room to grow
+/// (dictionaries, strategies) without another round of signature churn.
+///
+/// The modeled accelerator is fixed-function — it has no level knob, just
+/// like the NX unit — so options only steer the *software* paths: the
+/// direct software encoder ([`Nx::compress_with`]), the parallel shard
+/// engine ([`Nx::parallel_session_with`]), scratch sessions and the async
+/// queue ([`AsyncSession::submit_with`]).
+///
+/// ```
+/// use nx_core::CompressOptions;
+/// use nx_deflate::Level;
+///
+/// let fast = CompressOptions::from_level(Level::Fastest);
+/// assert_eq!(fast.level().get(), 1);
+/// assert_eq!(CompressOptions::default().ladder(), Level::Default);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressOptions {
+    level: nx_deflate::CompressionLevel,
+}
+
+impl CompressOptions {
+    /// Options at the default level (zlib's 6).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options at a ladder rung ([`nx_deflate::Level`]).
+    pub fn from_level(level: nx_deflate::Level) -> Self {
+        Self {
+            level: level.into(),
+        }
+    }
+
+    /// Options at a numeric zlib-style level (0..=9).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] if `level > 9`.
+    pub fn from_numeric(level: u32) -> Result<Self> {
+        Ok(Self {
+            level: nx_deflate::CompressionLevel::new(level)?,
+        })
+    }
+
+    /// The exact numeric compression level in force.
+    pub fn level(&self) -> nx_deflate::CompressionLevel {
+        self.level
+    }
+
+    /// The ladder rung the numeric level falls on.
+    pub fn ladder(&self) -> nx_deflate::Level {
+        nx_deflate::Level::from_numeric(self.level.get())
+    }
+
+    /// Whether these are the default options (accelerator-eligible: the
+    /// async queue only degrades to the software encoder for jobs that
+    /// ask for a non-default level).
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// A compression result: the produced bytes plus the engine's cycle
 /// report.
 #[derive(Debug, Clone)]
@@ -250,6 +315,7 @@ pub struct Nx {
     inner: Arc<Mutex<Accelerator>>,
     stats: Arc<NxStats>,
     config: AccelConfig,
+    opts: CompressOptions,
     faults: Option<Arc<FaultInjector>>,
     telemetry: TelemetrySink,
     pool: Arc<scratch::BufferPool>,
@@ -262,6 +328,7 @@ impl Nx {
             inner: Arc::new(Mutex::new(Accelerator::new(config.clone()))),
             stats: Arc::new(NxStats::new()),
             config,
+            opts: CompressOptions::default(),
             faults: None,
             telemetry: TelemetrySink::disabled(),
             pool: Arc::new(scratch::BufferPool::default()),
@@ -282,10 +349,21 @@ impl Nx {
             inner: Arc::new(Mutex::new(Accelerator::new(config.clone()))),
             stats: Arc::new(NxStats::new()),
             config,
+            opts: CompressOptions::default(),
             faults: Some(Arc::new(FaultInjector::new(plan, policy))),
             telemetry: TelemetrySink::disabled(),
             pool: Arc::new(scratch::BufferPool::default()),
         }
+    }
+
+    /// Sets the handle's default [`CompressOptions`]: the level the
+    /// software paths (fallback encoder, [`Nx::compress_with`] at
+    /// defaulted options, sessions opened without an explicit level)
+    /// compress at. The modeled accelerator itself is fixed-function and
+    /// unaffected, exactly like the hardware.
+    pub fn with_options(mut self, opts: CompressOptions) -> Self {
+        self.opts = opts;
+        self
     }
 
     /// Attaches a telemetry sink: every request stage emits a span, the
@@ -306,6 +384,10 @@ impl Nx {
             reg.register_source(
                 "nx-inflate-paths",
                 Arc::new(scratch::InflatePathMetrics) as Arc<dyn MetricSource>,
+            );
+            reg.register_source(
+                "nx-encode-paths",
+                Arc::new(scratch::EncodePathMetrics) as Arc<dyn MetricSource>,
             );
             if let Some(inj) = &self.faults {
                 reg.register_source("nx-fault-stats", Arc::clone(inj) as Arc<dyn MetricSource>);
@@ -345,6 +427,11 @@ impl Nx {
     /// The configuration in force.
     pub fn config(&self) -> &AccelConfig {
         &self.config
+    }
+
+    /// The handle's default compression options.
+    pub fn options(&self) -> CompressOptions {
+        self.opts
     }
 
     /// Aggregate statistics across all requests on this handle.
@@ -425,10 +512,43 @@ impl Nx {
         Ok(Decompressed { bytes, report })
     }
 
+    /// Compresses `data` with explicit per-request options. Default
+    /// options go to the accelerator (which has no level knob, like the
+    /// hardware); any other rung runs the software level ladder, reported
+    /// with zero engine cycles as the fallback path is.
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress).
+    pub fn compress_with(
+        &self,
+        data: &[u8],
+        format: Format,
+        opts: CompressOptions,
+    ) -> Result<Compressed> {
+        if opts.is_default() {
+            return self.compress(data, format);
+        }
+        let mut trace = Trace::begin(&self.telemetry);
+        trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+        let out = self.compress_software_at(data, format, opts.level());
+        trace.finish(out.bytes.len() as u64);
+        Ok(out)
+    }
+
     /// Software-fallback compression: a valid stream from the CPU path
     /// (bytes differ from the accelerator's but decode identically).
     fn compress_software(&self, data: &[u8], format: Format) -> Compressed {
-        let bytes = software::compress(data, nx_deflate::CompressionLevel::default(), format);
+        self.compress_software_at(data, format, self.opts.level())
+    }
+
+    fn compress_software_at(
+        &self,
+        data: &[u8],
+        format: Format,
+        level: nx_deflate::CompressionLevel,
+    ) -> Compressed {
+        let bytes = software::compress(data, level, format);
         self.stats.record_software_fallback();
         self.stats
             .record_compress(Codec::Deflate, data.len() as u64, bytes.len() as u64, 0);
@@ -748,6 +868,17 @@ impl Nx {
         )
     }
 
+    /// As [`parallel_session`](Self::parallel_session) but taking the
+    /// level from [`CompressOptions`], so ladder rungs
+    /// ([`nx_deflate::Level`]) thread into the shard engine unchanged.
+    pub fn parallel_session_with(
+        &self,
+        opts: parallel::ParallelOptions,
+        copts: CompressOptions,
+    ) -> ParallelSession {
+        self.parallel_session(opts, copts.level().get())
+    }
+
     /// The buffer pool shared by this handle's sessions (scratch, async,
     /// parallel). Exposed so callers can acquire/release recycled buffers
     /// directly and read the pool counters.
@@ -770,6 +901,17 @@ impl Nx {
             level,
             Arc::clone(&self.pool),
         ))
+    }
+
+    /// As [`scratch_session`](Self::scratch_session) but taking the
+    /// level from [`CompressOptions`].
+    pub fn scratch_session_with(&self, opts: CompressOptions) -> ScratchSession {
+        ScratchSession::new(
+            Arc::clone(&self.stats),
+            self.telemetry.clone(),
+            opts.level(),
+            Arc::clone(&self.pool),
+        )
     }
 
     /// Compresses with an explicit target-buffer capacity, reproducing the
@@ -829,6 +971,50 @@ pub struct BoundedOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compress_with_honors_the_level_ladder() {
+        let nx = Nx::power9();
+        let data = nx_corpus::CorpusKind::Text.generate(7, 128 * 1024);
+        for rung in nx_deflate::Level::all() {
+            let opts = CompressOptions::from_level(rung);
+            let c = nx.compress_with(&data, Format::Zlib, opts).unwrap();
+            let d = nx.decompress(&c.bytes, Format::Zlib).unwrap();
+            assert_eq!(d.bytes, data, "level {rung}");
+            if !opts.is_default() {
+                assert_eq!(c.report.cycles, 0, "level {rung} should run in software");
+            }
+        }
+        // Default options route to the accelerator (engine cycles > 0).
+        let c = nx
+            .compress_with(&data, Format::Zlib, CompressOptions::default())
+            .unwrap();
+        assert!(c.report.cycles > 0);
+    }
+
+    #[test]
+    fn with_options_sets_the_software_level() {
+        let opts = CompressOptions::from_level(nx_deflate::Level::Fastest);
+        let nx = Nx::power9().with_options(opts);
+        assert_eq!(nx.options(), opts);
+        assert_eq!(nx.options().ladder(), nx_deflate::Level::Fastest);
+        assert!(!opts.is_default());
+        assert!(CompressOptions::from_numeric(10).is_err());
+        assert_eq!(
+            CompressOptions::from_numeric(6).unwrap(),
+            CompressOptions::default()
+        );
+    }
+
+    #[test]
+    fn parallel_session_with_runs_the_ladder() {
+        let nx = Nx::power9();
+        let data = nx_corpus::CorpusKind::Logs.generate(3, 256 * 1024);
+        let opts = CompressOptions::from_level(nx_deflate::Level::Fastest);
+        let sess = nx.parallel_session_with(parallel::ParallelOptions::default(), opts);
+        let out = sess.compress(&data, Format::Gzip).unwrap();
+        assert_eq!(nx.decompress(&out, Format::Gzip).unwrap().bytes, data);
+    }
 
     #[test]
     fn sync_roundtrip_all_formats() {

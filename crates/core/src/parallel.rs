@@ -408,6 +408,22 @@ impl ParallelEngine {
         }
     }
 
+    /// As [`compress`](Self::compress) with the level taken from
+    /// [`crate::CompressOptions`], so ladder rungs ([`nx_deflate::Level`])
+    /// reach the shard workers unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress).
+    pub fn compress_with(
+        &self,
+        data: &[u8],
+        opts: crate::CompressOptions,
+        format: Format,
+    ) -> Result<Vec<u8>> {
+        self.compress(data, opts.level().get(), format)
+    }
+
     /// Runs one request through the pool; `None` means the pool could not
     /// complete it (dead workers, failed shard, closed channel) and the
     /// caller must fall back.

@@ -193,6 +193,50 @@ impl MetricSource for InflatePathMetrics {
     }
 }
 
+/// Pull-source for the deflate encoder's path counters: emitted blocks by
+/// type (stored / fixed / dynamic), blocks per level-ladder rung, lazy
+/// deferrals, and the chain-walk length histogram from the hash4 match
+/// finder. Process-wide, like [`InflatePathMetrics`].
+#[derive(Debug, Default)]
+pub struct EncodePathMetrics;
+
+impl MetricSource for EncodePathMetrics {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let c = nx_deflate::encode_counters();
+        out.push((
+            "nx_encode_blocks_stored_total".into(),
+            MetricValue::Counter(c.blocks_stored),
+        ));
+        out.push((
+            "nx_encode_blocks_fixed_total".into(),
+            MetricValue::Counter(c.blocks_fixed),
+        ));
+        out.push((
+            "nx_encode_blocks_dynamic_total".into(),
+            MetricValue::Counter(c.blocks_dynamic),
+        ));
+        out.push((
+            "nx_encode_lazy_deferrals_total".into(),
+            MetricValue::Counter(c.lazy_deferrals),
+        ));
+        for (rung, &blocks) in nx_deflate::Level::all().iter().zip(&c.blocks_by_level) {
+            out.push((
+                format!("nx_encode_blocks_level_{rung}_total"),
+                MetricValue::Counter(blocks),
+            ));
+        }
+        // Chain-walk histogram buckets: walks of exactly 0 and 1 steps,
+        // then powers of two up to 63, then everything longer.
+        const BUCKETS: [&str; 8] = ["0", "1", "le_3", "le_7", "le_15", "le_31", "le_63", "gt_63"];
+        for (name, &count) in BUCKETS.iter().zip(&c.chain_hist) {
+            out.push((
+                format!("nx_encode_chain_walk_{name}_total"),
+                MetricValue::Counter(count),
+            ));
+        }
+    }
+}
+
 /// A reusable compression/decompression session bound to an [`crate::Nx`]
 /// handle: the software path with every piece of per-request state —
 /// encoder hash chains, decode tables, output buffers — carried across
@@ -431,5 +475,37 @@ mod tests {
         assert!(names.contains(&"nx_inflate_fast_path_bytes_total"));
         assert!(names.contains(&"nx_inflate_careful_path_bytes_total"));
         assert!(names.contains(&"nx_inflate_fast_path_bp"));
+    }
+
+    #[test]
+    fn encode_path_metrics_export() {
+        // Drive the encoder at a lazy level so the per-level, block-type
+        // and chain-walk counters all move.
+        let data = b"encode metrics encode metrics encode metrics".repeat(200);
+        let _ = nx_deflate::deflate(&data, CompressionLevel::new(6).unwrap());
+        let mut out = Vec::new();
+        EncodePathMetrics.collect(&mut out);
+        let names: Vec<&str> = out.iter().map(|(n, _)| n.as_str()).collect();
+        for want in [
+            "nx_encode_blocks_stored_total",
+            "nx_encode_blocks_fixed_total",
+            "nx_encode_blocks_dynamic_total",
+            "nx_encode_lazy_deferrals_total",
+            "nx_encode_blocks_level_default_total",
+            "nx_encode_chain_walk_0_total",
+            "nx_encode_chain_walk_gt_63_total",
+        ] {
+            assert!(names.contains(&want), "missing metric {want}");
+        }
+        let total_blocks: u64 = out
+            .iter()
+            .filter(|(n, _)| n.starts_with("nx_encode_blocks_level_"))
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                MetricValue::Gauge(g) => *g as u64,
+                _ => 0,
+            })
+            .sum();
+        assert!(total_blocks > 0, "no blocks recorded on the level ladder");
     }
 }

@@ -31,7 +31,7 @@ use nx_deflate::CompressionLevel;
 
 #[derive(Debug)]
 enum Engine {
-    Software(StreamEncoder),
+    Software(Box<StreamEncoder>),
     Accel(Box<AccelStream>),
 }
 
@@ -50,7 +50,7 @@ pub struct GzipStream {
 impl GzipStream {
     /// A software-engine stream at `level`.
     pub fn software(level: CompressionLevel) -> Self {
-        Self::with_engine(Engine::Software(StreamEncoder::new(level)))
+        Self::with_engine(Engine::Software(Box::new(StreamEncoder::new(level))))
     }
 
     /// An accelerator-engine stream (chunked CRBs with history carry).

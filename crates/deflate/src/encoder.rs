@@ -7,12 +7,15 @@
 //! model in `nx-accel` can reuse the bit-exact serialization with its own
 //! token stream and its own (hardware-constrained) block strategy.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
 use crate::bitio::BitWriter;
 use crate::huffman::{build, canonical_codes, Code, MAX_CODELEN_CODE_LEN, MAX_CODE_LEN};
+use crate::lz77::hash4::{Hash4Matcher, SearchStats, CHAIN_HIST_BUCKETS};
 use crate::lz77::{
-    self, dist_code, greedy::tokenize_greedy, lazy::tokenize_lazy, length_code_index, Histogram,
-    MatcherConfig, Token, DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA, NUM_DIST_SYMBOLS,
-    NUM_LITLEN_SYMBOLS,
+    self, dist_code, length_code_index, Histogram, Token, DIST_BASE, DIST_EXTRA, LENGTH_BASE,
+    LENGTH_EXTRA, NUM_DIST_SYMBOLS, NUM_LITLEN_SYMBOLS,
 };
 use crate::{Error, Result};
 
@@ -60,6 +63,176 @@ impl std::fmt::Display for CompressionLevel {
     }
 }
 
+/// The coarse compression-level ladder — five named speed/ratio points
+/// over the numeric zlib levels.
+///
+/// `Fastest` maps to numeric level 1, which runs the head-only greedy
+/// pass (one hash probe per position, no chain walk); `Default` maps to
+/// level 6 and keeps the current lazy-matcher behavior. Facades that
+/// accept a [`Level`] convert through
+/// [`compression_level`](Level::compression_level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Level {
+    /// Head-only greedy matcher, maximum throughput (numeric level 1).
+    Fastest,
+    /// Greedy matcher with a short chain walk (numeric level 3).
+    Fast,
+    /// Lazy matcher, zlib's default search budget (numeric level 6).
+    #[default]
+    Default,
+    /// Lazy matcher with a deep search (numeric level 8).
+    High,
+    /// Maximum-effort lazy matcher (numeric level 9).
+    Best,
+}
+
+impl Level {
+    /// All rungs, fastest first.
+    pub const fn all() -> [Level; 5] {
+        [
+            Level::Fastest,
+            Level::Fast,
+            Level::Default,
+            Level::High,
+            Level::Best,
+        ]
+    }
+
+    /// Stable display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Level::Fastest => "fastest",
+            Level::Fast => "fast",
+            Level::Default => "default",
+            Level::High => "high",
+            Level::Best => "best",
+        }
+    }
+
+    /// Rung index 0..=4, fastest first (used by per-level counters).
+    pub const fn index(self) -> usize {
+        match self {
+            Level::Fastest => 0,
+            Level::Fast => 1,
+            Level::Default => 2,
+            Level::High => 3,
+            Level::Best => 4,
+        }
+    }
+
+    /// The numeric level this rung runs at.
+    pub const fn compression_level(self) -> CompressionLevel {
+        CompressionLevel(match self {
+            Level::Fastest => 1,
+            Level::Fast => 3,
+            Level::Default => 6,
+            Level::High => 8,
+            Level::Best => 9,
+        })
+    }
+
+    /// The nearest rung for a numeric level (0–1 → `Fastest`, 2–3 →
+    /// `Fast`, 4–6 → `Default`, 7–8 → `High`, 9 → `Best`).
+    pub const fn from_numeric(level: u32) -> Level {
+        match level {
+            0 | 1 => Level::Fastest,
+            2 | 3 => Level::Fast,
+            4..=6 => Level::Default,
+            7 | 8 => Level::High,
+            _ => Level::Best,
+        }
+    }
+}
+
+impl From<Level> for CompressionLevel {
+    fn from(l: Level) -> Self {
+        l.compression_level()
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Process-wide encode-path counters, mirrored after the decode-path
+// counters in `decoder`. The matchers accumulate locally and flush once
+// per tokenize call; block counters bump once per emitted block.
+static BLOCKS_STORED: AtomicU64 = AtomicU64::new(0);
+static BLOCKS_FIXED: AtomicU64 = AtomicU64::new(0);
+static BLOCKS_DYNAMIC: AtomicU64 = AtomicU64::new(0);
+static LAZY_DEFERRALS: AtomicU64 = AtomicU64::new(0);
+static CHAIN_HIST: [AtomicU64; CHAIN_HIST_BUCKETS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static BLOCKS_BY_LEVEL: [AtomicU64; 5] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Snapshot of the process-wide encode counters; see [`encode_counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodeCounters {
+    /// Stored (type 0) blocks emitted.
+    pub blocks_stored: u64,
+    /// Fixed-Huffman (type 1) blocks emitted.
+    pub blocks_fixed: u64,
+    /// Dynamic-Huffman (type 2) blocks emitted.
+    pub blocks_dynamic: u64,
+    /// Lazy-matcher deferrals (pending match displaced by a longer one).
+    pub lazy_deferrals: u64,
+    /// Chain-walk length histogram in log2 buckets (`≤1, 2, 3–4, 5–8, …`
+    /// candidates examined per search).
+    pub chain_hist: [u64; CHAIN_HIST_BUCKETS],
+    /// Blocks emitted per [`Level`] rung (index = [`Level::index`]).
+    pub blocks_by_level: [u64; 5],
+}
+
+/// Process-wide encode-path counters: blocks by type, lazy deferrals and
+/// the chain-walk length histogram. Monotone; exported through the
+/// telemetry registry by `nx-core`.
+pub fn encode_counters() -> EncodeCounters {
+    let mut c = EncodeCounters {
+        blocks_stored: BLOCKS_STORED.load(Ordering::Relaxed),
+        blocks_fixed: BLOCKS_FIXED.load(Ordering::Relaxed),
+        blocks_dynamic: BLOCKS_DYNAMIC.load(Ordering::Relaxed),
+        lazy_deferrals: LAZY_DEFERRALS.load(Ordering::Relaxed),
+        ..EncodeCounters::default()
+    };
+    for (i, b) in CHAIN_HIST.iter().enumerate() {
+        c.chain_hist[i] = b.load(Ordering::Relaxed);
+    }
+    for (i, b) in BLOCKS_BY_LEVEL.iter().enumerate() {
+        c.blocks_by_level[i] = b.load(Ordering::Relaxed);
+    }
+    c
+}
+
+/// Flushes a tokenizer's locally accumulated search statistics into the
+/// process-wide counters (one batch of relaxed adds per tokenize call,
+/// keeping atomics off the per-position hot path).
+pub(crate) fn flush_search_stats(stats: SearchStats) {
+    for (bucket, &n) in CHAIN_HIST.iter().zip(stats.chain_hist.iter()) {
+        if n > 0 {
+            bucket.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+    if stats.lazy_deferrals > 0 {
+        LAZY_DEFERRALS.fetch_add(stats.lazy_deferrals, Ordering::Relaxed);
+    }
+}
+
 /// Maximum number of tokens per emitted block. Bounding the block keeps the
 /// dynamic-Huffman tables adaptive; the value matches the symbol-buffer
 /// depth modeled for the accelerator so software and hardware block
@@ -103,10 +276,12 @@ pub fn deflate_tokens_with_strategy(
         Strategy::Rle => tokenize_rle(data),
         Strategy::Default => match level.get() {
             0 => data.iter().map(|&b| Token::Literal(b)).collect(),
-            l if MatcherConfig::is_lazy_level(l) => {
-                tokenize_lazy(data, &MatcherConfig::for_level(l))
+            l => {
+                let mut m = Hash4Matcher::new();
+                let mut tokens = Vec::with_capacity(data.len() / 4 + 8);
+                lz77::hash4::tokenize_into(data, 0, l, &mut m, &mut tokens);
+                tokens
             }
-            l => tokenize_greedy(data, &MatcherConfig::for_level(l)),
         },
     }
 }
@@ -154,34 +329,28 @@ pub fn deflate_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> V
     let mut buf = Vec::with_capacity(dict.len() + data.len());
     buf.extend_from_slice(dict);
     buf.extend_from_slice(data);
-    let cfg = MatcherConfig::for_level(level.get());
-    let tokens = if MatcherConfig::is_lazy_level(level.get()) {
-        crate::lz77::lazy::tokenize_lazy_from(&buf, dict.len(), &cfg)
-    } else {
-        crate::lz77::greedy::tokenize_greedy_from(&buf, dict.len(), &cfg)
-    };
+    let mut m = Hash4Matcher::new();
+    let mut tokens = Vec::with_capacity(data.len() / 4 + 8);
+    lz77::hash4::tokenize_into(&buf, dict.len(), level.get(), &mut m, &mut tokens);
     let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
     if tokens.is_empty() {
         encode_fixed_block(&mut w, &[], true);
         return w.finish();
     }
+    let rung = Level::from_numeric(level.get());
+    let mut hist = Histogram::new();
     let mut start_tok = 0usize;
-    let mut byte_pos = 0usize;
     while start_tok < tokens.len() {
         let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
-        let span: usize = tokens[start_tok..end_tok]
-            .iter()
-            .map(Token::input_len)
-            .sum();
         let is_final = end_tok == tokens.len();
         // No stored fallback here: stored blocks cannot express
         // dictionary references, and dictionary use targets small,
         // compressible records anyway — emit entropy-coded blocks only.
-        let mut hist = Histogram::new();
         for &t in &tokens[start_tok..end_tok] {
             hist.record(t);
         }
         hist.record_end_of_block();
+        BLOCKS_BY_LEVEL[rung.index()].fetch_add(1, Ordering::Relaxed);
         let plan = DynamicPlan::from_histogram(&hist);
         if plan.header_bits() + plan.body_bits(&hist) < fixed_block_bits(&hist) {
             plan.write_header(&mut w, is_final);
@@ -189,10 +358,9 @@ pub fn deflate_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> V
         } else {
             encode_fixed_block(&mut w, &tokens[start_tok..end_tok], is_final);
         }
+        hist.clear();
         start_tok = end_tok;
-        byte_pos += span;
     }
-    let _ = byte_pos;
     w.finish()
 }
 
@@ -266,25 +434,33 @@ impl Encoder {
             return;
         }
         let tokens = deflate_tokens_with_strategy(data, self.level, self.strategy);
-        // Split into blocks of bounded token count, tracking the input span
-        // of each block so the stored fallback can be costed.
+        // Split into blocks of bounded token count with one running pass:
+        // the histogram accumulates as tokens stream by, so each block's
+        // cost model needs no second scan of its tokens.
+        let rung = Level::from_numeric(self.level.get());
+        let mut hist = Histogram::new();
         let mut start_tok = 0usize;
         let mut start_byte = 0usize;
-        while start_tok < tokens.len() {
-            let end_tok = (start_tok + MAX_BLOCK_TOKENS).min(tokens.len());
-            let span: usize = tokens[start_tok..end_tok]
-                .iter()
-                .map(Token::input_len)
-                .sum();
-            let is_final = end_tok == tokens.len();
-            choose_and_encode_block(
-                w,
-                &data[start_byte..start_byte + span],
-                &tokens[start_tok..end_tok],
-                is_final,
-            );
-            start_tok = end_tok;
-            start_byte += span;
+        let mut span = 0usize;
+        for (i, &t) in tokens.iter().enumerate() {
+            hist.record(t);
+            span += t.input_len();
+            let is_last = i + 1 == tokens.len();
+            if is_last || i + 1 - start_tok >= MAX_BLOCK_TOKENS {
+                hist.record_end_of_block();
+                choose_and_encode_block_with(
+                    w,
+                    &data[start_byte..start_byte + span],
+                    &tokens[start_tok..=i],
+                    &hist,
+                    is_last,
+                    rung,
+                );
+                hist.clear();
+                start_tok = i + 1;
+                start_byte += span;
+                span = 0;
+            }
         }
     }
 }
@@ -293,16 +469,15 @@ impl Encoder {
 /// one as final if `is_final`. Handles the 65 535-byte LEN limit and the
 /// empty-input case (one empty stored block).
 pub fn encode_stored(w: &mut BitWriter, bytes: &[u8], is_final: bool) {
-    let mut chunks: Vec<&[u8]> = if bytes.is_empty() {
-        vec![&[]]
-    } else {
-        bytes.chunks(MAX_STORED_BLOCK).collect()
-    };
-    let last = chunks.pop().expect("at least one chunk");
-    for c in chunks {
-        encode_stored_block(w, c, false);
+    if bytes.is_empty() {
+        encode_stored_block(w, &[], is_final);
+        return;
     }
-    encode_stored_block(w, last, is_final);
+    let mut chunks = bytes.chunks(MAX_STORED_BLOCK).peekable();
+    while let Some(c) = chunks.next() {
+        let last = chunks.peek().is_none();
+        encode_stored_block(w, c, is_final && last);
+    }
 }
 
 /// Emits exactly one stored block (`bytes.len() <= 65535`).
@@ -312,6 +487,7 @@ pub fn encode_stored(w: &mut BitWriter, bytes: &[u8], is_final: bool) {
 /// Panics if `bytes` exceeds the stored-block LEN field.
 pub fn encode_stored_block(w: &mut BitWriter, bytes: &[u8], is_final: bool) {
     assert!(bytes.len() <= MAX_STORED_BLOCK, "stored block too large");
+    BLOCKS_STORED.fetch_add(1, Ordering::Relaxed);
     w.write_bits(u64::from(is_final), 1);
     w.write_bits(0b00, 2); // BTYPE=00
     w.align_to_byte();
@@ -341,52 +517,119 @@ pub fn fixed_dist_lengths() -> [u8; NUM_DIST_SYMBOLS] {
     [5u8; NUM_DIST_SYMBOLS]
 }
 
-/// Writes one token with the given code tables.
-#[inline]
-fn write_token(w: &mut BitWriter, litlen: &[Code], dist: &[Code], token: Token) {
-    match token {
-        Token::Literal(b) => {
-            let c = litlen[usize::from(b)];
-            debug_assert!(c.len > 0, "literal {b} has no code in this table");
-            w.write_bits(u64::from(c.bits), u32::from(c.len));
+/// Fused per-block emission tables, precomputed once from the chosen code
+/// arrays so the body loop does at most one table load per alphabet and
+/// exactly one `write_bits` per token:
+///
+/// * `lit[b]` packs a literal's Huffman code as `bits << 4 | len`;
+/// * `len_sym[len - 3]` packs a match length's Huffman code *already
+///   merged with its extra-bits value* as `merged << 5 | total_bits`
+///   (code ≤ 15 bits + extra ≤ 5 bits = 20 ≤ 27 payload bits);
+/// * `dist_sym[code]` packs a distance code as `bits << 4 | len` (the
+///   distance extra value depends on the token and is OR-ed in last).
+///
+/// Worst case per match stays 15 + 5 + 15 + 13 = 48 bits, within the
+/// writer's 57-bit limit.
+struct EmitTables {
+    lit: [u32; 256],
+    len_sym: [u32; 256],
+    dist_sym: [u32; NUM_DIST_SYMBOLS],
+    eob_bits: u32,
+    eob_len: u32,
+}
+
+impl EmitTables {
+    fn build(litlen: &[Code], dist: &[Code]) -> Self {
+        let mut t = EmitTables {
+            lit: [0; 256],
+            len_sym: [0; 256],
+            dist_sym: [0; NUM_DIST_SYMBOLS],
+            eob_bits: u32::from(litlen[usize::from(lz77::END_OF_BLOCK)].bits),
+            eob_len: u32::from(litlen[usize::from(lz77::END_OF_BLOCK)].len),
+        };
+        for (b, slot) in t.lit.iter_mut().enumerate() {
+            let c = litlen[b];
+            *slot = u32::from(c.bits) << 4 | u32::from(c.len);
         }
-        Token::Match { len, dist: d } => {
-            // Fuse all four fields of a match token — length code, length
-            // extra bits, distance code, distance extra bits — into one
-            // accumulator and a single `write_bits` call. Worst case is
-            // 15 + 5 + 15 + 13 = 48 bits, within the writer's 57-bit
-            // limit. When a code has zero extra bits, `len - base` is
-            // zero, so the unconditional OR is a no-op.
+        for (i, slot) in t.len_sym.iter_mut().enumerate() {
+            let len = (i + 3) as u16;
             let li = length_code_index(len);
-            let lc = litlen[257 + li];
-            debug_assert!(lc.len > 0, "length code {li} missing from this table");
-            let mut acc = u64::from(lc.bits);
-            let mut n = u32::from(lc.len);
-            acc |= u64::from(len - LENGTH_BASE[li]) << n;
-            n += u32::from(LENGTH_EXTRA[li]);
-            let di = dist_code(d);
-            let dc = dist[di];
-            debug_assert!(dc.len > 0, "distance code {di} missing from this table");
-            acc |= u64::from(dc.bits) << n;
-            n += u32::from(dc.len);
-            acc |= u64::from(d - DIST_BASE[di]) << n;
-            n += u32::from(DIST_EXTRA[di]);
-            w.write_bits(acc, n);
+            let c = litlen[257 + li];
+            let merged = u32::from(c.bits) | (u32::from(len - LENGTH_BASE[li]) << c.len);
+            let total = u32::from(c.len) + u32::from(LENGTH_EXTRA[li]);
+            *slot = merged << 5 | total;
+        }
+        for (i, slot) in t.dist_sym.iter_mut().enumerate().take(dist.len()) {
+            let c = dist[i];
+            *slot = u32::from(c.bits) << 4 | u32::from(c.len);
+        }
+        t
+    }
+
+    /// Writes one token: a single `write_bits` call either way.
+    #[inline]
+    fn write_token(&self, w: &mut BitWriter, token: Token) {
+        match token {
+            Token::Literal(b) => {
+                let e = self.lit[usize::from(b)];
+                debug_assert!(e & 15 != 0, "literal {b} has no code in this table");
+                w.write_bits(u64::from(e >> 4), e & 15);
+            }
+            Token::Match { len, dist: d } => {
+                let le = self.len_sym[usize::from(len - 3)];
+                debug_assert!(le & 31 != 0, "match length {len} has no code");
+                let mut acc = u64::from(le >> 5);
+                let mut n = le & 31;
+                let di = dist_code(d);
+                let de = self.dist_sym[di];
+                debug_assert!(de & 15 != 0, "distance code {di} missing");
+                acc |= u64::from(de >> 4) << n;
+                n += de & 15;
+                acc |= u64::from(d - DIST_BASE[di]) << n;
+                w.write_bits(acc, n + u32::from(DIST_EXTRA[di]));
+            }
         }
     }
+
+    fn write_eob(&self, w: &mut BitWriter) {
+        w.write_bits(u64::from(self.eob_bits), self.eob_len);
+    }
+}
+
+/// The fixed-code canonical tables never change; build once per process.
+fn fixed_codes() -> &'static (Vec<Code>, Vec<Code>) {
+    static CODES: OnceLock<(Vec<Code>, Vec<Code>)> = OnceLock::new();
+    CODES.get_or_init(|| {
+        match (
+            canonical_codes(&fixed_litlen_lengths()),
+            canonical_codes(&fixed_dist_lengths()),
+        ) {
+            (Ok(l), Ok(d)) => (l, d),
+            // RFC 1951 §3.2.6 constants: a complete code by definition.
+            _ => unreachable!("fixed code lengths form a valid code"),
+        }
+    })
+}
+
+/// Fixed-code emission tables, likewise process-wide.
+fn fixed_emit_tables() -> &'static EmitTables {
+    static TABLES: OnceLock<EmitTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let (litlen, dist) = fixed_codes();
+        EmitTables::build(litlen, dist)
+    })
 }
 
 /// Emits one fixed-Huffman (type 1) block containing `tokens`.
 pub fn encode_fixed_block(w: &mut BitWriter, tokens: &[Token], is_final: bool) {
-    let litlen = canonical_codes(&fixed_litlen_lengths()).expect("fixed litlen code is valid");
-    let dist = canonical_codes(&fixed_dist_lengths()).expect("fixed dist code is valid");
+    BLOCKS_FIXED.fetch_add(1, Ordering::Relaxed);
+    let et = fixed_emit_tables();
     w.write_bits(u64::from(is_final), 1);
     w.write_bits(0b01, 2); // BTYPE=01
     for &t in tokens {
-        write_token(w, &litlen, &dist, t);
+        et.write_token(w, t);
     }
-    let eob = litlen[usize::from(lz77::END_OF_BLOCK)];
-    w.write_bits(u64::from(eob.bits), u32::from(eob.len));
+    et.write_eob(w);
 }
 
 /// Order in which code-length code lengths are transmitted (RFC 1951).
@@ -542,10 +785,11 @@ impl DynamicPlan {
         // implementations accept for this alphabet, but force two codes for
         // maximum compatibility.
         if cl_lengths.iter().filter(|&&l| l > 0).count() == 1 {
-            let used = cl_lengths.iter().position(|&l| l > 0).expect("one used");
-            let other = if used == 0 { 1 } else { 0 };
-            cl_lengths[used] = 1;
-            cl_lengths[other] = 1;
+            if let Some(used) = cl_lengths.iter().position(|&l| l > 0) {
+                let other = usize::from(used == 0);
+                cl_lengths[used] = 1;
+                cl_lengths[other] = 1;
+            }
         }
 
         let hclen = CODELEN_ORDER
@@ -553,9 +797,9 @@ impl DynamicPlan {
             .rposition(|&s| cl_lengths[s] > 0)
             .map_or(4, |p| (p + 1).max(4));
 
-        let litlen_codes = canonical_codes(&litlen_lengths).expect("built lengths are valid");
-        let dist_codes = canonical_codes(&dist_lengths).expect("built lengths are valid");
-        let cl_codes = canonical_codes(&cl_lengths).expect("built lengths are valid");
+        let litlen_codes = codes_or_panic(&litlen_lengths);
+        let dist_codes = codes_or_panic(&dist_lengths);
+        let cl_codes = codes_or_panic(&cl_lengths);
 
         Self {
             litlen_lengths,
@@ -610,6 +854,7 @@ impl DynamicPlan {
 
     /// Writes the block header (BFINAL, BTYPE=10, table description).
     pub fn write_header(&self, w: &mut BitWriter, is_final: bool) {
+        BLOCKS_DYNAMIC.fetch_add(1, Ordering::Relaxed);
         w.write_bits(u64::from(is_final), 1);
         w.write_bits(0b10, 2);
         w.write_bits(self.hlit as u64 - 257, 5);
@@ -628,13 +873,14 @@ impl DynamicPlan {
         }
     }
 
-    /// Writes the block body: all `tokens` then end-of-block.
+    /// Writes the block body — all `tokens` then end-of-block — through
+    /// freshly fused [`EmitTables`] (one `write_bits` per token).
     pub fn write_body(&self, w: &mut BitWriter, tokens: &[Token]) {
+        let et = EmitTables::build(&self.litlen_codes, &self.dist_codes);
         for &t in tokens {
-            write_token(w, &self.litlen_codes, &self.dist_codes, t);
+            et.write_token(w, t);
         }
-        let eob = self.litlen_codes[usize::from(lz77::END_OF_BLOCK)];
-        w.write_bits(u64::from(eob.bits), u32::from(eob.len));
+        et.write_eob(w);
     }
 
     /// The planned literal/length code lengths (for inspection/tests).
@@ -645,6 +891,21 @@ impl DynamicPlan {
     /// The planned distance code lengths (for inspection/tests).
     pub fn dist_lengths(&self) -> &[u8] {
         &self.dist_lengths
+    }
+}
+
+/// Builds canonical codes for lengths that must already describe a valid
+/// code (all internal callers pass lengths from the limited builder).
+///
+/// # Panics
+///
+/// Panics on invalid (oversubscribed or over-long) lengths — reachable
+/// only through [`DynamicPlan::from_lengths`] with bad caller input,
+/// which that constructor documents.
+fn codes_or_panic(lengths: &[u8]) -> Vec<Code> {
+    match canonical_codes(lengths) {
+        Ok(c) => c,
+        Err(e) => panic!("invalid code lengths for dynamic plan: {e:?}"),
     }
 }
 
@@ -702,15 +963,48 @@ pub fn fixed_block_bits(hist: &Histogram) -> u64 {
 /// type is smallest: stored, fixed or dynamic. This is the zlib
 /// `_tr_flush_block` decision.
 pub fn choose_and_encode_block(w: &mut BitWriter, bytes: &[u8], tokens: &[Token], is_final: bool) {
+    choose_and_encode_block_at(w, bytes, tokens, is_final, CompressionLevel::default());
+}
+
+/// As [`choose_and_encode_block`], attributing the block to `level`'s
+/// ladder rung in the per-level encode counters.
+pub fn choose_and_encode_block_at(
+    w: &mut BitWriter,
+    bytes: &[u8],
+    tokens: &[Token],
+    is_final: bool,
+    level: CompressionLevel,
+) {
     let mut hist = Histogram::new();
     for &t in tokens {
         hist.record(t);
     }
     hist.record_end_of_block();
+    choose_and_encode_block_with(
+        w,
+        bytes,
+        tokens,
+        &hist,
+        is_final,
+        Level::from_numeric(level.get()),
+    );
+}
 
-    let plan = DynamicPlan::from_histogram(&hist);
-    let dynamic_bits = plan.header_bits() + plan.body_bits(&hist);
-    let fixed_bits = fixed_block_bits(&hist);
+/// The cost-model core: picks the cheapest of stored / fixed / dynamic by
+/// exact bit cost from an already-accumulated histogram (which must
+/// include the end-of-block symbol) and emits the block.
+fn choose_and_encode_block_with(
+    w: &mut BitWriter,
+    bytes: &[u8],
+    tokens: &[Token],
+    hist: &Histogram,
+    is_final: bool,
+    rung: Level,
+) {
+    BLOCKS_BY_LEVEL[rung.index()].fetch_add(1, Ordering::Relaxed);
+    let plan = DynamicPlan::from_histogram(hist);
+    let dynamic_bits = plan.header_bits() + plan.body_bits(hist);
+    let fixed_bits = fixed_block_bits(hist);
     // Stored: alignment padding (≤7) + per-chunk 5-byte headers + payload.
     let chunks = bytes.len().div_ceil(MAX_STORED_BLOCK).max(1) as u64;
     let stored_bits = 7 + chunks * (3 + 32 + 4) + bytes.len() as u64 * 8;

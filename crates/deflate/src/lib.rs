@@ -57,7 +57,8 @@ pub use decoder::{
     inflate_with_limit, BlockTrace, InflateScratch, Inflater,
 };
 pub use encoder::{
-    deflate, deflate_tokens, deflate_with_dict, CompressionLevel, Encoder, Strategy,
+    deflate, deflate_tokens, deflate_with_dict, encode_counters, CompressionLevel, EncodeCounters,
+    Encoder, Level, Strategy,
 };
 pub use lz77::Token;
 pub use stream::{Flush, InflateStream, StreamEncoder};

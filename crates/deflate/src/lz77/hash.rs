@@ -140,18 +140,29 @@ impl Iterator for Candidates<'_> {
     }
 }
 
+/// Eight little-endian bytes at `data[pos..]` as a `u64`.
+#[inline]
+fn read8(data: &[u8], pos: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&data[pos..pos + 8]);
+    u64::from_le_bytes(w)
+}
+
 /// Returns the length of the common prefix of `data[a..]` and `data[b..]`,
 /// capped at [`MAX_MATCH`] and at the end of input.
+///
+/// The u64-chunked compare + `trailing_zeros` extension is shared by both
+/// match finders (the legacy chains here and [`super::hash4`]) and by the
+/// accelerator's match-engine model.
 #[inline]
 pub fn match_length(data: &[u8], a: usize, b: usize) -> usize {
     debug_assert!(a < b);
     let max = MAX_MATCH.min(data.len() - b);
     let mut n = 0;
-    // Compare 8 bytes at a time.
+    // Compare 8 bytes at a time; the XOR's trailing zero count locates
+    // the first differing byte without a per-byte loop.
     while n + 8 <= max {
-        let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
-        let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
-        let diff = x ^ y;
+        let diff = read8(data, a + n) ^ read8(data, b + n);
         if diff != 0 {
             return n + (diff.trailing_zeros() / 8) as usize;
         }

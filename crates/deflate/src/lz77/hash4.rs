@@ -1,0 +1,666 @@
+//! Flat-array hash4 match finder — the compression hot path.
+//!
+//! This is the libdeflate-style successor to the zlib-style chains in
+//! [`super::hash`]: four-byte prefixes hash through one multiplicative
+//! mix into a `head` array of absolute positions, and a circular `prev`
+//! array of *backward u16 deltas* links same-hash positions into chains.
+//! Compared to the 3-byte/`u32`-link design it replaces:
+//!
+//! * a 4-byte hash key quarters the collision rate, so a chain walk of
+//!   the same budget inspects far fewer false candidates;
+//! * `prev` stores `u16` deltas (a window is 32 768 ≤ `u16::MAX`), halving
+//!   the table to 64 KB so it stays cache-resident;
+//! * the chain walk is an inline loop with a last-byte quick reject and
+//!   the shared u64-XOR extension ([`super::hash::match_length`]), not an
+//!   iterator;
+//! * an **insert-skip heuristic** detects incompressible runs (long
+//!   stretches with no match) and emits literals in growing steps without
+//!   searching or indexing, so random data stops paying for a dictionary
+//!   it cannot use.
+//!
+//! Three tokenizers sit on top, selected by the numeric level exactly as
+//! zlib selects `deflate_fast`/`deflate_slow`:
+//!
+//! * [`tokenize_fastest_into`] (level 1, [`crate::Level::Fastest`]) —
+//!   head-only greedy: one probe per position, no chain walk at all;
+//! * [`tokenize_greedy4_into`] (levels 2–3) — greedy with a bounded walk;
+//! * [`tokenize_lazy4_into`] (levels 4–9) — the one-token lazy deferral
+//!   state machine of [`super::lazy`] over the hash4 chains.
+//!
+//! All three append per-search chain-walk lengths and lazy deferrals to
+//! local counters that the caller flushes into the process-wide encode
+//! telemetry (see [`crate::encoder::encode_counters`]).
+
+use super::hash::match_length;
+use super::{MatcherConfig, Token};
+use crate::{MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// log2 of the head table size. 16 bits × 4-byte entries = 256 KB; the
+/// multiplicative hash uses the top bits of the 32-bit product.
+const HASH4_BITS: u32 = 16;
+
+const HASH4_SIZE: usize = 1 << HASH4_BITS;
+
+/// log2 of the 3-byte head table. A 4-byte hash cannot see pure 3-byte
+/// matches at all — and delta-encoded columnar data is made of them —
+/// so a second head-only table (no chain) remembers the newest position
+/// of each 3-byte prefix, probed only when the hash4 walk comes up
+/// empty. Mirrors libdeflate's `hc_matchfinder` hash3 table.
+const HASH3_BITS: u32 = 15;
+
+const HASH3_SIZE: usize = 1 << HASH3_BITS;
+
+const WMASK: usize = WINDOW_SIZE - 1;
+
+/// Matches at `MIN_MATCH` (3 bytes) only pay off when the distance is
+/// small — three literals are usually cheaper than a far reference.
+/// Mirrors zlib's `TOO_FAR`.
+const TOO_FAR: usize = 4096;
+
+/// Number of log2 buckets in the chain-walk length histogram
+/// (`0, 1, 2–3, 4–7, …, ≥64`).
+pub const CHAIN_HIST_BUCKETS: usize = 8;
+
+/// Hash of the four bytes at `data[pos]` (requires `pos + 4 <= len`).
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let b = &data[pos..pos + 4];
+    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH4_BITS)) as usize
+}
+
+/// Hash of the three bytes at `data[pos]` (requires `pos + 3 <= len`).
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let b = &data[pos..pos + 3];
+    let v = u32::from_le_bytes([b[0], b[1], b[2], 0]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH3_BITS)) as usize
+}
+
+/// Per-tokenize search statistics, accumulated locally (plain integers on
+/// the hot path) and flushed once into the process-wide atomics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SearchStats {
+    /// Chain-walk length histogram: bucket `i` counts searches that
+    /// examined `2^(i-1) < n ≤ 2^i …` candidates (log2 buckets, bucket 0
+    /// = exactly 0 or 1 candidates examined).
+    pub chain_hist: [u64; CHAIN_HIST_BUCKETS],
+    /// Lazy-matcher deferrals (a pending match displaced by a longer one).
+    pub lazy_deferrals: u64,
+}
+
+impl SearchStats {
+    #[inline]
+    fn record_walk(&mut self, steps: usize) {
+        let bucket = (usize::BITS - steps.leading_zeros()) as usize;
+        self.chain_hist[bucket.min(CHAIN_HIST_BUCKETS - 1)] += 1;
+    }
+}
+
+/// Flat-array hash4 dictionary: `head[h]` holds `position + 1` of the
+/// newest occurrence of hash `h` (0 = empty), and `prev[pos & WMASK]`
+/// holds the backward delta to the previous position with the same hash
+/// (0 = end of chain).
+///
+/// # Stale-entry safety
+///
+/// [`reset`](Self::reset) clears only the head tables (`head` +
+/// `head3`) and leaves the 64 KB `prev` ring untouched. Every walk starts at a `head` slot, which
+/// after a reset only ever holds positions inserted since, and
+/// [`insert`](Self::insert) writes `prev[pos & WMASK]` *before*
+/// publishing `pos` in `head` — so by induction every slot a walk can
+/// reach was written in the current run. Within a run, a slot overwritten
+/// by a position one window later is detected by the distance bound
+/// (deltas always move strictly backward, so walks terminate).
+#[derive(Debug)]
+pub struct Hash4Matcher {
+    head: Vec<u32>,
+    prev: Vec<u16>,
+    /// Head-only 3-byte table (see [`HASH3_BITS`]); same `pos + 1` stamp
+    /// convention as `head`, no chain.
+    head3: Vec<u32>,
+    /// Local search statistics; see [`take_stats`](Self::take_stats).
+    stats: SearchStats,
+}
+
+impl Default for Hash4Matcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hash4Matcher {
+    /// Creates an empty matcher (the ~450 KB of tables allocate here).
+    pub fn new() -> Self {
+        Self {
+            head: vec![0; HASH4_SIZE],
+            prev: vec![0; WINDOW_SIZE],
+            head3: vec![0; HASH3_SIZE],
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Clears the dictionary for a new buffer without reallocating; see
+    /// the type docs for why `prev` may keep stale entries.
+    pub fn reset(&mut self) {
+        self.head.fill(0);
+        self.head3.fill(0);
+    }
+
+    /// Takes and clears the accumulated search statistics.
+    pub fn take_stats(&mut self) -> SearchStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Inserts `pos` (requires `pos + 4 <= data.len()`).
+    #[inline]
+    pub fn insert(&mut self, data: &[u8], pos: usize) {
+        self.insert_ret(data, pos);
+    }
+
+    /// Inserts `pos` and returns the previous heads for its hash4 and
+    /// hash3 buckets (`position + 1`, or 0 if empty) — the entry points a
+    /// search continues from, saving a second hash of the same bytes.
+    #[inline]
+    fn insert_ret(&mut self, data: &[u8], pos: usize) -> (u32, u32) {
+        let h = hash4(data, pos);
+        let old = self.head[h];
+        let stamp = (pos + 1) as u32;
+        self.head[h] = stamp;
+        let delta = stamp.wrapping_sub(old);
+        // Deltas beyond the window (or from an empty bucket) terminate
+        // the chain; in-window deltas always fit u16.
+        self.prev[pos & WMASK] = if old == 0 || delta as usize > WINDOW_SIZE {
+            0
+        } else {
+            delta as u16
+        };
+        let h3 = hash3(data, pos);
+        let old3 = self.head3[h3];
+        self.head3[h3] = stamp;
+        (old, old3)
+    }
+
+    /// Walks the chain starting at `first` (a `position + 1` stamp as
+    /// returned by [`insert_ret`](Self::insert_ret)) looking for the
+    /// longest match at `pos` that beats `prev_len`. Ties prefer the
+    /// nearest candidate (newest-first walk, strict `>` improvement),
+    /// like zlib's `longest_match`.
+    #[inline]
+    fn search(
+        &mut self,
+        data: &[u8],
+        pos: usize,
+        first: u32,
+        first3: u32,
+        cfg: &MatcherConfig,
+        prev_len: usize,
+    ) -> Option<(usize, usize)> {
+        let remaining = data.len() - pos;
+        let mut best_len = prev_len.max(MIN_MATCH - 1);
+        if remaining <= best_len {
+            self.stats.record_walk(0);
+            return None;
+        }
+        let max_len = MAX_MATCH.min(remaining);
+        let mut best: Option<(usize, usize)> = None;
+        let mut steps = 0usize;
+        if first != 0 {
+            let mut budget = cfg.max_chain;
+            if prev_len >= cfg.good_length {
+                budget >>= 2;
+            }
+            budget = budget.max(1);
+            let nice = cfg.nice_length.min(remaining);
+            let mut cur = first;
+            // Hoisted `data[pos + best_len]` (zlib's scan_end): in bounds
+            // because best_len < remaining here and stays so below (the
+            // walk breaks before updating best_len to max_len).
+            let mut scan_end = data[pos + best_len];
+            loop {
+                let cand = (cur - 1) as usize;
+                if cand >= pos || pos - cand > WINDOW_SIZE {
+                    break;
+                }
+                steps += 1;
+                // Quick reject: for this candidate to improve on
+                // `best_len`, the byte one past the current best must
+                // match.
+                if data[cand + best_len] == scan_end {
+                    let len = match_length(data, cand, pos);
+                    if len > best_len {
+                        best = Some((len, pos - cand));
+                        if len >= nice || len >= max_len {
+                            break;
+                        }
+                        best_len = len;
+                        scan_end = data[pos + best_len];
+                    }
+                }
+                if steps >= budget {
+                    break;
+                }
+                let delta = u32::from(self.prev[cand & WMASK]);
+                if delta == 0 || delta >= cur {
+                    break;
+                }
+                cur -= delta;
+            }
+        }
+        // hash4 saw nothing: a pure 3-byte match is still possible (the
+        // 4-byte hash can't represent it). One head-only hash3 probe —
+        // columnar/delta data lives on these. A lone-candidate probe
+        // settles for length 3 far more often than a chain walk would, so
+        // the distance bound for 3-byte acceptance is much tighter than
+        // `TOO_FAR`: past ~64 bytes the distance code usually costs more
+        // than three frequent literals.
+        if best.is_none() && best_len < MIN_MATCH && first3 != 0 {
+            let cand = (first3 - 1) as usize;
+            if cand < pos && pos - cand <= TOO_FAR {
+                let len = match_length(data, cand, pos);
+                if len > MIN_MATCH || (len == MIN_MATCH && pos - cand <= 64) {
+                    best = Some((len, pos - cand));
+                }
+            }
+        }
+        self.stats.record_walk(steps);
+        best
+    }
+}
+
+/// Highest position that can be hashed/inserted (exclusive): positions
+/// need 4 bytes of lookahead.
+#[inline]
+fn index_end(data: &[u8]) -> usize {
+    data.len().saturating_sub(3)
+}
+
+/// Indexes the history prefix `data[..start]` so tokens emitted for
+/// `data[start..]` may reference back into it.
+fn index_history(m: &mut Hash4Matcher, data: &[u8], start: usize) {
+    for p in 0..start.min(index_end(data)) {
+        m.insert(data, p);
+    }
+}
+
+/// Inserts the interior positions of a committed match, `from..cov_end`.
+#[inline]
+fn index_span(m: &mut Hash4Matcher, data: &[u8], from: usize, end: usize) {
+    let cov_end = end.min(index_end(data));
+    let mut p = from;
+    while p < cov_end {
+        m.insert(data, p);
+        p += 1;
+    }
+}
+
+/// Emits `1 + (lit_run >> shift)` literals starting at `pos` without
+/// searching or indexing — the insert-skip heuristic. Returns the new
+/// position. `shift` controls how aggressively the step grows; the step
+/// is capped so one bad stretch cannot blind the matcher for long.
+#[inline]
+fn emit_skip_literals(
+    data: &[u8],
+    pos: usize,
+    lit_run: &mut usize,
+    shift: u32,
+    tokens: &mut Vec<Token>,
+) -> usize {
+    let extra = (*lit_run >> shift).min(32);
+    let end = (pos + 1 + extra).min(data.len());
+    for &b in &data[pos..end] {
+        tokens.push(Token::Literal(b));
+    }
+    *lit_run += end - pos;
+    end
+}
+
+/// Level-1 tokenizer: greedy, head-only (no chain walk), with the
+/// insert-skip heuristic — the [`crate::Level::Fastest`] pass.
+pub fn tokenize_fastest_into(
+    data: &[u8],
+    start: usize,
+    m: &mut Hash4Matcher,
+    tokens: &mut Vec<Token>,
+) {
+    index_history(m, data, start);
+    let end4 = index_end(data);
+    let mut pos = start;
+    let mut lit_run = 0usize;
+    while pos < data.len() {
+        if pos >= end4 {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        let (old, _) = m.insert_ret(data, pos);
+        m.stats.record_walk(usize::from(old != 0));
+        if old != 0 {
+            let cand = (old - 1) as usize;
+            let dist = pos - cand;
+            if dist <= WINDOW_SIZE {
+                let len = match_length(data, cand, pos);
+                if len >= 4 || (len == MIN_MATCH && dist <= TOO_FAR) {
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    index_span(m, data, pos + 1, pos + len);
+                    pos += len;
+                    lit_run = 0;
+                    continue;
+                }
+            }
+        }
+        pos = emit_skip_literals(data, pos, &mut lit_run, 5, tokens);
+    }
+}
+
+/// Levels 2–3 tokenizer: greedy with a bounded chain walk.
+pub fn tokenize_greedy4_into(
+    data: &[u8],
+    start: usize,
+    cfg: &MatcherConfig,
+    m: &mut Hash4Matcher,
+    tokens: &mut Vec<Token>,
+) {
+    index_history(m, data, start);
+    let end4 = index_end(data);
+    let mut pos = start;
+    let mut lit_run = 0usize;
+    while pos < data.len() {
+        if pos >= end4 {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        let (first, first3) = m.insert_ret(data, pos);
+        let found = m
+            .search(data, pos, first, first3, cfg, 0)
+            .filter(|&(len, dist)| len > MIN_MATCH || (len == MIN_MATCH && dist <= TOO_FAR));
+        match found {
+            Some((len, dist)) => {
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
+                index_span(m, data, pos + 1, pos + len);
+                pos += len;
+                lit_run = 0;
+            }
+            None => {
+                pos = emit_skip_literals(data, pos, &mut lit_run, 6, tokens);
+            }
+        }
+    }
+}
+
+/// Levels 4–9 tokenizer: one-token lazy deferral (zlib `deflate_slow`)
+/// over the hash4 chains. The skip heuristic only engages after long
+/// literal droughts (shift 8 → 256 consecutive literals) so compressible
+/// data keeps the exact lazy parse.
+pub fn tokenize_lazy4_into(
+    data: &[u8],
+    start: usize,
+    cfg: &MatcherConfig,
+    m: &mut Hash4Matcher,
+    tokens: &mut Vec<Token>,
+) {
+    index_history(m, data, start);
+    let end4 = index_end(data);
+    let mut pos = start;
+    let mut lit_run = 0usize;
+    // Pending match from the previous position, anchored at pos-1.
+    let mut prev: Option<(usize, usize)> = None;
+    while pos < data.len() {
+        let cur = if pos < end4 {
+            let prev_len = prev.map_or(0, |(l, _)| l);
+            let (first, first3) = m.insert_ret(data, pos);
+            // zlib refuses to extend searches once the previous match
+            // reached max_lazy.
+            if prev_len >= cfg.max_lazy {
+                None
+            } else {
+                m.search(data, pos, first, first3, cfg, prev_len)
+                    .filter(|&(len, dist)| len > MIN_MATCH || (len == MIN_MATCH && dist <= TOO_FAR))
+            }
+        } else {
+            None
+        };
+        match (prev, cur) {
+            (Some((plen, pdist)), cur) => {
+                if cur.is_some_and(|(clen, _)| clen > plen) {
+                    // Defer again: previous position becomes a literal.
+                    m.stats.lazy_deferrals += 1;
+                    tokens.push(Token::Literal(data[pos - 1]));
+                    prev = cur;
+                    pos += 1;
+                } else {
+                    // Commit the previous match (anchored at pos-1); pos
+                    // itself was indexed by the search above.
+                    tokens.push(Token::Match {
+                        len: plen as u16,
+                        dist: pdist as u16,
+                    });
+                    index_span(m, data, pos + 1, pos - 1 + plen);
+                    pos = pos - 1 + plen;
+                    prev = None;
+                    lit_run = 0;
+                }
+            }
+            (None, Some((clen, cdist))) => {
+                if clen >= cfg.max_lazy || clen >= cfg.nice_length {
+                    // Long enough: take it immediately (no deferral).
+                    tokens.push(Token::Match {
+                        len: clen as u16,
+                        dist: cdist as u16,
+                    });
+                    index_span(m, data, pos + 1, pos + clen);
+                    pos += clen;
+                    lit_run = 0;
+                } else {
+                    // Defer the decision by one byte.
+                    prev = Some((clen, cdist));
+                    pos += 1;
+                }
+            }
+            (None, None) => {
+                pos = emit_skip_literals(data, pos, &mut lit_run, 8, tokens);
+            }
+        }
+    }
+    // A pending match at end-of-input fit entirely in the buffer
+    // (search caps at the input end), so commit it.
+    if let Some((plen, pdist)) = prev {
+        tokens.push(Token::Match {
+            len: plen as u16,
+            dist: pdist as u16,
+        });
+    }
+}
+
+/// Dispatches to the level's tokenizer (1 = fastest, 2–3 = greedy,
+/// 4–9 = lazy), appending tokens for `data[start..]` with `data[..start]`
+/// as history. The matcher must be fresh or [`Hash4Matcher::reset`].
+pub fn tokenize_into(
+    data: &[u8],
+    start: usize,
+    level: u32,
+    m: &mut Hash4Matcher,
+    tokens: &mut Vec<Token>,
+) {
+    debug_assert!((1..=9).contains(&level));
+    if level <= 1 {
+        tokenize_fastest_into(data, start, m, tokens);
+    } else {
+        let cfg = MatcherConfig::for_level(level);
+        if MatcherConfig::is_lazy_level(level) {
+            tokenize_lazy4_into(data, start, &cfg, m, tokens);
+        } else {
+            tokenize_greedy4_into(data, start, &cfg, m, tokens);
+        }
+    }
+    crate::encoder::flush_search_stats(m.take_stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lz77::expand_tokens;
+
+    fn tokenize(data: &[u8], level: u32) -> Vec<Token> {
+        let mut m = Hash4Matcher::new();
+        let mut tokens = Vec::new();
+        tokenize_into(data, 0, level, &mut m, &mut tokens);
+        tokens
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_all_levels() {
+        for level in 1..=9 {
+            assert!(tokenize(b"", level).is_empty());
+            assert_eq!(
+                tokenize(b"ab", level),
+                vec![Token::Literal(b'a'), Token::Literal(b'b')],
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_simple_repeat() {
+        for level in 1..=9 {
+            let data = b"abcdefabcdef";
+            let tokens = tokenize(data, level);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(
+                tokens
+                    .iter()
+                    .any(|t| matches!(t, Token::Match { len: 6, dist: 6 })),
+                "level {level}: {tokens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_compresses_via_overlap() {
+        for level in 1..=9 {
+            let data = vec![b'z'; 3000];
+            let tokens = tokenize(&data, level);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(
+                tokens.len() < 30,
+                "level {level}: run produced {} tokens",
+                tokens.len()
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_structured_data_all_levels() {
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(format!("key{}=value{};", i % 57, i % 13).as_bytes());
+        }
+        for level in 1..=9 {
+            let tokens = tokenize(&data, level);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(tokens.iter().all(Token::is_valid), "level {level}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_data_with_skip_heuristic() {
+        // Random bytes drive the skip heuristic; every byte must still be
+        // covered by exactly one token.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 7) as u8
+            })
+            .collect();
+        for level in 1..=9 {
+            let tokens = tokenize(&data, level);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+        }
+    }
+
+    #[test]
+    fn history_matches_reach_back() {
+        // Tokenize with the first half as history: tokens may reference it.
+        let rec = b"history-record-history-record-";
+        let mut data = rec.to_vec();
+        let start = data.len();
+        data.extend_from_slice(rec);
+        for level in 1..=9 {
+            let mut m = Hash4Matcher::new();
+            let mut tokens = Vec::new();
+            tokenize_into(&data, start, level, &mut m, &mut tokens);
+            let covered: usize = tokens.iter().map(Token::input_len).sum();
+            assert_eq!(covered, data.len() - start, "level {level}");
+            assert!(
+                tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+                "level {level}: no history match found"
+            );
+        }
+    }
+
+    #[test]
+    fn window_bound_respected() {
+        // A repeat more than a window apart must not produce a match
+        // referencing past the window.
+        let mut data = vec![0u8; WINDOW_SIZE + 4096];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8 ^ (i / 997) as u8;
+        }
+        for level in [1, 3, 6, 9] {
+            let tokens = tokenize(&data, level);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(tokens.iter().all(Token::is_valid), "level {level}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_previous_buffer() {
+        let mut m = Hash4Matcher::new();
+        let mut tokens = Vec::new();
+        let a = b"shared-prefix-0123456789-shared-prefix";
+        tokenize_into(a, 0, 6, &mut m, &mut tokens);
+        // Re-tokenizing a different buffer after reset must be
+        // self-consistent (no matches into the dead buffer).
+        m.reset();
+        tokens.clear();
+        let b = vec![7u8; 500];
+        tokenize_into(&b, 0, 6, &mut m, &mut tokens);
+        assert_eq!(expand_tokens(&tokens), b);
+    }
+
+    #[test]
+    fn lazy_prefers_later_longer_match() {
+        let data = b"0abc1abcd__0abc1abcd__xabcdefgh+abcdefgh";
+        let lazy = tokenize(data, 9);
+        let greedy = tokenize(data, 3);
+        assert_eq!(expand_tokens(&lazy), data);
+        assert_eq!(expand_tokens(&greedy), data);
+        assert!(lazy.len() <= greedy.len());
+    }
+
+    #[test]
+    fn chain_walk_stats_accumulate() {
+        let mut m = Hash4Matcher::new();
+        let mut tokens = Vec::new();
+        let data: Vec<u8> = std::iter::repeat_n(&b"stat stat stat stat "[..], 50)
+            .flatten()
+            .copied()
+            .collect();
+        let cfg = MatcherConfig::for_level(6);
+        tokenize_lazy4_into(&data, 0, &cfg, &mut m, &mut tokens);
+        let stats = m.take_stats();
+        assert!(stats.chain_hist.iter().sum::<u64>() > 0);
+        // Second take is empty.
+        assert_eq!(m.take_stats().chain_hist.iter().sum::<u64>(), 0);
+    }
+}

@@ -24,7 +24,7 @@
 
 use crate::bitio::BitWriter;
 use crate::encoder::{
-    choose_and_encode_block, encode_fixed_block, CompressionLevel, MAX_BLOCK_TOKENS,
+    choose_and_encode_block_at, encode_fixed_block, CompressionLevel, MAX_BLOCK_TOKENS,
 };
 use crate::lz77::{Token, Tokenizer};
 use crate::WINDOW_SIZE;
@@ -164,11 +164,12 @@ impl StreamEncoder {
                     .sum();
                 let is_last_block = end_tok == tokens.len();
                 let is_final = is_last_block && flush == Flush::Finish;
-                choose_and_encode_block(
+                choose_and_encode_block_at(
                     &mut self.w,
                     &chunk[byte_pos..byte_pos + span],
                     &tokens[start_tok..end_tok],
                     is_final,
+                    self.level,
                 );
                 start_tok = end_tok;
                 byte_pos += span;

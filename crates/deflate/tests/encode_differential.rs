@@ -1,0 +1,130 @@
+//! Encode-side differential battery for the PR 5 compressor overhaul.
+//!
+//! Every corpus class at every numeric level (0–9) must round-trip
+//! through our own inflate AND through the system `gzip -dc` — the
+//! hash4 matcher, the level ladder, and the per-block stored/static/
+//! dynamic cost decision all change the bitstream, and an independent
+//! decoder is the only referee that cannot share a bug with ours.
+//!
+//! The property test pins the ladder's contract on redundant data:
+//! walking `Level::Fastest → Best` must never make the output larger
+//! (modulo a 2% tie-break tolerance — adjacent rungs can pick different
+//! but equally-sized parses).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use nx_corpus::CorpusKind;
+use nx_deflate::crc32::crc32;
+use nx_deflate::{deflate, gzip, inflate, CompressionLevel, Level};
+use proptest::prelude::*;
+
+/// Decompresses a gzip member with the system `gzip -dc`, returning
+/// `None` when the binary is unavailable so the battery degrades to
+/// our-decoder-only instead of failing on minimal containers.
+fn gzip_dc(gz: &[u8]) -> Option<Vec<u8>> {
+    let mut child = Command::new("gzip")
+        .arg("-dc")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .ok()?;
+    // Feed stdin from a thread: gzip starts emitting output before it
+    // has consumed all input, and a single-threaded write-then-read
+    // deadlocks once the stdout pipe buffer fills.
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let payload = gz.to_vec();
+    let writer = std::thread::spawn(move || {
+        let _ = stdin.write_all(&payload);
+    });
+    let out = child.wait_with_output().ok()?;
+    writer.join().ok()?;
+    if !out.status.success() {
+        panic!("gzip -dc rejected a stream we produced");
+    }
+    Some(out.stdout)
+}
+
+/// Compresses at `level`, then checks the raw stream through our
+/// decoder and the gzip-framed stream through `gzip(1)`.
+fn assert_both_decoders_agree(data: &[u8], level: u32) {
+    let comp = deflate(data, CompressionLevel::new(level).expect("valid level"));
+    let ours = inflate(&comp).expect("our decoder must accept our stream");
+    assert_eq!(ours, data, "roundtrip mismatch at level {level}");
+    let gz = gzip::wrap_deflate(&comp, crc32(data), data.len() as u64);
+    if let Some(theirs) = gzip_dc(&gz) {
+        assert_eq!(theirs, data, "gzip(1) mismatch at level {level}");
+    }
+}
+
+#[test]
+fn every_corpus_every_level_roundtrips_both_decoders() {
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(0x5EED_2020, 96 << 10);
+        for level in 0u32..=9 {
+            assert_both_decoders_agree(&data, level);
+        }
+    }
+}
+
+#[test]
+fn ladder_rungs_map_to_their_numeric_levels() {
+    // The named ladder is sugar over numeric levels; both spellings must
+    // produce byte-identical streams.
+    let data = nx_corpus::mixed(0x5EED_2020, 128 << 10);
+    for rung in Level::all() {
+        let by_name = deflate(&data, rung.compression_level());
+        let by_number = deflate(
+            &data,
+            CompressionLevel::new(rung.compression_level().get()).expect("valid level"),
+        );
+        assert_eq!(
+            by_name, by_number,
+            "rung {rung} diverged from its numeric level"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ladder_is_monotone_on_redundant_data(
+        seed in any::<u64>(),
+        len in (8usize << 10)..(96 << 10),
+    ) {
+        let data = CorpusKind::Redundant.generate(seed, len);
+        let mut prev: Option<usize> = None;
+        for rung in Level::all() {
+            let size = deflate(&data, rung.compression_level()).len();
+            if let Some(p) = prev {
+                // Slower rungs must not lose ground; 2% slack absorbs
+                // tie-breaks between equally-costed parses.
+                prop_assert!(
+                    size as f64 <= p as f64 * 1.02,
+                    "rung {} grew the output: {} -> {}", rung, p, size,
+                );
+            }
+            prev = Some(size);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_roundtrip_every_rung(
+        chunks in prop::collection::vec(
+            prop_oneof![
+                prop::collection::vec(any::<u8>(), 0..64),
+                (any::<u8>(), 1usize..600).prop_map(|(b, n)| vec![b; n]),
+                "[a-z ]{0,40}".prop_map(|s| s.into_bytes()),
+            ],
+            0..24,
+        ),
+    ) {
+        let data = chunks.concat();
+        for rung in Level::all() {
+            let comp = deflate(&data, rung.compression_level());
+            prop_assert_eq!(inflate(&comp).unwrap(), data.clone());
+        }
+    }
+}

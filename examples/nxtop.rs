@@ -4,8 +4,10 @@
 //! injection, a sharded parallel session, an async queue) through one
 //! instrumented [`Nx`] handle, then renders everything the observability
 //! layer unifies: per-codec request counters, fault-recovery accounting,
-//! queue depth, per-worker shard balance, and the latency histograms
-//! with their percentiles.
+//! queue depth, per-worker shard balance, the encoder's per-level and
+//! per-block-kind counters (`nx_encode_blocks_*`, chain-walk depth
+//! histogram — the `nx-encode-paths` source added in PR 5), and the
+//! latency histograms with their percentiles.
 //!
 //! ```text
 //! cargo run --release -p nx-core --example nxtop            # dashboard
@@ -57,6 +59,17 @@ fn main() {
         6,
     );
     let _ = psess.compress(&data, Format::Gzip).expect("parallel");
+
+    // Two rungs of the level ladder (per-level encode-block counters).
+    for opts in [
+        nx_core::CompressOptions::from_level(nx_deflate::Level::Fastest),
+        nx_core::CompressOptions::from_level(nx_deflate::Level::High),
+    ] {
+        let gz = nx
+            .compress_with(&data[..256 << 10], Format::Gzip, opts)
+            .expect("ladder compress");
+        assert!(!gz.bytes.is_empty());
+    }
 
     // A burst through the async queue (depth gauge + queue-wait spans).
     let asess = nx.async_session();

@@ -62,6 +62,12 @@ DECODE_PATHS=(
     crates/telemetry/src/span.rs
     crates/telemetry/src/export.rs
     crates/telemetry/src/clock.rs
+    # Encoder hot paths: the level ladder routes arbitrary user input
+    # through these, so they carry the same no-panic contract.
+    crates/deflate/src/encoder.rs
+    crates/deflate/src/lz77/mod.rs
+    crates/deflate/src/lz77/hash.rs
+    crates/deflate/src/lz77/hash4.rs
 )
 GATE_FAIL=0
 for f in "${DECODE_PATHS[@]}"; do
@@ -116,6 +122,39 @@ if [[ "$FAST" == "0" ]]; then
         echo "    inflate: ${fresh} MB/s (committed baseline ${baseline} MB/s)"
     else
         echo "    no committed baseline found; recorded ${fresh} MB/s"
+    fi
+
+    echo "==> deflate ladder gate (E21, regression bar 10%)"
+    # Same pattern as E20: snapshot the committed default-level deflate
+    # throughput, rerun the sweep, fail on a >10% regression, and require
+    # both our decoder and gzip(1) to have verified every output.
+    dbaseline=$(awk -F'"section": "summary".*"deflate_default_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_DEFLATE.json)
+    cargo run --offline --release -p nx-bench --bin tables -- e21 > /dev/null
+    dfresh=$(awk -F'"section": "summary".*"deflate_default_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_DEFLATE.json)
+    python3 -m json.tool BENCH_DEFLATE.json > /dev/null
+    if ! grep -q '"all_identical": true' BENCH_DEFLATE.json; then
+        echo "==> FAIL: an encoder output failed to round-trip through our decoder"
+        exit 1
+    fi
+    if grep -q '"gzip_verified": false' BENCH_DEFLATE.json; then
+        echo "==> FAIL: gzip(1) rejected an encoder output"
+        exit 1
+    fi
+    if [[ -n "$dbaseline" ]]; then
+        if ! awk -v f="$dfresh" -v b="$dbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            # Compression timing is noisier than inflate on shared hosts;
+            # re-measure once before declaring a regression.
+            echo "    deflate ${dfresh} MB/s below 0.9x baseline; re-measuring once"
+            cargo run --offline --release -p nx-bench --bin tables -- e21 > /dev/null
+            dfresh=$(awk -F'"section": "summary".*"deflate_default_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_DEFLATE.json)
+        fi
+        if ! awk -v f="$dfresh" -v b="$dbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            echo "==> FAIL: deflate ${dfresh} MB/s regressed >10% vs committed ${dbaseline} MB/s"
+            exit 1
+        fi
+        echo "    deflate: ${dfresh} MB/s (committed baseline ${dbaseline} MB/s)"
+    else
+        echo "    no committed baseline found; recorded ${dfresh} MB/s"
     fi
 fi
 
