@@ -35,6 +35,7 @@ pub mod async_queue;
 pub mod fault;
 pub mod framing;
 pub mod parallel;
+pub mod parallel_inflate;
 pub mod scratch;
 pub mod software;
 pub mod stats;
@@ -44,6 +45,9 @@ pub use async_queue::{AsyncSession, JobHandle};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RecoveryPolicy};
 pub use framing::Format;
 pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
+pub use parallel_inflate::{
+    InflateParStats, ParallelInflateOptions, ParallelInflater, SeekCheckpoint, SeekIndex,
+};
 pub use scratch::{BufferPool, EncodePathMetrics, InflatePathMetrics, ScratchSession};
 pub use stats::{Codec, CodecStats, DirStats, NxStats};
 pub use stream::GzipStream;
@@ -144,6 +148,11 @@ pub enum Error {
     },
     /// A parallel engine was requested with zero workers.
     NoWorkers,
+    /// A serialized [`SeekIndex`] was malformed, or an index disagreed
+    /// with the stream it was applied to.
+    InvalidSeekIndex,
+    /// A random-access offset lay beyond the end of the indexed stream.
+    SeekOutOfRange,
 }
 
 impl fmt::Display for Error {
@@ -161,6 +170,10 @@ impl fmt::Display for Error {
                 write!(f, "output failed integrity check on {attempts} attempts")
             }
             Error::NoWorkers => write!(f, "parallel engine needs at least one worker"),
+            Error::InvalidSeekIndex => {
+                write!(f, "seek index malformed or inconsistent with stream")
+            }
+            Error::SeekOutOfRange => write!(f, "seek offset beyond end of indexed stream"),
         }
     }
 }
@@ -319,6 +332,7 @@ pub struct Nx {
     faults: Option<Arc<FaultInjector>>,
     telemetry: TelemetrySink,
     pool: Arc<scratch::BufferPool>,
+    decode_stats: Arc<InflateParStats>,
 }
 
 impl Nx {
@@ -332,6 +346,7 @@ impl Nx {
             faults: None,
             telemetry: TelemetrySink::disabled(),
             pool: Arc::new(scratch::BufferPool::default()),
+            decode_stats: Arc::new(InflateParStats::default()),
         }
     }
 
@@ -353,6 +368,7 @@ impl Nx {
             faults: Some(Arc::new(FaultInjector::new(plan, policy))),
             telemetry: TelemetrySink::disabled(),
             pool: Arc::new(scratch::BufferPool::default()),
+            decode_stats: Arc::new(InflateParStats::default()),
         }
     }
 
@@ -388,6 +404,10 @@ impl Nx {
             reg.register_source(
                 "nx-encode-paths",
                 Arc::new(scratch::EncodePathMetrics) as Arc<dyn MetricSource>,
+            );
+            reg.register_source(
+                "nx-decode-parallel",
+                Arc::clone(&self.decode_stats) as Arc<dyn MetricSource>,
             );
             if let Some(inj) = &self.faults {
                 reg.register_source("nx-fault-stats", Arc::clone(inj) as Arc<dyn MetricSource>);
@@ -865,6 +885,7 @@ impl Nx {
             self.faults.clone(),
             self.telemetry.clone(),
             Arc::clone(&self.pool),
+            Arc::clone(&self.decode_stats),
         )
     }
 
@@ -884,6 +905,98 @@ impl Nx {
     /// directly and read the pool counters.
     pub fn buffer_pool(&self) -> &Arc<scratch::BufferPool> {
         &self.pool
+    }
+
+    /// The parallel-decode counters shared by this handle and every
+    /// [`ParallelSession`] it opens (telemetry source
+    /// `nx-decode-parallel`).
+    pub fn decode_parallel_stats(&self) -> &Arc<InflateParStats> {
+        &self.decode_stats
+    }
+
+    /// A parallel inflater bound to this handle's counters, fault
+    /// injector and buffer pool. Construction is cheap — workers are
+    /// scoped threads spawned per request.
+    fn decode_inflater(&self) -> ParallelInflater {
+        self.decode_inflater_with(ParallelInflateOptions::default())
+    }
+
+    /// Like [`Nx::decompress_parallel`] but with explicit decode options
+    /// (worker count, chunk size, checkpoint spacing) instead of the
+    /// host-derived defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] for malformed streams — exactly as the serial
+    /// decoder reports them.
+    pub fn decompress_parallel_with(
+        &self,
+        data: &[u8],
+        format: Format,
+        opts: ParallelInflateOptions,
+    ) -> Result<Vec<u8>> {
+        let out = self.decode_inflater_with(opts).decompress(data, format)?;
+        self.stats
+            .record_decompress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
+        Ok(out)
+    }
+
+    fn decode_inflater_with(&self, opts: ParallelInflateOptions) -> ParallelInflater {
+        ParallelInflater::with_parts(
+            opts,
+            Arc::clone(&self.decode_stats),
+            self.faults.clone(),
+            Arc::clone(&self.pool),
+        )
+    }
+
+    /// Decompresses `data` through the parallel inflate path (speculative
+    /// two-stage decode for large single streams, member-per-worker for
+    /// multi-member gzip), recording the traffic in this handle's
+    /// [`NxStats`]. Output is byte-identical to a serial inflate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] for malformed streams — exactly as the serial
+    /// decoder reports them.
+    pub fn decompress_parallel(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        let out = self.decode_inflater().decompress(data, format)?;
+        self.stats
+            .record_decompress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
+        Ok(out)
+    }
+
+    /// Builds a random-access [`SeekIndex`] over `data` (one serial,
+    /// checkpoint-recording decode). See
+    /// [`ParallelInflater::decompress_indexed`] to keep the decoded bytes
+    /// as well.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Deflate`] for malformed streams.
+    pub fn build_index(&self, data: &[u8], format: Format) -> Result<SeekIndex> {
+        self.decode_inflater().build_index(data, format)
+    }
+
+    /// Random-accesses `[offset, offset + len)` of the stream indexed by
+    /// `index` without decoding the prefix: decode restarts at the
+    /// nearest preceding checkpoint with its 32 KB window snapshot.
+    /// `len` is clamped at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SeekOutOfRange`] past the end, [`Error::InvalidSeekIndex`]
+    /// for an index inconsistent with `data`, [`Error::Deflate`] for
+    /// malformed blocks in the decoded span.
+    pub fn decompress_at(
+        &self,
+        data: &[u8],
+        index: &SeekIndex,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        self.decode_inflater()
+            .decompress_at(data, index, offset, len)
     }
 
     /// Opens a zero-allocation scratch session at `level`: a persistent

@@ -21,12 +21,16 @@
 //! each worker checksums its own chunk, and the per-shard values fold
 //! into the trailer value with [`crc32_combine`] / [`adler32_combine`].
 //!
-//! Decompression of a DEFLATE stream is inherently serial — every match
-//! references the preceding 32 KB of *output*, so shard `i` cannot be
-//! decoded before shard `i-1` finished. [`ParallelEngine::decompress`]
-//! is therefore an ordinary single-threaded inflate; the parallel win on
-//! the decode side comes from decompressing *independent members*
-//! concurrently, which needs no engine support.
+//! Decompression of a DEFLATE stream *looks* inherently serial — every
+//! match references the preceding 32 KB of *output*, so shard `i` cannot
+//! simply be decoded before shard `i-1` finished. The engine breaks that
+//! chain speculatively: [`ParallelEngine::decompress`] routes through
+//! [`crate::parallel_inflate`], which probes for block boundaries, decodes
+//! chunks ahead of their unknown window into marker buffers, and patches
+//! the markers once the predecessor's trailing window resolves
+//! (multi-member gzip takes the easy member-per-worker path instead).
+//! Any speculation anomaly degrades to a serial inflate, so output is
+//! always byte-identical to the single-threaded decoder.
 //!
 //! ```
 //! use nx_core::parallel::{ParallelEngine, ParallelOptions};
@@ -44,9 +48,10 @@
 
 use crate::fault::FaultInjector;
 use crate::framing::Format;
+use crate::parallel_inflate::{InflateParStats, ParallelInflateOptions, ParallelInflater};
 use crate::scratch::BufferPool;
 use crate::stats::Codec;
-use crate::{software, Error, NxStats, Result};
+use crate::{Error, NxStats, Result};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use nx_deflate::adler32::{adler32, adler32_combine};
 use nx_deflate::crc32::{crc32, crc32_combine};
@@ -263,6 +268,8 @@ pub struct ParallelEngine {
     /// Shard output buffers cycle through here: workers acquire, the
     /// submitting thread releases after stitching.
     pool: Arc<BufferPool>,
+    /// The decode side: speculative two-stage parallel inflate.
+    inflater: ParallelInflater,
 }
 
 impl ParallelEngine {
@@ -316,10 +323,23 @@ impl ParallelEngine {
     }
 
     fn spawn(
+        opts: ParallelOptions,
+        faults: Option<Arc<FaultInjector>>,
+        sink: TelemetrySink,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        Self::spawn_with_decode(opts, faults, sink, pool, None)
+    }
+
+    /// As [`spawn`](Self::spawn), but sharing `decode_stats` with a facade
+    /// (which already registered it on the telemetry registry). When
+    /// `None`, fresh decode counters are created and self-registered.
+    fn spawn_with_decode(
         mut opts: ParallelOptions,
         faults: Option<Arc<FaultInjector>>,
         sink: TelemetrySink,
         pool: Arc<BufferPool>,
+        decode_stats: Option<Arc<InflateParStats>>,
     ) -> Self {
         opts.chunk_size = opts.chunk_size.max(1);
         let stats = Arc::new(ParallelStats::with_workers(opts.workers));
@@ -329,6 +349,28 @@ impl ParallelEngine {
                 Arc::clone(&stats) as Arc<dyn MetricSource>,
             );
         }
+        let decode_stats = match decode_stats {
+            Some(s) => s,
+            None => {
+                let s = Arc::new(InflateParStats::default());
+                if let Some(reg) = sink.registry() {
+                    reg.register_source(
+                        "nx-decode-parallel",
+                        Arc::clone(&s) as Arc<dyn MetricSource>,
+                    );
+                }
+                s
+            }
+        };
+        let inflater = ParallelInflater::with_parts(
+            ParallelInflateOptions {
+                workers: opts.workers,
+                ..ParallelInflateOptions::default()
+            },
+            decode_stats,
+            faults.clone(),
+            Arc::clone(&pool),
+        );
         // A small bounded queue: submission applies backpressure instead
         // of buffering every pending shard descriptor at once.
         let (job_tx, job_rx) = bounded::<Job>(opts.workers * 2);
@@ -355,6 +397,7 @@ impl ParallelEngine {
             faults,
             telemetry: sink,
             pool,
+            inflater,
         }
     }
 
@@ -550,15 +593,29 @@ impl ParallelEngine {
         Ok(framed)
     }
 
-    /// Decompresses `format`-framed `data`. Single-threaded by design —
-    /// see the [module docs](self) for why shard-parallel inflate of one
-    /// stream is not possible.
+    /// Decompresses `format`-framed `data` through the speculative
+    /// parallel inflate path ([`crate::parallel_inflate`]): multi-member
+    /// gzip decodes member-per-worker, large single streams decode via
+    /// boundary probing + two-stage marker decode, and anything smaller
+    /// (or any speculation anomaly) decodes serially. Output is
+    /// byte-identical to a serial inflate in every case.
     ///
     /// # Errors
     ///
     /// [`Error::Deflate`] for malformed containers or streams.
     pub fn decompress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
-        software::decompress(data, format)
+        self.inflater.decompress(data, format)
+    }
+
+    /// The decode-side parallel inflater (for seek-index builds and
+    /// random access bound to this engine's counters and pool).
+    pub fn inflater(&self) -> &ParallelInflater {
+        &self.inflater
+    }
+
+    /// Counters for the parallel-decode path.
+    pub fn decode_stats(&self) -> &Arc<InflateParStats> {
+        self.inflater.stats()
     }
 }
 
@@ -758,14 +815,17 @@ pub struct ParallelSession {
 
 impl ParallelSession {
     pub(crate) fn new(
-        opts: ParallelOptions,
+        mut opts: ParallelOptions,
         level: u32,
         stats: Arc<NxStats>,
         faults: Option<Arc<FaultInjector>>,
         sink: TelemetrySink,
         pool: Arc<BufferPool>,
+        decode_stats: Arc<InflateParStats>,
     ) -> Self {
-        let engine = ParallelEngine::with_telemetry(opts, faults, sink, pool);
+        opts.workers = opts.workers.max(1);
+        let engine =
+            ParallelEngine::spawn_with_decode(opts, faults, sink, pool, Some(decode_stats));
         Self {
             engine,
             stats,
@@ -795,8 +855,8 @@ impl ParallelSession {
         Ok(out)
     }
 
-    /// Decompresses `format`-framed `data` (single-threaded; see the
-    /// [module docs](self)).
+    /// Decompresses `format`-framed `data` through the parallel inflate
+    /// path (see the [module docs](self)).
     ///
     /// # Errors
     ///
@@ -812,6 +872,7 @@ impl ParallelSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::software;
 
     fn corpus(n: usize) -> Vec<u8> {
         nx_corpus::mixed(7, n)

@@ -1,0 +1,1210 @@
+//! Parallel and seekable decompression — the decode-side companion to
+//! [`crate::parallel`].
+//!
+//! The NX engine made compression a shared many-client service, but a
+//! DEFLATE stream is serial by construction: every Huffman block may
+//! reference the previous 32 KB of *output*, and block boundaries are not
+//! byte-aligned, so a reader cannot simply split the input. This module
+//! applies the two-stage speculative scheme of *rapidgzip*
+//! (arXiv 2308.08955) and *Massively-Parallel Lossless Data Decompression*
+//! (arXiv 1606.00519) to break that serial chain:
+//!
+//! 1. **Boundary scan** — [`nx_deflate::BlockProbe`] probes bit offsets
+//!    near each chunk target until a position validates as a plausible
+//!    block start (stored-block length complement, or a fully consistent
+//!    dynamic Huffman header plus a short trial decode).
+//! 2. **Two-stage decode** — chunk 0 decodes normally; every later chunk
+//!    decodes through [`nx_deflate::MarkerInflater`] into a `u16` cell
+//!    buffer where back-references past the chunk's known history become
+//!    *markers*. Once the predecessor's trailing 32 KB window is resolved,
+//!    a cheap sequential patch pass ([`nx_deflate::resolve_markers_into`])
+//!    rewrites markers into bytes.
+//! 3. **Validation** — speculation is confirmed by *exact landing*: each
+//!    chunk's block walk must stop precisely on the next discovered
+//!    boundary, and the last chunk must terminate the stream; the container
+//!    checksum is verified at the end. Any anomaly — probe miss, decode
+//!    error, landing mismatch, checksum mismatch, injected fault — falls
+//!    back to the serial decoder, so output (and errors) are always
+//!    byte-identical to a serial inflate.
+//!
+//! Multi-member gzip streams take the easy road instead: member headers are
+//! found by magic-byte scan and whole members decode member-per-worker,
+//! chain-validated by their recorded lengths.
+//!
+//! The module also builds a serializable [`SeekIndex`] — a list of
+//! (bit offset, output offset, ≤32 KB window snapshot) checkpoints — so
+//! [`ParallelInflater::decompress_at`] can random-access any slice of the
+//! decompressed stream without decoding the prefix.
+
+use crate::fault::FaultInjector;
+use crate::framing::{self, Format};
+use crate::scratch::BufferPool;
+use crate::{software, Error, Result};
+use nx_deflate::crc32::crc32;
+use nx_deflate::{
+    gzip, resolve_markers_into, BlockProbe, Error as DeflateError, Inflater, MarkerInflater,
+    WINDOW_SIZE,
+};
+use nx_telemetry::{MetricSource, MetricValue};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Compressed bytes per speculative chunk when the caller does not say
+/// otherwise. Boundary probing costs ~a few µs per candidate bit, so
+/// chunks must be large enough to amortise the scan.
+const DEFAULT_CHUNK: usize = 256 * 1024;
+
+/// Output bytes between seek-index checkpoints (before rounding to block
+/// boundaries).
+const DEFAULT_CHECKPOINT_EVERY: usize = 1024 * 1024;
+
+/// Consecutive boundary-free chunk spans before the scanner gives up on
+/// the whole stream (blocks larger than two chunks make chunk-grained
+/// speculation pointless).
+const SCAN_GIVE_UP: usize = 2;
+
+/// Probe-budget multiplier: the scanner tries at most this many candidate
+/// bit offsets per payload *byte*. Tiling every span gaplessly costs 8
+/// probes per byte, so 16 leaves headroom; the budget is a backstop —
+/// pathological streams (e.g. one long fixed-Huffman block, which the
+/// probe deliberately never accepts) are cut off much earlier by the
+/// consecutive-empty-span give-up.
+const SCAN_BUDGET_PER_BYTE: u64 = 16;
+
+/// Upper bound on gzip member candidates considered for member-parallel
+/// decode; beyond this the O(candidates) parallel bookkeeping stops paying
+/// and the serial member walk wins anyway.
+const MAX_MEMBER_CANDIDATES: usize = 4096;
+
+/// Magic bytes that open a serialized [`SeekIndex`].
+pub const SEEK_INDEX_MAGIC: [u8; 4] = *b"NXSI";
+
+/// Serialization format version.
+const SEEK_INDEX_VERSION: u8 = 1;
+
+/// Tuning knobs for [`ParallelInflater`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelInflateOptions {
+    /// Worker threads for chunk / member decode. `1` disables speculation
+    /// and decodes serially.
+    pub workers: usize,
+    /// Compressed bytes per speculative chunk. Inputs shorter than two
+    /// chunks decode serially.
+    pub chunk_size: usize,
+    /// Decompressed bytes between seek-index checkpoints (rounded up to
+    /// the enclosing block boundary; at least one window).
+    pub checkpoint_every: usize,
+}
+
+impl Default for ParallelInflateOptions {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            chunk_size: DEFAULT_CHUNK,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        }
+    }
+}
+
+/// Counters for the parallel-decode path, exported through the telemetry
+/// registry as source `nx-decode-parallel`.
+#[derive(Debug, Default)]
+pub struct InflateParStats {
+    requests: AtomicU64,
+    chunks_decoded: AtomicU64,
+    speculation_misses: AtomicU64,
+    marker_patch_bytes: AtomicU64,
+    members_parallel: AtomicU64,
+    serial_fallbacks: AtomicU64,
+    seek_index_hits: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+macro_rules! counter_getters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        $( $(#[$doc])* pub fn $name(&self) -> u64 { self.$name.load(Ordering::Relaxed) } )+
+    };
+}
+
+impl InflateParStats {
+    counter_getters! {
+        /// Decompression requests routed through the parallel path.
+        requests,
+        /// Speculative chunks decoded (leader + marker chunks).
+        chunks_decoded,
+        /// Speculative attempts abandoned (probe miss, landing mismatch,
+        /// decode error, checksum mismatch or injected fault).
+        speculation_misses,
+        /// Marker cells rewritten to bytes by the patch pass.
+        marker_patch_bytes,
+        /// gzip members decoded member-per-worker.
+        members_parallel,
+        /// Requests that degraded to the serial decoder after a parallel
+        /// attempt.
+        serial_fallbacks,
+        /// `decompress_at` calls served from a seek index.
+        seek_index_hits,
+        /// Total decompressed bytes produced.
+        bytes_out,
+    }
+}
+
+impl MetricSource for InflateParStats {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let counters: [(&str, u64); 8] = [
+            ("nx_decode_parallel_requests_total", self.requests()),
+            ("nx_decode_parallel_chunks_total", self.chunks_decoded()),
+            (
+                "nx_decode_parallel_speculation_misses_total",
+                self.speculation_misses(),
+            ),
+            (
+                "nx_decode_parallel_marker_patch_bytes_total",
+                self.marker_patch_bytes(),
+            ),
+            ("nx_decode_parallel_members_total", self.members_parallel()),
+            (
+                "nx_decode_parallel_serial_fallbacks_total",
+                self.serial_fallbacks(),
+            ),
+            (
+                "nx_decode_parallel_seek_index_hits_total",
+                self.seek_index_hits(),
+            ),
+            ("nx_decode_parallel_bytes_out_total", self.bytes_out()),
+        ];
+        for (name, v) in counters {
+            out.push((name.into(), MetricValue::Counter(v)));
+        }
+    }
+}
+
+/// One random-access entry point into a compressed stream: resume decoding
+/// at `bit_offset` with `window` as dictionary, knowing `out_offset` bytes
+/// precede it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeekCheckpoint {
+    /// Absolute bit offset (from the start of the *container*) of a block
+    /// boundary — or of a member's first block, in which case `window` is
+    /// empty.
+    pub bit_offset: u64,
+    /// Decompressed bytes preceding this checkpoint.
+    pub out_offset: u64,
+    /// The trailing ≤32 KB of output at this point; empty at member
+    /// starts, where DEFLATE history resets.
+    pub window: Vec<u8>,
+}
+
+/// A serializable random-access index over a compressed stream.
+///
+/// Built by [`ParallelInflater::build_index`] (or
+/// [`ParallelInflater::decompress_indexed`]); consumed by
+/// [`ParallelInflater::decompress_at`]. The wire format is
+/// `"NXSI" u8:version u8:format u64:total_out u32:count` followed by
+/// `count` records of `u64:bit_offset u64:out_offset u32:wlen` + window
+/// bytes, all little-endian.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeekIndex {
+    format: Format,
+    total_out: u64,
+    checkpoints: Vec<SeekCheckpoint>,
+}
+
+impl SeekIndex {
+    /// Container format the index was built for.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// Total decompressed size of the indexed stream.
+    pub fn total_out(&self) -> u64 {
+        self.total_out
+    }
+
+    /// The checkpoints, ordered by `out_offset`.
+    pub fn checkpoints(&self) -> &[SeekCheckpoint] {
+        &self.checkpoints
+    }
+
+    /// Serializes the index (see the type docs for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body: usize = self
+            .checkpoints
+            .iter()
+            .map(|c| 8 + 8 + 4 + c.window.len())
+            .sum();
+        let mut out = Vec::with_capacity(4 + 1 + 1 + 8 + 4 + body);
+        out.extend_from_slice(&SEEK_INDEX_MAGIC);
+        out.push(SEEK_INDEX_VERSION);
+        out.push(match self.format {
+            Format::RawDeflate => 0,
+            Format::Gzip => 1,
+            Format::Zlib => 2,
+        });
+        out.extend_from_slice(&self.total_out.to_le_bytes());
+        out.extend_from_slice(&(self.checkpoints.len() as u32).to_le_bytes());
+        for c in &self.checkpoints {
+            out.extend_from_slice(&c.bit_offset.to_le_bytes());
+            out.extend_from_slice(&c.out_offset.to_le_bytes());
+            out.extend_from_slice(&(c.window.len() as u32).to_le_bytes());
+            out.extend_from_slice(&c.window);
+        }
+        out
+    }
+
+    /// Deserializes an index produced by [`SeekIndex::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSeekIndex`] on bad magic, version, truncation,
+    /// oversized windows or non-monotonic offsets.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+            let s = data.get(*pos..*pos + n).ok_or(Error::InvalidSeekIndex)?;
+            *pos += n;
+            Ok(s)
+        }
+        fn le_u32(s: &[u8]) -> u32 {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(s);
+            u32::from_le_bytes(b)
+        }
+        fn le_u64(s: &[u8]) -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            u64::from_le_bytes(b)
+        }
+        let mut pos = 0usize;
+        if take(data, &mut pos, 4)? != SEEK_INDEX_MAGIC {
+            return Err(Error::InvalidSeekIndex);
+        }
+        if take(data, &mut pos, 1)?[0] != SEEK_INDEX_VERSION {
+            return Err(Error::InvalidSeekIndex);
+        }
+        let format = match take(data, &mut pos, 1)?[0] {
+            0 => Format::RawDeflate,
+            1 => Format::Gzip,
+            2 => Format::Zlib,
+            _ => return Err(Error::InvalidSeekIndex),
+        };
+        let total_out = le_u64(take(data, &mut pos, 8)?);
+        let count = le_u32(take(data, &mut pos, 4)?) as usize;
+        let mut checkpoints = Vec::new();
+        let mut prev_out = 0u64;
+        for i in 0..count {
+            let bit_offset = le_u64(take(data, &mut pos, 8)?);
+            let out_offset = le_u64(take(data, &mut pos, 8)?);
+            let wlen = le_u32(take(data, &mut pos, 4)?) as usize;
+            if wlen > WINDOW_SIZE || out_offset > total_out {
+                return Err(Error::InvalidSeekIndex);
+            }
+            if i > 0 && out_offset < prev_out {
+                return Err(Error::InvalidSeekIndex);
+            }
+            prev_out = out_offset;
+            let window = take(data, &mut pos, wlen)?.to_vec();
+            checkpoints.push(SeekCheckpoint {
+                bit_offset,
+                out_offset,
+                window,
+            });
+        }
+        if pos != data.len() {
+            return Err(Error::InvalidSeekIndex);
+        }
+        Ok(Self {
+            format,
+            total_out,
+            checkpoints,
+        })
+    }
+}
+
+/// Outcome of a speculative single-stream attempt.
+enum Spec {
+    /// Speculation confirmed; the assembled output.
+    Done(Vec<u8>),
+    /// Attempted and failed — count a miss and fall back.
+    Miss,
+    /// Not worth attempting (too small, one worker, no boundaries probed).
+    NotAttempted,
+}
+
+/// Per-chunk worker result for the speculative path.
+enum ChunkResult {
+    /// Chunk 0: plain bytes from a known-history decode.
+    Leader {
+        bytes: Vec<u8>,
+        end_bit: u64,
+        finished: bool,
+    },
+    /// Chunk ≥ 1: marker cells awaiting the patch pass.
+    Spec {
+        cells: Vec<u16>,
+        end_bit: u64,
+        finished: bool,
+    },
+    /// Decode error or injected fault.
+    Failed,
+}
+
+/// The parallel + seekable decoder. Cheap to construct: workers are scoped
+/// threads spawned per request, borrowing the input slice.
+#[derive(Debug)]
+pub struct ParallelInflater {
+    opts: ParallelInflateOptions,
+    stats: Arc<InflateParStats>,
+    faults: Option<Arc<FaultInjector>>,
+    pool: Arc<BufferPool>,
+}
+
+impl Default for ParallelInflater {
+    fn default() -> Self {
+        Self::new(ParallelInflateOptions::default())
+    }
+}
+
+impl ParallelInflater {
+    /// Creates a decoder with fresh stats and a private buffer pool.
+    pub fn new(opts: ParallelInflateOptions) -> Self {
+        Self::with_parts(
+            opts,
+            Arc::new(InflateParStats::default()),
+            None,
+            Arc::new(BufferPool::default()),
+        )
+    }
+
+    /// Creates a decoder sharing stats / faults / pool with a facade.
+    pub(crate) fn with_parts(
+        mut opts: ParallelInflateOptions,
+        stats: Arc<InflateParStats>,
+        faults: Option<Arc<FaultInjector>>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        opts.workers = opts.workers.max(1);
+        opts.chunk_size = opts.chunk_size.max(1024);
+        Self {
+            opts,
+            stats,
+            faults,
+            pool,
+        }
+    }
+
+    /// The decode counters (shared with the owning facade, if any).
+    pub fn stats(&self) -> &Arc<InflateParStats> {
+        &self.stats
+    }
+
+    /// Decompresses `data`, using member-parallel decode for multi-member
+    /// gzip and speculative two-stage decode for large single streams.
+    ///
+    /// Output is byte-identical to [`ParallelInflater::decompress_serial`]
+    /// on every input — any speculation anomaly falls back to the serial
+    /// path, including for malformed streams, so errors match too.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of the serial reference decode.
+    pub fn decompress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let out = self.decompress_inner(data, format)?;
+        self.stats
+            .bytes_out
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    fn decompress_inner(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        let request = self.faults.as_ref().map_or(0, |f| f.begin_request());
+        if format == Format::Gzip {
+            let cands = member_candidates(data);
+            if cands.len() > 1 && self.opts.workers > 1 && cands.len() <= MAX_MEMBER_CANDIDATES {
+                if let Some(out) = self.members_parallel(data, &cands, request) {
+                    return Ok(out);
+                }
+                return self.serial_fallback(data, format);
+            }
+        }
+        // Single DEFLATE stream (or single-member container): speculate.
+        let Ok(un) = framing::unwrap(data, format) else {
+            // Malformed container: let the serial reference produce the
+            // canonical error (or succeed where it is more permissive).
+            return self.decompress_serial(data, format);
+        };
+        match self.speculative(un.deflate_stream, request) {
+            Spec::Done(out) => {
+                if un.verify(&out).is_ok() {
+                    Ok(out)
+                } else {
+                    self.stats
+                        .speculation_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.serial_fallback(data, format)
+                }
+            }
+            Spec::Miss => {
+                self.stats
+                    .speculation_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                self.serial_fallback(data, format)
+            }
+            Spec::NotAttempted => self.decompress_serial(data, format),
+        }
+    }
+
+    /// The serial reference decode: a member walk for gzip (multi-member
+    /// streams are legal — `gzip(1)` concatenates freely), the plain
+    /// unwrap-inflate-verify path otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Any container or DEFLATE error in the stream.
+    pub fn decompress_serial(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        match format {
+            Format::Gzip => {
+                let mut out = Vec::new();
+                let mut any = false;
+                for member in gzip::members(data) {
+                    let (payload, _header) = member?;
+                    if out.is_empty() {
+                        out = payload;
+                    } else {
+                        out.extend_from_slice(&payload);
+                    }
+                    any = true;
+                }
+                if !any {
+                    return Err(DeflateError::UnexpectedEof.into());
+                }
+                Ok(out)
+            }
+            Format::Zlib | Format::RawDeflate => software::decompress(data, format),
+        }
+    }
+
+    /// Counts a degradation to serial and runs the reference decode.
+    fn serial_fallback(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+        self.stats.serial_fallbacks.fetch_add(1, Ordering::Relaxed);
+        if let Some(inj) = &self.faults {
+            let s = inj.stats();
+            s.bump(&s.serial_fallbacks);
+        }
+        self.decompress_serial(data, format)
+    }
+
+    // ---- multi-member fast path -------------------------------------
+
+    /// Decodes gzip members member-per-worker, chain-validating candidate
+    /// offsets against each decoded member's recorded length. Returns
+    /// `None` on any break in the chain (the caller falls back).
+    fn members_parallel(&self, data: &[u8], cands: &[usize], request: u64) -> Option<Vec<u8>> {
+        let n = cands.len();
+        let nthreads = self.opts.workers.min(n).max(1);
+        // (member index, decoded payload + consumed length) per worker.
+        type MemberSlot = (usize, Option<(Vec<u8>, usize)>);
+        let collected: Vec<Vec<MemberSlot>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|w| {
+                    let inj = self.faults.clone();
+                    s.spawn(move || {
+                        let mut outs = Vec::new();
+                        let mut i = w;
+                        while i < n {
+                            let r = if inj
+                                .as_ref()
+                                .is_some_and(|j| j.worker_fault(request, i as u64))
+                            {
+                                None
+                            } else {
+                                gzip::decompress_with_header(&data[cands[i]..])
+                                    .ok()
+                                    .map(|(payload, _h, used)| (payload, used))
+                            };
+                            outs.push((i, r));
+                            i += nthreads;
+                        }
+                        outs
+                    })
+                })
+                .collect();
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
+        });
+        let mut slots: Vec<Option<(Vec<u8>, usize)>> = Vec::new();
+        slots.resize_with(n, || None);
+        for group in collected {
+            for (i, r) in group {
+                slots[i] = r;
+            }
+        }
+        // Chain-validate from offset 0: each member must start at a decoded
+        // candidate and hand off exactly at its recorded end. False
+        // candidates (magic bytes inside compressed data) are simply never
+        // reached by the chain.
+        let mut out: Vec<u8> = Vec::new();
+        let mut pos = 0usize;
+        let mut chained = 0u64;
+        while pos < data.len() {
+            let idx = cands.binary_search(&pos).ok()?;
+            let (payload, used) = slots[idx].take()?;
+            if used == 0 {
+                return None;
+            }
+            if out.is_empty() {
+                out = payload;
+            } else {
+                out.extend_from_slice(&payload);
+            }
+            pos += used;
+            chained += 1;
+        }
+        self.stats
+            .members_parallel
+            .fetch_add(chained, Ordering::Relaxed);
+        Some(out)
+    }
+
+    // ---- speculative single-stream path -----------------------------
+
+    /// Attempts the two-stage speculative decode of one raw DEFLATE
+    /// stream.
+    fn speculative(&self, payload: &[u8], request: u64) -> Spec {
+        let chunk = self.opts.chunk_size;
+        if self.opts.workers < 2 || payload.len() < 2 * chunk {
+            return Spec::NotAttempted;
+        }
+        let Some(bounds) = scan_boundaries(payload, chunk) else {
+            return Spec::Miss;
+        };
+        let n_chunks = bounds.len() + 1;
+        let nthreads = self.opts.workers.min(n_chunks);
+        let collected: Vec<Vec<(usize, ChunkResult)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|w| {
+                    let bounds = &bounds;
+                    let inj = self.faults.clone();
+                    s.spawn(move || {
+                        let mut outs = Vec::new();
+                        let mut k = w;
+                        while k < n_chunks {
+                            let r = if inj
+                                .as_ref()
+                                .is_some_and(|j| j.worker_fault(request, k as u64))
+                            {
+                                ChunkResult::Failed
+                            } else {
+                                decode_chunk(payload, bounds, k)
+                            };
+                            outs.push((k, r));
+                            k += nthreads;
+                        }
+                        outs
+                    })
+                })
+                .collect();
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
+        });
+        let mut slots: Vec<Option<ChunkResult>> = Vec::new();
+        slots.resize_with(n_chunks, || None);
+        for group in collected {
+            for (k, r) in group {
+                slots[k] = Some(r);
+            }
+        }
+        // Sequential patch-and-repair pass. Invariant: `out` holds the
+        // exact serial output up to bit `cur_end` (always a true block
+        // boundary, since a decode walk from a true boundary only stops
+        // on true boundaries). A chunk splices only when it started
+        // exactly at the frontier; anything else — a chunk that began on
+        // a false-positive boundary, failed, or got overlapped by its
+        // predecessor's landing — is repaired by serially decoding just
+        // that span with the now-known window. Speculation misses
+        // therefore cost one chunk of serial work, not the whole stream.
+        let mut out: Vec<u8> = Vec::new();
+        let mut cur_end: u64 = 0;
+        let mut finished = false;
+        let mut spliced = 0u64;
+        let mut missed = 0u64;
+        let mut k = 0usize;
+        while k < n_chunks && !finished {
+            let start_k = if k == 0 { 0 } else { bounds[k - 1] };
+            if start_k < cur_end {
+                // Overlapped by the previous splice/repair: drop it.
+                missed += 1;
+                k += 1;
+                continue;
+            }
+            if start_k > cur_end {
+                // Gap before this chunk (its predecessor was dropped or
+                // landed short): close it serially.
+                match repair_to(payload, &mut out, cur_end, Some(start_k)) {
+                    Ok((end, fin)) => {
+                        cur_end = end;
+                        finished = fin;
+                        missed += 1;
+                        continue;
+                    }
+                    // A decode error on the true stream: bail to the
+                    // serial reference so the reported error is canonical.
+                    Err(_) => return Spec::Miss,
+                }
+            }
+            match slots[k].take() {
+                Some(ChunkResult::Leader {
+                    bytes,
+                    end_bit,
+                    finished: fin,
+                }) => {
+                    if out.is_empty() {
+                        out = bytes;
+                    } else {
+                        out.extend_from_slice(&bytes);
+                    }
+                    cur_end = end_bit;
+                    finished = fin;
+                    spliced += 1;
+                    k += 1;
+                }
+                Some(ChunkResult::Spec {
+                    cells,
+                    end_bit,
+                    finished: fin,
+                }) => {
+                    let wlo = out.len().saturating_sub(WINDOW_SIZE);
+                    let mut window = self.pool.acquire();
+                    window.extend_from_slice(&out[wlo..]);
+                    let resolved = resolve_markers_into(&cells, &window, &mut out);
+                    self.pool.release(window);
+                    match resolved {
+                        Ok(patched) => {
+                            self.stats
+                                .marker_patch_bytes
+                                .fetch_add(patched, Ordering::Relaxed);
+                            cur_end = end_bit;
+                            finished = fin;
+                            spliced += 1;
+                            k += 1;
+                        }
+                        // Marker cells inconsistent with the window —
+                        // cannot happen off a true boundary; bail safely.
+                        Err(_) => return Spec::Miss,
+                    }
+                }
+                // Worker failed (decode error or injected fault): skip;
+                // the gap check above repairs the span serially.
+                _ => {
+                    missed += 1;
+                    k += 1;
+                }
+            }
+        }
+        if !finished && repair_to(payload, &mut out, cur_end, None).is_err() {
+            return Spec::Miss;
+        }
+        self.stats
+            .chunks_decoded
+            .fetch_add(spliced, Ordering::Relaxed);
+        self.stats
+            .speculation_misses
+            .fetch_add(missed, Ordering::Relaxed);
+        Spec::Done(out)
+    }
+
+    // ---- seek index -------------------------------------------------
+
+    /// Decompresses `data` serially while recording a [`SeekIndex`]
+    /// checkpoint at the first block boundary past every
+    /// `checkpoint_every` output bytes (and at every member start).
+    ///
+    /// # Errors
+    ///
+    /// Any container or DEFLATE error in the stream.
+    pub fn decompress_indexed(&self, data: &[u8], format: Format) -> Result<(Vec<u8>, SeekIndex)> {
+        let every = self.opts.checkpoint_every.max(WINDOW_SIZE);
+        let mut checkpoints: Vec<SeekCheckpoint> = Vec::new();
+        let mut out: Vec<u8> = Vec::new();
+        match format {
+            Format::Gzip => {
+                let mut pos = 0usize;
+                loop {
+                    let member = data.get(pos..).ok_or(DeflateError::UnexpectedEof)?;
+                    let (_header, pstart) = gzip::parse_header(member)?;
+                    let base_bits = ((pos + pstart) as u64) * 8;
+                    let member_base = out.len();
+                    let used = walk_stream(
+                        &member[pstart..],
+                        base_bits,
+                        every,
+                        &mut checkpoints,
+                        &mut out,
+                    )?;
+                    let trailer_at = pos + pstart + used;
+                    pos = verify_member_trailer(data, trailer_at, &out[member_base..])?;
+                    if pos >= data.len() {
+                        break;
+                    }
+                }
+            }
+            Format::Zlib => {
+                let un = framing::unwrap(data, format)?;
+                walk_stream(un.deflate_stream, 16, every, &mut checkpoints, &mut out)?;
+                un.verify(&out)?;
+            }
+            Format::RawDeflate => {
+                walk_stream(data, 0, every, &mut checkpoints, &mut out)?;
+            }
+        }
+        let index = SeekIndex {
+            format,
+            total_out: out.len() as u64,
+            checkpoints,
+        };
+        Ok((out, index))
+    }
+
+    /// Builds a [`SeekIndex`] for `data`, discarding the decoded output.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelInflater::decompress_indexed`].
+    pub fn build_index(&self, data: &[u8], format: Format) -> Result<SeekIndex> {
+        self.decompress_indexed(data, format).map(|(_, idx)| idx)
+    }
+
+    /// Random-accesses `[offset, offset + len)` of the decompressed stream
+    /// using `index`, decoding only from the nearest preceding checkpoint —
+    /// never the prefix. `len` is clamped at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SeekOutOfRange`] if `offset` lies past the end,
+    /// [`Error::InvalidSeekIndex`] if the index is inconsistent with
+    /// `data`, plus any DEFLATE error while decoding the spanned blocks.
+    pub fn decompress_at(
+        &self,
+        data: &[u8],
+        index: &SeekIndex,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let first_ok = index.checkpoints.first().is_some_and(|c| c.out_offset == 0);
+        if !first_ok {
+            return Err(Error::InvalidSeekIndex);
+        }
+        if offset > index.total_out {
+            return Err(Error::SeekOutOfRange);
+        }
+        let want = (len as u64).min(index.total_out - offset) as usize;
+        let mut result = Vec::with_capacity(want);
+        if want == 0 {
+            return Ok(result);
+        }
+        self.stats.seek_index_hits.fetch_add(1, Ordering::Relaxed);
+        let end = offset + want as u64;
+        let mut cursor = offset;
+        // Greatest checkpoint at or before the cursor.
+        let mut ci = match index
+            .checkpoints
+            .binary_search_by(|c| c.out_offset.cmp(&cursor))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        while cursor < end {
+            let cp = &index.checkpoints[ci];
+            if cp.out_offset > cursor {
+                return Err(Error::InvalidSeekIndex);
+            }
+            let mut inf = Inflater::new_at(data, cp.bit_offset)?;
+            if !cp.window.is_empty() {
+                inf.prime_window(&cp.window);
+            }
+            inf.reserve_output((end - cp.out_offset) as usize);
+            while !inf.is_finished() && cp.out_offset + (inf.output().len() as u64) < end {
+                inf.decode_block(usize::MAX)?;
+            }
+            let produced = inf.output();
+            let avail_end = cp.out_offset + produced.len() as u64;
+            if avail_end > cursor {
+                let lo = (cursor - cp.out_offset) as usize;
+                let hi = produced.len().min((end - cp.out_offset) as usize);
+                result.extend_from_slice(&produced[lo..hi]);
+                cursor = cp.out_offset + hi as u64;
+            }
+            if cursor >= end {
+                break;
+            }
+            // The stream finished before covering the range: the next
+            // member resumes at `cursor` and must have its own checkpoint.
+            match index.checkpoints[ci + 1..]
+                .iter()
+                .position(|c| c.out_offset == cursor)
+            {
+                Some(step) => ci += 1 + step,
+                None => return Err(Error::InvalidSeekIndex),
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Walks one DEFLATE stream block-by-block, appending its output to `out`
+/// and pushing checkpoints (member start + every `every` output bytes).
+/// Returns the compressed bytes consumed.
+fn walk_stream(
+    payload: &[u8],
+    base_bits: u64,
+    every: usize,
+    checkpoints: &mut Vec<SeekCheckpoint>,
+    out: &mut Vec<u8>,
+) -> Result<usize> {
+    checkpoints.push(SeekCheckpoint {
+        bit_offset: base_bits,
+        out_offset: out.len() as u64,
+        window: Vec::new(),
+    });
+    let member_base = out.len() as u64;
+    let mut inf = Inflater::new(payload);
+    let mut next_cp = every as u64;
+    while !inf.is_finished() {
+        inf.decode_block(usize::MAX)?;
+        if !inf.is_finished() && inf.output().len() as u64 >= next_cp {
+            let produced = inf.output();
+            let wlo = produced.len().saturating_sub(WINDOW_SIZE);
+            checkpoints.push(SeekCheckpoint {
+                bit_offset: base_bits + inf.bit_position(),
+                out_offset: member_base + produced.len() as u64,
+                window: produced[wlo..].to_vec(),
+            });
+            next_cp = produced.len() as u64 + every as u64;
+        }
+    }
+    let used = inf.byte_position();
+    let member_out = inf.into_output();
+    if out.is_empty() {
+        *out = member_out;
+    } else {
+        out.extend_from_slice(&member_out);
+    }
+    Ok(used)
+}
+
+/// Validates the 8-byte gzip trailer at `trailer_at` against the decoded
+/// bytes of the member it closes, returning the offset just past it.
+fn verify_member_trailer(data: &[u8], trailer_at: usize, member_out: &[u8]) -> Result<usize> {
+    let tb = data
+        .get(trailer_at..trailer_at + 8)
+        .ok_or(DeflateError::UnexpectedEof)?;
+    let stored_crc = u32::from_le_bytes([tb[0], tb[1], tb[2], tb[3]]);
+    let stored_len = u32::from_le_bytes([tb[4], tb[5], tb[6], tb[7]]);
+    if stored_crc != crc32(member_out) || stored_len != (member_out.len() & 0xFFFF_FFFF) as u32 {
+        return Err(DeflateError::GzipChecksumMismatch.into());
+    }
+    Ok(trailer_at + 8)
+}
+
+/// Scans `data` for plausible gzip member starts: magic + DEFLATE method +
+/// clear reserved FLG bits. Always cheap (one linear pass); false
+/// positives are weeded out by chain validation.
+fn member_candidates(data: &[u8]) -> Vec<usize> {
+    let mut cands = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < data.len() {
+        if data[i] == 0x1F && data[i + 1] == 0x8B && data[i + 2] == 8 && data[i + 3] & 0xE0 == 0 {
+            cands.push(i);
+        }
+        i += 1;
+    }
+    cands
+}
+
+/// Probes for one block boundary per `chunk`-byte span, scanning the
+/// spans gaplessly so any boundary that exists is found. Returns `None`
+/// when the stream resists probing (fall back to serial).
+fn scan_boundaries(payload: &[u8], chunk: usize) -> Option<Vec<u64>> {
+    let mut probe = BlockProbe::new();
+    let mut bounds: Vec<u64> = Vec::new();
+    let mut misses = 0usize;
+    let mut budget = (payload.len() as u64).saturating_mul(SCAN_BUDGET_PER_BYTE);
+    let mut target = chunk;
+    // Leave at least half a chunk for the final worker.
+    while target + chunk / 2 < payload.len() {
+        let lo = (target as u64) * 8;
+        let hi = ((target + chunk).min(payload.len().saturating_sub(2)) as u64) * 8;
+        let mut bit = lo;
+        if let Some(&last) = bounds.last() {
+            if bit <= last {
+                bit = last + 1;
+            }
+        }
+        let mut found = None;
+        while bit < hi {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+            if probe.probe(payload, bit) {
+                found = Some(bit);
+                break;
+            }
+            bit += 1;
+        }
+        match found {
+            Some(b) => {
+                bounds.push(b);
+                misses = 0;
+            }
+            None => {
+                misses += 1;
+                if misses >= SCAN_GIVE_UP {
+                    return None;
+                }
+            }
+        }
+        target += chunk;
+    }
+    if bounds.is_empty() {
+        None
+    } else {
+        Some(bounds)
+    }
+}
+
+/// Serially decodes from bit `from_bit` (a true block boundary) with the
+/// tail of `out` as window, stopping at the first block boundary at or
+/// past `until` (or at stream end when `None`), and appends the decoded
+/// bytes to `out`. Returns the landing bit and whether the stream
+/// finished.
+fn repair_to(
+    payload: &[u8],
+    out: &mut Vec<u8>,
+    from_bit: u64,
+    until: Option<u64>,
+) -> std::result::Result<(u64, bool), DeflateError> {
+    let base = (from_bit / 8) * 8;
+    let mut inf = Inflater::new_at(payload, from_bit)?;
+    if !out.is_empty() {
+        let wlo = out.len().saturating_sub(WINDOW_SIZE);
+        inf.prime_window(&out[wlo..]);
+    }
+    loop {
+        if inf.is_finished() {
+            break;
+        }
+        if let Some(t) = until {
+            if base + inf.bit_position() >= t {
+                break;
+            }
+        }
+        inf.decode_block(usize::MAX)?;
+    }
+    let end = base + inf.bit_position();
+    let fin = inf.is_finished();
+    out.extend_from_slice(inf.output());
+    Ok((end, fin))
+}
+
+/// Decodes chunk `k` of the speculative split: `[bounds[k-1], bounds[k])`
+/// in bit space (chunk 0 starts at bit 0; the last chunk runs to stream
+/// end). Chunk 0 decodes plainly; later chunks decode into marker cells.
+fn decode_chunk(payload: &[u8], bounds: &[u64], k: usize) -> ChunkResult {
+    let stop = bounds.get(k).copied();
+    if k == 0 {
+        let mut inf = Inflater::new(payload);
+        loop {
+            if inf.is_finished() {
+                break;
+            }
+            if let Some(sb) = stop {
+                if inf.bit_position() >= sb {
+                    break;
+                }
+            }
+            if inf.decode_block(usize::MAX).is_err() {
+                return ChunkResult::Failed;
+            }
+        }
+        let end_bit = inf.bit_position();
+        let finished = inf.is_finished();
+        ChunkResult::Leader {
+            bytes: inf.into_output(),
+            end_bit,
+            finished,
+        }
+    } else {
+        let mut inf = match MarkerInflater::new_at(payload, bounds[k - 1]) {
+            Ok(i) => i,
+            Err(_) => return ChunkResult::Failed,
+        };
+        loop {
+            if inf.is_finished() {
+                break;
+            }
+            if let Some(sb) = stop {
+                if inf.bit_position() >= sb {
+                    break;
+                }
+            }
+            if inf.decode_block(usize::MAX).is_err() {
+                return ChunkResult::Failed;
+            }
+        }
+        let end_bit = inf.bit_position();
+        let finished = inf.is_finished();
+        let (cells, _scratch) = inf.into_parts();
+        ChunkResult::Spec {
+            cells,
+            end_bit,
+            finished,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nx_deflate::CompressionLevel;
+
+    fn opts(workers: usize, chunk: usize) -> ParallelInflateOptions {
+        ParallelInflateOptions {
+            workers,
+            chunk_size: chunk,
+            checkpoint_every: 64 * 1024,
+        }
+    }
+
+    fn corpus(n: usize) -> Vec<u8> {
+        // Mixed text/binary: compresses a few-to-one, so streams span
+        // many DEFLATE blocks and speculation has boundaries to find.
+        nx_corpus::mixed(41, n)
+    }
+
+    #[test]
+    fn speculative_single_member_matches_serial() {
+        let data = corpus(1 << 20);
+        let gz = gzip::compress(&data, CompressionLevel::default());
+        let par = ParallelInflater::new(opts(4, 32 * 1024));
+        let out = par.decompress(&gz, Format::Gzip).unwrap();
+        assert_eq!(out, data);
+        assert!(par.stats().chunks_decoded() > 1, "speculation must engage");
+        assert!(par.stats().marker_patch_bytes() > 0);
+    }
+
+    #[test]
+    fn member_candidates_finds_all_members() {
+        let mut stream = Vec::new();
+        let mut starts = Vec::new();
+        for i in 0..4 {
+            starts.push(stream.len());
+            stream.extend(gzip::compress(
+                format!("member number {i}").as_bytes(),
+                CompressionLevel::default(),
+            ));
+        }
+        let cands = member_candidates(&stream);
+        for s in starts {
+            assert!(cands.contains(&s));
+        }
+    }
+
+    #[test]
+    fn multi_member_parallel_matches_members_walk() {
+        let mut stream = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..8 {
+            let payload = corpus(10_000 + i * 777);
+            expect.extend_from_slice(&payload);
+            stream.extend(gzip::compress(&payload, CompressionLevel::default()));
+        }
+        let par = ParallelInflater::new(opts(4, 32 * 1024));
+        let out = par.decompress(&stream, Format::Gzip).unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(par.stats().members_parallel(), 8);
+        assert_eq!(par.stats().serial_fallbacks(), 0);
+    }
+
+    #[test]
+    fn corrupt_stream_errors_like_serial() {
+        let data = corpus(256 * 1024);
+        let mut gz = gzip::compress(&data, CompressionLevel::default());
+        let mid = gz.len() / 2;
+        gz[mid] ^= 0xFF;
+        let par = ParallelInflater::new(opts(4, 16 * 1024));
+        let serial = par.decompress_serial(&gz, Format::Gzip);
+        let parallel = par.decompress(&gz, Format::Gzip);
+        assert_eq!(serial.is_err(), parallel.is_err());
+        if let (Ok(a), Ok(b)) = (&serial, &parallel) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn seek_index_roundtrips_serialization() {
+        let data = corpus(300_000);
+        let gz = gzip::compress(&data, CompressionLevel::default());
+        let par = ParallelInflater::new(opts(2, 32 * 1024));
+        let idx = par.build_index(&gz, Format::Gzip).unwrap();
+        assert!(idx.checkpoints().len() > 1, "expected interior checkpoints");
+        let bytes = idx.to_bytes();
+        let back = SeekIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(idx, back);
+        assert!(SeekIndex::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(SeekIndex::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn decompress_at_returns_correct_slices() {
+        let data = corpus(400_000);
+        let gz = gzip::compress(&data, CompressionLevel::default());
+        let par = ParallelInflater::new(opts(2, 32 * 1024));
+        let idx = par.build_index(&gz, Format::Gzip).unwrap();
+        for (off, len) in [
+            (0u64, 100usize),
+            (65_536, 4096),
+            (399_990, 100),
+            (123_457, 70_000),
+        ] {
+            let got = par.decompress_at(&gz, &idx, off, len).unwrap();
+            let lo = off as usize;
+            let hi = (lo + len).min(data.len());
+            assert_eq!(got, &data[lo..hi], "offset {off} len {len}");
+        }
+        assert!(matches!(
+            par.decompress_at(&gz, &idx, data.len() as u64 + 1, 1),
+            Err(Error::SeekOutOfRange)
+        ));
+        assert!(par.stats().seek_index_hits() >= 4);
+    }
+
+    #[test]
+    fn decompress_at_spans_member_boundaries() {
+        let a = corpus(100_000);
+        let b = corpus(120_000);
+        let mut stream = gzip::compress(&a, CompressionLevel::default());
+        stream.extend(gzip::compress(&b, CompressionLevel::default()));
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        let par = ParallelInflater::new(opts(2, 32 * 1024));
+        let (out, idx) = par.decompress_indexed(&stream, Format::Gzip).unwrap();
+        assert_eq!(out, expect);
+        let got = par.decompress_at(&stream, &idx, 99_000, 3000).unwrap();
+        assert_eq!(got, &expect[99_000..102_000]);
+    }
+
+    #[test]
+    fn zlib_and_raw_paths_work() {
+        let data = corpus(600_000);
+        let par = ParallelInflater::new(opts(4, 32 * 1024));
+        let zl = nx_deflate::zlib::compress(&data, CompressionLevel::default());
+        assert_eq!(par.decompress(&zl, Format::Zlib).unwrap(), data);
+        let raw = nx_deflate::deflate(&data, CompressionLevel::default());
+        assert_eq!(par.decompress(&raw, Format::RawDeflate).unwrap(), data);
+        let (out, idx) = par.decompress_indexed(&zl, Format::Zlib).unwrap();
+        assert_eq!(out, data);
+        let got = par.decompress_at(&zl, &idx, 70_000, 1000).unwrap();
+        assert_eq!(got, &data[70_000..71_000]);
+    }
+}

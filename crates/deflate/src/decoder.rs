@@ -156,7 +156,7 @@ pub fn inflate_traced(data: &[u8]) -> Result<(Vec<u8>, Vec<BlockTrace>)> {
 
 /// The fixed-Huffman decode tables never change (RFC 1951 §3.2.6);
 /// build them once per process instead of per block.
-fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
+pub(crate) fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
     static TABLES: std::sync::OnceLock<(DecodeTable, DecodeTable)> = std::sync::OnceLock::new();
     TABLES.get_or_init(|| {
         match (
@@ -178,10 +178,10 @@ fn fixed_decode_tables() -> &'static (DecodeTable, DecodeTable) {
 /// [`DecodeTable::rebuild_litlen`]).
 #[derive(Debug, Default)]
 pub struct InflateScratch {
-    litlen: DecodeTable,
-    dist: DecodeTable,
-    cl: DecodeTable,
-    lengths: Vec<u8>,
+    pub(crate) litlen: DecodeTable,
+    pub(crate) dist: DecodeTable,
+    pub(crate) cl: DecodeTable,
+    pub(crate) lengths: Vec<u8>,
 }
 
 impl InflateScratch {
@@ -196,6 +196,85 @@ impl InflateScratch {
 /// input cannot force a large reservation.
 fn initial_capacity(input_len: usize) -> usize {
     input_len.saturating_mul(4).min(1 << 20)
+}
+
+/// Parses a dynamic-block header (HLIT/HDIST/HCLEN, the code-length code,
+/// and the run-length-encoded literal/distance lengths) from `reader` and
+/// rebuilds `scratch.litlen` / `scratch.dist` in place.
+///
+/// Shared by the regular [`Inflater`], the marker-mode decoder
+/// ([`crate::marker::MarkerInflater`]), and the speculative block-boundary
+/// probe — the header's internal consistency checks (alphabet bounds, the
+/// Kraft inequality via table construction, a present end-of-block code)
+/// are exactly what makes bit-offset probing for block starts reliable.
+pub(crate) fn read_dynamic_tables(
+    reader: &mut BitReader,
+    scratch: &mut InflateScratch,
+) -> Result<()> {
+    let hlit = reader.read_bits(5)? as usize + 257;
+    let hdist = reader.read_bits(5)? as usize + 1;
+    let hclen = reader.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(Error::InvalidCodeLengths);
+    }
+
+    let mut cl_lengths = [0u8; 19];
+    for &sym in CODELEN_ORDER.iter().take(hclen) {
+        cl_lengths[sym] = reader.read_bits(3)? as u8;
+    }
+    scratch.cl.rebuild_plain(&cl_lengths)?;
+
+    let total = hlit + hdist;
+    scratch.lengths.clear();
+    scratch.lengths.resize(total, 0);
+    let (cl_table, lengths) = (&scratch.cl, &mut scratch.lengths);
+    let mut i = 0usize;
+    while i < total {
+        let sym = cl_table.decode(reader)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(Error::RepeatWithoutPrevious);
+                }
+                let prev = lengths[i - 1];
+                let n = 3 + reader.read_bits(2)? as usize;
+                if i + n > total {
+                    return Err(Error::TooManyCodeLengths);
+                }
+                for _ in 0..n {
+                    lengths[i] = prev;
+                    i += 1;
+                }
+            }
+            17 => {
+                let n = 3 + reader.read_bits(3)? as usize;
+                if i + n > total {
+                    return Err(Error::TooManyCodeLengths);
+                }
+                i += n; // already zero
+            }
+            18 => {
+                let n = 11 + reader.read_bits(7)? as usize;
+                if i + n > total {
+                    return Err(Error::TooManyCodeLengths);
+                }
+                i += n;
+            }
+            _ => return Err(Error::InvalidSymbol),
+        }
+    }
+
+    // The literal/length alphabet must contain the end-of-block code.
+    if scratch.lengths[256] == 0 {
+        return Err(Error::InvalidCodeLengths);
+    }
+    scratch.litlen.rebuild_litlen(&scratch.lengths[..hlit])?;
+    scratch.dist.rebuild_dist(&scratch.lengths[hlit..])?;
+    Ok(())
 }
 
 /// Incremental inflate engine over a borrowed input slice.
@@ -226,6 +305,33 @@ impl<'a> Inflater<'a> {
             scratch: InflateScratch::default(),
             fast_enabled: true,
         }
+    }
+
+    /// Creates an engine positioned at an arbitrary **bit** offset into
+    /// `data` — the random-access entry point used by the seek index: a
+    /// deflate block boundary recorded earlier need not fall on a byte.
+    ///
+    /// The input is sliced at the containing byte and the residual bits
+    /// are skipped, so stored-block byte alignment (which RFC 1951
+    /// defines relative to the stream start) is preserved. Callers that
+    /// enter mid-stream usually also need [`prime_window`]
+    /// (`Self::prime_window`) with the 32 KB window recorded alongside
+    /// the offset.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] if `bit_offset` lies beyond `data`.
+    pub fn new_at(data: &'a [u8], bit_offset: u64) -> Result<Self> {
+        let byte = usize::try_from(bit_offset / 8).map_err(|_| Error::UnexpectedEof)?;
+        if byte >= data.len() {
+            return Err(Error::UnexpectedEof);
+        }
+        let mut inf = Self::new(&data[byte..]);
+        let rem = (bit_offset % 8) as u32;
+        if rem > 0 {
+            inf.reader.read_bits(rem)?;
+        }
+        Ok(inf)
     }
 
     /// Creates an engine that reuses a previous decode's scratch tables
@@ -436,70 +542,7 @@ impl<'a> Inflater<'a> {
     }
 
     fn read_dynamic_tables_into(&mut self, scratch: &mut InflateScratch) -> Result<()> {
-        let hlit = self.reader.read_bits(5)? as usize + 257;
-        let hdist = self.reader.read_bits(5)? as usize + 1;
-        let hclen = self.reader.read_bits(4)? as usize + 4;
-        if hlit > 286 || hdist > 30 {
-            return Err(Error::InvalidCodeLengths);
-        }
-
-        let mut cl_lengths = [0u8; 19];
-        for &sym in CODELEN_ORDER.iter().take(hclen) {
-            cl_lengths[sym] = self.reader.read_bits(3)? as u8;
-        }
-        scratch.cl.rebuild_plain(&cl_lengths)?;
-
-        let total = hlit + hdist;
-        scratch.lengths.clear();
-        scratch.lengths.resize(total, 0);
-        let (cl_table, lengths) = (&scratch.cl, &mut scratch.lengths);
-        let mut i = 0usize;
-        while i < total {
-            let sym = cl_table.decode(&mut self.reader)?;
-            match sym {
-                0..=15 => {
-                    lengths[i] = sym as u8;
-                    i += 1;
-                }
-                16 => {
-                    if i == 0 {
-                        return Err(Error::RepeatWithoutPrevious);
-                    }
-                    let prev = lengths[i - 1];
-                    let n = 3 + self.reader.read_bits(2)? as usize;
-                    if i + n > total {
-                        return Err(Error::TooManyCodeLengths);
-                    }
-                    for _ in 0..n {
-                        lengths[i] = prev;
-                        i += 1;
-                    }
-                }
-                17 => {
-                    let n = 3 + self.reader.read_bits(3)? as usize;
-                    if i + n > total {
-                        return Err(Error::TooManyCodeLengths);
-                    }
-                    i += n; // already zero
-                }
-                18 => {
-                    let n = 11 + self.reader.read_bits(7)? as usize;
-                    if i + n > total {
-                        return Err(Error::TooManyCodeLengths);
-                    }
-                    i += n;
-                }
-                _ => return Err(Error::InvalidSymbol),
-            }
-        }
-
-        // The literal/length alphabet must contain the end-of-block code.
-        if scratch.lengths[256] == 0 {
-            return Err(Error::InvalidCodeLengths);
-        }
-        scratch.litlen.rebuild_litlen(&scratch.lengths[..hlit])?;
-        scratch.dist.rebuild_dist(&scratch.lengths[hlit..])?;
-        Ok(())
+        read_dynamic_tables(&mut self.reader, scratch)
     }
 
     fn huffman_block(

@@ -188,7 +188,10 @@ fn verify_trailer(data: &[u8], trailer_at: usize, out: &[u8]) -> Result<usize> {
 
 /// Parses a member header, returning the parsed fields and the offset at
 /// which the DEFLATE payload begins.
-fn parse_header(data: &[u8]) -> Result<(GzipHeader, usize)> {
+///
+/// Public so that indexed / random-access decoders can locate the start of
+/// the DEFLATE bit stream without decoding the payload.
+pub fn parse_header(data: &[u8]) -> Result<(GzipHeader, usize)> {
     if data.len() < 18 {
         return Err(Error::UnexpectedEof);
     }

@@ -39,6 +39,9 @@
 //! * [`lz77`] — tokens, hash chains, greedy and lazy matchers.
 //! * [`encoder`] / [`decoder`] — the block-level DEFLATE encoder and the
 //!   full inflate state machine.
+//! * [`marker`] — the two-stage decoder behind speculative parallel
+//!   inflate: block-boundary probing and marker-mode decode with an
+//!   unknown 32 KB window.
 //! * [`gzip`] / [`zlib`] — the framing formats.
 
 pub mod adler32;
@@ -49,6 +52,7 @@ pub mod encoder;
 pub mod gzip;
 pub mod huffman;
 pub mod lz77;
+pub mod marker;
 pub mod stream;
 pub mod zlib;
 
@@ -61,6 +65,9 @@ pub use encoder::{
     Encoder, Level, Strategy,
 };
 pub use lz77::Token;
+pub use marker::{
+    probe_block_start, resolve_markers_into, BlockProbe, MarkerInflater, MARKER_BASE,
+};
 pub use stream::{Flush, InflateStream, StreamEncoder};
 
 use std::fmt;

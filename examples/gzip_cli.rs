@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! cargo run --release --example gzip_cli -- compress   <in> <out.gz> [--software | --z15 | --stream]
-//! cargo run --release --example gzip_cli -- decompress <in.gz> <out> [--software]
+//! cargo run --release --example gzip_cli -- decompress <in.gz> <out> [--software | --parallel[=N]]
+//! cargo run --release --example gzip_cli -- decompress <in.gz> <out> --seek OFFSET:LEN
 //! ```
 //!
-//! `--stream` compresses through the chunked CRB session (1 MiB chunks
-//! with the 32 KB window carried across chunks) instead of one large
-//! request. Files produced here are standard RFC 1952 gzip members; files
-//! from any gzip implementation decode here, including multi-member
-//! concatenations.
+//! `decompress` may be spelled `-d` or `--decompress`. `--stream`
+//! compresses through the chunked CRB session (1 MiB chunks with the
+//! 32 KB window carried across chunks) instead of one large request.
+//! `--parallel[=N]` decodes through the speculative two-stage parallel
+//! inflate path with `N` workers (default: all host cores) and prints
+//! the chunk/miss/patch counters. `--seek OFFSET:LEN` builds a seek
+//! index and extracts only the requested byte range without decoding
+//! the prefix. Files produced here are standard RFC 1952 gzip members;
+//! files from any gzip implementation decode here, including
+//! multi-member concatenations.
 
-use nx_core::{software, Format, Nx};
+use nx_core::{software, Format, Nx, ParallelInflateOptions};
 use nx_deflate::CompressionLevel;
 use std::process::ExitCode;
 
@@ -34,7 +40,10 @@ fn run(args: &[String]) -> Result<String, String> {
     if args.len() < 3 {
         return Err("missing arguments".into());
     }
-    let mode = args[0].as_str();
+    let mode = match args[0].as_str() {
+        "-d" | "--decompress" => "decompress",
+        m => m,
+    };
     let input = std::fs::read(&args[1]).map_err(|e| format!("read {}: {e}", args[1]))?;
     let flag = args.get(3).map(String::as_str);
 
@@ -92,6 +101,64 @@ fn run(args: &[String]) -> Result<String, String> {
                 n += 1;
             }
             (out, format!("software inflate, {n} member(s)"))
+        }
+        ("decompress", Some(f)) if f == "--parallel" || f.starts_with("--parallel=") => {
+            let workers = match f.strip_prefix("--parallel=") {
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad worker count in {f}"))?,
+                None => std::thread::available_parallelism().map_or(4, usize::from),
+            };
+            let nx = Nx::power9();
+            let opts = ParallelInflateOptions {
+                workers,
+                ..Default::default()
+            };
+            let t0 = std::time::Instant::now();
+            let out = nx
+                .decompress_parallel_with(&input, Format::Gzip, opts)
+                .map_err(|e| e.to_string())?;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let s = nx.decode_parallel_stats();
+            let note = format!(
+                "parallel inflate, {workers} worker(s), {:.1} ms: \
+                 {} member(s) parallel, {} chunk(s), {} miss(es), \
+                 {} marker byte(s) patched, {} serial fallback(s)",
+                ms,
+                s.members_parallel(),
+                s.chunks_decoded(),
+                s.speculation_misses(),
+                s.marker_patch_bytes(),
+                s.serial_fallbacks()
+            );
+            (out, note)
+        }
+        ("decompress", Some("--seek")) => {
+            let spec = args
+                .get(4)
+                .ok_or_else(|| "--seek needs OFFSET:LEN".to_string())?;
+            let (off, len) = spec
+                .split_once(':')
+                .and_then(|(o, l)| Some((o.parse::<u64>().ok()?, l.parse::<usize>().ok()?)))
+                .ok_or_else(|| format!("bad --seek spec {spec} (want OFFSET:LEN)"))?;
+            let nx = Nx::power9();
+            let t0 = std::time::Instant::now();
+            let index = nx
+                .build_index(&input, Format::Gzip)
+                .map_err(|e| e.to_string())?;
+            let t_index = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = std::time::Instant::now();
+            let out = nx
+                .decompress_at(&input, &index, off, len)
+                .map_err(|e| e.to_string())?;
+            let t_seek = t1.elapsed().as_secs_f64() * 1e6;
+            let note = format!(
+                "seek [{off}..+{len}]: {} checkpoint(s) indexed in {t_index:.1} ms \
+                 ({} bytes serialized), range extracted in {t_seek:.1} us",
+                index.checkpoints().len(),
+                index.to_bytes().len()
+            );
+            (out, note)
         }
         ("decompress", _) => {
             let nx = Nx::power9();

@@ -6,8 +6,10 @@
 //! layer unifies: per-codec request counters, fault-recovery accounting,
 //! queue depth, per-worker shard balance, the encoder's per-level and
 //! per-block-kind counters (`nx_encode_blocks_*`, chain-walk depth
-//! histogram — the `nx-encode-paths` source added in PR 5), and the
-//! latency histograms with their percentiles.
+//! histogram — the `nx-encode-paths` source added in PR 5), the
+//! parallel-decode counters (`nx_decode_parallel_*`: speculative
+//! chunks, misses, marker patch bytes, member fan-out, seek-index
+//! hits), and the latency histograms with their percentiles.
 //!
 //! ```text
 //! cargo run --release -p nx-core --example nxtop            # dashboard
@@ -70,6 +72,34 @@ fn main() {
             .expect("ladder compress");
         assert!(!gz.bytes.is_empty());
     }
+
+    // Parallel decode traffic (`nx-decode-parallel` source): a
+    // multi-member stream takes the member-per-worker path, a large
+    // single member exercises the speculative two-stage path, and one
+    // indexed random access bumps the seek counters.
+    let popts = nx_core::ParallelInflateOptions {
+        workers: 4,
+        chunk_size: 32 << 10,
+        ..Default::default()
+    };
+    let mut members = Vec::new();
+    for chunk in data.chunks(256 << 10) {
+        members.extend(nx.compress(chunk, Format::Gzip).expect("member").bytes);
+    }
+    let back = nx
+        .decompress_parallel_with(&members, Format::Gzip, popts)
+        .expect("parallel decode");
+    assert_eq!(back, data);
+    let one = nx.compress(&data, Format::Gzip).expect("single member");
+    let back = nx
+        .decompress_parallel_with(&one.bytes, Format::Gzip, popts)
+        .expect("speculative decode");
+    assert_eq!(back, data);
+    let index = nx.build_index(&one.bytes, Format::Gzip).expect("index");
+    let got = nx
+        .decompress_at(&one.bytes, &index, 512 << 10, 4096)
+        .expect("seek");
+    assert_eq!(got, &data[512 << 10..(512 << 10) + 4096]);
 
     // A burst through the async queue (depth gauge + queue-wait spans).
     let asess = nx.async_session();

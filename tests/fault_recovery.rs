@@ -12,7 +12,9 @@
 //! never a panic.
 
 use nx_core::fault::{CsbCode, FaultKind, FaultPlan, FaultRates, RecoveryPolicy, Scripted, Site};
-use nx_core::{software, Error, Format, Nx, ParallelEngine, ParallelOptions};
+use nx_core::{
+    software, Error, Format, Nx, ParallelEngine, ParallelInflateOptions, ParallelOptions,
+};
 use nx_corpus::CorpusKind;
 use std::sync::Arc;
 
@@ -315,6 +317,86 @@ fn bounded_async_queue_overflow_is_typed_and_recoverable() {
             data
         );
     }
+}
+
+#[test]
+fn killed_decode_workers_degrade_to_serial_inflate_bytes() {
+    // Kill every speculative decode chunk worker on the first request:
+    // the patch pass finds no usable chunks and must re-decode serially
+    // — same bytes as a clean run, never an error.
+    let data = nx_corpus::mixed(SEED, 512 * 1024);
+    let gz = software::compress(&data, nx_deflate::CompressionLevel::default(), Format::Gzip);
+    let script: Vec<Scripted> = (0..64)
+        .map(|chunk| Scripted {
+            site: Site::Worker,
+            request: 0,
+            attempt: chunk,
+            kind: FaultKind::WorkerPanic,
+        })
+        .collect();
+    let opts = ParallelInflateOptions {
+        workers: 4,
+        chunk_size: 32 * 1024,
+        ..Default::default()
+    };
+    let nx = faulted(FaultPlan::script(script), RecoveryPolicy::default());
+    let out = nx
+        .decompress_parallel_with(&gz, Format::Gzip, opts)
+        .expect("degrades, does not error");
+    assert_eq!(out, data, "fallback must reproduce the serial bytes");
+    let fs = nx.fault_stats().expect("stats");
+    assert!(fs.worker_panic_count() >= 1, "the script must fire");
+    let ds = nx.decode_parallel_stats();
+    assert!(
+        ds.speculation_misses() >= 1 || ds.serial_fallbacks() >= 1,
+        "a killed worker must be visible in the decode counters"
+    );
+    // A later request on the same handle runs parallel again — the
+    // injected failure must not poison the session.
+    assert_eq!(
+        nx.decompress_parallel_with(&gz, Format::Gzip, opts)
+            .expect("clean"),
+        data
+    );
+}
+
+#[test]
+fn killed_member_worker_falls_back_on_multi_member_gzip() {
+    // Multi-member streams take the member-per-worker fast path; a dead
+    // member worker breaks the chain validation and the request must
+    // degrade to the serial members walk with identical output.
+    let mut stream = Vec::new();
+    let mut payload = Vec::new();
+    for i in 0..4u64 {
+        let part = nx_corpus::mixed(SEED + i, 48 * 1024);
+        stream.extend_from_slice(&software::compress(
+            &part,
+            nx_deflate::CompressionLevel::default(),
+            Format::Gzip,
+        ));
+        payload.extend_from_slice(&part);
+    }
+    let script: Vec<Scripted> = (0..4)
+        .map(|member| Scripted {
+            site: Site::Worker,
+            request: 0,
+            attempt: member,
+            kind: FaultKind::WorkerPanic,
+        })
+        .collect();
+    let nx = faulted(FaultPlan::script(script), RecoveryPolicy::default());
+    let out = nx
+        .decompress_parallel_with(
+            &stream,
+            Format::Gzip,
+            ParallelInflateOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .expect("degrades, does not error");
+    assert_eq!(out, payload);
+    assert!(nx.decode_parallel_stats().serial_fallbacks() >= 1);
 }
 
 #[test]
