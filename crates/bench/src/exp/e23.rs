@@ -1,0 +1,478 @@
+//! E23 — Multi-tenant service storm: fairness, QoS tails, credit admission.
+//!
+//! Drives the `nx_core::service` front end (credit-based admission
+//! mirroring VAS receive-window credits, deficit-weighted round-robin
+//! over QoS classes, small-payload coalescing) with the deterministic
+//! open-loop storm generator:
+//!
+//! * **Storm** — a ≥4-tenant mixed-QoS mix (two Latency tenants, one
+//!   Throughput hog offering ~3× the engine's capacity, one Background
+//!   scanner) on the virtual cycle clock. Reported per tenant:
+//!   p50/p99 latency, queue-depth histogram, credit stalls, goodput;
+//!   in aggregate: the Jain fairness index, coalescing counters and the
+//!   credit-conservation check (must be zero violations at drain).
+//! * **Isolation** — the same seed replayed without the hog. Per-tenant
+//!   arrival streams are a pure function of `(seed, name)`, so the only
+//!   difference is the hog's presence; the victim's p99 inflation factor
+//!   is the isolation number.
+//! * **Chaos** — the same storm with the PR 2 fault injector threaded
+//!   through the engine model (`FaultRates::sweep`): retries, software
+//!   fallbacks and worker deaths must degrade latency, never drop
+//!   admitted work or leak credits.
+//! * **Coalescing identity** — small payloads through the *threaded*
+//!   service (where batches share one engine submission) checked
+//!   byte-identical against individual submissions on a fresh handle.
+//!
+//! The virtual clock makes every storm number deterministic from the
+//! seed; only the coalescing-identity pass touches real threads, and it
+//! checks bytes, not time. `run()` emits `BENCH_SERVICE.json`, which
+//! `scripts/ci.sh` gates on fairness, QoS priority, tail latency and
+//! credit conservation.
+
+use super::MetricRow;
+use crate::{Table, SEED};
+use nx_accel::AccelConfig;
+use nx_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
+use nx_core::service::loadgen::{self, PayloadDist, StormConfig, StormReport, TenantLoad};
+use nx_core::service::{QosClass, ServiceConfig, TenantSpec};
+use nx_core::{FaultInjector, Format, Nx};
+use nx_corpus::CorpusKind;
+use std::sync::OnceLock;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str = "Multi-tenant service: fairness, QoS tails, credit admission";
+
+/// Where the machine-readable report lands (workspace root under
+/// `cargo run`).
+pub const JSON_PATH: &str = "BENCH_SERVICE.json";
+
+/// Injected fault pressure for the chaos replay.
+const CHAOS_RATE: f64 = 0.08;
+
+/// The saturating mixed-QoS storm: every tenant stays active for the
+/// whole ~6M-cycle window, so DWRR weighting — not idle capacity —
+/// decides who waits.
+fn storm_loads() -> Vec<TenantLoad> {
+    vec![
+        TenantLoad::new(
+            TenantSpec::new("rpc", QosClass::Latency, 16),
+            30_000.0,
+            PayloadDist::new(CorpusKind::Json, 256, 4096, 1.2),
+            200,
+        ),
+        TenantLoad::new(
+            TenantSpec::new("logs", QosClass::Latency, 16),
+            45_000.0,
+            PayloadDist::new(CorpusKind::Logs, 512, 4096, 1.2),
+            130,
+        ),
+        TenantLoad::new(
+            TenantSpec::new("hog", QosClass::Throughput, 12),
+            4_000.0,
+            PayloadDist::new(CorpusKind::Logs, 24 << 10, 48 << 10, 1.3),
+            1_200,
+        ),
+        TenantLoad::new(
+            TenantSpec::new("scan", QosClass::Background, 4),
+            150_000.0,
+            PayloadDist::new(CorpusKind::Text, 32 << 10, 96 << 10, 1.3),
+            40,
+        ),
+    ]
+}
+
+/// The storm with the hog removed — the isolation baseline.
+fn victim_loads() -> Vec<TenantLoad> {
+    storm_loads()
+        .into_iter()
+        .filter(|l| l.spec.name != "hog")
+        .collect()
+}
+
+struct Measured {
+    /// Nest clock used for cycle→µs conversion.
+    freq_ghz: f64,
+    /// The main mixed-QoS storm.
+    storm: StormReport,
+    /// Victim ("rpc") p99 with the hog absent, cycles.
+    victim_p99_alone: u64,
+    /// Victim p99 inflation factor caused by the hog.
+    isolation_factor: f64,
+    /// The same storm under injected faults.
+    chaos: StormReport,
+    /// Threaded-service coalescing produced byte-identical outputs.
+    coalesce_identical: bool,
+    /// Coalesced engine submissions observed in the threaded pass.
+    threaded_coalesced_batches: u64,
+}
+
+impl Measured {
+    fn us(&self, cycles: u64) -> f64 {
+        StormReport::cycles_to_us(cycles, self.freq_ghz)
+    }
+
+    /// Worst p99 across Latency-class tenants, cycles.
+    fn latency_p99_cycles(&self) -> u64 {
+        self.storm
+            .tenants
+            .iter()
+            .filter(|t| t.class == QosClass::Latency)
+            .map(|t| t.p99_cycles())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Best p50 across Background-class tenants, cycles.
+    fn background_p50_cycles(&self) -> u64 {
+        self.storm
+            .tenants
+            .iter()
+            .filter(|t| t.class == QosClass::Background)
+            .map(|t| t.p50_cycles())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The QoS inversion check: Latency p99 strictly under Background p50.
+    fn qos_priority_holds(&self) -> bool {
+        let p99 = self.latency_p99_cycles();
+        let p50 = self.background_p50_cycles();
+        p99 > 0 && p50 > 0 && p99 < p50
+    }
+
+    fn engine_utilization(&self) -> f64 {
+        if self.storm.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.storm.engine_busy_cycles as f64 / self.storm.makespan_cycles as f64
+        }
+    }
+}
+
+/// Small payloads through the threaded service (coalescing on), checked
+/// byte-identical against individual submissions on a fresh handle.
+fn coalesce_identity_check() -> (bool, u64) {
+    let nx = Nx::power9();
+    let service = nx.service(ServiceConfig::default());
+    let w = service.open_window(TenantSpec::new("rpc", QosClass::Latency, 32));
+    let payloads: Vec<Vec<u8>> = (0..24u64)
+        .map(|i| CorpusKind::Json.generate(SEED ^ i, 1200 + (i as usize * 131) % 2400))
+        .collect();
+    let tickets: Vec<_> = payloads
+        .iter()
+        .filter_map(|p| w.submit(p.clone(), Format::Gzip).ok())
+        .collect();
+    let reference = Nx::power9();
+    let mut identical = tickets.len() == payloads.len();
+    for (p, t) in payloads.iter().zip(tickets) {
+        match (t.wait(), reference.compress(p, Format::Gzip)) {
+            (Ok(served), Ok(solo)) => identical &= served.compressed.bytes == solo.bytes,
+            _ => identical = false,
+        }
+    }
+    let batches = service.stats().coalesced_batches();
+    service.close();
+    (identical && batches > 0, batches)
+}
+
+/// Runs the storms once per process; `run()` and [`metrics`] share it.
+fn measured() -> &'static Measured {
+    static CELL: OnceLock<Measured> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let cfg = StormConfig::default();
+        let freq_ghz = AccelConfig::power9().freq_ghz;
+        let storm = loadgen::run_storm(SEED, &storm_loads(), &cfg);
+        let alone = loadgen::run_storm(SEED, &victim_loads(), &cfg);
+        let victim_p99_alone = alone.tenant("rpc").map(|t| t.p99_cycles()).unwrap_or(0);
+        let victim_p99_contended = storm.tenant("rpc").map(|t| t.p99_cycles()).unwrap_or(0);
+        let isolation_factor = if victim_p99_alone == 0 {
+            0.0
+        } else {
+            victim_p99_contended as f64 / victim_p99_alone as f64
+        };
+
+        let inj = FaultInjector::new(
+            FaultPlan::seeded(SEED ^ 23, FaultRates::sweep(CHAOS_RATE)),
+            RecoveryPolicy::default(),
+        );
+        let chaos = loadgen::run_storm_faulted(SEED, &storm_loads(), &cfg, &inj);
+
+        let (coalesce_identical, threaded_coalesced_batches) = coalesce_identity_check();
+
+        Measured {
+            freq_ghz,
+            storm,
+            victim_p99_alone,
+            isolation_factor,
+            chaos,
+            coalesce_identical,
+            threaded_coalesced_batches,
+        }
+    })
+}
+
+/// Renders the report as a JSON array: per-tenant rows, the summary row
+/// the CI gate reads, the isolation row and the chaos row.
+fn render_json(m: &Measured) -> String {
+    let mut rows = Vec::new();
+    for t in &m.storm.tenants {
+        let buckets: Vec<String> = t
+            .depth
+            .buckets
+            .iter()
+            .map(|b| format!("{{\"le\": {}, \"count\": {}}}", b.le, b.count))
+            .collect();
+        rows.push(format!(
+            "  {{\"section\": \"tenant\", \"name\": \"{}\", \"class\": \"{}\", \
+             \"generated\": {}, \"admitted\": {}, \"completed\": {}, \
+             \"rejected_credit\": {}, \"rejected_depth\": {}, \"credit_stalls\": {}, \
+             \"coalesced_requests\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"goodput\": {:.4}, \"depth_p50\": {}, \"depth_p99\": {}, \"depth_max\": {}, \
+             \"depth_buckets\": [{}]}}",
+            t.name,
+            t.class.name(),
+            t.generated,
+            t.admitted,
+            t.completed,
+            t.rejected_no_credit,
+            t.rejected_queue_full,
+            t.credit_stalls,
+            t.coalesced_requests,
+            m.us(t.p50_cycles()),
+            m.us(t.p99_cycles()),
+            t.goodput(),
+            t.depth.p50,
+            t.depth.p99,
+            t.depth.max,
+            buckets.join(", ")
+        ));
+    }
+    rows.push(format!(
+        "  {{\"section\": \"summary\", \"tenants\": {}, \"jain_fairness\": {:.4}, \
+         \"latency_p99_us\": {:.3}, \"background_p50_us\": {:.3}, \
+         \"qos_priority_holds\": {}, \"credit_violations\": {}, \
+         \"chaos_credit_violations\": {}, \"batches\": {}, \"coalesced_batches\": {}, \
+         \"coalesced_requests\": {}, \"coalesce_identical\": {}, \
+         \"isolation_factor\": {:.3}, \"makespan_us\": {:.1}, \
+         \"engine_utilization\": {:.4}}}",
+        m.storm.tenants.len(),
+        m.storm.jain_fairness,
+        m.us(m.latency_p99_cycles()),
+        m.us(m.background_p50_cycles()),
+        m.qos_priority_holds(),
+        m.storm.credit_violations,
+        m.chaos.credit_violations,
+        m.storm.batches,
+        m.storm.coalesced_batches,
+        m.storm.coalesced_requests,
+        m.coalesce_identical,
+        m.isolation_factor,
+        m.us(m.storm.makespan_cycles),
+        m.engine_utilization()
+    ));
+    rows.push(format!(
+        "  {{\"section\": \"isolation\", \"victim\": \"rpc\", \
+         \"p99_alone_us\": {:.3}, \"p99_contended_us\": {:.3}, \"factor\": {:.3}}}",
+        m.us(m.victim_p99_alone),
+        m.us(m.storm.tenant("rpc").map(|t| t.p99_cycles()).unwrap_or(0)),
+        m.isolation_factor
+    ));
+    rows.push(format!(
+        "  {{\"section\": \"chaos\", \"rate\": {CHAOS_RATE}, \"retries\": {}, \
+         \"fallbacks\": {}, \"worker_deaths\": {}, \"jain_fairness\": {:.4}, \
+         \"credit_violations\": {}, \"makespan_us\": {:.1}}}",
+        m.chaos.retries,
+        m.chaos.fallbacks,
+        m.chaos.worker_deaths,
+        m.chaos.jain_fairness,
+        m.chaos.credit_violations,
+        m.us(m.chaos.makespan_cycles)
+    ));
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Machine-readable rows for `tables --json`.
+pub fn metrics() -> Vec<MetricRow> {
+    let m = measured();
+    vec![
+        MetricRow::new("service_jain_fairness", m.storm.jain_fairness, "ratio"),
+        MetricRow::new("service_latency_p99_us", m.us(m.latency_p99_cycles()), "us"),
+        MetricRow::new(
+            "service_background_p50_us",
+            m.us(m.background_p50_cycles()),
+            "us",
+        ),
+        MetricRow::new(
+            "service_qos_priority_holds",
+            f64::from(u8::from(m.qos_priority_holds())),
+            "bool",
+        ),
+        MetricRow::new(
+            "service_credit_violations",
+            m.storm.credit_violations as f64,
+            "count",
+        ),
+        MetricRow::new("service_isolation_factor", m.isolation_factor, "ratio"),
+        MetricRow::new(
+            "service_coalesced_requests",
+            m.storm.coalesced_requests as f64,
+            "count",
+        ),
+        MetricRow::new(
+            "service_coalesce_identical",
+            f64::from(u8::from(m.coalesce_identical)),
+            "bool",
+        ),
+        MetricRow::new("service_chaos_jain", m.chaos.jain_fairness, "ratio"),
+        MetricRow::new("service_chaos_fallbacks", m.chaos.fallbacks as f64, "count"),
+    ]
+}
+
+/// Runs the experiment, writes `BENCH_SERVICE.json`, renders the report.
+pub fn run() -> String {
+    let m = measured();
+
+    let mut tenant_table = Table::new(vec![
+        "tenant",
+        "class",
+        "offered",
+        "done",
+        "no-credit",
+        "stalls",
+        "p50 µs",
+        "p99 µs",
+        "goodput",
+    ]);
+    for t in &m.storm.tenants {
+        tenant_table.row(vec![
+            t.name.clone(),
+            t.class.name().to_string(),
+            t.generated.to_string(),
+            t.completed.to_string(),
+            t.rejected_no_credit.to_string(),
+            t.credit_stalls.to_string(),
+            format!("{:.1}", m.us(t.p50_cycles())),
+            format!("{:.1}", m.us(t.p99_cycles())),
+            format!("{:.2}", t.goodput()),
+        ]);
+    }
+
+    let mut chaos_table = Table::new(vec!["tenant", "done", "p99 µs", "goodput"]);
+    for t in &m.chaos.tenants {
+        chaos_table.row(vec![
+            t.name.clone(),
+            t.completed.to_string(),
+            format!("{:.1}", m.us(t.p99_cycles())),
+            format!("{:.2}", t.goodput()),
+        ]);
+    }
+
+    let json = render_json(m);
+    let json_note = match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => format!("full report written to `{JSON_PATH}`"),
+        Err(err) => format!("could not write `{JSON_PATH}`: {err}"),
+    };
+
+    format!(
+        "## E23 — {TITLE}\n\nMixed-QoS storm on the virtual cycle clock: two Latency \
+         tenants, a Throughput hog offering ~3× engine capacity against a 12-credit \
+         window, one Background scanner; credit admission + DWRR (weights 16/4/1) + \
+         ≤4 KiB coalescing. Jain fairness {:.3} (bar ≥ 0.8), engine utilization \
+         {:.0}%, {} engine batches ({} coalesced carrying {} requests).\n\n{}\n\
+         QoS: worst Latency-class p99 {:.1} µs vs best Background-class p50 {:.1} µs \
+         — priority {}. Hog isolation: victim p99 {:.1} µs alone → {:.1} µs contended \
+         ({:.2}×). Threaded coalescing byte-identical: {} ({} coalesced batches).\n\n\
+         Chaos replay at injected rate {CHAOS_RATE}: {} retries, {} software \
+         fallbacks, {} worker deaths absorbed; Jain {:.3}, credit violations {}.\n\n{}\n\
+         {json_note}\n",
+        m.storm.jain_fairness,
+        m.engine_utilization() * 100.0,
+        m.storm.batches,
+        m.storm.coalesced_batches,
+        m.storm.coalesced_requests,
+        tenant_table.render(),
+        m.us(m.latency_p99_cycles()),
+        m.us(m.background_p50_cycles()),
+        if m.qos_priority_holds() {
+            "holds"
+        } else {
+            "INVERTED"
+        },
+        m.us(m.victim_p99_alone),
+        m.us(m.storm.tenant("rpc").map(|t| t.p99_cycles()).unwrap_or(0)),
+        m.isolation_factor,
+        m.coalesce_identical,
+        m.threaded_coalesced_batches,
+        m.chaos.retries,
+        m.chaos.fallbacks,
+        m.chaos.worker_deaths,
+        m.chaos.jain_fairness,
+        m.chaos.credit_violations,
+        chaos_table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_summary_meets_the_gates() {
+        // The same invariants ci.sh greps out of BENCH_SERVICE.json,
+        // checked at the source so a regression fails in `cargo test`
+        // before it fails in the gate.
+        let m = measured();
+        assert_eq!(m.storm.credit_violations, 0);
+        assert_eq!(m.chaos.credit_violations, 0);
+        assert!(
+            m.storm.jain_fairness >= 0.8,
+            "fairness {} under the 0.8 bar",
+            m.storm.jain_fairness
+        );
+        assert!(
+            m.qos_priority_holds(),
+            "Latency p99 not under Background p50"
+        );
+        assert!(m.coalesce_identical, "coalesced outputs diverged");
+        assert!(m.storm.coalesced_batches > 0, "storm never coalesced");
+        assert!(
+            m.isolation_factor > 0.0 && m.isolation_factor <= 8.0,
+            "hog isolation factor {} out of range",
+            m.isolation_factor
+        );
+        assert!(m.chaos.retries + m.chaos.fallbacks + m.chaos.worker_deaths > 0);
+    }
+
+    #[test]
+    fn storm_is_deterministic() {
+        let cfg = StormConfig::default();
+        let a = loadgen::run_storm(SEED, &storm_loads(), &cfg);
+        let b = loadgen::run_storm(SEED, &storm_loads(), &cfg);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.jain_fairness.to_bits(), b.jain_fairness.to_bits());
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let m = measured();
+        let json = render_json(m);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(
+            json.matches("\"section\": \"tenant\"").count(),
+            m.storm.tenants.len()
+        );
+        assert_eq!(json.matches("\"section\": \"summary\"").count(), 1);
+        assert_eq!(json.matches("\"section\": \"chaos\"").count(), 1);
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let rows = metrics();
+        let mut names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E22; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E23; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -17,6 +17,7 @@ pub mod e2;
 pub mod e20;
 pub mod e21;
 pub mod e22;
+pub mod e23;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -196,6 +197,12 @@ pub fn all() -> Vec<Experiment> {
             run: e22::run,
             metrics: Some(e22::metrics),
         },
+        Experiment {
+            id: "e23",
+            title: e23::TITLE,
+            run: e23::run,
+            metrics: Some(e23::metrics),
+        },
     ]
 }
 
@@ -204,10 +211,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 22);
+        assert_eq!(all.len(), 23);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
     }
 }

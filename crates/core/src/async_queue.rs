@@ -81,6 +81,7 @@ pub struct AsyncSession {
     worker: Option<JoinHandle<()>>,
     telemetry: QueueTelemetry,
     pool: Arc<BufferPool>,
+    stats: Arc<NxStats>,
 }
 
 /// A pending job's completion handle.
@@ -170,6 +171,7 @@ impl AsyncSession {
         let telemetry = QueueTelemetry::new(sink);
         let worker_tel = telemetry.clone();
         let worker_pool = Arc::clone(&pool);
+        let session_stats = Arc::clone(&stats);
         let worker = std::thread::Builder::new()
             .name("nx-engine".into())
             .spawn(move || {
@@ -247,6 +249,7 @@ impl AsyncSession {
             worker: Some(worker),
             telemetry,
             pool,
+            stats: session_stats,
         }
     }
 
@@ -330,6 +333,10 @@ impl AsyncSession {
             }
             Err(TrySendError::Full(_)) => {
                 self.telemetry.on_overflow();
+                // Attribute the rejection: a full bounded queue is a
+                // depth-reject, distinguishable in NxStats from credit
+                // rejects (service admission) and injected fault rejects.
+                self.stats.record_depth_reject();
                 Err(Error::QueueOverflow)
             }
             Err(TrySendError::Disconnected(_)) => Err(Error::EngineClosed),
@@ -430,6 +437,11 @@ mod tests {
             }
         }
         assert!(overflowed, "queue of depth 2 never filled");
+        // Regression (issue 7 satellite): the rejection must be
+        // attributable as a depth-reject in NxStats, not just a telemetry
+        // counter.
+        assert!(nx.stats().depth_rejects() >= 1);
+        assert_eq!(nx.stats().credit_rejects(), 0);
         // Saturation is not loss: everything accepted still completes.
         for h in handles {
             assert!(h.wait().is_ok());

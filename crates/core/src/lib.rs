@@ -37,6 +37,7 @@ pub mod framing;
 pub mod parallel;
 pub mod parallel_inflate;
 pub mod scratch;
+pub mod service;
 pub mod software;
 pub mod stats;
 pub mod stream;
@@ -49,6 +50,10 @@ pub use parallel_inflate::{
     InflateParStats, ParallelInflateOptions, ParallelInflater, SeekCheckpoint, SeekIndex,
 };
 pub use scratch::{BufferPool, EncodePathMetrics, InflatePathMetrics, ScratchSession};
+pub use service::{
+    jain_index, NxService, QosClass, Rejected, ServiceConfig, ServiceError, TenantHandle,
+    TenantSpec,
+};
 pub use stats::{Codec, CodecStats, DirStats, NxStats};
 pub use stream::GzipStream;
 
@@ -459,6 +464,12 @@ impl Nx {
         &self.stats
     }
 
+    /// Shared stats arc, for in-crate subsystems (the service front end)
+    /// that record on the handle's counters from their own threads.
+    pub(crate) fn stats_arc(&self) -> &Arc<NxStats> {
+        &self.stats
+    }
+
     /// Compresses `data` into `format` framing on the accelerator.
     ///
     /// # Errors
@@ -694,6 +705,12 @@ impl Nx {
                     // the whole submission.
                     stats.bump(&stats.retries);
                     self.stats.record_retry();
+                    if matches!(f, FaultKind::QueueOverflow) {
+                        // A bounced paste (engine queue full at submit)
+                        // is a fault-reject: attributable separately from
+                        // credit- and depth-rejects.
+                        self.stats.record_fault_reject();
+                    }
                     inj.take_backoff(attempt);
                     trace.span(
                         Stage::Retry,

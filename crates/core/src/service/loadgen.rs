@@ -1,0 +1,819 @@
+//! Deterministic open-loop workload generation and a virtual-time storm
+//! driver for the multi-tenant service.
+//!
+//! The "millions of users" workload the ROADMAP asks for cannot be tested
+//! with wall clocks: fairness and tail-latency assertions would flake on
+//! load. Instead this module replays the *same* admission, credit and
+//! DWRR machinery as the threaded service on a **virtual cycle clock**:
+//!
+//! * [`LoadGen`] produces per-tenant open-loop arrival streams —
+//!   exponential inter-arrival gaps, bounded-Pareto payload sizes, payload
+//!   bytes from `nx-corpus` — as a pure function of `(seed, tenant name)`.
+//!   Adding or removing a tenant never perturbs another tenant's stream,
+//!   which is what makes hog-isolation experiments well-posed.
+//! * [`run_storm`] feeds the arrivals through credit admission, the DWRR
+//!   scheduler and a modeled engine (real [`Accelerator`] cycle costs,
+//!   `SUBMIT_CYCLES` paid once per coalesced batch, `COMPLETE_CYCLES` per
+//!   request) and reports per-tenant latency/queue-depth histograms,
+//!   credit stalls, and the Jain fairness index.
+//! * [`run_storm_faulted`] threads the PR 2 fault injector through the
+//!   same path: transient faults cost retries + backoff cycles, an
+//!   unavailable accelerator degrades to a software path priced at
+//!   [`StormConfig::fallback_slowdown`]×, worker deaths add a re-dispatch
+//!   penalty — and *accepted work is never dropped*.
+//!
+//! Every run emits a [`TraceEvent`] log; two runs from the same seed are
+//! byte-identical (the determinism property test).
+
+use super::sched::{jain_index, CreditAccount, DwrrScheduler, QosClass, TenantSpec};
+use super::ServiceConfig;
+use crate::fault::{FaultInjector, FaultKind, Site};
+use crate::{COMPLETE_CYCLES, SUBMIT_CYCLES, TOUCH_CYCLES_PER_PAGE};
+use nx_accel::{AccelConfig, Accelerator};
+use nx_corpus::CorpusKind;
+use nx_telemetry::{duration_to_cycles, HistogramSnapshot, LogHistogram};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Small deterministic generator (splitmix64) seeded from `(seed, tag)`.
+/// Self-contained so the production crate needs no RNG dependency.
+#[derive(Debug, Clone)]
+pub struct StormRng {
+    state: u64,
+}
+
+impl StormRng {
+    /// Seeds from a run seed and a tenant tag (FNV-1a over the tag, mixed
+    /// into the seed) — streams are independent per tag.
+    pub fn new(seed: u64, tag: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in tag.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: seed ^ h.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given mean (inter-arrival gaps).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = self.unit();
+        -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Bounded Pareto on `[lo, hi]` with shape `alpha` (payload sizes:
+    /// many small, few large — the RPC traffic shape).
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        let u = self.unit();
+        let ratio = (lo / hi).powf(alpha);
+        lo / (1.0 - u * (1.0 - ratio)).powf(1.0 / alpha)
+    }
+}
+
+/// Payload-size distribution for one tenant: bounded Pareto over
+/// `[min_bytes, max_bytes]`, content from one `nx-corpus` class.
+#[derive(Debug, Clone)]
+pub struct PayloadDist {
+    /// Corpus class the payload bytes are generated from.
+    pub kind: CorpusKind,
+    /// Smallest payload (bytes).
+    pub min_bytes: usize,
+    /// Largest payload (bytes).
+    pub max_bytes: usize,
+    /// Pareto shape (≈1.1–1.5 gives the heavy-tailed RPC shape; higher
+    /// concentrates near `min_bytes`).
+    pub alpha: f64,
+}
+
+impl PayloadDist {
+    /// Builds a distribution.
+    pub fn new(kind: CorpusKind, min_bytes: usize, max_bytes: usize, alpha: f64) -> Self {
+        Self {
+            kind,
+            min_bytes: min_bytes.max(1),
+            max_bytes: max_bytes.max(min_bytes.max(1)),
+            alpha: if alpha > 0.0 { alpha } else { 1.2 },
+        }
+    }
+
+    fn sample(&self, rng: &mut StormRng) -> usize {
+        let v = rng.bounded_pareto(self.min_bytes as f64, self.max_bytes as f64, self.alpha);
+        (v as usize).clamp(self.min_bytes, self.max_bytes)
+    }
+}
+
+/// One tenant's offered load: its window spec, open-loop arrival rate
+/// (mean gap in modeled cycles), payload distribution and request count.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Window spec (name, QoS class, credits).
+    pub spec: TenantSpec,
+    /// Mean inter-arrival gap in modeled cycles (open loop: arrivals do
+    /// not wait for completions).
+    pub mean_gap_cycles: f64,
+    /// Payload size/content distribution.
+    pub payload: PayloadDist,
+    /// Arrivals this tenant generates.
+    pub requests: usize,
+}
+
+impl TenantLoad {
+    /// Builds a tenant load.
+    pub fn new(
+        spec: TenantSpec,
+        mean_gap_cycles: f64,
+        payload: PayloadDist,
+        requests: usize,
+    ) -> Self {
+        Self {
+            spec,
+            mean_gap_cycles: mean_gap_cycles.max(1.0),
+            payload,
+            requests,
+        }
+    }
+}
+
+/// One generated arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time (virtual cycles).
+    pub at: u64,
+    /// Tenant index into the load slice.
+    pub tenant: usize,
+    /// Payload size (bytes).
+    pub bytes: usize,
+    /// Seed the payload content is generated from.
+    pub seed: u64,
+}
+
+/// The open-loop workload generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGen;
+
+impl LoadGen {
+    /// Generates the merged arrival stream for `loads` from `seed`.
+    ///
+    /// Each tenant's stream is a pure function of `(seed, tenant name)`;
+    /// the merge is sorted by `(time, tenant)` — fully deterministic.
+    pub fn arrivals(seed: u64, loads: &[TenantLoad]) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        for (tenant, load) in loads.iter().enumerate() {
+            let mut rng = StormRng::new(seed, &load.spec.name);
+            let mut t = 0.0f64;
+            for _ in 0..load.requests {
+                t += rng.exponential(load.mean_gap_cycles);
+                let bytes = load.payload.sample(&mut rng);
+                let pseed = rng.next_u64();
+                out.push(Arrival {
+                    at: t as u64,
+                    tenant,
+                    bytes,
+                    seed: pseed,
+                });
+            }
+        }
+        out.sort_by_key(|a| (a.at, a.tenant));
+        out
+    }
+}
+
+/// What happened to one request, on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The request arrived at the window.
+    Arrive,
+    /// It took a credit and entered the tenant queue.
+    Admit,
+    /// Rejected: window out of credits.
+    RejectCredit,
+    /// Rejected: global engine queue at depth.
+    RejectDepth,
+    /// Dispatched to the engine (possibly inside a coalesced batch).
+    Dispatch,
+    /// Completed; credit returned.
+    Complete,
+}
+
+/// One event of the deterministic storm trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual-cycle timestamp.
+    pub at: u64,
+    /// Tenant index.
+    pub tenant: u32,
+    /// Per-run arrival sequence number.
+    pub seq: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Storm tuning: the service knobs plus the fault-degradation model.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Admission/scheduling knobs (shared with the threaded service).
+    pub service: ServiceConfig,
+    /// Cycle multiplier applied when a request degrades to the software
+    /// path (accelerator unavailable / retry budget exhausted): the CPU
+    /// encoder is several times slower than the engine.
+    pub fallback_slowdown: u64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        Self {
+            service: ServiceConfig::default(),
+            fallback_slowdown: 4,
+        }
+    }
+}
+
+/// Per-tenant storm outcome.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// QoS class.
+    pub class: QosClass,
+    /// Arrivals generated.
+    pub generated: u64,
+    /// Requests admitted (took a credit).
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Admissions rejected for lack of window credit.
+    pub rejected_no_credit: u64,
+    /// Admissions rejected by the global depth bound.
+    pub rejected_queue_full: u64,
+    /// Credit stalls observed by the window (== credit rejections).
+    pub credit_stalls: u64,
+    /// Requests that rode in a coalesced batch.
+    pub coalesced_requests: u64,
+    /// Request latency (admission → completion), virtual cycles.
+    pub latency: HistogramSnapshot,
+    /// Tenant queue depth sampled at each admission.
+    pub depth: HistogramSnapshot,
+    /// Payload bytes offered (all arrivals).
+    pub offered_bytes: u64,
+    /// Payload bytes completed.
+    pub completed_bytes: u64,
+}
+
+impl TenantReport {
+    /// p50 latency in cycles.
+    pub fn p50_cycles(&self) -> u64 {
+        self.latency.p50
+    }
+
+    /// p99 latency in cycles.
+    pub fn p99_cycles(&self) -> u64 {
+        self.latency.p99
+    }
+
+    /// Goodput ratio: completed / generated.
+    pub fn goodput(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.generated as f64
+        }
+    }
+}
+
+/// Whole-storm outcome.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// Per-tenant reports, in load order.
+    pub tenants: Vec<TenantReport>,
+    /// Jain fairness index over per-tenant goodput ratios.
+    pub jain_fairness: f64,
+    /// Credit-conservation violations at drain (must be 0): a tenant
+    /// holding credits, or admitted ≠ completed at end of storm.
+    pub credit_violations: u64,
+    /// Engine submissions performed.
+    pub batches: u64,
+    /// Submissions that coalesced more than one request.
+    pub coalesced_batches: u64,
+    /// Requests that rode in coalesced submissions.
+    pub coalesced_requests: u64,
+    /// Virtual cycle at which the last request completed.
+    pub makespan_cycles: u64,
+    /// Cycles the engine spent busy.
+    pub engine_busy_cycles: u64,
+    /// Transient-fault retries performed (faulted storms).
+    pub retries: u64,
+    /// Requests that degraded to the software path (faulted storms).
+    pub fallbacks: u64,
+    /// Worker deaths absorbed (faulted storms).
+    pub worker_deaths: u64,
+    /// The full deterministic event log.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl StormReport {
+    /// Report for one tenant by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+
+    /// Converts cycles to microseconds at the given nest clock.
+    pub fn cycles_to_us(cycles: u64, freq_ghz: f64) -> f64 {
+        cycles as f64 / (freq_ghz * 1000.0)
+    }
+}
+
+struct TenantAcct {
+    credits: CreditAccount,
+    latency: LogHistogram,
+    depth: LogHistogram,
+    generated: u64,
+    admitted: u64,
+    completed: u64,
+    rejected_no_credit: u64,
+    rejected_queue_full: u64,
+    coalesced_requests: u64,
+    offered_bytes: u64,
+    completed_bytes: u64,
+}
+
+struct VJob {
+    tenant: usize,
+    seq: u64,
+    bytes: usize,
+    seed: u64,
+    admitted_at: u64,
+}
+
+/// Runs a fault-free storm: `loads` through credit admission + DWRR +
+/// modeled engine on the virtual clock. Deterministic from `seed`.
+pub fn run_storm(seed: u64, loads: &[TenantLoad], cfg: &StormConfig) -> StormReport {
+    storm_inner(seed, loads, cfg, None)
+}
+
+/// Runs a storm with the fault injector threaded through the engine
+/// path (the chaos battery). Deterministic from `seed` + the injector's
+/// plan seed.
+pub fn run_storm_faulted(
+    seed: u64,
+    loads: &[TenantLoad],
+    cfg: &StormConfig,
+    inj: &FaultInjector,
+) -> StormReport {
+    storm_inner(seed, loads, cfg, Some(inj))
+}
+
+fn storm_inner(
+    seed: u64,
+    loads: &[TenantLoad],
+    cfg: &StormConfig,
+    inj: Option<&FaultInjector>,
+) -> StormReport {
+    let arrivals = LoadGen::arrivals(seed, loads);
+    let config = AccelConfig::power9();
+    let freq = config.freq_ghz;
+    let mut engine = Accelerator::new(config);
+
+    let mut sched: DwrrScheduler<VJob> = DwrrScheduler::new(
+        cfg.service.quantum_bytes,
+        cfg.service.coalesce_limit,
+        cfg.service.coalesce_batch,
+    );
+    let mut accts: Vec<TenantAcct> = loads
+        .iter()
+        .map(|l| {
+            sched.add_tenant(l.spec.class.weight());
+            TenantAcct {
+                credits: CreditAccount::new(l.spec.credits),
+                latency: LogHistogram::new(),
+                depth: LogHistogram::new(),
+                generated: 0,
+                admitted: 0,
+                completed: 0,
+                rejected_no_credit: 0,
+                rejected_queue_full: 0,
+                coalesced_requests: 0,
+                offered_bytes: 0,
+                completed_bytes: 0,
+            }
+        })
+        .collect();
+
+    let mut trace: Vec<TraceEvent> = Vec::with_capacity(arrivals.len() * 3);
+    // Completion events: Reverse-ordered min-heap on (time, seq).
+    let mut completions: BinaryHeap<Reverse<(u64, u64, u64, u64)>> = BinaryHeap::new();
+    let mut t = 0u64;
+    let mut ai = 0usize;
+    let mut engine_free_at = 0u64;
+    let mut engine_busy = 0u64;
+    let mut makespan = 0u64;
+    let mut batches = 0u64;
+    let mut coalesced_batches = 0u64;
+    let mut coalesced_requests = 0u64;
+    let mut retries = 0u64;
+    let mut fallbacks = 0u64;
+    let mut worker_deaths = 0u64;
+    // admitted_at per in-flight job travels inside VJob.
+    loop {
+        // Dispatch while the engine is idle and work is queued.
+        while engine_free_at <= t && !sched.is_empty() {
+            let batch = match sched.next_batch() {
+                Some(b) => b,
+                None => break,
+            };
+            let n = batch.items.len() as u64;
+            batches += 1;
+            if batch.coalesced {
+                coalesced_batches += 1;
+                coalesced_requests += n;
+            }
+            // One paste for the whole batch; per-request engine service
+            // in FIFO order; one completion notification per request.
+            let start = t.max(engine_free_at);
+            let mut cursor = start + SUBMIT_CYCLES;
+            for job in batch.items {
+                trace.push(TraceEvent {
+                    at: start,
+                    tenant: job.tenant as u32,
+                    seq: job.seq,
+                    bytes: job.bytes as u64,
+                    kind: TraceKind::Dispatch,
+                });
+                let payload = loads[job.tenant].payload.kind.generate(job.seed, job.bytes);
+                let service_cycles = match inj {
+                    None => engine.compress(&payload).1.cycles,
+                    Some(inj) => faulted_service_cycles(
+                        inj,
+                        &mut engine,
+                        &payload,
+                        cfg.fallback_slowdown,
+                        freq,
+                        &mut retries,
+                        &mut fallbacks,
+                        &mut worker_deaths,
+                    ),
+                };
+                cursor += service_cycles;
+                let done_at = cursor + COMPLETE_CYCLES;
+                if batch.coalesced {
+                    accts[job.tenant].coalesced_requests += 1;
+                }
+                completions.push(Reverse((
+                    done_at,
+                    job.seq,
+                    job.tenant as u64,
+                    job.admitted_at,
+                )));
+                accts[job.tenant].completed_bytes += job.bytes as u64;
+            }
+            engine_free_at = cursor + COMPLETE_CYCLES;
+            engine_busy += engine_free_at - start;
+        }
+        // Advance to the next event.
+        let next_arrival = arrivals.get(ai).map(|a| a.at);
+        let next_completion = completions.peek().map(|Reverse((at, _, _, _))| *at);
+        let next_dispatch = if sched.is_empty() {
+            None
+        } else {
+            Some(engine_free_at)
+        };
+        let next = [next_arrival, next_completion, next_dispatch]
+            .into_iter()
+            .flatten()
+            .min();
+        let Some(next) = next else { break };
+        t = t.max(next);
+        // Completions first (credits free before same-cycle arrivals).
+        while let Some(Reverse((at, seq, tenant, admitted_at))) = completions.peek().copied() {
+            if at > t {
+                break;
+            }
+            completions.pop();
+            let tenant = tenant as usize;
+            accts[tenant].credits.complete();
+            accts[tenant].completed += 1;
+            accts[tenant].latency.record(at.saturating_sub(admitted_at));
+            makespan = makespan.max(at);
+            trace.push(TraceEvent {
+                at,
+                tenant: tenant as u32,
+                seq,
+                bytes: 0,
+                kind: TraceKind::Complete,
+            });
+        }
+        // Then arrivals ≤ t.
+        while ai < arrivals.len() && arrivals[ai].at <= t {
+            let a = arrivals[ai];
+            let seq = ai as u64;
+            ai += 1;
+            let acct = &mut accts[a.tenant];
+            acct.generated += 1;
+            acct.offered_bytes += a.bytes as u64;
+            trace.push(TraceEvent {
+                at: a.at,
+                tenant: a.tenant as u32,
+                seq,
+                bytes: a.bytes as u64,
+                kind: TraceKind::Arrive,
+            });
+            if sched.queued() >= cfg.service.engine_depth {
+                acct.rejected_queue_full += 1;
+                trace.push(TraceEvent {
+                    at: a.at,
+                    tenant: a.tenant as u32,
+                    seq,
+                    bytes: a.bytes as u64,
+                    kind: TraceKind::RejectDepth,
+                });
+                continue;
+            }
+            if !acct.credits.try_acquire() {
+                acct.rejected_no_credit += 1;
+                trace.push(TraceEvent {
+                    at: a.at,
+                    tenant: a.tenant as u32,
+                    seq,
+                    bytes: a.bytes as u64,
+                    kind: TraceKind::RejectCredit,
+                });
+                continue;
+            }
+            acct.admitted += 1;
+            sched.push(
+                a.tenant,
+                VJob {
+                    tenant: a.tenant,
+                    seq,
+                    bytes: a.bytes,
+                    seed: a.seed,
+                    admitted_at: a.at,
+                },
+                a.bytes as u64,
+            );
+            let depth_now = sched.queue_depth(a.tenant) as u64;
+            accts[a.tenant].depth.record(depth_now);
+            trace.push(TraceEvent {
+                at: a.at,
+                tenant: a.tenant as u32,
+                seq,
+                bytes: a.bytes as u64,
+                kind: TraceKind::Admit,
+            });
+        }
+    }
+
+    let mut credit_violations = 0u64;
+    for acct in &accts {
+        if acct.credits.in_flight() != 0 {
+            credit_violations += 1;
+        }
+        if acct.credits.admitted() != acct.credits.completed() + acct.credits.failed() {
+            credit_violations += 1;
+        }
+    }
+    let goodputs: Vec<f64> = accts
+        .iter()
+        .map(|a| {
+            if a.generated == 0 {
+                1.0
+            } else {
+                a.completed as f64 / a.generated as f64
+            }
+        })
+        .collect();
+    let tenants = loads
+        .iter()
+        .zip(accts.iter())
+        .map(|(l, a)| TenantReport {
+            name: l.spec.name.clone(),
+            class: l.spec.class,
+            generated: a.generated,
+            admitted: a.admitted,
+            completed: a.completed,
+            rejected_no_credit: a.rejected_no_credit,
+            rejected_queue_full: a.rejected_queue_full,
+            credit_stalls: a.credits.stalls(),
+            coalesced_requests: a.coalesced_requests,
+            latency: a.latency.snapshot(),
+            depth: a.depth.snapshot(),
+            offered_bytes: a.offered_bytes,
+            completed_bytes: a.completed_bytes,
+        })
+        .collect();
+    StormReport {
+        tenants,
+        jain_fairness: jain_index(&goodputs),
+        credit_violations,
+        batches,
+        coalesced_batches,
+        coalesced_requests,
+        makespan_cycles: makespan,
+        engine_busy_cycles: engine_busy,
+        retries,
+        fallbacks,
+        worker_deaths,
+        trace,
+    }
+}
+
+/// Models one request's engine service time under fault injection,
+/// mirroring the recovery protocol in `Nx::recover`: transient faults
+/// retry with capped exponential backoff, page faults pay touch cycles,
+/// an unavailable accelerator (or an exhausted attempt budget) degrades
+/// to the software path at `fallback_slowdown`× the engine cost —
+/// degrade-to-serial, never drop.
+#[allow(clippy::too_many_arguments)]
+fn faulted_service_cycles(
+    inj: &FaultInjector,
+    engine: &mut Accelerator,
+    payload: &[u8],
+    fallback_slowdown: u64,
+    freq_ghz: f64,
+    retries: &mut u64,
+    fallbacks: &mut u64,
+    worker_deaths: &mut u64,
+) -> u64 {
+    let policy = *inj.policy();
+    let req = inj.begin_request();
+    let base = engine.compress(payload).1.cycles.max(1);
+    let mut extra = 0u64;
+    let mut resident_pages = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        if attempt >= policy.max_attempts {
+            // Budget exhausted: degrade to software, keep serving.
+            *fallbacks += 1;
+            return extra + base * fallback_slowdown.max(1);
+        }
+        match inj.submit_fault(
+            Site::Compress,
+            req,
+            attempt,
+            payload.len() as u64,
+            resident_pages,
+        ) {
+            Some(FaultKind::AccelUnavailable) => {
+                *fallbacks += 1;
+                return extra + base * fallback_slowdown.max(1);
+            }
+            Some(
+                FaultKind::QueueOverflow
+                | FaultKind::SubmissionTimeout
+                | FaultKind::CsbError { .. },
+            ) => {
+                *retries += 1;
+                extra += duration_to_cycles(policy.backoff(attempt), freq_ghz);
+                attempt += 1;
+            }
+            Some(FaultKind::PageFault { offset }) => {
+                let newly =
+                    (offset / crate::fault::PAGE_BYTES) + 1 + u64::from(policy.touch_ahead_pages);
+                let touched = newly.saturating_sub(resident_pages);
+                extra += touched * TOUCH_CYCLES_PER_PAGE;
+                resident_pages = newly;
+                attempt += 1;
+            }
+            Some(FaultKind::Partial { .. }) => {
+                extra += SUBMIT_CYCLES;
+                attempt += 1;
+            }
+            _ => {
+                // Clean submission. A worker death during service is
+                // absorbed by re-dispatching serially (one extra paste).
+                if inj.worker_fault(req, 0) {
+                    *worker_deaths += 1;
+                    extra += 2 * SUBMIT_CYCLES;
+                }
+                if inj.output_fault(req, attempt, base).is_some() {
+                    // In-flight corruption is caught by the integrity
+                    // check and retried like a transient.
+                    *retries += 1;
+                    extra += duration_to_cycles(policy.backoff(attempt), freq_ghz);
+                    attempt += 1;
+                    continue;
+                }
+                return extra + base;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultRates, RecoveryPolicy};
+
+    fn small_loads() -> Vec<TenantLoad> {
+        vec![
+            TenantLoad::new(
+                TenantSpec::new("rpc", QosClass::Latency, 8),
+                40_000.0,
+                PayloadDist::new(CorpusKind::Json, 256, 2048, 1.2),
+                60,
+            ),
+            TenantLoad::new(
+                TenantSpec::new("bulk", QosClass::Throughput, 4),
+                150_000.0,
+                PayloadDist::new(CorpusKind::Binary, 8 << 10, 32 << 10, 1.3),
+                30,
+            ),
+            TenantLoad::new(
+                TenantSpec::new("scan", QosClass::Background, 2),
+                300_000.0,
+                PayloadDist::new(CorpusKind::Text, 16 << 10, 64 << 10, 1.3),
+                15,
+            ),
+        ]
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_sorted() {
+        let loads = small_loads();
+        let a = LoadGen::arrivals(7, &loads);
+        let b = LoadGen::arrivals(7, &loads);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(a.len(), 105);
+    }
+
+    #[test]
+    fn tenant_streams_are_independent() {
+        // Removing one tenant must not change another tenant's stream.
+        let loads = small_loads();
+        let all = LoadGen::arrivals(7, &loads);
+        let solo = LoadGen::arrivals(7, &loads[..1]);
+        let rpc_all: Vec<(u64, usize)> = all
+            .iter()
+            .filter(|a| a.tenant == 0)
+            .map(|a| (a.at, a.bytes))
+            .collect();
+        let rpc_solo: Vec<(u64, usize)> = solo.iter().map(|a| (a.at, a.bytes)).collect();
+        assert_eq!(rpc_all, rpc_solo);
+    }
+
+    #[test]
+    fn storm_conserves_credits_and_completes_everything_admitted() {
+        let loads = small_loads();
+        let r = run_storm(11, &loads, &StormConfig::default());
+        assert_eq!(r.credit_violations, 0);
+        for t in &r.tenants {
+            assert_eq!(t.admitted, t.completed, "tenant {}", t.name);
+            assert_eq!(
+                t.generated,
+                t.admitted + t.rejected_no_credit + t.rejected_queue_full,
+                "tenant {}",
+                t.name
+            );
+        }
+        assert!(r.jain_fairness > 0.0 && r.jain_fairness <= 1.0 + 1e-9);
+        assert!(r.makespan_cycles > 0);
+    }
+
+    #[test]
+    fn storm_trace_is_deterministic() {
+        let loads = small_loads();
+        let a = run_storm(23, &loads, &StormConfig::default());
+        let b = run_storm(23, &loads, &StormConfig::default());
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+    }
+
+    #[test]
+    fn faulted_storm_still_serves_all_tenants() {
+        let loads = small_loads();
+        let inj = FaultInjector::new(
+            FaultPlan::seeded(5, FaultRates::sweep(0.05)),
+            RecoveryPolicy::default(),
+        );
+        let r = run_storm_faulted(31, &loads, &StormConfig::default(), &inj);
+        assert_eq!(r.credit_violations, 0);
+        for t in &r.tenants {
+            assert!(t.completed > 0, "tenant {} starved under faults", t.name);
+            assert_eq!(t.admitted, t.completed);
+        }
+        assert!(
+            r.retries + r.fallbacks + r.worker_deaths > 0,
+            "no faults fired"
+        );
+    }
+}

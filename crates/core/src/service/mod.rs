@@ -1,0 +1,672 @@
+//! `nx-core::service` — the multi-tenant accelerator front end.
+//!
+//! The paper's central systems contribution (§IV) is *sharing*: thousands
+//! of user-space processes submit CRBs to one on-die engine through VAS
+//! windows, and credit-based flow control keeps a storm of tenants from
+//! starving each other. This module productionizes that model on top of
+//! the existing engine:
+//!
+//! * Each tenant opens a **receive window** ([`TenantHandle`]) with a
+//!   credit budget — one credit per in-flight request, exactly the
+//!   RX-window credit accounting `nx-sys::vas` models at the instruction
+//!   level.
+//! * Admission is **typed**: a submission either takes a credit and
+//!   enters the per-tenant queue, or is rejected with
+//!   [`ServiceError::NoCredit`] (window exhausted) or
+//!   [`ServiceError::QueueFull`] (global engine queue at its bounded
+//!   depth). Rejections are attributed in [`NxStats`](crate::NxStats)
+//!   (`credit_rejects` / `depth_rejects`) so backpressure is observable.
+//! * A **deficit-weighted round-robin** ([`sched::DwrrScheduler`]) drains
+//!   the per-tenant queues by QoS class ([`QosClass`]): `Latency` tenants
+//!   get ~16× the byte share of `Background` under contention, and no
+//!   backlogged tenant is ever starved.
+//! * Tiny payloads (≤ the configured coalesce limit) are **coalesced**
+//!   into one engine submission of up to `coalesce_batch` requests and
+//!   de-multiplexed on completion, amortizing the per-paste submission
+//!   cost for RPC-sized traffic.
+//!
+//! The deterministic open-loop driver in [`loadgen`] replays the same
+//! admission/scheduling/credit machinery on a virtual clock, which is how
+//! the fairness and tail-latency properties are tested without timing
+//! flakiness.
+
+pub mod loadgen;
+pub mod sched;
+
+pub use loadgen::{run_storm, run_storm_faulted, LoadGen, StormConfig, StormReport, TenantLoad};
+pub use sched::{jain_index, CreditAccount, DwrrScheduler, QosClass, Rejected, TenantSpec};
+
+use crate::framing::Format;
+use crate::stats::NxStats;
+use crate::{CompressOptions, Compressed, Nx, COMPLETE_CYCLES, SUBMIT_CYCLES};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use nx_telemetry::{LogHistogram, MetricSource, MetricValue};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Global bound on queued-but-undispatched requests across all
+    /// tenants (the shared engine queue depth). Admissions beyond it are
+    /// rejected [`ServiceError::QueueFull`].
+    pub engine_depth: usize,
+    /// DWRR byte grant per weight unit per ring pass.
+    pub quantum_bytes: u64,
+    /// Payloads at or under this size are eligible for coalescing into
+    /// one engine submission (0 disables coalescing).
+    pub coalesce_limit: u64,
+    /// Max requests per coalesced submission.
+    pub coalesce_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            engine_depth: 256,
+            quantum_bytes: 32 << 10,
+            coalesce_limit: 4096,
+            coalesce_batch: 8,
+        }
+    }
+}
+
+/// Typed service-path errors. Admission never silently drops work: a
+/// submission either enters the queue or returns one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The tenant's receive window is out of credits.
+    NoCredit,
+    /// The shared engine queue is at its bounded depth.
+    QueueFull,
+    /// The service was closed before the request completed.
+    Closed,
+    /// The engine failed the request with a typed error (only reachable
+    /// under fault injection with software fallback disabled).
+    Engine(crate::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::NoCredit => write!(f, "receive window out of credits"),
+            ServiceError::QueueFull => write!(f, "engine queue at bounded depth"),
+            ServiceError::Closed => write!(f, "service closed"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A completed service request: the compression result plus the
+/// per-tenant sequence numbers the ordering tests assert on.
+#[derive(Debug)]
+pub struct Served {
+    /// The compression result.
+    pub compressed: Compressed,
+    /// Per-tenant admission sequence number (0-based, assigned at
+    /// admission in submission order).
+    pub admit_seq: u64,
+    /// Per-tenant completion sequence number. The scheduler keeps each
+    /// tenant's queue FIFO, so `complete_seq == admit_seq` for every
+    /// request of a tenant.
+    pub complete_seq: u64,
+    /// Number of requests in the engine submission this rode in
+    /// (>1 means it was coalesced).
+    pub batched: usize,
+    /// Modeled request latency in engine cycles (amortized submit +
+    /// engine + completion).
+    pub latency_cycles: u64,
+}
+
+/// Completion handle for one admitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Served, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes or fails typed.
+    pub fn wait(self) -> Result<Served, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Closed))
+    }
+
+    /// Bounded wait; hands the ticket back on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Served, ServiceError>, Ticket> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(self),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Ok(Err(ServiceError::Closed))
+            }
+        }
+    }
+}
+
+/// One queued request.
+struct Job {
+    data: Vec<u8>,
+    format: Format,
+    opts: CompressOptions,
+    tenant: usize,
+    admit_seq: u64,
+    reply: Sender<Result<Served, ServiceError>>,
+}
+
+/// Mutable service state behind one lock: the scheduler plus per-tenant
+/// credit/sequence accounting.
+struct State {
+    sched: DwrrScheduler<Job>,
+    tenants: Vec<TenantState>,
+    open: bool,
+}
+
+struct TenantState {
+    credits: CreditAccount,
+    admit_seq: u64,
+    complete_seq: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    // (Debug below elides the state: jobs hold reply channels.)
+    /// Wake-up tokens for the engine thread (one per push; spurious
+    /// tokens are harmless, a missed token is covered by the engine's
+    /// bounded recv timeout).
+    signal: Sender<()>,
+    nx_stats: Arc<NxStats>,
+    stats: Arc<ServiceStats>,
+    depth_limit: usize,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("depth_limit", &self.depth_limit)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-tenant observable counters + histograms, exported through
+/// `nx-telemetry` as the `nx-service` metric source.
+#[derive(Debug)]
+pub struct TenantStats {
+    name: String,
+    class: QosClass,
+    credits: u32,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_no_credit: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    coalesced_requests: AtomicU64,
+    /// Modeled per-request latency (cycles).
+    latency: LogHistogram,
+    /// Tenant queue depth sampled at each admission.
+    depth: LogHistogram,
+}
+
+impl TenantStats {
+    fn new(spec: &TenantSpec) -> Self {
+        Self {
+            name: spec.name.clone(),
+            class: spec.class,
+            credits: spec.credits,
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected_no_credit: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
+            latency: LogHistogram::new(),
+            depth: LogHistogram::new(),
+        }
+    }
+
+    /// Tenant name (metric label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's QoS class.
+    pub fn class(&self) -> QosClass {
+        self.class
+    }
+
+    /// The window's credit budget.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Submission attempts (admitted + rejected).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted into the queue.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed typed after admission.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected for lack of window credit.
+    pub fn rejected_no_credit(&self) -> u64 {
+        self.rejected_no_credit.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected by the global depth bound.
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.rejected_queue_full.load(Ordering::Relaxed)
+    }
+
+    /// Requests that rode in a coalesced submission.
+    pub fn coalesced_requests(&self) -> u64 {
+        self.coalesced_requests.load(Ordering::Relaxed)
+    }
+
+    /// Modeled per-request latency histogram (cycles).
+    pub fn latency(&self) -> &LogHistogram {
+        &self.latency
+    }
+
+    /// Tenant queue-depth histogram (sampled at admission).
+    pub fn depth(&self) -> &LogHistogram {
+        &self.depth
+    }
+}
+
+/// Aggregate service statistics: one [`TenantStats`] per window plus
+/// engine-side batch counters.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    tenants: Mutex<Vec<Arc<TenantStats>>>,
+    batches: AtomicU64,
+    coalesced_batches: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Snapshot of every tenant's stats handle.
+    pub fn tenants(&self) -> Vec<Arc<TenantStats>> {
+        self.tenants.lock().clone()
+    }
+
+    /// Engine submissions performed (batches, coalesced or not).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Engine submissions that carried more than one request.
+    pub fn coalesced_batches(&self) -> u64 {
+        self.coalesced_batches.load(Ordering::Relaxed)
+    }
+
+    /// Jain fairness index over per-tenant completed counts.
+    pub fn jain_completed(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .tenants
+            .lock()
+            .iter()
+            .map(|t| t.completed() as f64)
+            .collect();
+        jain_index(&xs)
+    }
+}
+
+impl MetricSource for ServiceStats {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let tenants = self.tenants.lock().clone();
+        for t in &tenants {
+            let label = format!("{{tenant=\"{}\",class=\"{}\"}}", t.name, t.class.name());
+            out.push((
+                format!("nx_service_submitted_total{label}"),
+                MetricValue::Counter(t.submitted()),
+            ));
+            out.push((
+                format!("nx_service_admitted_total{label}"),
+                MetricValue::Counter(t.admitted()),
+            ));
+            out.push((
+                format!("nx_service_completed_total{label}"),
+                MetricValue::Counter(t.completed()),
+            ));
+            out.push((
+                format!("nx_service_failed_total{label}"),
+                MetricValue::Counter(t.failed()),
+            ));
+            let creds = format!(
+                "{{tenant=\"{}\",class=\"{}\",cause=\"credit\"}}",
+                t.name,
+                t.class.name()
+            );
+            out.push((
+                format!("nx_service_rejected_total{creds}"),
+                MetricValue::Counter(t.rejected_no_credit()),
+            ));
+            let depth = format!(
+                "{{tenant=\"{}\",class=\"{}\",cause=\"depth\"}}",
+                t.name,
+                t.class.name()
+            );
+            out.push((
+                format!("nx_service_rejected_total{depth}"),
+                MetricValue::Counter(t.rejected_queue_full()),
+            ));
+            out.push((
+                format!("nx_service_coalesced_requests_total{label}"),
+                MetricValue::Counter(t.coalesced_requests()),
+            ));
+            out.push((
+                format!("nx_service_latency_cycles{label}"),
+                MetricValue::Histogram(t.latency.snapshot()),
+            ));
+            out.push((
+                format!("nx_service_queue_depth{label}"),
+                MetricValue::Histogram(t.depth.snapshot()),
+            ));
+        }
+        out.push((
+            "nx_service_batches_total".to_string(),
+            MetricValue::Counter(self.batches()),
+        ));
+        out.push((
+            "nx_service_coalesced_batches_total".to_string(),
+            MetricValue::Counter(self.coalesced_batches()),
+        ));
+    }
+}
+
+/// The multi-tenant service: per-tenant receive windows over one shared
+/// engine, DWRR-scheduled, credit-admitted.
+///
+/// Built with [`Nx::service`]; dropped or [`close`](Self::close)d, it
+/// drains every admitted request before the engine thread exits.
+#[derive(Debug)]
+pub struct NxService {
+    shared: Arc<Shared>,
+    engine: Option<JoinHandle<()>>,
+}
+
+/// One tenant's receive window: the submission handle.
+///
+/// Cloning shares the window (and its credit budget) — the same way
+/// multiple threads of one process share a VAS window.
+#[derive(Debug, Clone)]
+pub struct TenantHandle {
+    shared: Arc<Shared>,
+    tenant: usize,
+    stats: Arc<TenantStats>,
+}
+
+impl Nx {
+    /// Opens a multi-tenant service over this accelerator handle.
+    ///
+    /// The service shares the handle's engine, stats, fault injector and
+    /// telemetry: requests go through the same recovery protocol as
+    /// direct calls, and if the handle has an attached telemetry
+    /// registry, per-tenant metrics register as the `nx-service` source.
+    pub fn service(&self, config: ServiceConfig) -> NxService {
+        NxService::start(self.clone(), config)
+    }
+}
+
+impl NxService {
+    fn start(nx: Nx, config: ServiceConfig) -> Self {
+        let stats = Arc::new(ServiceStats::default());
+        if let Some(reg) = nx.telemetry().registry() {
+            reg.register_source("nx-service", Arc::clone(&stats) as Arc<dyn MetricSource>);
+        }
+        let (signal, wake) = unbounded::<()>();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                sched: DwrrScheduler::new(
+                    config.quantum_bytes,
+                    config.coalesce_limit,
+                    config.coalesce_batch,
+                ),
+                tenants: Vec::new(),
+                open: true,
+            }),
+            signal,
+            nx_stats: Arc::clone(nx.stats_arc()),
+            stats: Arc::clone(&stats),
+            depth_limit: config.engine_depth.max(1),
+        });
+        let engine_shared = Arc::clone(&shared);
+        let engine = std::thread::Builder::new()
+            .name("nx-service".into())
+            .spawn(move || Self::engine_loop(nx, engine_shared, wake))
+            .ok();
+        Self { shared, engine }
+    }
+
+    /// Opens a receive window for a new tenant and returns its handle.
+    pub fn open_window(&self, spec: TenantSpec) -> TenantHandle {
+        let tstats = Arc::new(TenantStats::new(&spec));
+        let mut st = self.shared.state.lock();
+        let idx = st.sched.add_tenant(spec.class.weight());
+        st.tenants.push(TenantState {
+            credits: CreditAccount::new(spec.credits),
+            admit_seq: 0,
+            complete_seq: 0,
+        });
+        drop(st);
+        self.shared.stats.tenants.lock().push(Arc::clone(&tstats));
+        TenantHandle {
+            shared: Arc::clone(&self.shared),
+            tenant: idx,
+            stats: tstats,
+        }
+    }
+
+    /// Aggregate service statistics.
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.shared.stats
+    }
+
+    /// Verifies credit conservation across all windows: no credits held,
+    /// every admitted request completed or failed typed. Meaningful once
+    /// all tickets have been waited on.
+    pub fn credits_conserved(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .tenants
+            .iter()
+            .all(|t| t.credits.conservation_ok())
+    }
+
+    /// Closes the service: admissions stop, queued requests drain, the
+    /// engine thread exits.
+    pub fn close(mut self) {
+        self.close_inner();
+    }
+
+    fn close_inner(&mut self) {
+        self.shared.state.lock().open = false;
+        let _ = self.shared.signal.send(());
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn engine_loop(nx: Nx, shared: Arc<Shared>, wake: Receiver<()>) {
+        loop {
+            let (batch, still_open) = {
+                let mut st = shared.state.lock();
+                (st.sched.next_batch(), st.open)
+            };
+            let batch = match batch {
+                Some(b) => b,
+                None => {
+                    if !still_open {
+                        return;
+                    }
+                    // Bounded wait covers any lost-token race; a token per
+                    // push makes the common case immediate.
+                    let _ = wake.recv_timeout(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            let n = batch.items.len();
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            if batch.coalesced {
+                shared
+                    .stats
+                    .coalesced_batches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // One engine submission for the whole batch: the paste cost is
+            // paid once and amortized across the coalesced requests, then
+            // completions are de-multiplexed to their tickets.
+            let submit_share = SUBMIT_CYCLES / n.max(1) as u64;
+            let tenant_stats = shared.stats.tenants.lock().clone();
+            for job in batch.items {
+                let result = nx.compress_with(&job.data, job.format, job.opts);
+                let mut st = shared.state.lock();
+                let tenant = &mut st.tenants[job.tenant];
+                let complete_seq = tenant.complete_seq;
+                tenant.complete_seq += 1;
+                match result {
+                    Ok(compressed) => {
+                        tenant.credits.complete();
+                        drop(st);
+                        let latency = submit_share + compressed.report.cycles + COMPLETE_CYCLES;
+                        if let Some(ts) = tenant_stats.get(job.tenant) {
+                            ts.completed.fetch_add(1, Ordering::Relaxed);
+                            ts.latency.record(latency);
+                            if n > 1 {
+                                ts.coalesced_requests.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        let _ = job.reply.send(Ok(Served {
+                            compressed,
+                            admit_seq: job.admit_seq,
+                            complete_seq,
+                            batched: n,
+                            latency_cycles: latency,
+                        }));
+                    }
+                    Err(e) => {
+                        tenant.credits.fail();
+                        drop(st);
+                        if let Some(ts) = tenant_stats.get(job.tenant) {
+                            ts.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = job.reply.send(Err(ServiceError::Engine(e)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for NxService {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+impl TenantHandle {
+    /// Submits a compression request at default options.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoCredit`] when the window's credits are all in
+    /// flight; [`ServiceError::QueueFull`] when the global engine queue is
+    /// at depth; [`ServiceError::Closed`] after shutdown. Rejections never
+    /// consume a credit.
+    pub fn submit(&self, data: Vec<u8>, format: Format) -> Result<Ticket, ServiceError> {
+        self.submit_with(data, format, CompressOptions::default())
+    }
+
+    /// As [`submit`](Self::submit) with explicit [`CompressOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_with(
+        &self,
+        data: Vec<u8>,
+        format: Format,
+        opts: CompressOptions,
+    ) -> Result<Ticket, ServiceError> {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let bytes = data.len() as u64;
+        let mut st = self.shared.state.lock();
+        if !st.open {
+            return Err(ServiceError::Closed);
+        }
+        if st.sched.queued() >= self.shared.depth_limit {
+            drop(st);
+            self.stats
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.nx_stats.record_depth_reject();
+            return Err(ServiceError::QueueFull);
+        }
+        if !st.tenants[self.tenant].credits.try_acquire() {
+            drop(st);
+            self.stats
+                .rejected_no_credit
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.nx_stats.record_credit_reject();
+            return Err(ServiceError::NoCredit);
+        }
+        let admit_seq = st.tenants[self.tenant].admit_seq;
+        st.tenants[self.tenant].admit_seq += 1;
+        let (reply, rx) = bounded(1);
+        st.sched.push(
+            self.tenant,
+            Job {
+                data,
+                format,
+                opts,
+                tenant: self.tenant,
+                admit_seq,
+                reply,
+            },
+            bytes,
+        );
+        let depth_now = st.sched.queue_depth(self.tenant) as u64;
+        drop(st);
+        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.depth.record(depth_now);
+        let _ = self.shared.signal.send(());
+        Ok(Ticket { rx })
+    }
+
+    /// This window's observable statistics.
+    pub fn stats(&self) -> &Arc<TenantStats> {
+        &self.stats
+    }
+
+    /// Credits currently available in this window.
+    pub fn credits_available(&self) -> u32 {
+        self.shared.state.lock().tenants[self.tenant]
+            .credits
+            .available()
+    }
+}

@@ -96,6 +96,9 @@ pub struct NxStats {
     p842: CodecStats,
     retries: AtomicU64,
     software_fallbacks: AtomicU64,
+    rejects_credit: AtomicU64,
+    rejects_depth: AtomicU64,
+    rejects_fault: AtomicU64,
 }
 
 impl NxStats {
@@ -137,6 +140,18 @@ impl NxStats {
         self.software_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_credit_reject(&self) {
+        self.rejects_credit.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_depth_reject(&self) {
+        self.rejects_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fault_reject(&self) {
+        self.rejects_fault.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// DEFLATE-engine traffic (gzip/zlib/raw framings).
     pub fn deflate(&self) -> &CodecStats {
         &self.deflate
@@ -156,6 +171,24 @@ impl NxStats {
     /// Requests on this handle that degraded to the software path.
     pub fn software_fallbacks(&self) -> u64 {
         self.software_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected because a tenant's receive window was out of
+    /// credits (per-tenant admission limit, service path).
+    pub fn credit_rejects(&self) -> u64 {
+        self.rejects_credit.load(Ordering::Relaxed)
+    }
+
+    /// Submissions rejected because the bounded engine queue was at depth
+    /// (`try_submit` on a full queue, or the service's global depth limit).
+    pub fn depth_rejects(&self) -> u64 {
+        self.rejects_depth.load(Ordering::Relaxed)
+    }
+
+    /// Submission attempts bounced by an injected/observed accelerator
+    /// fault (paste returned busy / CSB queue overflow) before recovery.
+    pub fn fault_rejects(&self) -> u64 {
+        self.rejects_fault.load(Ordering::Relaxed)
     }
 
     /// Compression requests served (all codecs).
@@ -227,6 +260,16 @@ impl MetricSource for NxStats {
             "nx_software_fallbacks_total".to_string(),
             MetricValue::Counter(self.software_fallbacks()),
         ));
+        for (cause, v) in [
+            ("credit", self.credit_rejects()),
+            ("depth", self.depth_rejects()),
+            ("fault", self.fault_rejects()),
+        ] {
+            out.push((
+                format!("nx_rejects_total{{cause=\"{cause}\"}}"),
+                MetricValue::Counter(v),
+            ));
+        }
     }
 }
 
@@ -291,8 +334,35 @@ mod tests {
             MetricValue::Counter(9)
         )));
         assert!(out.contains(&("nx_retries_total".to_string(), MetricValue::Counter(1))));
-        // 4 counters × 2 codecs × 2 directions + retries + fallbacks.
-        assert_eq!(out.len(), 18);
+        // 4 counters × 2 codecs × 2 directions + retries + fallbacks
+        // + 3 reject causes.
+        assert_eq!(out.len(), 21);
+    }
+
+    #[test]
+    fn reject_counters_are_attributed_by_cause() {
+        let s = NxStats::new();
+        s.record_credit_reject();
+        s.record_credit_reject();
+        s.record_depth_reject();
+        s.record_fault_reject();
+        assert_eq!(s.credit_rejects(), 2);
+        assert_eq!(s.depth_rejects(), 1);
+        assert_eq!(s.fault_rejects(), 1);
+        let mut out = Vec::new();
+        s.collect(&mut out);
+        assert!(out.contains(&(
+            "nx_rejects_total{cause=\"credit\"}".to_string(),
+            MetricValue::Counter(2)
+        )));
+        assert!(out.contains(&(
+            "nx_rejects_total{cause=\"depth\"}".to_string(),
+            MetricValue::Counter(1)
+        )));
+        assert!(out.contains(&(
+            "nx_rejects_total{cause=\"fault\"}".to_string(),
+            MetricValue::Counter(1)
+        )));
     }
 
     #[test]

@@ -111,6 +111,40 @@ fn main() {
         let _ = h.wait().expect("async job");
     }
 
+    // Multi-tenant service traffic (`nx-service` source): two windows
+    // with different QoS classes and budgets — per-tenant admission and
+    // rejection counters, coalescing, and the latency/queue-depth
+    // histograms all land in the same registry.
+    let service = nx.service(nx_core::ServiceConfig::default());
+    let rpc = service.open_window(nx_core::TenantSpec::new(
+        "rpc",
+        nx_core::QosClass::Latency,
+        8,
+    ));
+    let scan = service.open_window(nx_core::TenantSpec::new(
+        "scan",
+        nx_core::QosClass::Background,
+        2,
+    ));
+    let mut tickets = Vec::new();
+    for i in 0..24u64 {
+        let json = nx_corpus::CorpusKind::Json.generate(i, 1536);
+        if let Ok(t) = rpc.submit(json, Format::Gzip) {
+            tickets.push(t);
+        }
+        // The under-credited scanner bounces on NoCredit by design; the
+        // rejection counter is part of the dashboard.
+        let big = nx_corpus::CorpusKind::Text.generate(i, 32 << 10);
+        if let Ok(t) = scan.submit(big, Format::Gzip) {
+            tickets.push(t);
+        }
+    }
+    for t in tickets {
+        let _ = t.wait().expect("service job");
+    }
+    assert!(service.credits_conserved(), "credit leak");
+    service.close();
+
     let sink = nx.telemetry();
     let registry = sink.registry().expect("enabled sink has a registry");
     let snapshot = registry.snapshot();
