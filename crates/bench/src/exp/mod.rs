@@ -18,6 +18,7 @@ pub mod e20;
 pub mod e21;
 pub mod e22;
 pub mod e23;
+pub mod e24;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -203,6 +204,12 @@ pub fn all() -> Vec<Experiment> {
             run: e23::run,
             metrics: Some(e23::metrics),
         },
+        Experiment {
+            id: "e24",
+            title: e24::TITLE,
+            run: e24::run,
+            metrics: Some(e24::metrics),
+        },
     ]
 }
 
@@ -211,10 +218,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 23);
+        assert_eq!(all.len(), 24);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
     }
 }

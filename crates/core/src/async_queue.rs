@@ -12,7 +12,7 @@ use crate::stats::{Codec, NxStats};
 use crate::{software, CompressOptions, Compressed, Error, Result, Trace, SUBMIT_CYCLES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use nx_accel::{AccelConfig, Accelerator, CompressReport};
-use nx_telemetry::{Counter, Gauge, Stage, TelemetrySink};
+use nx_telemetry::{Counter, Gauge, Stage, TelemetrySink, TraceContext};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -67,6 +67,11 @@ enum Cmd {
         data: Vec<u8>,
         format: Format,
         opts: CompressOptions,
+        /// Trace continuation from the submitter: the engine thread's
+        /// spans resume the caller's timeline instead of minting a new
+        /// root (how a service request stays one trace across the async
+        /// hop). `None` mints a fresh root per job.
+        ctx: Option<TraceContext>,
         reply: Sender<Result<Compressed>>,
     },
     Shutdown,
@@ -183,6 +188,7 @@ impl AsyncSession {
                             data,
                             format,
                             opts,
+                            ctx,
                             reply,
                         } => {
                             let depth = worker_tel.on_dequeue();
@@ -221,8 +227,13 @@ impl AsyncSession {
                             );
                             // The request's span timeline: queue wait is
                             // modeled from the depth ahead of the job
-                            // (each queued job costs one service slot).
-                            let mut trace = Trace::begin(&worker_tel.sink);
+                            // (each queued job costs one service slot). A
+                            // submitted context continues the caller's
+                            // trace; otherwise the job is its own root.
+                            let mut trace = match &ctx {
+                                Some(c) => Trace::begin_in(&worker_tel.sink, c),
+                                None => Trace::begin(&worker_tel.sink),
+                            };
                             trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
                             trace.span(
                                 Stage::QueueWait,
@@ -289,6 +300,36 @@ impl AsyncSession {
                 data,
                 format,
                 opts,
+                ctx: None,
+                reply,
+            })
+            .map_err(|_| Error::EngineClosed)?;
+        self.telemetry.on_enqueue();
+        Ok(JobHandle { rx })
+    }
+
+    /// Queues a compression job inside the caller's trace: the engine
+    /// thread's submit/queue-wait/engine/complete spans continue the
+    /// context's timeline under its parent span instead of starting a
+    /// fresh root — the async hop stays on one trace id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EngineClosed`] if the engine thread has exited.
+    pub fn submit_in_trace(
+        &self,
+        data: Vec<u8>,
+        format: Format,
+        opts: CompressOptions,
+        ctx: &TraceContext,
+    ) -> Result<JobHandle> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Cmd::Compress {
+                data,
+                format,
+                opts,
+                ctx: Some(*ctx),
                 reply,
             })
             .map_err(|_| Error::EngineClosed)?;
@@ -325,6 +366,7 @@ impl AsyncSession {
             data,
             format,
             opts,
+            ctx: None,
             reply,
         }) {
             Ok(()) => {

@@ -100,6 +100,28 @@ pub enum FaultKind {
     WorkerPanic,
 }
 
+impl FaultKind {
+    /// Stable forensic code for span and flight-recorder `detail` words.
+    ///
+    /// Retry spans pack `(code << 8) | attempt` so a black-box dump
+    /// names the fault class that caused each retry without carrying
+    /// strings through the lock-free rings. Codes are part of the dump
+    /// format: append-only, never renumbered.
+    pub fn detail_code(&self) -> u64 {
+        match self {
+            FaultKind::PageFault { .. } => 1,
+            FaultKind::CsbError { .. } => 2,
+            FaultKind::Partial { .. } => 3,
+            FaultKind::QueueOverflow => 4,
+            FaultKind::SubmissionTimeout => 5,
+            FaultKind::BitFlip { .. } => 6,
+            FaultKind::Truncate { .. } => 7,
+            FaultKind::AccelUnavailable => 8,
+            FaultKind::WorkerPanic => 9,
+        }
+    }
+}
+
 /// Per-class injection probabilities for a seeded [`FaultPlan`]. All
 /// rates are per *submission attempt* (worker panics: per shard).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -54,11 +54,11 @@ pub use service::{
     jain_index, NxService, QosClass, Rejected, ServiceConfig, ServiceError, TenantHandle,
     TenantSpec,
 };
-pub use stats::{Codec, CodecStats, DirStats, NxStats};
+pub use stats::{Codec, CodecStats, DirStats, NxStats, RecoveryWatermark};
 pub use stream::GzipStream;
 
 use nx_accel::{AccelConfig, Accelerator, CompressReport, DecompressReport};
-use nx_telemetry::{duration_to_cycles, MetricSource, Stage, TelemetrySink};
+use nx_telemetry::{duration_to_cycles, MetricSource, Stage, TelemetrySink, TraceContext};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -79,49 +79,82 @@ const TOUCH_CYCLES_PER_PAGE: u64 = 375;
 /// cycle timeline. Timelines start at cycle 0 for every request — the
 /// property that keeps trace dumps byte-identical across runs no matter
 /// how threads interleave.
+///
+/// A trace is either a **root** ([`Trace::begin`]: fresh trace id,
+/// sampling decided by the sink's [`nx_telemetry::Sampler`]) or a
+/// **continuation** ([`Trace::begin_in`]: the caller's [`TraceContext`]
+/// supplies the trace id, the parent span, the first free span index and
+/// the cycle cursor — how the service's admission spans and the engine's
+/// execution spans land on one shared timeline). Unsampled traces skip
+/// the span ring but still advance seq/cursor, so the deterministic
+/// latency arithmetic is identical with sampling on or off.
 pub(crate) struct Trace<'a> {
     sink: &'a TelemetrySink,
     request: u64,
     seq: u32,
+    parent: u32,
     cursor: u64,
+    active: bool,
 }
 
 impl<'a> Trace<'a> {
     pub(crate) fn begin(sink: &'a TelemetrySink) -> Self {
-        let request = if sink.is_enabled() {
-            sink.begin_request()
-        } else {
-            0
-        };
+        if !sink.is_enabled() {
+            return Self {
+                sink,
+                request: 0,
+                seq: 0,
+                parent: 0,
+                cursor: 0,
+                active: false,
+            };
+        }
+        let ctx = sink.begin_trace();
+        Self::begin_in(sink, &ctx)
+    }
+
+    /// A continuation of the caller's trace (see type docs).
+    pub(crate) fn begin_in(sink: &'a TelemetrySink, ctx: &TraceContext) -> Self {
         Self {
             sink,
-            request,
-            seq: 0,
-            cursor: 0,
+            request: ctx.trace_id,
+            seq: ctx.child_seq,
+            parent: ctx.parent_span,
+            cursor: ctx.at_cycles,
+            active: ctx.sampled && sink.is_enabled(),
         }
     }
 
     /// Emits a span at the cursor and advances it by `dur` cycles.
     pub(crate) fn span(&mut self, stage: Stage, dur: u64, bytes: u64, detail: u64) {
-        self.sink.emit(
-            self.request,
-            self.seq,
-            stage,
-            0,
-            self.cursor,
-            dur,
-            bytes,
-            detail,
-        );
+        if self.active {
+            self.sink.emit(
+                self.request,
+                self.seq,
+                self.parent,
+                stage,
+                0,
+                self.cursor,
+                dur,
+                bytes,
+                detail,
+            );
+        }
         self.seq += 1;
         self.cursor += dur;
     }
 
     /// Closes the timeline: a `complete` span plus the request-latency
-    /// and bytes histograms.
+    /// and bytes histograms (the latency bucket keeps this trace id as
+    /// its exemplar when the trace is sampled).
     pub(crate) fn finish(&mut self, bytes: u64) {
         self.span(Stage::Complete, COMPLETE_CYCLES, bytes, 0);
-        self.sink.record_request(self.cursor, bytes);
+        if self.active {
+            self.sink
+                .record_request_traced(self.cursor, bytes, self.request);
+        } else {
+            self.sink.record_request(self.cursor, bytes);
+        }
     }
 }
 
@@ -479,6 +512,43 @@ impl Nx {
     /// path.
     pub fn compress(&self, data: &[u8], format: Format) -> Result<Compressed> {
         let mut trace = Trace::begin(&self.telemetry);
+        self.compress_traced(data, format, &mut trace)
+    }
+
+    /// Compresses inside the caller's trace: every span (submit, engine,
+    /// retries, fallback, complete) is recorded under `ctx`'s trace id,
+    /// hanging beneath its parent span. This is how the service's engine
+    /// loop keeps one request's admission, scheduling and execution on a
+    /// single followable timeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress).
+    pub fn compress_in_trace(
+        &self,
+        data: &[u8],
+        format: Format,
+        opts: CompressOptions,
+        ctx: &TraceContext,
+    ) -> Result<Compressed> {
+        let mut trace = Trace::begin_in(&self.telemetry, ctx);
+        if opts.is_default() {
+            self.compress_traced(data, format, &mut trace)
+        } else {
+            trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
+            let out = self.compress_software_at(data, format, opts.level());
+            trace.finish(out.bytes.len() as u64);
+            Ok(out)
+        }
+    }
+
+    /// The shared traced compression body (accelerator + recovery).
+    fn compress_traced(
+        &self,
+        data: &[u8],
+        format: Format,
+        trace: &mut Trace<'_>,
+    ) -> Result<Compressed> {
         trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
         let out = match self.faults.clone() {
             None => {
@@ -486,7 +556,7 @@ impl Nx {
                 trace.span(Stage::Engine, out.report.cycles, data.len() as u64, 0);
                 out
             }
-            Some(inj) => self.compress_recovering(data, format, &inj, &mut trace)?,
+            Some(inj) => self.compress_recovering(data, format, &inj, trace)?,
         };
         trace.finish(out.bytes.len() as u64);
         Ok(out)
@@ -503,6 +573,32 @@ impl Nx {
     /// software fallback is disabled.
     pub fn decompress(&self, data: &[u8], format: Format) -> Result<Decompressed> {
         let mut trace = Trace::begin(&self.telemetry);
+        self.decompress_traced(data, format, &mut trace)
+    }
+
+    /// Decompresses inside the caller's trace — the decode-side twin of
+    /// [`compress_in_trace`](Self::compress_in_trace).
+    ///
+    /// # Errors
+    ///
+    /// As [`decompress`](Self::decompress).
+    pub fn decompress_in_trace(
+        &self,
+        data: &[u8],
+        format: Format,
+        ctx: &TraceContext,
+    ) -> Result<Decompressed> {
+        let mut trace = Trace::begin_in(&self.telemetry, ctx);
+        self.decompress_traced(data, format, &mut trace)
+    }
+
+    /// The shared traced decompression body (accelerator + recovery).
+    fn decompress_traced(
+        &self,
+        data: &[u8],
+        format: Format,
+        trace: &mut Trace<'_>,
+    ) -> Result<Decompressed> {
         trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
         let out = match self.faults.clone() {
             None => {
@@ -510,7 +606,7 @@ impl Nx {
                 trace.span(Stage::Engine, out.report.cycles, data.len() as u64, 0);
                 out
             }
-            Some(inj) => self.decompress_recovering(data, format, &inj, &mut trace)?,
+            Some(inj) => self.decompress_recovering(data, format, &inj, trace)?,
         };
         trace.finish(out.bytes.len() as u64);
         Ok(out)
@@ -712,11 +808,13 @@ impl Nx {
                         self.stats.record_fault_reject();
                     }
                     inj.take_backoff(attempt);
+                    // Detail packs (fault code << 8) | attempt so the
+                    // flight dump names what caused this retry.
                     trace.span(
                         Stage::Retry,
                         duration_to_cycles(policy.backoff(attempt), freq),
                         0,
-                        u64::from(attempt),
+                        (f.detail_code() << 8) | u64::from(attempt & 0xFF),
                     );
                     last_fault = Some(f);
                     attempt += 1;
@@ -748,7 +846,12 @@ impl Nx {
                     // library resubmits the remainder (modeled as a full
                     // resubmission).
                     stats.bump(&stats.resubmissions);
-                    trace.span(Stage::Retry, SUBMIT_CYCLES, 0, u64::from(attempt));
+                    trace.span(
+                        Stage::Retry,
+                        SUBMIT_CYCLES,
+                        0,
+                        (f.detail_code() << 8) | u64::from(attempt & 0xFF),
+                    );
                     last_fault = Some(f);
                     attempt += 1;
                     continue;
@@ -964,6 +1067,7 @@ impl Nx {
             Arc::clone(&self.decode_stats),
             self.faults.clone(),
             Arc::clone(&self.pool),
+            self.telemetry.clone(),
         )
     }
 

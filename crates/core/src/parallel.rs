@@ -57,7 +57,7 @@ use nx_deflate::adler32::{adler32, adler32_combine};
 use nx_deflate::crc32::{crc32, crc32_combine};
 use nx_deflate::stream::{Flush, StreamEncoder};
 use nx_deflate::{gzip, zlib, CompressionLevel};
-use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink};
+use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink, TraceContext, NO_PARENT};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -106,8 +106,15 @@ struct Job {
     seq: usize,
     /// Request index for fault-plan coordinates.
     request: u64,
-    /// Request index for span-trace coordinates (sink-allocated).
+    /// Request index for span-trace coordinates (sink-allocated, or the
+    /// caller's trace id when the request joined an existing trace).
     trace_request: u64,
+    /// Span the worker's shard spans hang under ([`NO_PARENT`] for a
+    /// standalone request).
+    trace_parent: u32,
+    /// Whether this request's trace is sampled — unsampled requests
+    /// skip shard-span emission but still record shard histograms.
+    trace_sampled: bool,
     input: Arc<Vec<u8>>,
     chunk: Range<usize>,
     dict: Range<usize>,
@@ -370,6 +377,7 @@ impl ParallelEngine {
             decode_stats,
             faults.clone(),
             Arc::clone(&pool),
+            sink.clone(),
         );
         // A small bounded queue: submission applies backpressure instead
         // of buffering every pending shard descriptor at once.
@@ -430,8 +438,36 @@ impl ParallelEngine {
     /// [`ParallelStats::serial_fallbacks`] — instead of hanging or
     /// surfacing a transient.
     pub fn compress(&self, data: &[u8], level: u32, format: Format) -> Result<Vec<u8>> {
+        self.compress_traced(data, level, format, None)
+    }
+
+    /// As [`compress`](Self::compress), but every shard span the pool
+    /// emits joins the caller's trace: `ctx.trace_id` becomes the span
+    /// request coordinate, `ctx.parent_span` the parent, and
+    /// `ctx.sampled` gates emission (histograms record regardless).
+    ///
+    /// # Errors
+    ///
+    /// As [`compress`](Self::compress).
+    pub fn compress_in_trace(
+        &self,
+        data: &[u8],
+        level: u32,
+        format: Format,
+        ctx: &TraceContext,
+    ) -> Result<Vec<u8>> {
+        self.compress_traced(data, level, format, Some(ctx))
+    }
+
+    fn compress_traced(
+        &self,
+        data: &[u8],
+        level: u32,
+        format: Format,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<u8>> {
         CompressionLevel::new(level)?;
-        match self.compress_pooled(data, level, format) {
+        match self.compress_pooled(data, level, format, ctx) {
             Some(framed) => {
                 self.record_request(data.len(), framed.len());
                 Ok(framed)
@@ -470,14 +506,28 @@ impl ParallelEngine {
     /// Runs one request through the pool; `None` means the pool could not
     /// complete it (dead workers, failed shard, closed channel) and the
     /// caller must fall back.
-    fn compress_pooled(&self, data: &[u8], level: u32, format: Format) -> Option<Vec<u8>> {
+    fn compress_pooled(
+        &self,
+        data: &[u8],
+        level: u32,
+        format: Format,
+        ctx: Option<&TraceContext>,
+    ) -> Option<Vec<u8>> {
         let shards = shard_ranges(data.len(), self.opts.chunk_size);
         let njobs = shards.len();
         let request = self.faults.as_ref().map_or(0, |inj| inj.begin_request());
-        let trace_request = if self.telemetry.is_enabled() {
-            self.telemetry.begin_request()
-        } else {
-            0
+        // A request arriving inside an existing trace reuses that trace's
+        // coordinates; a standalone request mints its own.
+        let (trace_request, trace_parent, trace_sampled) = match ctx {
+            Some(c) => (c.trace_id, c.parent_span, c.sampled),
+            None => {
+                let id = if self.telemetry.is_enabled() {
+                    self.telemetry.begin_request()
+                } else {
+                    0
+                };
+                (id, NO_PARENT, true)
+            }
         };
         // One shared copy of the input; shards borrow ranges of it.
         let input = Arc::new(data.to_vec());
@@ -492,6 +542,8 @@ impl ParallelEngine {
                     seq,
                     request,
                     trace_request,
+                    trace_parent,
+                    trace_sampled,
                     input: Arc::clone(&input),
                     chunk,
                     dict,
@@ -607,6 +659,23 @@ impl ParallelEngine {
         self.inflater.decompress(data, format)
     }
 
+    /// As [`decompress`](Self::decompress) inside the caller's trace —
+    /// decode workers' chunk/member spans land under `ctx.parent_span`
+    /// on the request's timeline
+    /// (see [`ParallelInflater::decompress_in_trace`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`decompress`](Self::decompress).
+    pub fn decompress_in_trace(
+        &self,
+        data: &[u8],
+        format: Format,
+        ctx: &TraceContext,
+    ) -> Result<Vec<u8>> {
+        self.inflater.decompress_in_trace(data, format, ctx)
+    }
+
     /// The decode-side parallel inflater (for seek-index builds and
     /// random access bound to this engine's counters and pool).
     pub fn inflater(&self) -> &ParallelInflater {
@@ -720,16 +789,19 @@ fn worker_loop(
                 let wave_cycles = (shape.chunk_size / SHARD_BYTES_PER_CYCLE).max(1);
                 let start = (job.seq as u64 / shape.workers) * wave_cycles;
                 let dur = (chunk.len() as u64 / SHARD_BYTES_PER_CYCLE).max(1);
-                sink.emit(
-                    job.trace_request,
-                    job.seq as u32,
-                    Stage::Shard,
-                    (job.seq as u64 % shape.workers) as u32,
-                    start,
-                    dur,
-                    chunk.len() as u64,
-                    0,
-                );
+                if job.trace_sampled {
+                    sink.emit(
+                        job.trace_request,
+                        job.seq as u32,
+                        job.trace_parent,
+                        Stage::Shard,
+                        (job.seq as u64 % shape.workers) as u32,
+                        start,
+                        dur,
+                        chunk.len() as u64,
+                        0,
+                    );
+                }
                 sink.record_shard(dur);
             }
         }

@@ -45,9 +45,14 @@ use nx_deflate::{
     gzip, resolve_markers_into, BlockProbe, Error as DeflateError, Inflater, MarkerInflater,
     WINDOW_SIZE,
 };
-use nx_telemetry::{MetricSource, MetricValue};
+use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink, TraceContext};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Modeled decode streaming rate for shard spans: 8 compressed bytes per
+/// cycle, matching the encode-side shard model. Decode span timelines are
+/// deterministic functions of chunk index and size, never wall clock.
+const DECODE_BYTES_PER_CYCLE: u64 = 8;
 
 /// Compressed bytes per speculative chunk when the caller does not say
 /// otherwise. Boundary probing costs ~a few µs per candidate bit, so
@@ -320,6 +325,23 @@ impl SeekIndex {
     }
 }
 
+/// Splits `len` compressed bytes into `chunk`-sized units for the shard
+/// span model; an empty input is one (empty) shard.
+fn chunk_sizes(len: usize, chunk: usize) -> Vec<usize> {
+    let chunk = chunk.max(1);
+    if len == 0 {
+        return vec![0];
+    }
+    let mut out = Vec::with_capacity(len.div_ceil(chunk));
+    let mut rest = len;
+    while rest > 0 {
+        let take = rest.min(chunk);
+        out.push(take);
+        rest -= take;
+    }
+    out
+}
+
 /// Outcome of a speculative single-stream attempt.
 enum Spec {
     /// Speculation confirmed; the assembled output.
@@ -356,6 +378,9 @@ pub struct ParallelInflater {
     stats: Arc<InflateParStats>,
     faults: Option<Arc<FaultInjector>>,
     pool: Arc<BufferPool>,
+    /// Span sink for traced decodes (disabled by default — the untraced
+    /// paths never touch it).
+    telemetry: TelemetrySink,
 }
 
 impl Default for ParallelInflater {
@@ -372,15 +397,18 @@ impl ParallelInflater {
             Arc::new(InflateParStats::default()),
             None,
             Arc::new(BufferPool::default()),
+            TelemetrySink::disabled(),
         )
     }
 
-    /// Creates a decoder sharing stats / faults / pool with a facade.
+    /// Creates a decoder sharing stats / faults / pool / sink with a
+    /// facade.
     pub(crate) fn with_parts(
         mut opts: ParallelInflateOptions,
         stats: Arc<InflateParStats>,
         faults: Option<Arc<FaultInjector>>,
         pool: Arc<BufferPool>,
+        telemetry: TelemetrySink,
     ) -> Self {
         opts.workers = opts.workers.max(1);
         opts.chunk_size = opts.chunk_size.max(1024);
@@ -389,6 +417,7 @@ impl ParallelInflater {
             stats,
             faults,
             pool,
+            telemetry,
         }
     }
 
@@ -409,21 +438,106 @@ impl ParallelInflater {
     /// Exactly those of the serial reference decode.
     pub fn decompress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let out = self.decompress_inner(data, format)?;
+        let out = self.decompress_inner(data, format, None)?;
         self.stats
             .bytes_out
             .fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
     }
 
-    fn decompress_inner(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
+    /// As [`decompress`](Self::decompress), inside the caller's trace:
+    /// each decode worker's chunk (or gzip member) lands as a `shard`
+    /// span on the request's modeled timeline under `ctx.parent_span`,
+    /// and any degradation to the serial reference is recorded as a
+    /// `fallback` span. Identical bytes either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`decompress`](Self::decompress).
+    pub fn decompress_in_trace(
+        &self,
+        data: &[u8],
+        format: Format,
+        ctx: &TraceContext,
+    ) -> Result<Vec<u8>> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let out = self.decompress_inner(data, format, Some(ctx))?;
+        self.stats
+            .bytes_out
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Emits one `shard` span per decode unit on the modeled round-robin
+    /// wave timeline (see the encode-side twin in [`crate::parallel`]).
+    /// `sizes` are the compressed bytes each unit consumed.
+    fn emit_decode_shards(&self, ctx: Option<&TraceContext>, sizes: &[usize]) {
+        let Some(ctx) = ctx else { return };
+        if !ctx.sampled || !self.telemetry.is_enabled() {
+            return;
+        }
+        let workers = self.opts.workers.max(1) as u64;
+        let wave = (self.opts.chunk_size as u64 / DECODE_BYTES_PER_CYCLE).max(1);
+        for (i, &sz) in sizes.iter().enumerate() {
+            let start = ctx.at_cycles + (i as u64 / workers) * wave;
+            let dur = (sz as u64 / DECODE_BYTES_PER_CYCLE).max(1);
+            self.telemetry.emit(
+                ctx.trace_id,
+                ctx.child_seq + i as u32,
+                ctx.parent_span,
+                Stage::Shard,
+                (i as u64 % workers) as u32,
+                start,
+                dur,
+                sz as u64,
+                0,
+            );
+        }
+    }
+
+    /// Emits a `fallback` span covering the serial re-decode. `detail`
+    /// says why: 1 = member chain broke, 2 = speculation miss.
+    fn emit_decode_fallback(&self, ctx: Option<&TraceContext>, bytes: u64, detail: u64) {
+        let Some(ctx) = ctx else { return };
+        if !ctx.sampled || !self.telemetry.is_enabled() {
+            return;
+        }
+        let dur = (bytes / DECODE_BYTES_PER_CYCLE).max(1);
+        self.telemetry.emit(
+            ctx.trace_id,
+            ctx.child_seq,
+            ctx.parent_span,
+            Stage::Fallback,
+            0,
+            ctx.at_cycles,
+            dur,
+            bytes,
+            detail,
+        );
+    }
+
+    fn decompress_inner(
+        &self,
+        data: &[u8],
+        format: Format,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Vec<u8>> {
         let request = self.faults.as_ref().map_or(0, |f| f.begin_request());
         if format == Format::Gzip {
             let cands = member_candidates(data);
             if cands.len() > 1 && self.opts.workers > 1 && cands.len() <= MAX_MEMBER_CANDIDATES {
                 if let Some(out) = self.members_parallel(data, &cands, request) {
+                    // Member slice sizes from consecutive candidate
+                    // offsets (the last member runs to end of input).
+                    let sizes: Vec<usize> = cands
+                        .iter()
+                        .zip(cands.iter().skip(1).chain(std::iter::once(&data.len())))
+                        .map(|(a, b)| b - a)
+                        .collect();
+                    self.emit_decode_shards(ctx, &sizes);
                     return Ok(out);
                 }
+                self.emit_decode_fallback(ctx, data.len() as u64, 1);
                 return self.serial_fallback(data, format);
             }
         }
@@ -431,16 +545,21 @@ impl ParallelInflater {
         let Ok(un) = framing::unwrap(data, format) else {
             // Malformed container: let the serial reference produce the
             // canonical error (or succeed where it is more permissive).
+            self.emit_decode_shards(ctx, &[data.len()]);
             return self.decompress_serial(data, format);
         };
         match self.speculative(un.deflate_stream, request) {
             Spec::Done(out) => {
                 if un.verify(&out).is_ok() {
+                    let sizes: Vec<usize> =
+                        chunk_sizes(un.deflate_stream.len(), self.opts.chunk_size);
+                    self.emit_decode_shards(ctx, &sizes);
                     Ok(out)
                 } else {
                     self.stats
                         .speculation_misses
                         .fetch_add(1, Ordering::Relaxed);
+                    self.emit_decode_fallback(ctx, data.len() as u64, 2);
                     self.serial_fallback(data, format)
                 }
             }
@@ -448,9 +567,15 @@ impl ParallelInflater {
                 self.stats
                     .speculation_misses
                     .fetch_add(1, Ordering::Relaxed);
+                self.emit_decode_fallback(ctx, data.len() as u64, 2);
                 self.serial_fallback(data, format)
             }
-            Spec::NotAttempted => self.decompress_serial(data, format),
+            Spec::NotAttempted => {
+                // Deliberate serial decode (small input / one worker):
+                // the whole stream is one shard.
+                self.emit_decode_shards(ctx, &[data.len()]);
+                self.decompress_serial(data, format)
+            }
         }
     }
 

@@ -31,7 +31,10 @@ use crate::fault::{FaultInjector, FaultKind, Site};
 use crate::{COMPLETE_CYCLES, SUBMIT_CYCLES, TOUCH_CYCLES_PER_PAGE};
 use nx_accel::{AccelConfig, Accelerator};
 use nx_corpus::CorpusKind;
-use nx_telemetry::{duration_to_cycles, HistogramSnapshot, LogHistogram};
+use nx_telemetry::{
+    duration_to_cycles, FlightRecorder, HistogramSnapshot, LogHistogram, SloEvent, SloEventKind,
+    SloMonitor, SloSpec, SloStatus, SpanEvent, Stage, NO_PARENT,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -237,6 +240,11 @@ pub struct StormConfig {
     /// path (accelerator unavailable / retry budget exhausted): the CPU
     /// encoder is several times slower than the engine.
     pub fallback_slowdown: u64,
+    /// Per-tenant SLOs evaluated on the virtual clock. `None` derives
+    /// one per tenant from its QoS class
+    /// ([`default_slo_for`]); an explicit empty vec disables SLO
+    /// evaluation entirely.
+    pub slos: Option<Vec<SloSpec>>,
 }
 
 impl Default for StormConfig {
@@ -244,8 +252,22 @@ impl Default for StormConfig {
         Self {
             service: ServiceConfig::default(),
             fallback_slowdown: 4,
+            slos: None,
         }
     }
+}
+
+/// The class-derived default SLO for one tenant load: a latency
+/// objective scaled to the QoS class (tight for `Latency`, loose for
+/// `Background`) with a 99% target — a 1% error budget burned by
+/// rejections and objective misses.
+pub fn default_slo_for(load: &TenantLoad) -> SloSpec {
+    let objective = match load.spec.class {
+        QosClass::Latency => 500_000,
+        QosClass::Throughput => 5_000_000,
+        QosClass::Background => 20_000_000,
+    };
+    SloSpec::new(&load.spec.name, load.spec.class.name(), objective, 0.99)
 }
 
 /// Per-tenant storm outcome.
@@ -328,6 +350,15 @@ pub struct StormReport {
     pub worker_deaths: u64,
     /// The full deterministic event log.
     pub trace: Vec<TraceEvent>,
+    /// Typed SLO transitions (burn alerts/clears, budget exhaustion) in
+    /// emission order on the virtual clock.
+    pub slo_events: Vec<SloEvent>,
+    /// End-of-storm SLO health, in tenant order.
+    pub slo_statuses: Vec<SloStatus>,
+    /// The flight recorder's black-box JSON dump. Always produced for
+    /// faulted storms; produced on SLO breach otherwise; `None` when the
+    /// storm was clean and no SLO fired.
+    pub flight_dump: Option<String>,
 }
 
 impl StormReport {
@@ -418,9 +449,34 @@ fn storm_inner(
         })
         .collect();
 
+    // SLO evaluation on the virtual clock: derived per-class specs
+    // unless the config overrides them; tenants map to specs by name.
+    let slo_specs: Vec<SloSpec> = match &cfg.slos {
+        Some(s) => s.clone(),
+        None => loads.iter().map(default_slo_for).collect(),
+    };
+    let mut slo = SloMonitor::new();
+    for spec in &slo_specs {
+        slo.add(spec.clone());
+    }
+    let tenant_slo: Vec<Option<usize>> = loads
+        .iter()
+        .map(|l| slo_specs.iter().position(|s| s.name == l.spec.name))
+        .collect();
+    // The always-on black box: every completed request's span set and
+    // every fault-recovery counter delta lands in the bounded ring, so
+    // a post-hoc dump explains the recent past without a full trace.
+    let flight = FlightRecorder::new();
+    let note_retries = flight.counter_id("storm_retries");
+    let note_fallbacks = flight.counter_id("storm_fallbacks");
+    let note_deaths = flight.counter_id("storm_worker_deaths");
+
     let mut trace: Vec<TraceEvent> = Vec::with_capacity(arrivals.len() * 3);
-    // Completion events: Reverse-ordered min-heap on (time, seq).
-    let mut completions: BinaryHeap<Reverse<(u64, u64, u64, u64)>> = BinaryHeap::new();
+    // Completion events: Reverse-ordered min-heap on
+    // (time, seq, tenant, admitted_at, dispatched_at, service, bytes).
+    #[allow(clippy::type_complexity)]
+    let mut completions: BinaryHeap<Reverse<(u64, u64, u64, u64, u64, u64, u64)>> =
+        BinaryHeap::new();
     let mut t = 0u64;
     let mut ai = 0usize;
     let mut engine_free_at = 0u64;
@@ -459,6 +515,7 @@ fn storm_inner(
                     kind: TraceKind::Dispatch,
                 });
                 let payload = loads[job.tenant].payload.kind.generate(job.seed, job.bytes);
+                let (r0, f0, d0) = (retries, fallbacks, worker_deaths);
                 let service_cycles = match inj {
                     None => engine.compress(&payload).1.cycles,
                     Some(inj) => faulted_service_cycles(
@@ -472,6 +529,11 @@ fn storm_inner(
                         &mut worker_deaths,
                     ),
                 };
+                // Fault-recovery deltas this dispatch caused, as
+                // black-box counter notes (zero deltas are skipped).
+                flight.note(start, note_retries, retries - r0);
+                flight.note(start, note_fallbacks, fallbacks - f0);
+                flight.note(start, note_deaths, worker_deaths - d0);
                 cursor += service_cycles;
                 let done_at = cursor + COMPLETE_CYCLES;
                 if batch.coalesced {
@@ -482,6 +544,9 @@ fn storm_inner(
                     job.seq,
                     job.tenant as u64,
                     job.admitted_at,
+                    start,
+                    service_cycles,
+                    job.bytes as u64,
                 )));
                 accts[job.tenant].completed_bytes += job.bytes as u64;
             }
@@ -490,7 +555,7 @@ fn storm_inner(
         }
         // Advance to the next event.
         let next_arrival = arrivals.get(ai).map(|a| a.at);
-        let next_completion = completions.peek().map(|Reverse((at, _, _, _))| *at);
+        let next_completion = completions.peek().map(|Reverse(c)| c.0);
         let next_dispatch = if sched.is_empty() {
             None
         } else {
@@ -503,7 +568,9 @@ fn storm_inner(
         let Some(next) = next else { break };
         t = t.max(next);
         // Completions first (credits free before same-cycle arrivals).
-        while let Some(Reverse((at, seq, tenant, admitted_at))) = completions.peek().copied() {
+        while let Some(Reverse((at, seq, tenant, admitted_at, dispatched_at, service, bytes))) =
+            completions.peek().copied()
+        {
             if at > t {
                 break;
             }
@@ -511,7 +578,22 @@ fn storm_inner(
             let tenant = tenant as usize;
             accts[tenant].credits.complete();
             accts[tenant].completed += 1;
-            accts[tenant].latency.record(at.saturating_sub(admitted_at));
+            let latency = at.saturating_sub(admitted_at);
+            accts[tenant].latency.record(latency);
+            if let Some(idx) = tenant_slo[tenant] {
+                slo.observe(idx, at, latency, true);
+            }
+            // The request's whole span set enters the black box at
+            // completion, request-local (admission = cycle 0), so the
+            // ring's tail always holds complete recent traces.
+            push_flight_trace(
+                &flight,
+                seq,
+                tenant as u32,
+                bytes,
+                dispatched_at.saturating_sub(admitted_at),
+                service,
+            );
             makespan = makespan.max(at);
             trace.push(TraceEvent {
                 at,
@@ -538,6 +620,11 @@ fn storm_inner(
             });
             if sched.queued() >= cfg.service.engine_depth {
                 acct.rejected_queue_full += 1;
+                // A rejection burns error budget: the tenant offered a
+                // request and the service failed it.
+                if let Some(idx) = tenant_slo[a.tenant] {
+                    slo.observe(idx, a.at, 0, false);
+                }
                 trace.push(TraceEvent {
                     at: a.at,
                     tenant: a.tenant as u32,
@@ -549,6 +636,9 @@ fn storm_inner(
             }
             if !acct.credits.try_acquire() {
                 acct.rejected_no_credit += 1;
+                if let Some(idx) = tenant_slo[a.tenant] {
+                    slo.observe(idx, a.at, 0, false);
+                }
                 trace.push(TraceEvent {
                     at: a.at,
                     tenant: a.tenant as u32,
@@ -620,6 +710,26 @@ fn storm_inner(
             completed_bytes: a.completed_bytes,
         })
         .collect();
+    // Close out the black box: SLO transitions join the dump, and the
+    // dump itself fires for every faulted storm (post-incident record)
+    // or on any breach in a clean one.
+    let slo_events = slo.drain_events();
+    for ev in &slo_events {
+        flight.slo_event(ev);
+    }
+    let breached = slo_events.iter().any(|e| {
+        matches!(
+            e.kind,
+            SloEventKind::BurnAlert | SloEventKind::BudgetExhausted
+        )
+    });
+    let flight_dump = if inj.is_some() {
+        Some(flight.dump("fault-storm", makespan))
+    } else if breached {
+        Some(flight.dump("slo-breach", makespan))
+    } else {
+        None
+    };
     StormReport {
         tenants,
         jain_fairness: jain_index(&goodputs),
@@ -633,7 +743,52 @@ fn storm_inner(
         fallbacks,
         worker_deaths,
         trace,
+        slo_events,
+        slo_statuses: slo.statuses(),
+        flight_dump,
     }
+}
+
+/// Pushes one completed request's full span set into the flight ring on
+/// a request-local timeline (admission = cycle 0): admit, queue-wait,
+/// dispatch, then engine + complete as children of the dispatch span —
+/// the same stage chain the threaded service traces live.
+fn push_flight_trace(
+    flight: &FlightRecorder,
+    request: u64,
+    tenant: u32,
+    bytes: u64,
+    wait: u64,
+    service: u64,
+) {
+    let mk = |seq: u32, parent: u32, stage: Stage, start: u64, dur: u64, detail: u64| SpanEvent {
+        request,
+        seq,
+        parent,
+        worker: tenant,
+        stage,
+        start_cycles: start,
+        dur_cycles: dur,
+        bytes,
+        detail,
+    };
+    let mut at = 0u64;
+    flight.span(&mk(
+        0,
+        NO_PARENT,
+        Stage::Admit,
+        at,
+        SUBMIT_CYCLES,
+        u64::from(tenant),
+    ));
+    at += SUBMIT_CYCLES;
+    flight.span(&mk(1, NO_PARENT, Stage::QueueWait, at, wait, 0));
+    at += wait;
+    flight.span(&mk(2, NO_PARENT, Stage::Dispatch, at, SUBMIT_CYCLES, 0));
+    at += SUBMIT_CYCLES;
+    flight.span(&mk(3, 2, Stage::Engine, at, service, 0));
+    at += service;
+    flight.span(&mk(4, 2, Stage::Complete, at, COMPLETE_CYCLES, 0));
 }
 
 /// Models one request's engine service time under fault injection,
@@ -815,5 +970,93 @@ mod tests {
             r.retries + r.fallbacks + r.worker_deaths > 0,
             "no faults fired"
         );
+    }
+
+    /// Extracts, for each trace id in a flight dump, the set of stage
+    /// names recorded against it.
+    fn dump_traces(dump: &str) -> std::collections::BTreeMap<u64, Vec<String>> {
+        let mut m: std::collections::BTreeMap<u64, Vec<String>> = std::collections::BTreeMap::new();
+        for obj in dump.split("{\"trace\":").skip(1) {
+            let id: u64 = obj
+                .split(',')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("trace id");
+            let stage = obj
+                .split("\"stage\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("stage name");
+            m.entry(id).or_default().push(stage.to_string());
+        }
+        m
+    }
+
+    #[test]
+    fn faulted_storm_always_dumps_a_flight_black_box() {
+        let loads = small_loads();
+        let inj = FaultInjector::new(
+            FaultPlan::seeded(5, FaultRates::sweep(0.05)),
+            RecoveryPolicy::default(),
+        );
+        let r = run_storm_faulted(31, &loads, &StormConfig::default(), &inj);
+        let dump = r.flight_dump.as_deref().expect("faulted storm dumps");
+        assert!(dump.contains("\"version\":1"));
+        assert!(dump.contains("\"reason\":\"fault-storm\""));
+        assert!(dump.contains("\"counters\":["));
+        // The ring is trimmed to whole traces at completion push time, so
+        // at least one request must appear with its full five-stage
+        // admission-to-completion chain.
+        let complete = dump_traces(dump)
+            .values()
+            .filter(|stages| {
+                ["admit", "queue_wait", "dispatch", "engine", "complete"]
+                    .iter()
+                    .all(|want| stages.iter().any(|s| s == want))
+            })
+            .count();
+        assert!(complete >= 1, "no complete trace in the black box");
+    }
+
+    #[test]
+    fn storm_slo_monitor_is_deterministic() {
+        let loads = small_loads();
+        let a = run_storm(23, &loads, &StormConfig::default());
+        let b = run_storm(23, &loads, &StormConfig::default());
+        assert_eq!(a.slo_events, b.slo_events);
+        assert_eq!(a.slo_statuses.len(), loads.len());
+        assert_eq!(a.flight_dump, b.flight_dump);
+        // Every status tracks a real tenant with consistent accounting.
+        for st in &a.slo_statuses {
+            assert!(loads.iter().any(|l| l.spec.name == st.name));
+            assert!(st.bad <= st.observed);
+        }
+    }
+
+    #[test]
+    fn impossible_slo_breaches_and_dumps() {
+        // A 1-cycle latency objective cannot be met: the burn-rate
+        // monitor must raise an alert and the storm must dump the black
+        // box with the slo-breach reason.
+        let loads = small_loads();
+        let slos = loads
+            .iter()
+            .map(|l| SloSpec::new(&l.spec.name, l.spec.class.name(), 1, 0.999))
+            .collect();
+        let cfg = StormConfig {
+            slos: Some(slos),
+            ..StormConfig::default()
+        };
+        let r = run_storm(23, &loads, &cfg);
+        assert!(
+            r.slo_events.iter().any(|e| matches!(
+                e.kind,
+                SloEventKind::BurnAlert | SloEventKind::BudgetExhausted
+            )),
+            "impossible objective raised no SLO event"
+        );
+        let dump = r.flight_dump.as_deref().expect("breach dumps");
+        assert!(dump.contains("\"reason\":\"slo-breach\""));
+        assert!(dump.contains("\"slo_events\":[{"));
     }
 }

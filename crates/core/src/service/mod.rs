@@ -40,7 +40,9 @@ use crate::framing::Format;
 use crate::stats::NxStats;
 use crate::{CompressOptions, Compressed, Nx, COMPLETE_CYCLES, SUBMIT_CYCLES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use nx_telemetry::{LogHistogram, MetricSource, MetricValue};
+use nx_telemetry::{
+    LogHistogram, MetricSource, MetricValue, Stage, TelemetrySink, TraceContext, NO_PARENT,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -162,6 +164,11 @@ struct Job {
     opts: CompressOptions,
     tenant: usize,
     admit_seq: u64,
+    /// Trace continuation minted at admission: the engine thread resumes
+    /// this request's timeline exactly where the admit span left it.
+    ctx: TraceContext,
+    /// Tenant queue depth observed at admission (models queue wait).
+    depth_at_admit: u64,
     reply: Sender<Result<Served, ServiceError>>,
 }
 
@@ -189,6 +196,9 @@ struct Shared {
     nx_stats: Arc<NxStats>,
     stats: Arc<ServiceStats>,
     depth_limit: usize,
+    /// The engine handle's sink: admission mints trace contexts here so
+    /// service spans and engine spans share one ring (and one sampler).
+    telemetry: TelemetrySink,
 }
 
 impl std::fmt::Debug for Shared {
@@ -453,6 +463,7 @@ impl NxService {
             nx_stats: Arc::clone(nx.stats_arc()),
             stats: Arc::clone(&stats),
             depth_limit: config.engine_depth.max(1),
+            telemetry: nx.telemetry().clone(),
         });
         let engine_shared = Arc::clone(&shared);
         let engine = std::thread::Builder::new()
@@ -544,7 +555,46 @@ impl NxService {
             let submit_share = SUBMIT_CYCLES / n.max(1) as u64;
             let tenant_stats = shared.stats.tenants.lock().clone();
             for job in batch.items {
-                let result = nx.compress_with(&job.data, job.format, job.opts);
+                // Resume the request's timeline where admission left it:
+                // a queue-wait span (modeled from the depth observed at
+                // admission), a dispatch span carrying the amortized
+                // paste share, then the engine stages as children of the
+                // dispatch span — one trace id end to end.
+                let mut ctx = job.ctx;
+                let wait = job.depth_at_admit * SUBMIT_CYCLES;
+                if ctx.sampled {
+                    shared.telemetry.emit(
+                        ctx.trace_id,
+                        ctx.child_seq,
+                        NO_PARENT,
+                        Stage::QueueWait,
+                        job.tenant as u32,
+                        ctx.at_cycles,
+                        wait,
+                        job.data.len() as u64,
+                        job.depth_at_admit,
+                    );
+                }
+                ctx.child_seq += 1;
+                ctx.at_cycles += wait;
+                let dispatch_seq = ctx.child_seq;
+                if ctx.sampled {
+                    shared.telemetry.emit(
+                        ctx.trace_id,
+                        dispatch_seq,
+                        NO_PARENT,
+                        Stage::Dispatch,
+                        job.tenant as u32,
+                        ctx.at_cycles,
+                        submit_share,
+                        job.data.len() as u64,
+                        n as u64,
+                    );
+                }
+                ctx.child_seq += 1;
+                ctx.at_cycles += submit_share;
+                let child = ctx.child(dispatch_seq, ctx.child_seq, ctx.at_cycles);
+                let result = nx.compress_in_trace(&job.data, job.format, job.opts, &child);
                 let mut st = shared.state.lock();
                 let tenant = &mut st.tenants[job.tenant];
                 let complete_seq = tenant.complete_seq;
@@ -556,7 +606,14 @@ impl NxService {
                         let latency = submit_share + compressed.report.cycles + COMPLETE_CYCLES;
                         if let Some(ts) = tenant_stats.get(job.tenant) {
                             ts.completed.fetch_add(1, Ordering::Relaxed);
-                            ts.latency.record(latency);
+                            // Sampled requests leave their trace id as the
+                            // latency bucket's exemplar: the tail of this
+                            // histogram links straight to a span breakdown.
+                            if ctx.sampled {
+                                ts.latency.record_traced(latency, ctx.trace_id);
+                            } else {
+                                ts.latency.record(latency);
+                            }
                             if n > 1 {
                                 ts.coalesced_requests.fetch_add(1, Ordering::Relaxed);
                             }
@@ -638,6 +695,26 @@ impl TenantHandle {
         let admit_seq = st.tenants[self.tenant].admit_seq;
         st.tenants[self.tenant].admit_seq += 1;
         let (reply, rx) = bounded(1);
+        // Trace admission: span 0 of a fresh request-local timeline. The
+        // context advances past the admit span whether or not the trace
+        // is sampled, so latency arithmetic never depends on sampling.
+        let mut ctx = self.shared.telemetry.begin_trace();
+        if ctx.sampled {
+            self.shared.telemetry.emit(
+                ctx.trace_id,
+                ctx.child_seq,
+                NO_PARENT,
+                Stage::Admit,
+                self.tenant as u32,
+                ctx.at_cycles,
+                SUBMIT_CYCLES,
+                bytes,
+                self.tenant as u64,
+            );
+        }
+        ctx.child_seq += 1;
+        ctx.at_cycles += SUBMIT_CYCLES;
+        let depth_at_admit = st.sched.queue_depth(self.tenant) as u64;
         st.sched.push(
             self.tenant,
             Job {
@@ -646,6 +723,8 @@ impl TenantHandle {
                 opts,
                 tenant: self.tenant,
                 admit_seq,
+                ctx,
+                depth_at_admit,
                 reply,
             },
             bytes,

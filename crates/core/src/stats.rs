@@ -224,6 +224,51 @@ impl NxStats {
             + self.p842.compress.engine_cycles()
             + self.p842.decompress.engine_cycles()
     }
+
+    /// Notes the recovery-counter movement since `mark` into a flight
+    /// recorder at `at_cycles`, then advances the watermark. Flight
+    /// notes are deltas, not levels, so callers (servers, the examples'
+    /// observability loops) call this periodically and the black box
+    /// shows *when* retries and fallbacks clustered — the fault-storm
+    /// shape, not just its total.
+    pub fn note_recovery(
+        &self,
+        flight: &nx_telemetry::FlightRecorder,
+        at_cycles: u64,
+        mark: &mut RecoveryWatermark,
+    ) {
+        let now = RecoveryWatermark {
+            retries: self.retries(),
+            fallbacks: self.software_fallbacks(),
+            fault_rejects: self.fault_rejects(),
+        };
+        for (name, cur, prev) in [
+            ("nx_retries_total", now.retries, mark.retries),
+            ("nx_software_fallbacks_total", now.fallbacks, mark.fallbacks),
+            (
+                "nx_fault_rejects_total",
+                now.fault_rejects,
+                mark.fault_rejects,
+            ),
+        ] {
+            let delta = cur.saturating_sub(prev);
+            if delta > 0 {
+                let id = flight.counter_id(name);
+                flight.note(at_cycles, id, delta);
+            }
+        }
+        *mark = now;
+    }
+}
+
+/// A watermark of [`NxStats`]' recovery counters: the last levels
+/// [`NxStats::note_recovery`] flushed to a flight recorder. Held by the
+/// caller so the stats object itself stays write-only on the hot path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecoveryWatermark {
+    retries: u64,
+    fallbacks: u64,
+    fault_rejects: u64,
 }
 
 impl MetricSource for NxStats {
@@ -369,5 +414,33 @@ mod tests {
     fn stats_are_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<NxStats>();
+    }
+
+    #[test]
+    fn note_recovery_flushes_deltas_and_advances_the_watermark() {
+        let s = NxStats::new();
+        let flight = nx_telemetry::FlightRecorder::new();
+        let mut mark = RecoveryWatermark::default();
+
+        // Nothing moved yet: no notes, quiet dump.
+        s.note_recovery(&flight, 100, &mut mark);
+        assert!(flight.dump("t", 100).contains("\"counters\":[]"));
+
+        s.record_retry();
+        s.record_retry();
+        s.record_software_fallback();
+        s.note_recovery(&flight, 500, &mut mark);
+        let dump = flight.dump("t", 500);
+        assert!(dump.contains("\"name\":\"nx_retries_total\",\"delta\":2"));
+        assert!(dump.contains("\"name\":\"nx_software_fallbacks_total\",\"delta\":1"));
+        assert!(!dump.contains("nx_fault_rejects_total"));
+
+        // The watermark advanced: only movement since the last call is
+        // noted, so a second retry shows as a delta of 1, not 3.
+        s.record_retry();
+        s.note_recovery(&flight, 900, &mut mark);
+        assert!(flight
+            .dump("t", 900)
+            .contains("{\"at\":900,\"name\":\"nx_retries_total\",\"delta\":1}"));
     }
 }

@@ -38,7 +38,7 @@ pub mod workload;
 pub mod zsync;
 
 pub use chip::{Chip, Topology};
-pub use completion::CompletionMode;
+pub use completion::{CompletionMode, CsbTag};
 pub use cost::CostModel;
 pub use crb::{Crb, Csb, CsbStatus, Function};
 pub use runner::{ExperimentResult, SystemSim};

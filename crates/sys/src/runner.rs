@@ -9,13 +9,13 @@
 //! memory link the topology experiments can saturate.
 
 use crate::chip::Topology;
-use crate::completion::CompletionMode;
+use crate::completion::{CompletionMode, CsbTag};
 use crate::cost::CostModel;
 use crate::erat::{self, FaultPolicy, FAULT_RESOLUTION};
 use crate::vas::{PASTE_LATENCY, SUBMIT_CPU_CYCLES};
 use crate::workload::{Request, RequestStream};
 use nx_sim::{EventQueue, FifoStation, Percentiles, SerialLink, SimRng, SimTime};
-use nx_telemetry::{MetricsRegistry, Stage, TelemetrySink};
+use nx_telemetry::{MetricsRegistry, Stage, TelemetrySink, NO_PARENT};
 
 /// One accelerator unit's resources.
 #[derive(Debug)]
@@ -43,8 +43,8 @@ struct Job {
     /// Stable request index — the injected-fault plan's request
     /// coordinate.
     index: u64,
-    /// Span-trace request id (sink-allocated; 0 when tracing is off).
-    trace: u64,
+    /// CSB correlation tag: trace id + attempt, echoed by the engine.
+    tag: CsbTag,
 }
 
 /// Aggregated results of one simulation run.
@@ -259,7 +259,7 @@ impl SystemSim {
                     resident_pages: 0,
                     index: index as u64,
                     req: r.clone(),
-                    trace,
+                    tag: CsbTag::new(trace, 0),
                 },
             );
         }
@@ -304,8 +304,9 @@ impl SystemSim {
                     if traced {
                         // detail=1: retry caused by a rejected paste.
                         self.telemetry.emit(
-                            job.trace,
+                            job.tag.trace_id(),
                             job.attempts,
+                            NO_PARENT,
                             Stage::Retry,
                             job.unit as u32,
                             self.cycles(now),
@@ -356,8 +357,9 @@ impl SystemSim {
                     if traced {
                         // detail=2: retry caused by an error CSB / timeout.
                         self.telemetry.emit(
-                            job.trace,
+                            job.tag.trace_id(),
                             job.attempts,
+                            NO_PARENT,
                             Stage::Retry,
                             job.unit as u32,
                             self.cycles(now),
@@ -382,8 +384,9 @@ impl SystemSim {
                 SUBMIT_CPU_CYCLES + (plan.pre_submit.as_secs_f64() * self.core_ghz * 1e9) as u64;
             if traced {
                 self.telemetry.emit(
-                    job.trace,
+                    job.tag.trace_id(),
                     job.attempts,
+                    NO_PARENT,
                     Stage::Submit,
                     job.unit as u32,
                     self.cycles(now),
@@ -429,8 +432,9 @@ impl SystemSim {
             };
             if traced {
                 self.telemetry.emit(
-                    job.trace,
+                    job.tag.trace_id(),
                     job.attempts,
+                    NO_PARENT,
                     Stage::QueueWait,
                     job.unit as u32,
                     self.cycles(submit),
@@ -439,8 +443,9 @@ impl SystemSim {
                     job.attempts as u64,
                 );
                 self.telemetry.emit(
-                    job.trace,
+                    job.tag.trace_id(),
                     job.attempts,
+                    NO_PARENT,
                     Stage::Engine,
                     job.unit as u32,
                     self.cycles(engine_start),
@@ -458,6 +463,9 @@ impl SystemSim {
                 result.faults += 1;
                 job.remaining -= processed;
                 job.attempts += 1;
+                // The resubmitted CRB carries a fresh tag naming the new
+                // attempt, so its CSB is distinguishable from the stale one.
+                job.tag = CsbTag::new(job.tag.trace_id(), job.attempts);
                 // CSB posts the fault; library is notified, touches the
                 // faulting page (plus the touch-ahead window under
                 // `TouchAhead`), and resubmits the remainder. The
@@ -473,8 +481,9 @@ impl SystemSim {
                     + (touch_time.as_secs_f64() * self.core_ghz * 1e9) as u64;
                 if traced {
                     self.telemetry.emit(
-                        job.trace,
+                        job.tag.trace_id(),
                         job.attempts,
+                        NO_PARENT,
                         Stage::EratTouch,
                         job.unit as u32,
                         self.cycles(finish + notify),
@@ -499,8 +508,9 @@ impl SystemSim {
                 .cpu_wait_cycles(observed - now, self.core_ghz);
             if traced {
                 self.telemetry.emit(
-                    job.trace,
+                    job.tag.trace_id(),
                     job.attempts,
+                    NO_PARENT,
                     Stage::Complete,
                     job.unit as u32,
                     self.cycles(finish),

@@ -1,0 +1,99 @@
+//! Shared log-bucket geometry.
+//!
+//! One implementation of the HDR-style bucket math used everywhere a
+//! value is binned by magnitude: the [`LogHistogram`](crate::LogHistogram)
+//! hot path, its exemplar table, the SLO engine's latency accounting, and
+//! any service-side code that wants to reason about bucket bounds without
+//! owning a histogram. Values land in power-of-two octaves subdivided
+//! into [`SUB_BUCKETS`] linear sub-buckets, bounding relative
+//! quantization error by `1/SUB_BUCKETS` (≈ 3.1%) at any magnitude while
+//! the whole `u64` range fits in a fixed [`BUCKETS`]-slot array.
+
+/// Sub-bucket resolution: each power-of-two octave splits into this many
+/// linear buckets. 32 bounds relative error at 1/32 ≈ 3.1%.
+pub const SUB_BUCKETS: u64 = 32;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 5;
+
+/// Total bucket count covering all of `u64`.
+///
+/// Values below `SUB_BUCKETS` index directly; above, each of the
+/// remaining `64 - SUB_BITS` octaves contributes `SUB_BUCKETS` buckets.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    // Top SUB_BITS+1 bits of v, in [SUB_BUCKETS, 2*SUB_BUCKETS).
+    let top = v >> shift;
+    ((u64::from(shift) + 1) * SUB_BUCKETS + (top - SUB_BUCKETS)) as usize
+}
+
+/// Smallest value mapping to bucket `i`.
+pub fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let block = i / SUB_BUCKETS; // ≥ 1
+    let off = i % SUB_BUCKETS;
+    (SUB_BUCKETS + off) << (block - 1)
+}
+
+/// Largest value mapping to bucket `i` (saturating at `u64::MAX`).
+pub fn bucket_high(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let block = i / SUB_BUCKETS;
+    let width = 1u64 << (block - 1);
+    bucket_low(i as usize).saturating_add(width - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Each bucket's low is the previous bucket's high + 1, and every
+        // value maps into the bucket whose bounds contain it.
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "bucket {i}");
+        }
+        for v in [0u64, 1, 31, 32, 33, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "value {v}");
+        }
+    }
+
+    #[test]
+    fn small_values_index_directly() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn relative_width_is_bounded() {
+        // Above the linear range every bucket's width is ≤ low/SUB_BUCKETS,
+        // which is what bounds quantile quantization error.
+        for v in [100u64, 10_000, 1 << 30, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_high(i) - bucket_low(i) + 1;
+            assert!(
+                width <= bucket_low(i) / SUB_BUCKETS + 1,
+                "bucket {i} width {width}"
+            );
+        }
+    }
+}

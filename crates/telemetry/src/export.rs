@@ -16,7 +16,7 @@ use crate::registry::MetricValue;
 use crate::span::SpanEvent;
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -76,10 +76,21 @@ pub fn to_prometheus(snapshot: &[(String, MetricValue)]) -> String {
                 let mut cumulative = 0u64;
                 for b in &h.buckets {
                     cumulative += b.count;
+                    // OpenMetrics-style exemplar: the bucket's most
+                    // recent trace id, linking the series to a span
+                    // breakdown. No timestamp — output stays
+                    // deterministic.
+                    let exemplar = match b.exemplar {
+                        Some(id) => {
+                            format!(" # {{trace_id=\"{id:016x}\"}} {}", b.le)
+                        }
+                        None => String::new(),
+                    };
                     out.push_str(&format!(
-                        "{} {}\n",
+                        "{} {}{}\n",
                         bucket_series(base, labels, &b.le.to_string()),
-                        cumulative
+                        cumulative,
+                        exemplar
                     ));
                 }
                 out.push_str(&format!(
@@ -103,7 +114,13 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
     let buckets: Vec<String> = h
         .buckets
         .iter()
-        .map(|b| format!("{{\"le\":{},\"count\":{}}}", b.le, b.count))
+        .map(|b| match b.exemplar {
+            Some(id) => format!(
+                "{{\"le\":{},\"count\":{},\"exemplar\":\"{id:016x}\"}}",
+                b.le, b.count
+            ),
+            None => format!("{{\"le\":{},\"count\":{}}}", b.le, b.count),
+        })
         .collect();
     format!(
         "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
@@ -160,7 +177,7 @@ pub fn to_chrome_trace(spans: &[SpanEvent], cycles_per_us: f64) -> String {
             let ts = (s.start_cycles as f64 * scale * 1000.0).round() as u64;
             let dur = ((s.dur_cycles as f64 * scale * 1000.0).round() as u64).max(1);
             format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"seq\":{},\"worker\":{},\"bytes\":{},\"detail\":{}}}}}",
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"seq\":{},\"parent\":{},\"worker\":{},\"bytes\":{},\"detail\":{}}}}}",
                 s.stage.name(),
                 s.request,
                 ts / 1000,
@@ -168,6 +185,7 @@ pub fn to_chrome_trace(spans: &[SpanEvent], cycles_per_us: f64) -> String {
                 dur / 1000,
                 dur % 1000,
                 s.seq,
+                s.parent,
                 s.worker,
                 s.bytes,
                 s.detail
@@ -231,6 +249,7 @@ mod tests {
             SpanEvent {
                 request: 2,
                 seq: 0,
+                parent: 0,
                 worker: 1,
                 stage: Stage::Submit,
                 start_cycles: 0,
@@ -241,6 +260,7 @@ mod tests {
             SpanEvent {
                 request: 2,
                 seq: 1,
+                parent: 0,
                 worker: 1,
                 stage: Stage::Engine,
                 start_cycles: 2000,
@@ -265,6 +285,7 @@ mod tests {
         let spans = vec![SpanEvent {
             request: 0,
             seq: 0,
+            parent: 0,
             worker: 0,
             stage: Stage::Complete,
             start_cycles: 0,
@@ -274,6 +295,67 @@ mod tests {
         }];
         let json = to_chrome_trace(&spans, 2000.0);
         assert!(json.contains("\"dur\":0.001"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_golden_with_exemplars() {
+        // Golden file for the full exposition including OpenMetrics-style
+        // exemplars: pins the exact bytes, not just substrings.
+        let reg = MetricsRegistry::new();
+        reg.counter("nx_requests_total").add(2);
+        let h = reg.histogram("nx_latency_cycles{tenant=\"rpc\"}");
+        h.record_traced(10, 7);
+        h.record_traced(10, 8);
+        h.record(5000);
+        let text = to_prometheus(&reg.snapshot());
+        assert_eq!(
+            text,
+            "# TYPE nx_latency_cycles histogram\n\
+             nx_latency_cycles_bucket{tenant=\"rpc\",le=\"10\"} 2 # {trace_id=\"0000000000000008\"} 10\n\
+             nx_latency_cycles_bucket{tenant=\"rpc\",le=\"5119\"} 3\n\
+             nx_latency_cycles_bucket{tenant=\"rpc\",le=\"+Inf\"} 3\n\
+             nx_latency_cycles_sum{tenant=\"rpc\"} 5020\n\
+             nx_latency_cycles_count{tenant=\"rpc\"} 3\n\
+             # TYPE nx_requests_total counter\n\
+             nx_requests_total 2\n"
+        );
+    }
+
+    #[test]
+    fn json_golden_with_exemplars() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("nx_lat");
+        h.record_traced(10, 255);
+        let json = to_json(&reg.snapshot());
+        assert_eq!(
+            json,
+            "{\"nx_lat\":{\"count\":1,\"sum\":10,\"min\":10,\"max\":10,\
+             \"p50\":10,\"p90\":10,\"p99\":10,\"p999\":10,\
+             \"buckets\":[{\"le\":10,\"count\":1,\"exemplar\":\"00000000000000ff\"}]}}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_golden_with_parent() {
+        let spans = vec![SpanEvent {
+            request: 3,
+            seq: 2,
+            parent: 1,
+            worker: 4,
+            stage: Stage::Dispatch,
+            start_cycles: 2000,
+            dur_cycles: 4000,
+            bytes: 64,
+            detail: 9,
+        }];
+        let json = to_chrome_trace(&spans, 2000.0);
+        assert_eq!(
+            json,
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"name\":\"dispatch\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\
+             \"ts\":1.000,\"dur\":2.000,\
+             \"args\":{\"seq\":2,\"parent\":1,\"worker\":4,\"bytes\":64,\"detail\":9}}]}"
+        );
     }
 
     #[test]

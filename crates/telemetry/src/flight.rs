@@ -1,0 +1,398 @@
+//! Always-on flight recorder: a black-box ring of recent activity.
+//!
+//! Aircraft-style: the [`FlightRecorder`] continuously records the last
+//! few thousand spans and counter deltas into fixed-size lock-free rings
+//! (the same claim/publish stamp discipline as [`SpanRing`]), cheap
+//! enough to leave on in production — recording is a `fetch_add` plus a
+//! handful of relaxed stores, no locks, no allocation. When something
+//! goes wrong — a fault-injection storm, an SLO burn-rate breach, a
+//! panic — [`dump`](FlightRecorder::dump) serializes everything it holds
+//! into one self-contained JSON snapshot: recent spans (with trace ids
+//! and parent links), recent counter deltas, recent [`SloEvent`]s, and
+//! the trigger reason, so the black box answers "what was the service
+//! doing right before this?" without any external state.
+//!
+//! Counter names are interned once at registration
+//! ([`counter_id`](FlightRecorder::counter_id), cold path, mutex);
+//! the hot [`note`](FlightRecorder::note) path carries only the interned
+//! id. SLO events are rare state transitions and go through a small
+//! bounded mutex-guarded buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::slo::SloEvent;
+use crate::span::{SpanEvent, SpanRing};
+
+/// Default span capacity for [`FlightRecorder::new`].
+pub const DEFAULT_FLIGHT_SPANS: usize = 2048;
+
+/// Default counter-delta capacity for [`FlightRecorder::new`].
+pub const DEFAULT_FLIGHT_NOTES: usize = 1024;
+
+/// Most recent SLO events kept for the dump.
+const MAX_SLO_EVENTS: usize = 64;
+
+/// One recorded counter delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterNote {
+    /// Virtual-cycle timestamp of the delta.
+    pub at_cycles: u64,
+    /// Interned counter id (resolve via the dump, which inlines names).
+    pub id: u32,
+    /// The delta applied at `at_cycles`.
+    pub delta: u64,
+}
+
+/// Payload words per note slot: at, id, delta.
+const NOTE_WORDS: usize = 3;
+
+struct NoteSlot {
+    /// Publication stamp: `2*index + 2` once written (odd = in flight).
+    seq: AtomicU64,
+    words: [AtomicU64; NOTE_WORDS],
+}
+
+/// A bounded lock-free ring of counter deltas (same discipline as
+/// [`SpanRing`]: wait-free writers, stamp-validated snapshot reader).
+struct NoteRing {
+    slots: Box<[NoteSlot]>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+impl NoteRing {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        Self {
+            slots: (0..cap)
+                .map(|_| NoteSlot {
+                    seq: AtomicU64::new(0),
+                    words: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, at_cycles: u64, id: u32, delta: u64) {
+        let idx = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(idx & self.mask) as usize];
+        slot.seq.store(2 * idx + 1, Ordering::Release);
+        slot.words[0].store(at_cycles, Ordering::Relaxed);
+        slot.words[1].store(u64::from(id), Ordering::Relaxed);
+        slot.words[2].store(delta, Ordering::Relaxed);
+        slot.seq.store(2 * idx + 2, Ordering::Release);
+    }
+
+    fn snapshot(&self) -> Vec<CounterNote> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for idx in start..head {
+            let slot = &self.slots[(idx & self.mask) as usize];
+            let stamp = 2 * idx + 2;
+            if slot.seq.load(Ordering::Acquire) != stamp {
+                continue;
+            }
+            let words: [u64; NOTE_WORDS] =
+                std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            if slot.seq.load(Ordering::Acquire) != stamp {
+                continue;
+            }
+            out.push(CounterNote {
+                at_cycles: words[0],
+                id: words[1] as u32,
+                delta: words[2],
+            });
+        }
+        out
+    }
+}
+
+/// The black box (see module docs).
+pub struct FlightRecorder {
+    spans: SpanRing,
+    notes: NoteRing,
+    names: Mutex<Vec<&'static str>>,
+    slo_events: Mutex<Vec<SloEvent>>,
+    dumps: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("span_capacity", &self.spans.capacity())
+            .field("spans_recorded", &self.spans.recorded())
+            .field("dumps", &self.dumps.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the default capacities.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_FLIGHT_SPANS, DEFAULT_FLIGHT_NOTES)
+    }
+
+    /// A recorder holding up to `spans` span events and `notes` counter
+    /// deltas (each rounded up to a power of two).
+    pub fn with_capacity(spans: usize, notes: usize) -> Self {
+        Self {
+            spans: SpanRing::new(spans),
+            notes: NoteRing::new(notes),
+            names: Mutex::new(Vec::new()),
+            slo_events: Mutex::new(Vec::new()),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span (wait-free; called from the sink's tee).
+    #[inline]
+    pub fn span(&self, ev: &SpanEvent) {
+        self.spans.push(ev);
+    }
+
+    /// Interns a counter name, returning the id [`note`](Self::note)
+    /// takes. Idempotent per name; cold path (takes a mutex).
+    pub fn counter_id(&self, name: &'static str) -> u32 {
+        let mut names = match self.names.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(i) = names.iter().position(|n| *n == name) {
+            return i as u32;
+        }
+        names.push(name);
+        (names.len() - 1) as u32
+    }
+
+    /// Records a counter delta (wait-free).
+    #[inline]
+    pub fn note(&self, at_cycles: u64, id: u32, delta: u64) {
+        if delta != 0 {
+            self.notes.push(at_cycles, id, delta);
+        }
+    }
+
+    /// Records an SLO state transition (bounded: keeps the most recent
+    /// [`MAX_SLO_EVENTS`]).
+    pub fn slo_event(&self, ev: &SloEvent) {
+        let mut events = match self.slo_events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if events.len() >= MAX_SLO_EVENTS {
+            events.remove(0);
+        }
+        events.push(ev.clone());
+    }
+
+    /// Spans currently recorded (deterministic sorted dump order).
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.spans.sorted_snapshot()
+    }
+
+    /// Dumps taken so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Serializes the black box into one self-contained JSON snapshot.
+    ///
+    /// `reason` says what pulled the handle (`"fault_storm"`,
+    /// `"slo_breach"`, `"panic"`, ...); `at_cycles` is the virtual-clock
+    /// time of the trigger. The output is deterministic for a
+    /// deterministic recording (spans sorted, f64s fixed-point).
+    pub fn dump(&self, reason: &str, at_cycles: u64) -> String {
+        self.dumps.fetch_add(1, Ordering::Relaxed);
+        let spans = self.spans.sorted_snapshot();
+        let notes = self.notes.snapshot();
+        let names: Vec<&'static str> = match self.names.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        let slo_events: Vec<SloEvent> = match self.slo_events.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+
+        let span_json: Vec<String> = spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"trace\":{},\"seq\":{},\"parent\":{},\"worker\":{},\"stage\":\"{}\",\"start\":{},\"dur\":{},\"bytes\":{},\"detail\":{}}}",
+                    s.request,
+                    s.seq,
+                    s.parent,
+                    s.worker,
+                    s.stage.name(),
+                    s.start_cycles,
+                    s.dur_cycles,
+                    s.bytes,
+                    s.detail
+                )
+            })
+            .collect();
+        let note_json: Vec<String> = notes
+            .iter()
+            .map(|n| {
+                let name = names
+                    .get(n.id as usize)
+                    .copied()
+                    .unwrap_or("unknown_counter");
+                format!(
+                    "{{\"at\":{},\"name\":\"{}\",\"delta\":{}}}",
+                    n.at_cycles, name, n.delta
+                )
+            })
+            .collect();
+        let slo_json: Vec<String> = slo_events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"at\":{},\"slo\":\"{}\",\"class\":\"{}\",\"kind\":\"{}\",\"fast_burn\":{:.3},\"slow_burn\":{:.3}}}",
+                    e.at_cycles,
+                    crate::export::json_escape(&e.slo),
+                    crate::export::json_escape(&e.class),
+                    e.kind.name(),
+                    e.fast_burn,
+                    e.slow_burn
+                )
+            })
+            .collect();
+        format!(
+            "{{\"version\":1,\"reason\":\"{}\",\"at_cycles\":{},\"spans_dropped\":{},\"spans\":[{}],\"counters\":[{}],\"slo_events\":[{}]}}",
+            crate::export::json_escape(reason),
+            at_cycles,
+            self.spans.dropped(),
+            span_json.join(","),
+            note_json.join(","),
+            slo_json.join(",")
+        )
+    }
+}
+
+/// Installs a process-wide panic hook that writes a flight dump to
+/// `path` before delegating to the previous hook. Opt-in (examples and
+/// servers call it); IO errors are swallowed — a failing black-box write
+/// must never mask the original panic.
+pub fn install_flight_panic_hook(
+    recorder: std::sync::Arc<FlightRecorder>,
+    path: std::path::PathBuf,
+) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let dump = recorder.dump("panic", 0);
+        let _ = std::fs::write(&path, dump);
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloEventKind;
+    use crate::span::Stage;
+
+    fn span(trace: u64, seq: u32, stage: Stage) -> SpanEvent {
+        SpanEvent {
+            request: trace,
+            seq,
+            parent: 0,
+            worker: 0,
+            stage,
+            start_cycles: u64::from(seq) * 100,
+            dur_cycles: 100,
+            bytes: 512,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn dump_is_self_contained_and_complete() {
+        let fr = FlightRecorder::with_capacity(64, 64);
+        fr.span(&span(1, 0, Stage::Admit));
+        fr.span(&span(1, 1, Stage::Engine));
+        fr.span(&span(1, 2, Stage::Complete));
+        let faults = fr.counter_id("faults_injected");
+        fr.note(500, faults, 3);
+        fr.slo_event(&SloEvent {
+            at_cycles: 600,
+            slo: "rpc".into(),
+            class: "latency".into(),
+            kind: SloEventKind::BurnAlert,
+            fast_burn: 15.25,
+            slow_burn: 6.5,
+        });
+        let dump = fr.dump("fault_storm", 700);
+        assert!(dump.contains("\"version\":1"));
+        assert!(dump.contains("\"reason\":\"fault_storm\""));
+        assert!(dump.contains("\"stage\":\"admit\""));
+        assert!(dump.contains("\"stage\":\"complete\""));
+        assert!(dump.contains("\"name\":\"faults_injected\",\"delta\":3"));
+        assert!(dump.contains("\"kind\":\"burn_alert\""));
+        assert!(dump.contains("\"fast_burn\":15.250"));
+        assert_eq!(fr.dump_count(), 1);
+    }
+
+    #[test]
+    fn counter_ids_are_interned_once() {
+        let fr = FlightRecorder::new();
+        let a = fr.counter_id("retries");
+        let b = fr.counter_id("fallbacks");
+        assert_ne!(a, b);
+        assert_eq!(fr.counter_id("retries"), a);
+    }
+
+    #[test]
+    fn note_ring_overflows_to_newest() {
+        let fr = FlightRecorder::with_capacity(8, 8);
+        let id = fr.counter_id("x");
+        for i in 0..20u64 {
+            fr.note(i, id, i + 1);
+        }
+        let dump = fr.dump("test", 0);
+        // Oldest notes evicted, newest retained.
+        assert!(!dump.contains("\"delta\":1}"));
+        assert!(dump.contains("\"delta\":20"));
+    }
+
+    #[test]
+    fn zero_deltas_are_not_recorded() {
+        let fr = FlightRecorder::new();
+        let id = fr.counter_id("y");
+        fr.note(1, id, 0);
+        let dump = fr.dump("test", 0);
+        assert!(dump.contains("\"counters\":[]"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        use std::sync::Arc;
+        let fr = Arc::new(FlightRecorder::with_capacity(4096, 4096));
+        let id = fr.counter_id("c");
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let fr = Arc::clone(&fr);
+                std::thread::spawn(move || {
+                    for i in 0..256u32 {
+                        fr.span(&span(t, i, Stage::Engine));
+                        fr.note(u64::from(i), id, 1);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("recorder thread");
+        }
+        assert_eq!(fr.spans().len(), 4 * 256);
+    }
+}

@@ -9,53 +9,23 @@
 //! having recorded into one histogram, a property the test battery pins).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Sub-bucket resolution: each power-of-two octave splits into this many
-/// linear buckets. 32 bounds relative error at 1/32 ≈ 3.1%.
-pub const SUB_BUCKETS: u64 = 32;
+// The bucket geometry lives in `crate::buckets` — one shared
+// implementation for the histogram, its exemplar table, and the SLO
+// engine's latency accounting (re-exported at the crate root).
+#[cfg(test)]
+use crate::buckets::SUB_BUCKETS;
+use crate::buckets::{bucket_high, bucket_index, BUCKETS};
 
-/// log2 of [`SUB_BUCKETS`].
-const SUB_BITS: u32 = 5;
-
-/// Total bucket count covering all of `u64`.
-///
-/// Values below `SUB_BUCKETS` index directly; above, each of the
-/// remaining `64 - SUB_BITS` octaves contributes `SUB_BUCKETS` buckets.
-pub const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
-
-/// Bucket index for a value (shared by record and the bound helpers).
-#[inline]
-fn bucket_index(v: u64) -> usize {
-    if v < SUB_BUCKETS {
-        return v as usize;
+/// A fresh all-zero bucket array (`AtomicU64` is not `Copy`; build the
+/// array through a `Vec`).
+fn zeroed_buckets() -> Box<[AtomicU64; BUCKETS]> {
+    let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+    match v.into_boxed_slice().try_into() {
+        Ok(b) => b,
+        Err(_) => unreachable!("vector built with BUCKETS elements"),
     }
-    let msb = 63 - v.leading_zeros();
-    let shift = msb - SUB_BITS;
-    // Top SUB_BITS+1 bits of v, in [SUB_BUCKETS, 2*SUB_BUCKETS).
-    let top = v >> shift;
-    ((u64::from(shift) + 1) * SUB_BUCKETS + (top - SUB_BUCKETS)) as usize
-}
-
-/// Smallest value mapping to bucket `i`.
-fn bucket_low(i: usize) -> u64 {
-    let i = i as u64;
-    if i < SUB_BUCKETS {
-        return i;
-    }
-    let block = i / SUB_BUCKETS; // ≥ 1
-    let off = i % SUB_BUCKETS;
-    (SUB_BUCKETS + off) << (block - 1)
-}
-
-/// Largest value mapping to bucket `i` (saturating at `u64::MAX`).
-fn bucket_high(i: usize) -> u64 {
-    let i = i as u64;
-    if i < SUB_BUCKETS {
-        return i;
-    }
-    let block = i / SUB_BUCKETS;
-    let width = 1u64 << (block - 1);
-    bucket_low(i as usize).saturating_add(width - 1)
 }
 
 /// A lock-free, mergeable log-bucketed histogram over `u64` values.
@@ -69,6 +39,10 @@ pub struct LogHistogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar slots, allocated on the first traced record:
+    /// each holds `trace_id + 1` of the bucket's most recent sample
+    /// (0 = none). Untraced histograms never pay for the table.
+    exemplars: OnceLock<Box<[AtomicU64; BUCKETS]>>,
 }
 
 impl std::fmt::Debug for LogHistogram {
@@ -91,18 +65,13 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        // `AtomicU64` is not Copy; build the array through a Vec.
-        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets: Box<[AtomicU64; BUCKETS]> = match v.into_boxed_slice().try_into() {
-            Ok(b) => b,
-            Err(_) => unreachable!("vector built with BUCKETS elements"),
-        };
         Self {
-            buckets,
+            buckets: zeroed_buckets(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
     }
 
@@ -114,6 +83,25 @@ impl LogHistogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one observation carrying a trace id: the value's bucket
+    /// keeps `trace_id` as its most recent exemplar, so a tail bucket
+    /// links straight to that request's per-stage span breakdown.
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        let slots = self.exemplars.get_or_init(zeroed_buckets);
+        slots[bucket_index(v)].store(trace_id.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// The most recent exemplar trace id recorded into `v`'s bucket.
+    pub fn exemplar_for(&self, v: u64) -> Option<u64> {
+        let slots = self.exemplars.get()?;
+        match slots[bucket_index(v)].load(Ordering::Relaxed) {
+            0 => None,
+            id => Some(id.wrapping_sub(1)),
+        }
     }
 
     /// Records `n` observations of the same value.
@@ -145,6 +133,15 @@ impl LogHistogram {
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let Some(theirs) = other.exemplars.get() {
+            let mine = self.exemplars.get_or_init(zeroed_buckets);
+            for (m, t) in mine.iter().zip(theirs.iter()) {
+                let id = t.load(Ordering::Relaxed);
+                if id != 0 {
+                    m.store(id, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// Number of observations.
@@ -229,13 +226,19 @@ impl LogHistogram {
 
     /// An owned point-in-time copy, for export and reports.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let exemplars = self.exemplars.get();
         let mut buckets = Vec::new();
         for (i, b) in self.buckets.iter().enumerate() {
             let n = b.load(Ordering::Relaxed);
             if n > 0 {
+                let exemplar = exemplars.and_then(|slots| match slots[i].load(Ordering::Relaxed) {
+                    0 => None,
+                    id => Some(id.wrapping_sub(1)),
+                });
                 buckets.push(BucketCount {
                     le: bucket_high(i),
                     count: n,
+                    exemplar,
                 });
             }
         }
@@ -261,6 +264,9 @@ pub struct BucketCount {
     pub le: u64,
     /// Observations in the bucket (not cumulative).
     pub count: u64,
+    /// Trace id of the bucket's most recent traced sample, when any
+    /// observation arrived via [`LogHistogram::record_traced`].
+    pub exemplar: Option<u64>,
 }
 
 /// A point-in-time copy of a [`LogHistogram`], used by the exporters.
@@ -306,16 +312,29 @@ mod tests {
     }
 
     #[test]
-    fn bucket_bounds_partition_the_range() {
-        // Each bucket's low is the previous bucket's high + 1, and every
-        // value maps into the bucket whose bounds contain it.
-        for i in 1..BUCKETS - 1 {
-            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "bucket {i}");
-        }
-        for v in [0u64, 1, 31, 32, 33, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
-            let i = bucket_index(v);
-            assert!(bucket_low(i) <= v && v <= bucket_high(i), "value {v}");
-        }
+    fn exemplars_track_most_recent_trace() {
+        let h = LogHistogram::new();
+        h.record(10_000); // untraced: no exemplar table yet
+        assert_eq!(h.exemplar_for(10_000), None);
+        h.record_traced(10_000, 41);
+        h.record_traced(10_000, 42); // most recent wins
+        h.record_traced(77, 7);
+        assert_eq!(h.exemplar_for(10_000), Some(42));
+        assert_eq!(h.exemplar_for(77), Some(7));
+        assert_eq!(h.exemplar_for(3), None);
+        let snap = h.snapshot();
+        let tail = snap.buckets.iter().find(|b| b.le >= 10_000).unwrap();
+        assert_eq!(tail.exemplar, Some(42));
+        assert_eq!(tail.count, 3);
+        // Trace id 0 is representable (slots store id + 1).
+        h.record_traced(3, 0);
+        assert_eq!(h.exemplar_for(3), Some(0));
+
+        // Merge carries exemplars across.
+        let other = LogHistogram::new();
+        other.record_traced(10_000, 99);
+        h.merge(&other);
+        assert_eq!(h.exemplar_for(10_000), Some(99));
     }
 
     #[test]

@@ -24,16 +24,27 @@
 
 #![warn(missing_docs)]
 
+pub mod buckets;
 mod clock;
 mod export;
+mod flight;
 mod histogram;
 mod registry;
 mod sink;
+mod slo;
 mod span;
+mod trace;
 
+pub use buckets::{bucket_high, bucket_index, bucket_low, BUCKETS, SUB_BUCKETS};
 pub use clock::{duration_to_cycles, CycleClock};
 pub use export::{to_chrome_trace, to_json, to_prometheus};
-pub use histogram::{BucketCount, HistogramSnapshot, LogHistogram, BUCKETS, SUB_BUCKETS};
+pub use flight::{
+    install_flight_panic_hook, CounterNote, FlightRecorder, DEFAULT_FLIGHT_NOTES,
+    DEFAULT_FLIGHT_SPANS,
+};
+pub use histogram::{BucketCount, HistogramSnapshot, LogHistogram};
 pub use registry::{Counter, Gauge, MetricSource, MetricValue, MetricsRegistry};
 pub use sink::{TelemetrySink, DEFAULT_TRACE_CAPACITY};
+pub use slo::{SloEvent, SloEventKind, SloMonitor, SloSpec, SloStatus};
 pub use span::{SpanEvent, SpanRing, Stage};
+pub use trace::{Sampler, TraceContext, NO_PARENT};

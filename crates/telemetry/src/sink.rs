@@ -9,11 +9,13 @@
 //! a [`MetricsRegistry`] with whatever else wants to export.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::flight::FlightRecorder;
 use crate::histogram::LogHistogram;
 use crate::registry::MetricsRegistry;
 use crate::span::{SpanEvent, SpanRing, Stage};
+use crate::trace::{Sampler, TraceContext};
 
 /// Default span-ring capacity (events) for [`TelemetrySink::enabled`].
 pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
@@ -27,18 +29,25 @@ struct SinkInner {
     shard_latency: Arc<LogHistogram>,
     queue_depth: Arc<LogHistogram>,
     bytes_per_request: Arc<LogHistogram>,
+    /// Optional black-box tee: every span recorded here is also pushed
+    /// into the flight recorder's (smaller) ring.
+    flight: OnceLock<Arc<FlightRecorder>>,
 }
 
 /// A cheap, cloneable telemetry handle (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct TelemetrySink {
     inner: Option<Arc<SinkInner>>,
+    sampler: Sampler,
 }
 
 impl TelemetrySink {
     /// The no-op sink: every recording call is a null-check and return.
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            sampler: Sampler::Always,
+        }
     }
 
     /// An enabled sink recording into `registry`, with a span ring of
@@ -56,11 +65,50 @@ impl TelemetrySink {
             bytes_per_request: registry.histogram("nx_request_bytes"),
             ring: SpanRing::new(trace_capacity),
             next_request: AtomicU64::new(0),
+            flight: OnceLock::new(),
             registry,
         };
         Self {
             inner: Some(Arc::new(inner)),
+            sampler: Sampler::Always,
         }
+    }
+
+    /// Sets the trace sampling policy (spans only — histograms and
+    /// counters always record). Returns the sink for chaining.
+    pub fn with_sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// The sink's sampling policy.
+    pub fn sampler(&self) -> Sampler {
+        self.sampler
+    }
+
+    /// Attaches a flight recorder: from now on every span recorded via
+    /// this sink (or any clone taken *after* the attach) is teed into
+    /// the recorder's black-box ring. First attach wins.
+    pub fn attach_flight(&self, recorder: Arc<FlightRecorder>) {
+        if let Some(i) = &self.inner {
+            let _ = i.flight.set(recorder);
+        }
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.as_deref().and_then(|i| i.flight.get())
+    }
+
+    /// Mints a new root [`TraceContext`]: fresh trace id, sampling
+    /// decided by the sink's [`Sampler`]. A disabled sink still hands
+    /// out unique ids but never samples.
+    #[inline]
+    pub fn begin_trace(&self) -> TraceContext {
+        let id = self.begin_request();
+        let mut ctx = TraceContext::root(id, self.sampler);
+        ctx.sampled &= self.inner.is_some();
+        ctx
     }
 
     /// Whether recording does anything.
@@ -93,6 +141,9 @@ impl TelemetrySink {
     pub fn span(&self, ev: &SpanEvent) {
         if let Some(i) = &self.inner {
             i.ring.push(ev);
+            if let Some(fr) = i.flight.get() {
+                fr.span(ev);
+            }
         }
     }
 
@@ -103,6 +154,7 @@ impl TelemetrySink {
         &self,
         request: u64,
         seq: u32,
+        parent: u32,
         stage: Stage,
         worker: u32,
         start_cycles: u64,
@@ -110,18 +162,17 @@ impl TelemetrySink {
         bytes: u64,
         detail: u64,
     ) {
-        if let Some(i) = &self.inner {
-            i.ring.push(&SpanEvent {
-                request,
-                seq,
-                worker,
-                stage,
-                start_cycles,
-                dur_cycles,
-                bytes,
-                detail,
-            });
-        }
+        self.span(&SpanEvent {
+            request,
+            seq,
+            parent,
+            worker,
+            stage,
+            start_cycles,
+            dur_cycles,
+            bytes,
+            detail,
+        });
     }
 
     /// Records an end-to-end request latency (cycles) and its size.
@@ -129,6 +180,17 @@ impl TelemetrySink {
     pub fn record_request(&self, latency_cycles: u64, bytes: u64) {
         if let Some(i) = &self.inner {
             i.request_latency.record(latency_cycles);
+            i.bytes_per_request.record(bytes);
+        }
+    }
+
+    /// Records an end-to-end request latency with its trace id as the
+    /// bucket exemplar: the tail of `nx_request_latency_cycles` then
+    /// links straight to the slow request's span breakdown.
+    #[inline]
+    pub fn record_request_traced(&self, latency_cycles: u64, bytes: u64, trace_id: u64) {
+        if let Some(i) = &self.inner {
+            i.request_latency.record_traced(latency_cycles, trace_id);
             i.bytes_per_request.record(bytes);
         }
     }
@@ -175,7 +237,7 @@ mod tests {
         sink.record_request(100, 4096);
         sink.record_shard(10);
         sink.record_queue_depth(3);
-        sink.emit(0, 0, Stage::Engine, 0, 0, 10, 0, 0);
+        sink.emit(0, 0, 0, Stage::Engine, 0, 0, 10, 0, 0);
         assert!(sink.trace().is_empty());
         assert_eq!(sink.trace_dropped(), 0);
         assert!(sink.registry().is_none());
@@ -190,7 +252,7 @@ mod tests {
         assert!(sink.is_enabled());
         let req = sink.begin_request();
         assert_eq!(req, 0);
-        sink.emit(req, 0, Stage::Submit, 1, 0, 50, 4096, 0);
+        sink.emit(req, 0, 0, Stage::Submit, 1, 0, 50, 4096, 0);
         sink.record_request(500, 4096);
         sink.record_shard(120);
         sink.record_queue_depth(2);
@@ -210,7 +272,34 @@ mod tests {
     fn clones_share_the_ring() {
         let sink = TelemetrySink::enabled(MetricsRegistry::new());
         let other = sink.clone();
-        other.emit(0, 0, Stage::Complete, 0, 0, 1, 0, 0);
+        other.emit(0, 0, 0, Stage::Complete, 0, 0, 1, 0, 0);
         assert_eq!(sink.trace().len(), 1);
+    }
+
+    #[test]
+    fn sampler_gates_traces_not_ids() {
+        let sink =
+            TelemetrySink::enabled(MetricsRegistry::new()).with_sampler(Sampler::one_in(256));
+        let a = sink.begin_trace();
+        assert_eq!(a.trace_id, 0);
+        assert!(a.sampled);
+        let b = sink.begin_trace();
+        assert_eq!(b.trace_id, 1);
+        assert!(!b.sampled);
+        // A disabled sink never samples but still hands out ids.
+        let dark = TelemetrySink::disabled();
+        assert!(!dark.begin_trace().sampled);
+    }
+
+    #[test]
+    fn flight_tee_receives_spans() {
+        let sink = TelemetrySink::enabled(MetricsRegistry::new());
+        let fr = Arc::new(FlightRecorder::with_capacity(64, 64));
+        sink.attach_flight(Arc::clone(&fr));
+        sink.emit(5, 0, 0, Stage::Admit, 0, 0, 100, 64, 0);
+        assert_eq!(sink.trace().len(), 1);
+        assert_eq!(fr.spans().len(), 1);
+        assert_eq!(fr.spans()[0].request, 5);
+        assert!(sink.flight().is_some());
     }
 }

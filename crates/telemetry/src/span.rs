@@ -37,6 +37,10 @@ pub enum Stage {
     Complete = 6,
     /// One parallel-pool shard's compression.
     Shard = 7,
+    /// Service admission: credit acquire + receive-window accounting.
+    Admit = 8,
+    /// DWRR dequeue + (possibly coalesced) engine submission.
+    Dispatch = 9,
 }
 
 impl Stage {
@@ -51,6 +55,8 @@ impl Stage {
             Stage::Fallback => "fallback",
             Stage::Complete => "complete",
             Stage::Shard => "shard",
+            Stage::Admit => "admit",
+            Stage::Dispatch => "dispatch",
         }
     }
 
@@ -63,6 +69,8 @@ impl Stage {
             4 => Stage::Retry,
             5 => Stage::Fallback,
             7 => Stage::Shard,
+            8 => Stage::Admit,
+            9 => Stage::Dispatch,
             _ => Stage::Complete,
         }
     }
@@ -77,6 +85,10 @@ pub struct SpanEvent {
     /// Span index within the request's timeline (deterministic: derived
     /// from attempt/shard numbering, not arrival order).
     pub seq: u32,
+    /// `seq` of the span this one hangs under (0 for root-level spans);
+    /// the trace-propagation layer threads it via
+    /// [`TraceContext`](crate::TraceContext).
+    pub parent: u32,
     /// Worker / engine / unit that executed the stage (0 when n/a).
     pub worker: u32,
     /// The stage covered.
@@ -173,7 +185,10 @@ impl SpanRing {
             (u64::from(ev.seq) << 32) | u64::from(ev.worker), // seq | worker
             Ordering::Relaxed,
         );
-        w[2].store(ev.stage as u64, Ordering::Relaxed);
+        w[2].store(
+            (u64::from(ev.parent) << 32) | ev.stage as u64, // parent | stage
+            Ordering::Relaxed,
+        );
         w[3].store(ev.start_cycles, Ordering::Relaxed);
         w[4].store(ev.dur_cycles, Ordering::Relaxed);
         w[5].store(ev.bytes, Ordering::Relaxed);
@@ -204,7 +219,8 @@ impl SpanRing {
                 request: words[0],
                 seq: (words[1] >> 32) as u32,
                 worker: words[1] as u32,
-                stage: Stage::from_u64(words[2]),
+                parent: (words[2] >> 32) as u32,
+                stage: Stage::from_u64(words[2] & 0xffff_ffff),
                 start_cycles: words[3],
                 dur_cycles: words[4],
                 bytes: words[5],
@@ -233,6 +249,7 @@ mod tests {
         SpanEvent {
             request,
             seq,
+            parent: seq.wrapping_sub(1),
             worker: 3,
             stage: Stage::Engine,
             start_cycles: 10 * u64::from(seq),
@@ -322,6 +339,8 @@ mod tests {
             (Stage::Fallback, "fallback"),
             (Stage::Complete, "complete"),
             (Stage::Shard, "shard"),
+            (Stage::Admit, "admit"),
+            (Stage::Dispatch, "dispatch"),
         ] {
             assert_eq!(stage.name(), name);
             assert_eq!(Stage::from_u64(stage as u64), stage);

@@ -1,0 +1,152 @@
+//! Request-scoped trace propagation.
+//!
+//! A [`TraceContext`] is the tiny value handed across every stage
+//! boundary of a request's life: service admission mints one, the
+//! scheduler and engine front ends carry it, and every span the request
+//! emits downstream shares its `trace_id` (the span ring's `request`
+//! coordinate). The context also carries the **parent span id** — the
+//! `seq` of the span that caused the handoff — so exporters and the
+//! nesting proptest can reconstruct the fan-out tree, plus the
+//! deterministic continuation state (`child_seq`, `at_cycles`) that keeps
+//! a request's timeline request-local and byte-stable across runs.
+//!
+//! Sampling is decided once, at the root, by a [`Sampler`]: a pure
+//! function of the trace id (no RNG, no clock), so the same request
+//! stream samples the same requests on every run. An unsampled context
+//! still flows through the stack — histograms and counters record
+//! unconditionally; only span-ring pushes are skipped — which is what
+//! keeps 1/256 sampling within the E24 ≤1% overhead gate.
+
+/// Sampling decision policy for new traces.
+///
+/// Pure and deterministic: the decision is a function of the trace id
+/// alone, so two runs over the same request stream sample identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sampler {
+    /// Record spans for every request.
+    #[default]
+    Always,
+    /// Record spans for no request (histograms/counters still record).
+    Never,
+    /// Record spans for one request in `n` (`trace_id % n == 0`).
+    OneIn(u64),
+}
+
+impl Sampler {
+    /// A 1-in-`n` sampler; `n ≤ 1` degenerates to [`Sampler::Always`].
+    pub fn one_in(n: u64) -> Self {
+        if n <= 1 {
+            Sampler::Always
+        } else {
+            Sampler::OneIn(n)
+        }
+    }
+
+    /// Whether a trace with this id records spans.
+    #[inline]
+    pub fn decide(self, trace_id: u64) -> bool {
+        match self {
+            Sampler::Always => true,
+            Sampler::Never => false,
+            Sampler::OneIn(n) => trace_id.is_multiple_of(n.max(1)),
+        }
+    }
+}
+
+/// Root span id: a root context's `parent_span` (no parent).
+pub const NO_PARENT: u32 = 0;
+
+/// The per-request trace context threaded through the stack.
+///
+/// `trace_id` keys every span of the request; `parent_span` is the `seq`
+/// of the span the current stage hangs under; `sampled` gates span-ring
+/// recording; `child_seq`/`at_cycles` are the deterministic continuation
+/// point (first free span index and request-local cycle cursor) handed to
+/// the next stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id — the span ring's `request` coordinate.
+    pub trace_id: u64,
+    /// `seq` of the parent span ([`NO_PARENT`] at the root).
+    pub parent_span: u32,
+    /// Whether this trace records spans (histograms record regardless).
+    pub sampled: bool,
+    /// First span `seq` available to the receiving stage.
+    pub child_seq: u32,
+    /// Request-local cycle cursor at handoff.
+    pub at_cycles: u64,
+}
+
+impl TraceContext {
+    /// A new root context for `trace_id`, sampled per `sampler`.
+    pub fn root(trace_id: u64, sampler: Sampler) -> Self {
+        Self {
+            trace_id,
+            parent_span: NO_PARENT,
+            sampled: sampler.decide(trace_id),
+            child_seq: 0,
+            at_cycles: 0,
+        }
+    }
+
+    /// An unsampled context (spans suppressed, id still usable).
+    pub fn unsampled(trace_id: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span: NO_PARENT,
+            sampled: false,
+            child_seq: 0,
+            at_cycles: 0,
+        }
+    }
+
+    /// A child context hanging under span `parent_span`, with the next
+    /// free span index and the cycle cursor advanced to `at_cycles`.
+    pub fn child(&self, parent_span: u32, child_seq: u32, at_cycles: u64) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            parent_span,
+            sampled: self.sampled,
+            child_seq,
+            at_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic_and_ratioed() {
+        let s = Sampler::one_in(256);
+        let hits: Vec<u64> = (0..2048).filter(|&id| s.decide(id)).collect();
+        assert_eq!(hits.len(), 8);
+        assert!(hits.iter().all(|id| id % 256 == 0));
+        // Same ids decide the same way on every call.
+        for &id in &hits {
+            assert!(s.decide(id));
+        }
+        assert!(Sampler::Always.decide(u64::MAX));
+        assert!(!Sampler::Never.decide(0));
+        assert_eq!(Sampler::one_in(1), Sampler::Always);
+        assert_eq!(Sampler::one_in(0), Sampler::Always);
+    }
+
+    #[test]
+    fn child_contexts_inherit_id_and_sampling() {
+        let root = TraceContext::root(512, Sampler::one_in(256));
+        assert!(root.sampled);
+        assert_eq!(root.parent_span, NO_PARENT);
+        let child = root.child(2, 3, 1600);
+        assert_eq!(child.trace_id, 512);
+        assert_eq!(child.parent_span, 2);
+        assert_eq!(child.child_seq, 3);
+        assert_eq!(child.at_cycles, 1600);
+        assert!(child.sampled);
+
+        let dark = TraceContext::root(513, Sampler::one_in(256));
+        assert!(!dark.sampled);
+        assert!(!dark.child(0, 1, 0).sampled);
+    }
+}

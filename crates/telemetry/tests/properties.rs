@@ -1,9 +1,53 @@
-//! Property tests for the histogram: quantile error bounds and merge
-//! equivalence over arbitrary inputs, the two guarantees the module docs
-//! promise.
+//! Property tests for the histogram (quantile error bounds, merge
+//! equivalence) and for trace propagation: parent/child span relations
+//! stay well-formed across a coalescing fan-out.
 
-use nx_telemetry::{LogHistogram, SUB_BUCKETS};
+use nx_telemetry::{
+    LogHistogram, MetricsRegistry, Stage, TelemetrySink, TraceContext, NO_PARENT, SUB_BUCKETS,
+};
 use proptest::prelude::*;
+
+/// Replays the service's coalescing shape through a sink: each request
+/// emits admit/queue-wait/dispatch on its root context, then a child
+/// context (hung under the dispatch span) emits the engine-side spans —
+/// exactly how the engine loop fans a batch out.
+fn fan_out(sink: &TelemetrySink, admission_durs: &[u64; 3], engine_durs: &[u64]) -> TraceContext {
+    let mut ctx = sink.begin_trace();
+    for (i, &dur) in admission_durs.iter().enumerate() {
+        let stage = [Stage::Admit, Stage::QueueWait, Stage::Dispatch][i];
+        sink.emit(
+            ctx.trace_id,
+            ctx.child_seq,
+            NO_PARENT,
+            stage,
+            0,
+            ctx.at_cycles,
+            dur,
+            0,
+            0,
+        );
+        ctx.child_seq += 1;
+        ctx.at_cycles += dur;
+    }
+    let dispatch_seq = ctx.child_seq - 1;
+    let mut child = ctx.child(dispatch_seq, ctx.child_seq, ctx.at_cycles);
+    for &dur in engine_durs {
+        sink.emit(
+            child.trace_id,
+            child.child_seq,
+            child.parent_span,
+            Stage::Engine,
+            0,
+            child.at_cycles,
+            dur,
+            0,
+            0,
+        );
+        child.child_seq += 1;
+        child.at_cycles += dur;
+    }
+    ctx
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -69,5 +113,61 @@ proptest! {
             singles.record(v);
         }
         prop_assert_eq!(bulk.snapshot(), singles.snapshot());
+    }
+
+    /// Across an arbitrary coalesced fan-out, every trace stays
+    /// well-formed: span seqs are unique and ascending on each request's
+    /// private timeline, every non-root span's parent exists in the same
+    /// trace with a smaller seq, and no child starts before its parent —
+    /// regardless of batch size or stage durations.
+    #[test]
+    fn fan_out_spans_nest_under_their_parents(
+        batches in proptest::collection::vec(
+            (
+                1u64..5_000,
+                0u64..50_000,
+                1u64..5_000,
+                proptest::collection::vec(1u64..100_000, 1..6),
+            ),
+            1..8,
+        ),
+    ) {
+        let sink = TelemetrySink::enabled(MetricsRegistry::new());
+        let mut ids = Vec::new();
+        for (admit, wait, dispatch, engine) in &batches {
+            ids.push(fan_out(&sink, &[*admit, *wait, *dispatch], engine).trace_id);
+        }
+        // One distinct trace id per fanned-out request.
+        let mut uniq = ids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), batches.len());
+
+        let spans = sink.trace();
+        for &id in &ids {
+            let mut tl: Vec<_> = spans.iter().filter(|s| s.request == id).collect();
+            tl.sort_by_key(|s| s.seq);
+            prop_assert!(!tl.is_empty());
+            for pair in tl.windows(2) {
+                prop_assert!(pair[1].seq > pair[0].seq, "duplicate seq in trace {id}");
+                prop_assert!(pair[1].start_cycles >= pair[0].start_cycles);
+            }
+            for s in &tl {
+                if s.parent == NO_PARENT {
+                    continue;
+                }
+                let parent = tl
+                    .iter()
+                    .find(|p| p.seq == s.parent)
+                    .expect("parent span present in the same trace");
+                prop_assert!(parent.seq < s.seq, "parent precedes child in seq order");
+                prop_assert!(
+                    parent.start_cycles <= s.start_cycles,
+                    "child {:?} starts before its parent {:?}",
+                    s,
+                    parent
+                );
+            }
+        }
     }
 }

@@ -18,17 +18,38 @@
 //! Background scanner, reporting per-tenant tails and the Jain fairness
 //! index.
 //!
+//! Part 3 is the observability loop (PR 8): the same storm re-runs with
+//! fault injection and per-class SLOs, the always-on flight recorder
+//! dumps its black box to `FLIGHT_DUMP.json`, and the threaded front
+//! end's span ring is exported as a Chrome trace (`ACCEL_TRACE.json`,
+//! loadable at `chrome://tracing`). A panic hook writes the same black
+//! box on the way down — the flight recorder's whole point is that the
+//! evidence survives the crash.
+//!
 //! ```text
 //! cargo run --release -p nx-core --example accel_server
 //! ```
 
 use nx_core::service::loadgen::{self, PayloadDist, StormConfig, TenantLoad};
 use nx_core::service::{QosClass, ServiceConfig, ServiceError, TenantSpec};
-use nx_core::{Format, Nx};
+use nx_core::{
+    FaultInjector, FaultPlan, FaultRates, Format, Nx, RecoveryPolicy, RecoveryWatermark,
+};
 use nx_corpus::CorpusKind;
+use nx_telemetry::{
+    install_flight_panic_hook, to_chrome_trace, FlightRecorder, MetricsRegistry, TelemetrySink,
+};
+use std::sync::Arc;
 
 /// Nest clock for cycle→µs conversion in the printed tables.
 const FREQ_GHZ: f64 = 2.0;
+
+/// Modeled core cycles per microsecond for the Chrome export.
+const CYCLES_PER_US: f64 = 2500.0;
+
+/// Where part 3 leaves the black box and the Chrome trace.
+const FLIGHT_PATH: &str = "FLIGHT_DUMP.json";
+const TRACE_PATH: &str = "ACCEL_TRACE.json";
 
 fn us(cycles: u64) -> f64 {
     cycles as f64 / (FREQ_GHZ * 1000.0)
@@ -37,6 +58,7 @@ fn us(cycles: u64) -> f64 {
 fn main() {
     threaded_front_end();
     virtual_storm();
+    observability_loop();
 }
 
 /// Part 1: the threaded service with live windows.
@@ -176,4 +198,139 @@ fn virtual_storm() {
         us(report.makespan_cycles),
         report.credit_violations
     );
+}
+
+/// Part 3: tracing + SLO burn rates + the flight-recorder black box.
+fn observability_loop() {
+    println!("\nobservability loop (tracing, SLOs, flight recorder)");
+    println!("===================================================\n");
+
+    // An instrumented handle: live registry + span ring, with the flight
+    // recorder teeing every sampled span and a panic hook that writes
+    // the black box on the way down.
+    let flight = Arc::new(FlightRecorder::new());
+    install_flight_panic_hook(flight.clone(), FLIGHT_PATH.into());
+    let sink = TelemetrySink::enabled(MetricsRegistry::new());
+    sink.attach_flight(flight.clone());
+    // Light fault pressure on the live handle so the recovery counters
+    // move and the black box has deltas to note.
+    let nx = Nx::with_faults(
+        nx_accel::AccelConfig::power9(),
+        FaultPlan::seeded(0x0B5E_0BED, FaultRates::sweep(0.03)),
+        RecoveryPolicy::default(),
+    )
+    .with_telemetry(sink);
+
+    // Traced service traffic: every request's admission, queueing,
+    // dispatch and engine spans land on one followable trace id.
+    let service = nx.service(ServiceConfig::default());
+    let rpc = service.open_window(TenantSpec::new("rpc", QosClass::Latency, 16));
+    let tickets: Vec<_> = (0..24u64)
+        .filter_map(|i| {
+            let json = CorpusKind::Json.generate(i, 800 + (i as usize * 131) % 3000);
+            rpc.submit(json, Format::Gzip).ok()
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("admitted work completes");
+    }
+    service.close();
+
+    let spans = nx.telemetry().trace();
+    let traces = {
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.request).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    };
+    // Note the recovery-counter deltas into the black box at the end of
+    // the traced window: if the process panics later, the dump shows how
+    // much retry/fallback pressure the live handle had absorbed by then.
+    let window_end = spans
+        .iter()
+        .map(|s| s.start_cycles + s.dur_cycles)
+        .max()
+        .unwrap_or(0);
+    let mut mark = RecoveryWatermark::default();
+    nx.stats().note_recovery(&flight, window_end, &mut mark);
+    println!(
+        "live-handle recovery absorbed so far: {} retries, {} fallbacks",
+        nx.stats().retries(),
+        nx.stats().software_fallbacks()
+    );
+    match std::fs::write(TRACE_PATH, to_chrome_trace(&spans, CYCLES_PER_US)) {
+        Ok(()) => println!(
+            "service spans: {} across {traces} traces -> `{TRACE_PATH}` (chrome://tracing)",
+            spans.len()
+        ),
+        Err(e) => println!("could not write `{TRACE_PATH}`: {e}"),
+    }
+
+    // The E23 storm again, now with seeded faults and default per-class
+    // SLOs: the burn-rate monitor watches every completion/rejection and
+    // the storm pulls the black-box handle at the end of a faulted run.
+    let loads = vec![
+        TenantLoad::new(
+            TenantSpec::new("rpc", QosClass::Latency, 16),
+            30_000.0,
+            PayloadDist::new(CorpusKind::Json, 256, 4096, 1.2),
+            200,
+        ),
+        TenantLoad::new(
+            TenantSpec::new("hog", QosClass::Throughput, 12),
+            4_000.0,
+            PayloadDist::new(CorpusKind::Logs, 24 << 10, 48 << 10, 1.3),
+            600,
+        ),
+        TenantLoad::new(
+            TenantSpec::new("scan", QosClass::Background, 4),
+            150_000.0,
+            PayloadDist::new(CorpusKind::Text, 32 << 10, 96 << 10, 1.3),
+            40,
+        ),
+    ];
+    let inj = FaultInjector::new(
+        FaultPlan::seeded(0x5EED_2020, FaultRates::sweep(0.04)),
+        RecoveryPolicy::default(),
+    );
+    let report = loadgen::run_storm_faulted(0x5EED_2020, &loads, &StormConfig::default(), &inj);
+
+    println!("\nSLO burn rates after the faulted storm:");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>9} {:>8}",
+        "slo", "class", "fast burn", "slow burn", "budget", "alert"
+    );
+    for st in &report.slo_statuses {
+        println!(
+            "{:<8} {:>12} {:>10.2} {:>10.2} {:>8.0}% {:>8}",
+            st.name,
+            st.class,
+            st.fast_burn,
+            st.slow_burn,
+            st.budget_remaining * 100.0,
+            if st.alerting { "FIRING" } else { "ok" }
+        );
+    }
+    for ev in &report.slo_events {
+        println!(
+            "  slo event: {} {}/{} fast {:.1}x slow {:.1}x at cycle {}",
+            ev.kind.name(),
+            ev.slo,
+            ev.class,
+            ev.fast_burn,
+            ev.slow_burn,
+            ev.at_cycles
+        );
+    }
+
+    match report.flight_dump.as_deref() {
+        Some(dump) => match std::fs::write(FLIGHT_PATH, dump) {
+            Ok(()) => println!(
+                "\nflight recorder: {} retries, {} fallbacks recorded -> `{FLIGHT_PATH}`",
+                report.retries, report.fallbacks
+            ),
+            Err(e) => println!("could not write `{FLIGHT_PATH}`: {e}"),
+        },
+        None => println!("\nflight recorder: no dump (clean storm, no SLO breach)"),
+    }
 }

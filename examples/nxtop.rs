@@ -25,7 +25,10 @@
 use nx_core::fault::{FaultPlan, FaultRates, RecoveryPolicy};
 use nx_core::parallel::ParallelOptions;
 use nx_core::{Format, Nx};
-use nx_telemetry::{to_chrome_trace, to_prometheus, MetricValue, MetricsRegistry, TelemetrySink};
+use nx_telemetry::{
+    to_chrome_trace, to_prometheus, MetricValue, MetricsRegistry, SloMonitor, SloSpec, SloStatus,
+    SpanEvent, TelemetrySink,
+};
 
 /// Modeled core cycles per microsecond (2.5 GHz) for the trace export.
 const CYCLES_PER_US: f64 = 2500.0;
@@ -130,17 +133,27 @@ fn main() {
     for i in 0..24u64 {
         let json = nx_corpus::CorpusKind::Json.generate(i, 1536);
         if let Ok(t) = rpc.submit(json, Format::Gzip) {
-            tickets.push(t);
+            tickets.push((0usize, t));
         }
         // The under-credited scanner bounces on NoCredit by design; the
         // rejection counter is part of the dashboard.
         let big = nx_corpus::CorpusKind::Text.generate(i, 32 << 10);
         if let Ok(t) = scan.submit(big, Format::Gzip) {
-            tickets.push(t);
+            tickets.push((1usize, t));
         }
     }
-    for t in tickets {
-        let _ = t.wait().expect("service job");
+    // The live SLO panel: per-tenant latency objectives evaluated by the
+    // burn-rate monitor as completions stream in, on a virtual clock
+    // advanced by the modeled latencies themselves (deterministic — the
+    // same property the loadgen storm relies on).
+    let mut slo = SloMonitor::new();
+    slo.add(SloSpec::new("rpc", "latency", 120_000, 0.95));
+    slo.add(SloSpec::new("scan", "background", 2_000_000, 0.90));
+    let mut now = 0u64;
+    for (idx, t) in tickets {
+        let served = t.wait().expect("service job");
+        now += served.latency_cycles;
+        slo.observe(idx, now, served.latency_cycles, true);
     }
     assert!(service.credits_conserved(), "credit leak");
     service.close();
@@ -152,18 +165,33 @@ fn main() {
     match mode.as_str() {
         "--prom" => print!("{}", to_prometheus(&snapshot)),
         "--trace" => print!("{}", to_chrome_trace(&sink.trace(), CYCLES_PER_US)),
-        _ => render_dashboard(&snapshot, sink.trace().len(), sink.trace_dropped()),
+        _ => render_dashboard(
+            &snapshot,
+            &slo.statuses(),
+            &sink.trace(),
+            sink.trace_dropped(),
+        ),
     }
 }
 
 /// Renders the interactive-style dashboard view.
-fn render_dashboard(snapshot: &[(String, MetricValue)], spans: usize, dropped: u64) {
+fn render_dashboard(
+    snapshot: &[(String, MetricValue)],
+    slo: &[SloStatus],
+    trace: &[SpanEvent],
+    dropped: u64,
+) {
     println!("nxtop — unified telemetry snapshot");
     println!("==================================\n");
 
     println!("{:<48} {:>14}", "counter / gauge", "value");
     println!("{:-<48} {:->14}", "", "");
     for (name, value) in snapshot {
+        // The raw per-tenant service counters are summarized by the SLO
+        // panel below instead of dumped row by row.
+        if name.starts_with("nx_service_") {
+            continue;
+        }
         match value {
             MetricValue::Counter(v) => println!("{name:<48} {v:>14}"),
             MetricValue::Gauge(v) => println!("{name:<48} {v:>14}"),
@@ -188,6 +216,76 @@ fn render_dashboard(snapshot: &[(String, MetricValue)], spans: usize, dropped: u
         }
     }
 
-    println!("\nspan trace: {spans} spans recorded, {dropped} dropped");
+    // The live SLO panel: burn rates from the monitor fed as the service
+    // tickets completed.
+    println!(
+        "\n{:<10} {:>12} {:>10} {:>10} {:>9} {:>8}",
+        "slo", "class", "fast burn", "slow burn", "budget", "state"
+    );
+    println!(
+        "{:-<10} {:->12} {:->10} {:->10} {:->9} {:->8}",
+        "", "", "", "", "", ""
+    );
+    for st in slo {
+        println!(
+            "{:<10} {:>12} {:>10.2} {:>10.2} {:>8.0}% {:>8}",
+            st.name,
+            st.class,
+            st.fast_burn,
+            st.slow_burn,
+            st.budget_remaining * 100.0,
+            if st.alerting { "FIRING" } else { "ok" }
+        );
+    }
+
+    // Slowest recent traces: walk every latency histogram's buckets from
+    // the top, resolve each bucket's exemplar trace id against the span
+    // ring, and print the per-stage breakdown — the tail-latency drill-
+    // down the exemplar plumbing exists for.
+    let mut exemplars: Vec<(u64, u64)> = Vec::new(); // (bucket le, trace id)
+    for (name, value) in snapshot {
+        if !name.contains("latency") {
+            continue;
+        }
+        if let MetricValue::Histogram(h) = value {
+            for b in &h.buckets {
+                if let Some(id) = b.exemplar {
+                    exemplars.push((b.le, id));
+                }
+            }
+        }
+    }
+    exemplars.sort_unstable_by(|a, b| b.cmp(a));
+    exemplars.dedup_by_key(|e| e.1);
+    println!("\nslowest recent traces (latency-bucket exemplars):");
+    let mut shown = 0;
+    for (le, id) in exemplars {
+        let mut spans: Vec<&SpanEvent> = trace.iter().filter(|s| s.request == id).collect();
+        if spans.is_empty() {
+            continue; // exemplar outlived the span ring
+        }
+        spans.sort_by_key(|s| s.seq);
+        let total: u64 = spans.iter().map(|s| s.dur_cycles).sum();
+        let breakdown: Vec<String> = spans
+            .iter()
+            .map(|s| format!("{} {}", s.stage.name(), s.dur_cycles))
+            .collect();
+        println!(
+            "  trace {id:>6}  <= {le:>9} cyc  total {total:>8} cyc  [{}]",
+            breakdown.join(", ")
+        );
+        shown += 1;
+        if shown == 5 {
+            break;
+        }
+    }
+    if shown == 0 {
+        println!("  (no exemplars resolve to live spans)");
+    }
+
+    println!(
+        "\nspan trace: {} spans recorded, {dropped} dropped",
+        trace.len()
+    );
     println!("(re-run with --prom for Prometheus text, --trace for Chrome trace JSON)");
 }

@@ -66,6 +66,13 @@ DECODE_PATHS=(
     crates/telemetry/src/span.rs
     crates/telemetry/src/export.rs
     crates/telemetry/src/clock.rs
+    crates/telemetry/src/buckets.rs
+    # The PR 8 observability layer: trace propagation runs inside every
+    # request, the SLO monitor inside every completion, and the flight
+    # recorder must survive the very faults it exists to record.
+    crates/telemetry/src/trace.rs
+    crates/telemetry/src/slo.rs
+    crates/telemetry/src/flight.rs
     # Encoder hot paths: the level ladder routes arbitrary user input
     # through these, so they carry the same no-panic contract.
     crates/deflate/src/encoder.rs
@@ -99,6 +106,13 @@ if [[ "$FAST" == "0" ]]; then
     # pinned faulted trace; it writes BENCH_OBS.json + BENCH_TRACE.json.
     cargo run --offline --release -p nx-bench --bin tables -- e19 > /dev/null
     max_pct=$(awk -F'"max_overhead_pct": ' '/max_overhead_pct/{split($2,a,","); print a[1]}' BENCH_OBS.json)
+    if ! awk -v p="$max_pct" 'BEGIN{exit !(p <= 5.0)}'; then
+        # Overhead percentages are a ratio of two noisy timings; give the
+        # gate the same one-re-measure damper as the E20-E23 gates below.
+        echo "    telemetry overhead ${max_pct}% above the 5% bar; re-measuring once"
+        cargo run --offline --release -p nx-bench --bin tables -- e19 > /dev/null
+        max_pct=$(awk -F'"max_overhead_pct": ' '/max_overhead_pct/{split($2,a,","); print a[1]}' BENCH_OBS.json)
+    fi
     if ! awk -v p="$max_pct" 'BEGIN{exit !(p <= 5.0)}'; then
         echo "==> FAIL: telemetry overhead ${max_pct}% exceeds the 5% bar"
         exit 1
@@ -258,6 +272,61 @@ if [[ "$FAST" == "0" ]]; then
     else
         echo "    no committed baseline found; recorded ${sfresh} us"
     fi
+
+    echo "==> tracing overhead gate (E24: always-on 5%, 1-in-256 1%)"
+    # E24 interleaves tracing-off / always-sample / 1-in-256 handles at
+    # request granularity and takes per-request floors, so the bars can
+    # be tight; it also proves every latency-bucket exemplar resolves to
+    # a live span in the ring.
+    cargo run --offline --release -p nx-bench --bin tables -- e24 > /dev/null
+    always_pct=$(awk -F'"always_overhead_pct": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_TRACING.json)
+    sampled_pct=$(awk -F'"sampled_overhead_pct": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_TRACING.json)
+    python3 -m json.tool BENCH_TRACING.json > /dev/null
+    if ! awk -v a="$always_pct" -v s="$sampled_pct" 'BEGIN{exit !(a <= 5.0 && s <= 1.0)}'; then
+        # Same one-re-measure damper as every other timing gate.
+        echo "    tracing overhead always ${always_pct}% / sampled ${sampled_pct}% above bars; re-measuring once"
+        cargo run --offline --release -p nx-bench --bin tables -- e24 > /dev/null
+        always_pct=$(awk -F'"always_overhead_pct": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_TRACING.json)
+        sampled_pct=$(awk -F'"sampled_overhead_pct": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_TRACING.json)
+    fi
+    if ! awk -v p="$always_pct" 'BEGIN{exit !(p <= 5.0)}'; then
+        echo "==> FAIL: always-sample tracing overhead ${always_pct}% exceeds the 5% bar"
+        exit 1
+    fi
+    if ! awk -v p="$sampled_pct" 'BEGIN{exit !(p <= 1.0)}'; then
+        echo "==> FAIL: 1-in-256 tracing overhead ${sampled_pct}% exceeds the 1% bar"
+        exit 1
+    fi
+    if ! grep -q '"exemplars_resolve": true' BENCH_TRACING.json; then
+        echo "==> FAIL: a latency-bucket exemplar did not resolve to a live span"
+        exit 1
+    fi
+    echo "    tracing overhead: always ${always_pct}% (bar 5%), 1-in-256 ${sampled_pct}% (bar 1%)"
+
+    echo "==> flight-recorder smoke (black box parses, holds a complete trace)"
+    # The accel_server example runs a faulted storm whose report carries
+    # the flight recorder's dump; prove the black box is real JSON and
+    # that at least one trace in it is complete admission-to-completion.
+    cargo run --offline --release -p nx-core --example accel_server > /dev/null
+    python3 -m json.tool FLIGHT_DUMP.json > /dev/null
+    python3 - <<'EOF'
+import json
+
+with open("FLIGHT_DUMP.json") as f:
+    dump = json.load(f)
+assert dump["version"] == 1, "unknown flight-dump version"
+assert dump["reason"] in ("fault-storm", "slo-breach"), dump["reason"]
+traces = {}
+for span in dump["spans"]:
+    traces.setdefault(span["trace"], set()).add(span["stage"])
+need = {"admit", "queue_wait", "dispatch", "engine", "complete"}
+complete = [t for t, stages in traces.items() if need <= stages]
+assert complete, f"no complete trace in the black box ({len(traces)} traces)"
+print(f"    flight dump: {len(dump['spans'])} spans, "
+      f"{len(complete)}/{len(traces)} complete traces, "
+      f"{len(dump['counters'])} counter notes, "
+      f"{len(dump['slo_events'])} slo events")
+EOF
 fi
 
 echo "==> OK"
