@@ -201,7 +201,12 @@ impl AsyncSession {
                                 let (raw, report) = engine.compress(&data);
                                 (framing::wrap(raw, &data, format), report)
                             } else {
-                                let bytes = software::compress(&data, opts.level(), format);
+                                let bytes = software::compress_with_engine(
+                                    &data,
+                                    opts.level(),
+                                    opts.engine(),
+                                    format,
+                                );
                                 let report = CompressReport {
                                     config_name: "software-ladder",
                                     freq_ghz,

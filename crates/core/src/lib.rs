@@ -262,6 +262,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CompressOptions {
     level: nx_deflate::CompressionLevel,
+    engine: nx_deflate::Engine,
 }
 
 impl CompressOptions {
@@ -274,6 +275,7 @@ impl CompressOptions {
     pub fn from_level(level: nx_deflate::Level) -> Self {
         Self {
             level: level.into(),
+            ..Self::default()
         }
     }
 
@@ -285,7 +287,23 @@ impl CompressOptions {
     pub fn from_numeric(level: u32) -> Result<Self> {
         Ok(Self {
             level: nx_deflate::CompressionLevel::new(level)?,
+            ..Self::default()
         })
+    }
+
+    /// Forces an LZ77 [`nx_deflate::Engine`] for the software paths:
+    /// `Speculative` runs the NX-style batched matcher at every rung,
+    /// `Sequential` the classic greedy/lazy ladder; the default `Auto`
+    /// routes levels 1–3 through the batch engine. Non-default engines
+    /// make the options accelerator-ineligible, like non-default levels.
+    pub fn with_engine(mut self, engine: nx_deflate::Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The LZ77 engine selection in force.
+    pub fn engine(&self) -> nx_deflate::Engine {
+        self.engine
     }
 
     /// The exact numeric compression level in force.
@@ -536,7 +554,7 @@ impl Nx {
             self.compress_traced(data, format, &mut trace)
         } else {
             trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
-            let out = self.compress_software_at(data, format, opts.level());
+            let out = self.compress_software_at(data, format, opts);
             trace.finish(out.bytes.len() as u64);
             Ok(out)
         }
@@ -658,7 +676,7 @@ impl Nx {
         }
         let mut trace = Trace::begin(&self.telemetry);
         trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
-        let out = self.compress_software_at(data, format, opts.level());
+        let out = self.compress_software_at(data, format, opts);
         trace.finish(out.bytes.len() as u64);
         Ok(out)
     }
@@ -666,16 +684,16 @@ impl Nx {
     /// Software-fallback compression: a valid stream from the CPU path
     /// (bytes differ from the accelerator's but decode identically).
     fn compress_software(&self, data: &[u8], format: Format) -> Compressed {
-        self.compress_software_at(data, format, self.opts.level())
+        self.compress_software_at(data, format, self.opts)
     }
 
     fn compress_software_at(
         &self,
         data: &[u8],
         format: Format,
-        level: nx_deflate::CompressionLevel,
+        opts: CompressOptions,
     ) -> Compressed {
-        let bytes = software::compress(data, level, format);
+        let bytes = software::compress_with_engine(data, opts.level(), opts.engine(), format);
         self.stats.record_software_fallback();
         self.stats
             .record_compress(Codec::Deflate, data.len() as u64, bytes.len() as u64, 0);
@@ -1133,6 +1151,7 @@ impl Nx {
             Arc::clone(&self.stats),
             self.telemetry.clone(),
             level,
+            nx_deflate::Engine::Auto,
             Arc::clone(&self.pool),
         ))
     }
@@ -1144,6 +1163,7 @@ impl Nx {
             Arc::clone(&self.stats),
             self.telemetry.clone(),
             opts.level(),
+            opts.engine(),
             Arc::clone(&self.pool),
         )
     }

@@ -56,7 +56,7 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendErr
 use nx_deflate::adler32::{adler32, adler32_combine};
 use nx_deflate::crc32::{crc32, crc32_combine};
 use nx_deflate::stream::{Flush, StreamEncoder};
-use nx_deflate::{gzip, zlib, CompressionLevel};
+use nx_deflate::{gzip, zlib, CompressionLevel, Engine};
 use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink, TraceContext, NO_PARENT};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -119,6 +119,7 @@ struct Job {
     chunk: Range<usize>,
     dict: Range<usize>,
     level: u32,
+    engine: Engine,
     format: Format,
     is_final: bool,
     done: Sender<ShardOut>,
@@ -438,7 +439,7 @@ impl ParallelEngine {
     /// [`ParallelStats::serial_fallbacks`] — instead of hanging or
     /// surfacing a transient.
     pub fn compress(&self, data: &[u8], level: u32, format: Format) -> Result<Vec<u8>> {
-        self.compress_traced(data, level, format, None)
+        self.compress_traced(data, level, Engine::Auto, format, None)
     }
 
     /// As [`compress`](Self::compress), but every shard span the pool
@@ -456,18 +457,19 @@ impl ParallelEngine {
         format: Format,
         ctx: &TraceContext,
     ) -> Result<Vec<u8>> {
-        self.compress_traced(data, level, format, Some(ctx))
+        self.compress_traced(data, level, Engine::Auto, format, Some(ctx))
     }
 
     fn compress_traced(
         &self,
         data: &[u8],
         level: u32,
+        engine: Engine,
         format: Format,
         ctx: Option<&TraceContext>,
     ) -> Result<Vec<u8>> {
         CompressionLevel::new(level)?;
-        match self.compress_pooled(data, level, format, ctx) {
+        match self.compress_pooled(data, level, engine, format, ctx) {
             Some(framed) => {
                 self.record_request(data.len(), framed.len());
                 Ok(framed)
@@ -480,7 +482,7 @@ impl ParallelEngine {
                     let s = inj.stats();
                     s.bump(&s.serial_fallbacks);
                 }
-                let framed = self.compress_serial(data, level, format)?;
+                let framed = self.compress_serial_engine(data, level, engine, format)?;
                 self.record_request(data.len(), framed.len());
                 Ok(framed)
             }
@@ -500,7 +502,7 @@ impl ParallelEngine {
         opts: crate::CompressOptions,
         format: Format,
     ) -> Result<Vec<u8>> {
-        self.compress(data, opts.level().get(), format)
+        self.compress_traced(data, opts.level().get(), opts.engine(), format, None)
     }
 
     /// Runs one request through the pool; `None` means the pool could not
@@ -510,6 +512,7 @@ impl ParallelEngine {
         &self,
         data: &[u8],
         level: u32,
+        engine: Engine,
         format: Format,
         ctx: Option<&TraceContext>,
     ) -> Option<Vec<u8>> {
@@ -548,6 +551,7 @@ impl ParallelEngine {
                     chunk,
                     dict,
                     level,
+                    engine,
                     format,
                     is_final: seq + 1 == njobs,
                     done: done_tx.clone(),
@@ -618,6 +622,19 @@ impl ParallelEngine {
     ///
     /// [`Error::Deflate`] for an invalid `level`.
     pub fn compress_serial(&self, data: &[u8], level: u32, format: Format) -> Result<Vec<u8>> {
+        self.compress_serial_engine(data, level, Engine::Auto, format)
+    }
+
+    /// The serial reference with an explicit LZ77 engine — the inline
+    /// fallback for [`compress_with`](Self::compress_with) requests must
+    /// match the pooled bytes for the *requested* engine.
+    fn compress_serial_engine(
+        &self,
+        data: &[u8],
+        level: u32,
+        engine: Engine,
+        format: Format,
+    ) -> Result<Vec<u8>> {
         CompressionLevel::new(level)?;
         let shards = shard_ranges(data.len(), self.opts.chunk_size);
         let njobs = shards.len();
@@ -633,6 +650,7 @@ impl ParallelEngine {
                     &data[chunk.clone()],
                     &data[dict],
                     level,
+                    engine,
                     format,
                     seq + 1 == njobs,
                 )
@@ -762,6 +780,7 @@ fn worker_loop(
                 chunk,
                 dict,
                 job.level,
+                job.engine,
                 job.format,
                 job.is_final,
             )
@@ -813,22 +832,24 @@ fn worker_loop(
 
 /// Compresses one shard into `buf` (a pooled buffer the caller releases
 /// after stitching), reusing `enc` when the level matches.
+#[allow(clippy::too_many_arguments)]
 fn compress_shard(
     enc: &mut Option<StreamEncoder>,
     mut buf: Vec<u8>,
     chunk: &[u8],
     dict: &[u8],
     level: u32,
+    engine: Engine,
     format: Format,
     is_final: bool,
 ) -> ShardData {
     let lvl = CompressionLevel::new(level).expect("validated at submission");
     let enc = match enc {
-        Some(e) if e.level() == lvl => {
+        Some(e) if e.level() == lvl && e.engine() == engine => {
             e.reset_with_dict(dict);
             e
         }
-        slot => slot.insert(StreamEncoder::with_dict(lvl, dict)),
+        slot => slot.insert(StreamEncoder::with_dict_engine(lvl, dict, engine)),
     };
     let flush = if is_final { Flush::Finish } else { Flush::Sync };
     buf.clear();

@@ -38,7 +38,7 @@ use crate::{Result, Trace, SUBMIT_CYCLES};
 use nx_deflate::adler32::adler32;
 use nx_deflate::crc32::crc32;
 use nx_deflate::stream::{Flush, StreamEncoder};
-use nx_deflate::{gzip, zlib, CompressionLevel, InflateScratch};
+use nx_deflate::{gzip, zlib, CompressionLevel, Engine, InflateScratch};
 use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -234,6 +234,32 @@ impl MetricSource for EncodePathMetrics {
                 MetricValue::Counter(count),
             ));
         }
+        // Speculative batch-matcher cover statistics: 8-position windows
+        // resolved, candidates probed, positions covered by matches,
+        // candidates the cover resolver discarded, and the distribution
+        // of picks per window (0..=8).
+        out.push((
+            "nx_encode_spec_windows_total".into(),
+            MetricValue::Counter(c.spec_windows),
+        ));
+        out.push((
+            "nx_encode_spec_candidates_total".into(),
+            MetricValue::Counter(c.spec_candidates),
+        ));
+        out.push((
+            "nx_encode_spec_covered_total".into(),
+            MetricValue::Counter(c.spec_covered),
+        ));
+        out.push((
+            "nx_encode_spec_discarded_total".into(),
+            MetricValue::Counter(c.spec_discarded),
+        ));
+        for (picks, &count) in c.spec_cover_hist.iter().enumerate() {
+            out.push((
+                format!("nx_encode_spec_cover_{picks}_total"),
+                MetricValue::Counter(count),
+            ));
+        }
     }
 }
 
@@ -262,13 +288,14 @@ impl ScratchSession {
         stats: Arc<NxStats>,
         telemetry: TelemetrySink,
         level: CompressionLevel,
+        engine: Engine,
         pool: Arc<BufferPool>,
     ) -> Self {
         Self {
             stats,
             telemetry,
             level,
-            enc: StreamEncoder::new(level),
+            enc: StreamEncoder::with_engine(level, engine),
             inflate: InflateScratch::new(),
             pool,
         }
@@ -277,6 +304,11 @@ impl ScratchSession {
     /// The configured compression level.
     pub fn level(&self) -> CompressionLevel {
         self.level
+    }
+
+    /// The configured LZ77 engine selection.
+    pub fn engine(&self) -> Engine {
+        self.enc.engine()
     }
 
     /// The buffer pool this session shares with its [`crate::Nx`] handle.
@@ -480,9 +512,11 @@ mod tests {
     #[test]
     fn encode_path_metrics_export() {
         // Drive the encoder at a lazy level so the per-level, block-type
-        // and chain-walk counters all move.
+        // and chain-walk counters all move, and at a speculative level so
+        // the batch-matcher cover counters move too.
         let data = b"encode metrics encode metrics encode metrics".repeat(200);
         let _ = nx_deflate::deflate(&data, CompressionLevel::new(6).unwrap());
+        let _ = nx_deflate::deflate(&data, CompressionLevel::new(1).unwrap());
         let mut out = Vec::new();
         EncodePathMetrics.collect(&mut out);
         let names: Vec<&str> = out.iter().map(|(n, _)| n.as_str()).collect();
@@ -494,9 +528,24 @@ mod tests {
             "nx_encode_blocks_level_default_total",
             "nx_encode_chain_walk_0_total",
             "nx_encode_chain_walk_gt_63_total",
+            "nx_encode_spec_windows_total",
+            "nx_encode_spec_candidates_total",
+            "nx_encode_spec_covered_total",
+            "nx_encode_spec_discarded_total",
+            "nx_encode_spec_cover_0_total",
+            "nx_encode_spec_cover_8_total",
         ] {
             assert!(names.contains(&want), "missing metric {want}");
         }
+        let spec_windows: u64 = out
+            .iter()
+            .find(|(n, _)| n == "nx_encode_spec_windows_total")
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .unwrap_or(0);
+        assert!(spec_windows > 0, "speculative windows not counted");
         let total_blocks: u64 = out
             .iter()
             .filter(|(n, _)| n.starts_with("nx_encode_blocks_level_"))

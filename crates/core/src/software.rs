@@ -4,7 +4,7 @@
 
 use crate::framing::{self, Format};
 use crate::Result;
-use nx_deflate::CompressionLevel;
+use nx_deflate::{CompressionLevel, Engine};
 
 /// Compresses `data` in software at `level`, framed as `format`.
 ///
@@ -19,7 +19,19 @@ use nx_deflate::CompressionLevel;
 /// # }
 /// ```
 pub fn compress(data: &[u8], level: CompressionLevel, format: Format) -> Vec<u8> {
-    let raw = nx_deflate::deflate(data, level);
+    compress_with_engine(data, level, Engine::Auto, format)
+}
+
+/// Compresses `data` in software at `level` with an explicit LZ77
+/// [`Engine`] selection (sequential ladder vs. the batched speculative
+/// matcher), framed as `format`.
+pub fn compress_with_engine(
+    data: &[u8],
+    level: CompressionLevel,
+    engine: Engine,
+    format: Format,
+) -> Vec<u8> {
+    let raw = nx_deflate::Encoder::with_engine(level, engine).compress(data);
     framing::wrap(raw, data, format)
 }
 

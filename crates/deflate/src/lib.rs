@@ -61,10 +61,10 @@ pub use decoder::{
     inflate_with_limit, BlockTrace, InflateScratch, Inflater,
 };
 pub use encoder::{
-    deflate, deflate_tokens, deflate_with_dict, encode_counters, CompressionLevel, EncodeCounters,
-    Encoder, Level, Strategy,
+    deflate, deflate_tokens, deflate_tokens_with, deflate_with_dict, encode_counters,
+    CompressionLevel, EncodeCounters, Encoder, Level, Strategy,
 };
-pub use lz77::Token;
+pub use lz77::{Engine, Token};
 pub use marker::{
     probe_block_start, resolve_markers_into, BlockProbe, MarkerInflater, MARKER_BASE,
 };

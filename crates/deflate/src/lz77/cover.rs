@@ -1,0 +1,231 @@
+//! Speculative match-cover resolution — the selection stage of the
+//! batched matcher (see [`super::batch`]).
+//!
+//! The NX pipeline probes all N=8 positions of a window before deciding
+//! anything, so several candidate matches with overlapping spans arrive
+//! at once and a combinational stage must pick a non-overlapping subset.
+//! This module is that stage in software: a pure function from the
+//! window's candidates to the selected cover, kept free of matcher state
+//! so it can be property-tested exhaustively.
+//!
+//! # Priority rules
+//!
+//! Candidates are considered **longest first**; equal lengths break
+//! toward the **earliest anchor**. A candidate loses outright when its
+//! anchor lies inside an already-selected span (the hardware-style
+//! "consumed position" rule — this is what makes the result equivalent
+//! to a lazy parse inside the window: a longer match starting one
+//! position later wins and the shorter early match is dropped). A
+//! candidate whose span merely runs *into* a later selected span is
+//! truncated to abut it, and dropped if the truncation falls below
+//! [`MIN_KEEP`]. Because every anchor inside a selected span is
+//! consumed, at most one selected match — the rightmost — can overshoot
+//! the window.
+
+/// Number of positions the batch engine hashes per step — the paper's
+/// N=8 bytes/cycle ingest width on POWER9.
+pub const WINDOW_LANES: usize = 8;
+
+/// Shortest match worth keeping after truncation. The batch engine only
+/// produces candidates of length ≥ 4 (a 4-byte hash cannot see shorter
+/// ones), and a 3-byte remnant of a truncated far match usually costs
+/// more than three literals, so remnants below 4 are discarded.
+pub const MIN_KEEP: u32 = 4;
+
+/// One match candidate inside an 8-position window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Anchor position, relative to the window start (`< window`).
+    pub offset: u32,
+    /// Match length in bytes; may overshoot the window end.
+    pub len: u32,
+    /// Backward distance (`1..=WINDOW_SIZE`).
+    pub dist: u32,
+}
+
+/// Selected matches, indexed by window-relative anchor offset.
+pub type CoverPicks = [Option<Candidate>; WINDOW_LANES];
+
+/// What cover resolution did to one window, for the per-window
+/// statistics exported through `nx-encode-paths`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverOutcome {
+    /// Matches selected (0..=[`WINDOW_LANES`]).
+    pub picked: usize,
+    /// Candidates dropped: anchor consumed by a selected span, or
+    /// truncated below [`MIN_KEEP`].
+    pub discarded: usize,
+    /// Window positions covered by selected matches (overshoot beyond
+    /// the window is not counted here).
+    pub covered: usize,
+}
+
+/// Resolves `cands` into a non-overlapping cover of a `window`-position
+/// region, writing the selections into `picks` (cleared first, indexed
+/// by anchor offset) and returning the outcome counters.
+///
+/// Requirements (debug-asserted): `window <= WINDOW_LANES`, candidates
+/// sorted by strictly increasing `offset < window`, every `len >=
+/// MIN_KEEP`. The selected spans never overlap, each selection anchors
+/// at its candidate's offset with `MIN_KEEP <= len <= candidate.len`,
+/// and at most one selection extends past the window end.
+pub fn resolve_cover(cands: &[Candidate], window: usize, picks: &mut CoverPicks) -> CoverOutcome {
+    debug_assert!(window <= WINDOW_LANES);
+    debug_assert!(cands.len() <= window);
+    debug_assert!(cands.windows(2).all(|w| w[0].offset < w[1].offset));
+    debug_assert!(cands
+        .iter()
+        .all(|c| (c.offset as usize) < window && c.len >= MIN_KEEP));
+    picks.fill(None);
+    let mut outcome = CoverOutcome::default();
+    let mut used = [false; WINDOW_LANES];
+    loop {
+        // Highest-priority unprocessed candidate: longest first; the
+        // `>` keeps the earliest anchor on ties (input is offset-sorted).
+        let mut best: Option<usize> = None;
+        for (i, c) in cands.iter().enumerate() {
+            if !used[i] && best.is_none_or(|b| c.len > cands[b].len) {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break };
+        used[i] = true;
+        let c = cands[i];
+        // Compare against every selection so far: a span covering our
+        // anchor kills the candidate; the nearest selection to the right
+        // caps its length.
+        let mut limit = c.len;
+        let mut anchor_consumed = false;
+        for s in picks.iter().flatten() {
+            if s.offset <= c.offset {
+                if s.offset + s.len > c.offset {
+                    anchor_consumed = true;
+                    break;
+                }
+            } else {
+                limit = limit.min(s.offset - c.offset);
+            }
+        }
+        if anchor_consumed || limit < MIN_KEEP {
+            outcome.discarded += 1;
+            continue;
+        }
+        picks[c.offset as usize] = Some(Candidate { len: limit, ..c });
+        outcome.picked += 1;
+        outcome.covered += limit.min(window as u32 - c.offset) as usize;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(offset: u32, len: u32, dist: u32) -> Candidate {
+        Candidate { offset, len, dist }
+    }
+
+    fn selections(picks: &CoverPicks) -> Vec<Candidate> {
+        picks.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn empty_window_resolves_to_nothing() {
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[], 8, &mut picks);
+        assert_eq!(out, CoverOutcome::default());
+        assert!(selections(&picks).is_empty());
+    }
+
+    #[test]
+    fn single_candidate_is_selected_whole() {
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[cand(2, 10, 100)], 8, &mut picks);
+        assert_eq!(out.picked, 1);
+        assert_eq!(out.discarded, 0);
+        // Only the in-window part counts as covered: positions 2..8.
+        assert_eq!(out.covered, 6);
+        assert_eq!(selections(&picks), vec![cand(2, 10, 100)]);
+    }
+
+    #[test]
+    fn longer_later_match_beats_shorter_earlier_one() {
+        // The lazy-equivalent case: a 4-byte match at 0 overlapped by a
+        // 12-byte match at 1. Longest-first selects the later one and
+        // consumes the earlier anchor.
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[cand(0, 4, 9), cand(1, 12, 50)], 8, &mut picks);
+        assert_eq!(out.picked, 1);
+        assert_eq!(out.discarded, 1);
+        assert_eq!(selections(&picks), vec![cand(1, 12, 50)]);
+    }
+
+    #[test]
+    fn earlier_match_is_truncated_to_abut_a_longer_later_one() {
+        // 8-byte match at 0 runs into a 20-byte match at 4: the winner is
+        // selected first, the earlier match keeps its 4-byte prefix.
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[cand(0, 8, 7), cand(4, 20, 300)], 8, &mut picks);
+        assert_eq!(out.picked, 2);
+        assert_eq!(out.discarded, 0);
+        assert_eq!(selections(&picks), vec![cand(0, 4, 7), cand(4, 20, 300)]);
+        assert_eq!(out.covered, 8);
+    }
+
+    #[test]
+    fn truncation_below_min_keep_discards() {
+        // 6-byte match at 0 against a 30-byte match at 2: the remnant
+        // would be 2 bytes, below MIN_KEEP, so it is dropped.
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[cand(0, 6, 11), cand(2, 30, 1000)], 8, &mut picks);
+        assert_eq!(out.picked, 1);
+        assert_eq!(out.discarded, 1);
+        assert_eq!(selections(&picks), vec![cand(2, 30, 1000)]);
+    }
+
+    #[test]
+    fn equal_lengths_prefer_the_earliest_anchor() {
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[cand(1, 5, 40), cand(3, 5, 60)], 8, &mut picks);
+        // The earlier 5-byte match wins; the later anchor (3) sits inside
+        // its span 1..6 and is consumed.
+        assert_eq!(out.picked, 1);
+        assert_eq!(out.discarded, 1);
+        assert_eq!(selections(&picks), vec![cand(1, 5, 40)]);
+    }
+
+    #[test]
+    fn disjoint_candidates_all_selected() {
+        let mut picks = CoverPicks::default();
+        let cands = [cand(0, 4, 10), cand(4, 4, 20)];
+        let out = resolve_cover(&cands, 8, &mut picks);
+        assert_eq!(out.picked, 2);
+        assert_eq!(out.covered, 8);
+        assert_eq!(selections(&picks), cands);
+    }
+
+    #[test]
+    fn at_most_one_selection_overshoots_the_window() {
+        // Every lane has a long candidate; whatever is selected must be
+        // non-overlapping, so only the rightmost pick can pass the edge.
+        let cands: Vec<Candidate> = (0..8).map(|i| cand(i, 40 + i, 500 + i)).collect();
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&cands, 8, &mut picks);
+        let sel = selections(&picks);
+        assert_eq!(out.picked, sel.len());
+        let overshooting = sel.iter().filter(|c| c.offset + c.len > 8).count();
+        assert_eq!(overshooting, 1);
+        // Non-overlap invariant.
+        for pair in sel.windows(2) {
+            assert!(pair[0].offset + pair[0].len <= pair[1].offset);
+        }
+    }
+
+    #[test]
+    fn covered_counts_only_window_positions() {
+        let mut picks = CoverPicks::default();
+        let out = resolve_cover(&[cand(0, 258, 1)], 4, &mut picks);
+        assert_eq!(out.covered, 4);
+        assert_eq!(out.picked, 1);
+    }
+}

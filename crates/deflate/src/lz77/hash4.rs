@@ -61,12 +61,19 @@ const TOO_FAR: usize = 4096;
 /// (`0, 1, 2–3, 4–7, …, ≥64`).
 pub const CHAIN_HIST_BUCKETS: usize = 8;
 
+/// The multiplicative hash over a 4-byte little-endian value — exposed
+/// to the batch engine, which loads its lane values with wide reads and
+/// hashes them itself.
+#[inline]
+pub(super) fn hash4_value(v: u32) -> usize {
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH4_BITS)) as usize
+}
+
 /// Hash of the four bytes at `data[pos]` (requires `pos + 4 <= len`).
 #[inline]
 fn hash4(data: &[u8], pos: usize) -> usize {
     let b = &data[pos..pos + 4];
-    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH4_BITS)) as usize
+    hash4_value(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 /// Hash of the three bytes at `data[pos]` (requires `pos + 3 <= len`).
@@ -76,6 +83,10 @@ fn hash3(data: &[u8], pos: usize) -> usize {
     let v = u32::from_le_bytes([b[0], b[1], b[2], 0]);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH3_BITS)) as usize
 }
+
+/// Buckets in the speculative cover histogram: a window of
+/// [`super::cover::WINDOW_LANES`] = 8 positions selects 0..=8 matches.
+pub const SPEC_COVER_BUCKETS: usize = 9;
 
 /// Per-tokenize search statistics, accumulated locally (plain integers on
 /// the hot path) and flushed once into the process-wide atomics.
@@ -87,11 +98,23 @@ pub struct SearchStats {
     pub chain_hist: [u64; CHAIN_HIST_BUCKETS],
     /// Lazy-matcher deferrals (a pending match displaced by a longer one).
     pub lazy_deferrals: u64,
+    /// 8-position windows resolved by the speculative batch engine.
+    pub spec_windows: u64,
+    /// Batch-engine candidates that survived probe + extension, before
+    /// cover resolution.
+    pub spec_candidates: u64,
+    /// Window positions covered by selected matches.
+    pub spec_covered: u64,
+    /// Candidates cover resolution dropped (anchor consumed by a longer
+    /// selection, or truncated below the keep threshold).
+    pub spec_discarded: u64,
+    /// Histogram of matches selected per window (index = pick count).
+    pub spec_cover_hist: [u64; SPEC_COVER_BUCKETS],
 }
 
 impl SearchStats {
     #[inline]
-    fn record_walk(&mut self, steps: usize) {
+    pub(super) fn record_walk(&mut self, steps: usize) {
         let bucket = (usize::BITS - steps.leading_zeros()) as usize;
         self.chain_hist[bucket.min(CHAIN_HIST_BUCKETS - 1)] += 1;
     }
@@ -120,7 +143,9 @@ pub struct Hash4Matcher {
     /// convention as `head`, no chain.
     head3: Vec<u32>,
     /// Local search statistics; see [`take_stats`](Self::take_stats).
-    stats: SearchStats,
+    /// Module-visible so the sibling batch engine records into the same
+    /// counters the sequential tokenizers use.
+    pub(super) stats: SearchStats,
 }
 
 impl Default for Hash4Matcher {
@@ -179,6 +204,42 @@ impl Hash4Matcher {
         let old3 = self.head3[h3];
         self.head3[h3] = stamp;
         (old, old3)
+    }
+
+    /// Hash4-chain-only insert for the batch engine: publishes `pos`
+    /// under the precomputed hash `h` and returns the previous head
+    /// stamp (the bank-probe result). Skips the hash3 side-table — the
+    /// speculative matcher never probes it, which is one of its
+    /// documented divergences from the sequential paths.
+    #[inline(always)]
+    pub(super) fn spec_insert(&mut self, h: usize, pos: usize) -> u32 {
+        let old = self.head[h];
+        let stamp = (pos + 1) as u32;
+        let delta = stamp.wrapping_sub(old);
+        self.prev[pos & WMASK] = if old == 0 || delta as usize > WINDOW_SIZE {
+            0
+        } else {
+            delta as u16
+        };
+        self.head[h] = stamp;
+        old
+    }
+
+    /// Backward chain delta stored for `pos` (0 = end of chain) — lets
+    /// the batch engine walk chains without borrowing the whole matcher
+    /// mutably.
+    #[inline]
+    pub(super) fn prev_delta(&self, pos: usize) -> u32 {
+        u32::from(self.prev[pos & WMASK])
+    }
+
+    /// Newest stamp under hash `h` without publishing anything — the
+    /// batch engine's stride-mode probe (a probe that also inserted
+    /// would cut its own chain when the window pass re-inserts the
+    /// position).
+    #[inline]
+    pub(super) fn head_stamp(&self, h: usize) -> u32 {
+        self.head[h]
     }
 
     /// Walks the chain starting at `first` (a `position + 1` stamp as
@@ -271,13 +332,13 @@ impl Hash4Matcher {
 /// Highest position that can be hashed/inserted (exclusive): positions
 /// need 4 bytes of lookahead.
 #[inline]
-fn index_end(data: &[u8]) -> usize {
+pub(super) fn index_end(data: &[u8]) -> usize {
     data.len().saturating_sub(3)
 }
 
 /// Indexes the history prefix `data[..start]` so tokens emitted for
 /// `data[start..]` may reference back into it.
-fn index_history(m: &mut Hash4Matcher, data: &[u8], start: usize) {
+pub(super) fn index_history(m: &mut Hash4Matcher, data: &[u8], start: usize) {
     for p in 0..start.min(index_end(data)) {
         m.insert(data, p);
     }
@@ -479,18 +540,28 @@ pub fn tokenize_lazy4_into(
     }
 }
 
-/// Dispatches to the level's tokenizer (1 = fastest, 2–3 = greedy,
-/// 4–9 = lazy), appending tokens for `data[start..]` with `data[..start]`
-/// as history. The matcher must be fresh or [`Hash4Matcher::reset`].
-pub fn tokenize_into(
+/// Dispatches to the engine's tokenizer for `level`, appending tokens
+/// for `data[start..]` with `data[..start]` as history, then flushes the
+/// accumulated search statistics into the process-wide telemetry. The
+/// matcher must be fresh or [`Hash4Matcher::reset`].
+///
+/// Engine routing: [`super::Engine::Auto`] sends the throughput rungs
+/// (levels 1–3) through the batched speculative matcher and the deeper
+/// rungs through the sequential lazy matcher; `Sequential` restores the
+/// pre-batch ladder (1 = fastest, 2–3 = greedy, 4–9 = lazy);
+/// `Speculative` forces the batch engine at every rung.
+pub fn tokenize_into_with(
     data: &[u8],
     start: usize,
     level: u32,
+    engine: super::Engine,
     m: &mut Hash4Matcher,
     tokens: &mut Vec<Token>,
 ) {
     debug_assert!((1..=9).contains(&level));
-    if level <= 1 {
+    if engine.speculative_at(level) {
+        super::batch::tokenize_speculative_into(data, start, level, m, tokens);
+    } else if level <= 1 {
         tokenize_fastest_into(data, start, m, tokens);
     } else {
         let cfg = MatcherConfig::for_level(level);
@@ -501,6 +572,18 @@ pub fn tokenize_into(
         }
     }
     crate::encoder::flush_search_stats(m.take_stats());
+}
+
+/// [`tokenize_into_with`] under [`super::Engine::Auto`] — the default
+/// entry every one-shot and streaming path funnels through.
+pub fn tokenize_into(
+    data: &[u8],
+    start: usize,
+    level: u32,
+    m: &mut Hash4Matcher,
+    tokens: &mut Vec<Token>,
+) {
+    tokenize_into_with(data, start, level, super::Engine::Auto, m, tokens);
 }
 
 #[cfg(test)]

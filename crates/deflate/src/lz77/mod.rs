@@ -7,12 +7,47 @@
 //! `nx-accel`, plus the RFC 1951 §3.2.5 mappings from lengths/distances to
 //! code symbols and extra bits.
 
+pub mod batch;
+pub mod cover;
 pub mod greedy;
 pub mod hash;
 pub mod hash4;
 pub mod lazy;
 
 use crate::{MAX_MATCH, MIN_MATCH};
+
+/// Which match-finding engine drives tokenization.
+///
+/// The sequential matchers in [`hash4`] decide one position at a time
+/// (zlib's model); the batched speculative matcher in [`batch`] works in
+/// 8-position windows with cover resolution (the NX hardware's model).
+/// `Auto` — the default everywhere — routes the throughput rungs
+/// (levels 1–3, [`crate::Level::Fastest`]/[`crate::Level::Fast`])
+/// through the batch engine and the deeper rungs through the sequential
+/// lazy matcher; the other two variants force one engine at every rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Per-level routing: speculative for levels 1–3, sequential above.
+    #[default]
+    Auto,
+    /// Sequential matchers at every level (the pre-batch ladder).
+    Sequential,
+    /// The batched speculative matcher at every level.
+    Speculative,
+}
+
+impl Engine {
+    /// Whether the speculative batch matcher handles `level` under this
+    /// selection.
+    #[inline]
+    pub fn speculative_at(self, level: u32) -> bool {
+        match self {
+            Engine::Auto => (1..=3).contains(&level),
+            Engine::Sequential => false,
+            Engine::Speculative => level >= 1,
+        }
+    }
+}
 
 /// One LZ77 token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,14 +215,33 @@ impl Tokenizer {
     }
 
     /// Tokenizes `data[start..]` at `level`, with `data[..start]` as
-    /// history, through the level's hash4 matcher exactly as the encoder
-    /// does (see [`hash4::tokenize_into`]). The returned slice is valid
-    /// until the next call.
+    /// history, through the level's matcher exactly as the encoder does
+    /// under [`Engine::Auto`] (see [`hash4::tokenize_into`]). The
+    /// returned slice is valid until the next call.
     pub fn tokenize(&mut self, data: &[u8], start: usize, level: u32) -> &[Token] {
+        self.tokenize_with(data, start, level, Engine::Auto)
+    }
+
+    /// As [`tokenize`](Self::tokenize), but with an explicit [`Engine`]
+    /// selection — the streaming/session plumbing for the engine knob.
+    pub fn tokenize_with(
+        &mut self,
+        data: &[u8],
+        start: usize,
+        level: u32,
+        engine: Engine,
+    ) -> &[Token] {
         debug_assert!(level >= 1, "level 0 has no matcher; use literals()");
         self.matcher.reset();
         self.tokens.clear();
-        hash4::tokenize_into(data, start, level, &mut self.matcher, &mut self.tokens);
+        hash4::tokenize_into_with(
+            data,
+            start,
+            level,
+            engine,
+            &mut self.matcher,
+            &mut self.tokens,
+        );
         &self.tokens
     }
 
@@ -281,6 +335,17 @@ impl MatcherConfig {
     /// the same match quality. Level 6 with a depth-40 walk lands within
     /// ~0.3% of the old depth-128 ratio at roughly twice the speed.
     ///
+    /// Levels 4 and 8–9 deviate from zlib's row values deliberately.
+    /// zlib's level 4 (`max_lazy` 4, chain 16) spends *less* search
+    /// effort than its level 3 under a 4-byte hash, producing a
+    /// non-monotone rung; 4 here keeps level 3's chain budget and adds
+    /// lazy deferral. zlib's 8/9 `max_lazy` of 128/258 makes the lazy
+    /// matcher re-search almost every position of a long match one byte
+    /// later — with hash4's cheaper chains that pathology cost binary
+    /// corpora *ratio* as well as speed (E21's pre-tune report shows
+    /// `best` below `default`), so 8/9 cap deferral at 64/128 and trade
+    /// the freed time for chain depth that actually helps.
+    ///
     /// # Panics
     ///
     /// Panics if `level` is outside `1..=9`.
@@ -289,12 +354,12 @@ impl MatcherConfig {
             1 => (4, 4, 8, 4),
             2 => (4, 5, 16, 8),
             3 => (4, 6, 32, 24),
-            4 => (4, 4, 24, 16),
+            4 => (8, 8, 32, 24),
             5 => (8, 16, 48, 24),
             6 => (8, 16, 72, 40),
             7 => (8, 32, 112, 110),
-            8 => (32, 128, 258, 1024),
-            9 => (32, 258, 258, 4096),
+            8 => (16, 64, 192, 512),
+            9 => (32, 128, 258, 2048),
             _ => panic!("matcher config defined for levels 1..=9, got {level}"),
         };
         Self {

@@ -42,10 +42,23 @@ use crate::{Error, Result, WINDOW_SIZE};
 /// `256..MARKER_BASE` are never produced.
 pub const MARKER_BASE: u16 = 32768;
 
-/// Cells decoded per candidate by the boundary probe before accepting
-/// it: enough body to reject nearly all header-shaped bit garbage,
-/// cheap enough to run at thousands of candidate offsets.
+/// Cells decoded per candidate by the first-stage boundary probe:
+/// enough body to reject nearly all header-shaped bit garbage, cheap
+/// enough to run at thousands of candidate offsets.
 const PROBE_CELLS: usize = 512;
+
+/// Cell budget of the second-stage (deep) trial decode. Stage-1
+/// survivors are rare — true boundaries plus roughly one or two
+/// header-shaped coincidences per few thousand bit offsets — so an 8×
+/// deeper re-decode costs almost nothing amortized while rejecting most
+/// of the coincidences that produced the ~50% speculation miss rate E22
+/// originally recorded.
+const DEEP_CELLS: usize = 4096;
+
+/// Cap on blocks either trial stage will chain through. Real streams
+/// hit the cell budget or their final block long before this; crafted
+/// sequences of empty blocks stay bounded by it.
+const MAX_TRIAL_BLOCKS: usize = 64;
 
 /// An inflate engine that enters a stream at an arbitrary bit offset
 /// and decodes into marker cells (see the module docs). Structurally a
@@ -316,16 +329,47 @@ impl BlockProbe {
         if btype != 0b00 && btype != 0b10 {
             return false;
         }
+        // Two-stage acceptance: a cheap shallow decode filters the bulk
+        // of the noise, then the rare survivors pay for a much deeper
+        // trial from the same offset. Header-shaped coincidences that
+        // happen to decode a short valid prefix almost never sustain a
+        // valid parse for thousands of cells, so the second stage
+        // removes most of the ~50% speculation misses the shallow probe
+        // alone let through (E22).
+        self.trial(data, bit_offset, PROBE_CELLS) && self.trial(data, bit_offset, DEEP_CELLS)
+    }
+
+    /// One trial decode from `bit_offset`, chaining blocks until the
+    /// cell `budget` is spent, the stream finishes, or a decode error
+    /// rejects the candidate. `decode_block` cannot resume mid-block
+    /// after a budget overrun, so each stage re-enters from the offset
+    /// afresh; the deep stage only runs for shallow survivors, keeping
+    /// the re-decode cost negligible.
+    fn trial(&mut self, data: &[u8], bit_offset: u64, budget: usize) -> bool {
         let scratch = std::mem::take(&mut self.scratch);
         let cells = std::mem::take(&mut self.cells);
         let Ok(mut inf) = MarkerInflater::with_reuse_at(data, bit_offset, scratch, cells) else {
             return false;
         };
-        let verdict = match inf.decode_block(PROBE_CELLS) {
-            // A block that ends within the probe budget, or one still
-            // decoding cleanly when the budget runs out, both pass.
-            Ok(()) | Err(Error::OutputLimitExceeded) => true,
-            Err(_) => false,
+        let mut blocks = 0usize;
+        let verdict = loop {
+            match inf.decode_block(budget) {
+                Ok(()) => {
+                    blocks += 1;
+                    // A finished stream, an exhausted budget, or a
+                    // pathological run of tiny blocks all end the trial
+                    // with the candidate still plausible.
+                    if inf.is_finished()
+                        || inf.cells().len() >= budget
+                        || blocks >= MAX_TRIAL_BLOCKS
+                    {
+                        break true;
+                    }
+                }
+                // Still decoding cleanly when the budget ran out: pass.
+                Err(Error::OutputLimitExceeded) => break true,
+                Err(_) => break false,
+            }
         };
         (self.cells, self.scratch) = inf.into_parts();
         verdict
@@ -336,9 +380,11 @@ impl BlockProbe {
 ///
 /// Accepts only offsets where a stored-block header (LEN/NLEN
 /// complement, payload in bounds) or a fully valid dynamic-block header
-/// plus a short decodable body prefix parses. Fixed-Huffman candidates
-/// are rejected outright: their 3-bit header carries no structure, so
-/// they cannot be distinguished from bit noise at probe time.
+/// plus a decodable body parses — first a short prefix, then (for
+/// survivors) a much deeper trial decode that chains across block
+/// boundaries. Fixed-Huffman candidates are rejected outright: their
+/// 3-bit header carries no structure, so they cannot be distinguished
+/// from bit noise at probe time.
 ///
 /// A `true` is *speculative*: the caller must confirm the boundary by
 /// checking that the preceding chunk's decode lands on it exactly.

@@ -26,7 +26,7 @@ use crate::bitio::BitWriter;
 use crate::encoder::{
     choose_and_encode_block_at, encode_fixed_block, CompressionLevel, MAX_BLOCK_TOKENS,
 };
-use crate::lz77::{Token, Tokenizer};
+use crate::lz77::{Engine, Token, Tokenizer};
 use crate::WINDOW_SIZE;
 
 /// Chunk-boundary behaviour for [`StreamEncoder::write`].
@@ -47,6 +47,8 @@ pub enum Flush {
 #[derive(Debug)]
 pub struct StreamEncoder {
     level: CompressionLevel,
+    /// Match-engine selection, threaded through every chunk's tokenize.
+    engine: Engine,
     /// Up to [`WINDOW_SIZE`] bytes of the most recent input.
     tail: Vec<u8>,
     /// The persistent bit writer: the DEFLATE bit stream is continuous
@@ -65,8 +67,14 @@ pub struct StreamEncoder {
 impl StreamEncoder {
     /// Creates an encoder at `level`.
     pub fn new(level: CompressionLevel) -> Self {
+        Self::with_engine(level, Engine::Auto)
+    }
+
+    /// Creates an encoder at `level` with an explicit match [`Engine`].
+    pub fn with_engine(level: CompressionLevel, engine: Engine) -> Self {
         Self {
             level,
+            engine,
             tail: Vec::new(),
             w: BitWriter::new(),
             tok: Tokenizer::new(),
@@ -81,7 +89,14 @@ impl StreamEncoder {
     /// [`crate::deflate_with_dict`]. The parallel engine uses this to
     /// prime each shard's worker with the previous shard's tail.
     pub fn with_dict(level: CompressionLevel, dict: &[u8]) -> Self {
-        let mut enc = Self::new(level);
+        Self::with_dict_engine(level, dict, Engine::Auto)
+    }
+
+    /// As [`with_dict`](Self::with_dict) with an explicit [`Engine`] —
+    /// what the parallel engine's shard workers use when a session
+    /// forces the speculative matcher.
+    pub fn with_dict_engine(level: CompressionLevel, dict: &[u8], engine: Engine) -> Self {
+        let mut enc = Self::with_engine(level, engine);
         enc.prime_dict(dict);
         enc
     }
@@ -107,6 +122,11 @@ impl StreamEncoder {
     /// The configured compression level.
     pub fn level(&self) -> CompressionLevel {
         self.level
+    }
+
+    /// The configured match engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Total input bytes consumed so far.
@@ -151,7 +171,8 @@ impl StreamEncoder {
             let tokens: &[Token] = if self.level.get() == 0 {
                 self.tok.literals(chunk)
             } else {
-                self.tok.tokenize(&self.scratch, start, self.level.get())
+                self.tok
+                    .tokenize_with(&self.scratch, start, self.level.get(), self.engine)
             };
             // Emit in bounded blocks; final only if finishing.
             let mut start_tok = 0usize;

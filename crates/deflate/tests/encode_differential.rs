@@ -69,6 +69,39 @@ fn every_corpus_every_level_roundtrips_both_decoders() {
 }
 
 #[test]
+fn speculative_engine_every_corpus_every_level_both_decoders() {
+    // Same referee battery with the batched speculative matcher forced
+    // at every rung — including the deep ones where the ladder would
+    // normally hand off to the sequential lazy engine.
+    use nx_deflate::{Encoder, Engine};
+    for &kind in CorpusKind::all() {
+        let data = kind.generate(0x5EED_2020, 96 << 10);
+        for level in 1u32..=9 {
+            let enc = Encoder::with_engine(
+                CompressionLevel::new(level).expect("valid level"),
+                Engine::Speculative,
+            );
+            let comp = enc.compress(&data);
+            assert_eq!(
+                inflate(&comp).expect("our decoder must accept our stream"),
+                data,
+                "speculative roundtrip mismatch: {} level {level}",
+                kind.name(),
+            );
+            let gz = gzip::wrap_deflate(&comp, crc32(&data), data.len() as u64);
+            if let Some(theirs) = gzip_dc(&gz) {
+                assert_eq!(
+                    theirs,
+                    data,
+                    "gzip(1) rejected speculative stream: {} level {level}",
+                    kind.name(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn ladder_rungs_map_to_their_numeric_levels() {
     // The named ladder is sugar over numeric levels; both spellings must
     // produce byte-identical streams.
@@ -100,9 +133,15 @@ proptest! {
             let size = deflate(&data, rung.compression_level()).len();
             if let Some(p) = prev {
                 // Slower rungs must not lose ground; 2% slack absorbs
-                // tie-breaks between equally-costed parses.
+                // tie-breaks between equally-costed parses, and the
+                // 64-byte absolute floor absorbs Huffman-tree-header
+                // noise on outputs so redundant they compress to a few
+                // hundred bytes (the Fast→Default rung also switches
+                // from the speculative to the sequential lazy engine,
+                // and on pure runs the speculative cover can win by a
+                // handful of bytes).
                 prop_assert!(
-                    size as f64 <= p as f64 * 1.02,
+                    size as f64 <= p as f64 * 1.02 + 64.0,
                     "rung {} grew the output: {} -> {}", rung, p, size,
                 );
             }

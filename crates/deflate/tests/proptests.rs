@@ -3,10 +3,13 @@
 //! streams / histograms must satisfy the codec invariants.
 
 use nx_deflate::huffman::{build, canonical_codes, decode::roundtrip_symbols};
+use nx_deflate::lz77::batch::tokenize_speculative_into;
+use nx_deflate::lz77::cover::{resolve_cover, Candidate, CoverPicks, MIN_KEEP, WINDOW_LANES};
+use nx_deflate::lz77::hash4::Hash4Matcher;
 use nx_deflate::lz77::{
     expand_tokens, greedy::tokenize_greedy, lazy::tokenize_lazy, MatcherConfig,
 };
-use nx_deflate::{deflate, gzip, inflate, zlib, CompressionLevel};
+use nx_deflate::{deflate, gzip, inflate, zlib, CompressionLevel, Encoder, Engine};
 use proptest::prelude::*;
 
 /// Byte-string strategy biased toward compressible structure: random bytes
@@ -29,6 +32,31 @@ fn structured_bytes() -> impl Strategy<Value = Vec<u8>> {
         0..24,
     )
     .prop_map(|chunks| chunks.concat())
+}
+
+/// Strategy for a valid cover-resolver input: a window size and a set of
+/// candidates with strictly increasing in-window offsets, lengths ≥
+/// [`MIN_KEEP`], and in-window distances.
+fn candidate_window() -> impl Strategy<Value = (Vec<Candidate>, usize)> {
+    (
+        1usize..WINDOW_LANES + 1,
+        prop::collection::vec(any::<bool>(), WINDOW_LANES),
+        prop::collection::vec((MIN_KEEP..300u32, 1u32..32768), WINDOW_LANES),
+    )
+        .prop_map(|(window, occupied, params)| {
+            let cands = (0..window)
+                .filter(|&o| occupied[o])
+                .map(|o| {
+                    let (len, dist) = params[o];
+                    Candidate {
+                        offset: o as u32,
+                        len,
+                        dist,
+                    }
+                })
+                .collect();
+            (cands, window)
+        })
 }
 
 proptest! {
@@ -100,6 +128,69 @@ proptest! {
         prop_assume!(!used.is_empty());
         let symbols: Vec<u16> = picks.iter().map(|ix| used[ix.index(used.len())]).collect();
         prop_assert_eq!(roundtrip_symbols(&lengths, &symbols).unwrap(), symbols);
+    }
+
+    #[test]
+    fn resolved_covers_are_non_overlapping_and_in_bounds(
+        (cands, window) in candidate_window(),
+    ) {
+        let mut picks = CoverPicks::default();
+        let outcome = resolve_cover(&cands, window, &mut picks);
+
+        let selected: Vec<Candidate> = picks.iter().flatten().copied().collect();
+        prop_assert_eq!(outcome.picked, selected.len());
+        prop_assert!(outcome.picked + outcome.discarded <= cands.len());
+
+        let mut covered_in_window = 0usize;
+        let mut prev_end: Option<u32> = None;
+        for (k, s) in selected.iter().enumerate() {
+            // Every pick anchors at one of the candidates and may only
+            // have been truncated, never lengthened or displaced.
+            prop_assert!(
+                cands.iter().any(|c| c.offset == s.offset
+                    && c.dist == s.dist
+                    && s.len <= c.len),
+                "pick {s:?} is not a (possibly truncated) candidate",
+            );
+            prop_assert!((s.offset as usize) < window, "anchor outside window");
+            prop_assert!(s.len >= MIN_KEEP, "pick shorter than MIN_KEEP");
+            if let Some(end) = prev_end {
+                prop_assert!(s.offset >= end, "picks overlap: {selected:?}");
+            }
+            // Only the rightmost pick may overshoot the window edge.
+            if s.offset + s.len > window as u32 {
+                prop_assert_eq!(k, selected.len() - 1, "interior overshoot");
+            }
+            covered_in_window += s.len.min(window as u32 - s.offset) as usize;
+            prev_end = Some(s.offset + s.len);
+        }
+        prop_assert_eq!(outcome.covered, covered_in_window);
+        prop_assert!(outcome.covered <= window + nx_deflate::MAX_MATCH);
+    }
+
+    #[test]
+    fn speculative_parse_is_valid_wherever_greedy_is(
+        data in structured_bytes(),
+        level in 1u32..=9,
+    ) {
+        // Wherever the sequential greedy parse round-trips, the batched
+        // speculative parse must produce valid tokens that round-trip
+        // too — both at the token level and through the full encoder.
+        let cfg = MatcherConfig::for_level(level);
+        let greedy = tokenize_greedy(&data, &cfg);
+        prop_assert_eq!(expand_tokens(&greedy), data.clone());
+
+        let mut m = Hash4Matcher::new();
+        let mut spec = Vec::new();
+        tokenize_speculative_into(&data, 0, level, &mut m, &mut spec);
+        prop_assert!(spec.iter().all(|t| t.is_valid()));
+        prop_assert_eq!(expand_tokens(&spec), data.clone());
+
+        let enc = Encoder::with_engine(
+            CompressionLevel::new(level).unwrap(),
+            Engine::Speculative,
+        );
+        prop_assert_eq!(inflate(&enc.compress(&data)).unwrap(), data);
     }
 
     #[test]

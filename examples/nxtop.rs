@@ -76,6 +76,17 @@ fn main() {
         assert!(!gz.bytes.is_empty());
     }
 
+    // The speculative batch matcher forced at a lazy rung through the
+    // engine knob: per-window cover statistics (windows resolved,
+    // candidates probed, positions covered, picks-per-window histogram)
+    // land in the `nx-encode-paths` source and the panel below.
+    let spec = nx_core::CompressOptions::from_level(nx_deflate::Level::Default)
+        .with_engine(nx_deflate::Engine::Speculative);
+    let gz = nx
+        .compress_with(&data[..256 << 10], Format::Gzip, spec)
+        .expect("speculative compress");
+    assert!(!gz.bytes.is_empty());
+
     // Parallel decode traffic (`nx-decode-parallel` source): a
     // multi-member stream takes the member-per-worker path, a large
     // single member exercises the speculative two-stage path, and one
@@ -188,14 +199,41 @@ fn render_dashboard(
     println!("{:-<48} {:->14}", "", "");
     for (name, value) in snapshot {
         // The raw per-tenant service counters are summarized by the SLO
-        // panel below instead of dumped row by row.
-        if name.starts_with("nx_service_") {
+        // panel below, and the picks-per-window distribution by the
+        // speculative-cover panel, instead of dumped row by row.
+        if name.starts_with("nx_service_") || name.starts_with("nx_encode_spec_cover_") {
             continue;
         }
         match value {
             MetricValue::Counter(v) => println!("{name:<48} {v:>14}"),
             MetricValue::Gauge(v) => println!("{name:<48} {v:>14}"),
             MetricValue::Histogram(_) => {}
+        }
+    }
+
+    // Speculative batch-matcher panel: how many matches the cover
+    // resolver kept per 8-position window (0 = all-literal window).
+    let cover: Vec<u64> = (0..=8)
+        .map(|i| {
+            snapshot
+                .iter()
+                .find(|(n, _)| *n == format!("nx_encode_spec_cover_{i}_total"))
+                .map_or(0, |(_, v)| match v {
+                    MetricValue::Counter(c) => *c,
+                    MetricValue::Gauge(g) => *g as u64,
+                    MetricValue::Histogram(_) => 0,
+                })
+        })
+        .collect();
+    let windows: u64 = cover.iter().sum();
+    if windows > 0 {
+        println!("\nspeculative cover: picks per 8-position window");
+        println!("{:-<48}", "");
+        let peak = cover.iter().copied().max().unwrap_or(1).max(1);
+        for (picks, &count) in cover.iter().enumerate() {
+            let bar = "#".repeat(((count * 24).div_ceil(peak)) as usize);
+            let pct = count as f64 * 100.0 / windows as f64;
+            println!("{picks:>2} picks {count:>12} {pct:>5.1}% {bar}");
         }
     }
 

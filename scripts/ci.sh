@@ -79,6 +79,11 @@ DECODE_PATHS=(
     crates/deflate/src/lz77/mod.rs
     crates/deflate/src/lz77/hash.rs
     crates/deflate/src/lz77/hash4.rs
+    # The batched speculative matcher is the default Fastest/Fast engine,
+    # so arbitrary user input flows through its window walk and cover
+    # resolution on every throughput-rung compress call.
+    crates/deflate/src/lz77/batch.rs
+    crates/deflate/src/lz77/cover.rs
     # The multi-tenant service front end handles hostile tenants by
     # design: admission, scheduling and the storm driver must reject
     # with typed errors, never panic.
@@ -172,6 +177,10 @@ if [[ "$FAST" == "0" ]]; then
         echo "==> FAIL: gzip(1) rejected an encoder output"
         exit 1
     fi
+    if grep -q '"ladder_monotone": false' BENCH_DEFLATE.json; then
+        echo "==> FAIL: a slower ladder rung produced a >2% larger output"
+        exit 1
+    fi
     if [[ -n "$dbaseline" ]]; then
         if ! awk -v f="$dfresh" -v b="$dbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
             # Compression timing is noisier than inflate on shared hosts;
@@ -217,6 +226,55 @@ if [[ "$FAST" == "0" ]]; then
         echo "    parallel inflate: ${pfresh} MB/s (committed baseline ${pbaseline} MB/s)"
     else
         echo "    no committed baseline found; recorded ${pfresh} MB/s"
+    fi
+
+    echo "==> speculative matcher gate (E25, regression bar 10%)"
+    # Snapshot the committed mixed-corpus speculative Fastest throughput,
+    # rerun the frontier sweep, fail on a >10% regression, and require
+    # the run's own acceptance booleans: the speculative engine must beat
+    # the forced-sequential ladder on speed without losing ratio, and
+    # every output must have round-tripped through our inflate and
+    # gzip(1).
+    xbaseline=$(awk -F'"section": "summary".*"speculative_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SPECULATIVE.json)
+    cargo run --offline --release -p nx-bench --bin tables -- e25 > /dev/null
+    xfresh=$(awk -F'"section": "summary".*"speculative_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SPECULATIVE.json)
+    python3 -m json.tool BENCH_SPECULATIVE.json > /dev/null
+    if ! grep -q '"all_identical": true' BENCH_SPECULATIVE.json; then
+        echo "==> FAIL: a speculative output failed to round-trip through our decoder"
+        exit 1
+    fi
+    if grep -q '"gzip_verified": false' BENCH_SPECULATIVE.json; then
+        echo "==> FAIL: gzip(1) rejected a speculative output"
+        exit 1
+    fi
+    if ! grep -q '"spec_ratio_not_worse": true' BENCH_SPECULATIVE.json; then
+        echo "==> FAIL: speculative mixed-corpus ratio fell below the sequential ladder"
+        exit 1
+    fi
+    if ! grep -q '"spec_faster_than_sequential": true' BENCH_SPECULATIVE.json; then
+        # Head-to-head speed on a shared host is noisy; one re-measure.
+        echo "    speculative engine did not beat sequential; re-measuring once"
+        cargo run --offline --release -p nx-bench --bin tables -- e25 > /dev/null
+        xfresh=$(awk -F'"section": "summary".*"speculative_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SPECULATIVE.json)
+        if ! grep -q '"spec_faster_than_sequential": true' BENCH_SPECULATIVE.json; then
+            echo "==> FAIL: speculative engine slower than the sequential ladder at Fastest"
+            exit 1
+        fi
+    fi
+    if [[ -n "$xbaseline" ]]; then
+        if ! awk -v f="$xfresh" -v b="$xbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            # Same one-re-measure damper as E20-E24.
+            echo "    speculative ${xfresh} MB/s below 0.9x baseline; re-measuring once"
+            cargo run --offline --release -p nx-bench --bin tables -- e25 > /dev/null
+            xfresh=$(awk -F'"section": "summary".*"speculative_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SPECULATIVE.json)
+        fi
+        if ! awk -v f="$xfresh" -v b="$xbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            echo "==> FAIL: speculative ${xfresh} MB/s regressed >10% vs committed ${xbaseline} MB/s"
+            exit 1
+        fi
+        echo "    speculative: ${xfresh} MB/s (committed baseline ${xbaseline} MB/s)"
+    else
+        echo "    no committed baseline found; recorded ${xfresh} MB/s"
     fi
 
     echo "==> multi-tenant service gate (E23: fairness, QoS, tail latency)"
