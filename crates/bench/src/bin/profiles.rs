@@ -1,0 +1,119 @@
+//! The offline profiler CLI: trains canned Huffman profiles + preset
+//! dictionaries from the synthetic corpus and manages the serialized
+//! [`ProfileRegistry`] a service loads at startup.
+//!
+//! ```text
+//! cargo run --release -p nx-bench --bin profiles -- train profiles.nxpr
+//! cargo run --release -p nx-bench --bin profiles -- train profiles.nxpr --level 9
+//! cargo run --release -p nx-bench --bin profiles -- show profiles.nxpr
+//! ```
+//!
+//! `train` derives one profile per shipped content class (the same
+//! procedure [`nx_core::profiles::default_registry`] runs in-process)
+//! and writes the versioned `NXPR` wire format; `show` loads a registry
+//! file, re-validates it, and prints the per-profile shape.
+
+use nx_bench::Table;
+use nx_core::profiles;
+use nx_core::ProfileRegistry;
+use nx_deflate::CompressionLevel;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  profiles train <path> [--level N]   derive + serialize the registry\n  \
+         profiles show <path>                load, validate and print a registry"
+    );
+    ExitCode::FAILURE
+}
+
+fn train(path: &str, level: u32) -> ExitCode {
+    let level = match CompressionLevel::new(level) {
+        Ok(l) => l,
+        Err(_) => {
+            eprintln!("invalid level {level} (0..=9)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reg = profiles::train_registry(level);
+    let bytes = reg.to_bytes();
+    if let Err(err) = std::fs::write(path, &bytes) {
+        eprintln!("could not write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trained {} profiles at level {} -> {path} ({} bytes)",
+        reg.len(),
+        level.get(),
+        bytes.len()
+    );
+    show_registry(&reg);
+    ExitCode::SUCCESS
+}
+
+fn show(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(err) => {
+            eprintln!("could not read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ProfileRegistry::from_bytes(&bytes) {
+        Ok(reg) => {
+            println!("{path}: {} profiles, {} bytes", reg.len(), bytes.len());
+            show_registry(&reg);
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{path}: invalid registry: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn show_registry(reg: &ProfileRegistry) {
+    let mut table = Table::new(vec![
+        "id",
+        "name",
+        "level",
+        "dict B",
+        "dictid",
+        "header bits",
+    ]);
+    for (id, p) in reg.iter() {
+        table.row(vec![
+            id.get().to_string(),
+            p.name().to_string(),
+            p.level().get().to_string(),
+            p.dict().len().to_string(),
+            format!("{:08x}", p.dict_id()),
+            p.header_bits().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let level = match args.iter().position(|a| a == "--level") {
+                Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(l) => l,
+                    None => return usage(),
+                },
+                None => 6,
+            };
+            train(path, level)
+        }
+        Some("show") => match args.get(1) {
+            Some(path) => show(path),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,463 @@
+//! E26 — Canned Huffman profiles + preset dictionaries: one-pass encode
+//! for small-payload traffic.
+//!
+//! PR 10 added the offline profiler (`nx_deflate::profile`), the
+//! versioned [`nx_core::ProfileRegistry`], zlib FDICT preset-dictionary
+//! framing and the one-pass canned encoder: tokens stream directly
+//! against pre-validated canned tables (a cheap per-block guard falls
+//! back to the dynamic path on misfit), and a preset dictionary primes
+//! the LZ77 history so 1–16 KiB payloads stop paying the cold-window +
+//! two-pass Huffman tax on every request. This experiment prices the
+//! move:
+//!
+//! * **Part A** sweeps the shipped content classes on a 1–16 KiB
+//!   payload corpus (evaluation seeds disjoint from the training
+//!   seeds): compression ratio and encode MB/s for the canned one-pass
+//!   path vs. the default ladder at level 6, same host, same process.
+//!   Every canned output is decoded byte-identically through our
+//!   inflate (dictionary-aware for zlib FDICT streams); gzip-framed
+//!   canned members — which never carry a dictionary — also pass the
+//!   system `gzip -dc` referee when available.
+//! * **Part B** drives the threaded multi-tenant [`NxService`] with a
+//!   closed-loop small-payload storm: one tenant bound to a canned
+//!   profile at window-open, one on default options, requests/sec
+//!   measured wall-clock over the same payload schedule.
+//!
+//! `run()` writes `BENCH_SMALL.json`; `scripts/ci.sh` gates on the
+//! summary row's `canned_mb_per_s` against the committed baseline and
+//! hard-fails the correctness booleans.
+
+use super::e21::gzip_dc;
+use super::MetricRow;
+use crate::Table;
+use nx_core::service::{QosClass, ServiceConfig, TenantSpec};
+use nx_core::{profiles, software, CompressOptions, Format, Nx, Profile};
+use nx_deflate::CompressionLevel;
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One-line experiment title shown by `tables list`.
+pub const TITLE: &str =
+    "Canned profiles + preset dictionaries: one-pass encode on 1-16 KiB payloads";
+
+/// Where the machine-readable rows land. The CI gate parses the summary
+/// row of this file.
+pub const JSON_PATH: &str = "BENCH_SMALL.json";
+
+/// Payload sizes of the small-payload corpus.
+const SIZES: [usize; 5] = [1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10];
+
+/// Evaluation seeds per (class, size) — disjoint from the training
+/// window (`nx_core::profiles` trains at seeds 7700+).
+const EVAL_SEEDS: u64 = 3;
+
+/// Timed passes per (class, path); the minimum is reported.
+const PASSES: usize = 3;
+
+/// The ladder rung the canned path competes against.
+const LADDER_LEVEL: u32 = 6;
+
+/// Requests per tenant in the Part B service storm.
+const STORM_REQUESTS: usize = 300;
+
+/// Credits per storm tenant (in-flight pipeline depth).
+const STORM_CREDITS: u32 = 16;
+
+/// One content-class comparison on the small-payload corpus.
+struct Cell {
+    corpus: &'static str,
+    canned_ratio: f64,
+    canned_mb_per_s: f64,
+    ladder_ratio: f64,
+    ladder_mb_per_s: f64,
+    /// Preset-dictionary bytes the class profile carries.
+    dict_bytes: usize,
+    /// Every canned output decoded byte-identically through our inflate.
+    identical: bool,
+    /// `gzip -dc` accepted the gzip-framed canned members (`None` =
+    /// binary missing).
+    gzip_ok: Option<bool>,
+}
+
+struct Measured {
+    cells: Vec<Cell>,
+    /// Aggregate (canned, ladder) MB/s over the whole corpus.
+    agg_mb_per_s: (f64, f64),
+    /// Aggregate (canned, ladder) ratio over the whole corpus.
+    agg_ratio: (f64, f64),
+    /// Part B: (canned, ladder) requests/sec through the threaded
+    /// service.
+    svc_rps: (f64, f64),
+    all_identical: bool,
+    gzip_verified: Option<bool>,
+}
+
+/// Wall-clock seconds of one call to `f`.
+fn timed<F: FnMut()>(mut f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-[`PASSES`] sweep throughput of `compress` over `payloads`,
+/// in MB/s.
+fn sweep_mb_per_s<F: Fn(&[u8]) -> Vec<u8>>(payloads: &[Vec<u8>], compress: F) -> f64 {
+    let total: usize = payloads.iter().map(Vec::len).sum();
+    let mut t = f64::INFINITY;
+    for _ in 0..PASSES {
+        t = t.min(timed(|| {
+            for p in payloads {
+                std::hint::black_box(compress(p).len());
+            }
+        }));
+    }
+    total as f64 / t / 1e6
+}
+
+/// Decodes a canned `format` stream with the framing-appropriate
+/// dictionary mode and checks it against `data`.
+fn canned_decodes(bytes: &[u8], format: Format, profile: &Profile, data: &[u8]) -> bool {
+    let back = match format {
+        Format::Gzip => software::decompress(bytes, format),
+        Format::Zlib if profile.dict().is_empty() => software::decompress(bytes, format),
+        _ => software::decompress_with_dict(bytes, format, profile.dict()),
+    };
+    back.map(|b| b == data).unwrap_or(false)
+}
+
+/// Closed-loop storm: pushes [`STORM_REQUESTS`] payloads through one
+/// tenant window keeping up to its credit budget in flight, returns
+/// requests/sec.
+fn storm_rps(handle: &nx_core::service::TenantHandle, payloads: &[Vec<u8>]) -> f64 {
+    let mut inflight = VecDeque::new();
+    let t0 = Instant::now();
+    for i in 0..STORM_REQUESTS {
+        let data = payloads[i % payloads.len()].clone();
+        loop {
+            match handle.submit(data.clone(), Format::Zlib) {
+                Ok(t) => {
+                    inflight.push_back(t);
+                    break;
+                }
+                Err(_) => {
+                    // Credit or depth backpressure: drain the oldest
+                    // ticket and retry.
+                    let t = inflight.pop_front().expect("backpressure implies inflight");
+                    t.wait().expect("served");
+                }
+            }
+        }
+    }
+    for t in inflight {
+        t.wait().expect("served");
+    }
+    STORM_REQUESTS as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Runs the sweep once per process; `run()` and [`metrics`] share it.
+fn measured() -> &'static Measured {
+    static CELL: OnceLock<Measured> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let registry = profiles::default_registry();
+        let level = CompressionLevel::new(LADDER_LEVEL).expect("valid level");
+        let engine = nx_deflate::Engine::Auto;
+
+        let mut cells = Vec::new();
+        let mut all_identical = true;
+        let mut gzip_verified: Option<bool> = None;
+        let mut agg = (0usize, 0usize, 0usize); // input, canned out, ladder out
+        let mut agg_canned_t = 0.0f64;
+        let mut agg_ladder_t = 0.0f64;
+
+        for kind in profiles::DEFAULT_CLASSES {
+            let (_, profile) = registry.by_name(kind.name()).expect("shipped class");
+            let payloads: Vec<Vec<u8>> = SIZES
+                .iter()
+                .flat_map(|&len| (0..EVAL_SEEDS).map(move |s| (len, s)))
+                .map(|(len, s)| kind.generate(s, len))
+                .collect();
+            let total: usize = payloads.iter().map(Vec::len).sum();
+
+            // Correctness sweep: every canned output in every framing
+            // decodes byte-identically; gzip members pass `gzip -dc`.
+            let mut identical = true;
+            let mut gzip_ok: Option<bool> = None;
+            let mut canned_out = 0usize;
+            let mut ladder_out = 0usize;
+            for p in &payloads {
+                for format in [Format::RawDeflate, Format::Zlib, Format::Gzip] {
+                    let out = software::compress_with_profile(p, engine, profile, format);
+                    identical &= canned_decodes(&out, format, profile, p);
+                    if format == Format::Zlib {
+                        canned_out += out.len();
+                        ladder_out += software::compress(p, level, format).len();
+                    }
+                    if format == Format::Gzip {
+                        if let Some(back) = gzip_dc(&out) {
+                            gzip_ok = Some(gzip_ok.unwrap_or(true) && back == *p);
+                        }
+                    }
+                }
+            }
+            all_identical &= identical;
+            if let Some(ok) = gzip_ok {
+                gzip_verified = Some(gzip_verified.unwrap_or(true) && ok);
+            }
+
+            // Timing sweep (zlib framing: the dictionary-bearing mode).
+            let canned_mb = sweep_mb_per_s(&payloads, |p| {
+                software::compress_with_profile(p, engine, profile, Format::Zlib)
+            });
+            let ladder_mb =
+                sweep_mb_per_s(&payloads, |p| software::compress(p, level, Format::Zlib));
+
+            agg.0 += total;
+            agg.1 += canned_out;
+            agg.2 += ladder_out;
+            agg_canned_t += total as f64 / (canned_mb * 1e6);
+            agg_ladder_t += total as f64 / (ladder_mb * 1e6);
+
+            cells.push(Cell {
+                corpus: kind.name(),
+                canned_ratio: total as f64 / canned_out as f64,
+                canned_mb_per_s: canned_mb,
+                ladder_ratio: total as f64 / ladder_out as f64,
+                ladder_mb_per_s: ladder_mb,
+                dict_bytes: profile.dict().len(),
+                identical,
+                gzip_ok,
+            });
+        }
+
+        // Part B: the threaded service, canned vs. default tenant on the
+        // same payload schedule.
+        let nx = Nx::power9();
+        let (json_id, _) = registry.by_name("json").expect("json profile");
+        let svc = nx.service(ServiceConfig::default());
+        let canned_tenant = svc.open_window_with(
+            TenantSpec::new("canned", QosClass::Latency, STORM_CREDITS),
+            CompressOptions::new().with_profile(json_id),
+        );
+        let ladder_tenant = svc.open_window_with(
+            TenantSpec::new("ladder", QosClass::Latency, STORM_CREDITS),
+            CompressOptions::from_numeric(LADDER_LEVEL).expect("valid level"),
+        );
+        let storm_payloads: Vec<Vec<u8>> = (0..16u64)
+            .map(|s| nx_corpus::CorpusKind::Json.generate(s, 2 << 10))
+            .collect();
+        let ladder_rps = storm_rps(&ladder_tenant, &storm_payloads);
+        let canned_rps = storm_rps(&canned_tenant, &storm_payloads);
+        svc.close();
+
+        Measured {
+            cells,
+            agg_mb_per_s: (
+                agg.0 as f64 / agg_canned_t / 1e6,
+                agg.0 as f64 / agg_ladder_t / 1e6,
+            ),
+            agg_ratio: (agg.0 as f64 / agg.1 as f64, agg.0 as f64 / agg.2 as f64),
+            svc_rps: (canned_rps, ladder_rps),
+            all_identical,
+            gzip_verified,
+        }
+    })
+}
+
+/// Renders the machine-readable rows ([`JSON_PATH`]).
+fn render_json(m: &Measured) -> String {
+    let mut rows: Vec<String> = m
+        .cells
+        .iter()
+        .map(|c| {
+            format!(
+                "  {{\"section\": \"corpus\", \"corpus\": \"{}\", \
+                 \"canned_ratio\": {:.4}, \"canned_mb_per_s\": {:.3}, \
+                 \"ladder_ratio\": {:.4}, \"ladder_mb_per_s\": {:.3}, \
+                 \"dict_bytes\": {}, \"identical\": {}, \"gzip_ok\": {}}}",
+                c.corpus,
+                c.canned_ratio,
+                c.canned_mb_per_s,
+                c.ladder_ratio,
+                c.ladder_mb_per_s,
+                c.dict_bytes,
+                c.identical,
+                c.gzip_ok.map_or("null".into(), |b| b.to_string()),
+            )
+        })
+        .collect();
+    rows.push(format!(
+        "  {{\"section\": \"summary\", \"canned_mb_per_s\": {:.3}, \
+         \"ladder_mb_per_s\": {:.3}, \"speedup\": {:.3}, \
+         \"canned_ratio\": {:.4}, \"ladder_ratio\": {:.4}, \
+         \"ratio_not_worse\": {}, \"svc_canned_rps\": {:.1}, \
+         \"svc_ladder_rps\": {:.1}, \"svc_rps_uplift\": {:.3}, \
+         \"all_identical\": {}, \"gzip_verified\": {}}}",
+        m.agg_mb_per_s.0,
+        m.agg_mb_per_s.1,
+        m.agg_mb_per_s.0 / m.agg_mb_per_s.1,
+        m.agg_ratio.0,
+        m.agg_ratio.1,
+        m.agg_ratio.0 >= m.agg_ratio.1,
+        m.svc_rps.0,
+        m.svc_rps.1,
+        m.svc_rps.0 / m.svc_rps.1,
+        m.all_identical,
+        m.gzip_verified.map_or("null".into(), |b| b.to_string()),
+    ));
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Machine-readable rows for `tables --json`.
+pub fn metrics() -> Vec<MetricRow> {
+    let m = measured();
+    vec![
+        MetricRow::new("canned_mb_per_s", m.agg_mb_per_s.0, "MB/s"),
+        MetricRow::new("ladder_mb_per_s", m.agg_mb_per_s.1, "MB/s"),
+        MetricRow::new("speedup", m.agg_mb_per_s.0 / m.agg_mb_per_s.1, "ratio"),
+        MetricRow::new("canned_ratio", m.agg_ratio.0, "ratio"),
+        MetricRow::new("ladder_ratio", m.agg_ratio.1, "ratio"),
+        MetricRow::new(
+            "ratio_not_worse",
+            f64::from(u8::from(m.agg_ratio.0 >= m.agg_ratio.1)),
+            "bool",
+        ),
+        MetricRow::new("svc_canned_rps", m.svc_rps.0, "count"),
+        MetricRow::new("svc_ladder_rps", m.svc_rps.1, "count"),
+        MetricRow::new("svc_rps_uplift", m.svc_rps.0 / m.svc_rps.1, "ratio"),
+        MetricRow::new(
+            "outputs_identical",
+            f64::from(u8::from(m.all_identical)),
+            "bool",
+        ),
+        MetricRow::new(
+            "gzip_verified",
+            f64::from(u8::from(m.gzip_verified == Some(true))),
+            "bool",
+        ),
+    ]
+}
+
+/// Runs the experiment, writes [`JSON_PATH`], renders the report.
+pub fn run() -> String {
+    let m = measured();
+
+    let mut table = Table::new(vec![
+        "corpus",
+        "canned ratio",
+        "canned MB/s",
+        "ladder ratio",
+        "ladder MB/s",
+        "dict B",
+        "verified",
+    ]);
+    for c in &m.cells {
+        table.row(vec![
+            c.corpus.to_string(),
+            format!("{:.3}", c.canned_ratio),
+            format!("{:.1}", c.canned_mb_per_s),
+            format!("{:.3}", c.ladder_ratio),
+            format!("{:.1}", c.ladder_mb_per_s),
+            c.dict_bytes.to_string(),
+            match (c.identical, c.gzip_ok) {
+                (true, Some(true)) => "ours+gzip".to_string(),
+                (true, None) => "ours".to_string(),
+                _ => "FAIL".to_string(),
+            },
+        ]);
+    }
+
+    let json = render_json(m);
+    let json_note = match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => format!("rows written to `{JSON_PATH}`"),
+        Err(err) => format!("could not write `{JSON_PATH}`: {err}"),
+    };
+
+    format!(
+        "## E26 — {TITLE}\n\nHeadline: on the 1–16 KiB small-payload corpus ({} classes x \
+         {} sizes x {} seeds, zlib framing) the one-pass canned path encodes at {:.1} MB/s \
+         vs {:.1} MB/s for the level-{LADDER_LEVEL} ladder ({:.2}x, same host, \
+         best-of-{PASSES}), at aggregate ratio {:.4} vs {:.4} (preset dictionaries prime \
+         the cold window; equal-or-better ratio: {}). Threaded service storm \
+         ({STORM_REQUESTS} requests/tenant, {STORM_CREDITS} credits in flight, 2 KiB JSON \
+         payloads): canned tenant {:.0} req/s vs default tenant {:.0} req/s \
+         ({:.2}x).\n\nPer-class sweep (each canned output decoded byte-identically; \
+         gzip-framed members re-checked through `gzip -dc`):\n\n{}\n\
+         All canned outputs identical through our inflate: {}; gzip(1) verification: \
+         {}.\n\n{json_note}\n",
+        profiles::DEFAULT_CLASSES.len(),
+        SIZES.len(),
+        EVAL_SEEDS,
+        m.agg_mb_per_s.0,
+        m.agg_mb_per_s.1,
+        m.agg_mb_per_s.0 / m.agg_mb_per_s.1,
+        m.agg_ratio.0,
+        m.agg_ratio.1,
+        m.agg_ratio.0 >= m.agg_ratio.1,
+        m.svc_rps.0,
+        m.svc_rps.1,
+        m.svc_rps.0 / m.svc_rps.1,
+        table.render(),
+        m.all_identical,
+        m.gzip_verified
+            .map_or("skipped (no gzip binary)".to_string(), |b| b.to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_outputs_decode_on_the_small_corpus() {
+        let registry = profiles::default_registry();
+        for kind in profiles::DEFAULT_CLASSES {
+            let (_, profile) = registry.by_name(kind.name()).expect("shipped class");
+            let data = kind.generate(0, 2 << 10);
+            for format in [Format::RawDeflate, Format::Zlib, Format::Gzip] {
+                let out = software::compress_with_profile(
+                    &data,
+                    nx_deflate::Engine::Auto,
+                    profile,
+                    format,
+                );
+                assert!(
+                    canned_decodes(&out, format, profile, &data),
+                    "{} {format:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let m = Measured {
+            cells: vec![Cell {
+                corpus: "json",
+                canned_ratio: 3.1,
+                canned_mb_per_s: 240.0,
+                ladder_ratio: 2.4,
+                ladder_mb_per_s: 120.0,
+                dict_bytes: 2048,
+                identical: true,
+                gzip_ok: Some(true),
+            }],
+            agg_mb_per_s: (240.0, 120.0),
+            agg_ratio: (3.1, 2.4),
+            svc_rps: (9000.0, 5000.0),
+            all_identical: true,
+            gzip_verified: Some(true),
+        };
+        let json = render_json(&m);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches("{\"section\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"canned_mb_per_s\": 240.000"));
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"ratio_not_worse\": true"));
+        assert!(json.contains("\"svc_rps_uplift\": 1.800"));
+        assert!(json.contains("\"all_identical\": true"));
+        assert!(json.contains("\"gzip_verified\": true"));
+    }
+}

@@ -1,5 +1,5 @@
 //! The experiment registry: one module per table/figure of the paper's
-//! evaluation (identifiers E1–E25; see DESIGN.md for the mapping and the
+//! evaluation (identifiers E1–E26; see DESIGN.md for the mapping and the
 //! source-text caveat on numbering).
 
 pub mod e1;
@@ -20,6 +20,7 @@ pub mod e22;
 pub mod e23;
 pub mod e24;
 pub mod e25;
+pub mod e26;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -217,6 +218,12 @@ pub fn all() -> Vec<Experiment> {
             run: e25::run,
             metrics: Some(e25::metrics),
         },
+        Experiment {
+            id: "e26",
+            title: e26::TITLE,
+            run: e26::run,
+            metrics: Some(e26::metrics),
+        },
     ]
 }
 
@@ -225,10 +232,10 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = super::all();
-        assert_eq!(all.len(), 25);
+        assert_eq!(all.len(), 26);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
     }
 }

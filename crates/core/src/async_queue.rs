@@ -12,6 +12,7 @@ use crate::stats::{Codec, NxStats};
 use crate::{software, CompressOptions, Compressed, Error, Result, Trace, SUBMIT_CYCLES};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use nx_accel::{AccelConfig, Accelerator, CompressReport};
+use nx_deflate::ProfileRegistry;
 use nx_telemetry::{Counter, Gauge, Stage, TelemetrySink, TraceContext};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -144,9 +145,10 @@ impl AsyncSession {
         stats: Arc<NxStats>,
         sink: TelemetrySink,
         pool: Arc<BufferPool>,
+        profiles: Option<Arc<ProfileRegistry>>,
     ) -> Self {
         let (tx, rx) = unbounded::<Cmd>();
-        Self::spawn_with(config, stats, sink, pool, tx, rx)
+        Self::spawn_with(config, stats, sink, pool, profiles, tx, rx)
     }
 
     /// Spawns the engine thread behind a queue of at most `depth`
@@ -159,10 +161,11 @@ impl AsyncSession {
         stats: Arc<NxStats>,
         sink: TelemetrySink,
         pool: Arc<BufferPool>,
+        profiles: Option<Arc<ProfileRegistry>>,
         depth: usize,
     ) -> Self {
         let (tx, rx) = bounded::<Cmd>(depth.max(1));
-        Self::spawn_with(config, stats, sink, pool, tx, rx)
+        Self::spawn_with(config, stats, sink, pool, profiles, tx, rx)
     }
 
     fn spawn_with(
@@ -170,6 +173,7 @@ impl AsyncSession {
         stats: Arc<NxStats>,
         sink: TelemetrySink,
         pool: Arc<BufferPool>,
+        profiles: Option<Arc<ProfileRegistry>>,
         tx: Sender<Cmd>,
         rx: Receiver<Cmd>,
     ) -> Self {
@@ -196,19 +200,47 @@ impl AsyncSession {
                             // a non-default ladder rung runs the software
                             // encoder at that level (the fixed-function
                             // engine has no level knob), reported with
-                            // zero engine cycles like the fallback path.
+                            // zero engine cycles like the fallback path. A
+                            // selected canned profile runs the one-pass
+                            // canned encoder; a registry miss is counted
+                            // and degrades to the ladder.
                             let (bytes, report) = if opts.is_default() {
                                 let (raw, report) = engine.compress(&data);
                                 (framing::wrap(raw, &data, format), report)
                             } else {
-                                let bytes = software::compress_with_engine(
-                                    &data,
-                                    opts.level(),
-                                    opts.engine(),
-                                    format,
-                                );
+                                let canned = opts.profile().and_then(|id| {
+                                    profiles
+                                        .as_deref()
+                                        .unwrap_or_else(|| {
+                                            crate::profiles::default_registry().as_ref()
+                                        })
+                                        .get(id)
+                                });
+                                if opts.profile().is_some() && canned.is_none() {
+                                    nx_deflate::profile::record_profile_miss();
+                                }
+                                let (bytes, config_name) = match canned {
+                                    Some(p) => (
+                                        software::compress_with_profile(
+                                            &data,
+                                            opts.engine(),
+                                            p,
+                                            format,
+                                        ),
+                                        "software-canned",
+                                    ),
+                                    None => (
+                                        software::compress_with_engine(
+                                            &data,
+                                            opts.level(),
+                                            opts.engine(),
+                                            format,
+                                        ),
+                                        "software-ladder",
+                                    ),
+                                };
                                 let report = CompressReport {
-                                    config_name: "software-ladder",
+                                    config_name,
                                     freq_ghz,
                                     input_bytes: data.len() as u64,
                                     output_bytes: bytes.len() as u64,

@@ -36,6 +36,7 @@ pub mod fault;
 pub mod framing;
 pub mod parallel;
 pub mod parallel_inflate;
+pub mod profiles;
 pub mod scratch;
 pub mod service;
 pub mod software;
@@ -49,13 +50,19 @@ pub use parallel::{ParallelEngine, ParallelOptions, ParallelSession};
 pub use parallel_inflate::{
     InflateParStats, ParallelInflateOptions, ParallelInflater, SeekCheckpoint, SeekIndex,
 };
-pub use scratch::{BufferPool, EncodePathMetrics, InflatePathMetrics, ScratchSession};
+pub use scratch::{
+    BufferPool, EncodePathMetrics, InflatePathMetrics, ProfileMetrics, ScratchSession,
+};
 pub use service::{
     jain_index, NxService, QosClass, Rejected, ServiceConfig, ServiceError, TenantHandle,
     TenantSpec,
 };
 pub use stats::{Codec, CodecStats, DirStats, NxStats, RecoveryWatermark};
 pub use stream::GzipStream;
+
+// The canned-profile vocabulary callers need to drive
+// [`CompressOptions::with_profile`] and [`Nx::with_profiles`].
+pub use nx_deflate::{Profile, ProfileCounters, ProfileId, ProfileRegistry};
 
 use nx_accel::{AccelConfig, Accelerator, CompressReport, DecompressReport};
 use nx_telemetry::{duration_to_cycles, MetricSource, Stage, TelemetrySink, TraceContext};
@@ -241,15 +248,16 @@ impl From<nx_842::Error> for Error {
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Per-request compression knobs threaded through the facade: today the
-/// effort rung on the software encoder's level ladder, with room to grow
-/// (dictionaries, strategies) without another round of signature churn.
+/// Per-request compression knobs threaded through the facade: the effort
+/// rung on the software encoder's level ladder, the LZ77 engine, and an
+/// optional canned [`ProfileId`] selecting the one-pass encode path.
 ///
 /// The modeled accelerator is fixed-function — it has no level knob, just
 /// like the NX unit — so options only steer the *software* paths: the
 /// direct software encoder ([`Nx::compress_with`]), the parallel shard
-/// engine ([`Nx::parallel_session_with`]), scratch sessions and the async
-/// queue ([`AsyncSession::submit_with`]).
+/// engine ([`Nx::parallel_session_with`]), scratch sessions, the async
+/// queue ([`AsyncSession::submit_with`]) and the service tier
+/// ([`TenantHandle::submit_with`]).
 ///
 /// ```
 /// use nx_core::CompressOptions;
@@ -263,6 +271,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub struct CompressOptions {
     level: nx_deflate::CompressionLevel,
     engine: nx_deflate::Engine,
+    profile: Option<nx_deflate::ProfileId>,
 }
 
 impl CompressOptions {
@@ -304,6 +313,25 @@ impl CompressOptions {
     /// The LZ77 engine selection in force.
     pub fn engine(&self) -> nx_deflate::Engine {
         self.engine
+    }
+
+    /// Selects a canned profile from the handle's
+    /// [`ProfileRegistry`] (see [`Nx::with_profiles`] and
+    /// [`profiles::default_registry`]): the request compresses through the
+    /// one-pass canned path — preset dictionary plus pre-fused Huffman
+    /// tables — instead of the per-block dynamic pipeline. Like a
+    /// non-default level, a profile makes the options
+    /// accelerator-ineligible: the canned encode runs on the software
+    /// path. An id absent from the registry is counted as a profile miss
+    /// and degrades to the level ladder.
+    pub fn with_profile(mut self, id: nx_deflate::ProfileId) -> Self {
+        self.profile = Some(id);
+        self
+    }
+
+    /// The canned profile selection in force, if any.
+    pub fn profile(&self) -> Option<nx_deflate::ProfileId> {
+        self.profile
     }
 
     /// The exact numeric compression level in force.
@@ -389,6 +417,10 @@ pub struct Nx {
     telemetry: TelemetrySink,
     pool: Arc<scratch::BufferPool>,
     decode_stats: Arc<InflateParStats>,
+    /// Canned-profile registry for [`CompressOptions::with_profile`]
+    /// requests; `None` falls back to [`profiles::default_registry`]
+    /// lazily, so handles that never touch profiles never pay training.
+    profiles: Option<Arc<ProfileRegistry>>,
 }
 
 impl Nx {
@@ -403,6 +435,7 @@ impl Nx {
             telemetry: TelemetrySink::disabled(),
             pool: Arc::new(scratch::BufferPool::default()),
             decode_stats: Arc::new(InflateParStats::default()),
+            profiles: None,
         }
     }
 
@@ -425,6 +458,7 @@ impl Nx {
             telemetry: TelemetrySink::disabled(),
             pool: Arc::new(scratch::BufferPool::default()),
             decode_stats: Arc::new(InflateParStats::default()),
+            profiles: None,
         }
     }
 
@@ -436,6 +470,25 @@ impl Nx {
     pub fn with_options(mut self, opts: CompressOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Attaches a canned-profile registry — typically deserialized at
+    /// service startup from [`ProfileRegistry::from_bytes`], or trained
+    /// with [`profiles::train_registry`]. Requests whose
+    /// [`CompressOptions::profile`] names a slot in this registry take
+    /// the one-pass canned encode path; without an explicit registry the
+    /// lazily trained [`profiles::default_registry`] serves lookups.
+    pub fn with_profiles(mut self, registry: Arc<ProfileRegistry>) -> Self {
+        self.profiles = Some(registry);
+        self
+    }
+
+    /// The canned-profile registry in force (the process-wide default
+    /// unless [`with_profiles`](Self::with_profiles) attached one).
+    pub fn profile_registry(&self) -> &ProfileRegistry {
+        self.profiles
+            .as_deref()
+            .unwrap_or_else(|| profiles::default_registry().as_ref())
     }
 
     /// Attaches a telemetry sink: every request stage emits a span, the
@@ -464,6 +517,10 @@ impl Nx {
             reg.register_source(
                 "nx-decode-parallel",
                 Arc::clone(&self.decode_stats) as Arc<dyn MetricSource>,
+            );
+            reg.register_source(
+                "nx-profiles",
+                Arc::new(scratch::ProfileMetrics) as Arc<dyn MetricSource>,
             );
             if let Some(inj) = &self.faults {
                 reg.register_source("nx-fault-stats", Arc::clone(inj) as Arc<dyn MetricSource>);
@@ -693,13 +750,28 @@ impl Nx {
         format: Format,
         opts: CompressOptions,
     ) -> Compressed {
-        let bytes = software::compress_with_engine(data, opts.level(), opts.engine(), format);
+        // A selected profile routes through the one-pass canned encoder;
+        // an id the registry does not hold is a profile miss (counted in
+        // the nx-profiles source) and degrades to the level ladder.
+        let mut config_name = "software-fallback";
+        let canned = opts.profile().map(|id| self.profile_registry().get(id));
+        let bytes = match canned {
+            Some(Some(p)) => {
+                config_name = "software-canned";
+                software::compress_with_profile(data, opts.engine(), p, format)
+            }
+            Some(None) => {
+                nx_deflate::profile::record_profile_miss();
+                software::compress_with_engine(data, opts.level(), opts.engine(), format)
+            }
+            None => software::compress_with_engine(data, opts.level(), opts.engine(), format),
+        };
         self.stats.record_software_fallback();
         self.stats
             .record_compress(Codec::Deflate, data.len() as u64, bytes.len() as u64, 0);
         Compressed {
             report: CompressReport {
-                config_name: "software-fallback",
+                config_name,
                 freq_ghz: self.config.freq_ghz,
                 input_bytes: data.len() as u64,
                 output_bytes: bytes.len() as u64,
@@ -993,6 +1065,7 @@ impl Nx {
             Arc::clone(&self.stats),
             self.telemetry.clone(),
             Arc::clone(&self.pool),
+            self.profiles.clone(),
         )
     }
 
@@ -1006,6 +1079,7 @@ impl Nx {
             Arc::clone(&self.stats),
             self.telemetry.clone(),
             Arc::clone(&self.pool),
+            self.profiles.clone(),
             depth,
         )
     }
@@ -1019,6 +1093,8 @@ impl Nx {
         ParallelSession::new(
             opts,
             level,
+            nx_deflate::Engine::Auto,
+            None,
             Arc::clone(&self.stats),
             self.faults.clone(),
             self.telemetry.clone(),
@@ -1028,14 +1104,34 @@ impl Nx {
     }
 
     /// As [`parallel_session`](Self::parallel_session) but taking the
-    /// level from [`CompressOptions`], so ladder rungs
-    /// ([`nx_deflate::Level`]) thread into the shard engine unchanged.
+    /// level, engine and optional canned profile from
+    /// [`CompressOptions`], so ladder rungs ([`nx_deflate::Level`])
+    /// thread into the shard engine unchanged. A selected profile applies
+    /// to single-shard (small) payloads — the traffic canned profiles
+    /// target — through the one-pass canned path; inputs spanning
+    /// multiple shards run the regular sharded ladder.
     pub fn parallel_session_with(
         &self,
         opts: parallel::ParallelOptions,
         copts: CompressOptions,
     ) -> ParallelSession {
-        self.parallel_session(opts, copts.level().get())
+        let profile = copts
+            .profile()
+            .and_then(|id| self.profile_registry().get(id).cloned());
+        if copts.profile().is_some() && profile.is_none() {
+            nx_deflate::profile::record_profile_miss();
+        }
+        ParallelSession::new(
+            opts,
+            copts.level().get(),
+            copts.engine(),
+            profile,
+            Arc::clone(&self.stats),
+            self.faults.clone(),
+            self.telemetry.clone(),
+            Arc::clone(&self.pool),
+            Arc::clone(&self.decode_stats),
+        )
     }
 
     /// The buffer pool shared by this handle's sessions (scratch, async,
@@ -1157,14 +1253,25 @@ impl Nx {
     }
 
     /// As [`scratch_session`](Self::scratch_session) but taking the
-    /// level from [`CompressOptions`].
+    /// level, engine and optional canned profile from
+    /// [`CompressOptions`]. With a profile the session compresses through
+    /// the one-pass canned path (dictionary-framed for zlib, canned
+    /// tables only for gzip) and its `decompress_into` transparently
+    /// supplies the profile dictionary to zlib FDICT streams.
     pub fn scratch_session_with(&self, opts: CompressOptions) -> ScratchSession {
-        ScratchSession::new(
+        let profile = opts
+            .profile()
+            .and_then(|id| self.profile_registry().get(id).cloned());
+        if opts.profile().is_some() && profile.is_none() {
+            nx_deflate::profile::record_profile_miss();
+        }
+        ScratchSession::with_profile(
             Arc::clone(&self.stats),
             self.telemetry.clone(),
             opts.level(),
             opts.engine(),
             Arc::clone(&self.pool),
+            profile,
         )
     }
 

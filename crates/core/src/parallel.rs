@@ -51,12 +51,12 @@ use crate::framing::Format;
 use crate::parallel_inflate::{InflateParStats, ParallelInflateOptions, ParallelInflater};
 use crate::scratch::BufferPool;
 use crate::stats::Codec;
-use crate::{Error, NxStats, Result};
+use crate::{software, Error, NxStats, Result};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use nx_deflate::adler32::{adler32, adler32_combine};
 use nx_deflate::crc32::{crc32, crc32_combine};
 use nx_deflate::stream::{Flush, StreamEncoder};
-use nx_deflate::{gzip, zlib, CompressionLevel, Engine};
+use nx_deflate::{gzip, zlib, CompressionLevel, Engine, Profile};
 use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink, TraceContext, NO_PARENT};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -904,12 +904,21 @@ pub struct ParallelSession {
     engine: ParallelEngine,
     stats: Arc<NxStats>,
     level: u32,
+    engine_sel: Engine,
+    /// Canned profile for single-shard (small) payloads: the traffic
+    /// canned profiles target. Multi-shard inputs run the regular sharded
+    /// ladder — per-shard dictionary hand-off and canned preset
+    /// dictionaries are different mechanisms and do not compose.
+    profile: Option<Profile>,
 }
 
 impl ParallelSession {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         mut opts: ParallelOptions,
         level: u32,
+        engine_sel: Engine,
+        profile: Option<Profile>,
         stats: Arc<NxStats>,
         faults: Option<Arc<FaultInjector>>,
         sink: TelemetrySink,
@@ -923,6 +932,8 @@ impl ParallelSession {
             engine,
             stats,
             level,
+            engine_sel,
+            profile,
         }
     }
 
@@ -942,7 +953,21 @@ impl ParallelSession {
     ///
     /// As [`ParallelEngine::compress`].
     pub fn compress(&self, data: &[u8], format: Format) -> Result<Vec<u8>> {
-        let out = self.engine.compress(data, self.level, format)?;
+        // Single-shard payloads — the small-payload traffic canned
+        // profiles target — take the one-pass canned path; anything that
+        // shards runs the regular parallel ladder, since per-shard
+        // history hand-off and a preset dictionary do not compose.
+        if let Some(p) = &self.profile {
+            if data.len() <= self.engine.opts.chunk_size {
+                let out = software::compress_with_profile(data, self.engine_sel, p, format);
+                self.stats
+                    .record_compress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
+                return Ok(out);
+            }
+        }
+        let out = self
+            .engine
+            .compress_traced(data, self.level, self.engine_sel, format, None)?;
         self.stats
             .record_compress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);
         Ok(out)

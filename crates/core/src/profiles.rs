@@ -1,0 +1,154 @@
+//! The built-in canned-profile registry: content-class profiles trained
+//! offline from the synthetic corpus, ready at service startup.
+//!
+//! The paper's NX unit ships canned Huffman tables because production
+//! services compress small (1–16 KiB) RPC, log and JSON payloads where
+//! per-block dynamic-table construction dominates. [`default_registry`]
+//! is the software analogue: one process-wide
+//! [`ProfileRegistry`](nx_deflate::ProfileRegistry) whose entries were
+//! derived ([`nx_deflate::Profile::derive`]) from `nx-corpus` samples of
+//! each shipped content class, trained lazily on first use and shared by
+//! every [`crate::Nx`] handle that was not given an explicit registry via
+//! [`crate::Nx::with_profiles`].
+//!
+//! Training is deterministic: fixed seeds (disjoint from the evaluation
+//! seeds the experiments use), fixed sample geometry, and the profiler's
+//! own deterministic fragment selection — retraining always reproduces
+//! the same registry bytes, so golden tests can pin its serialization.
+//!
+//! ```
+//! use nx_core::{profiles, CompressOptions, Format, Nx};
+//!
+//! # fn main() -> Result<(), nx_core::Error> {
+//! let nx = Nx::power9();
+//! let (id, profile) = profiles::default_registry().by_name("json").unwrap();
+//! let payload = br#"{"user": "u1", "status": "active"}"#.repeat(40);
+//! let c = nx.compress_with(&payload, Format::Zlib, CompressOptions::new().with_profile(id))?;
+//! let back = nx_core::software::decompress_with_dict(&c.bytes, Format::Zlib, profile.dict())?;
+//! assert_eq!(back, payload);
+//! # Ok(())
+//! # }
+//! ```
+
+use nx_corpus::CorpusKind;
+use nx_deflate::{CompressionLevel, Profile, ProfileRegistry};
+use std::sync::{Arc, OnceLock};
+
+/// Content classes the built-in registry ships, in slot order. These are
+/// the record-shaped corpus kinds real small-payload services send; the
+/// incompressible and bulk kinds (random, redundant, sensor) deliberately
+/// have no profile — canned tables cannot help them.
+pub const DEFAULT_CLASSES: [CorpusKind; 5] = [
+    CorpusKind::Json,
+    CorpusKind::Logs,
+    CorpusKind::Text,
+    CorpusKind::Xmlish,
+    CorpusKind::Code,
+];
+
+/// Samples drawn per class during training. Enough draws that recurring
+/// fragments of low-redundancy classes (natural text) actually recur
+/// across samples and make it into the dictionary.
+const TRAIN_SAMPLES: u64 = 64;
+
+/// Bytes per training sample — the middle of the small-payload band.
+const TRAIN_SAMPLE_LEN: usize = 4 << 10;
+
+/// Seed base for training samples. Experiments evaluate on low seeds
+/// (0..~100); training stays in a disjoint range so measured uplift is
+/// never train-on-test.
+const TRAIN_SEED_BASE: u64 = 7_700;
+
+/// Preset-dictionary budget for the shipped profiles. The profiler's
+/// default cap measures best on 1–16 KiB payloads: a deeper dictionary
+/// pushes the most useful fragments to longer distances and its
+/// per-request priming cost grows past the payloads it serves.
+const TRAIN_DICT_CAP: usize = nx_deflate::profile::DEFAULT_DICT_CAP;
+
+/// Per-class tokenization level of the shipped profiles, tuned offline
+/// (E26): the fastest rung in the batched speculative matcher's band
+/// (1–3) whose dictionary-primed canned ratio still meets the default
+/// ladder's on the small-payload corpus. On 1–16 KiB payloads the
+/// preset dictionary recovers more ratio than the shallow parse gives
+/// up, so the canned path is both faster *and* no worse in ratio —
+/// the point of one-pass encode for small payloads. Natural text is
+/// the outlier: its Markov stream carries little exact redundancy, so
+/// the deeper level-3 parse buys ~0.4% ratio for ~15% throughput and
+/// the profiler settles one rung lower.
+const DEFAULT_CLASS_LEVELS: [(CorpusKind, u32); 5] = [
+    (CorpusKind::Json, 3),
+    (CorpusKind::Logs, 3),
+    (CorpusKind::Text, 2),
+    (CorpusKind::Xmlish, 3),
+    (CorpusKind::Code, 3),
+];
+
+static DEFAULT_REGISTRY: OnceLock<Arc<ProfileRegistry>> = OnceLock::new();
+
+/// Trains one class profile at `level` from the fixed training window.
+fn train_profile(kind: CorpusKind, level: CompressionLevel) -> Profile {
+    let samples: Vec<Vec<u8>> = (0..TRAIN_SAMPLES)
+        .map(|i| kind.generate(TRAIN_SEED_BASE + i, TRAIN_SAMPLE_LEN))
+        .collect();
+    let refs: Vec<&[u8]> = samples.iter().map(Vec::as_slice).collect();
+    Profile::derive(kind.name(), &refs, level, TRAIN_DICT_CAP)
+        .expect("corpus training samples are never empty")
+}
+
+/// Trains a registry over [`DEFAULT_CLASSES`] at `level`, one profile per
+/// class, named by [`CorpusKind::name`]. Deterministic (see module docs).
+pub fn train_registry(level: CompressionLevel) -> ProfileRegistry {
+    let mut reg = ProfileRegistry::new();
+    for &kind in &DEFAULT_CLASSES {
+        reg.push(train_profile(kind, level));
+    }
+    reg
+}
+
+/// The process-wide default registry, trained on first use at the
+/// class-tuned [`DEFAULT_CLASS_LEVELS`] and shared by every handle
+/// without an explicit registry.
+pub fn default_registry() -> &'static Arc<ProfileRegistry> {
+    DEFAULT_REGISTRY.get_or_init(|| {
+        let mut reg = ProfileRegistry::new();
+        for &(kind, level) in &DEFAULT_CLASS_LEVELS {
+            reg.push(train_profile(
+                kind,
+                CompressionLevel::new(level).expect("valid class level"),
+            ));
+        }
+        Arc::new(reg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_covers_the_shipped_classes() {
+        let reg = default_registry();
+        assert_eq!(reg.len(), DEFAULT_CLASSES.len());
+        for kind in DEFAULT_CLASSES {
+            let (_, p) = reg
+                .by_name(kind.name())
+                .unwrap_or_else(|| panic!("missing class {}", kind.name()));
+            assert!(
+                !p.dict().is_empty(),
+                "{} trained no dictionary",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let level = CompressionLevel::new(6).unwrap();
+        let a = train_registry(level).to_bytes();
+        let b = train_registry(level).to_bytes();
+        assert_eq!(a, b);
+        // And round-trips through the wire format.
+        let back = ProfileRegistry::from_bytes(&a).unwrap();
+        assert_eq!(back.to_bytes(), a);
+    }
+}

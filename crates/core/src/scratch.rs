@@ -38,7 +38,7 @@ use crate::{Result, Trace, SUBMIT_CYCLES};
 use nx_deflate::adler32::adler32;
 use nx_deflate::crc32::crc32;
 use nx_deflate::stream::{Flush, StreamEncoder};
-use nx_deflate::{gzip, zlib, CompressionLevel, Engine, InflateScratch};
+use nx_deflate::{gzip, zlib, CompressionLevel, Engine, InflateScratch, Profile};
 use nx_telemetry::{MetricSource, MetricValue, Stage, TelemetrySink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -263,6 +263,51 @@ impl MetricSource for EncodePathMetrics {
     }
 }
 
+/// Pull-source for the canned-profile path counters
+/// ([`nx_deflate::profile_counters`]): requests routed through the
+/// one-pass canned encoder, blocks emitted against canned tables versus
+/// misfit fallbacks, dictionary-primed encodes, and registry misses.
+/// Process-wide, like [`InflatePathMetrics`]; registered as the
+/// `nx-profiles` source by [`crate::Nx::with_telemetry`].
+#[derive(Debug, Default)]
+pub struct ProfileMetrics;
+
+impl MetricSource for ProfileMetrics {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let c = nx_deflate::profile_counters();
+        out.push((
+            "nx_profile_canned_requests_total".into(),
+            MetricValue::Counter(c.canned_requests),
+        ));
+        out.push((
+            "nx_profile_canned_blocks_total".into(),
+            MetricValue::Counter(c.canned_blocks),
+        ));
+        out.push((
+            "nx_profile_fallback_blocks_total".into(),
+            MetricValue::Counter(c.fallback_blocks),
+        ));
+        out.push((
+            "nx_profile_dict_encodes_total".into(),
+            MetricValue::Counter(c.dict_encodes),
+        ));
+        out.push((
+            "nx_profile_misses_total".into(),
+            MetricValue::Counter(c.profile_misses),
+        ));
+        // One-pass hit rate in basis points, mirroring the inflate
+        // fast-path gauge: of all blocks seen by the canned encoder, how
+        // many were emitted against the canned tables.
+        let total = c.canned_blocks + c.fallback_blocks;
+        let bp = if total == 0 {
+            0
+        } else {
+            ((c.canned_blocks as u128 * 10_000) / total as u128) as i64
+        };
+        out.push(("nx_profile_canned_bp".into(), MetricValue::Gauge(bp)));
+    }
+}
+
 /// A reusable compression/decompression session bound to an [`crate::Nx`]
 /// handle: the software path with every piece of per-request state —
 /// encoder hash chains, decode tables, output buffers — carried across
@@ -281,6 +326,10 @@ pub struct ScratchSession {
     enc: StreamEncoder,
     inflate: InflateScratch,
     pool: Arc<BufferPool>,
+    /// Canned profile: when set, `compress_into` runs the one-pass canned
+    /// path and `decompress_into` can satisfy zlib FDICT streams with the
+    /// profile's dictionary.
+    profile: Option<Profile>,
 }
 
 impl ScratchSession {
@@ -291,6 +340,17 @@ impl ScratchSession {
         engine: Engine,
         pool: Arc<BufferPool>,
     ) -> Self {
+        Self::with_profile(stats, telemetry, level, engine, pool, None)
+    }
+
+    pub(crate) fn with_profile(
+        stats: Arc<NxStats>,
+        telemetry: TelemetrySink,
+        level: CompressionLevel,
+        engine: Engine,
+        pool: Arc<BufferPool>,
+        profile: Option<Profile>,
+    ) -> Self {
         Self {
             stats,
             telemetry,
@@ -298,7 +358,13 @@ impl ScratchSession {
             enc: StreamEncoder::with_engine(level, engine),
             inflate: InflateScratch::new(),
             pool,
+            profile,
         }
+    }
+
+    /// The canned profile bound to this session, if any.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_ref()
     }
 
     /// The configured compression level.
@@ -337,20 +403,48 @@ impl ScratchSession {
         out.clear();
         let mut trace = Trace::begin(&self.telemetry);
         trace.span(Stage::Submit, SUBMIT_CYCLES, data.len() as u64, 0);
-        self.enc.reset_with_dict(&[]);
-        match format {
-            Format::RawDeflate => {
-                self.enc.write_into(data, Flush::Finish, out);
+        if let Some(p) = &self.profile {
+            // One-pass canned path: dictionary-framed zlib (FDICT +
+            // DICTID), dictionary-primed raw, canned-tables-only gzip —
+            // the same framing policy as software::compress_with_profile,
+            // writing straight into the caller's buffer.
+            let engine = self.enc.engine();
+            match format {
+                Format::RawDeflate => {
+                    nx_deflate::deflate_canned_into(data, engine, p, true, out);
+                }
+                Format::Gzip => {
+                    gzip::write_header_into(out);
+                    nx_deflate::deflate_canned_into(data, engine, p, false, out);
+                    gzip::write_trailer_into(out, crc32(data), data.len() as u64);
+                }
+                Format::Zlib => {
+                    if p.dict().is_empty() {
+                        zlib::write_header_into(out, self.level);
+                        nx_deflate::deflate_canned_into(data, engine, p, false, out);
+                    } else {
+                        zlib::write_header_with_dictid(out, self.level, p.dict_id());
+                        nx_deflate::deflate_canned_into(data, engine, p, true, out);
+                    }
+                    zlib::write_trailer_into(out, adler32(data));
+                }
             }
-            Format::Gzip => {
-                gzip::write_header_into(out);
-                self.enc.write_into(data, Flush::Finish, out);
-                gzip::write_trailer_into(out, crc32(data), data.len() as u64);
-            }
-            Format::Zlib => {
-                zlib::write_header_into(out, self.level);
-                self.enc.write_into(data, Flush::Finish, out);
-                zlib::write_trailer_into(out, adler32(data));
+        } else {
+            self.enc.reset_with_dict(&[]);
+            match format {
+                Format::RawDeflate => {
+                    self.enc.write_into(data, Flush::Finish, out);
+                }
+                Format::Gzip => {
+                    gzip::write_header_into(out);
+                    self.enc.write_into(data, Flush::Finish, out);
+                    gzip::write_trailer_into(out, crc32(data), data.len() as u64);
+                }
+                Format::Zlib => {
+                    zlib::write_header_into(out, self.level);
+                    self.enc.write_into(data, Flush::Finish, out);
+                    zlib::write_trailer_into(out, adler32(data));
+                }
             }
         }
         self.stats
@@ -379,7 +473,20 @@ impl ScratchSession {
         match format {
             Format::RawDeflate => nx_deflate::inflate_into(data, &mut self.inflate, out)?,
             Format::Gzip => gzip::decompress_into(data, &mut self.inflate, out)?,
-            Format::Zlib => zlib::decompress_into(data, &mut self.inflate, out)?,
+            Format::Zlib => match zlib::decompress_into(data, &mut self.inflate, out) {
+                // An FDICT stream and a session profile with a dictionary:
+                // retry through the dictionary-aware decoder, exactly the
+                // inflateSetDictionary dance in zlib.
+                Err(nx_deflate::Error::DictionaryRequired) => {
+                    match self.profile.as_ref().filter(|p| !p.dict().is_empty()) {
+                        Some(p) => {
+                            zlib::decompress_with_dict_into(data, p.dict(), &mut self.inflate, out)?
+                        }
+                        None => return Err(nx_deflate::Error::DictionaryRequired.into()),
+                    }
+                }
+                r => r?,
+            },
         }
         self.stats
             .record_decompress(Codec::Deflate, data.len() as u64, out.len() as u64, 0);

@@ -428,6 +428,10 @@ pub struct TenantHandle {
     shared: Arc<Shared>,
     tenant: usize,
     stats: Arc<TenantStats>,
+    /// Default options for [`submit`](Self::submit) — e.g. a per-tenant
+    /// canned profile set at window-open time. Per-request
+    /// [`submit_with`](Self::submit_with) overrides them.
+    opts: CompressOptions,
 }
 
 impl Nx {
@@ -475,6 +479,13 @@ impl NxService {
 
     /// Opens a receive window for a new tenant and returns its handle.
     pub fn open_window(&self, spec: TenantSpec) -> TenantHandle {
+        self.open_window_with(spec, CompressOptions::default())
+    }
+
+    /// As [`open_window`](Self::open_window) with per-tenant default
+    /// [`CompressOptions`] — the way a tenant binds a canned profile (or
+    /// level/engine choice) once at window-open instead of per request.
+    pub fn open_window_with(&self, spec: TenantSpec, opts: CompressOptions) -> TenantHandle {
         let tstats = Arc::new(TenantStats::new(&spec));
         let mut st = self.shared.state.lock();
         let idx = st.sched.add_tenant(spec.class.weight());
@@ -489,6 +500,7 @@ impl NxService {
             shared: Arc::clone(&self.shared),
             tenant: idx,
             stats: tstats,
+            opts,
         }
     }
 
@@ -656,7 +668,13 @@ impl TenantHandle {
     /// at depth; [`ServiceError::Closed`] after shutdown. Rejections never
     /// consume a credit.
     pub fn submit(&self, data: Vec<u8>, format: Format) -> Result<Ticket, ServiceError> {
-        self.submit_with(data, format, CompressOptions::default())
+        self.submit_with(data, format, self.opts)
+    }
+
+    /// The window's default [`CompressOptions`], as fixed at
+    /// [`NxService::open_window_with`].
+    pub fn default_options(&self) -> CompressOptions {
+        self.opts
     }
 
     /// As [`submit`](Self::submit) with explicit [`CompressOptions`].

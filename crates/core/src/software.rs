@@ -4,7 +4,8 @@
 
 use crate::framing::{self, Format};
 use crate::Result;
-use nx_deflate::{CompressionLevel, Engine};
+use nx_deflate::adler32::adler32;
+use nx_deflate::{CompressionLevel, Engine, Profile};
 
 /// Compresses `data` in software at `level`, framed as `format`.
 ///
@@ -35,6 +36,44 @@ pub fn compress_with_engine(
     framing::wrap(raw, data, format)
 }
 
+/// Compresses `data` through the **one-pass canned path** of `profile`
+/// (see [`nx_deflate::deflate_canned`]), framed as `format`.
+///
+/// Framing decides the preset-dictionary use, mirroring what each
+/// container can express:
+///
+/// * **Zlib** — dictionary-primed when the profile carries a dictionary,
+///   framed with the RFC 1950 FDICT flag and the dictionary's DICTID.
+///   Decode with [`decompress_with_dict`] (or zlib `inflateSetDictionary`
+///   semantics elsewhere).
+/// * **Raw DEFLATE** — dictionary-primed; the caller owns the out-of-band
+///   dictionary agreement, as with `deflateSetDictionary` on raw streams.
+/// * **Gzip** — canned tables only, *no* dictionary: gzip has no FDICT,
+///   so the output stays decodable by any stock `gzip -dc`.
+pub fn compress_with_profile(
+    data: &[u8],
+    engine: Engine,
+    profile: &Profile,
+    format: Format,
+) -> Vec<u8> {
+    match format {
+        Format::RawDeflate => nx_deflate::deflate_canned(data, engine, profile, true),
+        Format::Gzip => {
+            let raw = nx_deflate::deflate_canned(data, engine, profile, false);
+            framing::wrap(raw, data, Format::Gzip)
+        }
+        Format::Zlib => {
+            if profile.dict().is_empty() {
+                let raw = nx_deflate::deflate_canned(data, engine, profile, false);
+                framing::wrap(raw, data, Format::Zlib)
+            } else {
+                let raw = nx_deflate::deflate_canned(data, engine, profile, true);
+                nx_deflate::zlib::wrap_deflate_with_dict(&raw, adler32(data), profile.dict_id())
+            }
+        }
+    }
+}
+
 /// Decompresses `format`-framed `data` in software.
 ///
 /// # Errors
@@ -45,6 +84,26 @@ pub fn decompress(data: &[u8], format: Format) -> Result<Vec<u8>> {
     let out = nx_deflate::inflate(un.deflate_stream)?;
     un.verify(&out)?;
     Ok(out)
+}
+
+/// Decompresses `format`-framed `data` with a preset dictionary — the
+/// decode side of [`compress_with_profile`]'s dictionary modes.
+///
+/// Zlib streams are verified against the dictionary's DICTID; raw streams
+/// prime the window directly; gzip streams never carry a dictionary, so
+/// `dict` is ignored and the stream decodes normally.
+///
+/// # Errors
+///
+/// [`crate::Error::Deflate`] for malformed input,
+/// [`nx_deflate::Error::DictionaryMismatch`] when a zlib stream's DICTID
+/// disagrees with `dict` (or the stream never requested one).
+pub fn decompress_with_dict(data: &[u8], format: Format, dict: &[u8]) -> Result<Vec<u8>> {
+    match format {
+        Format::RawDeflate => Ok(nx_deflate::inflate_with_dict(data, dict)?),
+        Format::Zlib => Ok(nx_deflate::zlib::decompress_with_dict(data, dict)?),
+        Format::Gzip => decompress(data, format),
+    }
 }
 
 #[cfg(test)]

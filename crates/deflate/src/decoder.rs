@@ -140,6 +140,28 @@ pub fn inflate_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
     Ok(inf.into_output())
 }
 
+/// Decodes a dictionary-primed raw DEFLATE stream into a caller-provided
+/// buffer, reusing `scratch` — the preset-dictionary twin of
+/// [`inflate_into`]. `out` is cleared first.
+///
+/// # Errors
+///
+/// As [`inflate`].
+pub fn inflate_with_dict_into(
+    data: &[u8],
+    dict: &[u8],
+    scratch: &mut InflateScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let mut inf = Inflater::with_reuse(data, std::mem::take(scratch), std::mem::take(out));
+    inf.prime_window(dict);
+    let res = inf.run(usize::MAX);
+    let (o, s) = inf.into_parts();
+    *scratch = s;
+    *out = o;
+    res
+}
+
 /// Decodes a raw DEFLATE stream while recording the per-block structure —
 /// the hook the accelerator's decompressor cycle model is driven from.
 ///

@@ -615,7 +615,8 @@ pub fn fixed_dist_lengths() -> [u8; NUM_DIST_SYMBOLS] {
 ///
 /// Worst case per match stays 15 + 5 + 15 + 13 = 48 bits, within the
 /// writer's 57-bit limit.
-struct EmitTables {
+#[derive(Debug, Clone)]
+pub(crate) struct EmitTables {
     lit: [u32; 256],
     len_sym: [u32; 256],
     dist_sym: [u32; NUM_DIST_SYMBOLS],
@@ -624,7 +625,7 @@ struct EmitTables {
 }
 
 impl EmitTables {
-    fn build(litlen: &[Code], dist: &[Code]) -> Self {
+    pub(crate) fn build(litlen: &[Code], dist: &[Code]) -> Self {
         let mut t = EmitTables {
             lit: [0; 256],
             len_sym: [0; 256],
@@ -653,7 +654,7 @@ impl EmitTables {
 
     /// Writes one token: a single `write_bits` call either way.
     #[inline]
-    fn write_token(&self, w: &mut BitWriter, token: Token) {
+    pub(crate) fn write_token(&self, w: &mut BitWriter, token: Token) {
         match token {
             Token::Literal(b) => {
                 let e = self.lit[usize::from(b)];
@@ -676,7 +677,7 @@ impl EmitTables {
         }
     }
 
-    fn write_eob(&self, w: &mut BitWriter) {
+    pub(crate) fn write_eob(&self, w: &mut BitWriter) {
         w.write_bits(u64::from(self.eob_bits), self.eob_len);
     }
 }
@@ -968,6 +969,12 @@ impl DynamicPlan {
         et.write_eob(w);
     }
 
+    /// Fuses this plan's codes into [`EmitTables`] once — the canned-profile
+    /// path caches the result so one-pass blocks skip the per-block build.
+    pub(crate) fn emit_tables(&self) -> EmitTables {
+        EmitTables::build(&self.litlen_codes, &self.dist_codes)
+    }
+
     /// The planned literal/length code lengths (for inspection/tests).
     pub fn litlen_lengths(&self) -> &[u8] {
         &self.litlen_lengths
@@ -1078,7 +1085,7 @@ pub fn choose_and_encode_block_at(
 /// The cost-model core: picks the cheapest of stored / fixed / dynamic by
 /// exact bit cost from an already-accumulated histogram (which must
 /// include the end-of-block symbol) and emits the block.
-fn choose_and_encode_block_with(
+pub(crate) fn choose_and_encode_block_with(
     w: &mut BitWriter,
     bytes: &[u8],
     tokens: &[Token],

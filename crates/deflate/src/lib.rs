@@ -53,12 +53,13 @@ pub mod gzip;
 pub mod huffman;
 pub mod lz77;
 pub mod marker;
+pub mod profile;
 pub mod stream;
 pub mod zlib;
 
 pub use decoder::{
     decode_path_counters, inflate, inflate_into, inflate_traced, inflate_with_dict,
-    inflate_with_limit, BlockTrace, InflateScratch, Inflater,
+    inflate_with_dict_into, inflate_with_limit, BlockTrace, InflateScratch, Inflater,
 };
 pub use encoder::{
     deflate, deflate_tokens, deflate_tokens_with, deflate_with_dict, encode_counters,
@@ -67,6 +68,10 @@ pub use encoder::{
 pub use lz77::{Engine, Token};
 pub use marker::{
     probe_block_start, resolve_markers_into, BlockProbe, MarkerInflater, MARKER_BASE,
+};
+pub use profile::{
+    deflate_canned, deflate_canned_into, profile_counters, Profile, ProfileCounters, ProfileId,
+    ProfileRegistry,
 };
 pub use stream::{Flush, InflateStream, StreamEncoder};
 
@@ -111,6 +116,14 @@ pub enum Error {
     InvalidLevel(u32),
     /// Trailing garbage followed an otherwise complete stream.
     TrailingData,
+    /// A zlib stream set FDICT but the caller supplied no dictionary:
+    /// decode again through the dictionary-aware entry point.
+    DictionaryRequired,
+    /// The supplied preset dictionary does not match the stream (DICTID
+    /// disagreement), or the stream does not request one at all.
+    DictionaryMismatch,
+    /// A canned profile's code lengths or dictionary failed validation.
+    InvalidProfile,
 }
 
 impl fmt::Display for Error {
@@ -132,6 +145,13 @@ impl fmt::Display for Error {
             Error::ZlibChecksumMismatch => write!(f, "zlib adler-32 mismatch"),
             Error::InvalidLevel(l) => write!(f, "invalid compression level {l} (valid: 0..=9)"),
             Error::TrailingData => write!(f, "trailing data after stream end"),
+            Error::DictionaryRequired => {
+                write!(f, "zlib stream requires a preset dictionary (FDICT set)")
+            }
+            Error::DictionaryMismatch => {
+                write!(f, "preset dictionary does not match the stream's DICTID")
+            }
+            Error::InvalidProfile => write!(f, "canned profile failed validation"),
         }
     }
 }
@@ -174,6 +194,9 @@ mod tests {
             Error::ZlibChecksumMismatch,
             Error::InvalidLevel(42),
             Error::TrailingData,
+            Error::DictionaryRequired,
+            Error::DictionaryMismatch,
+            Error::InvalidProfile,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

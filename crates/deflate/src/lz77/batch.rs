@@ -35,9 +35,18 @@
 //! * chains, not banked CAMs: each lane walks the shared `head`/`prev`
 //!   arrays with a small per-level budget instead of probing a fixed
 //!   row of hash banks, so deeper levels can buy a longer walk;
-//! * no hash3 side-table: candidates come from the 4-byte hash only, so
-//!   pure 3-byte matches are never emitted (the cover stage and chain
-//!   walk recover most of the difference);
+//! * the hash3 side-table is a lazy **side channel**, level 2+ only:
+//!   a lane whose hash4 walk comes up empty pays one head-only
+//!   probe-and-publish, so match-dense data never touches the table
+//!   while literal-heavy columnar/delta data — the data that needs
+//!   3-byte recovery — publishes densely. Level 1 skips it entirely:
+//!   recovered 3-byte matches keep literal runs short enough that the
+//!   stride-mode skip never engages, and the Fastest rung exists to
+//!   win exactly those wall-clock cases (same line the interior-ingest
+//!   skip draws). Acceptance matches the sequential matchers: length
+//!   4+ joins the candidate set; a pure 3-byte match is kept only when
+//!   nothing else in the window qualifies, because cover resolution
+//!   floors its candidates at 4;
 //! * a stride-mode skip (the sequential matchers' heuristic at batch
 //!   grain) collapses to single-probe striding inside incompressible
 //!   stretches, resuming windows on a 4-byte echo — the hardware has no
@@ -49,10 +58,11 @@
 use super::cover::{resolve_cover, Candidate, CoverPicks, WINDOW_LANES};
 use super::hash::match_length;
 use super::hash4::{
-    hash4_value, index_end, index_history, Hash4Matcher, CHAIN_HIST_BUCKETS, SPEC_COVER_BUCKETS,
+    hash3_value, hash4_value, index_end, index_history, Hash4Matcher, CHAIN_HIST_BUCKETS,
+    SPEC_COVER_BUCKETS, TOO_FAR,
 };
 use super::{MatcherConfig, Token};
-use crate::WINDOW_SIZE;
+use crate::{MIN_MATCH, WINDOW_SIZE};
 
 /// Per-run statistics accumulated in registers/stack and merged into
 /// the matcher's [`SearchStats`](super::hash4::SearchStats) once at the
@@ -235,6 +245,12 @@ pub fn tokenize_speculative_into(
     let budget = chain_budget(level, &cfg);
     let lazy_peek = true;
     let may_skip_ingest = level <= 1;
+    // The hash3 side channel is a level-2+ quality lever: even probed
+    // lazily, recovering 3-byte matches keeps literal runs short enough
+    // that the stride-mode skip never engages on semi-compressible data,
+    // and the Fastest rung exists to win exactly those wall-clock cases
+    // (the interior-ingest skip draws the same line).
+    let use_hash3 = level >= 2;
     let end4 = index_end(data);
     let mut base = start; // current window base; advances by 8
     let mut emit = start; // next position not yet covered by a token
@@ -260,7 +276,8 @@ pub fn tokenize_speculative_into(
             if emit >= base + WINDOW_LANES {
                 let jump_end = base + ((emit - base) & !(WINDOW_LANES - 1));
                 while base < jump_end {
-                    m.spec_insert(hash4_value(read_u32le(data, base)), base);
+                    let v = read_u32le(data, base);
+                    m.spec_insert(hash4_value(v), base);
                     base += WINDOW_LANES;
                 }
                 if base >= end4 {
@@ -308,15 +325,54 @@ pub fn tokenize_speculative_into(
         let window = wend - emit;
         let mut ncand = 0usize;
         let mut walked = 0usize;
+        let mut three: Option<(usize, usize)> = None;
         let mut i = emit - base;
         while i < lanes {
             let mut pos = base + i;
-            let (len0, dist0, steps) =
+            let (mut len0, mut dist0, steps) =
                 extend_lane(m, data, pos, vals[i], olds[i], budget, cfg.nice_length);
             walked += steps;
             if len0 < 4 {
-                i += 1;
-                continue;
+                // hash4 saw nothing: one head-only hash3 side-probe, the
+                // sequential matchers' pure-3-byte recovery (columnar /
+                // delta data lives on these). Probe-and-publish happens
+                // here, lazily — only hash4-miss lanes ever touch the
+                // hash3 table, so match-dense data pays nothing for the
+                // side channel (an eager per-lane publish in phase 1
+                // costs the speculative engine ~15% throughput), while
+                // the literal-heavy data that needs 3-byte recovery is
+                // exactly the data that publishes densely. Length 4+
+                // results join the normal candidate flow; an exact
+                // 3-byte hit cannot enter cover resolution (its keep
+                // floor is 4), so it is held aside and emitted only if
+                // the whole window otherwise stays literal. Same
+                // acceptance bound as `search`: a lone-probe length-3
+                // match only pays within 64 bytes.
+                let first3 = if use_hash3 {
+                    m.spec_insert3(hash3_value(vals[i]), pos)
+                } else {
+                    0
+                };
+                if first3 != 0 {
+                    let cand = (first3 - 1) as usize;
+                    if cand < pos
+                        && pos - cand <= TOO_FAR
+                        && (read_u32le(data, cand) ^ vals[i]) & 0x00FF_FFFF == 0
+                    {
+                        let len = match_length(data, cand, pos);
+                        let dist = pos - cand;
+                        if len > MIN_MATCH {
+                            len0 = len;
+                            dist0 = dist;
+                        } else if dist <= 64 && three.is_none() {
+                            three = Some((pos, dist));
+                        }
+                    }
+                }
+                if len0 < 4 {
+                    i += 1;
+                    continue;
+                }
             }
             let mut len = len0;
             cands[ncand] = Candidate {
@@ -364,6 +420,31 @@ pub fn tokenize_speculative_into(
         agg.windows += 1;
         agg.candidates += ncand as u64;
         if ncand == 0 {
+            if let Some((tpos, tdist)) = three {
+                // The hash3 side channel was the only producer: emit its
+                // lone 3-byte match directly (no cover resolution — a
+                // single pick with every other lane already probed).
+                agg.candidates += 1;
+                agg.covered += MIN_MATCH as u64;
+                agg.cover_hist[1] += 1;
+                for &b in &data[emit..tpos] {
+                    tokens.push(Token::Literal(b));
+                }
+                tokens.push(Token::Match {
+                    len: MIN_MATCH as u16,
+                    dist: tdist as u16,
+                });
+                emit = tpos + MIN_MATCH;
+                if emit < wend {
+                    for &b in &data[emit..wend] {
+                        tokens.push(Token::Literal(b));
+                    }
+                    emit = wend;
+                }
+                lit_run = 0;
+                base += WINDOW_LANES;
+                continue;
+            }
             // No candidate anywhere in the window: emit it as literals.
             agg.cover_hist[0] += 1;
             for &b in &data[emit..wend] {
@@ -393,6 +474,9 @@ pub fn tokenize_speculative_into(
                         }
                     }
                     m.spec_insert(h, emit);
+                    if use_hash3 {
+                        m.spec_insert3(hash3_value(val), emit);
+                    }
                     let extra = (lit_run >> SKIP_SHIFT).min(SKIP_MAX);
                     let skip_end = (emit + 1 + extra).min(data.len());
                     for &b in &data[emit..skip_end] {
@@ -592,6 +676,35 @@ mod tests {
                 .any(|t| matches!(t, Token::Match { len, .. } if *len >= 16)),
             "cover stage failed to keep the long match: {tokens:?}"
         );
+    }
+
+    #[test]
+    fn hash3_side_channel_finds_pure_3_byte_repeats() {
+        // Delta-style columnar data: 3-byte records whose 4-byte windows
+        // never repeat, so the hash4 chains see nothing — only the hash3
+        // side channel can turn these into matches.
+        let mut data = Vec::new();
+        for i in 0..400u32 {
+            data.extend_from_slice(b"ab:");
+            data.push((i % 251) as u8);
+        }
+        for level in [2, 3, 6] {
+            let tokens = tokenize_spec(&data, level);
+            assert_eq!(expand_tokens(&tokens), data, "level {level}");
+            assert!(
+                tokens
+                    .iter()
+                    .any(|t| matches!(t, Token::Match { len: 3, .. })),
+                "level {level}: no 3-byte match emitted: {tokens:?}"
+            );
+        }
+        // Level 1 keeps the Fastest rung probe-free: no 3-byte matches,
+        // but the stream still round-trips.
+        let tokens = tokenize_spec(&data, 1);
+        assert_eq!(expand_tokens(&tokens), data);
+        assert!(!tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { len: 3, .. })));
     }
 
     #[test]

@@ -54,8 +54,9 @@ const WMASK: usize = WINDOW_SIZE - 1;
 
 /// Matches at `MIN_MATCH` (3 bytes) only pay off when the distance is
 /// small — three literals are usually cheaper than a far reference.
-/// Mirrors zlib's `TOO_FAR`.
-const TOO_FAR: usize = 4096;
+/// Mirrors zlib's `TOO_FAR`. Module-visible: the batch engine's hash3
+/// side-probe applies the same bound.
+pub(super) const TOO_FAR: usize = 4096;
 
 /// Number of log2 buckets in the chain-walk length histogram
 /// (`0, 1, 2–3, 4–7, …, ≥64`).
@@ -76,12 +77,19 @@ fn hash4(data: &[u8], pos: usize) -> usize {
     hash4_value(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
+/// The 3-byte multiplicative hash over a 4-byte little-endian value
+/// (the fourth byte is masked off) — exposed to the batch engine, which
+/// already holds each lane's `u32` from its wide loads.
+#[inline]
+pub(super) fn hash3_value(v: u32) -> usize {
+    ((v & 0x00FF_FFFF).wrapping_mul(0x9E37_79B1) >> (32 - HASH3_BITS)) as usize
+}
+
 /// Hash of the three bytes at `data[pos]` (requires `pos + 3 <= len`).
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
     let b = &data[pos..pos + 3];
-    let v = u32::from_le_bytes([b[0], b[1], b[2], 0]);
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH3_BITS)) as usize
+    hash3_value(u32::from_le_bytes([b[0], b[1], b[2], 0]))
 }
 
 /// Buckets in the speculative cover histogram: a window of
@@ -208,9 +216,8 @@ impl Hash4Matcher {
 
     /// Hash4-chain-only insert for the batch engine: publishes `pos`
     /// under the precomputed hash `h` and returns the previous head
-    /// stamp (the bank-probe result). Skips the hash3 side-table — the
-    /// speculative matcher never probes it, which is one of its
-    /// documented divergences from the sequential paths.
+    /// stamp (the bank-probe result). The hash3 side-table is published
+    /// separately through [`spec_insert3`](Self::spec_insert3).
     #[inline(always)]
     pub(super) fn spec_insert(&mut self, h: usize, pos: usize) -> u32 {
         let old = self.head[h];
@@ -223,6 +230,17 @@ impl Hash4Matcher {
         };
         self.head[h] = stamp;
         old
+    }
+
+    /// Head-only hash3 publish for the batch engine: stamps `pos` under
+    /// the precomputed 3-byte hash `h3` and returns the previous stamp —
+    /// the side-channel probe result the lanes fall back to when their
+    /// hash4 walk comes up empty.
+    #[inline(always)]
+    pub(super) fn spec_insert3(&mut self, h3: usize, pos: usize) -> u32 {
+        let old3 = self.head3[h3];
+        self.head3[h3] = (pos + 1) as u32;
+        old3
     }
 
     /// Backward chain delta stored for `pos` (0 = end of chain) — lets

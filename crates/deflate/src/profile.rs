@@ -1,0 +1,864 @@
+//! Canned Huffman profiles and preset dictionaries — the software
+//! counterpart of the NX accelerator's canned-DHT mode.
+//!
+//! The paper's NX unit ships profile-derived Huffman tables because real
+//! services compress 1–16 KB RPC/log/JSON payloads, where per-block
+//! dynamic-table construction dominates both latency and ratio. This
+//! module reproduces that design point in software:
+//!
+//! * [`Profile::derive`] is the offline **profiler**: from a set of
+//!   representative samples it extracts a preset dictionary (frequent
+//!   cross-sample fragments, most useful material nearest the window so
+//!   distances stay short) and a canned code-length set trained on the
+//!   dictionary-primed token statistics of the class.
+//! * [`ProfileRegistry`] is the versioned, serializable container the
+//!   service tier loads at startup and keys by content class
+//!   ([`ProfileId`] is the per-request selector).
+//! * [`deflate_canned`] is the **one-pass encode path**: tokens are
+//!   emitted directly against the profile's pre-fused
+//!   [`EmitTables`](crate::encoder) — no per-block histogram-driven
+//!   package-merge, no fresh table fusion — guarded by a cheap exact
+//!   bit-cost check that falls back to the dynamic path when the profile
+//!   misfits, so canned output is never worse than a fixed block and is
+//!   always valid DEFLATE.
+//!
+//! Process-wide hit/miss/fallback counters ([`profile_counters`]) feed
+//! the `nx-profiles` telemetry source in `nx-core`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::adler32::adler32;
+use crate::bitio::BitWriter;
+use crate::encoder::{
+    encode_fixed_block, fixed_block_bits, CompressionLevel, DynamicPlan, EmitTables,
+    MAX_BLOCK_TOKENS,
+};
+use crate::huffman::{build, canonical_codes, MAX_CODE_LEN};
+use crate::lz77::hash4::{tokenize_into_with, Hash4Matcher};
+use crate::lz77::{Engine, Histogram, Token, NUM_DIST_SYMBOLS, NUM_LITLEN_SYMBOLS};
+use crate::{Error, Result};
+
+/// Profiles cap their preset dictionary at 3 KiB: enough shared structure
+/// for RPC-sized records while keeping the priming cost (hash inserts over
+/// the dictionary) a small fraction of a 1–16 KiB encode.
+pub const DEFAULT_DICT_CAP: usize = 3 << 10;
+
+/// Fragment granule the dictionary trainer counts (bytes).
+const FRAG_LEN: usize = 16;
+
+/// Step between counted fragments within a sample.
+const FRAG_STEP: usize = 8;
+
+// ---------------------------------------------------------------------
+// Process-wide canned-path counters (the `nx-profiles` telemetry source).
+// ---------------------------------------------------------------------
+
+static CANNED_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static CANNED_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static FALLBACK_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static DICT_ENCODES: AtomicU64 = AtomicU64::new(0);
+static PROFILE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide canned-profile counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileCounters {
+    /// Requests routed through the canned one-pass encoder.
+    pub canned_requests: u64,
+    /// Blocks emitted against canned tables (one-pass hits).
+    pub canned_blocks: u64,
+    /// Blocks where the misfit guard fell back to the dynamic path.
+    pub fallback_blocks: u64,
+    /// Requests encoded against a preset dictionary.
+    pub dict_encodes: u64,
+    /// Requests that named a profile the registry did not have.
+    pub profile_misses: u64,
+}
+
+/// Reads the process-wide canned-profile counters.
+pub fn profile_counters() -> ProfileCounters {
+    ProfileCounters {
+        canned_requests: CANNED_REQUESTS.load(Ordering::Relaxed),
+        canned_blocks: CANNED_BLOCKS.load(Ordering::Relaxed),
+        fallback_blocks: FALLBACK_BLOCKS.load(Ordering::Relaxed),
+        dict_encodes: DICT_ENCODES.load(Ordering::Relaxed),
+        profile_misses: PROFILE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Records a request that selected a [`ProfileId`] absent from the
+/// registry (the caller then proceeds on the default dynamic path).
+pub fn record_profile_miss() {
+    PROFILE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// ProfileId + Profile
+// ---------------------------------------------------------------------
+
+/// Per-request selector for a registry entry — a small `Copy` handle so
+/// it threads through `CompressOptions` without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProfileId(u16);
+
+impl ProfileId {
+    /// Wraps a raw registry slot index.
+    pub fn new(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// The raw slot index.
+    pub fn get(self) -> u16 {
+        self.0
+    }
+}
+
+/// One content class's canned encode state: a preset dictionary plus
+/// validated canned Huffman code lengths, with the dynamic-block plan and
+/// fused emission tables pre-built so per-request work is pure emission.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    name: String,
+    level: CompressionLevel,
+    dict: Vec<u8>,
+    litlen_lengths: Vec<u8>,
+    dist_lengths: Vec<u8>,
+    plan: DynamicPlan,
+    tables: EmitTables,
+    header_bits: u64,
+}
+
+impl Profile {
+    /// Builds a profile from explicit code lengths and a dictionary,
+    /// validating everything the panicking
+    /// [`DynamicPlan::from_lengths`] constructor assumes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProfile`] when either length set is over-long,
+    /// oversubscribed, of the wrong alphabet size, or leaves the
+    /// end-of-block symbol without a code.
+    pub fn new(
+        name: impl Into<String>,
+        level: CompressionLevel,
+        litlen_lengths: Vec<u8>,
+        dist_lengths: Vec<u8>,
+        dict: Vec<u8>,
+    ) -> Result<Self> {
+        if litlen_lengths.len() != NUM_LITLEN_SYMBOLS || dist_lengths.len() != NUM_DIST_SYMBOLS {
+            return Err(Error::InvalidProfile);
+        }
+        if litlen_lengths[usize::from(crate::lz77::END_OF_BLOCK)] == 0 {
+            return Err(Error::InvalidProfile); // every block ends with EOB
+        }
+        if litlen_lengths
+            .iter()
+            .chain(&dist_lengths)
+            .any(|&l| l > MAX_CODE_LEN)
+        {
+            return Err(Error::InvalidProfile);
+        }
+        // Pre-validate so DynamicPlan::from_lengths cannot panic.
+        canonical_codes(&litlen_lengths).map_err(|_| Error::InvalidProfile)?;
+        canonical_codes(&dist_lengths).map_err(|_| Error::InvalidProfile)?;
+        let mut dict = dict;
+        if dict.len() > crate::WINDOW_SIZE {
+            dict.drain(..dict.len() - crate::WINDOW_SIZE);
+        }
+        let plan = DynamicPlan::from_lengths(litlen_lengths.clone(), dist_lengths.clone());
+        let tables = plan.emit_tables();
+        let header_bits = plan.header_bits();
+        Ok(Self {
+            name: name.into(),
+            level,
+            dict,
+            litlen_lengths,
+            dist_lengths,
+            plan,
+            tables,
+            header_bits,
+        })
+    }
+
+    /// The offline profiler: derives a preset dictionary and canned code
+    /// lengths from representative `samples` of one content class.
+    ///
+    /// The dictionary collects fragments recurring across samples, placing
+    /// the most frequent material at the **end** (nearest the encoded
+    /// data, so back-references to it use the shortest distances — the
+    /// same convention zlib documents for `deflateSetDictionary`). The
+    /// code lengths come from the dictionary-primed token statistics of
+    /// all samples, floored to full alphabet coverage so any future block
+    /// is encodable (missing-symbol misfits only arise for the two
+    /// reserved litlen symbols and reserved distance codes, which no
+    /// encoder emits).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProfile`] if `samples` is empty.
+    pub fn derive(
+        name: impl Into<String>,
+        samples: &[&[u8]],
+        level: CompressionLevel,
+        dict_cap: usize,
+    ) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(Error::InvalidProfile);
+        }
+        let dict = derive_dict(samples, dict_cap);
+
+        // Token statistics of the class, encoded the way production will
+        // encode it: dictionary-primed, at the profile's level.
+        let mut litlen_freq = vec![0u32; NUM_LITLEN_SYMBOLS];
+        let mut dist_freq = vec![0u32; NUM_DIST_SYMBOLS];
+        let mut hist = Histogram::new();
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        for sample in samples {
+            buf.clear();
+            buf.extend_from_slice(&dict);
+            buf.extend_from_slice(sample);
+            tokens.clear();
+            let mut m = Hash4Matcher::new();
+            tokenize_into_with(
+                &buf,
+                dict.len(),
+                level.get(),
+                Engine::Auto,
+                &mut m,
+                &mut tokens,
+            );
+            hist.clear();
+            for &t in &tokens {
+                hist.record(t);
+            }
+            hist.record_end_of_block();
+            for (f, h) in litlen_freq.iter_mut().zip(&hist.litlen) {
+                *f += *h;
+            }
+            for (f, h) in dist_freq.iter_mut().zip(&hist.dist) {
+                *f += *h;
+            }
+        }
+        // Full-coverage floor: every expressible symbol keeps a (long)
+        // code so the one-pass guard never trips on a missing symbol.
+        // Symbols 286/287 and distance codes 30/31 are reserved by RFC
+        // 1951 and stay zero.
+        for f in litlen_freq.iter_mut().take(286) {
+            *f = (*f).max(1);
+        }
+        for f in dist_freq.iter_mut().take(30) {
+            *f = (*f).max(1);
+        }
+        let litlen_lengths = build::limited_lengths(&litlen_freq, MAX_CODE_LEN);
+        let dist_lengths = build::limited_lengths(&dist_freq, MAX_CODE_LEN);
+        Self::new(name, level, litlen_lengths, dist_lengths, dict)
+    }
+
+    /// The profile's name (content-class label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tokenization level the profile was trained at (and encodes at).
+    pub fn level(&self) -> CompressionLevel {
+        self.level
+    }
+
+    /// The preset dictionary (possibly empty).
+    pub fn dict(&self) -> &[u8] {
+        &self.dict
+    }
+
+    /// Adler-32 of the dictionary — the RFC 1950 DICTID.
+    pub fn dict_id(&self) -> u32 {
+        adler32(&self.dict)
+    }
+
+    /// The canned literal/length code lengths.
+    pub fn litlen_lengths(&self) -> &[u8] {
+        &self.litlen_lengths
+    }
+
+    /// The canned distance code lengths.
+    pub fn dist_lengths(&self) -> &[u8] {
+        &self.dist_lengths
+    }
+
+    /// Exact bit cost of this profile's block header.
+    pub fn header_bits(&self) -> u64 {
+        self.header_bits
+    }
+
+    /// Exact canned cost (header + body) in bits for a block histogram,
+    /// or `None` if the block uses a symbol this profile has no code for.
+    pub fn block_bits(&self, hist: &Histogram) -> Option<u64> {
+        for (sym, &f) in hist.litlen.iter().enumerate() {
+            if f > 0 && self.litlen_lengths[sym] == 0 {
+                return None;
+            }
+        }
+        for (sym, &f) in hist.dist.iter().enumerate() {
+            if f > 0 && self.dist_lengths[sym] == 0 {
+                return None;
+            }
+        }
+        Some(self.header_bits + self.plan.body_bits(hist))
+    }
+}
+
+/// Builds the preset dictionary: fragments of `FRAG_LEN` bytes counted at
+/// `FRAG_STEP` strides across all samples; those recurring land in the
+/// dictionary, most frequent nearest the end. Deterministic (count-major,
+/// then first-seen order) so retraining on the same corpus is
+/// reproducible byte-for-byte.
+fn derive_dict(samples: &[&[u8]], dict_cap: usize) -> Vec<u8> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<&[u8], (u32, usize)> = HashMap::new();
+    let mut seen = 0usize;
+    for sample in samples {
+        let mut at = 0;
+        while at + FRAG_LEN <= sample.len() {
+            let frag = &sample[at..at + FRAG_LEN];
+            let e = counts.entry(frag).or_insert((0, seen));
+            e.0 += 1;
+            seen += 1;
+            at += FRAG_STEP;
+        }
+    }
+    let mut frags: Vec<(&[u8], u32, usize)> = counts
+        .into_iter()
+        .filter(|&(_, (c, _))| c >= 2)
+        .map(|(f, (c, first))| (f, c, first))
+        .collect();
+    // Most frequent first; ties broken by first appearance.
+    frags.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+    let mut parts: Vec<&[u8]> = Vec::new();
+    let mut used = 0usize;
+    for (frag, _, _) in frags {
+        if used + FRAG_LEN > dict_cap {
+            break;
+        }
+        // Skip fragments already covered by a selected one (overlapping
+        // strides produce near-duplicates).
+        if parts.iter().any(|p| p.windows(FRAG_LEN).any(|w| w == frag)) {
+            continue;
+        }
+        parts.push(frag);
+        used += FRAG_LEN;
+    }
+    // Most frequent material goes last (shortest distances).
+    let mut dict = Vec::with_capacity(used);
+    for frag in parts.iter().rev() {
+        dict.extend_from_slice(frag);
+    }
+    dict
+}
+
+// ---------------------------------------------------------------------
+// One-pass canned encode
+// ---------------------------------------------------------------------
+
+/// One-pass raw-DEFLATE compression of `data` against a canned profile.
+///
+/// Tokenizes at the profile's level (dictionary-primed when `use_dict`
+/// and the profile carries one), then emits each block directly against
+/// the profile's pre-fused tables — skipping the per-block histogram →
+/// package-merge → table-fusion pipeline entirely. A per-block guard
+/// compares the exact canned cost against the fixed-table cost and falls
+/// back to the dynamic path on misfit, so output never degrades below
+/// the two-pass encoder's fixed/dynamic choice (stored is not considered:
+/// dictionary references cannot cross into stored blocks, and canned
+/// profiles target compressible record traffic).
+///
+/// When `use_dict` is set the stream must be decoded with the same
+/// dictionary ([`crate::inflate_with_dict`], or zlib FDICT framing via
+/// [`crate::zlib::wrap_deflate_with_dict`]).
+pub fn deflate_canned(data: &[u8], engine: Engine, profile: &Profile, use_dict: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    deflate_canned_into(data, engine, profile, use_dict, &mut out);
+    out
+}
+
+/// As [`deflate_canned`], appending the raw DEFLATE stream to `out` —
+/// the allocation-reusing form scratch sessions drive.
+pub fn deflate_canned_into(
+    data: &[u8],
+    engine: Engine,
+    profile: &Profile,
+    use_dict: bool,
+    out: &mut Vec<u8>,
+) {
+    // The whole point of the canned path is small-payload throughput:
+    // a fresh matcher's ~450 KB of tables would cost more to allocate
+    // and zero than a 1–16 KiB request spends tokenizing, so the
+    // matcher, token buffer and dict+data staging buffer are per-thread
+    // scratch reused across requests.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<(Hash4Matcher, Vec<Token>, Vec<u8>)> =
+            std::cell::RefCell::new((Hash4Matcher::new(), Vec::new(), Vec::new()));
+    }
+    CANNED_REQUESTS.fetch_add(1, Ordering::Relaxed);
+    let dict: &[u8] = if use_dict { &profile.dict } else { &[] };
+    if !dict.is_empty() {
+        DICT_ENCODES.fetch_add(1, Ordering::Relaxed);
+    }
+    let level = profile.level.get().max(1); // level 0 cannot carry dict refs
+    SCRATCH.with(|scratch| {
+        let (m, tokens, buf) = &mut *scratch.borrow_mut();
+        m.reset();
+        tokens.clear();
+        if dict.is_empty() {
+            tokenize_into_with(data, 0, level, engine, m, tokens);
+        } else {
+            buf.clear();
+            buf.extend_from_slice(dict);
+            buf.extend_from_slice(data);
+            tokenize_into_with(buf, dict.len(), level, engine, m, tokens);
+        }
+        emit_canned_blocks(data, profile, tokens, out);
+    });
+}
+
+/// Emits `tokens` as canned (or guard-fallback) blocks, appending the
+/// raw stream to `out`.
+fn emit_canned_blocks(data: &[u8], profile: &Profile, tokens: &[Token], out: &mut Vec<u8>) {
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    if tokens.is_empty() {
+        encode_fixed_block(&mut w, &[], true);
+        out.extend_from_slice(&w.finish());
+        return;
+    }
+    let mut hist = Histogram::new();
+    let mut start = 0usize;
+    while start < tokens.len() {
+        let end = (start + MAX_BLOCK_TOKENS).min(tokens.len());
+        let is_final = end == tokens.len();
+        let block = &tokens[start..end];
+        for &t in block {
+            hist.record(t);
+        }
+        hist.record_end_of_block();
+        match profile.block_bits(&hist) {
+            Some(canned_bits) if canned_bits <= fixed_block_bits(&hist) => {
+                CANNED_BLOCKS.fetch_add(1, Ordering::Relaxed);
+                profile.plan.write_header(&mut w, is_final);
+                let et = &profile.tables;
+                for &t in block {
+                    et.write_token(&mut w, t);
+                }
+                et.write_eob(&mut w);
+            }
+            _ => {
+                // Misfit: the block's statistics stray from the trained
+                // class. Build exact tables for it — same decision as the
+                // dictionary encoder (dynamic vs fixed, entropy only).
+                FALLBACK_BLOCKS.fetch_add(1, Ordering::Relaxed);
+                let plan = DynamicPlan::from_histogram(&hist);
+                if plan.header_bits() + plan.body_bits(&hist) < fixed_block_bits(&hist) {
+                    plan.write_header(&mut w, is_final);
+                    plan.write_body(&mut w, block);
+                } else {
+                    encode_fixed_block(&mut w, block, is_final);
+                }
+            }
+        }
+        hist.clear();
+        start = end;
+    }
+    out.extend_from_slice(&w.finish());
+}
+
+// ---------------------------------------------------------------------
+// ProfileRegistry + serialization
+// ---------------------------------------------------------------------
+
+/// Serialization magic: "NXPR".
+const MAGIC: [u8; 4] = *b"NXPR";
+
+/// Current wire version.
+const VERSION: u16 = 1;
+
+/// A versioned, ordered set of [`Profile`]s keyed by [`ProfileId`] (slot
+/// index) and name — loadable at service startup, selectable per
+/// tenant/request.
+///
+/// The wire format ([`to_bytes`](Self::to_bytes)) is little-endian and
+/// self-describing: `"NXPR"`, `u16` version, `u16` count, then per
+/// profile the name, level, both code-length arrays, and the dictionary,
+/// each length-prefixed. [`from_bytes`](Self::from_bytes) re-validates
+/// every profile, so a corrupted registry can never smuggle an invalid
+/// code into the panicking plan constructor.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileRegistry {
+    profiles: Vec<Profile>,
+}
+
+impl ProfileRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a profile, returning its [`ProfileId`].
+    ///
+    /// The id space is the wire format's `u16`: once a registry holds
+    /// `u16::MAX` profiles further pushes are refused and the final
+    /// slot's id is returned unchanged, so an id never aliases another
+    /// profile.
+    pub fn push(&mut self, profile: Profile) -> ProfileId {
+        if self.profiles.len() < usize::from(u16::MAX) {
+            self.profiles.push(profile);
+        }
+        ProfileId((self.profiles.len() - 1) as u16)
+    }
+
+    /// Looks a profile up by id.
+    pub fn get(&self, id: ProfileId) -> Option<&Profile> {
+        self.profiles.get(usize::from(id.0))
+    }
+
+    /// Looks a profile up by content-class name.
+    pub fn by_name(&self, name: &str) -> Option<(ProfileId, &Profile)> {
+        self.profiles
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| (ProfileId(i as u16), &self.profiles[i]))
+    }
+
+    /// Number of profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates `(id, profile)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProfileId, &Profile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProfileId(i as u16), p))
+    }
+
+    /// Serializes the registry to the versioned wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.profiles.len() as u16).to_le_bytes());
+        for p in &self.profiles {
+            let name = p.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.push(p.level.get() as u8);
+            out.extend_from_slice(&(p.litlen_lengths.len() as u16).to_le_bytes());
+            out.extend_from_slice(&p.litlen_lengths);
+            out.extend_from_slice(&(p.dist_lengths.len() as u16).to_le_bytes());
+            out.extend_from_slice(&p.dist_lengths);
+            out.extend_from_slice(&(p.dict.len() as u32).to_le_bytes());
+            out.extend_from_slice(&p.dict);
+        }
+        out
+    }
+
+    /// Deserializes and re-validates a registry.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] on truncation; [`Error::InvalidProfile`]
+    /// on bad magic, an unknown version, a non-UTF-8 name, an invalid
+    /// level, or code lengths that fail [`Profile::new`] validation.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let mut at = 0usize;
+        let magic = take(data, &mut at, 4)?;
+        if magic != MAGIC {
+            return Err(Error::InvalidProfile);
+        }
+        let version = read_u16(data, &mut at)?;
+        if version != VERSION {
+            return Err(Error::InvalidProfile);
+        }
+        let count = read_u16(data, &mut at)?;
+        let mut reg = Self::new();
+        for _ in 0..count {
+            let name_len = usize::from(read_u16(data, &mut at)?);
+            let name = std::str::from_utf8(take(data, &mut at, name_len)?)
+                .map_err(|_| Error::InvalidProfile)?
+                .to_string();
+            let level_raw = u32::from(take(data, &mut at, 1)?[0]);
+            let level = CompressionLevel::new(level_raw).map_err(|_| Error::InvalidProfile)?;
+            let ll_len = usize::from(read_u16(data, &mut at)?);
+            let litlen = take(data, &mut at, ll_len)?.to_vec();
+            let d_len = usize::from(read_u16(data, &mut at)?);
+            let dist = take(data, &mut at, d_len)?.to_vec();
+            let dict_len = read_u32(data, &mut at)? as usize;
+            let dict = take(data, &mut at, dict_len)?.to_vec();
+            reg.push(Profile::new(name, level, litlen, dist, dict)?);
+        }
+        if at != data.len() {
+            return Err(Error::InvalidProfile);
+        }
+        Ok(reg)
+    }
+}
+
+fn take<'a>(data: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let s = data.get(*at..*at + n).ok_or(Error::UnexpectedEof)?;
+    *at += n;
+    Ok(s)
+}
+
+fn read_u16(data: &[u8], at: &mut usize) -> Result<u16> {
+    let s = take(data, at, 2)?;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn read_u32(data: &[u8], at: &mut usize) -> Result<u32> {
+    let s = take(data, at, 4)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{inflate, inflate_with_dict};
+
+    fn lvl(l: u32) -> CompressionLevel {
+        CompressionLevel::new(l).unwrap()
+    }
+
+    fn json_samples() -> Vec<Vec<u8>> {
+        (0..24)
+            .map(|i| {
+                format!(
+                    "{{\"user\": \"user{:04}\", \"region\": \"r{}\", \"status\": \"active\", \
+                     \"score\": {}, \"tags\": [\"alpha\", \"beta\"]}}",
+                    i,
+                    i % 7,
+                    i * 37
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    fn derive_json(level: u32) -> Profile {
+        let samples = json_samples();
+        let refs: Vec<&[u8]> = samples.iter().map(|s| s.as_slice()).collect();
+        Profile::derive("json", &refs, lvl(level), DEFAULT_DICT_CAP).unwrap()
+    }
+
+    #[test]
+    fn derived_profile_roundtrips_with_dict() {
+        let p = derive_json(6);
+        assert!(!p.dict().is_empty(), "shared structure must yield a dict");
+        let record = b"{\"user\": \"user9999\", \"region\": \"r3\", \"status\": \"active\", \
+                       \"score\": 1234, \"tags\": [\"alpha\", \"beta\"]}";
+        let c = deflate_canned(record, Engine::Auto, &p, true);
+        assert_eq!(inflate_with_dict(&c, p.dict()).unwrap(), record);
+    }
+
+    #[test]
+    fn derived_profile_roundtrips_without_dict() {
+        let p = derive_json(6);
+        let record = b"{\"user\": \"someone else entirely\", \"score\": 42}";
+        let c = deflate_canned(record, Engine::Auto, &p, false);
+        assert_eq!(inflate(&c).unwrap(), record);
+    }
+
+    #[test]
+    fn canned_with_dict_beats_plain_deflate_on_class_traffic() {
+        let p = derive_json(6);
+        let record = b"{\"user\": \"user0500\", \"region\": \"r2\", \"status\": \"active\", \
+                       \"score\": 500, \"tags\": [\"alpha\", \"beta\"]}";
+        let canned = deflate_canned(record, Engine::Auto, &p, true);
+        let plain = crate::deflate(record, lvl(6));
+        assert!(
+            canned.len() < plain.len(),
+            "canned+dict {} vs plain {}",
+            canned.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn misfit_falls_back_and_stays_valid() {
+        let p = derive_json(6);
+        // Binary-ish data far from the trained class.
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let before = profile_counters().fallback_blocks;
+        let c = deflate_canned(&data, Engine::Auto, &p, false);
+        assert_eq!(inflate(&c).unwrap(), data);
+        assert!(
+            profile_counters().fallback_blocks > before,
+            "guard must fall back on misfit"
+        );
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let p = derive_json(6);
+        for use_dict in [false, true] {
+            let c = deflate_canned(b"", Engine::Auto, &p, use_dict);
+            if use_dict {
+                assert_eq!(inflate_with_dict(&c, p.dict()).unwrap(), b"");
+            } else {
+                assert_eq!(inflate(&c).unwrap(), b"");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_move() {
+        let p = derive_json(6);
+        let before = profile_counters();
+        let record = b"{\"user\": \"user0001\", \"region\": \"r1\", \"status\": \"active\", \
+                       \"score\": 37, \"tags\": [\"alpha\", \"beta\"]}";
+        let _ = deflate_canned(record, Engine::Auto, &p, true);
+        let after = profile_counters();
+        assert!(after.canned_requests > before.canned_requests);
+        assert!(after.dict_encodes > before.dict_encodes);
+        record_profile_miss();
+        assert!(profile_counters().profile_misses > before.profile_misses);
+    }
+
+    #[test]
+    fn registry_roundtrips_through_bytes() {
+        let mut reg = ProfileRegistry::new();
+        let id = reg.push(derive_json(6));
+        let p2 = Profile::new(
+            "fixed-ish",
+            lvl(1),
+            crate::encoder::fixed_litlen_lengths().to_vec(),
+            crate::encoder::fixed_dist_lengths().to_vec(),
+            b"tiny dict".to_vec(),
+        )
+        .unwrap();
+        reg.push(p2);
+        let bytes = reg.to_bytes();
+        let back = ProfileRegistry::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        let p = back.get(id).unwrap();
+        assert_eq!(p.name(), "json");
+        assert_eq!(p.dict(), reg.get(id).unwrap().dict());
+        assert_eq!(p.litlen_lengths(), reg.get(id).unwrap().litlen_lengths());
+        assert_eq!(back.by_name("fixed-ish").unwrap().0, ProfileId::new(1));
+        // Re-serialization is byte-identical (golden stability).
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn registry_golden_header() {
+        let reg = ProfileRegistry::new();
+        // Empty registry: magic, version 1, count 0 — the golden prefix
+        // every serialized registry starts with.
+        assert_eq!(reg.to_bytes(), b"NXPR\x01\x00\x00\x00");
+    }
+
+    #[test]
+    fn registry_rejects_corruption() {
+        let mut reg = ProfileRegistry::new();
+        reg.push(derive_json(6));
+        let bytes = reg.to_bytes();
+        assert_eq!(
+            ProfileRegistry::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            Error::UnexpectedEof,
+            "truncation"
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            ProfileRegistry::from_bytes(&bad_magic).unwrap_err(),
+            Error::InvalidProfile
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            ProfileRegistry::from_bytes(&bad_version).unwrap_err(),
+            Error::InvalidProfile
+        );
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(
+            ProfileRegistry::from_bytes(&trailing).unwrap_err(),
+            Error::InvalidProfile
+        );
+    }
+
+    #[test]
+    fn profile_new_validates() {
+        // EOB without a code.
+        let mut ll = vec![8u8; NUM_LITLEN_SYMBOLS];
+        ll[256] = 0;
+        assert_eq!(
+            Profile::new("bad", lvl(6), ll, vec![5u8; NUM_DIST_SYMBOLS], Vec::new()).unwrap_err(),
+            Error::InvalidProfile
+        );
+        // Oversubscribed litlen code.
+        let ll = vec![1u8; NUM_LITLEN_SYMBOLS];
+        assert_eq!(
+            Profile::new("bad", lvl(6), ll, vec![5u8; NUM_DIST_SYMBOLS], Vec::new()).unwrap_err(),
+            Error::InvalidProfile
+        );
+        // Wrong alphabet size.
+        assert_eq!(
+            Profile::new(
+                "bad",
+                lvl(6),
+                vec![8u8; 100],
+                vec![5u8; NUM_DIST_SYMBOLS],
+                Vec::new()
+            )
+            .unwrap_err(),
+            Error::InvalidProfile
+        );
+    }
+
+    #[test]
+    fn oversized_dict_is_trimmed_to_window() {
+        let dict = vec![7u8; crate::WINDOW_SIZE + 500];
+        let p = Profile::new(
+            "big",
+            lvl(6),
+            crate::encoder::fixed_litlen_lengths().to_vec(),
+            crate::encoder::fixed_dist_lengths().to_vec(),
+            dict,
+        )
+        .unwrap();
+        assert_eq!(p.dict().len(), crate::WINDOW_SIZE);
+    }
+
+    #[test]
+    fn differential_battery_canned_always_valid() {
+        // Across levels, dict on/off, and content both in- and
+        // out-of-class, every canned stream must inflate byte-exact.
+        let p1 = derive_json(1);
+        let p6 = derive_json(6);
+        let inputs: Vec<Vec<u8>> = vec![
+            b"{}".to_vec(),
+            b"{\"user\": \"user0001\", \"region\": \"r1\", \"status\": \"active\", \"score\": 1, \"tags\": [\"alpha\", \"beta\"]}".to_vec(),
+            (0..2000u32).map(|i| (i % 251) as u8).collect(),
+            vec![0u8; 8192],
+            b"a".repeat(300),
+            (0..12000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect(),
+        ];
+        for p in [&p1, &p6] {
+            for input in &inputs {
+                for use_dict in [false, true] {
+                    let c = deflate_canned(input, Engine::Auto, p, use_dict);
+                    let back = if use_dict && !p.dict().is_empty() {
+                        inflate_with_dict(&c, p.dict()).unwrap()
+                    } else {
+                        inflate(&c).unwrap()
+                    };
+                    assert_eq!(&back, input, "profile {} dict {use_dict}", p.name());
+                }
+            }
+        }
+    }
+}

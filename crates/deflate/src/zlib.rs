@@ -79,7 +79,16 @@ pub fn compress_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> 
         return compress(data, level);
     }
     let mut out = Vec::with_capacity(data.len() / 2 + 20);
-    // Header with FDICT set.
+    write_header_with_dictid(&mut out, level, adler32(dict));
+    out.extend_from_slice(&crate::encoder::deflate_with_dict(data, level, dict));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Appends the 2-byte zlib header with FDICT set plus the 4-byte DICTID
+/// to `out` — the streaming half of [`compress_with_dict`] for callers
+/// assembling a dictionary-primed stream into a reused buffer.
+pub fn write_header_with_dictid(out: &mut Vec<u8>, level: CompressionLevel, dictid: u32) {
     let flevel: u8 = match level.get() {
         0..=1 => 0,
         2..=5 => 1,
@@ -87,15 +96,24 @@ pub fn compress_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> 
         _ => 3,
     };
     let mut flg = (flevel << 6) | 0x20;
+    // FCHECK makes (CMF*256 + FLG) a multiple of 31.
     let rem = (u16::from(CMF) * 256 + u16::from(flg)) % 31;
     if rem != 0 {
         flg += (31 - rem) as u8;
     }
     out.push(CMF);
     out.push(flg);
-    out.extend_from_slice(&adler32(dict).to_be_bytes());
-    out.extend_from_slice(&crate::encoder::deflate_with_dict(data, level, dict));
-    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out.extend_from_slice(&dictid.to_be_bytes());
+}
+
+/// Wraps an already-produced raw DEFLATE stream (encoded against a preset
+/// dictionary) in FDICT zlib framing. `adler` is the Adler-32 of the
+/// *uncompressed* payload; `dictid` is the Adler-32 of the dictionary.
+pub fn wrap_deflate_with_dict(deflate_stream: &[u8], adler: u32, dictid: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(deflate_stream.len() + 10);
+    write_header_with_dictid(&mut out, CompressionLevel::default(), dictid);
+    out.extend_from_slice(deflate_stream);
+    out.extend_from_slice(&adler.to_be_bytes());
     out
 }
 
@@ -104,8 +122,8 @@ pub fn compress_with_dict(data: &[u8], level: CompressionLevel, dict: &[u8]) -> 
 ///
 /// # Errors
 ///
-/// * [`Error::BadZlibHeader`] if the stream does not request a dictionary
-///   or requests a different one (DICTID mismatch);
+/// * [`Error::DictionaryMismatch`] if the stream does not request a
+///   dictionary or requests a different one (DICTID mismatch);
 /// * otherwise as [`decompress`].
 pub fn decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
     if data.len() < 10 {
@@ -116,11 +134,11 @@ pub fn decompress_with_dict(data: &[u8], dict: &[u8]) -> Result<Vec<u8>> {
         return Err(Error::BadZlibHeader);
     }
     if flg & 0x20 == 0 {
-        return Err(Error::BadZlibHeader); // no dictionary requested
+        return Err(Error::DictionaryMismatch); // no dictionary requested
     }
     let dictid = u32::from_be_bytes(read4(data, 2)?);
     if dictid != adler32(dict) {
-        return Err(Error::BadZlibHeader);
+        return Err(Error::DictionaryMismatch);
     }
     let mut inf = decoder::Inflater::new(&data[6..]);
     inf.prime_window(dict);
@@ -153,8 +171,9 @@ fn read4(data: &[u8], at: usize) -> Result<[u8; 4]> {
 ///
 /// # Errors
 ///
-/// * [`Error::BadZlibHeader`] for bad CM/CINFO/FCHECK or a preset
-///   dictionary requirement (FDICT, unsupported);
+/// * [`Error::BadZlibHeader`] for bad CM/CINFO/FCHECK;
+/// * [`Error::DictionaryRequired`] if the stream sets FDICT (decode it
+///   through [`decompress_with_dict`] instead);
 /// * [`Error::ZlibChecksumMismatch`] on trailer mismatch;
 /// * any DEFLATE error from the payload;
 /// * [`Error::TrailingData`] if bytes follow the trailer.
@@ -174,7 +193,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
         return Err(Error::BadZlibHeader);
     }
     if flg & 0x20 != 0 {
-        return Err(Error::BadZlibHeader); // FDICT unsupported
+        return Err(Error::DictionaryRequired);
     }
     let mut inf = decoder::Inflater::new(&data[2..]);
     inf.run(usize::MAX)?;
@@ -211,12 +230,11 @@ pub fn decompress_into(
     }
     let cmf = data[0];
     let flg = data[1];
-    if cmf & 0x0F != 8
-        || cmf >> 4 > 7
-        || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0
-        || flg & 0x20 != 0
-    {
+    if cmf & 0x0F != 8 || cmf >> 4 > 7 || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
         return Err(Error::BadZlibHeader);
+    }
+    if flg & 0x20 != 0 {
+        return Err(Error::DictionaryRequired);
     }
     let mut inf =
         decoder::Inflater::with_reuse(&data[2..], std::mem::take(scratch), std::mem::take(out));
@@ -227,6 +245,59 @@ pub fn decompress_into(
     *out = o;
     res?;
     let trailer_at = 2 + used;
+    if trailer_at + 4 > data.len() {
+        return Err(Error::UnexpectedEof);
+    }
+    if trailer_at + 4 != data.len() {
+        return Err(Error::TrailingData);
+    }
+    let stored = u32::from_be_bytes(read4(data, trailer_at)?);
+    if stored != adler32(out) {
+        return Err(Error::ZlibChecksumMismatch);
+    }
+    Ok(())
+}
+
+/// Decompresses an FDICT zlib stream into a caller-provided buffer,
+/// reusing `scratch` — the dictionary-aware twin of [`decompress_into`]
+/// that the scratch-session layer drives when a tenant profile carries a
+/// preset dictionary. `out` is cleared first.
+///
+/// # Errors
+///
+/// * [`Error::DictionaryMismatch`] if the stream does not set FDICT or
+///   its DICTID disagrees with `dict`;
+/// * otherwise as [`decompress_into`].
+pub fn decompress_with_dict_into(
+    data: &[u8],
+    dict: &[u8],
+    scratch: &mut decoder::InflateScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if data.len() < 10 {
+        return Err(Error::UnexpectedEof);
+    }
+    let (cmf, flg) = (data[0], data[1]);
+    if cmf & 0x0F != 8 || cmf >> 4 > 7 || (u16::from(cmf) * 256 + u16::from(flg)) % 31 != 0 {
+        return Err(Error::BadZlibHeader);
+    }
+    if flg & 0x20 == 0 {
+        return Err(Error::DictionaryMismatch); // no dictionary requested
+    }
+    let dictid = u32::from_be_bytes(read4(data, 2)?);
+    if dictid != adler32(dict) {
+        return Err(Error::DictionaryMismatch);
+    }
+    let mut inf =
+        decoder::Inflater::with_reuse(&data[6..], std::mem::take(scratch), std::mem::take(out));
+    inf.prime_window(dict);
+    let res = inf.run(usize::MAX);
+    let used = inf.byte_position();
+    let (o, s) = inf.into_parts();
+    *scratch = s;
+    *out = o;
+    res?;
+    let trailer_at = 6 + used;
     if trailer_at + 4 > data.len() {
         return Err(Error::UnexpectedEof);
     }
@@ -290,7 +361,7 @@ mod tests {
         // Fix FCHECK so the header error is specifically FDICT.
         let rem = (u16::from(z[0]) * 256 + u16::from(z[1] & !0x1F)) % 31;
         z[1] = (z[1] & !0x1F) | ((31 - rem) % 31) as u8;
-        assert_eq!(decompress(&z), Err(Error::BadZlibHeader));
+        assert_eq!(decompress(&z), Err(Error::DictionaryRequired));
     }
 
     #[test]
@@ -380,20 +451,63 @@ mod tests {
         let z = compress_with_dict(b"payload", lvl(6), b"right dictionary");
         assert_eq!(
             decompress_with_dict(&z, b"wrong dictionary"),
-            Err(Error::BadZlibHeader)
+            Err(Error::DictionaryMismatch)
         );
     }
 
     #[test]
     fn plain_decompress_rejects_fdict_stream() {
         let z = compress_with_dict(b"payload", lvl(6), b"dict");
-        assert_eq!(decompress(&z), Err(Error::BadZlibHeader));
+        assert_eq!(decompress(&z), Err(Error::DictionaryRequired));
+        let mut scratch = crate::decoder::InflateScratch::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            decompress_into(&z, &mut scratch, &mut out),
+            Err(Error::DictionaryRequired)
+        );
     }
 
     #[test]
     fn dict_stream_without_fdict_rejected_by_dict_decoder() {
         let z = compress(b"payload", lvl(6));
-        assert_eq!(decompress_with_dict(&z, b"dict"), Err(Error::BadZlibHeader));
+        assert_eq!(
+            decompress_with_dict(&z, b"dict"),
+            Err(Error::DictionaryMismatch)
+        );
+    }
+
+    #[test]
+    fn decompress_with_dict_into_reuses_and_verifies() {
+        let dict = b"the quick brown fox jumps over the lazy dog";
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog again and again "
+            .repeat(40)
+            .to_vec();
+        let z = compress_with_dict(&data, lvl(6), dict);
+        let mut scratch = crate::decoder::InflateScratch::new();
+        let mut out = Vec::new();
+        decompress_with_dict_into(&z, dict, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Reuse across calls keeps the output buffer's allocation.
+        let cap = out.capacity();
+        decompress_with_dict_into(&z, dict, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(
+            decompress_with_dict_into(&z, b"other dict", &mut scratch, &mut out),
+            Err(Error::DictionaryMismatch)
+        );
+    }
+
+    #[test]
+    fn wrap_deflate_with_dict_matches_compress_with_dict() {
+        let dict = b"prefix dictionary content";
+        let data = b"prefix dictionary content plus a fresh suffix";
+        let raw = crate::encoder::deflate_with_dict(data, lvl(6), dict);
+        let z = wrap_deflate_with_dict(&raw, adler32(data), adler32(dict));
+        assert_eq!(decompress_with_dict(&z, dict).unwrap(), data);
+        // FCHECK must still be valid with FDICT set.
+        assert_eq!((u16::from(z[0]) * 256 + u16::from(z[1])) % 31, 0);
+        assert_ne!(z[1] & 0x20, 0);
     }
 
     #[test]

@@ -84,6 +84,10 @@ DECODE_PATHS=(
     # resolution on every throughput-rung compress call.
     crates/deflate/src/lz77/batch.rs
     crates/deflate/src/lz77/cover.rs
+    # Canned profiles: the one-pass encoder runs on every small-payload
+    # request and the registry deserializer parses untrusted startup
+    # bytes -- both must fail with typed errors.
+    crates/deflate/src/profile.rs
     # The multi-tenant service front end handles hostile tenants by
     # design: admission, scheduling and the storm driver must reject
     # with typed errors, never panic.
@@ -275,6 +279,45 @@ if [[ "$FAST" == "0" ]]; then
         echo "    speculative: ${xfresh} MB/s (committed baseline ${xbaseline} MB/s)"
     else
         echo "    no committed baseline found; recorded ${xfresh} MB/s"
+    fi
+
+    echo "==> canned-profile gate (E26, regression bar 10%)"
+    # Snapshot the committed small-payload canned throughput, rerun the
+    # 1-16 KiB sweep, fail on a >10% regression, and require the run's
+    # own acceptance booleans: every canned output must round-trip
+    # through our inflate (and gzip(1) for the non-FDICT members), and
+    # the dictionary-primed one-pass path must hold aggregate ratio at
+    # or above the default ladder.
+    cbaseline=$(awk -F'"section": "summary".*"canned_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SMALL.json)
+    cargo run --offline --release -p nx-bench --bin tables -- e26 > /dev/null
+    cfresh=$(awk -F'"section": "summary".*"canned_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SMALL.json)
+    python3 -m json.tool BENCH_SMALL.json > /dev/null
+    if ! grep -q '"all_identical": true' BENCH_SMALL.json; then
+        echo "==> FAIL: a canned output failed to round-trip through our decoder"
+        exit 1
+    fi
+    if grep -q '"gzip_verified": false' BENCH_SMALL.json; then
+        echo "==> FAIL: gzip(1) rejected a canned gzip member"
+        exit 1
+    fi
+    if ! grep -q '"ratio_not_worse": true' BENCH_SMALL.json; then
+        echo "==> FAIL: canned aggregate ratio fell below the default ladder"
+        exit 1
+    fi
+    if [[ -n "$cbaseline" ]]; then
+        if ! awk -v f="$cfresh" -v b="$cbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            # Same one-re-measure damper as E20-E25.
+            echo "    canned ${cfresh} MB/s below 0.9x baseline; re-measuring once"
+            cargo run --offline --release -p nx-bench --bin tables -- e26 > /dev/null
+            cfresh=$(awk -F'"section": "summary".*"canned_mb_per_s": ' '/"section": "summary"/{split($2,a,","); print a[1]}' BENCH_SMALL.json)
+        fi
+        if ! awk -v f="$cfresh" -v b="$cbaseline" 'BEGIN{exit !(f >= 0.9 * b)}'; then
+            echo "==> FAIL: canned ${cfresh} MB/s regressed >10% vs committed ${cbaseline} MB/s"
+            exit 1
+        fi
+        echo "    canned one-pass: ${cfresh} MB/s (committed baseline ${cbaseline} MB/s)"
+    else
+        echo "    no committed baseline found; recorded ${cfresh} MB/s"
     fi
 
     echo "==> multi-tenant service gate (E23: fairness, QoS, tail latency)"
